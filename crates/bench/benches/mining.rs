@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the popular-route miners (experiment E1's inner
+//! loop): per-query cost of MPR, MFP, LDR and the web services.
+
+use cp_mining::{
+    local_driver_route, most_frequent_path, most_popular_route, FastestRouteService,
+    LdrParams, MfpParams, MprParams, ShortestRouteService, TransferNetwork,
+};
+use cp_roadnet::NodeId;
+use cp_traj::TimeOfDay;
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdplanner::sim::{Scale, SimWorld};
+use std::hint::black_box;
+
+fn bench_mining(c: &mut Criterion) {
+    let world = SimWorld::build(Scale::Medium, 5).expect("world");
+    let g = &world.city.graph;
+    let trips = &world.trips.trips;
+    let tn = TransferNetwork::build(g, trips, None);
+    let (a, b) = (NodeId(0), NodeId((g.node_count() - 1) as u32));
+    let dep = TimeOfDay::from_hours(8.0);
+
+    let mut group = c.benchmark_group("mining");
+    group.bench_function("ws_shortest", |bench| {
+        bench.iter(|| ShortestRouteService.route(g, black_box(a), black_box(b)).unwrap())
+    });
+    group.bench_function("ws_fastest", |bench| {
+        bench.iter(|| FastestRouteService.route(g, black_box(a), black_box(b)).unwrap())
+    });
+    group.bench_function("mpr", |bench| {
+        bench.iter(|| {
+            most_popular_route(g, &tn, black_box(a), black_box(b), &MprParams::default()).unwrap()
+        })
+    });
+    group.bench_function("mfp_with_period_build", |bench| {
+        bench.iter(|| {
+            most_frequent_path(g, trips, black_box(a), black_box(b), dep, &MfpParams::default())
+                .unwrap()
+        })
+    });
+    group.bench_function("ldr", |bench| {
+        bench.iter(|| {
+            local_driver_route(g, trips, black_box(a), black_box(b), &LdrParams::default())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

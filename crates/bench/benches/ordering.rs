@@ -1,0 +1,35 @@
+//! Micro-benchmarks of ID3 question-tree construction (experiment E4's
+//! inner loop).
+
+use cp_bench::common::{random_selection_instance, rng};
+use cp_core::taskgen::{build_question_tree, SelectionAlgorithm, SelectionProblem};
+use cp_roadnet::LandmarkId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("question_ordering");
+    let mut r = rng(1004);
+    for n in [4usize, 8, 12] {
+        let (routes, sigs) = random_selection_instance(n, 24, &mut r);
+        let Ok(problem) = SelectionProblem::prepare(&routes, &sigs) else {
+            continue;
+        };
+        let Ok(sel) = SelectionAlgorithm::Greedy.run(&problem, 2_000_000) else {
+            continue;
+        };
+        let questions: Vec<(LandmarkId, f64)> = sel
+            .landmarks
+            .iter()
+            .map(|&l| (l, sigs[l.index()]))
+            .collect();
+        let weights = vec![1.0; routes.len()];
+        group.bench_with_input(BenchmarkId::new("id3_build", n), &n, |bench, _| {
+            bench.iter(|| build_question_tree(black_box(&routes), &weights, &questions))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Micro-benchmarks of the routing substrate: Dijkstra vs A* vs Yen's
+//! k-shortest paths on the benchmark-sized city.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cp_roadnet::routing::{astar_path, dijkstra_path, distance_cost, k_shortest_paths, time_cost};
+use cp_roadnet::{generate_city, CityParams, NodeId, RoadClass};
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let city = generate_city(&CityParams::large(), 1).expect("city");
+    let g = &city.graph;
+    let (a, b) = (NodeId(0), NodeId((g.node_count() - 1) as u32));
+
+    let mut group = c.benchmark_group("routing");
+    group.bench_function("dijkstra_distance", |bench| {
+        bench.iter(|| dijkstra_path(g, black_box(a), black_box(b), distance_cost(g)).unwrap())
+    });
+    group.bench_function("dijkstra_time", |bench| {
+        bench.iter(|| dijkstra_path(g, black_box(a), black_box(b), time_cost(g)).unwrap())
+    });
+    group.bench_function("astar_distance", |bench| {
+        bench.iter(|| astar_path(g, black_box(a), black_box(b), distance_cost(g), 1.0).unwrap())
+    });
+    group.bench_function("astar_time", |bench| {
+        bench.iter(|| {
+            astar_path(
+                g,
+                black_box(a),
+                black_box(b),
+                time_cost(g),
+                RoadClass::Highway.speed_mps(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("yen_k4", |bench| {
+        bench.iter(|| k_shortest_paths(g, black_box(a), black_box(b), 4, distance_cost(g)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

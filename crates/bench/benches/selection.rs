@@ -1,0 +1,29 @@
+//! Micro-benchmarks of landmark selection (experiment E2's inner loop):
+//! BruteForce vs ILS vs GreedySelect on growing instances.
+
+use cp_bench::common::{random_selection_instance, rng};
+use cp_core::taskgen::{SelectionAlgorithm, SelectionProblem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("landmark_selection");
+    let mut r = rng(1002);
+    for (n, m) in [(4usize, 12usize), (5, 16), (6, 20)] {
+        let (routes, sigs) = random_selection_instance(n, m, &mut r);
+        let Ok(problem) = SelectionProblem::prepare(&routes, &sigs) else {
+            continue;
+        };
+        for alg in SelectionAlgorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), format!("n{n}_m{m}")),
+                &problem,
+                |bench, p| bench.iter(|| alg.run(black_box(p), 2_000_000).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

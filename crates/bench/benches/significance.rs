@@ -1,0 +1,42 @@
+//! Micro-benchmarks of landmark-significance inference (HITS) and
+//! trajectory calibration.
+
+use cp_traj::{
+    calibrate_path, infer_significance, CalibrationParams, SignificanceParams,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdplanner::sim::{Scale, SimWorld};
+use std::hint::black_box;
+
+fn bench_significance(c: &mut Criterion) {
+    let world = SimWorld::build(Scale::Small, 9).expect("world");
+    let mut group = c.benchmark_group("significance");
+    group.sample_size(20);
+    group.bench_function("hits_full_pipeline", |bench| {
+        bench.iter(|| {
+            infer_significance(
+                &world.city.graph,
+                &world.landmarks,
+                black_box(&world.checkins),
+                &world.trips,
+                &CalibrationParams::default(),
+                &SignificanceParams::default(),
+            )
+        })
+    });
+    let path = &world.trips.trips[0].path;
+    group.bench_function("calibrate_one_path", |bench| {
+        bench.iter(|| {
+            calibrate_path(
+                &world.city.graph,
+                &world.landmarks,
+                black_box(path),
+                &CalibrationParams::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_significance);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! CrowdPlanner experiment harness.
+//!
+//! ```sh
+//! cargo run --release -p cp-bench --bin experiments            # all experiments
+//! cargo run --release -p cp-bench --bin experiments -- e1 e4   # a subset
+//! cargo run --release -p cp-bench --bin experiments -- --fast  # smoke sizes
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let all = cp_bench::experiments();
+    let mut ran = 0;
+    for (id, desc, f) in &all {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w.as_str() == *id) {
+            continue;
+        }
+        println!("\n=== {} — {} ===", id.to_uppercase(), desc);
+        let t0 = std::time::Instant::now();
+        f(fast);
+        println!("[{} done in {:.1}s]", id, t0.elapsed().as_secs_f64());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment id; available:");
+        for (id, desc, _) in &all {
+            eprintln!("  {id}: {desc}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,56 @@
+//! E3 — landmark-selection quality against the exhaustive optimum.
+//!
+//! Paper hook: the §III-B objective (maximise mean significance subject to
+//! discriminativeness). Expected shape: GreedySelect matches the optimum
+//! exactly (its prunings are lossless); ILS is near-optimal; both always
+//! return discriminative sets.
+
+use crate::common::{header, random_selection_instance, rng, row};
+use cp_core::route::is_discriminative;
+use cp_core::taskgen::{SelectionAlgorithm, SelectionProblem};
+
+/// Runs E3.
+pub fn run(fast: bool) {
+    let trials = if fast { 20 } else { 100 };
+    let mut r = rng(3);
+    header(
+        "E3: selection quality over random instances (value ratio to optimum)",
+        &["algorithm", "mean ratio", "min ratio", "optimal %", "discriminative %"],
+    );
+    let mut stats = [(0.0f64, f64::INFINITY, 0usize, 0usize); 3];
+    let mut counted = 0usize;
+    for _ in 0..trials {
+        let (routes, sigs) = random_selection_instance(4, 14, &mut r);
+        let Ok(p) = SelectionProblem::prepare(&routes, &sigs) else {
+            continue;
+        };
+        let Ok(opt) = SelectionAlgorithm::BruteForce.run(&p, usize::MAX) else {
+            continue;
+        };
+        counted += 1;
+        for (i, alg) in SelectionAlgorithm::ALL.iter().enumerate() {
+            let sel = alg.run(&p, usize::MAX).expect("solvable instance");
+            let ratio = sel.value / opt.value;
+            let s = &mut stats[i];
+            s.0 += ratio;
+            s.1 = s.1.min(ratio);
+            if ratio > 1.0 - 1e-9 {
+                s.2 += 1;
+            }
+            if is_discriminative(&routes, &sel.landmarks) {
+                s.3 += 1;
+            }
+        }
+    }
+    for (i, alg) in SelectionAlgorithm::ALL.iter().enumerate() {
+        let s = stats[i];
+        row(&[
+            alg.name().to_string(),
+            format!("{:.4}", s.0 / counted as f64),
+            format!("{:.4}", s.1),
+            format!("{:.1}%", 100.0 * s.2 as f64 / counted as f64),
+            format!("{:.1}%", 100.0 * s.3 as f64 / counted as f64),
+        ]);
+    }
+    println!("({counted} solvable instances)");
+}

@@ -1,0 +1,69 @@
+//! E7 — truth reuse over a request stream with spatio-temporal locality.
+//!
+//! Paper hook: §II-B1 — reuse "can largely reduce the amount of tasks
+//! generated". Expected shape: the hit rate climbs as the truth store
+//! fills; crowd tasks per window fall accordingly.
+
+use crate::common::{header, row};
+use cp_core::{Config, CrowdPlanner};
+use cp_traj::TimeOfDay;
+use crowdplanner::sim::{Scale, SimWorld};
+
+/// Runs E7.
+pub fn run(fast: bool) {
+    let world = SimWorld::build(Scale::Medium, 23).expect("world");
+    let platform = world.platform(200, 20, 23);
+    let mut planner = CrowdPlanner::new(
+        &world.city.graph,
+        &world.landmarks,
+        world.significance.clone(),
+        &world.trips.trips,
+        platform,
+        Config::default(),
+    )
+    .expect("planner");
+
+    // Zipf-ish popularity over a base set of OD pairs: popular commutes are
+    // requested again and again, as in a real deployment.
+    let base = world.request_stream(if fast { 15 } else { 40 }, 6, 61);
+    let total = if fast { 60 } else { 240 };
+    let mut requests = Vec::with_capacity(total);
+    let mut x = 0xDEADBEEFu64;
+    for i in 0..total {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        // Rank-biased pick: earlier base pairs are requested more often.
+        let rank = ((x % 100) as f64 / 100.0).powi(2);
+        let idx = (rank * base.len() as f64) as usize;
+        let h = if i % 2 == 0 { 8.0 } else { 18.0 };
+        requests.push((base[idx.min(base.len() - 1)], TimeOfDay::from_hours(h)));
+    }
+
+    header(
+        "E7: truth-store growth and reuse (windows of requests)",
+        &["requests", "truths stored", "window hit rate", "cumulative hit rate", "window crowd tasks"],
+    );
+    let window = total / 8;
+    let mut last_hits = 0;
+    let mut last_crowd = 0;
+    for (i, &((a, b), t)) in requests.iter().enumerate() {
+        let oracle = world.oracle(a, b).expect("oracle");
+        planner.handle_request(a, b, t, &oracle).expect("request");
+        if (i + 1) % window == 0 {
+            let s = planner.stats();
+            row(&[
+                format!("{}", i + 1),
+                format!("{}", planner.truths().len()),
+                format!(
+                    "{:.1}%",
+                    100.0 * (s.reuse_hits - last_hits) as f64 / window as f64
+                ),
+                format!("{:.1}%", 100.0 * s.reuse_hits as f64 / s.requests as f64),
+                format!("{}", s.crowd_attempts - last_crowd),
+            ]);
+            last_hits = s.reuse_hits;
+            last_crowd = s.crowd_attempts;
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! E8 — early stop: answers collected vs verdict accuracy.
+//!
+//! Paper hook: §II-B2 — "return the result to the user as early as
+//! possible when the confidence is high enough". Expected shape: lower
+//! η_stop collects fewer answers at some accuracy cost; higher η_stop
+//! converges to asking everyone.
+
+use crate::common::{header, row};
+use cp_core::{Config, CrowdPlanner, Resolution};
+use cp_traj::TimeOfDay;
+use crowdplanner::sim::{Scale, SimWorld};
+
+/// Runs E8.
+pub fn run(fast: bool) {
+    let world = SimWorld::build(Scale::Medium, 29).expect("world");
+    let n_req = if fast { 25 } else { 70 };
+    let requests = world.request_stream(n_req, 6, 71);
+    let thresholds = if fast {
+        vec![0.5, 0.9]
+    } else {
+        vec![0.45, 0.55, 0.65, 0.75, 0.85, 0.95]
+    };
+    header(
+        "E8: early stop threshold sweep (crowd-forced requests)",
+        &["eta_stop", "crowd verdicts", "answers/task", "questions/task", "verdict accuracy"],
+    );
+    for eta in thresholds {
+        // Force every contested request to the crowd: no machine shortcuts.
+        let cfg = Config {
+            eta_stop: eta,
+            agreement_similarity: 1.0,
+            agreement_quorum: 1.0,
+            eta_confidence: 1.0,
+            reuse_radius: 0.0,
+            ..Config::default()
+        };
+        let platform = world.platform(200, 30, 29);
+        let mut planner = CrowdPlanner::new(
+            &world.city.graph,
+            &world.landmarks,
+            world.significance.clone(),
+            &world.trips.trips,
+            platform,
+            cfg,
+        )
+        .expect("planner");
+        let (mut verdicts, mut correct, mut answers) = (0usize, 0usize, 0usize);
+        for &(a, b) in &requests {
+            let oracle = world.oracle(a, b).expect("oracle");
+            let rec = planner
+                .handle_request(a, b, TimeOfDay::from_hours(8.0), &oracle)
+                .expect("request");
+            if rec.resolution == Resolution::Crowd {
+                verdicts += 1;
+                answers += rec.workers_asked;
+                if world.is_best(&rec.path) {
+                    correct += 1;
+                }
+            }
+        }
+        let s = planner.stats();
+        row(&[
+            format!("{eta:.2}"),
+            format!("{verdicts}"),
+            format!("{:.2}", answers as f64 / verdicts.max(1) as f64),
+            format!(
+                "{:.2}",
+                s.total_questions as f64 / s.crowd_attempts.max(1) as f64
+            ),
+            format!("{:.1}%", 100.0 * correct as f64 / verdicts.max(1) as f64),
+        ]);
+    }
+}

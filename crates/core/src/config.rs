@@ -1,0 +1,163 @@
+//! System configuration: every threshold named in the paper, in one place.
+
+use crate::error::CoreError;
+
+/// All CrowdPlanner tunables. Field names follow the paper's notation
+/// where one exists (η, η_time, η_dis, η_#q, α, β, k).
+#[derive(Debug, Clone)]
+pub struct Config {
+    // ---- TR module ----
+    /// Confidence threshold η: a candidate whose truth-derived confidence
+    /// exceeds this is returned without crowdsourcing (paper §II-B1).
+    pub eta_confidence: f64,
+    /// Two routes "agree to a high degree" when their length-weighted edge
+    /// Jaccard similarity reaches this value.
+    pub agreement_similarity: f64,
+    /// Fraction of sources that must agree for automatic acceptance.
+    pub agreement_quorum: f64,
+    /// Truth reuse: endpoints must lie within this radius (metres) of a
+    /// stored truth's endpoints.
+    pub reuse_radius: f64,
+    /// Truth reuse: departure must be within this window (seconds,
+    /// circular) of the stored truth's time tag.
+    pub reuse_time_window: f64,
+
+    // ---- Task generation ----
+    /// Cap on enumerated landmark sets in the selection algorithms (guards
+    /// the exponential worst case; the paper notes brute force is
+    /// "impractical").
+    pub selection_budget: usize,
+
+    // ---- Worker selection ----
+    /// η_dis: knowledge radius in metres. Landmarks farther than this from
+    /// all of a worker's anchor places contribute no profile familiarity,
+    /// and knowledge accumulation integrates over this radius.
+    pub eta_dis: f64,
+    /// α: smoothing between profile familiarity and history familiarity.
+    pub alpha: f64,
+    /// β < 1: the gain of a wrong answer in the history term.
+    pub beta: f64,
+    /// η_time: minimum probability of answering before the deadline.
+    pub eta_time: f64,
+    /// η_#q: maximum outstanding tasks per worker.
+    pub eta_quota: u32,
+    /// k: number of workers assigned per task.
+    pub k_workers: usize,
+    /// Latent dimensionality of the PMF factorisation.
+    pub pmf_dims: usize,
+    /// Default response rate λ assumed for workers with no history
+    /// (answers per second).
+    pub default_lambda: f64,
+    /// Task deadline in seconds (user-specified response time).
+    pub task_deadline: f64,
+
+    // ---- Early stop ----
+    /// Stop collecting answers when the leading route's Laplace-smoothed
+    /// vote share reaches this confidence.
+    pub eta_stop: f64,
+    /// Minimum answers before early stop may trigger.
+    pub min_answers: usize,
+    /// Minimum Laplace-smoothed vote share the final crowd leader must
+    /// reach to override the machine's best guess; scattered votes below
+    /// this floor fall back (the crowd "could not verify").
+    pub verdict_floor: f64,
+
+    // ---- Rewarding ----
+    /// Base reward points per answered question.
+    pub reward_per_question: f64,
+    /// Bonus multiplier for answers agreeing with the final verdict.
+    pub reward_quality_bonus: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            eta_confidence: 0.8,
+            agreement_similarity: 0.8,
+            agreement_quorum: 0.6,
+            reuse_radius: 300.0,
+            reuse_time_window: 2.0 * 3600.0,
+            selection_budget: 200_000,
+            eta_dis: 1500.0,
+            alpha: 0.6,
+            beta: 0.3,
+            eta_time: 0.5,
+            eta_quota: 5,
+            k_workers: 9,
+            pmf_dims: 8,
+            default_lambda: 1.0 / 1800.0,
+            task_deadline: 5400.0,
+            eta_stop: 0.7,
+            min_answers: 3,
+            verdict_floor: 0.45,
+            reward_per_question: 1.0,
+            reward_quality_bonus: 1.0,
+        }
+    }
+}
+
+impl Config {
+    /// Validates value ranges.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let unit = |v: f64| (0.0..=1.0).contains(&v);
+        if !unit(self.eta_confidence) {
+            return Err(CoreError::InvalidConfig("eta_confidence must be in [0,1]"));
+        }
+        if !unit(self.agreement_similarity) || !unit(self.agreement_quorum) {
+            return Err(CoreError::InvalidConfig("agreement params must be in [0,1]"));
+        }
+        if !unit(self.alpha) {
+            return Err(CoreError::InvalidConfig("alpha must be in [0,1]"));
+        }
+        if !(0.0..1.0).contains(&self.beta) {
+            return Err(CoreError::InvalidConfig("beta must be in [0,1)"));
+        }
+        if !unit(self.eta_time) || !unit(self.eta_stop) || !unit(self.verdict_floor) {
+            return Err(CoreError::InvalidConfig(
+                "eta_time/eta_stop/verdict_floor must be in [0,1]",
+            ));
+        }
+        if self.eta_dis <= 0.0 || self.reuse_radius < 0.0 {
+            return Err(CoreError::InvalidConfig("distances must be positive"));
+        }
+        if self.k_workers == 0 {
+            return Err(CoreError::InvalidConfig("k_workers must be >= 1"));
+        }
+        if self.pmf_dims == 0 {
+            return Err(CoreError::InvalidConfig("pmf_dims must be >= 1"));
+        }
+        if self.default_lambda <= 0.0 || self.task_deadline <= 0.0 {
+            return Err(CoreError::InvalidConfig("rates and deadlines must be positive"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        Config::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        let mut c = Config::default();
+        c.eta_confidence = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = Config::default();
+        c.beta = 1.0;
+        assert!(c.validate().is_err());
+        let mut c = Config::default();
+        c.k_workers = 0;
+        assert!(c.validate().is_err());
+        let mut c = Config::default();
+        c.eta_dis = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = Config::default();
+        c.pmf_dims = 0;
+        assert!(c.validate().is_err());
+    }
+}

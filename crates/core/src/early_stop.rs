@@ -1,0 +1,225 @@
+//! Early-stop aggregation of crowd answers (paper §II-B2, "early stop
+//! component": "when partial feedbacks have been collected, this component
+//! will evaluate the confidence of the answer and return the result … as
+//! early as possible when the confidence is high enough").
+//!
+//! Workers vote for candidate routes (each worker's answer walk through
+//! the question tree ends at a candidate, or at a dead end = abstention).
+//! After every vote the aggregator computes the Laplace-smoothed posterior
+//! share of the leading candidate; once it clears η_stop — and at least
+//! `min_answers` votes have arrived — collection stops.
+
+use crate::config::Config;
+
+/// Sequential vote aggregator over `n` candidate routes. Votes may carry
+/// weights — the orchestrator weights each worker's vote by their
+/// knowledge-based preference score, so well-informed workers count more
+/// when the early-stop component "evaluates the confidence of the answer".
+#[derive(Debug, Clone)]
+pub struct EarlyStop {
+    votes: Vec<f64>,
+    answers: u32,
+}
+
+/// The aggregator's verdict after a vote.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopDecision {
+    /// Keep collecting answers.
+    Continue,
+    /// Confidence reached: stop with the given winner and confidence.
+    Stop {
+        /// Winning candidate index.
+        winner: usize,
+        /// Laplace-smoothed vote share of the winner.
+        confidence: f64,
+    },
+}
+
+impl EarlyStop {
+    /// Creates an aggregator for `n` candidates.
+    pub fn new(n: usize) -> Self {
+        EarlyStop {
+            votes: vec![0.0; n],
+            answers: 0,
+        }
+    }
+
+    /// Records a unit-weight vote for candidate `route` (or an abstention
+    /// for `None`).
+    pub fn record(&mut self, route: Option<usize>) {
+        self.record_weighted(route, 1.0);
+    }
+
+    /// Records a weighted vote. Abstentions count toward the answer total
+    /// but carry no vote mass.
+    pub fn record_weighted(&mut self, route: Option<usize>, weight: f64) {
+        debug_assert!(weight >= 0.0, "vote weights are non-negative");
+        self.answers += 1;
+        if let Some(r) = route {
+            self.votes[r] += weight.max(0.0);
+        }
+    }
+
+    /// Total recorded answers (including abstentions).
+    pub fn total_answers(&self) -> u32 {
+        self.answers
+    }
+
+    /// Laplace-smoothed share of candidate `i`:
+    /// `(votes_i + 1) / (Σ votes + n)`.
+    pub fn share(&self, i: usize) -> f64 {
+        let total: f64 = self.votes.iter().sum();
+        (self.votes[i] + 1.0) / (total + self.votes.len() as f64)
+    }
+
+    /// The current leader and its share. Ties break toward the lower index.
+    pub fn leader(&self) -> Option<(usize, f64)> {
+        if self.votes.is_empty() {
+            return None;
+        }
+        let best = self
+            .votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| b.0.cmp(&a.0))
+            })
+            .map(|(i, _)| i)?;
+        Some((best, self.share(best)))
+    }
+
+    /// Whether collection should stop.
+    pub fn decision(&self, cfg: &Config) -> StopDecision {
+        if (self.total_answers() as usize) < cfg.min_answers {
+            return StopDecision::Continue;
+        }
+        match self.leader() {
+            Some((winner, confidence)) if confidence >= cfg.eta_stop => StopDecision::Stop {
+                winner,
+                confidence,
+            },
+            _ => StopDecision::Continue,
+        }
+    }
+
+    /// Final verdict when answers are exhausted: the leader regardless of
+    /// threshold (`None` when every worker abstained or no candidates).
+    pub fn final_verdict(&self) -> Option<(usize, f64)> {
+        if self.votes.iter().all(|&v| v == 0.0) {
+            return None;
+        }
+        self.leader()
+    }
+
+    /// Accumulated vote mass per candidate.
+    pub fn votes(&self) -> &[f64] {
+        &self.votes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            eta_stop: 0.7,
+            min_answers: 3,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn no_stop_before_min_answers() {
+        let mut es = EarlyStop::new(3);
+        es.record(Some(0));
+        es.record(Some(0));
+        assert_eq!(es.decision(&cfg()), StopDecision::Continue);
+    }
+
+    #[test]
+    fn unanimous_votes_stop_early() {
+        let mut es = EarlyStop::new(3);
+        for _ in 0..4 {
+            es.record(Some(1));
+        }
+        match es.decision(&cfg()) {
+            StopDecision::Stop { winner, confidence } => {
+                assert_eq!(winner, 1);
+                // (4+1)/(4+3) = 5/7 ≈ 0.714 ≥ 0.7
+                assert!((confidence - 5.0 / 7.0).abs() < 1e-12);
+            }
+            StopDecision::Continue => panic!("should stop"),
+        }
+    }
+
+    #[test]
+    fn split_votes_do_not_stop() {
+        let mut es = EarlyStop::new(2);
+        es.record(Some(0));
+        es.record(Some(1));
+        es.record(Some(0));
+        es.record(Some(1));
+        assert_eq!(es.decision(&cfg()), StopDecision::Continue);
+        // But the final verdict still names a leader (index tie-break).
+        let (w, _) = es.final_verdict().unwrap();
+        assert_eq!(w, 0);
+    }
+
+    #[test]
+    fn abstentions_count_toward_min_answers_but_not_shares() {
+        let mut es = EarlyStop::new(2);
+        es.record(None);
+        es.record(None);
+        es.record(Some(0));
+        assert_eq!(es.total_answers(), 3);
+        // share(0) = (1+1)/(1+2) = 2/3 < 0.7 → continue
+        assert_eq!(es.decision(&cfg()), StopDecision::Continue);
+        es.record(Some(0));
+        // share(0) = 3/4 = 0.75 ≥ 0.7 → stop
+        assert!(matches!(es.decision(&cfg()), StopDecision::Stop { winner: 0, .. }));
+    }
+
+    #[test]
+    fn all_abstentions_yield_no_verdict() {
+        let mut es = EarlyStop::new(2);
+        es.record(None);
+        es.record(None);
+        es.record(None);
+        assert_eq!(es.decision(&cfg()), StopDecision::Continue);
+        assert!(es.final_verdict().is_none());
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut es = EarlyStop::new(4);
+        es.record(Some(0));
+        es.record(Some(2));
+        es.record(Some(2));
+        let sum: f64 = (0..4).map(|i| es.share(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(es.votes(), &[1.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn higher_threshold_needs_more_votes() {
+        let strict = Config {
+            eta_stop: 0.9,
+            min_answers: 3,
+            ..Config::default()
+        };
+        let mut es = EarlyStop::new(2);
+        for _ in 0..5 {
+            es.record(Some(0));
+        }
+        // (5+1)/(5+2) = 6/7 ≈ 0.857 < 0.9 → continue under strict config.
+        assert_eq!(es.decision(&strict), StopDecision::Continue);
+        for _ in 0..10 {
+            es.record(Some(0));
+        }
+        // (15+1)/(15+2) ≈ 0.941 → stop.
+        assert!(matches!(es.decision(&strict), StopDecision::Stop { .. }));
+    }
+}

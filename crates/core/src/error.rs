@@ -1,0 +1,114 @@
+//! Error types of the CrowdPlanner core.
+
+use cp_roadnet::RoadNetError;
+use std::fmt;
+
+/// Errors produced by the CrowdPlanner core components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The candidate set has fewer than two distinct routes — there is
+    /// nothing to discriminate (the TR module should have resolved this).
+    TooFewRoutes,
+    /// Two candidate routes have identical landmark sets, so no landmark
+    /// set can discriminate them. Candidates must be deduplicated first.
+    UndiscriminableRoutes {
+        /// Indices of the first offending pair.
+        first: usize,
+        /// Second member of the pair.
+        second: usize,
+    },
+    /// More candidate routes than the selection bit-masks support.
+    TooManyRoutes {
+        /// Supported maximum.
+        max: usize,
+    },
+    /// No landmark set satisfying the constraints exists (e.g. the
+    /// beneficial landmarks cannot hit every route pair).
+    NoDiscriminativeSet,
+    /// No candidate source could produce a route for the request.
+    NoCandidates,
+    /// The worker pool has nobody eligible for the task.
+    NoEligibleWorkers,
+    /// A significance vector of the wrong length was supplied.
+    SignificanceLengthMismatch {
+        /// Expected entries (number of landmarks).
+        expected: usize,
+        /// Actual entries supplied.
+        actual: usize,
+    },
+    /// An invalid configuration value.
+    InvalidConfig(&'static str),
+    /// An underlying road-network failure.
+    RoadNet(RoadNetError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::TooFewRoutes => {
+                write!(f, "candidate set needs at least two distinct routes")
+            }
+            CoreError::UndiscriminableRoutes { first, second } => write!(
+                f,
+                "candidate routes {first} and {second} have identical landmark sets"
+            ),
+            CoreError::TooManyRoutes { max } => {
+                write!(f, "candidate set exceeds the supported maximum of {max} routes")
+            }
+            CoreError::NoDiscriminativeSet => {
+                write!(f, "no discriminative landmark set exists for the candidates")
+            }
+            CoreError::NoCandidates => write!(f, "no source produced a candidate route"),
+            CoreError::NoEligibleWorkers => write!(f, "no eligible workers for the task"),
+            CoreError::SignificanceLengthMismatch { expected, actual } => write!(
+                f,
+                "significance vector has {actual} entries, expected {expected}"
+            ),
+            CoreError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            CoreError::RoadNet(e) => write!(f, "road network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::RoadNet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RoadNetError> for CoreError {
+    fn from(e: RoadNetError) -> Self {
+        CoreError::RoadNet(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(CoreError::TooFewRoutes.to_string().contains("two distinct"));
+        assert!(CoreError::UndiscriminableRoutes { first: 1, second: 3 }
+            .to_string()
+            .contains("1 and 3"));
+        assert!(CoreError::TooManyRoutes { max: 16 }.to_string().contains("16"));
+        assert!(CoreError::SignificanceLengthMismatch {
+            expected: 10,
+            actual: 3
+        }
+        .to_string()
+        .contains("expected 10"));
+    }
+
+    #[test]
+    fn roadnet_errors_convert() {
+        let e: CoreError = RoadNetError::UnknownNode.into();
+        assert!(matches!(e, CoreError::RoadNet(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,252 @@
+//! Automatic route evaluation (paper §II-B1, "route evaluation
+//! component").
+//!
+//! Before spending any crowd effort, the TR module tries to settle the
+//! request itself:
+//!
+//! 1. **agreement** — "if some of these routes agree with each other to a
+//!    high degree, one of them will be selected as the best recommended
+//!    route": we cluster the candidates by pairwise length-weighted edge
+//!    Jaccard similarity and accept when a cluster holds at least the
+//!    configured quorum of sources;
+//! 2. **confidence** — otherwise each candidate gets a confidence score
+//!    derived from the verified truths near the OD pair (its best
+//!    similarity to any nearby truth); a candidate whose confidence clears
+//!    η wins;
+//! 3. otherwise the request falls through to the crowd module.
+
+use crate::config::Config;
+use crate::truth::TruthStore;
+use cp_mining::CandidateRoute;
+use cp_roadnet::{edge_jaccard, NodeId, Path, RoadGraph};
+
+/// Outcome of the automatic evaluation.
+#[derive(Debug, Clone)]
+pub enum Evaluation {
+    /// Enough sources agree on (essentially) one route.
+    Agreement {
+        /// The representative route of the agreeing cluster.
+        path: Path,
+        /// Number of sources in the agreeing cluster.
+        supporters: usize,
+    },
+    /// A candidate is sufficiently similar to nearby verified truths.
+    Confident {
+        /// The confident candidate.
+        path: Path,
+        /// Its confidence score.
+        confidence: f64,
+    },
+    /// The machine cannot decide; candidates (with confidence scores in
+    /// candidate order) go to the crowd.
+    Undecided {
+        /// Per-candidate confidence scores for ID3 priors.
+        confidences: Vec<f64>,
+    },
+}
+
+/// Runs the evaluation.
+pub fn evaluate_candidates(
+    graph: &RoadGraph,
+    candidates: &[CandidateRoute],
+    truths: &TruthStore,
+    from: NodeId,
+    to: NodeId,
+    cfg: &Config,
+) -> Evaluation {
+    // --- Stage 1: agreement clustering ---
+    // Greedy clustering by similarity to the cluster representative.
+    let n = candidates.len();
+    if n > 0 {
+        let mut assigned = vec![usize::MAX; n];
+        let mut reps: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let mut placed = false;
+            for (ci, &rep) in reps.iter().enumerate() {
+                if edge_jaccard(graph, &candidates[i].path, &candidates[rep].path)
+                    >= cfg.agreement_similarity
+                {
+                    assigned[i] = ci;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                assigned[i] = reps.len();
+                reps.push(i);
+            }
+        }
+        let mut counts = vec![0usize; reps.len()];
+        for &c in &assigned {
+            counts[c] += 1;
+        }
+        if let Some((ci, &count)) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(ci, &c)| (c, std::cmp::Reverse(ci)))
+        {
+            if count as f64 >= cfg.agreement_quorum * n as f64 && count >= 2 {
+                return Evaluation::Agreement {
+                    path: candidates[reps[ci]].path.clone(),
+                    supporters: count,
+                };
+            }
+        }
+    }
+
+    // --- Stage 2: truth-derived confidence ---
+    let nearby = truths.nearby(graph, from, to, cfg.reuse_radius * 3.0);
+    let confidences: Vec<f64> = candidates
+        .iter()
+        .map(|c| {
+            nearby
+                .iter()
+                .map(|t| edge_jaccard(graph, &c.path, &t.path) * t.confidence)
+                .fold(0.0f64, f64::max)
+        })
+        .collect();
+    if let Some((best_i, &best_c)) = confidences
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+    {
+        if best_c >= cfg.eta_confidence {
+            return Evaluation::Confident {
+                path: candidates[best_i].path.clone(),
+                confidence: best_c,
+            };
+        }
+    }
+    Evaluation::Undecided { confidences }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthEntry;
+    use cp_mining::SourceKind;
+    use cp_roadnet::routing::{dijkstra_path, distance_cost, time_cost};
+    use cp_roadnet::{generate_city, CityParams};
+    use cp_traj::TimeOfDay;
+
+    fn setup() -> (cp_roadnet::City, Config) {
+        (generate_city(&CityParams::small(), 79).unwrap(), Config::default())
+    }
+
+    fn cand(source: SourceKind, path: Path) -> CandidateRoute {
+        CandidateRoute { source, path }
+    }
+
+    fn short(city: &cp_roadnet::City, a: u32, b: u32) -> Path {
+        dijkstra_path(&city.graph, NodeId(a), NodeId(b), distance_cost(&city.graph)).unwrap()
+    }
+
+    fn fast(city: &cp_roadnet::City, a: u32, b: u32) -> Path {
+        dijkstra_path(&city.graph, NodeId(a), NodeId(b), time_cost(&city.graph)).unwrap()
+    }
+
+    #[test]
+    fn identical_candidates_trigger_agreement() {
+        let (city, cfg) = setup();
+        let p = short(&city, 0, 59);
+        let cands = vec![
+            cand(SourceKind::ShortestWebService, p.clone()),
+            cand(SourceKind::Mpr, p.clone()),
+            cand(SourceKind::Mfp, p.clone()),
+        ];
+        match evaluate_candidates(&city.graph, &cands, &TruthStore::new(), NodeId(0), NodeId(59), &cfg) {
+            Evaluation::Agreement { path, supporters } => {
+                assert_eq!(path, p);
+                assert_eq!(supporters, 3);
+            }
+            other => panic!("expected agreement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_candidates_without_truths_are_undecided() {
+        let (city, cfg) = setup();
+        let a = short(&city, 0, 59);
+        let b = fast(&city, 0, 59);
+        if a == b {
+            return; // degenerate city; covered by other seeds
+        }
+        let cands = vec![
+            cand(SourceKind::ShortestWebService, a),
+            cand(SourceKind::FastestWebService, b),
+        ];
+        match evaluate_candidates(&city.graph, &cands, &TruthStore::new(), NodeId(0), NodeId(59), &cfg) {
+            Evaluation::Undecided { confidences } => {
+                assert_eq!(confidences.len(), 2);
+                assert!(confidences.iter().all(|&c| c == 0.0));
+            }
+            other => panic!("expected undecided, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matching_truth_gives_confident_verdict() {
+        let (city, cfg) = setup();
+        let a = short(&city, 0, 59);
+        let b = fast(&city, 0, 59);
+        if a == b {
+            return;
+        }
+        let mut truths = TruthStore::new();
+        truths.insert(TruthEntry {
+            from: NodeId(0),
+            to: NodeId(59),
+            departure: TimeOfDay::from_hours(9.0),
+            path: a.clone(),
+            confidence: 1.0,
+        });
+        let cands = vec![
+            cand(SourceKind::ShortestWebService, a.clone()),
+            cand(SourceKind::FastestWebService, b),
+        ];
+        match evaluate_candidates(&city.graph, &cands, &truths, NodeId(0), NodeId(59), &cfg) {
+            Evaluation::Confident { path, confidence } => {
+                assert_eq!(path, a);
+                assert!(confidence >= cfg.eta_confidence);
+            }
+            other => panic!("expected confident, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_candidates_are_undecided() {
+        let (city, cfg) = setup();
+        match evaluate_candidates(&city.graph, &[], &TruthStore::new(), NodeId(0), NodeId(1), &cfg) {
+            Evaluation::Undecided { confidences } => assert!(confidences.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quorum_threshold_matters() {
+        let (city, mut cfg) = setup();
+        let a = short(&city, 0, 59);
+        let b = fast(&city, 0, 59);
+        if a == b {
+            return;
+        }
+        // 2 identical + 2 different with quorum 0.75 → no agreement.
+        cfg.agreement_quorum = 0.75;
+        let cands = vec![
+            cand(SourceKind::ShortestWebService, a.clone()),
+            cand(SourceKind::Mpr, a.clone()),
+            cand(SourceKind::FastestWebService, b.clone()),
+            cand(SourceKind::Mfp, b.clone()),
+        ];
+        match evaluate_candidates(&city.graph, &cands, &TruthStore::new(), NodeId(0), NodeId(59), &cfg) {
+            Evaluation::Undecided { .. } => {}
+            other => panic!("expected undecided at quorum 0.75, got {other:?}"),
+        }
+        // Lower the quorum to 0.5 → agreement on one of the pairs.
+        cfg.agreement_quorum = 0.5;
+        match evaluate_candidates(&city.graph, &cands, &TruthStore::new(), NodeId(0), NodeId(59), &cfg) {
+            Evaluation::Agreement { supporters, .. } => assert_eq!(supporters, 2),
+            other => panic!("expected agreement at quorum 0.5, got {other:?}"),
+        }
+    }
+}

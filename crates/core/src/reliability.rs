@@ -1,0 +1,167 @@
+//! Source-quality control — the paper's stated future work.
+//!
+//! The conclusion names "quality control of popular route mining
+//! algorithms" as an open direction: the system sees, for every
+//! crowd-verified request, which sources proposed the verified route, so
+//! it can *learn* each source's reliability instead of trusting them
+//! equally. We maintain a Beta-Bernoulli posterior per source (successes =
+//! times the source's candidate matched the verified truth), seeded with a
+//! mild prior that encodes the paper's own finding (MFP strongest). The
+//! posterior mean orders sources whenever the machine must break a tie —
+//! most importantly in the fallback path when the crowd cannot verify.
+
+use cp_mining::SourceKind;
+
+/// Beta-Bernoulli reliability tracker per candidate source.
+#[derive(Debug, Clone)]
+pub struct SourceReliability {
+    /// `(successes + prior_alpha, failures + prior_beta)` per source,
+    /// indexed by [`SourceKind::ALL`] order.
+    counts: [(f64, f64); 5],
+}
+
+impl Default for SourceReliability {
+    fn default() -> Self {
+        Self::with_paper_prior()
+    }
+}
+
+impl SourceReliability {
+    /// Uniform prior: every source starts at Beta(1, 1).
+    pub fn uninformed() -> Self {
+        SourceReliability {
+            counts: [(1.0, 1.0); 5],
+        }
+    }
+
+    /// Prior encoding the paper's conclusion ordering (MFP strongest,
+    /// shortest-distance weakest). Equivalent to a handful of
+    /// pseudo-observations — quickly washed out by real verdicts.
+    pub fn with_paper_prior() -> Self {
+        let prior = |s: SourceKind| match s {
+            SourceKind::Mfp => (3.0, 1.0),
+            SourceKind::Ldr => (2.0, 1.5),
+            SourceKind::Mpr => (2.0, 2.0),
+            SourceKind::FastestWebService => (1.5, 2.0),
+            SourceKind::ShortestWebService => (1.0, 3.0),
+        };
+        let mut counts = [(0.0, 0.0); 5];
+        for (i, s) in SourceKind::ALL.iter().enumerate() {
+            counts[i] = prior(*s);
+        }
+        SourceReliability { counts }
+    }
+
+    fn idx(s: SourceKind) -> usize {
+        SourceKind::ALL
+            .iter()
+            .position(|&x| x == s)
+            .expect("all kinds listed")
+    }
+
+    /// Records the outcome of one verified request: `proposed_winner` is
+    /// whether this source's candidate matched the verified route.
+    pub fn record(&mut self, source: SourceKind, proposed_winner: bool) {
+        let c = &mut self.counts[Self::idx(source)];
+        if proposed_winner {
+            c.0 += 1.0;
+        } else {
+            c.1 += 1.0;
+        }
+    }
+
+    /// Posterior-mean reliability of a source, in `(0, 1)`.
+    pub fn score(&self, source: SourceKind) -> f64 {
+        let (a, b) = self.counts[Self::idx(source)];
+        a / (a + b)
+    }
+
+    /// Total real observations recorded for a source (excludes the prior
+    /// pseudo-counts relative to [`Self::with_paper_prior`]).
+    pub fn observations(&self, source: SourceKind) -> f64 {
+        let (a, b) = self.counts[Self::idx(source)];
+        let (pa, pb) = Self::with_paper_prior().counts[Self::idx(source)];
+        (a - pa) + (b - pb)
+    }
+
+    /// The best reliability among `sources` (used to rank a deduplicated
+    /// candidate proposed by several sources).
+    pub fn best_of(&self, sources: &[SourceKind]) -> f64 {
+        sources
+            .iter()
+            .map(|&s| self.score(s))
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Sources ranked by posterior reliability, best first.
+    pub fn ranking(&self) -> Vec<(SourceKind, f64)> {
+        let mut out: Vec<(SourceKind, f64)> = SourceKind::ALL
+            .iter()
+            .map(|&s| (s, self.score(s)))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_prior_orders_mfp_first() {
+        let r = SourceReliability::with_paper_prior();
+        let ranking = r.ranking();
+        assert_eq!(ranking[0].0, SourceKind::Mfp);
+        assert_eq!(ranking.last().unwrap().0, SourceKind::ShortestWebService);
+    }
+
+    #[test]
+    fn uninformed_prior_is_flat() {
+        let r = SourceReliability::uninformed();
+        for s in SourceKind::ALL {
+            assert!((r.score(s) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn evidence_overrides_the_prior() {
+        let mut r = SourceReliability::with_paper_prior();
+        // Shortest starts last; feed it 50 wins while MFP takes 50 losses.
+        for _ in 0..50 {
+            r.record(SourceKind::ShortestWebService, true);
+            r.record(SourceKind::Mfp, false);
+        }
+        assert!(r.score(SourceKind::ShortestWebService) > r.score(SourceKind::Mfp));
+        assert_eq!(r.ranking()[0].0, SourceKind::ShortestWebService);
+    }
+
+    #[test]
+    fn scores_stay_in_unit_interval() {
+        let mut r = SourceReliability::default();
+        for i in 0..200 {
+            r.record(SourceKind::Mpr, i % 3 == 0);
+        }
+        for s in SourceKind::ALL {
+            let v = r.score(s);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn observations_count_real_records_only() {
+        let mut r = SourceReliability::default();
+        assert_eq!(r.observations(SourceKind::Mfp), 0.0);
+        r.record(SourceKind::Mfp, true);
+        r.record(SourceKind::Mfp, false);
+        assert_eq!(r.observations(SourceKind::Mfp), 2.0);
+    }
+
+    #[test]
+    fn best_of_takes_the_max() {
+        let r = SourceReliability::with_paper_prior();
+        let both = [SourceKind::ShortestWebService, SourceKind::Mfp];
+        assert!((r.best_of(&both) - r.score(SourceKind::Mfp)).abs() < 1e-12);
+        assert_eq!(r.best_of(&[]), 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Worker rewarding (paper §II-B2, "rewarding component": "rewards the
+//! workers according to their workload and the quality of their answers").
+//!
+//! Each worker earns a base amount per answered question (workload) plus a
+//! bonus when their vote agreed with the final verified answer (quality).
+//! Points are credited to the platform balance and "can be used later when
+//! they request a route recommendation".
+
+use crate::config::Config;
+
+/// One worker's participation in a resolved task.
+#[derive(Debug, Clone, Copy)]
+pub struct Participation {
+    /// Questions the worker answered.
+    pub questions_answered: usize,
+    /// The candidate index the worker's answers voted for (None =
+    /// abstention / dead end).
+    pub voted_for: Option<usize>,
+}
+
+/// Computes the reward for one participation given the final winning
+/// candidate.
+pub fn reward_for(participation: &Participation, winner: Option<usize>, cfg: &Config) -> f64 {
+    let workload = participation.questions_answered as f64 * cfg.reward_per_question;
+    let quality = match (participation.voted_for, winner) {
+        (Some(v), Some(w)) if v == w => {
+            participation.questions_answered as f64
+                * cfg.reward_per_question
+                * cfg.reward_quality_bonus
+        }
+        _ => 0.0,
+    };
+    workload + quality
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            reward_per_question: 2.0,
+            reward_quality_bonus: 0.5,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn workload_only_when_vote_disagrees() {
+        let p = Participation {
+            questions_answered: 3,
+            voted_for: Some(1),
+        };
+        assert_eq!(reward_for(&p, Some(0), &cfg()), 6.0);
+    }
+
+    #[test]
+    fn quality_bonus_when_vote_agrees() {
+        let p = Participation {
+            questions_answered: 3,
+            voted_for: Some(0),
+        };
+        // 3*2 + 3*2*0.5 = 9
+        assert_eq!(reward_for(&p, Some(0), &cfg()), 9.0);
+    }
+
+    #[test]
+    fn abstention_earns_workload_only() {
+        let p = Participation {
+            questions_answered: 2,
+            voted_for: None,
+        };
+        assert_eq!(reward_for(&p, Some(0), &cfg()), 4.0);
+        assert_eq!(reward_for(&p, None, &cfg()), 4.0);
+    }
+
+    #[test]
+    fn zero_questions_zero_reward() {
+        let p = Participation {
+            questions_answered: 0,
+            voted_for: Some(0),
+        };
+        assert_eq!(reward_for(&p, Some(0), &cfg()), 0.0);
+    }
+}

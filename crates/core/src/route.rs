@@ -1,0 +1,198 @@
+//! Landmark-based routes (paper Definition 3) and candidate sets.
+
+use cp_roadnet::{LandmarkId, LandmarkSet, Path, RoadGraph};
+use cp_traj::{calibrate_path, CalibrationParams};
+
+/// A route rewritten as a finite sequence of landmarks,
+/// `R̄ = {l1, l2, …, ln}` (paper Definition 3). Keeps both the travel-order
+/// sequence and a sorted membership index for set operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LandmarkRoute {
+    sequence: Vec<LandmarkId>,
+    sorted: Vec<LandmarkId>,
+}
+
+impl LandmarkRoute {
+    /// Builds from a travel-ordered landmark sequence (duplicates removed,
+    /// first occurrence kept).
+    pub fn new(sequence: Vec<LandmarkId>) -> Self {
+        let mut seen = std::collections::HashSet::with_capacity(sequence.len());
+        let sequence: Vec<LandmarkId> =
+            sequence.into_iter().filter(|l| seen.insert(*l)).collect();
+        let mut sorted = sequence.clone();
+        sorted.sort_unstable();
+        LandmarkRoute { sequence, sorted }
+    }
+
+    /// Calibrates a road path into a landmark route (paper's anchor-based
+    /// calibration step).
+    pub fn from_path(
+        graph: &RoadGraph,
+        landmarks: &LandmarkSet,
+        path: &Path,
+        params: &CalibrationParams,
+    ) -> Self {
+        LandmarkRoute::new(calibrate_path(graph, landmarks, path, params))
+    }
+
+    /// Travel-ordered landmark sequence.
+    pub fn sequence(&self) -> &[LandmarkId] {
+        &self.sequence
+    }
+
+    /// Number of landmarks.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// Whether the route passes no landmarks.
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+
+    /// Whether the route passes `l`.
+    pub fn contains(&self, l: LandmarkId) -> bool {
+        self.sorted.binary_search(&l).is_ok()
+    }
+
+    /// Whether two landmark routes have the same landmark *set*
+    /// (sequence order ignored) — the condition under which no landmark
+    /// set can discriminate them (Definition 4).
+    pub fn same_landmark_set(&self, other: &LandmarkRoute) -> bool {
+        self.sorted == other.sorted
+    }
+
+    /// Sorted landmark membership.
+    pub fn sorted_landmarks(&self) -> &[LandmarkId] {
+        &self.sorted
+    }
+}
+
+/// Checks Definition 4: `selection` is discriminative to `routes` if every
+/// pair of routes has different intersections with the selection.
+pub fn is_discriminative(routes: &[LandmarkRoute], selection: &[LandmarkId]) -> bool {
+    let project = |r: &LandmarkRoute| -> Vec<LandmarkId> {
+        let mut v: Vec<LandmarkId> = selection
+            .iter()
+            .copied()
+            .filter(|&l| r.contains(l))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let projections: Vec<Vec<LandmarkId>> = routes.iter().map(project).collect();
+    for i in 0..projections.len() {
+        for j in i + 1..projections.len() {
+            if projections[i] == projections[j] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks Definition 5: `selection` is *simplest* discriminative if it is
+/// discriminative and removing any single landmark breaks that.
+pub fn is_simplest_discriminative(routes: &[LandmarkRoute], selection: &[LandmarkId]) -> bool {
+    if !is_discriminative(routes, selection) {
+        return false;
+    }
+    for skip in 0..selection.len() {
+        let reduced: Vec<LandmarkId> = selection
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != skip)
+            .map(|(_, &l)| l)
+            .collect();
+        if is_discriminative(routes, &reduced) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lm(i: u32) -> LandmarkId {
+        LandmarkId(i)
+    }
+
+    fn paper_example() -> Vec<LandmarkRoute> {
+        // R1 = {l1, l2, l3}, R2 = {l1, l2, l4} from paper §II-A.
+        vec![
+            LandmarkRoute::new(vec![lm(1), lm(2), lm(3)]),
+            LandmarkRoute::new(vec![lm(1), lm(2), lm(4)]),
+        ]
+    }
+
+    #[test]
+    fn paper_definition_examples_hold() {
+        let routes = paper_example();
+        // L1 = {l3, l4} is discriminative.
+        assert!(is_discriminative(&routes, &[lm(3), lm(4)]));
+        // L2 = {l1, l2} is not.
+        assert!(!is_discriminative(&routes, &[lm(1), lm(2)]));
+        // L1 is not simplest ({l3} alone suffices).
+        assert!(!is_simplest_discriminative(&routes, &[lm(3), lm(4)]));
+        // L3 = {l3} and L4 = {l4} are simplest discriminative.
+        assert!(is_simplest_discriminative(&routes, &[lm(3)]));
+        assert!(is_simplest_discriminative(&routes, &[lm(4)]));
+    }
+
+    #[test]
+    fn duplicates_are_removed_on_construction() {
+        let r = LandmarkRoute::new(vec![lm(1), lm(2), lm(1), lm(3), lm(2)]);
+        assert_eq!(r.sequence(), &[lm(1), lm(2), lm(3)]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn contains_uses_set_membership() {
+        let r = LandmarkRoute::new(vec![lm(5), lm(1), lm(9)]);
+        assert!(r.contains(lm(9)));
+        assert!(!r.contains(lm(2)));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn same_landmark_set_ignores_order() {
+        let a = LandmarkRoute::new(vec![lm(1), lm(2), lm(3)]);
+        let b = LandmarkRoute::new(vec![lm(3), lm(1), lm(2)]);
+        let c = LandmarkRoute::new(vec![lm(1), lm(2)]);
+        assert!(a.same_landmark_set(&b));
+        assert!(!a.same_landmark_set(&c));
+    }
+
+    #[test]
+    fn empty_selection_never_discriminates_multiple_routes() {
+        let routes = paper_example();
+        assert!(!is_discriminative(&routes, &[]));
+        // …but trivially discriminates a single route.
+        assert!(is_discriminative(&routes[..1], &[]));
+    }
+
+    #[test]
+    fn identical_routes_cannot_be_discriminated() {
+        let routes = vec![
+            LandmarkRoute::new(vec![lm(1), lm(2)]),
+            LandmarkRoute::new(vec![lm(2), lm(1)]),
+        ];
+        assert!(!is_discriminative(&routes, &[lm(1), lm(2)]));
+    }
+
+    #[test]
+    fn three_route_discrimination() {
+        let routes = vec![
+            LandmarkRoute::new(vec![lm(1), lm(2)]),
+            LandmarkRoute::new(vec![lm(1), lm(3)]),
+            LandmarkRoute::new(vec![lm(2), lm(3)]),
+        ];
+        // {l1, l2}: projections {1,2}, {1}, {2} — all different.
+        assert!(is_discriminative(&routes, &[lm(1), lm(2)]));
+        // {l1}: projections {1},{1},{} — routes 0,1 collide.
+        assert!(!is_discriminative(&routes, &[lm(1)]));
+        assert!(is_simplest_discriminative(&routes, &[lm(1), lm(2)]));
+    }
+}

@@ -1,0 +1,709 @@
+//! The CrowdPlanner system orchestrator (paper §II-B, "control logic
+//! component").
+//!
+//! Request lifecycle, exactly as in Fig. 1 of the paper:
+//!
+//! 1. **reuse truth** — if a verified truth covers the request, return it;
+//! 2. **generate routes** — collect candidates from the five sources;
+//! 3. **evaluate routes** — agreement / truth-derived confidence; if the
+//!    machine can decide, record a truth and return;
+//! 4. **crowd** — generate a task (landmark selection + ID3 ordering),
+//!    select the top-k eligible workers, collect answers with early stop,
+//!    reward workers, record the verified truth, and return.
+//!
+//! The crowd's collective knowledge enters through an *oracle* closure
+//! supplied per request: `oracle(l)` is the true answer to "does the best
+//! route pass landmark l?". In the full simulation the oracle is derived
+//! from the consensus driver preference — the system itself never sees it
+//! except through noisy worker answers.
+
+use crate::config::Config;
+use crate::early_stop::{EarlyStop, StopDecision};
+use crate::error::CoreError;
+use crate::evaluation::{evaluate_candidates, Evaluation};
+use crate::reliability::SourceReliability;
+use crate::reward::{reward_for, Participation};
+use crate::route::LandmarkRoute;
+use crate::taskgen::{generate_task, SelectionAlgorithm, Task};
+use crate::truth::{TruthEntry, TruthStore};
+use crate::worker_selection::{select_workers_scored, KnowledgeModel};
+use cp_crowd::Platform;
+use cp_mining::{distinct_candidates, CandidateGenerator, SourceKind};
+use cp_roadnet::{LandmarkId, LandmarkSet, NodeId, Path, RoadGraph};
+use cp_traj::{CalibrationParams, TimeOfDay, Trip};
+
+/// How a request was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// Served from the truth store.
+    ReusedTruth,
+    /// Sources agreed; no crowd needed.
+    Agreement,
+    /// Truth-derived confidence cleared η; no crowd needed.
+    Confident,
+    /// Crowd-verified.
+    Crowd,
+    /// Crowd was needed but could not verify (no eligible workers /
+    /// no usable votes); fell back to the best machine guess.
+    Fallback,
+}
+
+/// A resolved recommendation.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The recommended route.
+    pub path: Path,
+    /// How it was resolved.
+    pub resolution: Resolution,
+    /// Total questions answered by all workers for this request.
+    pub questions_asked: usize,
+    /// Workers who participated.
+    pub workers_asked: usize,
+    /// Confidence of the answer (1.0 for reuse hits and agreements).
+    pub confidence: f64,
+}
+
+/// Running system statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SystemStats {
+    /// Requests served.
+    pub requests: usize,
+    /// Truth-store hits.
+    pub reuse_hits: usize,
+    /// Machine agreements.
+    pub agreements: usize,
+    /// Machine confidence wins.
+    pub confident: usize,
+    /// Crowd verifications.
+    pub crowd_tasks: usize,
+    /// Crowd tasks launched (including ones that ended in fallback).
+    pub crowd_attempts: usize,
+    /// Fallbacks.
+    pub fallbacks: usize,
+    /// Total questions asked across all crowd tasks.
+    pub total_questions: usize,
+    /// Total worker participations.
+    pub total_workers: usize,
+}
+
+/// The CrowdPlanner server.
+pub struct CrowdPlanner<'a> {
+    graph: &'a RoadGraph,
+    landmarks: &'a LandmarkSet,
+    significance: Vec<f64>,
+    generator: CandidateGenerator<'a>,
+    platform: Platform,
+    truths: TruthStore,
+    knowledge: Option<KnowledgeModel>,
+    cfg: Config,
+    calibration: CalibrationParams,
+    /// Landmark-selection algorithm used for task generation.
+    pub selection_algorithm: SelectionAlgorithm,
+    reliability: SourceReliability,
+    stats: SystemStats,
+}
+
+impl<'a> CrowdPlanner<'a> {
+    /// Builds the server.
+    ///
+    /// `significance` must have one entry per landmark (the HITS-inferred
+    /// `l.s` scores).
+    pub fn new(
+        graph: &'a RoadGraph,
+        landmarks: &'a LandmarkSet,
+        significance: Vec<f64>,
+        trips: &'a [Trip],
+        platform: Platform,
+        cfg: Config,
+    ) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        if significance.len() != landmarks.len() {
+            return Err(CoreError::SignificanceLengthMismatch {
+                expected: landmarks.len(),
+                actual: significance.len(),
+            });
+        }
+        Ok(CrowdPlanner {
+            graph,
+            landmarks,
+            significance,
+            generator: CandidateGenerator::new(graph, trips),
+            platform,
+            truths: TruthStore::new(),
+            knowledge: None,
+            cfg,
+            calibration: CalibrationParams::default(),
+            selection_algorithm: SelectionAlgorithm::Greedy,
+            reliability: SourceReliability::default(),
+            stats: SystemStats::default(),
+        })
+    }
+
+    /// System statistics so far.
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// The truth store (read access for experiments).
+    pub fn truths(&self) -> &TruthStore {
+        &self.truths
+    }
+
+    /// The crowd platform (read access for experiments).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// The candidate generator.
+    pub fn candidate_generator(&self) -> &CandidateGenerator<'a> {
+        &self.generator
+    }
+
+    /// Inferred significance of a landmark.
+    pub fn significance_of(&self, l: LandmarkId) -> f64 {
+        self.significance[l.index()]
+    }
+
+    /// Learned per-source reliability (paper future work: "quality control
+    /// of popular route mining algorithms").
+    pub fn source_reliability(&self) -> &SourceReliability {
+        &self.reliability
+    }
+
+    /// Lazily (re)builds the worker-knowledge model. Invalidated whenever
+    /// new answers arrive (crowd tasks).
+    pub fn knowledge_model(&mut self) -> &KnowledgeModel {
+        if self.knowledge.is_none() {
+            self.knowledge = Some(KnowledgeModel::build(
+                &self.platform,
+                self.landmarks,
+                &self.cfg,
+            ));
+        }
+        self.knowledge.as_ref().expect("just built")
+    }
+
+    /// Handles one route request. `oracle(l)` must answer "does the best
+    /// route pass landmark l?" — the latent crowd knowledge the workers
+    /// noisily report.
+    pub fn handle_request(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+        oracle: &dyn Fn(LandmarkId) -> bool,
+    ) -> Result<Recommendation, CoreError> {
+        self.stats.requests += 1;
+
+        // Step 1: reuse truth.
+        if let Some(hit) = self.truths.lookup(self.graph, from, to, departure, &self.cfg) {
+            self.stats.reuse_hits += 1;
+            return Ok(Recommendation {
+                path: hit.path.clone(),
+                resolution: Resolution::ReusedTruth,
+                questions_asked: 0,
+                workers_asked: 0,
+                confidence: hit.confidence,
+            });
+        }
+
+        // Step 2: generate candidates.
+        let candidates = self.generator.candidates(from, to, departure);
+        if candidates.is_empty() {
+            return Err(CoreError::NoCandidates);
+        }
+
+        // Step 3: machine evaluation.
+        let confidences = match evaluate_candidates(
+            self.graph,
+            &candidates,
+            &self.truths,
+            from,
+            to,
+            &self.cfg,
+        ) {
+            Evaluation::Agreement { path, supporters } => {
+                self.stats.agreements += 1;
+                self.truths.insert(TruthEntry {
+                    from,
+                    to,
+                    departure,
+                    path: path.clone(),
+                    confidence: 1.0,
+                });
+                return Ok(Recommendation {
+                    path,
+                    resolution: Resolution::Agreement,
+                    questions_asked: 0,
+                    workers_asked: 0,
+                    confidence: supporters as f64 / candidates.len() as f64,
+                });
+            }
+            Evaluation::Confident { path, confidence } => {
+                self.stats.confident += 1;
+                self.truths.insert(TruthEntry {
+                    from,
+                    to,
+                    departure,
+                    path: path.clone(),
+                    confidence,
+                });
+                return Ok(Recommendation {
+                    path,
+                    resolution: Resolution::Confident,
+                    questions_asked: 0,
+                    workers_asked: 0,
+                    confidence,
+                });
+            }
+            Evaluation::Undecided { confidences } => confidences,
+        };
+
+        // Step 4: crowd.
+        self.crowd_resolve(from, to, departure, candidates, confidences, oracle)
+    }
+
+    /// The CR module: task generation, worker selection, answer
+    /// collection with early stop, rewarding, truth recording.
+    #[allow(clippy::too_many_arguments)]
+    fn crowd_resolve(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+        candidates: Vec<cp_mining::CandidateRoute>,
+        confidences: Vec<f64>,
+        oracle: &dyn Fn(LandmarkId) -> bool,
+    ) -> Result<Recommendation, CoreError> {
+        // Deduplicate identical paths, merging their sources; carry the
+        // best machine confidence per distinct path as the ID3 prior.
+        let distinct = distinct_candidates(&candidates);
+        let mut paths: Vec<Path> = Vec::new();
+        let mut sources: Vec<Vec<SourceKind>> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        for (path, srcs) in distinct {
+            let conf = candidates
+                .iter()
+                .zip(confidences.iter())
+                .filter(|(c, _)| c.path == path)
+                .map(|(_, &w)| w)
+                .fold(0.0f64, f64::max);
+            paths.push(path);
+            sources.push(srcs);
+            weights.push(0.1 + conf); // smoothed prior
+        }
+
+        // Calibrate to landmark routes; merge candidates whose landmark
+        // sets coincide (they are indistinguishable to workers).
+        let mut routes: Vec<LandmarkRoute> = Vec::new();
+        let mut kept: Vec<usize> = Vec::new();
+        for (i, p) in paths.iter().enumerate() {
+            let lr = LandmarkRoute::from_path(self.graph, self.landmarks, p, &self.calibration);
+            if routes.iter().all(|r| !r.same_landmark_set(&lr)) {
+                routes.push(lr);
+                kept.push(i);
+            }
+        }
+
+        // Learned source reliability breaks confidence ties: the system's
+        // Beta posterior starts from the paper's finding (MFP strongest)
+        // and adapts to every crowd verdict it observes.
+        let reliability: Vec<f64> = sources
+            .iter()
+            .map(|srcs| self.reliability.best_of(srcs))
+            .collect();
+        let fallback = |this: &mut Self, stats_fallback: bool| {
+            // Highest machine confidence; ties broken by learned
+            // reliability.
+            let best = (0..paths.len())
+                .max_by(|&a, &b| {
+                    weights[a]
+                        .partial_cmp(&weights[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| {
+                            reliability[a]
+                                .partial_cmp(&reliability[b])
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                })
+                .unwrap_or(0);
+            if stats_fallback {
+                this.stats.fallbacks += 1;
+            }
+            paths[best].clone()
+        };
+
+        if routes.len() < 2 {
+            // Everything calibrates to one landmark route: the crowd cannot
+            // distinguish candidates; return the best machine guess.
+            let path = fallback(self, true);
+            self.truths.insert(TruthEntry {
+                from,
+                to,
+                departure,
+                path: path.clone(),
+                confidence: self.cfg.eta_confidence * 0.5,
+            });
+            return Ok(Recommendation {
+                path,
+                resolution: Resolution::Fallback,
+                questions_asked: 0,
+                workers_asked: 0,
+                confidence: self.cfg.eta_confidence * 0.5,
+            });
+        }
+
+        let kept_weights: Vec<f64> = kept.iter().map(|&i| weights[i]).collect();
+        let task: Task = generate_task(
+            routes,
+            &self.significance,
+            self.selection_algorithm,
+            self.cfg.selection_budget,
+            Some(&kept_weights),
+        )?;
+        let question_landmarks: Vec<LandmarkId> =
+            task.questions.iter().map(|&(l, _)| l).collect();
+
+        // Worker selection.
+        self.knowledge_model();
+        let knowledge = self.knowledge.as_ref().expect("built above");
+        let workers = match select_workers_scored(
+            &self.platform,
+            knowledge,
+            &question_landmarks,
+            &self.cfg,
+        ) {
+            Ok(w) => w,
+            Err(CoreError::NoEligibleWorkers) => {
+                let path = fallback(self, true);
+                self.truths.insert(TruthEntry {
+                    from,
+                    to,
+                    departure,
+                    path: path.clone(),
+                    confidence: self.cfg.eta_confidence * 0.5,
+                });
+                return Ok(Recommendation {
+                    path,
+                    resolution: Resolution::Fallback,
+                    questions_asked: 0,
+                    workers_asked: 0,
+                    confidence: self.cfg.eta_confidence * 0.5,
+                });
+            }
+            Err(e) => return Err(e),
+        };
+
+        // Answer collection with early stop.
+        self.stats.crowd_attempts += 1;
+        let mut aggregator = EarlyStop::new(task.routes.len());
+        let mut participations: Vec<(cp_crowd::WorkerId, Participation)> = Vec::new();
+        let mut questions_total = 0usize;
+        // Normalise preference scores into vote weights with mean ~1.
+        let score_sum: f64 = workers.iter().map(|&(_, s)| s).sum();
+        let weight_of = |s: f64| {
+            if score_sum > 0.0 {
+                (s * workers.len() as f64 / score_sum).max(0.1)
+            } else {
+                1.0
+            }
+        };
+        for &(w, score) in &workers {
+            self.platform.assign(w);
+            let mut elapsed = 0.0f64;
+            let mut answered = 0usize;
+            let deadline = self.cfg.task_deadline;
+            let platform = &mut self.platform;
+            let landmarks = self.landmarks;
+            let (vote, asked) = task.tree.walk_answers(|l| {
+                let lm = landmarks.get(l);
+                let truth = oracle(l);
+                let (answer, rt) = platform.ask(w, lm, truth);
+                elapsed += rt;
+                answered += 1;
+                answer
+            });
+            let on_time = elapsed <= deadline;
+            questions_total += asked.len();
+            let vote = if on_time { vote } else { None };
+            participations.push((
+                w,
+                Participation {
+                    questions_answered: asked.len(),
+                    voted_for: vote,
+                },
+            ));
+            aggregator.record_weighted(vote, weight_of(score));
+            if let StopDecision::Stop { .. } = aggregator.decision(&self.cfg) {
+                break;
+            }
+        }
+
+        // Verdict: an early stop is decisive by construction; otherwise the
+        // final leader must clear the verdict floor, else the crowd could
+        // not verify and the machine's best guess stands.
+        let verdict = match aggregator.decision(&self.cfg) {
+            StopDecision::Stop { winner, confidence } => Some((winner, confidence)),
+            StopDecision::Continue => aggregator
+                .final_verdict()
+                .filter(|&(_, c)| c >= self.cfg.verdict_floor),
+        };
+
+        // Rewards + bookkeeping.
+        let winner_idx = verdict.map(|(w, _)| w);
+        for (w, p) in &participations {
+            let pts = reward_for(p, winner_idx, &self.cfg);
+            self.platform.award(*w, pts);
+            self.platform.finish(*w);
+        }
+        self.knowledge = None; // new answers: invalidate the model
+
+        let workers_asked = participations.len();
+        match verdict {
+            Some((winner, confidence)) => {
+                self.stats.crowd_tasks += 1;
+                self.stats.total_questions += questions_total;
+                self.stats.total_workers += workers_asked;
+                let path = paths[kept[winner]].clone();
+                // Source-quality control: every source that proposed the
+                // verified route scores a success; the others a failure.
+                for (i, srcs) in sources.iter().enumerate() {
+                    let won = paths[i] == path;
+                    for &s in srcs {
+                        self.reliability.record(s, won);
+                    }
+                }
+                self.truths.insert(TruthEntry {
+                    from,
+                    to,
+                    departure,
+                    path: path.clone(),
+                    confidence: 1.0,
+                });
+                Ok(Recommendation {
+                    path,
+                    resolution: Resolution::Crowd,
+                    questions_asked: questions_total,
+                    workers_asked,
+                    confidence,
+                })
+            }
+            None => {
+                let path = fallback(self, true);
+                self.stats.total_questions += questions_total;
+                self.stats.total_workers += workers_asked;
+                self.truths.insert(TruthEntry {
+                    from,
+                    to,
+                    departure,
+                    path: path.clone(),
+                    confidence: self.cfg.eta_confidence * 0.5,
+                });
+                Ok(Recommendation {
+                    path,
+                    resolution: Resolution::Fallback,
+                    questions_asked: questions_total,
+                    workers_asked,
+                    confidence: self.cfg.eta_confidence * 0.5,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_crowd::{AnswerModel, PopulationParams, WorkerPopulation};
+    use cp_roadnet::{
+        generate_city, generate_landmarks, CityParams, LandmarkGenParams,
+    };
+    use cp_traj::{
+        calibrate_path, generate_checkins, generate_trips, infer_significance,
+        CheckInGenParams, DriverPreference, SignificanceParams, TripGenParams,
+    };
+
+    struct World {
+        city: cp_roadnet::City,
+        landmarks: cp_roadnet::LandmarkSet,
+        significance: Vec<f64>,
+        trips: cp_traj::TripDataset,
+    }
+
+    fn world(seed: u64) -> World {
+        let city = generate_city(&CityParams::small(), seed).unwrap();
+        let landmarks =
+            generate_landmarks(&city.graph, &LandmarkGenParams::default(), seed);
+        let trips = generate_trips(&city.graph, &TripGenParams::default(), seed).unwrap();
+        let checkins =
+            generate_checkins(&city.graph, &landmarks, &CheckInGenParams::default(), seed);
+        let significance = infer_significance(
+            &city.graph,
+            &landmarks,
+            &checkins,
+            &trips,
+            &CalibrationParams::default(),
+            &SignificanceParams::default(),
+        );
+        World {
+            city,
+            landmarks,
+            significance,
+            trips,
+        }
+    }
+
+    fn planner<'a>(w: &'a World, seed: u64) -> CrowdPlanner<'a> {
+        let pop = WorkerPopulation::generate(&w.city.graph, &PopulationParams::default(), seed);
+        let mut platform = Platform::new(pop, AnswerModel::default(), seed);
+        platform.warm_up(&w.landmarks, 10);
+        CrowdPlanner::new(
+            &w.city.graph,
+            &w.landmarks,
+            w.significance.clone(),
+            &w.trips.trips,
+            platform,
+            Config::default(),
+        )
+        .unwrap()
+    }
+
+    /// Oracle derived from the consensus route.
+    fn oracle_for(
+        w: &World,
+        from: NodeId,
+        to: NodeId,
+    ) -> impl Fn(LandmarkId) -> bool + '_ {
+        let consensus = DriverPreference::consensus()
+            .preferred_route(&w.city.graph, from, to)
+            .unwrap();
+        let on_route: std::collections::HashSet<LandmarkId> = calibrate_path(
+            &w.city.graph,
+            &w.landmarks,
+            &consensus,
+            &CalibrationParams::default(),
+        )
+        .into_iter()
+        .collect();
+        move |l| on_route.contains(&l)
+    }
+
+    #[test]
+    fn request_resolves_end_to_end() {
+        let w = world(83);
+        let mut cp = planner(&w, 83);
+        let oracle = oracle_for(&w, NodeId(0), NodeId(59));
+        let rec = cp
+            .handle_request(NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0), &oracle)
+            .unwrap();
+        assert_eq!(rec.path.source(), NodeId(0));
+        assert_eq!(rec.path.destination(), NodeId(59));
+        assert_eq!(cp.stats().requests, 1);
+        assert_eq!(cp.truths().len(), 1, "resolution must record a truth");
+    }
+
+    #[test]
+    fn second_identical_request_reuses_truth() {
+        let w = world(89);
+        let mut cp = planner(&w, 89);
+        let oracle = oracle_for(&w, NodeId(0), NodeId(59));
+        let t = TimeOfDay::from_hours(9.0);
+        let first = cp.handle_request(NodeId(0), NodeId(59), t, &oracle).unwrap();
+        let second = cp.handle_request(NodeId(0), NodeId(59), t, &oracle).unwrap();
+        assert_eq!(second.resolution, Resolution::ReusedTruth);
+        assert_eq!(second.path, first.path);
+        assert_eq!(cp.stats().reuse_hits, 1);
+        assert_eq!(second.questions_asked, 0);
+    }
+
+    #[test]
+    fn crowd_path_exercised_on_contested_requests() {
+        // Across a spread of requests at least one should reach the crowd
+        // (or agreement) — and stats must be internally consistent.
+        let w = world(97);
+        let mut cp = planner(&w, 97);
+        let pairs = [(0u32, 59u32), (9, 50), (5, 54), (20, 39), (3, 48)];
+        for (a, b) in pairs {
+            let oracle = oracle_for(&w, NodeId(a), NodeId(b));
+            cp.handle_request(NodeId(a), NodeId(b), TimeOfDay::from_hours(8.0), &oracle)
+                .unwrap();
+        }
+        let s = cp.stats();
+        assert_eq!(s.requests, 5);
+        assert_eq!(
+            s.reuse_hits + s.agreements + s.confident + s.crowd_tasks + s.fallbacks,
+            5
+        );
+        assert!(
+            s.crowd_tasks + s.agreements + s.confident > 0,
+            "no request was resolved at all?"
+        );
+    }
+
+    #[test]
+    fn crowd_resolution_rewards_workers() {
+        let w = world(101);
+        // Force the crowd by making machine evaluation impossible to pass.
+        let mut cfg = Config::default();
+        cfg.agreement_similarity = 1.0; // only exact path equality agrees
+        cfg.agreement_quorum = 1.0; // all sources must agree
+        cfg.eta_confidence = 1.0; // machine confidence can never clear it
+        let pop =
+            WorkerPopulation::generate(&w.city.graph, &PopulationParams::default(), 101);
+        let mut platform = Platform::new(pop, AnswerModel::default(), 101);
+        platform.warm_up(&w.landmarks, 10);
+        let mut cp = CrowdPlanner::new(
+            &w.city.graph,
+            &w.landmarks,
+            w.significance.clone(),
+            &w.trips.trips,
+            platform,
+            cfg,
+        )
+        .unwrap();
+        let oracle = oracle_for(&w, NodeId(0), NodeId(59));
+        let rec = cp
+            .handle_request(NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0), &oracle)
+            .unwrap();
+        assert!(matches!(
+            rec.resolution,
+            Resolution::Crowd | Resolution::Fallback
+        ));
+        if rec.resolution == Resolution::Crowd {
+            assert!(rec.workers_asked > 0);
+            assert!(rec.questions_asked > 0);
+            // Some worker earned points.
+            let earned: f64 = cp
+                .platform()
+                .population()
+                .ids()
+                .map(|w| cp.platform().points(w))
+                .sum();
+            assert!(earned > 0.0);
+        }
+    }
+
+    #[test]
+    fn bad_significance_length_rejected() {
+        let w = world(103);
+        let pop =
+            WorkerPopulation::generate(&w.city.graph, &PopulationParams::default(), 103);
+        let platform = Platform::new(pop, AnswerModel::default(), 103);
+        assert!(matches!(
+            CrowdPlanner::new(
+                &w.city.graph,
+                &w.landmarks,
+                vec![0.5; 3],
+                &w.trips.trips,
+                platform,
+                Config::default(),
+            ),
+            Err(CoreError::SignificanceLengthMismatch { .. })
+        ));
+    }
+}

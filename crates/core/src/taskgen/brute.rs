@@ -1,0 +1,156 @@
+//! Exhaustive landmark selection — the baseline the paper calls
+//! "impractical" ("the time cost grows exponentially with the size of the
+//! landmark set"). Kept as the ground-truth optimum for correctness tests
+//! and for experiment E2's runtime comparison.
+
+use crate::error::CoreError;
+use crate::taskgen::problem::{Selection, SelectionProblem};
+
+/// Enumerates every subset of beneficial landmarks of size ≤ k_max and
+/// returns the discriminative one with the highest objective value.
+///
+/// `budget` caps the number of visited subsets; on exhaustion the best
+/// selection found so far is returned (and the search is truncated — the
+/// result may then be suboptimal, mirroring how one would bound the
+/// baseline in practice). Pass `usize::MAX` for a true optimum.
+pub fn brute_force_select(
+    problem: &SelectionProblem,
+    budget: usize,
+) -> Result<Selection, CoreError> {
+    let m = problem.items().len();
+    let k_max = problem.k_max();
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut visited = 0usize;
+    let mut stack: Vec<usize> = Vec::with_capacity(k_max);
+
+    fn recurse(
+        problem: &SelectionProblem,
+        start: usize,
+        cover: u128,
+        sum: f64,
+        stack: &mut Vec<usize>,
+        best: &mut Option<(f64, Vec<usize>)>,
+        visited: &mut usize,
+        budget: usize,
+    ) {
+        if *visited >= budget {
+            return;
+        }
+        *visited += 1;
+        if cover == problem.full_cover() && !stack.is_empty() {
+            let value = sum / stack.len() as f64;
+            if best.as_ref().is_none_or(|(v, _)| value > *v) {
+                *best = Some((value, stack.clone()));
+            }
+            // Supersets of a discriminative set remain discriminative but we
+            // still enumerate them: a higher-significance superset can win
+            // on the mean. (This is what makes brute force exponential.)
+        }
+        if stack.len() == problem.k_max() {
+            return;
+        }
+        for i in start..problem.items().len() {
+            stack.push(i);
+            recurse(
+                problem,
+                i + 1,
+                cover | problem.items()[i].cover,
+                sum + problem.items()[i].significance,
+                stack,
+                best,
+                visited,
+                budget,
+            );
+            stack.pop();
+            if *visited >= budget {
+                return;
+            }
+        }
+    }
+
+    recurse(
+        problem, 0, 0, 0.0, &mut stack, &mut best, &mut visited, budget,
+    );
+    let _ = m;
+    match best {
+        Some((_, indices)) => Ok(problem.selection_from(indices)),
+        None => Err(CoreError::NoDiscriminativeSet),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{is_discriminative, LandmarkRoute};
+    use cp_roadnet::LandmarkId;
+
+    fn lm(i: u32) -> LandmarkId {
+        LandmarkId(i)
+    }
+
+    fn problem() -> SelectionProblem {
+        let routes = vec![
+            LandmarkRoute::new(vec![lm(0), lm(1), lm(2)]),
+            LandmarkRoute::new(vec![lm(0), lm(3), lm(2)]),
+            LandmarkRoute::new(vec![lm(0), lm(1), lm(4)]),
+        ];
+        SelectionProblem::prepare(&routes, &[0.9, 0.7, 0.5, 0.8, 0.3]).unwrap()
+    }
+
+    #[test]
+    fn finds_a_discriminative_optimum() {
+        let p = problem();
+        let sel = brute_force_select(&p, usize::MAX).unwrap();
+        let routes = vec![
+            LandmarkRoute::new(vec![lm(0), lm(1), lm(2)]),
+            LandmarkRoute::new(vec![lm(0), lm(3), lm(2)]),
+            LandmarkRoute::new(vec![lm(0), lm(1), lm(4)]),
+        ];
+        assert!(is_discriminative(&routes, &sel.landmarks));
+        assert!(sel.value > 0.0);
+        assert!(sel.landmarks.len() >= p.k_min());
+        assert!(sel.landmarks.len() <= p.k_max());
+    }
+
+    #[test]
+    fn optimum_beats_every_manual_candidate() {
+        let p = problem();
+        let sel = brute_force_select(&p, usize::MAX).unwrap();
+        // Enumerate all subsets manually (independent implementation) and
+        // verify none beats the reported optimum.
+        let m = p.items().len();
+        for mask in 1u32..(1 << m) {
+            let indices: Vec<usize> = (0..m).filter(|&i| mask & (1 << i) != 0).collect();
+            if indices.len() > p.k_max() || !p.covers(&indices) {
+                continue;
+            }
+            assert!(
+                p.value_of(&indices) <= sel.value + 1e-12,
+                "subset {indices:?} beats reported optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_zero_finds_nothing() {
+        let p = problem();
+        assert!(matches!(
+            brute_force_select(&p, 0),
+            Err(CoreError::NoDiscriminativeSet)
+        ));
+    }
+
+    #[test]
+    fn two_route_instance_picks_single_best_separator() {
+        // Routes differ in {l1(0.9), l2(0.2)}; the best single separator is
+        // l1 and mean significance of {l1} = 0.9 beats any pair.
+        let routes = vec![
+            LandmarkRoute::new(vec![lm(0), lm(1)]),
+            LandmarkRoute::new(vec![lm(0), lm(2)]),
+        ];
+        let p = SelectionProblem::prepare(&routes, &[0.5, 0.9, 0.2]).unwrap();
+        let sel = brute_force_select(&p, usize::MAX).unwrap();
+        assert_eq!(sel.landmarks, vec![lm(1)]);
+        assert!((sel.value - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,199 @@
+//! Task generation (paper §III): landmark selection + question ordering.
+//!
+//! The end-to-end flow implemented by [`generate_task`]:
+//!
+//! 1. calibrate each candidate road route into a landmark-based route;
+//! 2. solve the landmark-selection optimisation (small, significant,
+//!    discriminative) with the configured algorithm;
+//! 3. order the selected questions into an ID3 decision tree minimising the
+//!    expected number of questions.
+
+pub mod brute;
+pub mod greedy;
+pub mod ils;
+pub mod ordering;
+pub mod problem;
+
+pub use brute::brute_force_select;
+pub use greedy::greedy_select;
+pub use ils::ils_select;
+pub use ordering::{
+    build_question_tree, entropy, information_strength, QuestionNode, QuestionTree,
+};
+pub use problem::{Selection, SelectionItem, SelectionProblem, MAX_ROUTES};
+
+use crate::error::CoreError;
+use crate::route::LandmarkRoute;
+use cp_roadnet::LandmarkId;
+
+/// Which selection algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionAlgorithm {
+    /// Exhaustive enumeration (baseline; exponential).
+    BruteForce,
+    /// Incremental Landmark Selecting (paper §III-B1).
+    Ils,
+    /// GreedySelect with upper-bound pruning (paper §III-B2).
+    Greedy,
+}
+
+impl SelectionAlgorithm {
+    /// All algorithms, for sweeps.
+    pub const ALL: [SelectionAlgorithm; 3] = [
+        SelectionAlgorithm::BruteForce,
+        SelectionAlgorithm::Ils,
+        SelectionAlgorithm::Greedy,
+    ];
+
+    /// Display name for experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectionAlgorithm::BruteForce => "BruteForce",
+            SelectionAlgorithm::Ils => "ILS",
+            SelectionAlgorithm::Greedy => "GreedySelect",
+        }
+    }
+
+    /// Runs the algorithm.
+    pub fn run(
+        self,
+        problem: &SelectionProblem,
+        budget: usize,
+    ) -> Result<Selection, CoreError> {
+        match self {
+            SelectionAlgorithm::BruteForce => brute_force_select(problem, budget),
+            SelectionAlgorithm::Ils => ils_select(problem, budget),
+            SelectionAlgorithm::Greedy => greedy_select(problem, budget),
+        }
+    }
+}
+
+/// A generated crowdsourcing task.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// The landmark-based candidate routes, in candidate order.
+    pub routes: Vec<LandmarkRoute>,
+    /// The selected question landmarks with their significances,
+    /// significance-descending.
+    pub questions: Vec<(LandmarkId, f64)>,
+    /// Objective value of the selection.
+    pub selection_value: f64,
+    /// The ordered question tree.
+    pub tree: QuestionTree,
+}
+
+impl Task {
+    /// Expected number of questions under a uniform route prior.
+    pub fn expected_questions(&self) -> f64 {
+        let w = vec![1.0; self.routes.len()];
+        self.tree.expected_questions(&w)
+    }
+}
+
+/// Generates a task from landmark-based candidate routes.
+///
+/// `significance` is indexed by `LandmarkId` over the whole landmark set.
+/// `weights` are per-route prior weights for the ID3 ordering (uniform if
+/// `None`).
+pub fn generate_task(
+    routes: Vec<LandmarkRoute>,
+    significance: &[f64],
+    algorithm: SelectionAlgorithm,
+    budget: usize,
+    weights: Option<&[f64]>,
+) -> Result<Task, CoreError> {
+    let problem = SelectionProblem::prepare(&routes, significance)?;
+    let selection = algorithm.run(&problem, budget)?;
+    let questions: Vec<(LandmarkId, f64)> = selection
+        .landmarks
+        .iter()
+        .map(|&l| (l, significance[l.index()]))
+        .collect();
+    let uniform = vec![1.0; routes.len()];
+    let w = weights.unwrap_or(&uniform);
+    if w.len() != routes.len() {
+        return Err(CoreError::InvalidConfig("route weights length mismatch"));
+    }
+    let tree = build_question_tree(&routes, w, &questions);
+    Ok(Task {
+        routes,
+        questions,
+        selection_value: selection.value,
+        tree,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lm(i: u32) -> LandmarkId {
+        LandmarkId(i)
+    }
+
+    fn routes() -> Vec<LandmarkRoute> {
+        vec![
+            LandmarkRoute::new(vec![lm(0), lm(1), lm(2)]),
+            LandmarkRoute::new(vec![lm(0), lm(3), lm(2)]),
+            LandmarkRoute::new(vec![lm(0), lm(1), lm(4)]),
+            LandmarkRoute::new(vec![lm(0), lm(5)]),
+        ]
+    }
+
+    fn sig() -> Vec<f64> {
+        vec![0.9, 0.7, 0.5, 0.8, 0.3, 0.6]
+    }
+
+    #[test]
+    fn task_generation_end_to_end() {
+        for alg in SelectionAlgorithm::ALL {
+            let task = generate_task(routes(), &sig(), alg, usize::MAX, None).unwrap();
+            assert!(!task.questions.is_empty(), "{}", alg.name());
+            assert!(task.selection_value > 0.0);
+            // Every route must be reachable by answering truthfully.
+            for (i, r) in task.routes.iter().enumerate() {
+                let (got, _) = task.tree.walk_answers(|l| r.contains(l));
+                assert_eq!(got, Some(i), "{} route {i}", alg.name());
+            }
+            // Expected questions bounded by the library size.
+            assert!(task.expected_questions() <= task.questions.len() as f64);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_selection_values_close() {
+        let brute = generate_task(
+            routes(),
+            &sig(),
+            SelectionAlgorithm::BruteForce,
+            usize::MAX,
+            None,
+        )
+        .unwrap();
+        let greedy =
+            generate_task(routes(), &sig(), SelectionAlgorithm::Greedy, usize::MAX, None)
+                .unwrap();
+        let ils = generate_task(routes(), &sig(), SelectionAlgorithm::Ils, usize::MAX, None)
+            .unwrap();
+        assert!((brute.selection_value - greedy.selection_value).abs() < 1e-9);
+        assert!(ils.selection_value <= brute.selection_value + 1e-9);
+        assert!(ils.selection_value >= 0.9 * brute.selection_value);
+    }
+
+    #[test]
+    fn weight_length_mismatch_rejected() {
+        let r = routes();
+        let w = vec![1.0; 2];
+        assert!(matches!(
+            generate_task(r, &sig(), SelectionAlgorithm::Greedy, usize::MAX, Some(&w)),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn algorithm_names_unique() {
+        let names: std::collections::HashSet<&str> =
+            SelectionAlgorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

@@ -1,0 +1,402 @@
+//! The landmark-selection optimisation problem (paper §III-B).
+//!
+//! > Given n landmark-based candidate routes R̄ and the significance of each
+//! > landmark, select a landmark set L with size k (⌈log₂ n⌉ ≤ k ≤ n) which
+//! > is discriminative to R̄, maximising `Σ_{l∈L} l.s · |L|⁻¹`.
+//!
+//! The key structural fact the solvers exploit: a set L is discriminative
+//! iff for every route pair `(i, j)` it intersects the symmetric difference
+//! `R̄ᵢ Δ R̄ⱼ` — i.e. selection is a *hitting-set* problem over route pairs.
+//! We precompute, per beneficial landmark, the bitmask of route pairs it
+//! separates; a candidate set is discriminative exactly when the OR of its
+//! masks covers all pairs. Pair masks live in a `u128`, supporting up to 16
+//! candidate routes (120 pairs) — far beyond the five sources the system
+//! consults.
+
+use crate::error::CoreError;
+use crate::route::LandmarkRoute;
+use cp_roadnet::LandmarkId;
+
+/// Maximum number of candidate routes the pair-mask encoding supports.
+pub const MAX_ROUTES: usize = 16;
+
+/// One selectable landmark: identity, inferred significance and the set of
+/// route pairs it separates.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionItem {
+    /// The landmark.
+    pub id: LandmarkId,
+    /// Inferred significance `l.s`.
+    pub significance: f64,
+    /// Bit `p` set ⇔ this landmark separates route pair `p`.
+    pub cover: u128,
+}
+
+/// A prepared instance of the selection problem.
+#[derive(Debug, Clone)]
+pub struct SelectionProblem {
+    /// Beneficial landmarks, sorted by significance descending
+    /// (ties broken by landmark id for determinism).
+    items: Vec<SelectionItem>,
+    /// Mask with one bit per route pair.
+    full_cover: u128,
+    /// Number of candidate routes n.
+    n_routes: usize,
+}
+
+/// A selection result: the chosen landmarks and the objective value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Chosen landmark ids, in significance-descending order.
+    pub landmarks: Vec<LandmarkId>,
+    /// Objective value `Σ s / |L|` (mean significance).
+    pub value: f64,
+}
+
+impl SelectionProblem {
+    /// Prepares the problem from candidate landmark routes and a
+    /// significance vector indexed by `LandmarkId`.
+    pub fn prepare(
+        routes: &[LandmarkRoute],
+        significance: &[f64],
+    ) -> Result<SelectionProblem, CoreError> {
+        let n = routes.len();
+        if n < 2 {
+            return Err(CoreError::TooFewRoutes);
+        }
+        if n > MAX_ROUTES {
+            return Err(CoreError::TooManyRoutes { max: MAX_ROUTES });
+        }
+        // Identical landmark sets can never be discriminated (Def. 4).
+        for i in 0..n {
+            for j in i + 1..n {
+                if routes[i].same_landmark_set(&routes[j]) {
+                    return Err(CoreError::UndiscriminableRoutes { first: i, second: j });
+                }
+            }
+        }
+        // Beneficial landmarks: union minus intersection (paper §III-B:
+        // "filter out some non-beneficial landmarks which are on / not on
+        // every candidate route"). A landmark's pair-coverage mask is
+        // non-zero exactly when it is beneficial, so we filter by that.
+        let mut union: Vec<LandmarkId> = routes
+            .iter()
+            .flat_map(|r| r.sorted_landmarks().iter().copied())
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+
+        let mut items = Vec::new();
+        for &l in &union {
+            if l.index() >= significance.len() {
+                return Err(CoreError::SignificanceLengthMismatch {
+                    expected: l.index() + 1,
+                    actual: significance.len(),
+                });
+            }
+            let mut cover: u128 = 0;
+            let mut bit = 0u32;
+            for i in 0..n {
+                for j in i + 1..n {
+                    if routes[i].contains(l) != routes[j].contains(l) {
+                        cover |= 1u128 << bit;
+                    }
+                    bit += 1;
+                }
+            }
+            if cover != 0 {
+                items.push(SelectionItem {
+                    id: l,
+                    significance: significance[l.index()],
+                    cover,
+                });
+            }
+        }
+        let pair_count = n * (n - 1) / 2;
+        let full_cover = if pair_count == 128 {
+            u128::MAX
+        } else {
+            (1u128 << pair_count) - 1
+        };
+        // Solvability: every pair must be separable by some landmark.
+        let reachable = items.iter().fold(0u128, |acc, it| acc | it.cover);
+        if reachable != full_cover {
+            return Err(CoreError::NoDiscriminativeSet);
+        }
+        items.sort_by(|a, b| {
+            b.significance
+                .partial_cmp(&a.significance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        Ok(SelectionProblem {
+            items,
+            full_cover,
+            n_routes: n,
+        })
+    }
+
+    /// Beneficial landmarks, significance-descending.
+    pub fn items(&self) -> &[SelectionItem] {
+        &self.items
+    }
+
+    /// The all-pairs coverage mask.
+    pub fn full_cover(&self) -> u128 {
+        self.full_cover
+    }
+
+    /// Number of candidate routes n.
+    pub fn route_count(&self) -> usize {
+        self.n_routes
+    }
+
+    /// Paper lower bound on selection size: ⌈log₂ n⌉. (Any discriminative
+    /// set automatically satisfies it — k landmarks induce at most 2^k
+    /// distinct projections.)
+    pub fn k_min(&self) -> usize {
+        (self.n_routes as f64).log2().ceil() as usize
+    }
+
+    /// Paper upper bound on selection size: n, clamped to the number of
+    /// beneficial landmarks.
+    pub fn k_max(&self) -> usize {
+        self.n_routes.min(self.items.len())
+    }
+
+    /// Whether the item subset (by indices into [`Self::items`]) is
+    /// discriminative.
+    pub fn covers(&self, indices: &[usize]) -> bool {
+        let mask = indices
+            .iter()
+            .fold(0u128, |acc, &i| acc | self.items[i].cover);
+        mask == self.full_cover
+    }
+
+    /// Objective value of an item-index subset.
+    pub fn value_of(&self, indices: &[usize]) -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = indices.iter().map(|&i| self.items[i].significance).sum();
+        sum / indices.len() as f64
+    }
+
+    /// Builds a [`Selection`] from item indices.
+    pub fn selection_from(&self, mut indices: Vec<usize>) -> Selection {
+        indices.sort_unstable();
+        Selection {
+            landmarks: indices.iter().map(|&i| self.items[i].id).collect(),
+            value: self.value_of(&indices),
+        }
+    }
+
+    /// The paper's `GetMaxSet`: the best value achievable by a superset of
+    /// `indices` of exactly size `k`, padding with the highest-significance
+    /// unused items. Returns the padded index set; `None` if not enough
+    /// items exist.
+    pub fn max_superset(&self, indices: &[usize], k: usize) -> Option<Vec<usize>> {
+        if indices.len() > k || k > self.items.len() {
+            return None;
+        }
+        let mut used = vec![false; self.items.len()];
+        for &i in indices {
+            used[i] = true;
+        }
+        let mut out = indices.to_vec();
+        for i in 0..self.items.len() {
+            if out.len() == k {
+                break;
+            }
+            if !used[i] {
+                out.push(i);
+                used[i] = true;
+            }
+        }
+        if out.len() == k {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Optimistic value bound for any superset of a partial set with
+    /// significance sum `sum` and size `size`: the best
+    /// `(sum + top-(k−size) remaining significances) / k` over
+    /// `size ≤ k ≤ k_max`. Items are significance-sorted, so "top
+    /// remaining" are simply the lowest unused indices; for an upper bound
+    /// we may over-count items already in the set — still admissible.
+    pub fn value_upper_bound(&self, sum: f64, size: usize) -> f64 {
+        if size == 0 {
+            // Best possible mean is the single best item.
+            return self.items.first().map_or(0.0, |i| i.significance);
+        }
+        let mut best = sum / size as f64;
+        let mut padded = sum;
+        let mut count = size;
+        for item in self.items.iter().take(self.k_max().saturating_sub(size)) {
+            padded += item.significance;
+            count += 1;
+            if count > self.k_max() {
+                break;
+            }
+            best = best.max(padded / count as f64);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lm(i: u32) -> LandmarkId {
+        LandmarkId(i)
+    }
+
+    fn routes() -> Vec<LandmarkRoute> {
+        // Fig. 2-like example: three routes sharing endpoints.
+        vec![
+            LandmarkRoute::new(vec![lm(0), lm(1), lm(2)]),
+            LandmarkRoute::new(vec![lm(0), lm(3), lm(2)]),
+            LandmarkRoute::new(vec![lm(0), lm(1), lm(4)]),
+        ]
+    }
+
+    fn sig() -> Vec<f64> {
+        vec![0.9, 0.7, 0.5, 0.8, 0.3]
+    }
+
+    #[test]
+    fn beneficial_filter_drops_common_landmarks() {
+        let p = SelectionProblem::prepare(&routes(), &sig()).unwrap();
+        // l0 is on every route, l2 on routes 0 and 1 only → l0 dropped.
+        let ids: Vec<LandmarkId> = p.items().iter().map(|i| i.id).collect();
+        assert!(!ids.contains(&lm(0)));
+        assert!(ids.contains(&lm(1)));
+        assert!(ids.contains(&lm(2)));
+        assert!(ids.contains(&lm(3)));
+        assert!(ids.contains(&lm(4)));
+    }
+
+    #[test]
+    fn items_sorted_by_significance() {
+        let p = SelectionProblem::prepare(&routes(), &sig()).unwrap();
+        for w in p.items().windows(2) {
+            assert!(w[0].significance >= w[1].significance);
+        }
+    }
+
+    #[test]
+    fn covers_matches_definition() {
+        let p = SelectionProblem::prepare(&routes(), &sig()).unwrap();
+        // Find item indices of l1 and l3.
+        let idx_of = |l: LandmarkId| p.items().iter().position(|i| i.id == l).unwrap();
+        // {l1} separates (r0,r1) and (r1,r2) but not (r0,r2) (both contain l1).
+        assert!(!p.covers(&[idx_of(lm(1))]));
+        // {l2, l4}: l2 separates (0,2),(1,2); l4 separates (0,2),(1,2) —
+        // pair (0,1) unseparated.
+        assert!(!p.covers(&[idx_of(lm(2)), idx_of(lm(4))]));
+        // {l1, l2}: l1 separates (0,1),(1,2); l2 separates (0,2),(1,2). Full.
+        assert!(p.covers(&[idx_of(lm(1)), idx_of(lm(2))]));
+    }
+
+    #[test]
+    fn value_is_mean_significance() {
+        let p = SelectionProblem::prepare(&routes(), &sig()).unwrap();
+        let idx_of = |l: LandmarkId| p.items().iter().position(|i| i.id == l).unwrap();
+        let v = p.value_of(&[idx_of(lm(1)), idx_of(lm(3))]);
+        assert!((v - (0.7 + 0.8) / 2.0).abs() < 1e-12);
+        assert_eq!(p.value_of(&[]), 0.0);
+    }
+
+    #[test]
+    fn k_bounds_follow_paper() {
+        let p = SelectionProblem::prepare(&routes(), &sig()).unwrap();
+        assert_eq!(p.k_min(), 2); // ceil(log2 3)
+        assert_eq!(p.k_max(), 3); // n = 3 < 4 beneficial
+    }
+
+    #[test]
+    fn identical_routes_rejected() {
+        let rs = vec![
+            LandmarkRoute::new(vec![lm(1), lm(2)]),
+            LandmarkRoute::new(vec![lm(2), lm(1)]),
+        ];
+        assert!(matches!(
+            SelectionProblem::prepare(&rs, &sig()),
+            Err(CoreError::UndiscriminableRoutes { first: 0, second: 1 })
+        ));
+    }
+
+    #[test]
+    fn single_route_rejected() {
+        let rs = vec![LandmarkRoute::new(vec![lm(1)])];
+        assert!(matches!(
+            SelectionProblem::prepare(&rs, &sig()),
+            Err(CoreError::TooFewRoutes)
+        ));
+    }
+
+    #[test]
+    fn short_significance_vector_rejected() {
+        assert!(matches!(
+            SelectionProblem::prepare(&routes(), &[0.5, 0.5]),
+            Err(CoreError::SignificanceLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn max_superset_pads_with_best() {
+        let p = SelectionProblem::prepare(&routes(), &sig()).unwrap();
+        // items sorted: l3 (0.8), l1 (0.7), l2 (0.5), l4 (0.3)
+        let padded = p.max_superset(&[2], 2).unwrap(); // {l2} padded to size 2
+        assert!(padded.contains(&0), "pads with the top item");
+        assert_eq!(padded.len(), 2);
+        assert!(p.max_superset(&[0, 1, 2], 2).is_none());
+        assert!(p.max_superset(&[0], 10).is_none());
+    }
+
+    #[test]
+    fn upper_bound_dominates_reachable_values() {
+        let p = SelectionProblem::prepare(&routes(), &sig()).unwrap();
+        // Bound for the partial set {l2} (index 2): any superset's value
+        // must be ≤ bound.
+        let sum = p.items()[2].significance;
+        let bound = p.value_upper_bound(sum, 1);
+        for k in 1..=p.k_max() {
+            if let Some(sup) = p.max_superset(&[2], k) {
+                assert!(p.value_of(&sup) <= bound + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_routes_rejected() {
+        let rs: Vec<LandmarkRoute> = (0..17)
+            .map(|i| LandmarkRoute::new(vec![lm(i), lm(100 + i)]))
+            .collect();
+        let sigs = vec![0.5; 200];
+        assert!(matches!(
+            SelectionProblem::prepare(&rs, &sigs),
+            Err(CoreError::TooManyRoutes { max: 16 })
+        ));
+    }
+
+    #[test]
+    fn unseparable_pair_detected() {
+        // Routes share the same beneficial profile on all listed landmarks
+        // except none separates the pair... construct: r0={1}, r1={1},
+        // caught earlier as identical; instead r0={1,2}, r1={1,2,3},
+        // r2={9}: fine. A truly unseparable non-identical case cannot
+        // exist (symmetric difference non-empty ⇒ separable by any element
+        // of it), so prepare() only fails via identical sets.
+        let rs = vec![
+            LandmarkRoute::new(vec![lm(1), lm(2)]),
+            LandmarkRoute::new(vec![lm(1), lm(2), lm(3)]),
+        ];
+        let p = SelectionProblem::prepare(&rs, &[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(p.items().len(), 1); // only l3 is beneficial
+        assert!(p.covers(&[0]));
+    }
+}

@@ -1,0 +1,249 @@
+//! Verified-truth store and reuse (paper §II-B1, "reuse truth" /
+//! "verified truth" components).
+//!
+//! Every resolved request deposits its verified best route, keyed by the
+//! OD pair and a departure-time tag. A new request *hits* the store when
+//! its endpoints lie within the reuse radius of a stored truth's endpoints
+//! and its departure time falls within the reuse window (circular,
+//! time-of-day) — in which case the stored route is returned immediately,
+//! saving both computation and crowd cost.
+
+use crate::config::Config;
+use cp_roadnet::{NodeId, Path, RoadGraph};
+use cp_traj::TimeOfDay;
+
+/// One verified truth.
+#[derive(Debug, Clone)]
+pub struct TruthEntry {
+    /// Request origin the truth was verified for.
+    pub from: NodeId,
+    /// Request destination.
+    pub to: NodeId,
+    /// Departure-time tag.
+    pub departure: TimeOfDay,
+    /// The verified best route.
+    pub path: Path,
+    /// Confidence at verification time (1.0 for crowd-verified truths).
+    pub confidence: f64,
+}
+
+/// The truth database.
+#[derive(Debug, Default)]
+pub struct TruthStore {
+    entries: Vec<TruthEntry>,
+}
+
+impl TruthStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored truths.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a verified truth.
+    pub fn insert(&mut self, entry: TruthEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Iterates over stored truths.
+    pub fn iter(&self) -> impl Iterator<Item = &TruthEntry> {
+        self.entries.iter()
+    }
+
+    /// Looks up a truth matching the request within the configured reuse
+    /// radius and time window. Among matches, the spatially closest one is
+    /// returned (ties by insertion order).
+    pub fn lookup(
+        &self,
+        graph: &RoadGraph,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+        cfg: &Config,
+    ) -> Option<&TruthEntry> {
+        let fp = graph.position(from);
+        let tp = graph.position(to);
+        let mut best: Option<(f64, &TruthEntry)> = None;
+        for e in &self.entries {
+            if e.departure.circular_distance(departure) > cfg.reuse_time_window {
+                continue;
+            }
+            let df = graph.position(e.from).distance(&fp);
+            let dt = graph.position(e.to).distance(&tp);
+            if df > cfg.reuse_radius || dt > cfg.reuse_radius {
+                continue;
+            }
+            let d = df + dt;
+            if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+                best = Some((d, e));
+            }
+        }
+        best.map(|(_, e)| e)
+    }
+
+    /// Truths whose endpoints are within `radius` of the request endpoints
+    /// regardless of time — used by route evaluation to compute confidence
+    /// scores from nearby verified history.
+    pub fn nearby(
+        &self,
+        graph: &RoadGraph,
+        from: NodeId,
+        to: NodeId,
+        radius: f64,
+    ) -> Vec<&TruthEntry> {
+        let fp = graph.position(from);
+        let tp = graph.position(to);
+        self.entries
+            .iter()
+            .filter(|e| {
+                graph.position(e.from).distance(&fp) <= radius
+                    && graph.position(e.to).distance(&tp) <= radius
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_roadnet::routing::{dijkstra_path, distance_cost};
+    use cp_roadnet::{generate_city, CityParams};
+
+    fn setup() -> (cp_roadnet::City, TruthStore, Config) {
+        let city = generate_city(&CityParams::small(), 73).unwrap();
+        (city, TruthStore::new(), Config::default())
+    }
+
+    fn path(city: &cp_roadnet::City, a: u32, b: u32) -> Path {
+        dijkstra_path(
+            &city.graph,
+            NodeId(a),
+            NodeId(b),
+            distance_cost(&city.graph),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_hit_is_found() {
+        let (city, mut store, cfg) = setup();
+        let p = path(&city, 0, 59);
+        store.insert(TruthEntry {
+            from: NodeId(0),
+            to: NodeId(59),
+            departure: TimeOfDay::from_hours(8.0),
+            path: p.clone(),
+            confidence: 1.0,
+        });
+        let hit = store
+            .lookup(&city.graph, NodeId(0), NodeId(59), TimeOfDay::from_hours(8.5), &cfg)
+            .unwrap();
+        assert_eq!(hit.path, p);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn nearby_endpoints_hit_within_radius() {
+        let (city, mut store, cfg) = setup();
+        store.insert(TruthEntry {
+            from: NodeId(0),
+            to: NodeId(59),
+            departure: TimeOfDay::from_hours(8.0),
+            path: path(&city, 0, 59),
+            confidence: 1.0,
+        });
+        // Node 1 is ~200 m from node 0 (within the 300 m radius).
+        assert!(store
+            .lookup(&city.graph, NodeId(1), NodeId(59), TimeOfDay::from_hours(8.0), &cfg)
+            .is_some());
+        // Node 5 is ~1 km away: miss.
+        assert!(store
+            .lookup(&city.graph, NodeId(5), NodeId(59), TimeOfDay::from_hours(8.0), &cfg)
+            .is_none());
+    }
+
+    #[test]
+    fn time_window_is_respected() {
+        let (city, mut store, cfg) = setup();
+        store.insert(TruthEntry {
+            from: NodeId(0),
+            to: NodeId(59),
+            departure: TimeOfDay::from_hours(8.0),
+            path: path(&city, 0, 59),
+            confidence: 1.0,
+        });
+        // 2 h window: 10:30 departure misses an 8:00 truth.
+        assert!(store
+            .lookup(&city.graph, NodeId(0), NodeId(59), TimeOfDay::from_hours(10.5), &cfg)
+            .is_none());
+        // Circular: 23:30 vs 00:30 is one hour apart.
+        store.insert(TruthEntry {
+            from: NodeId(0),
+            to: NodeId(59),
+            departure: TimeOfDay::from_hours(23.5),
+            path: path(&city, 0, 59),
+            confidence: 1.0,
+        });
+        assert!(store
+            .lookup(&city.graph, NodeId(0), NodeId(59), TimeOfDay::from_hours(0.5), &cfg)
+            .is_some());
+    }
+
+    #[test]
+    fn closest_match_wins() {
+        let (city, mut store, cfg) = setup();
+        let p1 = path(&city, 1, 59);
+        let p2 = path(&city, 0, 59);
+        store.insert(TruthEntry {
+            from: NodeId(1),
+            to: NodeId(59),
+            departure: TimeOfDay::from_hours(9.0),
+            path: p1,
+            confidence: 1.0,
+        });
+        store.insert(TruthEntry {
+            from: NodeId(0),
+            to: NodeId(59),
+            departure: TimeOfDay::from_hours(9.0),
+            path: p2.clone(),
+            confidence: 1.0,
+        });
+        let hit = store
+            .lookup(&city.graph, NodeId(0), NodeId(59), TimeOfDay::from_hours(9.0), &cfg)
+            .unwrap();
+        assert_eq!(hit.path, p2);
+    }
+
+    #[test]
+    fn nearby_ignores_time() {
+        let (city, mut store, _) = setup();
+        store.insert(TruthEntry {
+            from: NodeId(0),
+            to: NodeId(59),
+            departure: TimeOfDay::from_hours(3.0),
+            path: path(&city, 0, 59),
+            confidence: 1.0,
+        });
+        let near = store.nearby(&city.graph, NodeId(0), NodeId(59), 250.0);
+        assert_eq!(near.len(), 1);
+        assert!(store.nearby(&city.graph, NodeId(30), NodeId(59), 250.0).is_empty());
+    }
+
+    #[test]
+    fn empty_store_misses() {
+        let (city, store, cfg) = setup();
+        assert!(store.is_empty());
+        assert!(store
+            .lookup(&city.graph, NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0), &cfg)
+            .is_none());
+    }
+}

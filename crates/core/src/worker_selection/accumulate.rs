@@ -1,0 +1,134 @@
+//! Spatial knowledge accumulation (paper §IV-B, end).
+//!
+//! "A worker with a familiarity score of a landmark … has some knowledge
+//! about the region around the landmark, not just the landmark itself."
+//! The accumulated score of landmark `lⱼ` is a Gaussian-weighted sum of
+//! the worker's (densified) familiarity with every landmark within η_dis
+//! of `lⱼ`:
+//!
+//! ```text
+//! F_w^{lⱼ} = Σ_{l ∈ L_near ∪ {lⱼ}} δ_l · f_w^l,
+//! δ_l = N(d(l, lⱼ) | 0, σ₀²),  σ₀ = η_dis / 3
+//! ```
+
+use crate::worker_selection::matrix::DenseMatrix;
+use cp_roadnet::LandmarkSet;
+use cp_traj::stats::normal_pdf;
+
+/// Computes the accumulated familiarity matrix `M*` from the densified
+/// familiarity matrix `M'` (workers × landmarks).
+pub fn accumulate_scores(
+    landmarks: &LandmarkSet,
+    densified: &DenseMatrix,
+    eta_dis: f64,
+) -> DenseMatrix {
+    assert_eq!(densified.cols(), landmarks.len(), "one column per landmark");
+    let sigma0 = eta_dis / 3.0;
+    let n = densified.rows();
+    let m = landmarks.len();
+    // Precompute, per target landmark, its neighbourhood and weights.
+    let mut neighbourhoods: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+    for j in 0..m {
+        let lj = landmarks.get(cp_roadnet::LandmarkId(j as u32));
+        let near = landmarks.within_radius(&lj.position, eta_dis);
+        let mut weighted = Vec::with_capacity(near.len());
+        for id in near {
+            let d = landmarks.get(id).position.distance(&lj.position);
+            weighted.push((id.index(), normal_pdf(d, 0.0, sigma0)));
+        }
+        neighbourhoods.push(weighted);
+    }
+    let mut out = DenseMatrix::zeros(n, m);
+    for w in 0..n {
+        for (j, hood) in neighbourhoods.iter().enumerate() {
+            let mut acc = 0.0;
+            for &(l, delta) in hood {
+                acc += delta * densified.get(w, l);
+            }
+            out.set(w, j, acc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_roadnet::{
+        Landmark, LandmarkCategory, LandmarkId, LandmarkSet, NodeId, Point,
+    };
+
+    fn lm_at(i: u32, x: f64, y: f64) -> Landmark {
+        Landmark {
+            id: LandmarkId(i),
+            position: Point::new(x, y),
+            anchor: NodeId(0),
+            latent_fame: 0.5,
+            category: LandmarkCategory::Food,
+        }
+    }
+
+    fn line_landmarks() -> LandmarkSet {
+        LandmarkSet::new(
+            vec![
+                lm_at(0, 0.0, 0.0),
+                lm_at(1, 400.0, 0.0),
+                lm_at(2, 5000.0, 0.0),
+            ],
+            500.0,
+        )
+    }
+
+    #[test]
+    fn knowledge_spreads_to_nearby_landmarks_only() {
+        let lms = line_landmarks();
+        let mut fam = DenseMatrix::zeros(1, 3);
+        fam.set(0, 0, 1.0); // worker knows only landmark 0
+        let acc = accumulate_scores(&lms, &fam, 1000.0);
+        // Landmark 0 keeps the largest accumulated score.
+        assert!(acc.get(0, 0) > acc.get(0, 1));
+        // Landmark 1 (400 m away, inside eta_dis) receives spillover.
+        assert!(acc.get(0, 1) > 0.0);
+        // Landmark 2 (5 km away, outside eta_dis) receives nothing.
+        assert_eq!(acc.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn self_weight_is_peak_gaussian() {
+        let lms = line_landmarks();
+        let mut fam = DenseMatrix::zeros(1, 3);
+        fam.set(0, 2, 2.0);
+        let eta = 900.0;
+        let acc = accumulate_scores(&lms, &fam, eta);
+        let expect = 2.0 * normal_pdf(0.0, 0.0, eta / 3.0);
+        assert!((acc.get(0, 2) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulation_is_linear_in_familiarity() {
+        let lms = line_landmarks();
+        let mut f1 = DenseMatrix::zeros(1, 3);
+        f1.set(0, 0, 1.0);
+        let mut f2 = DenseMatrix::zeros(1, 3);
+        f2.set(0, 0, 3.0);
+        let a1 = accumulate_scores(&lms, &f1, 1000.0);
+        let a2 = accumulate_scores(&lms, &f2, 1000.0);
+        for j in 0..3 {
+            assert!((a2.get(0, j) - 3.0 * a1.get(0, j)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wider_eta_dis_spreads_further() {
+        let lms = LandmarkSet::new(
+            vec![lm_at(0, 0.0, 0.0), lm_at(1, 800.0, 0.0)],
+            500.0,
+        );
+        let mut fam = DenseMatrix::zeros(1, 2);
+        fam.set(0, 0, 1.0);
+        let narrow = accumulate_scores(&lms, &fam, 500.0);
+        let wide = accumulate_scores(&lms, &fam, 3000.0);
+        assert_eq!(narrow.get(0, 1), 0.0, "800 m > 500 m radius");
+        assert!(wide.get(0, 1) > 0.0);
+    }
+}

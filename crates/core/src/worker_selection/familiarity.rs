@@ -1,0 +1,176 @@
+//! Worker familiarity scores (paper §IV-B).
+//!
+//! ```text
+//! f_w^l = α · exp{−(d(l, p_home) + d(l, p_work) + d(l, p_fr))}
+//!       + (1−α) · (#correct + β · #wrong)
+//! ```
+//!
+//! with the rule "assign +∞ to d(l, p∗) if d(l, p∗) is bigger than a
+//! threshold η_dis" — i.e. a far-away anchor kills the whole profile term
+//! (exp(−∞) = 0). Distances inside the exponent are normalised by η_dis so
+//! the exponential lives on a sane scale regardless of the city's units
+//! (the paper leaves units unspecified; this normalisation is recorded in
+//! DESIGN.md).
+
+use crate::config::Config;
+use crate::worker_selection::matrix::SparseObservations;
+use cp_crowd::{AnswerTally, Platform};
+use cp_crowd::Worker;
+use cp_roadnet::{Landmark, LandmarkSet};
+
+/// Profile-only familiarity term in `[0, 1]`.
+pub fn profile_familiarity(worker: &Worker, landmark: &Landmark, eta_dis: f64) -> f64 {
+    let dh = worker.home.distance(&landmark.position);
+    let dw = worker.work.distance(&landmark.position);
+    let df = worker.frequent.distance(&landmark.position);
+    if dh > eta_dis || dw > eta_dis || df > eta_dis {
+        // d(l, p*) := +∞ ⇒ exp(−∞) = 0.
+        return 0.0;
+    }
+    (-(dh + dw + df) / eta_dis).exp()
+}
+
+/// History term `#correct + β·#wrong`.
+pub fn history_familiarity(tally: AnswerTally, beta: f64) -> f64 {
+    tally.correct as f64 + beta * tally.wrong as f64
+}
+
+/// The combined familiarity score `f_w^l`.
+pub fn familiarity_score(
+    worker: &Worker,
+    landmark: &Landmark,
+    tally: AnswerTally,
+    cfg: &Config,
+) -> f64 {
+    cfg.alpha * profile_familiarity(worker, landmark, cfg.eta_dis)
+        + (1.0 - cfg.alpha) * history_familiarity(tally, cfg.beta)
+}
+
+/// Builds the sparse observed worker×landmark familiarity matrix `M`
+/// (paper: "a n∗m matrix M with m_ij = f^{l_j}_{w_i}"; only non-zero
+/// scores count as observed — "M is very sparse").
+pub fn observed_matrix(
+    platform: &Platform,
+    landmarks: &LandmarkSet,
+    cfg: &Config,
+) -> SparseObservations {
+    let mut obs = SparseObservations::default();
+    for worker in platform.population().iter() {
+        // History entries (sparse per worker).
+        let history = platform.worker_history(worker.id);
+        let mut hist_iter = history.iter().peekable();
+        for lm in landmarks.iter() {
+            let tally = match hist_iter.peek() {
+                Some(&&(l, t)) if l == lm.id => {
+                    hist_iter.next();
+                    t
+                }
+                _ => AnswerTally::default(),
+            };
+            let f = familiarity_score(worker, lm, tally, cfg);
+            if f > 0.0 {
+                obs.push(worker.id.0, lm.id.0, f);
+            }
+        }
+    }
+    obs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_crowd::{AnswerModel, PopulationParams, WorkerPopulation};
+    use cp_roadnet::{
+        generate_city, generate_landmarks, CityParams, LandmarkGenParams,
+    };
+
+    fn setup() -> (LandmarkSet, Platform, Config) {
+        let city = generate_city(&CityParams::small(), 61).unwrap();
+        let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 61);
+        let pop = WorkerPopulation::generate(&city.graph, &PopulationParams::default(), 61);
+        let platform = Platform::new(pop, AnswerModel::default(), 61);
+        (lms, platform, Config::default())
+    }
+
+    #[test]
+    fn profile_zero_beyond_eta_dis() {
+        let (lms, platform, cfg) = setup();
+        let w = platform.population().iter().next().unwrap();
+        // A landmark farther than eta_dis from every anchor must score 0.
+        for lm in lms.iter() {
+            if w.min_anchor_distance(&lm.position) > cfg.eta_dis {
+                assert_eq!(profile_familiarity(w, lm, cfg.eta_dis), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_positive_only_when_all_anchors_near() {
+        let (lms, platform, cfg) = setup();
+        let mut positives = 0;
+        for w in platform.population().iter() {
+            for lm in lms.iter() {
+                let p = profile_familiarity(w, lm, cfg.eta_dis);
+                assert!((0.0..=1.0).contains(&p));
+                if p > 0.0 {
+                    positives += 1;
+                    let dh = w.home.distance(&lm.position);
+                    let dw = w.work.distance(&lm.position);
+                    let df = w.frequent.distance(&lm.position);
+                    assert!(dh <= cfg.eta_dis && dw <= cfg.eta_dis && df <= cfg.eta_dis);
+                }
+            }
+        }
+        assert!(positives > 0, "some workers must know some landmarks");
+    }
+
+    #[test]
+    fn history_term_weights_wrong_answers_less() {
+        let t = AnswerTally { correct: 3, wrong: 2 };
+        let h = history_familiarity(t, 0.3);
+        assert!((h - (3.0 + 0.6)).abs() < 1e-12);
+        assert!(history_familiarity(t, 0.3) < history_familiarity(t, 0.9));
+    }
+
+    #[test]
+    fn combined_score_mixes_terms_by_alpha() {
+        let (lms, platform, mut cfg) = setup();
+        let w = platform.population().iter().next().unwrap();
+        let lm = lms.iter().next().unwrap();
+        let t = AnswerTally { correct: 2, wrong: 0 };
+        cfg.alpha = 1.0;
+        let only_profile = familiarity_score(w, lm, t, &cfg);
+        assert!((only_profile - profile_familiarity(w, lm, cfg.eta_dis)).abs() < 1e-12);
+        cfg.alpha = 0.0;
+        let only_history = familiarity_score(w, lm, t, &cfg);
+        assert!((only_history - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_matrix_is_sparse_but_nonempty() {
+        let (lms, mut platform, cfg) = setup();
+        platform.warm_up(&lms, 5);
+        let obs = observed_matrix(&platform, &lms, &cfg);
+        assert!(!obs.is_empty());
+        let total = platform.population().len() * lms.len();
+        assert!(
+            obs.len() < total,
+            "matrix should be sparse: {} of {total}",
+            obs.len()
+        );
+        for &(w, l, f) in &obs.entries {
+            assert!((w as usize) < platform.population().len());
+            assert!((l as usize) < lms.len());
+            assert!(f > 0.0);
+        }
+    }
+
+    #[test]
+    fn history_makes_scores_grow() {
+        let (lms, mut platform, cfg) = setup();
+        let before = observed_matrix(&platform, &lms, &cfg).len();
+        platform.warm_up(&lms, 20);
+        let after = observed_matrix(&platform, &lms, &cfg).len();
+        assert!(after > before, "history adds observed entries");
+    }
+}

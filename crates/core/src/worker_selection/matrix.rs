@@ -1,0 +1,114 @@
+//! Dense worker×landmark score matrices.
+
+/// A dense row-major matrix of f64 scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of rows (workers).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (landmarks).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Value at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the value at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Fraction of non-zero entries.
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().filter(|&&v| v != 0.0).count() as f64 / self.data.len() as f64
+    }
+}
+
+/// A sparse list of observed `(row, col, value)` entries.
+#[derive(Debug, Clone, Default)]
+pub struct SparseObservations {
+    /// Observed entries.
+    pub entries: Vec<(u32, u32, f64)>,
+}
+
+impl SparseObservations {
+    /// Adds an observation.
+    pub fn push(&mut self, row: u32, col: u32, value: f64) {
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no observations exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut m = DenseMatrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.get(2, 3), 0.0);
+        m.set(2, 3, 1.5);
+        assert_eq!(m.get(2, 3), 1.5);
+        assert_eq!(m.row(2), &[0.0, 0.0, 0.0, 1.5]);
+    }
+
+    #[test]
+    fn density_counts_nonzeros() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        assert_eq!(m.density(), 0.0);
+        m.set(0, 0, 1.0);
+        m.set(1, 1, 2.0);
+        assert_eq!(m.density(), 0.5);
+        assert_eq!(DenseMatrix::zeros(0, 0).density(), 0.0);
+    }
+
+    #[test]
+    fn sparse_observations_accumulate() {
+        let mut s = SparseObservations::default();
+        assert!(s.is_empty());
+        s.push(0, 1, 0.5);
+        s.push(2, 3, 0.7);
+        assert_eq!(s.len(), 2);
+    }
+}

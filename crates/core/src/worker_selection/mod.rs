@@ -1,0 +1,226 @@
+//! Worker selection (paper §IV): find the top-k eligible workers for a
+//! task.
+//!
+//! Pipeline implemented by [`select_workers`]:
+//!
+//! 1. build the sparse observed familiarity matrix `M`
+//!    ([`familiarity`]);
+//! 2. densify it with Probabilistic Matrix Factorization ([`pmf`]);
+//! 3. spread knowledge spatially with the Gaussian kernel
+//!    ([`accumulate`]) to get `M*`;
+//! 4. filter candidates by quota (η_#q) and response-time probability
+//!    (η_time) ([`response`]);
+//! 5. pick the top-k by rated voting over the task's landmarks
+//!    ([`voting`]).
+
+pub mod accumulate;
+pub mod familiarity;
+pub mod matrix;
+pub mod pmf;
+pub mod response;
+pub mod voting;
+
+pub use accumulate::accumulate_scores;
+pub use familiarity::{
+    familiarity_score, history_familiarity, observed_matrix, profile_familiarity,
+};
+pub use matrix::{DenseMatrix, SparseObservations};
+pub use pmf::{PmfModel, PmfParams};
+pub use response::{estimated_rate, has_quota, is_responsive, on_time_probability};
+pub use voting::{preference_scores, top_k_workers};
+
+use crate::config::Config;
+use crate::error::CoreError;
+use cp_crowd::{Platform, WorkerId};
+use cp_roadnet::{LandmarkId, LandmarkSet};
+
+/// Precomputed worker-knowledge state (`M*` plus provenance), reusable
+/// across tasks until new answers arrive.
+#[derive(Debug, Clone)]
+pub struct KnowledgeModel {
+    /// Accumulated familiarity matrix `M*` (workers × landmarks).
+    pub accumulated: DenseMatrix,
+    /// Density of the observed matrix `M` (diagnostic).
+    pub observed_density: f64,
+}
+
+impl KnowledgeModel {
+    /// Builds the knowledge model: observed `M` → PMF densified `M'` →
+    /// accumulated `M*`.
+    pub fn build(platform: &Platform, landmarks: &LandmarkSet, cfg: &Config) -> KnowledgeModel {
+        let n = platform.population().len();
+        let m = landmarks.len();
+        let obs = observed_matrix(platform, landmarks, cfg);
+        let observed_density = if n * m == 0 {
+            0.0
+        } else {
+            obs.len() as f64 / (n * m) as f64
+        };
+        let params = PmfParams {
+            dims: cfg.pmf_dims,
+            ..PmfParams::default()
+        };
+        let model = PmfModel::fit(&obs, n, m, &params);
+        let densified = model.densify(&obs);
+        let accumulated = accumulate_scores(landmarks, &densified, cfg.eta_dis);
+        KnowledgeModel {
+            accumulated,
+            observed_density,
+        }
+    }
+}
+
+/// Runs the full worker-selection pipeline for a task asking about
+/// `task_landmarks`. Returns the top-k eligible workers.
+pub fn select_workers(
+    platform: &Platform,
+    knowledge: &KnowledgeModel,
+    task_landmarks: &[LandmarkId],
+    cfg: &Config,
+) -> Result<Vec<WorkerId>, CoreError> {
+    Ok(select_workers_scored(platform, knowledge, task_landmarks, cfg)?
+        .into_iter()
+        .map(|(w, _)| w)
+        .collect())
+}
+
+/// Like [`select_workers`] but returns each worker's rated-voting
+/// preference score, which the orchestrator uses to weight their vote.
+pub fn select_workers_scored(
+    platform: &Platform,
+    knowledge: &KnowledgeModel,
+    task_landmarks: &[LandmarkId],
+    cfg: &Config,
+) -> Result<Vec<(WorkerId, f64)>, CoreError> {
+    // Candidates: workers with quota, acceptable response probability, and
+    // some knowledge of at least one task landmark (∪ W_l).
+    let candidates: Vec<WorkerId> = platform
+        .population()
+        .ids()
+        .filter(|&w| has_quota(platform, w, cfg))
+        .filter(|&w| is_responsive(platform, w, cfg))
+        .filter(|&w| {
+            task_landmarks
+                .iter()
+                .any(|&l| knowledge.accumulated.get(w.index(), l.index()) > 0.0)
+        })
+        .collect();
+    if candidates.is_empty() {
+        return Err(CoreError::NoEligibleWorkers);
+    }
+    Ok(preference_scores(&candidates, task_landmarks, &knowledge.accumulated)
+        .into_iter()
+        .take(cfg.k_workers)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_crowd::{AnswerModel, PopulationParams, WorkerPopulation};
+    use cp_roadnet::{
+        generate_city, generate_landmarks, CityParams, LandmarkGenParams,
+    };
+
+    fn setup() -> (LandmarkSet, Platform, Config) {
+        let city = generate_city(&CityParams::small(), 71).unwrap();
+        let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 71);
+        // The unit-test city is tiny (~1.8 km); scale both the workers'
+        // latent knowledge radius and η_dis down proportionally, otherwise
+        // everyone knows the whole town and spatial selection has nothing
+        // to discriminate.
+        let pop = WorkerPopulation::generate(
+            &city.graph,
+            &PopulationParams {
+                knowledge_scale: 400.0,
+                ..PopulationParams::default()
+            },
+            71,
+        );
+        let mut platform = Platform::new(pop, AnswerModel::default(), 71);
+        platform.warm_up_with_radius(&lms, 15, 600.0);
+        let cfg = Config {
+            eta_dis: 500.0,
+            ..Config::default()
+        };
+        (lms, platform, cfg)
+    }
+
+    #[test]
+    fn pipeline_selects_k_workers() {
+        let (lms, platform, cfg) = setup();
+        let knowledge = KnowledgeModel::build(&platform, &lms, &cfg);
+        assert!(knowledge.observed_density > 0.0);
+        assert!(knowledge.observed_density < 1.0);
+        let task: Vec<LandmarkId> = lms.ids().take(4).collect();
+        let workers = select_workers(&platform, &knowledge, &task, &cfg).unwrap();
+        assert!(!workers.is_empty());
+        assert!(workers.len() <= cfg.k_workers);
+        // No duplicates.
+        let mut sorted = workers.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), workers.len());
+    }
+
+    #[test]
+    fn selected_workers_know_the_task_better_than_average() {
+        let (lms, platform, cfg) = setup();
+        let knowledge = KnowledgeModel::build(&platform, &lms, &cfg);
+        // Realistic task: question landmarks lie along one route, i.e.
+        // they are spatially coherent — take a cluster around one anchor.
+        let center = lms.get(LandmarkId(0)).position;
+        let task: Vec<LandmarkId> = lms
+            .within_radius(&center, 500.0)
+            .into_iter()
+            .take(5)
+            .collect();
+        assert!(task.len() >= 2, "need a non-trivial task");
+        let selected = select_workers(&platform, &knowledge, &task, &cfg).unwrap();
+        let true_task_knowledge = |w: WorkerId| {
+            task.iter()
+                .map(|&l| platform.population().true_familiarity(w, lms.get(l)))
+                .sum::<f64>()
+        };
+        let sel_mean: f64 =
+            selected.iter().map(|&w| true_task_knowledge(w)).sum::<f64>() / selected.len() as f64;
+        let all_mean: f64 = platform
+            .population()
+            .ids()
+            .map(true_task_knowledge)
+            .sum::<f64>()
+            / platform.population().len() as f64;
+        assert!(
+            sel_mean > all_mean,
+            "selected {sel_mean:.3} must beat average {all_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn quota_exhausted_workers_are_skipped() {
+        let (lms, mut platform, cfg) = setup();
+        let knowledge = KnowledgeModel::build(&platform, &lms, &cfg);
+        let task: Vec<LandmarkId> = lms.ids().take(4).collect();
+        let first = select_workers(&platform, &knowledge, &task, &cfg).unwrap();
+        // Exhaust the quota of the top worker, reselect: they must vanish.
+        let top = first[0];
+        for _ in 0..cfg.eta_quota {
+            platform.assign(top);
+        }
+        let second = select_workers(&platform, &knowledge, &task, &cfg).unwrap();
+        assert!(!second.contains(&top));
+    }
+
+    #[test]
+    fn impossible_deadline_yields_no_workers() {
+        let (lms, platform, mut cfg) = setup();
+        let knowledge = KnowledgeModel::build(&platform, &lms, &cfg);
+        cfg.task_deadline = 0.001;
+        cfg.eta_time = 0.99;
+        let task: Vec<LandmarkId> = lms.ids().take(3).collect();
+        assert!(matches!(
+            select_workers(&platform, &knowledge, &task, &cfg),
+            Err(CoreError::NoEligibleWorkers)
+        ));
+    }
+}

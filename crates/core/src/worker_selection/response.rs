@@ -1,0 +1,120 @@
+//! Response-time eligibility filter (paper §IV-A).
+//!
+//! A task carries a user-specified deadline `t`; a worker is eligible only
+//! if the probability of responding within `t` — the exponential CDF
+//! `F(t; λ) = 1 − e^{−λt}` with λ estimated from the worker's observed
+//! response times — reaches η_time.
+
+use crate::config::Config;
+use cp_crowd::{estimate_lambda, response_probability, Platform, WorkerId};
+
+/// Estimated response rate of a worker: MLE over the observed history,
+/// falling back to the configured default for workers with no history.
+pub fn estimated_rate(platform: &Platform, worker: WorkerId, cfg: &Config) -> f64 {
+    estimate_lambda(platform.observed_response_times(worker)).unwrap_or(cfg.default_lambda)
+}
+
+/// Probability the worker answers within the task deadline.
+pub fn on_time_probability(platform: &Platform, worker: WorkerId, cfg: &Config) -> f64 {
+    response_probability(estimated_rate(platform, worker, cfg), cfg.task_deadline)
+}
+
+/// The response-time filter: `F(t;λ) ≥ η_time`.
+pub fn is_responsive(platform: &Platform, worker: WorkerId, cfg: &Config) -> bool {
+    on_time_probability(platform, worker, cfg) >= cfg.eta_time
+}
+
+/// The quota filter: the worker still has task capacity (η_#q).
+pub fn has_quota(platform: &Platform, worker: WorkerId, cfg: &Config) -> bool {
+    platform.outstanding(worker) < cfg.eta_quota
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_crowd::{AnswerModel, PopulationParams, WorkerPopulation};
+    use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams};
+
+    fn setup() -> (cp_roadnet::LandmarkSet, Platform, Config) {
+        let city = generate_city(&CityParams::small(), 67).unwrap();
+        let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 67);
+        let pop = WorkerPopulation::generate(&city.graph, &PopulationParams::default(), 67);
+        (lms, Platform::new(pop, AnswerModel::default(), 67), Config::default())
+    }
+
+    #[test]
+    fn default_rate_used_without_history() {
+        let (_, platform, cfg) = setup();
+        let w = WorkerId(0);
+        assert_eq!(estimated_rate(&platform, w, &cfg), cfg.default_lambda);
+    }
+
+    #[test]
+    fn history_updates_rate_estimate() {
+        let (lms, mut platform, cfg) = setup();
+        platform.warm_up(&lms, 30);
+        // With 30 observations the estimate should be near the latent λ.
+        for w in platform.population().ids().take(10) {
+            let est = estimated_rate(&platform, w, &cfg);
+            let truth = platform.population().get(w).lambda;
+            assert!(
+                est > truth * 0.5 && est < truth * 2.0,
+                "estimate {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_workers_pass_slow_workers_fail() {
+        let (lms, mut platform, mut cfg) = setup();
+        platform.warm_up(&lms, 50);
+        cfg.task_deadline = 600.0;
+        cfg.eta_time = 0.5;
+        let mut passed = 0;
+        let mut failed = 0;
+        for w in platform.population().ids() {
+            if is_responsive(&platform, w, &cfg) {
+                passed += 1;
+            } else {
+                failed += 1;
+            }
+        }
+        // Mean response 900 s with ±3x spread: both outcomes must occur.
+        assert!(passed > 0, "nobody passed");
+        assert!(failed > 0, "nobody failed");
+    }
+
+    #[test]
+    fn quota_filter() {
+        let (_, mut platform, cfg) = setup();
+        let w = WorkerId(1);
+        assert!(has_quota(&platform, w, &cfg));
+        for _ in 0..cfg.eta_quota {
+            platform.assign(w);
+        }
+        assert!(!has_quota(&platform, w, &cfg));
+        platform.finish(w);
+        assert!(has_quota(&platform, w, &cfg));
+    }
+
+    #[test]
+    fn longer_deadline_makes_more_workers_responsive() {
+        let (lms, mut platform, mut cfg) = setup();
+        platform.warm_up(&lms, 50);
+        cfg.eta_time = 0.7;
+        cfg.task_deadline = 300.0;
+        let short: usize = platform
+            .population()
+            .ids()
+            .filter(|&w| is_responsive(&platform, w, &cfg))
+            .count();
+        cfg.task_deadline = 7200.0;
+        let long: usize = platform
+            .population()
+            .ids()
+            .filter(|&w| is_responsive(&platform, w, &cfg))
+            .count();
+        assert!(long >= short);
+        assert!(long > 0);
+    }
+}

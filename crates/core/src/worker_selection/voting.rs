@@ -1,0 +1,162 @@
+//! Rated-voting top-k worker selection (paper §IV-C).
+//!
+//! Summing accumulated familiarity across the task's landmarks biases
+//! selection toward narrow specialists (the paper's w₁/w₂ example), so the
+//! paper adopts a rated voting system: every task landmark is a *voter*,
+//! every candidate worker an *option*. Landmark `lⱼ` ranks the candidate
+//! workers with positive accumulated score `F` descending and gives worker
+//! `w` the preference
+//!
+//! ```text
+//! p_{lⱼ}(w) = 1 − (rank(w) − 1) / |W_{lⱼ}|   (0 if F = 0)
+//! ```
+//!
+//! The k workers with the largest summed preference win — rewarding broad
+//! coverage of the task's landmarks over a single deep score.
+
+use crate::worker_selection::matrix::DenseMatrix;
+use cp_crowd::WorkerId;
+use cp_roadnet::LandmarkId;
+
+/// Computes the summed preference score of each candidate over the task
+/// landmarks. Returns `(worker, score)` pairs in descending score order
+/// (ties broken by worker id for determinism).
+pub fn preference_scores(
+    candidates: &[WorkerId],
+    task_landmarks: &[LandmarkId],
+    accumulated: &DenseMatrix,
+) -> Vec<(WorkerId, f64)> {
+    let mut totals: Vec<f64> = vec![0.0; candidates.len()];
+    let mut ranked: Vec<(usize, f64)> = Vec::with_capacity(candidates.len());
+    for &l in task_landmarks {
+        // W_l: candidates with positive accumulated familiarity for l.
+        ranked.clear();
+        for (ci, &w) in candidates.iter().enumerate() {
+            let f = accumulated.get(w.index(), l.index());
+            if f > 0.0 {
+                ranked.push((ci, f));
+            }
+        }
+        if ranked.is_empty() {
+            continue;
+        }
+        // Rank descending by F; ties by worker id ascending.
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| candidates[a.0].cmp(&candidates[b.0]))
+        });
+        let size = ranked.len() as f64;
+        for (rank, &(ci, _)) in ranked.iter().enumerate() {
+            totals[ci] += 1.0 - rank as f64 / size;
+        }
+    }
+    let mut out: Vec<(WorkerId, f64)> = candidates
+        .iter()
+        .copied()
+        .zip(totals)
+        .collect();
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    out
+}
+
+/// Selects the top-k eligible workers by rated voting.
+pub fn top_k_workers(
+    candidates: &[WorkerId],
+    task_landmarks: &[LandmarkId],
+    accumulated: &DenseMatrix,
+    k: usize,
+) -> Vec<WorkerId> {
+    preference_scores(candidates, task_landmarks, accumulated)
+        .into_iter()
+        .take(k)
+        .map(|(w, _)| w)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wid(i: u32) -> WorkerId {
+        WorkerId(i)
+    }
+
+    fn lid(i: u32) -> LandmarkId {
+        LandmarkId(i)
+    }
+
+    #[test]
+    fn paper_coverage_example() {
+        // The paper's example: ten landmarks; w1 knows only l1 very well
+        // (F=2), w2 knows all ten a little (F=0.1 each). Rated voting must
+        // prefer w2.
+        let mut m = DenseMatrix::zeros(2, 10);
+        m.set(0, 0, 2.0);
+        for j in 0..10 {
+            m.set(1, j, 0.1);
+        }
+        let candidates = [wid(0), wid(1)];
+        let lms: Vec<LandmarkId> = (0..10).map(lid).collect();
+        let scores = preference_scores(&candidates, &lms, &m);
+        assert_eq!(scores[0].0, wid(1), "broad coverage must win");
+        let top = top_k_workers(&candidates, &lms, &m, 1);
+        assert_eq!(top, vec![wid(1)]);
+    }
+
+    #[test]
+    fn preference_formula_matches_paper() {
+        // Three candidates on one landmark with distinct scores: the ranks
+        // give preferences 1, 1−1/3, 1−2/3.
+        let mut m = DenseMatrix::zeros(3, 1);
+        m.set(0, 0, 0.9);
+        m.set(1, 0, 0.5);
+        m.set(2, 0, 0.1);
+        let scores = preference_scores(&[wid(0), wid(1), wid(2)], &[lid(0)], &m);
+        assert_eq!(scores[0].0, wid(0));
+        assert!((scores[0].1 - 1.0).abs() < 1e-12);
+        assert!((scores[1].1 - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+        assert!((scores[2].1 - (1.0 - 2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_scores_get_no_preference() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.set(0, 0, 1.0);
+        // Worker 1 knows nothing.
+        let scores = preference_scores(&[wid(0), wid(1)], &[lid(0), lid(1)], &m);
+        let w1 = scores.iter().find(|(w, _)| *w == wid(1)).unwrap();
+        assert_eq!(w1.1, 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_candidates_returns_all() {
+        let m = DenseMatrix::zeros(2, 1);
+        let top = top_k_workers(&[wid(0), wid(1)], &[lid(0)], &m, 10);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_id() {
+        let mut m = DenseMatrix::zeros(3, 1);
+        for i in 0..3 {
+            m.set(i, 0, 0.5);
+        }
+        let scores = preference_scores(&[wid(2), wid(0), wid(1)], &[lid(0)], &m);
+        // Equal F: ranking by worker id ascending, so w0 ranks first.
+        assert_eq!(scores[0].0, wid(0));
+        assert_eq!(scores[1].0, wid(1));
+        assert_eq!(scores[2].0, wid(2));
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let m = DenseMatrix::zeros(0, 0);
+        assert!(preference_scores(&[], &[], &m).is_empty());
+        assert!(top_k_workers(&[], &[], &m, 3).is_empty());
+    }
+}

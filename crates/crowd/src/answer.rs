@@ -1,0 +1,149 @@
+//! Probabilistic answer model.
+//!
+//! A worker asked a binary landmark question ("would you recommend the
+//! route passing landmark *l*?") answers correctly with a probability that
+//! grows with their true familiarity and carefulness, and degenerates to a
+//! coin flip when they know nothing — the standard crowdsourcing noise
+//! model, and the behaviour the paper's worker selection is designed to
+//! exploit ("a recommended route will have high confidence to be correct
+//! if assigned workers are very familiar with this area").
+
+use crate::population::WorkerPopulation;
+use crate::worker::WorkerId;
+use cp_roadnet::Landmark;
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Accuracy floor (coin flip) and ceiling of the answer model.
+#[derive(Debug, Clone, Copy)]
+pub struct AnswerModel {
+    /// Max accuracy a perfectly familiar, perfectly careful worker reaches.
+    pub max_accuracy: f64,
+}
+
+impl Default for AnswerModel {
+    fn default() -> Self {
+        AnswerModel { max_accuracy: 0.97 }
+    }
+}
+
+impl AnswerModel {
+    /// Probability that `worker` answers a question about `landmark`
+    /// correctly.
+    pub fn accuracy(
+        &self,
+        population: &WorkerPopulation,
+        worker: WorkerId,
+        landmark: &Landmark,
+    ) -> f64 {
+        let fam = population.true_familiarity(worker, landmark);
+        let care = population.get(worker).reliability;
+        let knowledge = (fam * care).clamp(0.0, 1.0);
+        0.5 + (self.max_accuracy - 0.5) * knowledge
+    }
+
+    /// Samples the worker's yes/no answer to "does the best route pass
+    /// `landmark`?", where `truth` is the correct answer.
+    pub fn sample_answer(
+        &self,
+        population: &WorkerPopulation,
+        worker: WorkerId,
+        landmark: &Landmark,
+        truth: bool,
+        rng: &mut SmallRng,
+    ) -> bool {
+        let acc = self.accuracy(population, worker, landmark);
+        if rng.random_bool(acc) {
+            truth
+        } else {
+            !truth
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationParams;
+    use cp_roadnet::{
+        generate_city, generate_landmarks, CityParams, LandmarkGenParams,
+    };
+    use rand::SeedableRng;
+
+    fn setup() -> (cp_roadnet::LandmarkSet, WorkerPopulation) {
+        let city = generate_city(&CityParams::small(), 47).unwrap();
+        let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 47);
+        let pop = WorkerPopulation::generate(&city.graph, &PopulationParams::default(), 47);
+        (lms, pop)
+    }
+
+    #[test]
+    fn accuracy_within_bounds() {
+        let (lms, pop) = setup();
+        let model = AnswerModel::default();
+        for w in pop.ids() {
+            for l in lms.iter().take(20) {
+                let a = model.accuracy(&pop, w, l);
+                assert!((0.5..=0.97).contains(&a), "accuracy {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn familiar_workers_answer_better() {
+        let (lms, pop) = setup();
+        let model = AnswerModel::default();
+        let l = lms.iter().next().unwrap();
+        // Best- vs worst-informed worker for this landmark.
+        let best = pop
+            .ids()
+            .max_by(|&a, &b| {
+                model
+                    .accuracy(&pop, a, l)
+                    .partial_cmp(&model.accuracy(&pop, b, l))
+                    .unwrap()
+            })
+            .unwrap();
+        let worst = pop
+            .ids()
+            .min_by(|&a, &b| {
+                model
+                    .accuracy(&pop, a, l)
+                    .partial_cmp(&model.accuracy(&pop, b, l))
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(model.accuracy(&pop, best, l) > model.accuracy(&pop, worst, l));
+    }
+
+    #[test]
+    fn empirical_accuracy_matches_model() {
+        let (lms, pop) = setup();
+        let model = AnswerModel::default();
+        let l = lms.iter().next().unwrap();
+        let w = pop.ids().next().unwrap();
+        let expect = model.accuracy(&pop, w, l);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let correct = (0..n)
+            .filter(|_| model.sample_answer(&pop, w, l, true, &mut rng))
+            .count();
+        let emp = correct as f64 / n as f64;
+        assert!((emp - expect).abs() < 0.02, "empirical {emp} vs model {expect}");
+    }
+
+    #[test]
+    fn answers_cover_both_truth_values() {
+        let (lms, pop) = setup();
+        let model = AnswerModel::default();
+        let l = lms.iter().next().unwrap();
+        let w = pop.ids().next().unwrap();
+        let mut rng = SmallRng::seed_from_u64(8);
+        // With truth=false the answer distribution flips.
+        let n = 5_000;
+        let yes = (0..n)
+            .filter(|_| model.sample_answer(&pop, w, l, false, &mut rng))
+            .count();
+        assert!(yes < n / 2, "most answers should be 'no' when truth is 'no'");
+    }
+}

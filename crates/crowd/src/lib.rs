@@ -1,0 +1,26 @@
+//! # cp-crowd — simulated crowdsourcing substrate
+//!
+//! Substitute for the paper's "hundreds of volunteers":
+//!
+//! * [`worker`] — worker profiles (public) + latent behavioural attributes;
+//! * [`population`] — deterministic population generation and the
+//!   ground-truth familiarity definition;
+//! * [`answer`] — the familiarity-dependent answer-noise model;
+//! * [`response`] — exponential response times: sampling, MLE, CDF
+//!   (paper §IV-A);
+//! * [`platform`] — the in-memory platform tracking history, quotas and
+//!   rewards.
+
+#![warn(missing_docs)]
+
+pub mod answer;
+pub mod platform;
+pub mod population;
+pub mod response;
+pub mod worker;
+
+pub use answer::AnswerModel;
+pub use platform::{AnswerTally, Platform};
+pub use population::{PopulationParams, WorkerPopulation};
+pub use response::{estimate_lambda, response_probability, sample_response_time};
+pub use worker::{Worker, WorkerId};

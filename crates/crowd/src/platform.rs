@@ -1,0 +1,300 @@
+//! In-memory crowdsourcing platform.
+//!
+//! Holds the worker population and every observable the server-side
+//! algorithms are allowed to see: per-(worker, landmark) answer history,
+//! observed response times, outstanding-task counts and reward balances.
+//! The platform also *simulates* worker behaviour (answers and latencies)
+//! from the latent attributes, so experiments can compare what the
+//! algorithms estimated against what was actually true.
+
+use crate::answer::AnswerModel;
+use crate::population::WorkerPopulation;
+use crate::response::sample_response_time;
+use crate::worker::WorkerId;
+use cp_roadnet::{Landmark, LandmarkId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Per-(worker, landmark) answer tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnswerTally {
+    /// Questions about this landmark the worker answered correctly.
+    pub correct: u32,
+    /// Questions answered incorrectly.
+    pub wrong: u32,
+}
+
+/// The simulated crowdsourcing platform.
+#[derive(Debug)]
+pub struct Platform {
+    population: WorkerPopulation,
+    model: AnswerModel,
+    history: HashMap<(WorkerId, LandmarkId), AnswerTally>,
+    response_times: Vec<Vec<f64>>,
+    outstanding: Vec<u32>,
+    points: Vec<f64>,
+    rng: SmallRng,
+}
+
+impl Platform {
+    /// Creates a platform over `population` with behaviour driven by
+    /// `model`, deterministic from `seed`.
+    pub fn new(population: WorkerPopulation, model: AnswerModel, seed: u64) -> Self {
+        let n = population.len();
+        Platform {
+            population,
+            model,
+            history: HashMap::new(),
+            response_times: vec![Vec::new(); n],
+            outstanding: vec![0; n],
+            points: vec![0.0; n],
+            rng: SmallRng::seed_from_u64(seed ^ 0x1656_67B1_9E37_79F9),
+        }
+    }
+
+    /// The worker population.
+    pub fn population(&self) -> &WorkerPopulation {
+        &self.population
+    }
+
+    /// The answer model in force.
+    pub fn answer_model(&self) -> &AnswerModel {
+        &self.model
+    }
+
+    /// Observed answer tally of `worker` on `landmark`.
+    pub fn tally(&self, worker: WorkerId, landmark: LandmarkId) -> AnswerTally {
+        self.history
+            .get(&(worker, landmark))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All (landmark, tally) records of one worker, in landmark order.
+    pub fn worker_history(&self, worker: WorkerId) -> Vec<(LandmarkId, AnswerTally)> {
+        let mut out: Vec<(LandmarkId, AnswerTally)> = self
+            .history
+            .iter()
+            .filter(|((w, _), _)| *w == worker)
+            .map(|((_, l), t)| (*l, *t))
+            .collect();
+        out.sort_unstable_by_key(|(l, _)| *l);
+        out
+    }
+
+    /// Observed response times of a worker, seconds.
+    pub fn observed_response_times(&self, worker: WorkerId) -> &[f64] {
+        &self.response_times[worker.index()]
+    }
+
+    /// Number of outstanding (assigned, unanswered) tasks of a worker.
+    pub fn outstanding(&self, worker: WorkerId) -> u32 {
+        self.outstanding[worker.index()]
+    }
+
+    /// Reward balance of a worker.
+    pub fn points(&self, worker: WorkerId) -> f64 {
+        self.points[worker.index()]
+    }
+
+    /// Marks a task as assigned to the worker.
+    pub fn assign(&mut self, worker: WorkerId) {
+        self.outstanding[worker.index()] += 1;
+    }
+
+    /// Marks one assigned task of the worker as finished.
+    pub fn finish(&mut self, worker: WorkerId) {
+        let o = &mut self.outstanding[worker.index()];
+        *o = o.saturating_sub(1);
+    }
+
+    /// Credits reward points (paper's rewarding component: by workload and
+    /// answer quality).
+    pub fn award(&mut self, worker: WorkerId, points: f64) {
+        self.points[worker.index()] += points;
+    }
+
+    /// Simulates asking `worker` the binary question about `landmark` whose
+    /// correct answer is `truth`. Returns `(answer, response_time_s)` and
+    /// records both the response time and the correctness tally.
+    pub fn ask(&mut self, worker: WorkerId, landmark: &Landmark, truth: bool) -> (bool, f64) {
+        let answer = self
+            .model
+            .sample_answer(&self.population, worker, landmark, truth, &mut self.rng);
+        let rt = sample_response_time(self.population.get(worker).lambda, &mut self.rng);
+        self.response_times[worker.index()].push(rt);
+        let tally = self.history.entry((worker, landmark.id)).or_default();
+        if answer == truth {
+            tally.correct += 1;
+        } else {
+            tally.wrong += 1;
+        }
+        (answer, rt)
+    }
+
+    /// Warms up the platform with `rounds` historical questions per worker,
+    /// so familiarity scores have history to draw on (the paper's "history
+    /// of worker's tasks around this area"). Mirroring a real platform —
+    /// where the worker-selection loop itself routes questions to nearby
+    /// workers — two thirds of warm-up questions concern landmarks near
+    /// the worker's own anchor places and the rest are city-wide.
+    pub fn warm_up(&mut self, landmarks: &cp_roadnet::LandmarkSet, rounds: usize) {
+        self.warm_up_with_radius(landmarks, rounds, 2500.0);
+    }
+
+    /// [`Self::warm_up`] with an explicit locality radius — use a radius
+    /// proportional to the city size (≈ a couple of knowledge scales).
+    pub fn warm_up_with_radius(
+        &mut self,
+        landmarks: &cp_roadnet::LandmarkSet,
+        rounds: usize,
+        radius: f64,
+    ) {
+        use rand::RngExt;
+        if landmarks.is_empty() {
+            return;
+        }
+        let ids: Vec<WorkerId> = self.population.ids().collect();
+        for w in ids {
+            let (home, work) = {
+                let p = self.population.get(w);
+                (p.home, p.work)
+            };
+            for r in 0..rounds {
+                let local = self.rng.random_bool(2.0 / 3.0);
+                let li = if local {
+                    let anchor = if r % 2 == 0 { home } else { work };
+                    let near = landmarks.within_radius(&anchor, radius);
+                    if near.is_empty() {
+                        LandmarkId(self.rng.random_range(0..landmarks.len() as u32))
+                    } else {
+                        near[self.rng.random_range(0..near.len())]
+                    }
+                } else {
+                    LandmarkId(self.rng.random_range(0..landmarks.len() as u32))
+                };
+                let truth = self.rng.random_bool(0.5);
+                let lm = landmarks.get(li).clone();
+                self.ask(w, &lm, truth);
+                self.finish(w); // warm-up answers do not hold quota
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationParams;
+    use cp_roadnet::{
+        generate_city, generate_landmarks, CityParams, LandmarkGenParams, LandmarkSet,
+    };
+
+    fn setup() -> (LandmarkSet, Platform) {
+        let city = generate_city(&CityParams::small(), 53).unwrap();
+        let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 53);
+        let pop = WorkerPopulation::generate(&city.graph, &PopulationParams::default(), 53);
+        let platform = Platform::new(pop, AnswerModel::default(), 53);
+        (lms, platform)
+    }
+
+    #[test]
+    fn ask_records_history_and_response_time() {
+        let (lms, mut p) = setup();
+        let w = WorkerId(0);
+        let lm = lms.get(cp_roadnet::LandmarkId(0)).clone();
+        assert_eq!(p.tally(w, lm.id), AnswerTally::default());
+        let (_, rt) = p.ask(w, &lm, true);
+        assert!(rt > 0.0);
+        let t = p.tally(w, lm.id);
+        assert_eq!(t.correct + t.wrong, 1);
+        assert_eq!(p.observed_response_times(w).len(), 1);
+    }
+
+    #[test]
+    fn outstanding_tracks_assign_finish() {
+        let (_, mut p) = setup();
+        let w = WorkerId(3);
+        assert_eq!(p.outstanding(w), 0);
+        p.assign(w);
+        p.assign(w);
+        assert_eq!(p.outstanding(w), 2);
+        p.finish(w);
+        assert_eq!(p.outstanding(w), 1);
+        p.finish(w);
+        p.finish(w); // extra finish saturates, no underflow
+        assert_eq!(p.outstanding(w), 0);
+    }
+
+    #[test]
+    fn rewards_accumulate() {
+        let (_, mut p) = setup();
+        let w = WorkerId(1);
+        p.award(w, 2.0);
+        p.award(w, 3.5);
+        assert_eq!(p.points(w), 5.5);
+        assert_eq!(p.points(WorkerId(2)), 0.0);
+    }
+
+    #[test]
+    fn warm_up_populates_everyone() {
+        let (lms, mut p) = setup();
+        p.warm_up(&lms, 10);
+        for w in (0..p.population().len() as u32).map(WorkerId) {
+            let h = p.worker_history(w);
+            let total: u32 = h.iter().map(|(_, t)| t.correct + t.wrong).sum();
+            assert_eq!(total, 10);
+            assert_eq!(p.outstanding(w), 0);
+        }
+    }
+
+    #[test]
+    fn history_correctness_tracks_familiarity() {
+        // After a long warm-up, workers should on average answer better
+        // about landmarks they truly know.
+        let (lms, mut p) = setup();
+        p.warm_up(&lms, 200);
+        // Aggregate total correct/total answered per familiarity bucket
+        // (pooled, so sparse buckets are not dominated by tiny samples).
+        let (mut fam_c, mut fam_t, mut unfam_c, mut unfam_t) = (0u64, 0u64, 0u64, 0u64);
+        for w in (0..p.population().len() as u32).map(WorkerId) {
+            for (l, t) in p.worker_history(w) {
+                let lm = lms.get(l);
+                let fam = p.population().true_familiarity(w, lm);
+                let (c, n) = (t.correct as u64, (t.correct + t.wrong) as u64);
+                if fam > 0.7 {
+                    fam_c += c;
+                    fam_t += n;
+                } else if fam < 0.3 {
+                    unfam_c += c;
+                    unfam_t += n;
+                }
+            }
+        }
+        assert!(fam_t > 0 && unfam_t > 0, "both buckets need data");
+        let fam_rate = fam_c as f64 / fam_t as f64;
+        let unfam_rate = unfam_c as f64 / unfam_t as f64;
+        assert!(
+            fam_rate > unfam_rate,
+            "familiar {fam_rate} vs unfamiliar {unfam_rate}"
+        );
+    }
+
+    #[test]
+    fn worker_history_is_sorted_and_scoped() {
+        let (lms, mut p) = setup();
+        let w = WorkerId(0);
+        let other = WorkerId(1);
+        for i in [5u32, 2, 9] {
+            let lm = lms.get(cp_roadnet::LandmarkId(i)).clone();
+            p.ask(w, &lm, true);
+        }
+        let lm = lms.get(cp_roadnet::LandmarkId(1)).clone();
+        p.ask(other, &lm, false);
+        let h = p.worker_history(w);
+        assert_eq!(h.len(), 3);
+        assert!(h.windows(2).all(|x| x[0].0 < x[1].0));
+        assert!(h.iter().all(|(l, _)| l.0 != 1));
+    }
+}

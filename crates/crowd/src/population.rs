@@ -1,0 +1,244 @@
+//! Synthetic worker population with ground-truth knowledge.
+//!
+//! The population substitutes for the paper's "hundreds of volunteers".
+//! Each worker gets anchor places in the city, category tastes, a
+//! carefulness level and a response rate. The *ground-truth familiarity*
+//! of a worker with a landmark — the quantity the paper's familiarity
+//! score and PMF try to estimate from observations — is defined here, so
+//! experiments can measure estimation quality exactly.
+
+use crate::worker::{Worker, WorkerId};
+use cp_roadnet::{Landmark, Point, RoadGraph};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of the worker population.
+#[derive(Debug, Clone)]
+pub struct PopulationParams {
+    /// Number of workers.
+    pub workers: usize,
+    /// Mean response time in seconds (λ = 1/mean, jittered per worker).
+    pub mean_response_s: f64,
+    /// Minimum worker reliability.
+    pub min_reliability: f64,
+    /// Mean spatial knowledge scale, metres.
+    pub knowledge_scale: f64,
+}
+
+impl Default for PopulationParams {
+    fn default() -> Self {
+        PopulationParams {
+            workers: 120,
+            mean_response_s: 900.0,
+            min_reliability: 0.55,
+            knowledge_scale: 1800.0,
+        }
+    }
+}
+
+/// The generated population.
+#[derive(Debug, Clone)]
+pub struct WorkerPopulation {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPopulation {
+    /// Generates `params.workers` workers anchored inside the city's
+    /// bounding box, deterministically from `seed`.
+    pub fn generate(graph: &RoadGraph, params: &PopulationParams, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC2B2_AE3D_27D4_EB4F);
+        let bbox = graph.bounding_box();
+        let rand_point = |rng: &mut SmallRng| {
+            Point::new(
+                rng.random_range(bbox.min.x..=bbox.max.x),
+                rng.random_range(bbox.min.y..=bbox.max.y),
+            )
+        };
+        let mut workers = Vec::with_capacity(params.workers);
+        for i in 0..params.workers {
+            let home = rand_point(&mut rng);
+            // Work and frequent places are biased near home (people live and
+            // move locally), with occasional cross-town commuters.
+            let near = |rng: &mut SmallRng, p: Point, spread: f64| {
+                Point::new(
+                    p.x + rng.random_range(-spread..=spread),
+                    p.y + rng.random_range(-spread..=spread),
+                )
+            };
+            let work = if rng.random_bool(0.3) {
+                rand_point(&mut rng)
+            } else {
+                near(&mut rng, home, 2000.0)
+            };
+            let frequent = near(&mut rng, home, 1500.0);
+            let mut affinity = [0.0; 6];
+            for a in &mut affinity {
+                *a = rng.random_range(0.1..1.0);
+            }
+            // Two strong interests per worker: sharpen the hidden category
+            // structure PMF should recover.
+            for _ in 0..2 {
+                affinity[rng.random_range(0..6)] = rng.random_range(0.8..1.0);
+            }
+            let reliability = rng.random_range(params.min_reliability..1.0);
+            let mean_rt = params.mean_response_s * rng.random_range(0.3..3.0);
+            workers.push(Worker {
+                id: WorkerId(i as u32),
+                home,
+                work,
+                frequent,
+                category_affinity: affinity,
+                reliability,
+                lambda: 1.0 / mean_rt,
+                knowledge_scale: params.knowledge_scale * rng.random_range(0.5..1.6),
+            });
+        }
+        WorkerPopulation { workers }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Worker record.
+    #[inline]
+    pub fn get(&self, id: WorkerId) -> &Worker {
+        &self.workers[id.index()]
+    }
+
+    /// Iterator over all workers.
+    pub fn iter(&self) -> impl Iterator<Item = &Worker> {
+        self.workers.iter()
+    }
+
+    /// All worker ids.
+    pub fn ids(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        (0..self.workers.len() as u32).map(WorkerId)
+    }
+
+    /// Ground-truth familiarity of `worker` with `landmark`, in `[0, 1]`.
+    ///
+    /// Combines spatial proximity (exponential decay of the min anchor
+    /// distance over the worker's knowledge scale), category taste, and the
+    /// landmark's own fame (famous landmarks are known even from afar —
+    /// the paper's White House example).
+    pub fn true_familiarity(&self, worker: WorkerId, landmark: &Landmark) -> f64 {
+        let w = self.get(worker);
+        let d = w.min_anchor_distance(&landmark.position);
+        let spatial = (-d / w.knowledge_scale).exp();
+        let taste = w.category_affinity[landmark.category.index()];
+        let local = spatial * (0.4 + 0.6 * taste);
+        let global = 0.5 * landmark.latent_fame;
+        (local + global).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_roadnet::{
+        generate_city, generate_landmarks, CityParams, LandmarkGenParams,
+    };
+
+    fn setup() -> (cp_roadnet::City, cp_roadnet::LandmarkSet, WorkerPopulation) {
+        let city = generate_city(&CityParams::small(), 43).unwrap();
+        let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 43);
+        let pop = WorkerPopulation::generate(&city.graph, &PopulationParams::default(), 43);
+        (city, lms, pop)
+    }
+
+    #[test]
+    fn generates_requested_workers() {
+        let (_, _, pop) = setup();
+        assert_eq!(pop.len(), 120);
+        assert!(!pop.is_empty());
+        for (i, id) in pop.ids().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(pop.get(id).id, id);
+        }
+    }
+
+    #[test]
+    fn latent_attributes_in_valid_ranges() {
+        let (_, _, pop) = setup();
+        for w in pop.iter() {
+            assert!(w.reliability >= 0.55 && w.reliability < 1.0);
+            assert!(w.lambda > 0.0);
+            assert!(w.knowledge_scale > 0.0);
+            assert!(w.category_affinity.iter().all(|&a| (0.0..=1.0).contains(&a)));
+        }
+    }
+
+    #[test]
+    fn familiarity_decays_with_distance() {
+        let (_, lms, pop) = setup();
+        let w = pop.ids().next().unwrap();
+        // For each worker, a landmark at their home must be at least as
+        // familiar as the same-category landmark far away with lower fame.
+        let mut checked = 0;
+        for a in lms.iter() {
+            for b in lms.iter() {
+                if a.category == b.category
+                    && a.latent_fame >= b.latent_fame
+                    && pop.get(w).min_anchor_distance(&a.position)
+                        + 500.0
+                        < pop.get(w).min_anchor_distance(&b.position)
+                {
+                    assert!(
+                        pop.true_familiarity(w, a) >= pop.true_familiarity(w, b) - 1e-9,
+                        "closer, equally-famous landmark must be >= familiar"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn familiarity_bounded() {
+        let (_, lms, pop) = setup();
+        for w in pop.ids() {
+            for l in lms.iter() {
+                let f = pop.true_familiarity(w, l);
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let city = generate_city(&CityParams::small(), 43).unwrap();
+        let a = WorkerPopulation::generate(&city.graph, &PopulationParams::default(), 5);
+        let b = WorkerPopulation::generate(&city.graph, &PopulationParams::default(), 5);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.home, y.home);
+            assert_eq!(x.reliability, y.reliability);
+        }
+    }
+
+    #[test]
+    fn famous_landmarks_widely_known() {
+        let (_, lms, pop) = setup();
+        // The most famous landmark should have mean familiarity clearly
+        // above the least famous one.
+        let most = lms
+            .iter()
+            .max_by(|a, b| a.latent_fame.partial_cmp(&b.latent_fame).unwrap())
+            .unwrap();
+        let least = lms
+            .iter()
+            .min_by(|a, b| a.latent_fame.partial_cmp(&b.latent_fame).unwrap())
+            .unwrap();
+        let mean = |l: &Landmark| {
+            pop.ids().map(|w| pop.true_familiarity(w, l)).sum::<f64>() / pop.len() as f64
+        };
+        assert!(mean(most) > mean(least));
+    }
+}

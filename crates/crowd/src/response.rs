@@ -1,0 +1,86 @@
+//! Worker response-time model (paper §IV-A).
+//!
+//! "We assume the probability of the response time t of a worker follows
+//! an exponential distribution, f(t;λ) = λ exp(−λt), which is [a] standard
+//! assumption in estimating worker's response time." The simulator samples
+//! true response times from each worker's latent λ; the system estimates λ
+//! from the observed history by maximum likelihood and filters workers by
+//! `F(t;λ) = 1 − exp(−λt) ≥ η_time`.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Samples a response time from `Exp(lambda)` seconds.
+pub fn sample_response_time(lambda: f64, rng: &mut SmallRng) -> f64 {
+    assert!(lambda > 0.0, "rate must be positive");
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+/// Maximum-likelihood estimate of λ from observed response times
+/// (`n / Σ t`). Returns `None` when no observations exist.
+pub fn estimate_lambda(observed: &[f64]) -> Option<f64> {
+    if observed.is_empty() {
+        return None;
+    }
+    let total: f64 = observed.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    Some(observed.len() as f64 / total)
+}
+
+/// Probability that a worker with rate `lambda` responds within `t`
+/// seconds: the exponential CDF `F(t;λ) = 1 − e^{−λt}`.
+pub fn response_probability(lambda: f64, t: f64) -> f64 {
+    if t <= 0.0 {
+        return 0.0;
+    }
+    1.0 - (-lambda * t).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_properties() {
+        assert_eq!(response_probability(0.01, 0.0), 0.0);
+        assert!(response_probability(0.01, 1e9) > 0.999_999);
+        // Monotone in t.
+        let l = 1.0 / 600.0;
+        assert!(response_probability(l, 300.0) < response_probability(l, 900.0));
+        // Median of Exp(λ) is ln2/λ.
+        let median = (2.0f64).ln() / l;
+        assert!((response_probability(l, median) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mle_recovers_rate() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let lambda = 1.0 / 450.0;
+        let obs: Vec<f64> = (0..20_000)
+            .map(|_| sample_response_time(lambda, &mut rng))
+            .collect();
+        let est = estimate_lambda(&obs).unwrap();
+        assert!(
+            (est - lambda).abs() / lambda < 0.05,
+            "estimated {est}, true {lambda}"
+        );
+    }
+
+    #[test]
+    fn mle_empty_is_none() {
+        assert_eq!(estimate_lambda(&[]), None);
+        assert_eq!(estimate_lambda(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(sample_response_time(0.01, &mut rng) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Worker profiles.
+//!
+//! A worker of CrowdPlanner is a registered user who answers route
+//! questions. The paper's worker-selection component consumes the profile
+//! ("her home address, work place and familiar suburbs, which can be
+//! collected during her registration") and the answer history; the
+//! simulator additionally carries *latent* attributes — true spatial
+//! knowledge, category tastes, carefulness, response rate — that the
+//! algorithms never see directly but that shape observable behaviour.
+
+use cp_roadnet::Point;
+
+/// Identifier of a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// The worker id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A worker: public profile + latent simulation attributes.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    /// Identifier (dense).
+    pub id: WorkerId,
+    /// Registered home location (public profile).
+    pub home: Point,
+    /// Registered work location (public profile).
+    pub work: Point,
+    /// Registered "familiar region" anchor (public profile, the paper's
+    /// `p_fr`).
+    pub frequent: Point,
+    /// Latent: knowledge-category affinities in `[0, 1]`, one per
+    /// [`cp_roadnet::LandmarkCategory`]. Drives ground-truth familiarity;
+    /// PMF is supposed to rediscover this structure.
+    pub category_affinity: [f64; 6],
+    /// Latent: carefulness in `[0, 1]`; scales answer accuracy.
+    pub reliability: f64,
+    /// Latent: response rate λ (answers per second); response times are
+    /// exponential with this rate (paper §IV-A).
+    pub lambda: f64,
+    /// Latent: spatial knowledge scale in metres — how far from their
+    /// anchor points the worker's knowledge extends.
+    pub knowledge_scale: f64,
+}
+
+impl Worker {
+    /// Minimum distance from the landmark position to any of the worker's
+    /// anchor places.
+    pub fn min_anchor_distance(&self, p: &Point) -> f64 {
+        self.home
+            .distance(p)
+            .min(self.work.distance(p))
+            .min(self.frequent.distance(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker() -> Worker {
+        Worker {
+            id: WorkerId(0),
+            home: Point::new(0.0, 0.0),
+            work: Point::new(1000.0, 0.0),
+            frequent: Point::new(0.0, 1000.0),
+            category_affinity: [0.5; 6],
+            reliability: 0.9,
+            lambda: 1.0 / 600.0,
+            knowledge_scale: 1500.0,
+        }
+    }
+
+    #[test]
+    fn min_anchor_distance_picks_closest() {
+        let w = worker();
+        assert_eq!(w.min_anchor_distance(&Point::new(10.0, 0.0)), 10.0);
+        assert_eq!(w.min_anchor_distance(&Point::new(990.0, 0.0)), 10.0);
+        assert_eq!(w.min_anchor_distance(&Point::new(0.0, 995.0)), 5.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Unified candidate-route generation (paper §II-B1, "route generation
+//! component": "two types of candidate routes, the one provided by web
+//! services … and the one generated from historical trajectories by using
+//! popular route mining algorithms, i.e., MPR, LDR and MFP").
+
+use crate::ldr::{local_driver_route, local_support, LdrParams};
+use crate::mfp::{most_frequent_path, MfpParams};
+use crate::mpr::{most_popular_route, MprParams};
+use crate::transfer::TransferNetwork;
+use crate::webservice::{FastestRouteService, ShortestRouteService};
+use cp_roadnet::{NodeId, Path, RoadGraph};
+use cp_traj::{TimeOfDay, Trip};
+
+/// Where a candidate route came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceKind {
+    /// Distance-optimising web service.
+    ShortestWebService,
+    /// Time-optimising web service.
+    FastestWebService,
+    /// Most Popular Route miner.
+    Mpr,
+    /// Local-Driver Route miner.
+    Ldr,
+    /// Most Frequent Path miner.
+    Mfp,
+}
+
+impl SourceKind {
+    /// All sources in presentation order.
+    pub const ALL: [SourceKind; 5] = [
+        SourceKind::ShortestWebService,
+        SourceKind::FastestWebService,
+        SourceKind::Mpr,
+        SourceKind::Ldr,
+        SourceKind::Mfp,
+    ];
+
+    /// Human-readable name, used by the experiment harness tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceKind::ShortestWebService => "WS-Shortest",
+            SourceKind::FastestWebService => "WS-Fastest",
+            SourceKind::Mpr => "MPR",
+            SourceKind::Ldr => "LDR",
+            SourceKind::Mfp => "MFP",
+        }
+    }
+}
+
+/// A candidate route and its provenance.
+#[derive(Debug, Clone)]
+pub struct CandidateRoute {
+    /// Which provider produced it.
+    pub source: SourceKind,
+    /// The route.
+    pub path: Path,
+}
+
+/// Generates the full candidate set for route requests, holding the
+/// pre-built all-day transfer network so repeated requests are cheap.
+pub struct CandidateGenerator<'a> {
+    graph: &'a RoadGraph,
+    trips: &'a [Trip],
+    transfer: TransferNetwork,
+    /// MPR parameters.
+    pub mpr: MprParams,
+    /// MFP parameters.
+    pub mfp: MfpParams,
+    /// LDR parameters.
+    pub ldr: LdrParams,
+}
+
+impl<'a> CandidateGenerator<'a> {
+    /// Builds the generator (aggregates the transfer network once).
+    pub fn new(graph: &'a RoadGraph, trips: &'a [Trip]) -> Self {
+        CandidateGenerator {
+            graph,
+            trips,
+            transfer: TransferNetwork::build(graph, trips, None),
+            mpr: MprParams::default(),
+            mfp: MfpParams::default(),
+            ldr: LdrParams::default(),
+        }
+    }
+
+    /// The underlying all-day transfer network.
+    pub fn transfer_network(&self) -> &TransferNetwork {
+        &self.transfer
+    }
+
+    /// Historical-trip support near this OD pair (how much data backs the
+    /// miners here) — consumed by route evaluation.
+    pub fn od_support(&self, from: NodeId, to: NodeId) -> usize {
+        local_support(self.graph, self.trips, from, to, &self.ldr)
+    }
+
+    /// Produces one candidate per available source. Sources that cannot
+    /// route the request (disconnected etc.) are silently skipped; the
+    /// result is empty only if no source can connect the pair.
+    pub fn candidates(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+    ) -> Vec<CandidateRoute> {
+        let mut out = Vec::with_capacity(SourceKind::ALL.len());
+        if let Ok(p) = ShortestRouteService.route(self.graph, from, to) {
+            out.push(CandidateRoute {
+                source: SourceKind::ShortestWebService,
+                path: p,
+            });
+        }
+        if let Ok(p) = FastestRouteService.route(self.graph, from, to) {
+            out.push(CandidateRoute {
+                source: SourceKind::FastestWebService,
+                path: p,
+            });
+        }
+        if let Ok(p) = most_popular_route(self.graph, &self.transfer, from, to, &self.mpr) {
+            out.push(CandidateRoute {
+                source: SourceKind::Mpr,
+                path: p,
+            });
+        }
+        if let Ok(p) = local_driver_route(self.graph, self.trips, from, to, &self.ldr) {
+            out.push(CandidateRoute {
+                source: SourceKind::Ldr,
+                path: p,
+            });
+        }
+        if let Ok(p) = most_frequent_path(self.graph, self.trips, from, to, departure, &self.mfp)
+        {
+            out.push(CandidateRoute {
+                source: SourceKind::Mfp,
+                path: p,
+            });
+        }
+        out
+    }
+}
+
+/// Deduplicates candidates into distinct paths, remembering every source
+/// that proposed each path. Order follows first appearance.
+pub fn distinct_candidates(candidates: &[CandidateRoute]) -> Vec<(Path, Vec<SourceKind>)> {
+    let mut out: Vec<(Path, Vec<SourceKind>)> = Vec::new();
+    for c in candidates {
+        if let Some(entry) = out.iter_mut().find(|(p, _)| *p == c.path) {
+            entry.1.push(c.source);
+        } else {
+            out.push((c.path.clone(), vec![c.source]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_roadnet::{generate_city, CityParams};
+    use cp_traj::{generate_trips, TripGenParams};
+
+    fn setup() -> (cp_roadnet::City, cp_traj::TripDataset) {
+        let city = generate_city(&CityParams::small(), 41).unwrap();
+        let ds = generate_trips(&city.graph, &TripGenParams::default(), 41).unwrap();
+        (city, ds)
+    }
+
+    #[test]
+    fn produces_all_five_sources() {
+        let (city, ds) = setup();
+        let gen = CandidateGenerator::new(&city.graph, &ds.trips);
+        let cs = gen.candidates(NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0));
+        assert_eq!(cs.len(), 5);
+        let kinds: Vec<SourceKind> = cs.iter().map(|c| c.source).collect();
+        for k in SourceKind::ALL {
+            assert!(kinds.contains(&k), "missing {k:?}");
+        }
+        for c in &cs {
+            assert_eq!(c.path.source(), NodeId(0));
+            assert_eq!(c.path.destination(), NodeId(59));
+        }
+    }
+
+    #[test]
+    fn distinct_candidates_merges_agreeing_sources() {
+        let (city, ds) = setup();
+        let gen = CandidateGenerator::new(&city.graph, &ds.trips);
+        let cs = gen.candidates(NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0));
+        let distinct = distinct_candidates(&cs);
+        assert!(!distinct.is_empty());
+        assert!(distinct.len() <= cs.len());
+        let total: usize = distinct.iter().map(|(_, s)| s.len()).sum();
+        assert_eq!(total, cs.len(), "every source accounted for exactly once");
+        // No duplicate paths remain.
+        for i in 0..distinct.len() {
+            for j in i + 1..distinct.len() {
+                assert_ne!(distinct[i].0, distinct[j].0);
+            }
+        }
+    }
+
+    #[test]
+    fn od_support_is_monotone_in_radius() {
+        let (city, ds) = setup();
+        let mut gen = CandidateGenerator::new(&city.graph, &ds.trips);
+        let narrow = {
+            gen.ldr.endpoint_radius = 100.0;
+            gen.od_support(NodeId(0), NodeId(59))
+        };
+        let wide = {
+            gen.ldr.endpoint_radius = 2000.0;
+            gen.od_support(NodeId(0), NodeId(59))
+        };
+        assert!(wide >= narrow);
+    }
+
+    #[test]
+    fn source_names_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            SourceKind::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), SourceKind::ALL.len());
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for the road-network substrate.
+
+use crate::graph::{EdgeId, NodeId};
+use std::fmt;
+
+/// Errors produced while constructing or querying a road network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoadNetError {
+    /// An edge referenced a node id that was never added.
+    UnknownNode,
+    /// Self-loop edges are not allowed in a road network.
+    SelfLoop {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A stored edge is structurally invalid (bad endpoints or length).
+    InvalidEdge {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// No path exists between the requested origin and destination.
+    NoPath {
+        /// Requested origin.
+        from: NodeId,
+        /// Requested destination.
+        to: NodeId,
+    },
+    /// A generator parameter was out of its valid range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for RoadNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadNetError::UnknownNode => write!(f, "edge references an unknown node"),
+            RoadNetError::SelfLoop { node } => {
+                write!(f, "self-loop edges are not allowed (node {})", node.0)
+            }
+            RoadNetError::InvalidEdge { edge } => write!(f, "edge {} is invalid", edge.0),
+            RoadNetError::NoPath { from, to } => {
+                write!(f, "no path from node {} to node {}", from.0, to.0)
+            }
+            RoadNetError::InvalidParameter(what) => {
+                write!(f, "invalid generator parameter: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoadNetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(RoadNetError::UnknownNode.to_string().contains("unknown node"));
+        assert!(RoadNetError::SelfLoop { node: NodeId(7) }
+            .to_string()
+            .contains('7'));
+        assert!(RoadNetError::NoPath {
+            from: NodeId(1),
+            to: NodeId(2)
+        }
+        .to_string()
+        .contains("no path"));
+        assert!(RoadNetError::InvalidParameter("grid too small")
+            .to_string()
+            .contains("grid too small"));
+    }
+}

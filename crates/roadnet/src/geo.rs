@@ -1,0 +1,223 @@
+//! Planar geometry primitives used throughout the workspace.
+//!
+//! The synthetic city lives on a flat plane measured in metres. Using a
+//! local planar frame (instead of latitude/longitude) keeps every distance
+//! computation exact and cheap, which matters because landmark accumulation
+//! and calibration are distance-heavy inner loops.
+
+/// A point in the local planar frame, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// East-west coordinate in metres.
+    pub x: f64,
+    /// North-south coordinate in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from `x`/`y` metre coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance — avoids the `sqrt` when only comparisons
+    /// are needed (nearest-neighbour queries, radius filters).
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: returns the point `t` of the way from `self`
+    /// to `other` (`t = 0` gives `self`, `t = 1` gives `other`).
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Bearing from `self` to `other` in radians, measured counter-clockwise
+    /// from the positive x axis, in `(-π, π]`.
+    pub fn bearing(&self, other: &Point) -> f64 {
+        (other.y - self.y).atan2(other.x - self.x)
+    }
+
+    /// Translates the point by `(dx, dy)` metres.
+    pub fn translate(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+/// An axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box from two corners; the corners are normalised
+    /// so that `min` is component-wise ≤ `max`.
+    pub fn new(a: Point, b: Point) -> Self {
+        BoundingBox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The empty box, suitable as a fold seed for [`BoundingBox::expand`].
+    pub fn empty() -> Self {
+        BoundingBox {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Grows the box to include `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Whether `p` lies inside (or on the border of) the box.
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Width in metres (0 for the empty box).
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Height in metres (0 for the empty box).
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Centre of the box.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(&self.max)
+    }
+
+    /// Inflates the box by `margin` metres on every side.
+    pub fn inflate(&self, margin: f64) -> BoundingBox {
+        BoundingBox {
+            min: self.min.translate(-margin, -margin),
+            max: self.max.translate(margin, margin),
+        }
+    }
+}
+
+/// Signed smallest angular difference between two bearings, in `(-π, π]`.
+///
+/// Used to compute turn angles when counting the turns along a route: the
+/// turn cost model in [`crate::path`] penalises sharp turns, which latent
+/// driver preferences care about.
+pub fn angle_diff(a: f64, b: f64) -> f64 {
+    let mut d = b - a;
+    while d > std::f64::consts::PI {
+        d -= 2.0 * std::f64::consts::PI;
+    }
+    while d <= -std::f64::consts::PI {
+        d += 2.0 * std::f64::consts::PI;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(3.0, 4.0);
+        let b = Point::new(0.0, 0.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn distance_sq_matches_distance() {
+        let a = Point::new(1.5, -2.5);
+        let b = Point::new(-4.0, 7.0);
+        assert!((a.distance_sq(&b).sqrt() - a.distance(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        let m = a.midpoint(&b);
+        assert_eq!(m, Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(5.0, 9.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), a.midpoint(&b));
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let o = Point::new(0.0, 0.0);
+        assert!((o.bearing(&Point::new(1.0, 0.0)) - 0.0).abs() < 1e-12);
+        assert!((o.bearing(&Point::new(0.0, 1.0)) - PI / 2.0).abs() < 1e-12);
+        assert!((o.bearing(&Point::new(-1.0, 0.0)).abs() - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bbox_contains_and_expand() {
+        let mut b = BoundingBox::empty();
+        assert!(!b.contains(&Point::new(0.0, 0.0)));
+        b.expand(Point::new(0.0, 0.0));
+        b.expand(Point::new(10.0, 5.0));
+        assert!(b.contains(&Point::new(5.0, 2.5)));
+        assert!(!b.contains(&Point::new(11.0, 2.5)));
+        assert_eq!(b.width(), 10.0);
+        assert_eq!(b.height(), 5.0);
+        assert_eq!(b.center(), Point::new(5.0, 2.5));
+    }
+
+    #[test]
+    fn bbox_new_normalises_corners() {
+        let b = BoundingBox::new(Point::new(10.0, -5.0), Point::new(-10.0, 5.0));
+        assert_eq!(b.min, Point::new(-10.0, -5.0));
+        assert_eq!(b.max, Point::new(10.0, 5.0));
+    }
+
+    #[test]
+    fn bbox_inflate_grows_every_side() {
+        let b = BoundingBox::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0)).inflate(1.0);
+        assert!(b.contains(&Point::new(-0.5, -0.5)));
+        assert!(b.contains(&Point::new(2.5, 2.5)));
+        assert!(!b.contains(&Point::new(3.5, 0.0)));
+    }
+
+    #[test]
+    fn angle_diff_wraps() {
+        assert!((angle_diff(0.0, PI / 2.0) - PI / 2.0).abs() < 1e-12);
+        assert!((angle_diff(PI / 2.0, 0.0) + PI / 2.0).abs() < 1e-12);
+        // Wrapping across the ±π seam: from 3π/4 to -3π/4 is a +π/2 turn.
+        assert!((angle_diff(3.0 * PI / 4.0, -3.0 * PI / 4.0) - PI / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,371 @@
+//! Landmarks and spatial indexing.
+//!
+//! A landmark (paper Definition 2) is "a geographical object in the space,
+//! which is stable and independent of the recommended routes". Landmarks
+//! carry a *latent fame* — the hidden ground-truth popularity that drives
+//! the synthetic check-in generator — while the *significance* `l.s` that
+//! the algorithms actually use is inferred from data by the HITS-like
+//! procedure in `cp-traj::significance`, mirroring the paper's pipeline.
+
+use crate::geo::{BoundingBox, Point};
+use crate::graph::{NodeId, RoadGraph};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Identifier of a landmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LandmarkId(pub u32);
+
+impl LandmarkId {
+    /// The landmark id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Category of a landmark; the worker-knowledge model groups familiarity by
+/// category (the paper's "hidden knowledge categories" that PMF discovers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LandmarkCategory {
+    /// Restaurants, cafes, bars.
+    Food,
+    /// Malls, markets, shops.
+    Shopping,
+    /// Offices, business parks.
+    Business,
+    /// Parks, stadiums, museums.
+    Leisure,
+    /// Stations, airports, interchanges.
+    Transport,
+    /// Schools and universities.
+    Education,
+}
+
+impl LandmarkCategory {
+    /// All categories.
+    pub const ALL: [LandmarkCategory; 6] = [
+        LandmarkCategory::Food,
+        LandmarkCategory::Shopping,
+        LandmarkCategory::Business,
+        LandmarkCategory::Leisure,
+        LandmarkCategory::Transport,
+        LandmarkCategory::Education,
+    ];
+
+    /// Dense index of the category.
+    pub fn index(self) -> usize {
+        match self {
+            LandmarkCategory::Food => 0,
+            LandmarkCategory::Shopping => 1,
+            LandmarkCategory::Business => 2,
+            LandmarkCategory::Leisure => 3,
+            LandmarkCategory::Transport => 4,
+            LandmarkCategory::Education => 5,
+        }
+    }
+}
+
+/// A geographical landmark.
+#[derive(Debug, Clone)]
+pub struct Landmark {
+    /// Identifier (dense, index into [`LandmarkSet`]).
+    pub id: LandmarkId,
+    /// Position in the plane.
+    pub position: Point,
+    /// Nearest road intersection — the anchor used by trajectory
+    /// calibration.
+    pub anchor: NodeId,
+    /// Latent ground-truth fame in `(0, 1]`; drives check-in generation.
+    /// Not visible to the recommendation algorithms.
+    pub latent_fame: f64,
+    /// Category.
+    pub category: LandmarkCategory,
+}
+
+/// A dense collection of landmarks plus a uniform-grid spatial index.
+#[derive(Debug, Clone)]
+pub struct LandmarkSet {
+    landmarks: Vec<Landmark>,
+    cell_size: f64,
+    bbox: BoundingBox,
+    cols: usize,
+    rows: usize,
+    /// `cells[r*cols+c]` lists landmark ids in that cell.
+    cells: Vec<Vec<LandmarkId>>,
+}
+
+impl LandmarkSet {
+    /// Builds the set and its spatial index. `cell_size` should be around
+    /// the typical query radius (η_dis); any positive value is correct.
+    pub fn new(landmarks: Vec<Landmark>, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let mut bbox = BoundingBox::empty();
+        for l in &landmarks {
+            bbox.expand(l.position);
+        }
+        if landmarks.is_empty() {
+            bbox = BoundingBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        }
+        let cols = ((bbox.width() / cell_size).ceil() as usize).max(1);
+        let rows = ((bbox.height() / cell_size).ceil() as usize).max(1);
+        let mut cells = vec![Vec::new(); cols * rows];
+        for l in &landmarks {
+            let (r, c) = cell_of(&bbox, cell_size, cols, rows, &l.position);
+            cells[r * cols + c].push(l.id);
+        }
+        LandmarkSet {
+            landmarks,
+            cell_size,
+            bbox,
+            cols,
+            rows,
+            cells,
+        }
+    }
+
+    /// Number of landmarks.
+    pub fn len(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.landmarks.is_empty()
+    }
+
+    /// The landmark record.
+    #[inline]
+    pub fn get(&self, id: LandmarkId) -> &Landmark {
+        &self.landmarks[id.index()]
+    }
+
+    /// Iterator over all landmarks.
+    pub fn iter(&self) -> impl Iterator<Item = &Landmark> {
+        self.landmarks.iter()
+    }
+
+    /// All landmark ids.
+    pub fn ids(&self) -> impl Iterator<Item = LandmarkId> + '_ {
+        (0..self.landmarks.len() as u32).map(LandmarkId)
+    }
+
+    /// Landmarks within `radius` metres of `p`, in id order.
+    pub fn within_radius(&self, p: &Point, radius: f64) -> Vec<LandmarkId> {
+        let mut out = Vec::new();
+        let r2 = radius * radius;
+        let lo = cell_of(&self.bbox, self.cell_size, self.cols, self.rows,
+                         &Point::new(p.x - radius, p.y - radius));
+        let hi = cell_of(&self.bbox, self.cell_size, self.cols, self.rows,
+                         &Point::new(p.x + radius, p.y + radius));
+        for r in lo.0..=hi.0 {
+            for c in lo.1..=hi.1 {
+                for &id in &self.cells[r * self.cols + c] {
+                    if self.get(id).position.distance_sq(p) <= r2 {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Nearest landmark to `p` within `max_radius`, if any.
+    pub fn nearest(&self, p: &Point, max_radius: f64) -> Option<LandmarkId> {
+        self.within_radius(p, max_radius)
+            .into_iter()
+            .min_by(|&a, &b| {
+                let da = self.get(a).position.distance_sq(p);
+                let db = self.get(b).position.distance_sq(p);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+}
+
+fn cell_of(
+    bbox: &BoundingBox,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    p: &Point,
+) -> (usize, usize) {
+    let cx = ((p.x - bbox.min.x) / cell).floor();
+    let cy = ((p.y - bbox.min.y) / cell).floor();
+    let c = (cx.max(0.0) as usize).min(cols - 1);
+    let r = (cy.max(0.0) as usize).min(rows - 1);
+    (r, c)
+}
+
+/// Parameters for landmark placement.
+#[derive(Debug, Clone)]
+pub struct LandmarkGenParams {
+    /// Number of landmarks to place.
+    pub count: usize,
+    /// Max offset of a landmark from its anchor intersection, metres.
+    pub scatter: f64,
+    /// Pareto shape of the latent-fame distribution; smaller = more skew.
+    /// The paper's observation that "the White House is world famous but
+    /// Pennsylvania Ave is only known by locals" is exactly heavy-tailed
+    /// fame.
+    pub fame_shape: f64,
+    /// Spatial-index cell size (typically η_dis).
+    pub cell_size: f64,
+}
+
+impl Default for LandmarkGenParams {
+    fn default() -> Self {
+        LandmarkGenParams {
+            count: 120,
+            scatter: 40.0,
+            fame_shape: 1.2,
+            cell_size: 500.0,
+        }
+    }
+}
+
+/// Places `params.count` landmarks near uniformly-sampled intersections of
+/// `graph`, with Pareto-tailed latent fame, deterministically from `seed`.
+pub fn generate_landmarks(
+    graph: &RoadGraph,
+    params: &LandmarkGenParams,
+    seed: u64,
+) -> LandmarkSet {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xA076_1D64_78BD_642F);
+    let n = graph.node_count() as u32;
+    let mut landmarks = Vec::with_capacity(params.count);
+    for i in 0..params.count {
+        let anchor = NodeId(rng.random_range(0..n));
+        let base = graph.position(anchor);
+        let dx = rng.random_range(-params.scatter..=params.scatter);
+        let dy = rng.random_range(-params.scatter..=params.scatter);
+        // Pareto(1, shape) mapped into (0, 1]: fame = min(1, 1/u^(1/shape)) / 10
+        // then clamped; keeps a heavy tail with a few very famous landmarks.
+        let u: f64 = rng.random_range(1e-6..1.0f64);
+        let pareto = u.powf(-1.0 / params.fame_shape);
+        let fame = (pareto / 10.0).clamp(0.05, 1.0);
+        let category = LandmarkCategory::ALL[rng.random_range(0..LandmarkCategory::ALL.len())];
+        landmarks.push(Landmark {
+            id: LandmarkId(i as u32),
+            position: base.translate(dx, dy),
+            anchor,
+            latent_fame: fame,
+            category,
+        });
+    }
+    LandmarkSet::new(landmarks, params.cell_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_city, CityParams};
+
+    fn setup() -> (crate::generator::City, LandmarkSet) {
+        let city = generate_city(&CityParams::small(), 11).unwrap();
+        let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 11);
+        (city, lms)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let (_, lms) = setup();
+        assert_eq!(lms.len(), 120);
+        assert!(!lms.is_empty());
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let (_, lms) = setup();
+        for (i, id) in lms.ids().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(lms.get(id).id, id);
+        }
+    }
+
+    #[test]
+    fn fame_in_range_and_skewed() {
+        let (_, lms) = setup();
+        let mut famous = 0;
+        for l in lms.iter() {
+            assert!(l.latent_fame >= 0.05 && l.latent_fame <= 1.0);
+            if l.latent_fame > 0.5 {
+                famous += 1;
+            }
+        }
+        // Heavy tail: some famous landmarks, but a minority.
+        assert!(famous >= 1);
+        assert!(famous < lms.len() / 2);
+    }
+
+    #[test]
+    fn within_radius_matches_linear_scan() {
+        let (_, lms) = setup();
+        let q = Point::new(700.0, 450.0);
+        for radius in [100.0, 400.0, 900.0] {
+            let fast = lms.within_radius(&q, radius);
+            let mut slow: Vec<LandmarkId> = lms
+                .iter()
+                .filter(|l| l.position.distance(&q) <= radius)
+                .map(|l| l.id)
+                .collect();
+            slow.sort_unstable();
+            assert_eq!(fast, slow, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn nearest_is_truly_nearest() {
+        let (_, lms) = setup();
+        let q = Point::new(300.0, 300.0);
+        let got = lms.nearest(&q, 5000.0).unwrap();
+        let best = lms
+            .iter()
+            .min_by(|a, b| {
+                a.position
+                    .distance_sq(&q)
+                    .partial_cmp(&b.position.distance_sq(&q))
+                    .unwrap()
+            })
+            .unwrap()
+            .id;
+        assert_eq!(got, best);
+    }
+
+    #[test]
+    fn nearest_respects_max_radius() {
+        let (_, lms) = setup();
+        // Far outside the city.
+        let q = Point::new(1e7, 1e7);
+        assert!(lms.nearest(&q, 100.0).is_none());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let city = generate_city(&CityParams::small(), 4).unwrap();
+        let a = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 9);
+        let b = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 9);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.position, y.position);
+            assert_eq!(x.latent_fame, y.latent_fame);
+        }
+    }
+
+    #[test]
+    fn empty_set_queries_are_safe() {
+        let lms = LandmarkSet::new(Vec::new(), 100.0);
+        assert!(lms.is_empty());
+        assert!(lms.within_radius(&Point::new(0.0, 0.0), 50.0).is_empty());
+        assert!(lms.nearest(&Point::new(0.0, 0.0), 50.0).is_none());
+    }
+
+    #[test]
+    fn anchors_are_valid_nodes() {
+        let (city, lms) = setup();
+        for l in lms.iter() {
+            assert!(l.anchor.index() < city.graph.node_count());
+            // Landmark must be near its anchor.
+            assert!(l.position.distance(&city.graph.position(l.anchor)) <= 40.0 * 1.5);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Paths (routes) over the road graph and their metrics.
+//!
+//! A [`Path`] is the computer-side representation of a route from the paper:
+//! "a sequence [p1, p2, …, pn] which consists of a source, a destination and
+//! a sequence of consecutive road intersections in-between" (Definition 1).
+
+use crate::geo::angle_diff;
+use crate::graph::{EdgeId, NodeId, RoadGraph};
+
+/// A connected sequence of directed edges in a [`RoadGraph`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    edges: Vec<EdgeId>,
+    nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Builds a path from a node sequence, resolving each consecutive pair
+    /// to the (shortest) connecting edge. Returns `None` if any pair is not
+    /// connected or fewer than two nodes are given.
+    pub fn from_nodes(graph: &RoadGraph, nodes: &[NodeId]) -> Option<Path> {
+        if nodes.len() < 2 {
+            return None;
+        }
+        let mut edges = Vec::with_capacity(nodes.len() - 1);
+        for w in nodes.windows(2) {
+            edges.push(graph.find_edge(w[0], w[1])?);
+        }
+        Some(Path {
+            edges,
+            nodes: nodes.to_vec(),
+        })
+    }
+
+    /// Builds a path from an edge sequence, checking connectivity.
+    pub fn from_edges(graph: &RoadGraph, edges: Vec<EdgeId>) -> Option<Path> {
+        if edges.is_empty() {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(edges.len() + 1);
+        nodes.push(graph.edge(edges[0]).from);
+        for w in edges.windows(2) {
+            if graph.edge(w[0]).to != graph.edge(w[1]).from {
+                return None;
+            }
+        }
+        for &e in &edges {
+            nodes.push(graph.edge(e).to);
+        }
+        Some(Path { edges, nodes })
+    }
+
+    /// Source intersection.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Destination intersection.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// The intersection sequence (source … destination).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The edge sequence.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the path has no edges (never true for constructed paths).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether the path visits any intersection twice.
+    pub fn is_simple(&self) -> bool {
+        let mut seen: Vec<NodeId> = self.nodes.clone();
+        seen.sort_unstable();
+        seen.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// Total length in metres.
+    pub fn length(&self, graph: &RoadGraph) -> f64 {
+        self.edges.iter().map(|&e| graph.edge(e).length).sum()
+    }
+
+    /// Total free-flow travel time in seconds (including expected light
+    /// delays).
+    pub fn travel_time(&self, graph: &RoadGraph) -> f64 {
+        self.edges.iter().map(|&e| graph.edge(e).travel_time()).sum()
+    }
+
+    /// Number of traffic lights passed.
+    pub fn traffic_lights(&self, graph: &RoadGraph) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&e| graph.edge(e).traffic_light)
+            .count()
+    }
+
+    /// Number of "real" turns: consecutive edge pairs whose bearing change
+    /// exceeds 30°. Drivers dislike turn-heavy routes; the latent utility
+    /// model in `cp-traj` consumes this.
+    pub fn turn_count(&self, graph: &RoadGraph) -> usize {
+        let threshold = 30.0_f64.to_radians();
+        self.nodes
+            .windows(3)
+            .filter(|w| {
+                let a = graph.position(w[0]).bearing(&graph.position(w[1]));
+                let b = graph.position(w[1]).bearing(&graph.position(w[2]));
+                angle_diff(a, b).abs() > threshold
+            })
+            .count()
+    }
+
+    /// Fraction of the path length travelled on `class` roads.
+    pub fn class_fraction(&self, graph: &RoadGraph, class: crate::graph::RoadClass) -> f64 {
+        let total = self.length(graph);
+        if total == 0.0 {
+            return 0.0;
+        }
+        let on: f64 = self
+            .edges
+            .iter()
+            .map(|&e| graph.edge(e))
+            .filter(|e| e.class == class)
+            .map(|e| e.length)
+            .sum();
+        on / total
+    }
+}
+
+/// Length-weighted Jaccard similarity of the edge sets of two paths.
+///
+/// This is the agreement measure used by the route-evaluation component:
+/// two candidate routes "agree with each other to a high degree" when most
+/// of their mileage is shared.
+pub fn edge_jaccard(graph: &RoadGraph, a: &Path, b: &Path) -> f64 {
+    let mut ea: Vec<EdgeId> = a.edges().to_vec();
+    let mut eb: Vec<EdgeId> = b.edges().to_vec();
+    ea.sort_unstable();
+    ea.dedup();
+    eb.sort_unstable();
+    eb.dedup();
+    let mut inter = 0.0;
+    let mut union = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < ea.len() && j < eb.len() {
+        match ea[i].cmp(&eb[j]) {
+            std::cmp::Ordering::Less => {
+                union += graph.edge(ea[i]).length;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                union += graph.edge(eb[j]).length;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                inter += graph.edge(ea[i]).length;
+                union += graph.edge(ea[i]).length;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &e in &ea[i..] {
+        union += graph.edge(e).length;
+    }
+    for &e in &eb[j..] {
+        union += graph.edge(e).length;
+    }
+    if union == 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::Point;
+    use crate::graph::{RoadClass, RoadGraphBuilder};
+
+    fn line_graph(n: usize) -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|i| b.add_node(Point::new(i as f64 * 100.0, 0.0)))
+            .collect();
+        for w in nodes.windows(2) {
+            b.add_two_way(w[0], w[1], RoadClass::Collector, false).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn from_nodes_resolves_edges() {
+        let g = line_graph(4);
+        let p = Path::from_nodes(&g, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.destination(), NodeId(3));
+        assert!((p.length(&g) - 300.0).abs() < 1e-9);
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    fn from_nodes_rejects_disconnected() {
+        let g = line_graph(4);
+        assert!(Path::from_nodes(&g, &[NodeId(0), NodeId(3)]).is_none());
+        assert!(Path::from_nodes(&g, &[NodeId(0)]).is_none());
+    }
+
+    #[test]
+    fn from_edges_checks_connectivity() {
+        let g = line_graph(3);
+        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e12 = g.find_edge(NodeId(1), NodeId(2)).unwrap();
+        let e10 = g.find_edge(NodeId(1), NodeId(0)).unwrap();
+        assert!(Path::from_edges(&g, vec![e01, e12]).is_some());
+        assert!(Path::from_edges(&g, vec![e01, e10]).is_some()); // 0->1->0, connected but not simple
+        assert!(Path::from_edges(&g, vec![e12, e01]).is_none());
+        assert!(Path::from_edges(&g, vec![]).is_none());
+    }
+
+    #[test]
+    fn non_simple_detected() {
+        let g = line_graph(3);
+        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e10 = g.find_edge(NodeId(1), NodeId(0)).unwrap();
+        let p = Path::from_edges(&g, vec![e01, e10]).unwrap();
+        assert!(!p.is_simple());
+    }
+
+    #[test]
+    fn turn_count_on_l_shape() {
+        let mut b = RoadGraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(100.0, 0.0));
+        let d = b.add_node(Point::new(100.0, 100.0));
+        b.add_edge(a, c, RoadClass::Local, false, None).unwrap();
+        b.add_edge(c, d, RoadClass::Local, false, None).unwrap();
+        let g = b.build();
+        let p = Path::from_nodes(&g, &[a, c, d]).unwrap();
+        assert_eq!(p.turn_count(&g), 1);
+    }
+
+    #[test]
+    fn straight_path_has_no_turns() {
+        let g = line_graph(5);
+        let p = Path::from_nodes(&g, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)])
+            .unwrap();
+        assert_eq!(p.turn_count(&g), 0);
+    }
+
+    #[test]
+    fn jaccard_identical_and_disjoint() {
+        let g = line_graph(5);
+        let p1 = Path::from_nodes(&g, &[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let p2 = Path::from_nodes(&g, &[NodeId(2), NodeId(3), NodeId(4)]).unwrap();
+        assert!((edge_jaccard(&g, &p1, &p1) - 1.0).abs() < 1e-12);
+        assert_eq!(edge_jaccard(&g, &p1, &p2), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        let g = line_graph(4);
+        let p1 = Path::from_nodes(&g, &[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let p2 = Path::from_nodes(&g, &[NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        // Shared edge 1->2 (100 m); union 300 m.
+        let j = edge_jaccard(&g, &p1, &p2);
+        assert!((j - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_fraction_sums_to_one_over_classes() {
+        let g = line_graph(4);
+        let p = Path::from_nodes(&g, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        let total: f64 = RoadClass::ALL
+            .iter()
+            .map(|&c| p.class_fraction(&g, c))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

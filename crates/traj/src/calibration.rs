@@ -1,0 +1,186 @@
+//! Anchor-based trajectory calibration (paper reference [21]).
+//!
+//! The paper rewrites continuous routes into landmark-based routes "by
+//! treating landmarks as anchor points". We reproduce that: a route (or a
+//! raw trajectory) is calibrated to the sequence of landmarks that lie
+//! within an anchor radius of the travelled geometry, ordered by the
+//! position along the route at which they are first approached, and
+//! de-duplicated.
+
+use crate::trajectory::Trajectory;
+use cp_roadnet::{LandmarkId, LandmarkSet, Path, Point, RoadGraph};
+
+/// Calibration parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationParams {
+    /// A landmark anchors a route point when it lies within this many
+    /// metres of it.
+    pub anchor_radius: f64,
+}
+
+impl Default for CalibrationParams {
+    fn default() -> Self {
+        CalibrationParams {
+            anchor_radius: 150.0,
+        }
+    }
+}
+
+/// Calibrates a node path into a landmark-based route.
+///
+/// For every intersection along the path (in travel order), landmarks
+/// within `anchor_radius` are appended, nearest first; duplicates keep
+/// their first (earliest) occurrence. The result is the paper's
+/// "landmark-based route" `R̄ = {l1, l2, …, ln}` (Definition 3).
+pub fn calibrate_path(
+    graph: &RoadGraph,
+    landmarks: &LandmarkSet,
+    path: &Path,
+    params: &CalibrationParams,
+) -> Vec<LandmarkId> {
+    let points: Vec<Point> = path.nodes().iter().map(|&n| graph.position(n)).collect();
+    calibrate_points(&points, landmarks, params)
+}
+
+/// Calibrates a raw point sequence (e.g. a noisy GPS trajectory).
+pub fn calibrate_trajectory(
+    trajectory: &Trajectory,
+    landmarks: &LandmarkSet,
+    params: &CalibrationParams,
+) -> Vec<LandmarkId> {
+    let points: Vec<Point> = trajectory.points.iter().map(|&(p, _)| p).collect();
+    calibrate_points(&points, landmarks, params)
+}
+
+fn calibrate_points(
+    points: &[Point],
+    landmarks: &LandmarkSet,
+    params: &CalibrationParams,
+) -> Vec<LandmarkId> {
+    let mut seen = vec![false; landmarks.len()];
+    let mut out = Vec::new();
+    for p in points {
+        let mut near = landmarks.within_radius(p, params.anchor_radius);
+        // Nearest-first within one point's neighbourhood so the sequence
+        // order is stable and travel-faithful.
+        near.sort_by(|&a, &b| {
+            let da = landmarks.get(a).position.distance_sq(p);
+            let db = landmarks.get(b).position.distance_sq(p);
+            da.partial_cmp(&db)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for id in near {
+            if !seen[id.index()] {
+                seen[id.index()] = true;
+                out.push(id);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_roadnet::routing::{dijkstra_path, distance_cost};
+    use cp_roadnet::{
+        generate_city, generate_landmarks, CityParams, LandmarkGenParams, NodeId,
+    };
+
+    fn setup() -> (cp_roadnet::City, LandmarkSet) {
+        let city = generate_city(&CityParams::small(), 8).unwrap();
+        let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 8);
+        (city, lms)
+    }
+
+    #[test]
+    fn calibrated_route_is_duplicate_free() {
+        let (city, lms) = setup();
+        let g = &city.graph;
+        let path = dijkstra_path(g, NodeId(0), NodeId(59), distance_cost(g)).unwrap();
+        let seq = calibrate_path(g, &lms, &path, &CalibrationParams::default());
+        let mut sorted = seq.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seq.len(), "duplicates present");
+        assert!(!seq.is_empty(), "a cross-city route must pass landmarks");
+    }
+
+    #[test]
+    fn all_calibrated_landmarks_are_near_the_route() {
+        let (city, lms) = setup();
+        let g = &city.graph;
+        let params = CalibrationParams::default();
+        let path = dijkstra_path(g, NodeId(0), NodeId(59), distance_cost(g)).unwrap();
+        let seq = calibrate_path(g, &lms, &path, &params);
+        for id in seq {
+            let lp = lms.get(id).position;
+            let min_d = path
+                .nodes()
+                .iter()
+                .map(|&n| g.position(n).distance(&lp))
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_d <= params.anchor_radius + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_radius_yields_empty_sequence() {
+        let (city, lms) = setup();
+        let g = &city.graph;
+        let path = dijkstra_path(g, NodeId(0), NodeId(9), distance_cost(g)).unwrap();
+        let seq = calibrate_path(g, &lms, &path, &CalibrationParams { anchor_radius: 0.0 });
+        assert!(seq.is_empty());
+    }
+
+    #[test]
+    fn wider_radius_captures_at_least_as_many() {
+        let (city, lms) = setup();
+        let g = &city.graph;
+        let path = dijkstra_path(g, NodeId(0), NodeId(59), distance_cost(g)).unwrap();
+        let narrow = calibrate_path(g, &lms, &path, &CalibrationParams { anchor_radius: 80.0 });
+        let wide = calibrate_path(g, &lms, &path, &CalibrationParams { anchor_radius: 300.0 });
+        assert!(wide.len() >= narrow.len());
+        // Narrow result is a subset of the wide result.
+        for id in &narrow {
+            assert!(wide.contains(id));
+        }
+    }
+
+    #[test]
+    fn trajectory_calibration_approximates_path_calibration() {
+        let (city, lms) = setup();
+        let g = &city.graph;
+        let params = CalibrationParams::default();
+        let path = dijkstra_path(g, NodeId(0), NodeId(59), distance_cost(g)).unwrap();
+        let from_path = calibrate_path(g, &lms, &path, &params);
+        let traj = Trajectory::sample_along(g, &path, 5.0, || (0.0, 0.0));
+        let from_traj = calibrate_trajectory(&traj, &lms, &params);
+        // Noise-free densely-sampled trajectory covers at least the node
+        // anchors (it may catch extra landmarks between intersections).
+        for id in &from_path {
+            assert!(from_traj.contains(id), "missing {id:?}");
+        }
+    }
+
+    #[test]
+    fn different_routes_calibrate_differently() {
+        let (city, lms) = setup();
+        let g = &city.graph;
+        let params = CalibrationParams { anchor_radius: 120.0 };
+        // Opposite corners via different waypoints.
+        let p1 = dijkstra_path(g, NodeId(0), NodeId(59), distance_cost(g)).unwrap();
+        let p2 = {
+            // Force a different route: 0 -> 50 -> 59 (via far corner).
+            let a = dijkstra_path(g, NodeId(0), NodeId(50), distance_cost(g)).unwrap();
+            let b = dijkstra_path(g, NodeId(50), NodeId(59), distance_cost(g)).unwrap();
+            let mut edges = a.edges().to_vec();
+            edges.extend_from_slice(b.edges());
+            Path::from_edges(g, edges).unwrap()
+        };
+        let s1 = calibrate_path(g, &lms, &p1, &params);
+        let s2 = calibrate_path(g, &lms, &p2, &params);
+        assert_ne!(s1, s2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Synthetic LBSN check-in generator.
+//!
+//! The paper infers landmark significance from "online check-in records in
+//! a popular location-based social network" plus taxi visits. This module
+//! generates the check-in side: a population of LBSN users who check in at
+//! landmarks with probability proportional to the landmark's *latent fame*
+//! modulated by each user's category taste and spatial home bias. The
+//! HITS-like inference in [`crate::significance`] then recovers
+//! significance from these observations — it never sees the latent fame
+//! directly.
+
+use crate::stats::weighted_index;
+use crate::trajectory::TimeOfDay;
+use cp_roadnet::{LandmarkCategory, LandmarkId, LandmarkSet, Point, RoadGraph};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Identifier of an LBSN user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u32);
+
+/// One check-in event.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckIn {
+    /// Who checked in.
+    pub user: UserId,
+    /// Where.
+    pub landmark: LandmarkId,
+    /// When (time of day).
+    pub time: TimeOfDay,
+}
+
+/// Parameters of the check-in generator.
+#[derive(Debug, Clone)]
+pub struct CheckInGenParams {
+    /// Number of LBSN users.
+    pub users: usize,
+    /// Mean check-ins per user (activity is skewed, some users post a lot).
+    pub mean_checkins: usize,
+    /// Strength of each user's home-location bias: contribution of distance
+    /// decay `exp(-d/spatial_scale)` to check-in choice, metres.
+    pub spatial_scale: f64,
+}
+
+impl Default for CheckInGenParams {
+    fn default() -> Self {
+        CheckInGenParams {
+            users: 150,
+            mean_checkins: 20,
+            spatial_scale: 2500.0,
+        }
+    }
+}
+
+/// Generates a deterministic check-in history.
+pub fn generate_checkins(
+    graph: &RoadGraph,
+    landmarks: &LandmarkSet,
+    params: &CheckInGenParams,
+    seed: u64,
+) -> Vec<CheckIn> {
+    if landmarks.is_empty() || params.users == 0 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x2545_F491_4F6C_DD1D);
+    let bbox = graph.bounding_box();
+    let mut out = Vec::new();
+    for u in 0..params.users {
+        // User home: uniform in the city.
+        let home = Point::new(
+            rng.random_range(bbox.min.x..=bbox.max.x),
+            rng.random_range(bbox.min.y..=bbox.max.y),
+        );
+        // Category taste: a preferred category gets 3x weight.
+        let fav = LandmarkCategory::ALL[rng.random_range(0..LandmarkCategory::ALL.len())];
+        // Activity: heavy-tailed around the mean.
+        let count =
+            (params.mean_checkins as f64 * rng.random_range(0.2..2.5)).round() as usize;
+        // Per-user check-in weights over landmarks.
+        let weights: Vec<f64> = landmarks
+            .iter()
+            .map(|l| {
+                let taste = if l.category == fav { 3.0 } else { 1.0 };
+                let spatial = (-l.position.distance(&home) / params.spatial_scale).exp();
+                l.latent_fame * taste * (0.3 + 0.7 * spatial)
+            })
+            .collect();
+        for _ in 0..count {
+            if let Some(i) = weighted_index(&mut rng, &weights) {
+                out.push(CheckIn {
+                    user: UserId(u as u32),
+                    landmark: LandmarkId(i as u32),
+                    time: TimeOfDay::new(rng.random_range(0.0..TimeOfDay::DAY)),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams};
+
+    fn setup() -> (cp_roadnet::City, LandmarkSet, Vec<CheckIn>) {
+        let city = generate_city(&CityParams::small(), 5).unwrap();
+        let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 5);
+        let cis = generate_checkins(&city.graph, &lms, &CheckInGenParams::default(), 5);
+        (city, lms, cis)
+    }
+
+    #[test]
+    fn generates_checkins_for_all_users() {
+        let (_, _, cis) = setup();
+        assert!(!cis.is_empty());
+        let users: std::collections::HashSet<u32> = cis.iter().map(|c| c.user.0).collect();
+        assert!(users.len() > 100, "most users should check in");
+    }
+
+    #[test]
+    fn famous_landmarks_attract_more_checkins() {
+        let (_, lms, cis) = setup();
+        let mut counts = vec![0usize; lms.len()];
+        for c in &cis {
+            counts[c.landmark.index()] += 1;
+        }
+        // Compare mean check-ins of the top fame quartile vs bottom quartile.
+        let mut by_fame: Vec<(f64, usize)> = lms
+            .iter()
+            .map(|l| (l.latent_fame, counts[l.id.index()]))
+            .collect();
+        by_fame.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let q = by_fame.len() / 4;
+        let top: f64 = by_fame[..q].iter().map(|x| x.1 as f64).sum::<f64>() / q as f64;
+        let bot: f64 = by_fame[by_fame.len() - q..]
+            .iter()
+            .map(|x| x.1 as f64)
+            .sum::<f64>()
+            / q as f64;
+        assert!(top > bot, "top quartile {top} vs bottom {bot}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let city = generate_city(&CityParams::small(), 5).unwrap();
+        let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 5);
+        let a = generate_checkins(&city.graph, &lms, &CheckInGenParams::default(), 9);
+        let b = generate_checkins(&city.graph, &lms, &CheckInGenParams::default(), 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.user, y.user);
+            assert_eq!(x.landmark, y.landmark);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_output() {
+        let city = generate_city(&CityParams::small(), 5).unwrap();
+        let empty = LandmarkSet::new(Vec::new(), 100.0);
+        assert!(generate_checkins(&city.graph, &empty, &CheckInGenParams::default(), 1)
+            .is_empty());
+        let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 5);
+        let mut p = CheckInGenParams::default();
+        p.users = 0;
+        assert!(generate_checkins(&city.graph, &lms, &p, 1).is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Synthetic driver population and trip-history generator.
+//!
+//! This is the substitute for the paper's "large-scale real trajectory
+//! dataset": a population of drivers, each with a home, a workplace, a
+//! latent preference (consensus + individual noise), who drive commute and
+//! errand trips. The trips they actually drive are the preferred routes
+//! under their *individual* preference — so popular-route mining over the
+//! dataset recovers (approximately) the consensus route, exactly the
+//! structure the paper's evaluation relies on.
+
+use crate::preference::DriverPreference;
+use crate::stats::{randn_scaled, weighted_index};
+use crate::trajectory::{DriverId, TimeOfDay, Trip};
+use cp_roadnet::{NodeId, RoadGraph, RoadNetError};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A synthetic driver.
+#[derive(Debug, Clone)]
+pub struct Driver {
+    /// Identifier (dense).
+    pub id: DriverId,
+    /// Home intersection.
+    pub home: NodeId,
+    /// Workplace intersection.
+    pub work: NodeId,
+    /// The driver's latent route preference.
+    pub preference: DriverPreference,
+}
+
+/// Parameters of the trip-history generator.
+#[derive(Debug, Clone)]
+pub struct TripGenParams {
+    /// Number of drivers.
+    pub drivers: usize,
+    /// Trips per driver.
+    pub trips_per_driver: usize,
+    /// Preference heterogeneity across drivers (0 = identical).
+    pub heterogeneity: f64,
+    /// Fraction of trips that are home↔work commutes (the rest are random
+    /// errands).
+    pub commute_fraction: f64,
+    /// Number of "hotspot" destinations that attract errand traffic.
+    pub hotspots: usize,
+    /// Std-dev of departure time around the morning/evening peaks, hours.
+    pub peak_spread_h: f64,
+}
+
+impl Default for TripGenParams {
+    fn default() -> Self {
+        TripGenParams {
+            drivers: 200,
+            trips_per_driver: 10,
+            heterogeneity: 0.25,
+            commute_fraction: 0.6,
+            hotspots: 6,
+            peak_spread_h: 1.0,
+        }
+    }
+}
+
+/// The generated history: population + trips.
+#[derive(Debug, Clone)]
+pub struct TripDataset {
+    /// All drivers, indexed by [`DriverId`].
+    pub drivers: Vec<Driver>,
+    /// All recorded trips.
+    pub trips: Vec<Trip>,
+    /// The hotspot nodes used for errand destinations.
+    pub hotspots: Vec<NodeId>,
+}
+
+impl TripDataset {
+    /// Trips of one driver.
+    pub fn trips_of(&self, d: DriverId) -> impl Iterator<Item = &Trip> {
+        self.trips.iter().filter(move |t| t.driver == d)
+    }
+}
+
+/// Generates a deterministic trip history over `graph`.
+pub fn generate_trips(
+    graph: &RoadGraph,
+    params: &TripGenParams,
+    seed: u64,
+) -> Result<TripDataset, RoadNetError> {
+    if params.drivers == 0 {
+        return Err(RoadNetError::InvalidParameter("drivers must be >= 1"));
+    }
+    if !(0.0..=1.0).contains(&params.commute_fraction) {
+        return Err(RoadNetError::InvalidParameter(
+            "commute_fraction must be in [0,1]",
+        ));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03);
+    let n = graph.node_count() as u32;
+    if n < 4 {
+        return Err(RoadNetError::InvalidParameter("graph too small"));
+    }
+
+    // Hotspots: a few nodes that attract errand traffic, with popularity
+    // weights so some hotspots dominate (realistic demand skew).
+    let hotspots: Vec<NodeId> = (0..params.hotspots)
+        .map(|_| NodeId(rng.random_range(0..n)))
+        .collect();
+    let hotspot_weights: Vec<f64> = (0..params.hotspots)
+        .map(|i| 1.0 / (i as f64 + 1.0))
+        .collect();
+
+    let mut drivers = Vec::with_capacity(params.drivers);
+    for i in 0..params.drivers {
+        let home = NodeId(rng.random_range(0..n));
+        let mut work = NodeId(rng.random_range(0..n));
+        while work == home {
+            work = NodeId(rng.random_range(0..n));
+        }
+        drivers.push(Driver {
+            id: DriverId(i as u32),
+            home,
+            work,
+            preference: DriverPreference::sample_individual(&mut rng, params.heterogeneity),
+        });
+    }
+
+    let mut trips = Vec::with_capacity(params.drivers * params.trips_per_driver);
+    for driver in &drivers {
+        for t in 0..params.trips_per_driver {
+            let commute = rng.random_bool(params.commute_fraction);
+            let (from, to, peak_h) = if commute {
+                if t % 2 == 0 {
+                    (driver.home, driver.work, 8.0)
+                } else {
+                    (driver.work, driver.home, 18.0)
+                }
+            } else {
+                let from = if rng.random_bool(0.5) {
+                    driver.home
+                } else {
+                    driver.work
+                };
+                let to = if !hotspots.is_empty() && rng.random_bool(0.7) {
+                    hotspots[weighted_index(&mut rng, &hotspot_weights)
+                        .expect("non-empty positive weights")]
+                } else {
+                    NodeId(rng.random_range(0..n))
+                };
+                (from, to, 13.0)
+            };
+            if from == to {
+                continue;
+            }
+            let Ok(path) = driver.preference.preferred_route(graph, from, to) else {
+                continue; // unreachable OD in degenerate graphs
+            };
+            let departure =
+                TimeOfDay::new(randn_scaled(&mut rng, peak_h, params.peak_spread_h) * 3600.0);
+            trips.push(Trip {
+                driver: driver.id,
+                path,
+                departure,
+            });
+        }
+    }
+    Ok(TripDataset {
+        drivers,
+        trips,
+        hotspots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_roadnet::{generate_city, CityParams};
+
+    fn dataset() -> (cp_roadnet::City, TripDataset) {
+        let city = generate_city(&CityParams::small(), 3).unwrap();
+        let ds = generate_trips(&city.graph, &TripGenParams::default(), 3).unwrap();
+        (city, ds)
+    }
+
+    #[test]
+    fn generates_population_and_trips() {
+        let (_, ds) = dataset();
+        assert_eq!(ds.drivers.len(), 200);
+        // Some trips skipped (from==to), but the bulk must exist.
+        assert!(ds.trips.len() > 1500, "got {}", ds.trips.len());
+    }
+
+    #[test]
+    fn trips_follow_driver_preference() {
+        let (city, ds) = dataset();
+        // Each trip's path must be exactly the driver's preferred route for
+        // its endpoints.
+        for trip in ds.trips.iter().take(50) {
+            let d = &ds.drivers[trip.driver.index()];
+            let expect = d
+                .preference
+                .preferred_route(&city.graph, trip.path.source(), trip.path.destination())
+                .unwrap();
+            assert_eq!(&expect, &trip.path);
+        }
+    }
+
+    #[test]
+    fn commute_departures_cluster_around_peaks() {
+        let (_, ds) = dataset();
+        let morning = ds
+            .trips
+            .iter()
+            .filter(|t| (6..=10).contains(&t.departure.hour()))
+            .count();
+        let night = ds
+            .trips
+            .iter()
+            .filter(|t| (0..=4).contains(&t.departure.hour()))
+            .count();
+        assert!(morning > night, "morning {morning} night {night}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let city = generate_city(&CityParams::small(), 3).unwrap();
+        let a = generate_trips(&city.graph, &TripGenParams::default(), 7).unwrap();
+        let b = generate_trips(&city.graph, &TripGenParams::default(), 7).unwrap();
+        assert_eq!(a.trips.len(), b.trips.len());
+        for (x, y) in a.trips.iter().zip(b.trips.iter()) {
+            assert_eq!(x.driver, y.driver);
+            assert_eq!(x.path, y.path);
+            assert_eq!(x.departure.0, y.departure.0);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let city = generate_city(&CityParams::small(), 3).unwrap();
+        let mut p = TripGenParams::default();
+        p.drivers = 0;
+        assert!(generate_trips(&city.graph, &p, 0).is_err());
+        let mut p = TripGenParams::default();
+        p.commute_fraction = 1.5;
+        assert!(generate_trips(&city.graph, &p, 0).is_err());
+    }
+
+    #[test]
+    fn trips_of_filters_by_driver() {
+        let (_, ds) = dataset();
+        let d = DriverId(0);
+        assert!(ds.trips_of(d).all(|t| t.driver == d));
+        assert!(ds.trips_of(d).count() > 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # cp-traj — trajectory substrate for CrowdPlanner
+//!
+//! Provides the data the paper mined from the real world, synthesised with
+//! controlled ground truth:
+//!
+//! * [`preference`] — the latent driver-utility model; the population
+//!   consensus defines the ground-truth "best route" per OD pair;
+//! * [`generator`] — driver population + trip histories (the stand-in for
+//!   the paper's "large-scale real trajectory dataset");
+//! * [`trajectory`] — trips and GPS-like point traces;
+//! * [`calibration`] — anchor-based calibration of routes/trajectories
+//!   into landmark-based routes (paper ref [21]);
+//! * [`checkin`] — synthetic LBSN check-ins;
+//! * [`significance`] — HITS-like landmark-significance inference
+//!   (paper §III-A, ref [26]);
+//! * [`stats`] — small deterministic samplers shared by generators.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod checkin;
+pub mod generator;
+pub mod preference;
+pub mod significance;
+pub mod stats;
+pub mod trajectory;
+
+pub use calibration::{calibrate_path, calibrate_trajectory, CalibrationParams};
+pub use checkin::{generate_checkins, CheckIn, CheckInGenParams, UserId};
+pub use generator::{generate_trips, Driver, TripDataset, TripGenParams};
+pub use preference::DriverPreference;
+pub use significance::{
+    infer_significance, significance_from_visits, SignificanceParams, Visit,
+};
+pub use trajectory::{DriverId, TimeOfDay, Trajectory, Trip};

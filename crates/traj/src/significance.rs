@@ -1,0 +1,249 @@
+//! HITS-like landmark-significance inference (paper §III-A, reference [26]).
+//!
+//! "By regarding the travellers as authorities, landmarks as hubs, and
+//! check-ins/visits as hyperlinks, we can leverage a HITS-like algorithm to
+//! infer the significance of a landmark." We build the bipartite
+//! user↔landmark visit graph from two sources — LBSN check-ins and
+//! calibrated taxi/driver trips — and run the mutual-reinforcement
+//! iteration until convergence. The significance of a landmark is its
+//! normalised score in `[0, 1]`.
+
+use crate::calibration::{calibrate_path, CalibrationParams};
+use crate::checkin::CheckIn;
+use crate::generator::TripDataset;
+use cp_roadnet::{LandmarkId, LandmarkSet, RoadGraph};
+
+/// A visit edge in the bipartite user/landmark graph. Users from different
+/// sources (LBSN users vs drivers) are kept in disjoint id spaces by the
+/// caller.
+#[derive(Debug, Clone, Copy)]
+pub struct Visit {
+    /// Dense visitor index.
+    pub visitor: u32,
+    /// Visited landmark.
+    pub landmark: LandmarkId,
+}
+
+/// Options of the significance computation.
+#[derive(Debug, Clone)]
+pub struct SignificanceParams {
+    /// Maximum HITS iterations.
+    pub max_iters: usize,
+    /// L2-change convergence tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for SignificanceParams {
+    fn default() -> Self {
+        SignificanceParams {
+            max_iters: 100,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// Runs the HITS-like mutual reinforcement over visit edges and returns a
+/// significance score per landmark, max-normalised into `[0, 1]`.
+///
+/// Landmarks that were never visited get score 0.
+pub fn significance_from_visits(
+    visits: &[Visit],
+    landmark_count: usize,
+    params: &SignificanceParams,
+) -> Vec<f64> {
+    if landmark_count == 0 {
+        return Vec::new();
+    }
+    let visitor_count = visits
+        .iter()
+        .map(|v| v.visitor as usize + 1)
+        .max()
+        .unwrap_or(0);
+    if visitor_count == 0 || visits.is_empty() {
+        return vec![0.0; landmark_count];
+    }
+    // Deduplicate multi-visits into weighted edges: repeat visits reinforce.
+    let mut weights: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
+    for v in visits {
+        *weights.entry((v.visitor, v.landmark.0)).or_insert(0.0) += 1.0;
+    }
+    let edges: Vec<(u32, u32, f64)> = {
+        let mut e: Vec<_> = weights.into_iter().map(|((u, l), w)| (u, l, w)).collect();
+        e.sort_unstable_by_key(|&(u, l, _)| (u, l));
+        e
+    };
+
+    let mut hub = vec![1.0f64; visitor_count]; // travellers
+    let mut auth = vec![1.0f64; landmark_count]; // landmarks
+    for _ in 0..params.max_iters {
+        // auth(l) = Σ_{(u,l)} w * hub(u)
+        let mut new_auth = vec![0.0; landmark_count];
+        for &(u, l, w) in &edges {
+            new_auth[l as usize] += w * hub[u as usize];
+        }
+        normalize(&mut new_auth);
+        // hub(u) = Σ_{(u,l)} w * auth(l)
+        let mut new_hub = vec![0.0; visitor_count];
+        for &(u, l, w) in &edges {
+            new_hub[u as usize] += w * new_auth[l as usize];
+        }
+        normalize(&mut new_hub);
+        let delta: f64 = new_auth
+            .iter()
+            .zip(auth.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        auth = new_auth;
+        hub = new_hub;
+        if delta < params.tolerance {
+            break;
+        }
+    }
+    // Max-normalise into [0,1] so scores behave like the paper's `l.s`.
+    let max = auth.iter().cloned().fold(0.0f64, f64::max);
+    if max > 0.0 {
+        for a in &mut auth {
+            *a /= max;
+        }
+    }
+    auth
+}
+
+/// Builds the visit list from check-ins and calibrated driver trips, then
+/// infers significance. This is the paper's full §III-A pipeline.
+pub fn infer_significance(
+    graph: &RoadGraph,
+    landmarks: &LandmarkSet,
+    checkins: &[CheckIn],
+    trips: &TripDataset,
+    calibration: &CalibrationParams,
+    params: &SignificanceParams,
+) -> Vec<f64> {
+    let mut visits: Vec<Visit> = Vec::with_capacity(checkins.len());
+    let mut max_user = 0u32;
+    for c in checkins {
+        max_user = max_user.max(c.user.0);
+        visits.push(Visit {
+            visitor: c.user.0,
+            landmark: c.landmark,
+        });
+    }
+    // Drivers occupy the id space after LBSN users.
+    let driver_base = if checkins.is_empty() { 0 } else { max_user + 1 };
+    for trip in &trips.trips {
+        for lm in calibrate_path(graph, landmarks, &trip.path, calibration) {
+            visits.push(Visit {
+                visitor: driver_base + trip.driver.0,
+                landmark: lm,
+            });
+        }
+    }
+    significance_from_visits(&visits, landmarks.len(), params)
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkin::{generate_checkins, CheckInGenParams};
+    use crate::generator::{generate_trips, TripGenParams};
+    use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams};
+
+    #[test]
+    fn empty_visits_give_zero_scores() {
+        let s = significance_from_visits(&[], 5, &SignificanceParams::default());
+        assert_eq!(s, vec![0.0; 5]);
+        assert!(significance_from_visits(&[], 0, &SignificanceParams::default()).is_empty());
+    }
+
+    #[test]
+    fn single_landmark_gets_full_score() {
+        let visits = vec![
+            Visit { visitor: 0, landmark: LandmarkId(0) },
+            Visit { visitor: 1, landmark: LandmarkId(0) },
+        ];
+        let s = significance_from_visits(&visits, 2, &SignificanceParams::default());
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert_eq!(s[1], 0.0);
+    }
+
+    #[test]
+    fn more_visited_landmark_scores_higher() {
+        // Landmark 0 visited by 5 users, landmark 1 by 1 user.
+        let mut visits = Vec::new();
+        for u in 0..5 {
+            visits.push(Visit { visitor: u, landmark: LandmarkId(0) });
+        }
+        visits.push(Visit { visitor: 5, landmark: LandmarkId(1) });
+        let s = significance_from_visits(&visits, 2, &SignificanceParams::default());
+        assert!(s[0] > s[1]);
+        assert!((s[0] - 1.0).abs() < 1e-12, "max-normalised");
+    }
+
+    #[test]
+    fn scores_lie_in_unit_interval() {
+        let visits: Vec<Visit> = (0..50)
+            .map(|i| Visit {
+                visitor: i % 7,
+                landmark: LandmarkId(i % 13),
+            })
+            .collect();
+        let s = significance_from_visits(&visits, 13, &SignificanceParams::default());
+        assert!(s.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!(s.contains(&1.0));
+    }
+
+    #[test]
+    fn full_pipeline_recovers_fame_ordering() {
+        // Significance inferred from synthetic visits must correlate with
+        // the latent fame that drove the check-in generator: the top-decile
+        // famous landmarks should clearly out-score the bottom decile.
+        let city = generate_city(&CityParams::small(), 14).unwrap();
+        let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 14);
+        let cis = generate_checkins(&city.graph, &lms, &CheckInGenParams::default(), 14);
+        let trips = generate_trips(&city.graph, &TripGenParams::default(), 14).unwrap();
+        let s = infer_significance(
+            &city.graph,
+            &lms,
+            &cis,
+            &trips,
+            &CalibrationParams::default(),
+            &SignificanceParams::default(),
+        );
+        assert_eq!(s.len(), lms.len());
+        let mut by_fame: Vec<(f64, f64)> = lms
+            .iter()
+            .map(|l| (l.latent_fame, s[l.id.index()]))
+            .collect();
+        by_fame.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let d = by_fame.len() / 10;
+        let top: f64 = by_fame[..d].iter().map(|x| x.1).sum::<f64>() / d as f64;
+        let bot: f64 = by_fame[by_fame.len() - d..].iter().map(|x| x.1).sum::<f64>() / d as f64;
+        assert!(
+            top > bot,
+            "significance should track fame: top {top:.4} bottom {bot:.4}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let visits: Vec<Visit> = (0..30)
+            .map(|i| Visit {
+                visitor: i % 5,
+                landmark: LandmarkId(i % 9),
+            })
+            .collect();
+        let a = significance_from_visits(&visits, 9, &SignificanceParams::default());
+        let b = significance_from_visits(&visits, 9, &SignificanceParams::default());
+        assert_eq!(a, b);
+    }
+}

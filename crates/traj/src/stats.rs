@@ -1,0 +1,112 @@
+//! Small statistical helpers shared by the synthetic generators.
+//!
+//! `rand` is kept dependency-light (no `rand_distr`), so the couple of
+//! non-uniform distributions we need are implemented here.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn randn(rng: &mut SmallRng) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn randn_scaled(rng: &mut SmallRng, mean: f64, std: f64) -> f64 {
+    mean + std * randn(rng)
+}
+
+/// Exponential sample with rate `lambda` (mean `1/lambda`).
+pub fn rand_exp(rng: &mut SmallRng, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "rate must be positive");
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+/// Samples an index in `0..weights.len()` with probability proportional to
+/// `weights[i]`. Returns `None` for an empty or all-zero weight vector.
+pub fn weighted_index(rng: &mut SmallRng, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    if !(total > 0.0) || weights.is_empty() {
+        return None;
+    }
+    let mut target = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return Some(i);
+        }
+        target -= w;
+    }
+    // Floating-point slack: return the last positive-weight index.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+/// Probability density of the normal distribution `N(mu, sigma^2)` at `x`.
+/// Used by the Gaussian landmark-knowledge accumulation (paper §IV-B).
+pub fn normal_pdf(x: f64, mu: f64, sigma: f64) -> f64 {
+    let z = (x - mu) / sigma;
+    (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| randn(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn rand_exp_mean_matches_rate() {
+        let mut r = rng();
+        let lambda = 0.5;
+        let n = 20_000;
+        let mean = (0..n).map(|_| rand_exp(&mut r, lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut r, &w).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_degenerate_inputs() {
+        let mut r = rng();
+        assert_eq!(weighted_index(&mut r, &[]), None);
+        assert_eq!(weighted_index(&mut r, &[0.0, 0.0]), None);
+        assert_eq!(weighted_index(&mut r, &[0.0, 5.0]), Some(1));
+    }
+
+    #[test]
+    fn normal_pdf_peaks_at_mean() {
+        let at_mean = normal_pdf(0.0, 0.0, 2.0);
+        assert!(at_mean > normal_pdf(1.0, 0.0, 2.0));
+        assert!(normal_pdf(1.0, 0.0, 2.0) > normal_pdf(4.0, 0.0, 2.0));
+        // Symmetric.
+        assert!((normal_pdf(1.5, 0.0, 2.0) - normal_pdf(-1.5, 0.0, 2.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+//! Trajectory and trip types.
+//!
+//! A [`Trip`] is one recorded journey of one driver: the route they actually
+//! drove (the "route trace", an edge path) plus the departure time. A
+//! [`Trajectory`] is the GPS-like point sequence sampled along the trip —
+//! the raw form that real datasets provide and that calibration consumes.
+
+use cp_roadnet::{Path, Point, RoadGraph};
+
+/// Identifier of a synthetic driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DriverId(pub u32);
+
+impl DriverId {
+    /// The driver id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Seconds since midnight, wrapped into `[0, 86400)`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct TimeOfDay(pub f64);
+
+impl TimeOfDay {
+    /// Seconds in a day.
+    pub const DAY: f64 = 86_400.0;
+
+    /// Construct from seconds, wrapping into range.
+    pub fn new(seconds: f64) -> Self {
+        TimeOfDay(seconds.rem_euclid(Self::DAY))
+    }
+
+    /// Construct from hours (e.g. `8.5` = 08:30).
+    pub fn from_hours(h: f64) -> Self {
+        Self::new(h * 3600.0)
+    }
+
+    /// Hour-of-day as an integer in `[0, 24)`.
+    pub fn hour(&self) -> usize {
+        ((self.0 / 3600.0) as usize).min(23)
+    }
+
+    /// Circular distance to another time of day, in seconds (≤ 12 h).
+    pub fn circular_distance(&self, other: TimeOfDay) -> f64 {
+        let d = (self.0 - other.0).abs();
+        d.min(Self::DAY - d)
+    }
+}
+
+/// One recorded journey: the driven route + departure time.
+#[derive(Debug, Clone)]
+pub struct Trip {
+    /// Who drove it.
+    pub driver: DriverId,
+    /// The driven route.
+    pub path: Path,
+    /// When the trip started.
+    pub departure: TimeOfDay,
+}
+
+/// A timestamped point sequence, as a GPS logger would record.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    /// `(position, seconds since departure)` samples in time order.
+    pub points: Vec<(Point, f64)>,
+}
+
+impl Trajectory {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Samples a trajectory along `path` at `interval` seconds between
+    /// fixes, assuming free-flow speeds, with `noise` metres of uniform GPS
+    /// error supplied by `jitter` (a closure so the caller controls the
+    /// RNG).
+    pub fn sample_along(
+        graph: &RoadGraph,
+        path: &Path,
+        interval: f64,
+        mut jitter: impl FnMut() -> (f64, f64),
+    ) -> Trajectory {
+        assert!(interval > 0.0, "sampling interval must be positive");
+        let mut points = Vec::new();
+        let mut clock = 0.0; // seconds since departure
+        let mut next_fix = 0.0;
+        for &e in path.edges() {
+            let edge = graph.edge(e);
+            let a = graph.position(edge.from);
+            let b = graph.position(edge.to);
+            let dur = edge.travel_time();
+            // Emit all fixes that fall within this edge's traversal.
+            while next_fix <= clock + dur {
+                let t = ((next_fix - clock) / dur).clamp(0.0, 1.0);
+                let (jx, jy) = jitter();
+                points.push((a.lerp(&b, t).translate(jx, jy), next_fix));
+                next_fix += interval;
+            }
+            clock += dur;
+        }
+        // Always include the arrival point.
+        if let Some(&last_edge) = path.edges().last() {
+            let end = graph.position(graph.edge(last_edge).to);
+            let (jx, jy) = jitter();
+            points.push((end.translate(jx, jy), clock));
+        }
+        Trajectory { points }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_roadnet::routing::{dijkstra_path, distance_cost};
+    use cp_roadnet::{generate_city, CityParams, NodeId};
+
+    #[test]
+    fn time_of_day_wraps() {
+        assert_eq!(TimeOfDay::new(-3600.0).0, 82_800.0);
+        assert_eq!(TimeOfDay::new(86_400.0).0, 0.0);
+        assert_eq!(TimeOfDay::from_hours(25.0).hour(), 1);
+    }
+
+    #[test]
+    fn circular_distance_is_symmetric_and_bounded() {
+        let a = TimeOfDay::from_hours(23.0);
+        let b = TimeOfDay::from_hours(1.0);
+        assert_eq!(a.circular_distance(b), 2.0 * 3600.0);
+        assert_eq!(b.circular_distance(a), 2.0 * 3600.0);
+        let c = TimeOfDay::from_hours(11.0);
+        let d = TimeOfDay::from_hours(23.0);
+        assert_eq!(c.circular_distance(d), 12.0 * 3600.0);
+    }
+
+    #[test]
+    fn sampling_covers_whole_route_in_time_order() {
+        let city = generate_city(&CityParams::small(), 2).unwrap();
+        let g = &city.graph;
+        let path = dijkstra_path(g, NodeId(0), NodeId(59), distance_cost(g)).unwrap();
+        let traj = Trajectory::sample_along(g, &path, 5.0, || (0.0, 0.0));
+        assert!(traj.len() >= 2);
+        // Time-ordered.
+        for w in traj.points.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // First fix at the source, last at the destination (no noise).
+        assert!(traj.points[0].0.distance(&g.position(NodeId(0))) < 1e-9);
+        assert!(
+            traj.points.last().unwrap().0.distance(&g.position(NodeId(59))) < 1e-9
+        );
+        // Total duration matches the path's travel time.
+        assert!((traj.points.last().unwrap().1 - path.travel_time(g)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_is_applied() {
+        let city = generate_city(&CityParams::small(), 2).unwrap();
+        let g = &city.graph;
+        let path = dijkstra_path(g, NodeId(0), NodeId(9), distance_cost(g)).unwrap();
+        let clean = Trajectory::sample_along(g, &path, 10.0, || (0.0, 0.0));
+        let noisy = Trajectory::sample_along(g, &path, 10.0, || (5.0, -5.0));
+        assert_eq!(clean.len(), noisy.len());
+        for (c, n) in clean.points.iter().zip(noisy.points.iter()) {
+            assert!((n.0.x - c.0.x - 5.0).abs() < 1e-9);
+            assert!((n.0.y - c.0.y + 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn denser_interval_gives_more_points() {
+        let city = generate_city(&CityParams::small(), 2).unwrap();
+        let g = &city.graph;
+        let path = dijkstra_path(g, NodeId(0), NodeId(59), distance_cost(g)).unwrap();
+        let sparse = Trajectory::sample_along(g, &path, 30.0, || (0.0, 0.0));
+        let dense = Trajectory::sample_along(g, &path, 3.0, || (0.0, 0.0));
+        assert!(dense.len() > sparse.len());
+    }
+}

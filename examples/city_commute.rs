@@ -1,0 +1,98 @@
+//! City-commute workload: a medium city serving a stream of requests with
+//! spatio-temporal locality, reporting the resolution mix, crowd cost and
+//! accuracy as the truth store warms up.
+//!
+//! ```sh
+//! cargo run --release --example city_commute
+//! ```
+
+use crowdplanner::prelude::*;
+use crowdplanner::sim::{Scale, SimWorld};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = SimWorld::build(Scale::Medium, 7)?;
+    println!(
+        "medium city: {} intersections, {} landmarks, {} trips",
+        world.city.graph.node_count(),
+        world.landmarks.len(),
+        world.trips.trips.len()
+    );
+
+    let platform = world.platform(200, 15, 7);
+    let mut planner = CrowdPlanner::new(
+        &world.city.graph,
+        &world.landmarks,
+        world.significance.clone(),
+        &world.trips.trips,
+        platform,
+        Config::default(),
+    )?;
+
+    // Request stream with locality: 60 base OD pairs, each requested up to
+    // three times at nearby departure times (commuters repeat journeys).
+    let base = world.request_stream(60, 6, 99);
+    let mut requests: Vec<(NodeId, NodeId, TimeOfDay)> = Vec::new();
+    for (i, &(a, b)) in base.iter().enumerate() {
+        let h = if i % 2 == 0 { 8.0 } else { 18.0 };
+        requests.push((a, b, TimeOfDay::from_hours(h)));
+        if i % 2 == 0 {
+            requests.push((a, b, TimeOfDay::from_hours(h + 0.5)));
+        }
+        if i % 3 == 0 {
+            requests.push((a, b, TimeOfDay::from_hours(h - 0.4)));
+        }
+    }
+
+    let mut correct = 0usize;
+    let mut by_resolution: std::collections::HashMap<Resolution, usize> =
+        std::collections::HashMap::new();
+    println!("\nserving {} requests…", requests.len());
+    for (i, &(a, b, t)) in requests.iter().enumerate() {
+        let oracle = world.oracle(a, b)?;
+        let rec = planner.handle_request(a, b, t, &oracle)?;
+        if world.is_best(&rec.path) {
+            correct += 1;
+        }
+        *by_resolution.entry(rec.resolution).or_insert(0) += 1;
+        if (i + 1) % 30 == 0 {
+            let s = planner.stats();
+            println!(
+                "  after {:>3} requests: reuse {:>3} | crowd {:>3} | accuracy so far {:.1}%",
+                i + 1,
+                s.reuse_hits,
+                s.crowd_tasks,
+                100.0 * correct as f64 / (i + 1) as f64
+            );
+        }
+    }
+
+    let s = planner.stats();
+    println!("\n=== workload report ===");
+    println!("requests        : {}", s.requests);
+    for r in [
+        Resolution::ReusedTruth,
+        Resolution::Agreement,
+        Resolution::Confident,
+        Resolution::Crowd,
+        Resolution::Fallback,
+    ] {
+        println!(
+            "  {:<13}: {:>4} ({:.1}%)",
+            format!("{r:?}"),
+            by_resolution.get(&r).copied().unwrap_or(0),
+            100.0 * by_resolution.get(&r).copied().unwrap_or(0) as f64 / s.requests as f64
+        );
+    }
+    println!(
+        "crowd cost      : {} questions over {} tasks ({:.2} questions/request overall)",
+        s.total_questions,
+        s.crowd_tasks,
+        s.total_questions as f64 / s.requests as f64
+    );
+    println!(
+        "accuracy        : {:.1}% of answers match the driver-consensus route",
+        100.0 * correct as f64 / s.requests as f64
+    );
+    println!("verified truths : {}", planner.truths().len());
+    Ok(())
+}

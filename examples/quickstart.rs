@@ -1,0 +1,74 @@
+//! Quickstart: one route request through the full CrowdPlanner pipeline.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use crowdplanner::prelude::*;
+use crowdplanner::sim::{Scale, SimWorld};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a small simulated world: city + landmarks + driver trip
+    //    histories + LBSN check-ins + inferred landmark significance.
+    let world = SimWorld::build(Scale::Small, 42)?;
+    println!(
+        "world: {} intersections, {} landmarks, {} historical trips, {} check-ins",
+        world.city.graph.node_count(),
+        world.landmarks.len(),
+        world.trips.trips.len(),
+        world.checkins.len()
+    );
+
+    // 2. A crowd of workers with some answer history.
+    let platform = world.platform(120, 10, 42);
+
+    // 3. The CrowdPlanner server.
+    let mut planner = CrowdPlanner::new(
+        &world.city.graph,
+        &world.landmarks,
+        world.significance.clone(),
+        &world.trips.trips,
+        platform,
+        Config::default(),
+    )?;
+
+    // 4. A request: cross-town journey at the morning peak.
+    let (from, to) = (NodeId(0), NodeId(59));
+    let departure = TimeOfDay::from_hours(8.0);
+
+    // The oracle stands in for the crowd's collective knowledge: it knows
+    // which landmarks the experienced-driver consensus route passes. The
+    // server never sees it directly — only noisy worker answers.
+    let oracle = world.oracle(from, to)?;
+
+    let rec = planner.handle_request(from, to, departure, &oracle)?;
+
+    println!("\nrecommendation for node {} -> node {}:", from.0, to.0);
+    println!("  resolved by : {:?}", rec.resolution);
+    println!("  confidence  : {:.2}", rec.confidence);
+    println!(
+        "  route       : {} edges, {:.0} m, {:.0} s free-flow, {} lights",
+        rec.path.len(),
+        rec.path.length(&world.city.graph),
+        rec.path.travel_time(&world.city.graph),
+        rec.path.traffic_lights(&world.city.graph)
+    );
+    println!("  questions   : {}", rec.questions_asked);
+    println!("  workers     : {}", rec.workers_asked);
+    println!(
+        "  matches driver-consensus best route: {}",
+        world.is_best(&rec.path)
+    );
+
+    // 5. Ask again: the verified truth is reused, no crowd cost.
+    let again = planner.handle_request(from, to, departure, &oracle)?;
+    println!("\nsecond identical request resolved by: {:?}", again.resolution);
+    assert_eq!(again.resolution, Resolution::ReusedTruth);
+
+    let s = planner.stats();
+    println!(
+        "\nstats: {} requests | {} reuse | {} agreement | {} confident | {} crowd | {} fallback",
+        s.requests, s.reuse_hits, s.agreements, s.confident, s.crowd_tasks, s.fallbacks
+    );
+    Ok(())
+}
