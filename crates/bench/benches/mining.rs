@@ -2,8 +2,8 @@
 //! loop): per-query cost of MPR, MFP, LDR and the web services.
 
 use cp_mining::{
-    local_driver_route, most_frequent_path, most_popular_route, FastestRouteService,
-    LdrParams, MfpParams, MprParams, ShortestRouteService, TransferNetwork,
+    local_driver_route, most_frequent_path, most_popular_route, FastestRouteService, LdrParams,
+    MfpParams, MprParams, ShortestRouteService, TransferNetwork,
 };
 use cp_roadnet::NodeId;
 use cp_traj::TimeOfDay;
@@ -21,10 +21,18 @@ fn bench_mining(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("mining");
     group.bench_function("ws_shortest", |bench| {
-        bench.iter(|| ShortestRouteService.route(g, black_box(a), black_box(b)).unwrap())
+        bench.iter(|| {
+            ShortestRouteService
+                .route(g, black_box(a), black_box(b))
+                .unwrap()
+        })
     });
     group.bench_function("ws_fastest", |bench| {
-        bench.iter(|| FastestRouteService.route(g, black_box(a), black_box(b)).unwrap())
+        bench.iter(|| {
+            FastestRouteService
+                .route(g, black_box(a), black_box(b))
+                .unwrap()
+        })
     });
     group.bench_function("mpr", |bench| {
         bench.iter(|| {
@@ -33,14 +41,20 @@ fn bench_mining(c: &mut Criterion) {
     });
     group.bench_function("mfp_with_period_build", |bench| {
         bench.iter(|| {
-            most_frequent_path(g, trips, black_box(a), black_box(b), dep, &MfpParams::default())
-                .unwrap()
+            most_frequent_path(
+                g,
+                trips,
+                black_box(a),
+                black_box(b),
+                dep,
+                &MfpParams::default(),
+            )
+            .unwrap()
         })
     });
     group.bench_function("ldr", |bench| {
         bench.iter(|| {
-            local_driver_route(g, trips, black_box(a), black_box(b), &LdrParams::default())
-                .unwrap()
+            local_driver_route(g, trips, black_box(a), black_box(b), &LdrParams::default()).unwrap()
         })
     });
     group.finish();

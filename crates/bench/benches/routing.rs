@@ -1,9 +1,9 @@
 //! Micro-benchmarks of the routing substrate: Dijkstra vs A* vs Yen's
 //! k-shortest paths on the benchmark-sized city.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cp_roadnet::routing::{astar_path, dijkstra_path, distance_cost, k_shortest_paths, time_cost};
 use cp_roadnet::{generate_city, CityParams, NodeId, RoadClass};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_routing(c: &mut Criterion) {

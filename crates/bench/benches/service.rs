@@ -1,0 +1,169 @@
+//! Serving-layer benchmarks: grid-indexed vs linear truth lookup, and
+//! the sharded store, at 10k–50k stored truths.
+//!
+//! The acceptance bar for the serving subsystem is a ≥5× speedup of the
+//! indexed lookup over the linear scan at ≥10k truths; the
+//! `speedup_report` target measures and prints the ratio explicitly.
+
+use cp_core::{Config, TruthEntry, TruthStore};
+use cp_roadnet::routing::{dijkstra_path, distance_cost};
+use cp_roadnet::{generate_city, City, NodeId, Path};
+use cp_service::ShardedTruthStore;
+use cp_traj::TimeOfDay;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Fixture {
+    city: City,
+    store: TruthStore,
+    sharded: ShardedTruthStore,
+    queries: Vec<(NodeId, NodeId, TimeOfDay)>,
+    cfg: Config,
+}
+
+fn fixture(n_truths: usize) -> Fixture {
+    // A Medium city: a store of ≥10k truths only arises at urban scale,
+    // and the spatial index should be judged on that footprint.
+    let city = generate_city(&cp_roadnet::CityParams::medium(), 5).expect("city");
+    let n = city.graph.node_count() as u32;
+    let mut rng = SmallRng::seed_from_u64(0xACE);
+    // A few route shapes are enough; endpoints and times vary.
+    let paths: Vec<Path> = (0..8)
+        .map(|i| {
+            dijkstra_path(
+                &city.graph,
+                NodeId(i),
+                NodeId(n - 1 - i),
+                distance_cost(&city.graph),
+            )
+            .expect("connected")
+        })
+        .collect();
+    let mut store = TruthStore::new();
+    let sharded = ShardedTruthStore::with_shards(16);
+    for i in 0..n_truths {
+        let entry = TruthEntry {
+            from: NodeId(rng.random_range(0..n)),
+            to: NodeId(rng.random_range(0..n)),
+            departure: TimeOfDay::new(rng.random_range(0.0..TimeOfDay::DAY)),
+            path: paths[i % paths.len()].clone(),
+            confidence: 1.0,
+        };
+        store.insert(&city.graph, entry.clone());
+        sharded.insert(&city.graph, entry);
+    }
+    let queries: Vec<(NodeId, NodeId, TimeOfDay)> = (0..256)
+        .map(|_| {
+            (
+                NodeId(rng.random_range(0..n)),
+                NodeId(rng.random_range(0..n)),
+                TimeOfDay::new(rng.random_range(0.0..TimeOfDay::DAY)),
+            )
+        })
+        .collect();
+    Fixture {
+        city,
+        store,
+        sharded,
+        queries,
+        cfg: Config::default(),
+    }
+}
+
+fn bench_truth_lookup(c: &mut Criterion) {
+    for n_truths in [10_000usize, 50_000] {
+        let f = fixture(n_truths);
+        let mut group = c.benchmark_group(format!("truth_lookup_{n_truths}"));
+        let mut qi = 0usize;
+        let queries = f.queries.clone();
+        group.bench_with_input(BenchmarkId::new("linear", n_truths), &n_truths, |b, _| {
+            b.iter(|| {
+                let (from, to, t) = queries[qi % queries.len()];
+                qi += 1;
+                black_box(f.store.lookup_linear(
+                    &f.city.graph,
+                    black_box(from),
+                    black_box(to),
+                    t,
+                    &f.cfg,
+                ))
+                .is_some()
+            })
+        });
+        let mut qi2 = 0usize;
+        let queries2 = f.queries.clone();
+        group.bench_with_input(BenchmarkId::new("grid", n_truths), &n_truths, |b, _| {
+            b.iter(|| {
+                let (from, to, t) = queries2[qi2 % queries2.len()];
+                qi2 += 1;
+                black_box(
+                    f.store
+                        .lookup(&f.city.graph, black_box(from), black_box(to), t, &f.cfg),
+                )
+                .is_some()
+            })
+        });
+        let mut qi3 = 0usize;
+        let queries3 = f.queries.clone();
+        group.bench_with_input(BenchmarkId::new("sharded", n_truths), &n_truths, |b, _| {
+            b.iter(|| {
+                let (from, to, t) = queries3[qi3 % queries3.len()];
+                qi3 += 1;
+                black_box(f.sharded.lookup(
+                    &f.city.graph,
+                    black_box(from),
+                    black_box(to),
+                    t,
+                    &f.cfg,
+                ))
+                .is_some()
+            })
+        });
+        group.finish();
+    }
+}
+
+/// Times the same query batch through both paths with a plain std timer
+/// and prints the speedup factor (the acceptance criterion is ≥5× at
+/// ≥10k truths).
+fn speedup_report(_c: &mut Criterion) {
+    for n_truths in [10_000usize, 50_000] {
+        let f = fixture(n_truths);
+        let run = |lookup: &dyn Fn(NodeId, NodeId, TimeOfDay) -> bool| {
+            // Warm-up pass, then measure three passes over the batch.
+            for &(a, b, t) in &f.queries {
+                black_box(lookup(a, b, t));
+            }
+            let t0 = Instant::now();
+            for _ in 0..3 {
+                for &(a, b, t) in &f.queries {
+                    black_box(lookup(a, b, t));
+                }
+            }
+            t0.elapsed()
+        };
+        let linear = run(&|a, b, t| {
+            f.store
+                .lookup_linear(&f.city.graph, a, b, t, &f.cfg)
+                .is_some()
+        });
+        let grid = run(&|a, b, t| f.store.lookup(&f.city.graph, a, b, t, &f.cfg).is_some());
+        let sharded = run(&|a, b, t| f.sharded.lookup(&f.city.graph, a, b, t, &f.cfg).is_some());
+        println!(
+            "speedup @ {n_truths} truths: grid {:.1}x, sharded {:.1}x over linear \
+             (per-batch: linear {:?}, grid {:?}, sharded {:?}; {} queries/batch)",
+            linear.as_secs_f64() / grid.as_secs_f64(),
+            linear.as_secs_f64() / sharded.as_secs_f64(),
+            linear / 3,
+            grid / 3,
+            sharded / 3,
+            f.queries.len(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_truth_lookup, speedup_report);
+criterion_main!(benches);

@@ -1,9 +1,7 @@
 //! Micro-benchmarks of landmark-significance inference (HITS) and
 //! trajectory calibration.
 
-use cp_traj::{
-    calibrate_path, infer_significance, CalibrationParams, SignificanceParams,
-};
+use cp_traj::{calibrate_path, infer_significance, CalibrationParams, SignificanceParams};
 use criterion::{criterion_group, criterion_main, Criterion};
 use crowdplanner::sim::{Scale, SimWorld};
 use std::hint::black_box;

@@ -75,7 +75,8 @@ pub fn calibrated_candidates(
     let distinct = cp_mining::distinct_candidates(&cands);
     let mut out: Vec<LandmarkRoute> = Vec::new();
     for (p, _) in distinct {
-        let lr = LandmarkRoute::from_path(&world.city.graph, &world.landmarks, &p, &world.calibration);
+        let lr =
+            LandmarkRoute::from_path(&world.city.graph, &world.landmarks, &p, &world.calibration);
         if out.iter().all(|r| !r.same_landmark_set(&lr)) {
             out.push(lr);
         }

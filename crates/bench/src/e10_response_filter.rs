@@ -24,7 +24,12 @@ pub fn run(fast: bool) {
 
     header(
         "E10: on-time completion with and without the η_time filter",
-        &["deadline (s)", "eligible pool", "on-time (filtered)", "on-time (unfiltered)"],
+        &[
+            "deadline (s)",
+            "eligible pool",
+            "on-time (filtered)",
+            "on-time (unfiltered)",
+        ],
     );
     for deadline in [900.0, 1800.0, 3600.0, 7200.0] {
         let cfg = Config {

@@ -25,7 +25,9 @@ pub fn run(fast: bool) {
 
     header(
         "E1: fraction of requests where each source returns the driver-preferred route",
-        &["density", "trips", "WS-Short", "WS-Fast", "MPR", "LDR", "MFP"],
+        &[
+            "density", "trips", "WS-Short", "WS-Fast", "MPR", "LDR", "MFP",
+        ],
     );
     for d in densities {
         let keep = ((world.trips.trips.len() as f64) * d) as usize;

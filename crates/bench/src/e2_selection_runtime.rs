@@ -10,7 +10,7 @@ use crate::common::{header, random_selection_instance, rng, row};
 use cp_core::taskgen::{SelectionAlgorithm, SelectionProblem};
 use std::time::Instant;
 
-fn median_micros(samples: &mut Vec<f64>) -> f64 {
+fn median_micros(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     samples[samples.len() / 2]
 }

@@ -15,7 +15,13 @@ pub fn run(fast: bool) {
     let mut r = rng(3);
     header(
         "E3: selection quality over random instances (value ratio to optimum)",
-        &["algorithm", "mean ratio", "min ratio", "optimal %", "discriminative %"],
+        &[
+            "algorithm",
+            "mean ratio",
+            "min ratio",
+            "optimal %",
+            "discriminative %",
+        ],
     );
     let mut stats = [(0.0f64, f64::INFINITY, 0usize, 0usize); 3];
     let mut counted = 0usize;

@@ -6,9 +6,7 @@
 //! the gap widening as the candidate count grows.
 
 use crate::common::{calibrated_candidates, header, row};
-use cp_core::taskgen::{
-    build_question_tree, QuestionNode, SelectionAlgorithm, SelectionProblem,
-};
+use cp_core::taskgen::{build_question_tree, QuestionNode, SelectionAlgorithm, SelectionProblem};
 use cp_core::LandmarkRoute;
 use cp_mining::CandidateGenerator;
 use cp_roadnet::LandmarkId;
@@ -28,11 +26,19 @@ fn sig_order_expected(
     }
     // Questions arrive significance-sorted; take the first that splits.
     for (qi, &(l, _)) in questions.iter().enumerate() {
-        let yes: Vec<usize> = subset.iter().copied().filter(|&i| routes[i].contains(l)).collect();
+        let yes: Vec<usize> = subset
+            .iter()
+            .copied()
+            .filter(|&i| routes[i].contains(l))
+            .collect();
         if yes.is_empty() || yes.len() == subset.len() {
             continue;
         }
-        let no: Vec<usize> = subset.iter().copied().filter(|&i| !routes[i].contains(l)).collect();
+        let no: Vec<usize> = subset
+            .iter()
+            .copied()
+            .filter(|&i| !routes[i].contains(l))
+            .collect();
         let rest: Vec<(LandmarkId, f64)> = questions
             .iter()
             .enumerate()
@@ -86,12 +92,21 @@ pub fn run(fast: bool) {
         let all: Vec<usize> = (0..n).collect();
         let sig = sig_order_expected(&routes, &questions, &all, 0.0) / n as f64;
         let fixed = questions.len() as f64;
-        by_n.entry(n).or_default().push((id3, sig, fixed, max_depth_of(&tree.root)));
+        by_n.entry(n)
+            .or_default()
+            .push((id3, sig, fixed, max_depth_of(&tree.root)));
     }
 
     header(
         "E4: expected questions per task (uniform route prior)",
-        &["n candidates", "tasks", "ID3", "significance-order", "fixed order", "ID3 worst case"],
+        &[
+            "n candidates",
+            "tasks",
+            "ID3",
+            "significance-order",
+            "fixed order",
+            "ID3 worst case",
+        ],
     );
     for (n, v) in by_n {
         let m = v.len() as f64;

@@ -81,9 +81,8 @@ pub fn run(fast: bool) {
         // Sum-score top-k.
         let sums = sum_top_k(&qs);
         // Rated-voting top-k (the paper's scheme).
-        let voting =
-            cp_core::worker_selection::select_workers(&platform, &knowledge, &qs, &cfg)
-                .unwrap_or_default();
+        let voting = cp_core::worker_selection::select_workers(&platform, &knowledge, &qs, &cfg)
+            .unwrap_or_default();
         // Oracle: truly best-k by latent accuracy.
         let oracle: Vec<WorkerId> = {
             let mut scored: Vec<(WorkerId, f64)> = platform
@@ -113,7 +112,12 @@ pub fn run(fast: bool) {
         "E5: mean worker accuracy on the task's question landmarks",
         &["strategy", "tasks", "mean accuracy"],
     );
-    let names = ["random k", "sum-score top-k", "rated voting top-k (paper)", "omniscient oracle"];
+    let names = [
+        "random k",
+        "sum-score top-k",
+        "rated voting top-k (paper)",
+        "omniscient oracle",
+    ];
     for (i, name) in names.iter().enumerate() {
         row(&[
             name.to_string(),

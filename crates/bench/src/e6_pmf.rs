@@ -52,7 +52,11 @@ pub fn run(fast: bool) {
         let mean: f64 =
             train.entries.iter().map(|&(_, _, v)| v).sum::<f64>() / train.len().max(1) as f64;
         let base = |pred: f64| {
-            (test.entries.iter().map(|&(_, _, v)| (v - pred) * (v - pred)).sum::<f64>()
+            (test
+                .entries
+                .iter()
+                .map(|&(_, _, v)| (v - pred) * (v - pred))
+                .sum::<f64>()
                 / test.len().max(1) as f64)
                 .sqrt()
         };

@@ -42,7 +42,13 @@ pub fn run(fast: bool) {
 
     header(
         "E7: truth-store growth and reuse (windows of requests)",
-        &["requests", "truths stored", "window hit rate", "cumulative hit rate", "window crowd tasks"],
+        &[
+            "requests",
+            "truths stored",
+            "window hit rate",
+            "cumulative hit rate",
+            "window crowd tasks",
+        ],
     );
     let window = total / 8;
     let mut last_hits = 0;

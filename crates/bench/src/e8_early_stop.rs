@@ -22,7 +22,13 @@ pub fn run(fast: bool) {
     };
     header(
         "E8: early stop threshold sweep (crowd-forced requests)",
-        &["eta_stop", "crowd verdicts", "answers/task", "questions/task", "verdict accuracy"],
+        &[
+            "eta_stop",
+            "crowd verdicts",
+            "answers/task",
+            "questions/task",
+            "verdict accuracy",
+        ],
     );
     for eta in thresholds {
         // Force every contested request to the crowd: no machine shortcuts.

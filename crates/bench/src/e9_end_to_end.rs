@@ -62,7 +62,9 @@ pub fn run(fast: bool) {
     let mut m_hits = 0usize;
     for &(a, b) in &requests {
         let oracle = world.oracle(a, b).expect("oracle");
-        let rec = machine.handle_request(a, b, departure, &oracle).expect("request");
+        let rec = machine
+            .handle_request(a, b, departure, &oracle)
+            .expect("request");
         if world.is_best(&rec.path) {
             m_hits += 1;
         }
@@ -88,7 +90,9 @@ pub fn run(fast: bool) {
     let mut f_hits = 0usize;
     for &(a, b) in &requests {
         let oracle = world.oracle(a, b).expect("oracle");
-        let rec = full.handle_request(a, b, departure, &oracle).expect("request");
+        let rec = full
+            .handle_request(a, b, departure, &oracle)
+            .expect("request");
         if world.is_best(&rec.path) {
             f_hits += 1;
         }

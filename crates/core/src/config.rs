@@ -104,7 +104,9 @@ impl Config {
             return Err(CoreError::InvalidConfig("eta_confidence must be in [0,1]"));
         }
         if !unit(self.agreement_similarity) || !unit(self.agreement_quorum) {
-            return Err(CoreError::InvalidConfig("agreement params must be in [0,1]"));
+            return Err(CoreError::InvalidConfig(
+                "agreement params must be in [0,1]",
+            ));
         }
         if !unit(self.alpha) {
             return Err(CoreError::InvalidConfig("alpha must be in [0,1]"));
@@ -127,7 +129,9 @@ impl Config {
             return Err(CoreError::InvalidConfig("pmf_dims must be >= 1"));
         }
         if self.default_lambda <= 0.0 || self.task_deadline <= 0.0 {
-            return Err(CoreError::InvalidConfig("rates and deadlines must be positive"));
+            return Err(CoreError::InvalidConfig(
+                "rates and deadlines must be positive",
+            ));
         }
         Ok(())
     }

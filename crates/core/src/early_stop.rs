@@ -96,10 +96,9 @@ impl EarlyStop {
             return StopDecision::Continue;
         }
         match self.leader() {
-            Some((winner, confidence)) if confidence >= cfg.eta_stop => StopDecision::Stop {
-                winner,
-                confidence,
-            },
+            Some((winner, confidence)) if confidence >= cfg.eta_stop => {
+                StopDecision::Stop { winner, confidence }
+            }
             _ => StopDecision::Continue,
         }
     }
@@ -179,7 +178,10 @@ mod tests {
         assert_eq!(es.decision(&cfg()), StopDecision::Continue);
         es.record(Some(0));
         // share(0) = 3/4 = 0.75 ≥ 0.7 → stop
-        assert!(matches!(es.decision(&cfg()), StopDecision::Stop { winner: 0, .. }));
+        assert!(matches!(
+            es.decision(&cfg()),
+            StopDecision::Stop { winner: 0, .. }
+        ));
     }
 
     #[test]

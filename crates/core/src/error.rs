@@ -53,10 +53,16 @@ impl fmt::Display for CoreError {
                 "candidate routes {first} and {second} have identical landmark sets"
             ),
             CoreError::TooManyRoutes { max } => {
-                write!(f, "candidate set exceeds the supported maximum of {max} routes")
+                write!(
+                    f,
+                    "candidate set exceeds the supported maximum of {max} routes"
+                )
             }
             CoreError::NoDiscriminativeSet => {
-                write!(f, "no discriminative landmark set exists for the candidates")
+                write!(
+                    f,
+                    "no discriminative landmark set exists for the candidates"
+                )
             }
             CoreError::NoCandidates => write!(f, "no source produced a candidate route"),
             CoreError::NoEligibleWorkers => write!(f, "no eligible workers for the task"),
@@ -92,10 +98,15 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         assert!(CoreError::TooFewRoutes.to_string().contains("two distinct"));
-        assert!(CoreError::UndiscriminableRoutes { first: 1, second: 3 }
+        assert!(CoreError::UndiscriminableRoutes {
+            first: 1,
+            second: 3
+        }
+        .to_string()
+        .contains("1 and 3"));
+        assert!(CoreError::TooManyRoutes { max: 16 }
             .to_string()
-            .contains("1 and 3"));
-        assert!(CoreError::TooManyRoutes { max: 16 }.to_string().contains("16"));
+            .contains("16"));
         assert!(CoreError::SignificanceLengthMismatch {
             expected: 10,
             actual: 3

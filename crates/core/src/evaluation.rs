@@ -130,7 +130,10 @@ mod tests {
     use cp_traj::TimeOfDay;
 
     fn setup() -> (cp_roadnet::City, Config) {
-        (generate_city(&CityParams::small(), 79).unwrap(), Config::default())
+        (
+            generate_city(&CityParams::small(), 79).unwrap(),
+            Config::default(),
+        )
     }
 
     fn cand(source: SourceKind, path: Path) -> CandidateRoute {
@@ -138,7 +141,13 @@ mod tests {
     }
 
     fn short(city: &cp_roadnet::City, a: u32, b: u32) -> Path {
-        dijkstra_path(&city.graph, NodeId(a), NodeId(b), distance_cost(&city.graph)).unwrap()
+        dijkstra_path(
+            &city.graph,
+            NodeId(a),
+            NodeId(b),
+            distance_cost(&city.graph),
+        )
+        .unwrap()
     }
 
     fn fast(city: &cp_roadnet::City, a: u32, b: u32) -> Path {
@@ -154,7 +163,14 @@ mod tests {
             cand(SourceKind::Mpr, p.clone()),
             cand(SourceKind::Mfp, p.clone()),
         ];
-        match evaluate_candidates(&city.graph, &cands, &TruthStore::new(), NodeId(0), NodeId(59), &cfg) {
+        match evaluate_candidates(
+            &city.graph,
+            &cands,
+            &TruthStore::new(),
+            NodeId(0),
+            NodeId(59),
+            &cfg,
+        ) {
             Evaluation::Agreement { path, supporters } => {
                 assert_eq!(path, p);
                 assert_eq!(supporters, 3);
@@ -175,7 +191,14 @@ mod tests {
             cand(SourceKind::ShortestWebService, a),
             cand(SourceKind::FastestWebService, b),
         ];
-        match evaluate_candidates(&city.graph, &cands, &TruthStore::new(), NodeId(0), NodeId(59), &cfg) {
+        match evaluate_candidates(
+            &city.graph,
+            &cands,
+            &TruthStore::new(),
+            NodeId(0),
+            NodeId(59),
+            &cfg,
+        ) {
             Evaluation::Undecided { confidences } => {
                 assert_eq!(confidences.len(), 2);
                 assert!(confidences.iter().all(|&c| c == 0.0));
@@ -193,13 +216,16 @@ mod tests {
             return;
         }
         let mut truths = TruthStore::new();
-        truths.insert(TruthEntry {
-            from: NodeId(0),
-            to: NodeId(59),
-            departure: TimeOfDay::from_hours(9.0),
-            path: a.clone(),
-            confidence: 1.0,
-        });
+        truths.insert(
+            &city.graph,
+            TruthEntry {
+                from: NodeId(0),
+                to: NodeId(59),
+                departure: TimeOfDay::from_hours(9.0),
+                path: a.clone(),
+                confidence: 1.0,
+            },
+        );
         let cands = vec![
             cand(SourceKind::ShortestWebService, a.clone()),
             cand(SourceKind::FastestWebService, b),
@@ -216,7 +242,14 @@ mod tests {
     #[test]
     fn empty_candidates_are_undecided() {
         let (city, cfg) = setup();
-        match evaluate_candidates(&city.graph, &[], &TruthStore::new(), NodeId(0), NodeId(1), &cfg) {
+        match evaluate_candidates(
+            &city.graph,
+            &[],
+            &TruthStore::new(),
+            NodeId(0),
+            NodeId(1),
+            &cfg,
+        ) {
             Evaluation::Undecided { confidences } => assert!(confidences.is_empty()),
             other => panic!("unexpected {other:?}"),
         }
@@ -238,13 +271,27 @@ mod tests {
             cand(SourceKind::FastestWebService, b.clone()),
             cand(SourceKind::Mfp, b.clone()),
         ];
-        match evaluate_candidates(&city.graph, &cands, &TruthStore::new(), NodeId(0), NodeId(59), &cfg) {
+        match evaluate_candidates(
+            &city.graph,
+            &cands,
+            &TruthStore::new(),
+            NodeId(0),
+            NodeId(59),
+            &cfg,
+        ) {
             Evaluation::Undecided { .. } => {}
             other => panic!("expected undecided at quorum 0.75, got {other:?}"),
         }
         // Lower the quorum to 0.5 → agreement on one of the pairs.
         cfg.agreement_quorum = 0.5;
-        match evaluate_candidates(&city.graph, &cands, &TruthStore::new(), NodeId(0), NodeId(59), &cfg) {
+        match evaluate_candidates(
+            &city.graph,
+            &cands,
+            &TruthStore::new(),
+            NodeId(0),
+            NodeId(59),
+            &cfg,
+        ) {
             Evaluation::Agreement { supporters, .. } => assert_eq!(supporters, 2),
             other => panic!("expected agreement at quorum 0.5, got {other:?}"),
         }

@@ -1,0 +1,119 @@
+//! A fast, non-cryptographic hasher for the hot-path grid indexes.
+//!
+//! The truth grid resolves a lookup by probing a neighbourhood of cell
+//! keys; with the std `SipHash` the probes themselves dominate lookup
+//! cost. This is the well-known `FxHash` mix (rustc's internal hasher):
+//! a multiply-rotate over machine words — perfect for the small integer
+//! tuple keys the grid uses, and DoS resistance is irrelevant for an
+//! in-process spatial index.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash word-mixing hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.add(n as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_spreading() {
+        let mut map: FxHashMap<(i32, i32, i32, i32, u16), u32> = FxHashMap::default();
+        for i in 0..1000i32 {
+            map.insert((i, -i, i * 3, i % 7, (i % 12) as u16), i as u32);
+        }
+        assert_eq!(map.len(), 1000);
+        for i in 0..1000i32 {
+            assert_eq!(
+                map.get(&(i, -i, i * 3, i % 7, (i % 12) as u16)),
+                Some(&(i as u32))
+            );
+        }
+    }
+
+    #[test]
+    fn partial_tail_bytes_hash_differently() {
+        use std::hash::Hash;
+        let h = |bytes: &[u8]| {
+            let mut hasher = FxHasher::default();
+            bytes.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_ne!(h(b"abc"), h(b"abd"));
+        assert_ne!(h(b"abcdefgh1"), h(b"abcdefgh2"));
+    }
+}

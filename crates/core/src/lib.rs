@@ -23,6 +23,7 @@ pub mod config;
 pub mod early_stop;
 pub mod error;
 pub mod evaluation;
+pub mod hashing;
 pub mod reliability;
 pub mod reward;
 pub mod route;
@@ -35,6 +36,7 @@ pub use config::Config;
 pub use early_stop::{EarlyStop, StopDecision};
 pub use error::CoreError;
 pub use evaluation::{evaluate_candidates, Evaluation};
+pub use hashing::{FxBuildHasher, FxHashMap, FxHasher};
 pub use reliability::SourceReliability;
 pub use reward::{reward_for, Participation};
 pub use route::{is_discriminative, is_simplest_discriminative, LandmarkRoute};
@@ -43,8 +45,8 @@ pub use taskgen::{
     brute_force_select, build_question_tree, generate_task, greedy_select, ils_select,
     QuestionNode, QuestionTree, Selection, SelectionAlgorithm, SelectionProblem, Task,
 };
-pub use truth::{TruthEntry, TruthStore};
+pub use truth::{grid_cell, TruthEntry, TruthGrid, TruthStore, DEFAULT_BUCKET_S, DEFAULT_CELL_M};
 pub use worker_selection::{
-    accumulate_scores, familiarity_score, observed_matrix, profile_familiarity,
-    select_workers, DenseMatrix, KnowledgeModel, PmfModel, PmfParams, SparseObservations,
+    accumulate_scores, familiarity_score, observed_matrix, profile_familiarity, select_workers,
+    DenseMatrix, KnowledgeModel, PmfModel, PmfParams, SparseObservations,
 };

@@ -17,8 +17,7 @@ impl LandmarkRoute {
     /// first occurrence kept).
     pub fn new(sequence: Vec<LandmarkId>) -> Self {
         let mut seen = std::collections::HashSet::with_capacity(sequence.len());
-        let sequence: Vec<LandmarkId> =
-            sequence.into_iter().filter(|l| seen.insert(*l)).collect();
+        let sequence: Vec<LandmarkId> = sequence.into_iter().filter(|l| seen.insert(*l)).collect();
         let mut sorted = sequence.clone();
         sorted.sort_unstable();
         LandmarkRoute { sequence, sorted }

@@ -201,7 +201,10 @@ impl<'a> CrowdPlanner<'a> {
         self.stats.requests += 1;
 
         // Step 1: reuse truth.
-        if let Some(hit) = self.truths.lookup(self.graph, from, to, departure, &self.cfg) {
+        if let Some(hit) = self
+            .truths
+            .lookup(self.graph, from, to, departure, &self.cfg)
+        {
             self.stats.reuse_hits += 1;
             return Ok(Recommendation {
                 path: hit.path.clone(),
@@ -219,50 +222,50 @@ impl<'a> CrowdPlanner<'a> {
         }
 
         // Step 3: machine evaluation.
-        let confidences = match evaluate_candidates(
-            self.graph,
-            &candidates,
-            &self.truths,
-            from,
-            to,
-            &self.cfg,
-        ) {
-            Evaluation::Agreement { path, supporters } => {
-                self.stats.agreements += 1;
-                self.truths.insert(TruthEntry {
-                    from,
-                    to,
-                    departure,
-                    path: path.clone(),
-                    confidence: 1.0,
-                });
-                return Ok(Recommendation {
-                    path,
-                    resolution: Resolution::Agreement,
-                    questions_asked: 0,
-                    workers_asked: 0,
-                    confidence: supporters as f64 / candidates.len() as f64,
-                });
-            }
-            Evaluation::Confident { path, confidence } => {
-                self.stats.confident += 1;
-                self.truths.insert(TruthEntry {
-                    from,
-                    to,
-                    departure,
-                    path: path.clone(),
-                    confidence,
-                });
-                return Ok(Recommendation {
-                    path,
-                    resolution: Resolution::Confident,
-                    questions_asked: 0,
-                    workers_asked: 0,
-                    confidence,
-                });
-            }
-            Evaluation::Undecided { confidences } => confidences,
-        };
+        let confidences =
+            match evaluate_candidates(self.graph, &candidates, &self.truths, from, to, &self.cfg) {
+                Evaluation::Agreement { path, supporters } => {
+                    self.stats.agreements += 1;
+                    self.truths.insert(
+                        self.graph,
+                        TruthEntry {
+                            from,
+                            to,
+                            departure,
+                            path: path.clone(),
+                            confidence: 1.0,
+                        },
+                    );
+                    return Ok(Recommendation {
+                        path,
+                        resolution: Resolution::Agreement,
+                        questions_asked: 0,
+                        workers_asked: 0,
+                        confidence: supporters as f64 / candidates.len() as f64,
+                    });
+                }
+                Evaluation::Confident { path, confidence } => {
+                    self.stats.confident += 1;
+                    self.truths.insert(
+                        self.graph,
+                        TruthEntry {
+                            from,
+                            to,
+                            departure,
+                            path: path.clone(),
+                            confidence,
+                        },
+                    );
+                    return Ok(Recommendation {
+                        path,
+                        resolution: Resolution::Confident,
+                        questions_asked: 0,
+                        workers_asked: 0,
+                        confidence,
+                    });
+                }
+                Evaluation::Undecided { confidences } => confidences,
+            };
 
         // Step 4: crowd.
         self.crowd_resolve(from, to, departure, candidates, confidences, oracle)
@@ -342,13 +345,16 @@ impl<'a> CrowdPlanner<'a> {
             // Everything calibrates to one landmark route: the crowd cannot
             // distinguish candidates; return the best machine guess.
             let path = fallback(self, true);
-            self.truths.insert(TruthEntry {
-                from,
-                to,
-                departure,
-                path: path.clone(),
-                confidence: self.cfg.eta_confidence * 0.5,
-            });
+            self.truths.insert(
+                self.graph,
+                TruthEntry {
+                    from,
+                    to,
+                    departure,
+                    path: path.clone(),
+                    confidence: self.cfg.eta_confidence * 0.5,
+                },
+            );
             return Ok(Recommendation {
                 path,
                 resolution: Resolution::Fallback,
@@ -366,8 +372,7 @@ impl<'a> CrowdPlanner<'a> {
             self.cfg.selection_budget,
             Some(&kept_weights),
         )?;
-        let question_landmarks: Vec<LandmarkId> =
-            task.questions.iter().map(|&(l, _)| l).collect();
+        let question_landmarks: Vec<LandmarkId> = task.questions.iter().map(|&(l, _)| l).collect();
 
         // Worker selection.
         self.knowledge_model();
@@ -381,13 +386,16 @@ impl<'a> CrowdPlanner<'a> {
             Ok(w) => w,
             Err(CoreError::NoEligibleWorkers) => {
                 let path = fallback(self, true);
-                self.truths.insert(TruthEntry {
-                    from,
-                    to,
-                    departure,
-                    path: path.clone(),
-                    confidence: self.cfg.eta_confidence * 0.5,
-                });
+                self.truths.insert(
+                    self.graph,
+                    TruthEntry {
+                        from,
+                        to,
+                        departure,
+                        path: path.clone(),
+                        confidence: self.cfg.eta_confidence * 0.5,
+                    },
+                );
                 return Ok(Recommendation {
                     path,
                     resolution: Resolution::Fallback,
@@ -478,13 +486,16 @@ impl<'a> CrowdPlanner<'a> {
                         self.reliability.record(s, won);
                     }
                 }
-                self.truths.insert(TruthEntry {
-                    from,
-                    to,
-                    departure,
-                    path: path.clone(),
-                    confidence: 1.0,
-                });
+                self.truths.insert(
+                    self.graph,
+                    TruthEntry {
+                        from,
+                        to,
+                        departure,
+                        path: path.clone(),
+                        confidence: 1.0,
+                    },
+                );
                 Ok(Recommendation {
                     path,
                     resolution: Resolution::Crowd,
@@ -497,13 +508,16 @@ impl<'a> CrowdPlanner<'a> {
                 let path = fallback(self, true);
                 self.stats.total_questions += questions_total;
                 self.stats.total_workers += workers_asked;
-                self.truths.insert(TruthEntry {
-                    from,
-                    to,
-                    departure,
-                    path: path.clone(),
-                    confidence: self.cfg.eta_confidence * 0.5,
-                });
+                self.truths.insert(
+                    self.graph,
+                    TruthEntry {
+                        from,
+                        to,
+                        departure,
+                        path: path.clone(),
+                        confidence: self.cfg.eta_confidence * 0.5,
+                    },
+                );
                 Ok(Recommendation {
                     path,
                     resolution: Resolution::Fallback,
@@ -520,12 +534,10 @@ impl<'a> CrowdPlanner<'a> {
 mod tests {
     use super::*;
     use cp_crowd::{AnswerModel, PopulationParams, WorkerPopulation};
-    use cp_roadnet::{
-        generate_city, generate_landmarks, CityParams, LandmarkGenParams,
-    };
+    use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams};
     use cp_traj::{
-        calibrate_path, generate_checkins, generate_trips, infer_significance,
-        CheckInGenParams, DriverPreference, SignificanceParams, TripGenParams,
+        calibrate_path, generate_checkins, generate_trips, infer_significance, CheckInGenParams,
+        DriverPreference, SignificanceParams, TripGenParams,
     };
 
     struct World {
@@ -537,8 +549,7 @@ mod tests {
 
     fn world(seed: u64) -> World {
         let city = generate_city(&CityParams::small(), seed).unwrap();
-        let landmarks =
-            generate_landmarks(&city.graph, &LandmarkGenParams::default(), seed);
+        let landmarks = generate_landmarks(&city.graph, &LandmarkGenParams::default(), seed);
         let trips = generate_trips(&city.graph, &TripGenParams::default(), seed).unwrap();
         let checkins =
             generate_checkins(&city.graph, &landmarks, &CheckInGenParams::default(), seed);
@@ -574,11 +585,7 @@ mod tests {
     }
 
     /// Oracle derived from the consensus route.
-    fn oracle_for(
-        w: &World,
-        from: NodeId,
-        to: NodeId,
-    ) -> impl Fn(LandmarkId) -> bool + '_ {
+    fn oracle_for(w: &World, from: NodeId, to: NodeId) -> impl Fn(LandmarkId) -> bool + '_ {
         let consensus = DriverPreference::consensus()
             .preferred_route(&w.city.graph, from, to)
             .unwrap();
@@ -613,8 +620,12 @@ mod tests {
         let mut cp = planner(&w, 89);
         let oracle = oracle_for(&w, NodeId(0), NodeId(59));
         let t = TimeOfDay::from_hours(9.0);
-        let first = cp.handle_request(NodeId(0), NodeId(59), t, &oracle).unwrap();
-        let second = cp.handle_request(NodeId(0), NodeId(59), t, &oracle).unwrap();
+        let first = cp
+            .handle_request(NodeId(0), NodeId(59), t, &oracle)
+            .unwrap();
+        let second = cp
+            .handle_request(NodeId(0), NodeId(59), t, &oracle)
+            .unwrap();
         assert_eq!(second.resolution, Resolution::ReusedTruth);
         assert_eq!(second.path, first.path);
         assert_eq!(cp.stats().reuse_hits, 1);
@@ -653,8 +664,7 @@ mod tests {
         cfg.agreement_similarity = 1.0; // only exact path equality agrees
         cfg.agreement_quorum = 1.0; // all sources must agree
         cfg.eta_confidence = 1.0; // machine confidence can never clear it
-        let pop =
-            WorkerPopulation::generate(&w.city.graph, &PopulationParams::default(), 101);
+        let pop = WorkerPopulation::generate(&w.city.graph, &PopulationParams::default(), 101);
         let mut platform = Platform::new(pop, AnswerModel::default(), 101);
         platform.warm_up(&w.landmarks, 10);
         let mut cp = CrowdPlanner::new(
@@ -688,11 +698,27 @@ mod tests {
         }
     }
 
+    /// Send/Sync audit: the serving layer moves planners onto worker
+    /// threads and shares the read-only inputs across them. A regression
+    /// here (e.g. an `Rc` or raw pointer sneaking into platform state)
+    /// must fail to compile.
+    #[test]
+    fn planner_state_is_thread_mobile() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<CrowdPlanner<'static>>();
+        assert_send::<TruthStore>();
+        assert_sync::<TruthStore>();
+        assert_sync::<Config>();
+        assert_send::<Platform>();
+        assert_send::<Recommendation>();
+        assert_sync::<SystemStats>();
+    }
+
     #[test]
     fn bad_significance_length_rejected() {
         let w = world(103);
-        let pop =
-            WorkerPopulation::generate(&w.city.graph, &PopulationParams::default(), 103);
+        let pop = WorkerPopulation::generate(&w.city.graph, &PopulationParams::default(), 103);
         let platform = Platform::new(pop, AnswerModel::default(), 103);
         assert!(matches!(
             CrowdPlanner::new(

@@ -69,7 +69,14 @@ pub fn brute_force_select(
     }
 
     recurse(
-        problem, 0, 0, 0.0, &mut stack, &mut best, &mut visited, budget,
+        problem,
+        0,
+        0,
+        0.0,
+        &mut stack,
+        &mut best,
+        &mut visited,
+        budget,
     );
     let _ = m;
     match best {

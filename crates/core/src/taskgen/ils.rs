@@ -108,7 +108,9 @@ pub fn ils_select(problem: &SelectionProblem, budget: usize) -> Result<Selection
     let mut best: Option<(f64, Vec<usize>)> = None;
     for k in problem.k_min()..=k_max {
         for i in 1..=k {
-            let Some((_, simple)) = &lsim[i] else { continue };
+            let Some((_, simple)) = &lsim[i] else {
+                continue;
+            };
             let Some(padded) = problem.max_superset(simple, k) else {
                 continue;
             };

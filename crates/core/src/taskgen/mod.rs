@@ -55,11 +55,7 @@ impl SelectionAlgorithm {
     }
 
     /// Runs the algorithm.
-    pub fn run(
-        self,
-        problem: &SelectionProblem,
-        budget: usize,
-    ) -> Result<Selection, CoreError> {
+    pub fn run(self, problem: &SelectionProblem, budget: usize) -> Result<Selection, CoreError> {
         match self {
             SelectionAlgorithm::BruteForce => brute_force_select(problem, budget),
             SelectionAlgorithm::Ils => ils_select(problem, budget),
@@ -170,11 +166,16 @@ mod tests {
             None,
         )
         .unwrap();
-        let greedy =
-            generate_task(routes(), &sig(), SelectionAlgorithm::Greedy, usize::MAX, None)
-                .unwrap();
-        let ils = generate_task(routes(), &sig(), SelectionAlgorithm::Ils, usize::MAX, None)
-            .unwrap();
+        let greedy = generate_task(
+            routes(),
+            &sig(),
+            SelectionAlgorithm::Greedy,
+            usize::MAX,
+            None,
+        )
+        .unwrap();
+        let ils =
+            generate_task(routes(), &sig(), SelectionAlgorithm::Ils, usize::MAX, None).unwrap();
         assert!((brute.selection_value - greedy.selection_value).abs() < 1e-9);
         assert!(ils.selection_value <= brute.selection_value + 1e-9);
         assert!(ils.selection_value >= 0.9 * brute.selection_value);

@@ -311,7 +311,10 @@ mod tests {
         let tree = build_question_tree(&rs, &w, &qs);
         let e = tree.expected_questions(&w);
         assert!(e <= 4.0);
-        assert!(e >= 2.0 - 1e-9, "4 routes need >= log2(4) = 2 expected questions");
+        assert!(
+            e >= 2.0 - 1e-9,
+            "4 routes need >= log2(4) = 2 expected questions"
+        );
         assert!(tree.max_depth() <= 4);
     }
 

@@ -71,7 +71,10 @@ impl SelectionProblem {
         for i in 0..n {
             for j in i + 1..n {
                 if routes[i].same_landmark_set(&routes[j]) {
-                    return Err(CoreError::UndiscriminableRoutes { first: i, second: j });
+                    return Err(CoreError::UndiscriminableRoutes {
+                        first: i,
+                        second: j,
+                    });
                 }
             }
         }
@@ -325,7 +328,10 @@ mod tests {
         ];
         assert!(matches!(
             SelectionProblem::prepare(&rs, &sig()),
-            Err(CoreError::UndiscriminableRoutes { first: 0, second: 1 })
+            Err(CoreError::UndiscriminableRoutes {
+                first: 0,
+                second: 1
+            })
         ));
     }
 

@@ -54,9 +54,7 @@ pub fn accumulate_scores(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cp_roadnet::{
-        Landmark, LandmarkCategory, LandmarkId, LandmarkSet, NodeId, Point,
-    };
+    use cp_roadnet::{Landmark, LandmarkCategory, LandmarkId, LandmarkSet, NodeId, Point};
 
     fn lm_at(i: u32, x: f64, y: f64) -> Landmark {
         Landmark {
@@ -120,10 +118,7 @@ mod tests {
 
     #[test]
     fn wider_eta_dis_spreads_further() {
-        let lms = LandmarkSet::new(
-            vec![lm_at(0, 0.0, 0.0), lm_at(1, 800.0, 0.0)],
-            500.0,
-        );
+        let lms = LandmarkSet::new(vec![lm_at(0, 0.0, 0.0), lm_at(1, 800.0, 0.0)], 500.0);
         let mut fam = DenseMatrix::zeros(1, 2);
         fam.set(0, 0, 1.0);
         let narrow = accumulate_scores(&lms, &fam, 500.0);

@@ -14,8 +14,8 @@
 
 use crate::config::Config;
 use crate::worker_selection::matrix::SparseObservations;
-use cp_crowd::{AnswerTally, Platform};
 use cp_crowd::Worker;
+use cp_crowd::{AnswerTally, Platform};
 use cp_roadnet::{Landmark, LandmarkSet};
 
 /// Profile-only familiarity term in `[0, 1]`.
@@ -80,9 +80,7 @@ pub fn observed_matrix(
 mod tests {
     use super::*;
     use cp_crowd::{AnswerModel, PopulationParams, WorkerPopulation};
-    use cp_roadnet::{
-        generate_city, generate_landmarks, CityParams, LandmarkGenParams,
-    };
+    use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams};
 
     fn setup() -> (LandmarkSet, Platform, Config) {
         let city = generate_city(&CityParams::small(), 61).unwrap();
@@ -126,7 +124,10 @@ mod tests {
 
     #[test]
     fn history_term_weights_wrong_answers_less() {
-        let t = AnswerTally { correct: 3, wrong: 2 };
+        let t = AnswerTally {
+            correct: 3,
+            wrong: 2,
+        };
         let h = history_familiarity(t, 0.3);
         assert!((h - (3.0 + 0.6)).abs() < 1e-12);
         assert!(history_familiarity(t, 0.3) < history_familiarity(t, 0.9));
@@ -137,7 +138,10 @@ mod tests {
         let (lms, platform, mut cfg) = setup();
         let w = platform.population().iter().next().unwrap();
         let lm = lms.iter().next().unwrap();
-        let t = AnswerTally { correct: 2, wrong: 0 };
+        let t = AnswerTally {
+            correct: 2,
+            wrong: 0,
+        };
         cfg.alpha = 1.0;
         let only_profile = familiarity_score(w, lm, t, &cfg);
         assert!((only_profile - profile_familiarity(w, lm, cfg.eta_dis)).abs() < 1e-12);

@@ -78,10 +78,12 @@ pub fn select_workers(
     task_landmarks: &[LandmarkId],
     cfg: &Config,
 ) -> Result<Vec<WorkerId>, CoreError> {
-    Ok(select_workers_scored(platform, knowledge, task_landmarks, cfg)?
-        .into_iter()
-        .map(|(w, _)| w)
-        .collect())
+    Ok(
+        select_workers_scored(platform, knowledge, task_landmarks, cfg)?
+            .into_iter()
+            .map(|(w, _)| w)
+            .collect(),
+    )
 }
 
 /// Like [`select_workers`] but returns each worker's rated-voting
@@ -108,19 +110,19 @@ pub fn select_workers_scored(
     if candidates.is_empty() {
         return Err(CoreError::NoEligibleWorkers);
     }
-    Ok(preference_scores(&candidates, task_landmarks, &knowledge.accumulated)
-        .into_iter()
-        .take(cfg.k_workers)
-        .collect())
+    Ok(
+        preference_scores(&candidates, task_landmarks, &knowledge.accumulated)
+            .into_iter()
+            .take(cfg.k_workers)
+            .collect(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cp_crowd::{AnswerModel, PopulationParams, WorkerPopulation};
-    use cp_roadnet::{
-        generate_city, generate_landmarks, CityParams, LandmarkGenParams,
-    };
+    use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams};
 
     fn setup() -> (LandmarkSet, Platform, Config) {
         let city = generate_city(&CityParams::small(), 71).unwrap();
@@ -182,8 +184,11 @@ mod tests {
                 .map(|&l| platform.population().true_familiarity(w, lms.get(l)))
                 .sum::<f64>()
         };
-        let sel_mean: f64 =
-            selected.iter().map(|&w| true_task_knowledge(w)).sum::<f64>() / selected.len() as f64;
+        let sel_mean: f64 = selected
+            .iter()
+            .map(|&w| true_task_knowledge(w))
+            .sum::<f64>()
+            / selected.len() as f64;
         let all_mean: f64 = platform
             .population()
             .ids()

@@ -102,7 +102,14 @@ impl PmfModel {
                 }
             }
         }
-        PmfModel { dims: d, w, l, mean, n, m }
+        PmfModel {
+            dims: d,
+            w,
+            l,
+            mean,
+            n,
+            m,
+        }
     }
 
     /// Predicted familiarity of worker `i` with landmark `j`, floored at 0
@@ -154,7 +161,12 @@ mod tests {
     use super::*;
 
     /// Builds a rank-2 ground-truth matrix and samples observations.
-    fn synthetic(n: usize, m: usize, density: f64, seed: u64) -> (Vec<f64>, SparseObservations, SparseObservations) {
+    fn synthetic(
+        n: usize,
+        m: usize,
+        density: f64,
+        seed: u64,
+    ) -> (Vec<f64>, SparseObservations, SparseObservations) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let wf: Vec<(f64, f64)> = (0..n)
             .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
@@ -251,8 +263,24 @@ mod tests {
     #[test]
     fn more_dims_do_not_hurt_much() {
         let (_, train, test) = synthetic(30, 30, 0.35, 11);
-        let small = PmfModel::fit(&train, 30, 30, &PmfParams { dims: 2, ..PmfParams::default() });
-        let big = PmfModel::fit(&train, 30, 30, &PmfParams { dims: 16, ..PmfParams::default() });
+        let small = PmfModel::fit(
+            &train,
+            30,
+            30,
+            &PmfParams {
+                dims: 2,
+                ..PmfParams::default()
+            },
+        );
+        let big = PmfModel::fit(
+            &train,
+            30,
+            30,
+            &PmfParams {
+                dims: 16,
+                ..PmfParams::default()
+            },
+        );
         // Regularisation keeps the larger model competitive (within 2x).
         assert!(big.rmse(&test) <= small.rmse(&test) * 2.0 + 0.05);
     }

@@ -39,7 +39,11 @@ mod tests {
         let city = generate_city(&CityParams::small(), 67).unwrap();
         let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 67);
         let pop = WorkerPopulation::generate(&city.graph, &PopulationParams::default(), 67);
-        (lms, Platform::new(pop, AnswerModel::default(), 67), Config::default())
+        (
+            lms,
+            Platform::new(pop, AnswerModel::default(), 67),
+            Config::default(),
+        )
     }
 
     #[test]

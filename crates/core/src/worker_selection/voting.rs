@@ -51,11 +51,7 @@ pub fn preference_scores(
             totals[ci] += 1.0 - rank as f64 / size;
         }
     }
-    let mut out: Vec<(WorkerId, f64)> = candidates
-        .iter()
-        .copied()
-        .zip(totals)
-        .collect();
+    let mut out: Vec<(WorkerId, f64)> = candidates.iter().copied().zip(totals).collect();
     out.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .unwrap_or(std::cmp::Ordering::Equal)

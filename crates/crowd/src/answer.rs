@@ -65,9 +65,7 @@ impl AnswerModel {
 mod tests {
     use super::*;
     use crate::population::PopulationParams;
-    use cp_roadnet::{
-        generate_city, generate_landmarks, CityParams, LandmarkGenParams,
-    };
+    use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams};
     use rand::SeedableRng;
 
     fn setup() -> (cp_roadnet::LandmarkSet, WorkerPopulation) {
@@ -129,7 +127,10 @@ mod tests {
             .filter(|_| model.sample_answer(&pop, w, l, true, &mut rng))
             .count();
         let emp = correct as f64 / n as f64;
-        assert!((emp - expect).abs() < 0.02, "empirical {emp} vs model {expect}");
+        assert!(
+            (emp - expect).abs() < 0.02,
+            "empirical {emp} vs model {expect}"
+        );
     }
 
     #[test]
@@ -144,6 +145,9 @@ mod tests {
         let yes = (0..n)
             .filter(|_| model.sample_answer(&pop, w, l, false, &mut rng))
             .count();
-        assert!(yes < n / 2, "most answers should be 'no' when truth is 'no'");
+        assert!(
+            yes < n / 2,
+            "most answers should be 'no' when truth is 'no'"
+        );
     }
 }

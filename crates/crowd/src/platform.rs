@@ -119,9 +119,9 @@ impl Platform {
     /// correct answer is `truth`. Returns `(answer, response_time_s)` and
     /// records both the response time and the correctness tally.
     pub fn ask(&mut self, worker: WorkerId, landmark: &Landmark, truth: bool) -> (bool, f64) {
-        let answer = self
-            .model
-            .sample_answer(&self.population, worker, landmark, truth, &mut self.rng);
+        let answer =
+            self.model
+                .sample_answer(&self.population, worker, landmark, truth, &mut self.rng);
         let rt = sample_response_time(self.population.get(worker).lambda, &mut self.rng);
         self.response_times[worker.index()].push(rt);
         let tally = self.history.entry((worker, landmark.id)).or_default();

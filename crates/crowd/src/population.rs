@@ -142,9 +142,7 @@ impl WorkerPopulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cp_roadnet::{
-        generate_city, generate_landmarks, CityParams, LandmarkGenParams,
-    };
+    use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams};
 
     fn setup() -> (cp_roadnet::City, cp_roadnet::LandmarkSet, WorkerPopulation) {
         let city = generate_city(&CityParams::small(), 43).unwrap();
@@ -171,7 +169,10 @@ mod tests {
             assert!(w.reliability >= 0.55 && w.reliability < 1.0);
             assert!(w.lambda > 0.0);
             assert!(w.knowledge_scale > 0.0);
-            assert!(w.category_affinity.iter().all(|&a| (0.0..=1.0).contains(&a)));
+            assert!(w
+                .category_affinity
+                .iter()
+                .all(|&a| (0.0..=1.0).contains(&a)));
         }
     }
 
@@ -186,8 +187,7 @@ mod tests {
             for b in lms.iter() {
                 if a.category == b.category
                     && a.latent_fame >= b.latent_fame
-                    && pop.get(w).min_anchor_distance(&a.position)
-                        + 500.0
+                    && pop.get(w).min_anchor_distance(&a.position) + 500.0
                         < pop.get(w).min_anchor_distance(&b.position)
                 {
                     assert!(

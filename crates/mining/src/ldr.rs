@@ -220,9 +220,11 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                if !ds.trips.iter().any(|t| {
-                    t.path.source() == NodeId(a) && t.path.destination() == NodeId(b)
-                }) {
+                if !ds
+                    .trips
+                    .iter()
+                    .any(|t| t.path.source() == NodeId(a) && t.path.destination() == NodeId(b))
+                {
                     pair = Some((NodeId(a), NodeId(b)));
                     break 'outer;
                 }
@@ -239,8 +241,7 @@ mod tests {
     fn no_history_degenerates_to_fastest() {
         let (city, _) = setup();
         let g = &city.graph;
-        let p = local_driver_route(g, &[], NodeId(0), NodeId(59), &LdrParams::default())
-            .unwrap();
+        let p = local_driver_route(g, &[], NodeId(0), NodeId(59), &LdrParams::default()).unwrap();
         let s = cp_roadnet::routing::dijkstra_path(
             g,
             NodeId(0),
@@ -280,10 +281,13 @@ mod tests {
     #[test]
     fn same_node_errors() {
         let (city, ds) = setup();
-        assert!(
-            local_driver_route(&city.graph, &ds.trips, NodeId(1), NodeId(1),
-                &LdrParams::default())
-            .is_err()
-        );
+        assert!(local_driver_route(
+            &city.graph,
+            &ds.trips,
+            NodeId(1),
+            NodeId(1),
+            &LdrParams::default()
+        )
+        .is_err());
     }
 }

@@ -67,12 +67,7 @@ impl PartialOrd for WidestEntry {
 }
 
 /// Best achievable bottleneck frequency from `from` to `to` (widest path).
-pub fn best_bottleneck(
-    graph: &RoadGraph,
-    tn: &TransferNetwork,
-    from: NodeId,
-    to: NodeId,
-) -> f64 {
+pub fn best_bottleneck(graph: &RoadGraph, tn: &TransferNetwork, from: NodeId, to: NodeId) -> f64 {
     let n = graph.node_count();
     let mut width = vec![f64::NEG_INFINITY; n];
     let mut settled = vec![false; n];
@@ -164,8 +159,7 @@ mod tests {
         // No concrete path can beat the widest-path optimum.
         {
             let cost = cp_roadnet::routing::distance_cost(g);
-            let p = cp_roadnet::routing::dijkstra_path(g, NodeId(0), NodeId(59), cost)
-                .unwrap();
+            let p = cp_roadnet::routing::dijkstra_path(g, NodeId(0), NodeId(59), cost).unwrap();
             let min_f = p
                 .edges()
                 .iter()
@@ -179,7 +173,8 @@ mod tests {
     fn mfp_follows_popular_corridors() {
         let (city, _, tn) = setup();
         let g = &city.graph;
-        let mfp = most_frequent_path_on(g, &tn, NodeId(0), NodeId(59), &MfpParams::default()).unwrap();
+        let mfp =
+            most_frequent_path_on(g, &tn, NodeId(0), NodeId(59), &MfpParams::default()).unwrap();
         let avg_freq = |p: &Path| {
             p.edges().iter().map(|&e| tn.edge_frequency(e)).sum::<f64>() / p.len() as f64
         };
@@ -231,10 +226,24 @@ mod tests {
         };
         // Morning and midnight periods see different support; both must
         // still return a path.
-        let m = most_frequent_path(g, &ds.trips, NodeId(0), NodeId(59),
-            TimeOfDay::from_hours(8.0), &params).unwrap();
-        let n = most_frequent_path(g, &ds.trips, NodeId(0), NodeId(59),
-            TimeOfDay::from_hours(3.0), &params).unwrap();
+        let m = most_frequent_path(
+            g,
+            &ds.trips,
+            NodeId(0),
+            NodeId(59),
+            TimeOfDay::from_hours(8.0),
+            &params,
+        )
+        .unwrap();
+        let n = most_frequent_path(
+            g,
+            &ds.trips,
+            NodeId(0),
+            NodeId(59),
+            TimeOfDay::from_hours(3.0),
+            &params,
+        )
+        .unwrap();
         assert!(m.is_simple() && n.is_simple());
     }
 
@@ -259,6 +268,12 @@ mod tests {
     fn same_node_errors() {
         let (city, _, tn) = setup();
         assert!(most_frequent_path_on(
-            &city.graph, &tn, NodeId(5), NodeId(5), &MfpParams::default()).is_err());
+            &city.graph,
+            &tn,
+            NodeId(5),
+            NodeId(5),
+            &MfpParams::default()
+        )
+        .is_err());
     }
 }

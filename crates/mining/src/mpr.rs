@@ -80,8 +80,8 @@ mod tests {
         let (city, _, tn) = setup();
         let g = &city.graph;
         for (a, b) in [(0u32, 59u32), (9, 50), (13, 37)] {
-            let p = most_popular_route(g, &tn, NodeId(a), NodeId(b), &MprParams::default())
-                .unwrap();
+            let p =
+                most_popular_route(g, &tn, NodeId(a), NodeId(b), &MprParams::default()).unwrap();
             assert_eq!(p.source(), NodeId(a));
             assert_eq!(p.destination(), NodeId(b));
             assert!(p.is_simple());
@@ -150,8 +150,8 @@ mod tests {
         let empty = TransferNetwork::build(g, &[], None);
         // With uniform smoothing the MPR degenerates to a min-hop-ish route,
         // but must still exist and be simple.
-        let p = most_popular_route(g, &empty, NodeId(0), NodeId(59), &MprParams::default())
-            .unwrap();
+        let p =
+            most_popular_route(g, &empty, NodeId(0), NodeId(59), &MprParams::default()).unwrap();
         assert!(p.is_simple());
     }
 

@@ -129,8 +129,7 @@ impl<'a> CandidateGenerator<'a> {
                 path: p,
             });
         }
-        if let Ok(p) = most_frequent_path(self.graph, self.trips, from, to, departure, &self.mfp)
-        {
+        if let Ok(p) = most_frequent_path(self.graph, self.trips, from, to, departure, &self.mfp) {
             out.push(CandidateRoute {
                 source: SourceKind::Mfp,
                 path: p,

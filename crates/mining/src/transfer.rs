@@ -132,11 +132,7 @@ mod tests {
         let (city, ds) = setup();
         let tn = TransferNetwork::build(&city.graph, &ds.trips, None);
         assert_eq!(tn.trip_count(), ds.trips.len());
-        let total_edge_traversals: f64 = city
-            .graph
-            .edge_ids()
-            .map(|e| tn.edge_frequency(e))
-            .sum();
+        let total_edge_traversals: f64 = city.graph.edge_ids().map(|e| tn.edge_frequency(e)).sum();
         let expect: usize = ds.trips.iter().map(|t| t.path.len()).sum();
         assert_eq!(total_edge_traversals as usize, expect);
     }

@@ -16,12 +16,7 @@ pub struct ShortestRouteService;
 
 impl ShortestRouteService {
     /// Routes the request.
-    pub fn route(
-        &self,
-        graph: &RoadGraph,
-        from: NodeId,
-        to: NodeId,
-    ) -> Result<Path, RoadNetError> {
+    pub fn route(&self, graph: &RoadGraph, from: NodeId, to: NodeId) -> Result<Path, RoadNetError> {
         astar_path(graph, from, to, |e| graph.edge(e).length, 1.0)
     }
 }
@@ -33,12 +28,7 @@ pub struct FastestRouteService;
 
 impl FastestRouteService {
     /// Routes the request.
-    pub fn route(
-        &self,
-        graph: &RoadGraph,
-        from: NodeId,
-        to: NodeId,
-    ) -> Result<Path, RoadNetError> {
+    pub fn route(&self, graph: &RoadGraph, from: NodeId, to: NodeId) -> Result<Path, RoadNetError> {
         astar_path(
             graph,
             from,

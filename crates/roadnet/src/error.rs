@@ -55,7 +55,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(RoadNetError::UnknownNode.to_string().contains("unknown node"));
+        assert!(RoadNetError::UnknownNode
+            .to_string()
+            .contains("unknown node"));
         assert!(RoadNetError::SelfLoop { node: NodeId(7) }
             .to_string()
             .contains('7'));

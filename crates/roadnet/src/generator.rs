@@ -250,7 +250,10 @@ mod tests {
         let city = generate_city(&CityParams::small(), 5).unwrap();
         let g = &city.graph;
         let tree = shortest_path_tree(g, NodeId(0), None, distance_cost(g));
-        assert!(tree.dist.iter().all(|d| d.is_finite()), "forward reachability");
+        assert!(
+            tree.dist.iter().all(|d| d.is_finite()),
+            "forward reachability"
+        );
         // Two-way streets: reverse reachability follows, but verify a few
         // return paths explicitly.
         for n in [13u32, 27, 59] {

@@ -346,8 +346,10 @@ mod tests {
         let n1 = b.add_node(Point::new(100.0, 100.0));
         let n2 = b.add_node(Point::new(100.0, -100.0));
         let n3 = b.add_node(Point::new(200.0, 0.0));
-        b.add_edge(n0, n1, RoadClass::Arterial, false, None).unwrap();
-        b.add_edge(n1, n3, RoadClass::Arterial, false, None).unwrap();
+        b.add_edge(n0, n1, RoadClass::Arterial, false, None)
+            .unwrap();
+        b.add_edge(n1, n3, RoadClass::Arterial, false, None)
+            .unwrap();
         b.add_edge(n0, n2, RoadClass::Local, true, None).unwrap();
         b.add_edge(n2, n3, RoadClass::Local, true, None).unwrap();
         b.build()
@@ -385,8 +387,13 @@ mod tests {
         let unlit = g.find_edge(NodeId(0), NodeId(1)).unwrap();
         let lit_e = g.edge(lit);
         let unlit_e = g.edge(unlit);
-        assert!((lit_e.travel_time() - (lit_e.length / RoadClass::Local.speed_mps() + 15.0)).abs() < 1e-9);
-        assert!((unlit_e.travel_time() - unlit_e.length / RoadClass::Arterial.speed_mps()).abs() < 1e-9);
+        assert!(
+            (lit_e.travel_time() - (lit_e.length / RoadClass::Local.speed_mps() + 15.0)).abs()
+                < 1e-9
+        );
+        assert!(
+            (unlit_e.travel_time() - unlit_e.length / RoadClass::Arterial.speed_mps()).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -421,8 +428,11 @@ mod tests {
         let mut b = RoadGraphBuilder::new();
         let a = b.add_node(Point::new(0.0, 0.0));
         let c = b.add_node(Point::new(100.0, 0.0));
-        b.add_edge(a, c, RoadClass::Local, false, Some(500.0)).unwrap();
-        let short = b.add_edge(a, c, RoadClass::Local, false, Some(100.0)).unwrap();
+        b.add_edge(a, c, RoadClass::Local, false, Some(500.0))
+            .unwrap();
+        let short = b
+            .add_edge(a, c, RoadClass::Local, false, Some(100.0))
+            .unwrap();
         let g = b.build();
         assert_eq!(g.find_edge(a, c), Some(short));
     }

@@ -154,10 +154,20 @@ impl LandmarkSet {
     pub fn within_radius(&self, p: &Point, radius: f64) -> Vec<LandmarkId> {
         let mut out = Vec::new();
         let r2 = radius * radius;
-        let lo = cell_of(&self.bbox, self.cell_size, self.cols, self.rows,
-                         &Point::new(p.x - radius, p.y - radius));
-        let hi = cell_of(&self.bbox, self.cell_size, self.cols, self.rows,
-                         &Point::new(p.x + radius, p.y + radius));
+        let lo = cell_of(
+            &self.bbox,
+            self.cell_size,
+            self.cols,
+            self.rows,
+            &Point::new(p.x - radius, p.y - radius),
+        );
+        let hi = cell_of(
+            &self.bbox,
+            self.cell_size,
+            self.cols,
+            self.rows,
+            &Point::new(p.x + radius, p.y + radius),
+        );
         for r in lo.0..=hi.0 {
             for c in lo.1..=hi.1 {
                 for &id in &self.cells[r * self.cols + c] {
@@ -183,13 +193,7 @@ impl LandmarkSet {
     }
 }
 
-fn cell_of(
-    bbox: &BoundingBox,
-    cell: f64,
-    cols: usize,
-    rows: usize,
-    p: &Point,
-) -> (usize, usize) {
+fn cell_of(bbox: &BoundingBox, cell: f64, cols: usize, rows: usize, p: &Point) -> (usize, usize) {
     let cx = ((p.x - bbox.min.x) / cell).floor();
     let cy = ((p.y - bbox.min.y) / cell).floor();
     let c = (cx.max(0.0) as usize).min(cols - 1);
@@ -226,11 +230,7 @@ impl Default for LandmarkGenParams {
 
 /// Places `params.count` landmarks near uniformly-sampled intersections of
 /// `graph`, with Pareto-tailed latent fame, deterministically from `seed`.
-pub fn generate_landmarks(
-    graph: &RoadGraph,
-    params: &LandmarkGenParams,
-    seed: u64,
-) -> LandmarkSet {
+pub fn generate_landmarks(graph: &RoadGraph, params: &LandmarkGenParams, seed: u64) -> LandmarkSet {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xA076_1D64_78BD_642F);
     let n = graph.node_count() as u32;
     let mut landmarks = Vec::with_capacity(params.count);

@@ -95,7 +95,10 @@ impl Path {
     /// Total free-flow travel time in seconds (including expected light
     /// delays).
     pub fn travel_time(&self, graph: &RoadGraph) -> f64 {
-        self.edges.iter().map(|&e| graph.edge(e).travel_time()).sum()
+        self.edges
+            .iter()
+            .map(|&e| graph.edge(e).travel_time())
+            .sum()
     }
 
     /// Number of traffic lights passed.
@@ -196,7 +199,8 @@ mod tests {
             .map(|i| b.add_node(Point::new(i as f64 * 100.0, 0.0)))
             .collect();
         for w in nodes.windows(2) {
-            b.add_two_way(w[0], w[1], RoadClass::Collector, false).unwrap();
+            b.add_two_way(w[0], w[1], RoadClass::Collector, false)
+                .unwrap();
         }
         b.build()
     }
@@ -256,8 +260,8 @@ mod tests {
     #[test]
     fn straight_path_has_no_turns() {
         let g = line_graph(5);
-        let p = Path::from_nodes(&g, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)])
-            .unwrap();
+        let p =
+            Path::from_nodes(&g, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]).unwrap();
         assert_eq!(p.turn_count(&g), 0);
     }
 

@@ -107,7 +107,7 @@ pub fn astar_path(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generator::{CityParams, generate_city};
+    use crate::generator::{generate_city, CityParams};
     use crate::graph::RoadClass;
     use crate::routing::{dijkstra_path, distance_cost, time_cost};
 
@@ -144,6 +144,13 @@ mod tests {
     #[test]
     fn astar_same_node_errors() {
         let city = generate_city(&CityParams::small(), 1).unwrap();
-        assert!(astar_path(&city.graph, NodeId(0), NodeId(0), distance_cost(&city.graph), 1.0).is_err());
+        assert!(astar_path(
+            &city.graph,
+            NodeId(0),
+            NodeId(0),
+            distance_cost(&city.graph),
+            1.0
+        )
+        .is_err());
     }
 }

@@ -192,7 +192,10 @@ mod tests {
             let du = tree.dist[edge.from.index()];
             let dv = tree.dist[edge.to.index()];
             if du.is_finite() {
-                assert!(dv <= du + edge.length + 1e-9, "edge {e:?} violates relaxation");
+                assert!(
+                    dv <= du + edge.length + 1e-9,
+                    "edge {e:?} violates relaxation"
+                );
             }
         }
     }

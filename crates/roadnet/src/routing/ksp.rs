@@ -193,10 +193,12 @@ mod tests {
             for c in 0..3 {
                 let i = r * 3 + c;
                 if c + 1 < 3 {
-                    b.add_two_way(ids[i], ids[i + 1], RoadClass::Local, false).unwrap();
+                    b.add_two_way(ids[i], ids[i + 1], RoadClass::Local, false)
+                        .unwrap();
                 }
                 if r + 1 < 3 {
-                    b.add_two_way(ids[i], ids[i + 3], RoadClass::Local, false).unwrap();
+                    b.add_two_way(ids[i], ids[i + 3], RoadClass::Local, false)
+                        .unwrap();
                 }
             }
         }
@@ -251,9 +253,11 @@ mod tests {
     #[test]
     fn k0_is_empty() {
         let g = grid3();
-        assert!(k_shortest_paths(&g, NodeId(0), NodeId(8), 0, distance_cost(&g))
-            .unwrap()
-            .is_empty());
+        assert!(
+            k_shortest_paths(&g, NodeId(0), NodeId(8), 0, distance_cost(&g))
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]

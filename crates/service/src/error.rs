@@ -1,0 +1,42 @@
+//! Service-level errors.
+
+use cp_core::CoreError;
+
+/// Why a request could not be served.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// No source could connect the OD pair.
+    NoCandidates,
+    /// The underlying planner pipeline failed.
+    Core(CoreError),
+    /// The leader of a deduplicated flight failed; followers surface
+    /// this instead of retrying (callers may resubmit).
+    LeaderFailed,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::NoCandidates => write!(f, "no candidate route connects the OD pair"),
+            ServiceError::Core(e) => write!(f, "planner pipeline error: {e}"),
+            ServiceError::LeaderFailed => {
+                write!(f, "the deduplicated in-flight request failed; resubmit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}

@@ -1,0 +1,547 @@
+//! The concurrent request executor.
+//!
+//! [`RouteService`] is the shared front-end: `&self` everywhere, safe to
+//! drive from any number of worker threads. Per request it runs the
+//! serving ladder:
+//!
+//! 1. **sharded truth lookup** — read-locks only the shards owning the
+//!    origin neighbourhood; a hit answers immediately;
+//! 2. **single-flight dedup** — identical in-flight `(from, to, time
+//!    bucket)` requests collapse onto one leader; followers block and
+//!    share its result;
+//! 3. **candidate cache** — the leader fetches the mined candidate set
+//!    from the per-`(OD cell, time bucket)` LRU, mining only on a miss;
+//! 4. **resolution** — the worker's [`Resolver`] decides; the verified
+//!    route is deposited into the sharded store so step 1 serves every
+//!    later request in the reuse neighbourhood.
+//!
+//! [`RouteService::serve`] adds the fan-out: a job channel feeding N
+//! `std::thread` workers (each building its own resolver), results
+//! funnelled back over a second channel.
+//!
+//! ## Determinism
+//!
+//! With [`ServiceConfig::strict_deterministic`] geometry (exact-endpoint
+//! reuse, window-aligned buckets, canonicalised departures) and a
+//! deterministic resolver, the route served for every request is a pure
+//! function of the request itself — identical across any thread count
+//! and any interleaving. The paper-faithful default geometry trades this
+//! for higher reuse rates (a request may be served a *nearby* OD's
+//! verified truth, so results can depend on arrival order, exactly as in
+//! the sequential paper pipeline).
+
+use crate::cache::Lru;
+use crate::error::ServiceError;
+use crate::resolver::Resolver;
+use crate::singleflight::{FlightTable, Join};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use crate::store::ShardedTruthStore;
+use cp_core::{Config, Resolution, TruthEntry, DEFAULT_CELL_M};
+use cp_mining::{CandidateGenerator, CandidateRoute};
+use cp_roadnet::{NodeId, Path, RoadGraph};
+use cp_traj::TimeOfDay;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One route request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Origin node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Departure time.
+    pub departure: TimeOfDay,
+}
+
+/// Identity of a request for deduplication: exact endpoints plus the
+/// departure's time bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestKey {
+    /// Origin node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Departure time bucket.
+    pub bucket: u32,
+}
+
+/// How a request was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// Straight from the sharded truth store.
+    TruthHit,
+    /// By joining an identical in-flight request.
+    Deduplicated,
+    /// Freshly resolved (with the pipeline's resolution kind).
+    Resolved(Resolution),
+}
+
+/// A served recommendation.
+#[derive(Debug, Clone)]
+pub struct ServedRoute {
+    /// The recommended route.
+    pub path: Path,
+    /// Which layer served it.
+    pub served: Served,
+    /// Confidence of the answer.
+    pub confidence: f64,
+}
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads used by [`RouteService::serve`].
+    pub workers: usize,
+    /// Truth-store shards (rounded up to a power of two).
+    pub shards: usize,
+    /// Candidate-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Spatial cell edge (metres) for the truth grid, the candidate
+    /// cache and request canonicalisation.
+    pub cell_m: f64,
+    /// Time-bucket width (seconds) for dedup keys and the candidate
+    /// cache.
+    pub time_bucket_s: f64,
+    /// Resolve at the bucket's canonical (mid-bucket) departure time, so
+    /// all requests in one bucket are identical work.
+    pub canonicalize_departure: bool,
+    /// Planner thresholds (reuse radius/window, agreement, etc.).
+    pub core: Config,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            shards: 16,
+            cache_capacity: 1024,
+            cell_m: DEFAULT_CELL_M,
+            time_bucket_s: 900.0,
+            canonicalize_departure: true,
+            core: Config::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A configuration whose served routes are a pure function of each
+    /// request, independent of thread count and interleaving: truth
+    /// reuse only at exact endpoints within the same time bucket, and
+    /// canonicalised departures. Use with a deterministic resolver
+    /// (e.g. `MachineResolver`).
+    pub fn strict_deterministic() -> Self {
+        let mut cfg = ServiceConfig::default();
+        cfg.core.reuse_radius = 0.0;
+        cfg.core.reuse_time_window = 0.0;
+        cfg.canonicalize_departure = true;
+        cfg
+    }
+
+    /// Buckets per day under `time_bucket_s`.
+    fn buckets_per_day(&self) -> u32 {
+        (TimeOfDay::DAY / self.time_bucket_s).ceil().max(1.0) as u32
+    }
+}
+
+/// Cached mined candidates for one cell-bucket key. Distinct OD pairs
+/// can share a key (their endpoints fall in the same cells), but only
+/// the exact pair may reuse a mined set — so a key holds a small list
+/// of per-OD entries instead of one slot, preventing aliasing ODs from
+/// thrash-evicting each other.
+#[derive(Debug, Clone, Default)]
+struct CachedCandidates {
+    entries: Vec<(NodeId, NodeId, Arc<Vec<CandidateRoute>>)>,
+}
+
+/// Most distinct OD pairs kept per cell-bucket key (aliasing is rare:
+/// it needs several nodes inside one cell pair).
+const CACHE_ODS_PER_KEY: usize = 4;
+
+/// Cache key: origin cell, destination cell, time bucket.
+type CacheKey = (i32, i32, i32, i32, u32);
+
+/// The concurrent serving front-end over one shared world.
+pub struct RouteService<'w> {
+    graph: &'w RoadGraph,
+    generator: &'w CandidateGenerator<'w>,
+    truths: ShardedTruthStore,
+    cache: Mutex<Lru<CacheKey, CachedCandidates>>,
+    flights: FlightTable<RequestKey, ServedRoute>,
+    stats: ServiceStats,
+    cfg: ServiceConfig,
+}
+
+impl<'w> RouteService<'w> {
+    /// Builds the service over a world's graph and candidate generator.
+    pub fn new(
+        graph: &'w RoadGraph,
+        generator: &'w CandidateGenerator<'w>,
+        cfg: ServiceConfig,
+    ) -> Self {
+        // Truth-grid time buckets track the reuse window (clamped so the
+        // bucket count stays sane); any geometry is correct, this one is
+        // fast for the configured window.
+        let truth_bucket_s = cfg.core.reuse_time_window.clamp(60.0, TimeOfDay::DAY);
+        RouteService {
+            graph,
+            generator,
+            truths: ShardedTruthStore::new(cfg.shards, cfg.cell_m, truth_bucket_s),
+            cache: Mutex::new(Lru::new(cfg.cache_capacity)),
+            flights: FlightTable::new(),
+            stats: ServiceStats::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The shared truth store.
+    pub fn truths(&self) -> &ShardedTruthStore {
+        &self.truths
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The departure's time bucket.
+    pub fn bucket_of(&self, t: TimeOfDay) -> u32 {
+        ((t.0 / self.cfg.time_bucket_s).floor() as u32) % self.cfg.buckets_per_day()
+    }
+
+    /// The dedup identity of a request.
+    pub fn key_of(&self, req: &Request) -> RequestKey {
+        RequestKey {
+            from: req.from,
+            to: req.to,
+            bucket: self.bucket_of(req.departure),
+        }
+    }
+
+    fn canonical_departure(&self, req: &Request) -> TimeOfDay {
+        if self.cfg.canonicalize_departure {
+            TimeOfDay::new((self.bucket_of(req.departure) as f64 + 0.5) * self.cfg.time_bucket_s)
+        } else {
+            req.departure
+        }
+    }
+
+    fn cell_of(&self, n: NodeId) -> (i32, i32) {
+        cp_core::truth::grid_cell(self.graph.position(n), self.cfg.cell_m)
+    }
+
+    /// Fetches the candidate set for a request from the LRU, mining on a
+    /// miss. The lock is held only around map operations, never while
+    /// mining.
+    fn candidates_for(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bucket: u32,
+        departure: TimeOfDay,
+    ) -> Arc<Vec<CandidateRoute>> {
+        let (ox, oy) = self.cell_of(from);
+        let (dx, dy) = self.cell_of(to);
+        let key: CacheKey = (ox, oy, dx, dy, bucket);
+        {
+            let mut cache = self.cache.lock().expect("candidate cache poisoned");
+            if let Some(slot) = cache.get(&key) {
+                if let Some((_, _, candidates)) =
+                    slot.entries.iter().find(|(f, t, _)| *f == from && *t == to)
+                {
+                    self.stats.inc_cache_hits();
+                    return Arc::clone(candidates);
+                }
+            }
+        }
+        self.stats.inc_cache_misses();
+        let mined = Arc::new(self.generator.candidates(from, to, departure));
+        {
+            let mut cache = self.cache.lock().expect("candidate cache poisoned");
+            // Re-fetch the slot (it may have changed while mining) and
+            // append this OD, bounding per-key growth FIFO.
+            let mut slot = cache.get(&key).cloned().unwrap_or_default();
+            if !slot.entries.iter().any(|(f, t, _)| *f == from && *t == to) {
+                if slot.entries.len() == CACHE_ODS_PER_KEY {
+                    slot.entries.remove(0);
+                }
+                slot.entries.push((from, to, Arc::clone(&mined)));
+            }
+            cache.insert(key, slot);
+        }
+        mined
+    }
+
+    /// Serves one request with the caller's resolver. Safe to call from
+    /// any thread.
+    pub fn handle<R: Resolver>(
+        &self,
+        req: Request,
+        resolver: &mut R,
+    ) -> Result<ServedRoute, ServiceError> {
+        let t0 = Instant::now();
+        self.stats.inc_requests();
+        let out = self.handle_inner(req, resolver);
+        if out.is_err() {
+            self.stats.inc_errors();
+        }
+        self.stats.record_latency(t0.elapsed());
+        out
+    }
+
+    fn handle_inner<R: Resolver>(
+        &self,
+        req: Request,
+        resolver: &mut R,
+    ) -> Result<ServedRoute, ServiceError> {
+        let departure = self.canonical_departure(&req);
+
+        // 1. Shared verified truth.
+        if let Some(hit) =
+            self.truths
+                .lookup(self.graph, req.from, req.to, departure, &self.cfg.core)
+        {
+            self.stats.inc_truth_hits();
+            return Ok(ServedRoute {
+                path: hit.path,
+                served: Served::TruthHit,
+                confidence: hit.confidence,
+            });
+        }
+
+        // 2. Collapse identical in-flight work.
+        match self.flights.join(self.key_of(&req)) {
+            Join::Follower(Some(mut shared)) => {
+                self.stats.inc_dedup_hits();
+                shared.served = Served::Deduplicated;
+                Ok(shared)
+            }
+            Join::Follower(None) => Err(ServiceError::LeaderFailed),
+            Join::Leader(token) => {
+                // Double-check the truth store: this thread may have
+                // missed step 1, then become leader of a *new* flight
+                // after the previous identical flight completed. The old
+                // leader's truth insert precedes its flight retirement,
+                // so the truth is guaranteed visible here — without this
+                // re-check a key could resolve twice.
+                if let Some(hit) =
+                    self.truths
+                        .lookup(self.graph, req.from, req.to, departure, &self.cfg.core)
+                {
+                    self.stats.inc_truth_hits();
+                    let served = ServedRoute {
+                        path: hit.path,
+                        served: Served::TruthHit,
+                        confidence: hit.confidence,
+                    };
+                    token.complete(served.clone());
+                    return Ok(served);
+                }
+                // 3. Candidate cache; 4. resolution.
+                let candidates =
+                    self.candidates_for(req.from, req.to, self.bucket_of(req.departure), departure);
+                // An early `?` drops the token, which publishes the
+                // failure to any followers.
+                let resolved = resolver.resolve(req.from, req.to, departure, &candidates)?;
+                self.truths.insert(
+                    self.graph,
+                    TruthEntry {
+                        from: req.from,
+                        to: req.to,
+                        departure,
+                        path: resolved.path.clone(),
+                        confidence: resolved.confidence,
+                    },
+                );
+                let served = ServedRoute {
+                    path: resolved.path,
+                    served: Served::Resolved(resolved.resolution),
+                    confidence: resolved.confidence,
+                };
+                self.stats.inc_resolved();
+                token.complete(served.clone());
+                Ok(served)
+            }
+        }
+    }
+
+    /// Fans `requests` across `config().workers` threads, each with its
+    /// own resolver from `make_resolver(worker_index)`. Results come
+    /// back in request order.
+    pub fn serve<R, F>(
+        &self,
+        requests: &[Request],
+        make_resolver: F,
+    ) -> Vec<Result<ServedRoute, ServiceError>>
+    where
+        R: Resolver,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.cfg.workers.max(1);
+        let (job_tx, job_rx) = mpsc::channel::<(usize, Request)>();
+        let job_rx = Mutex::new(job_rx);
+        let (out_tx, out_rx) = mpsc::channel::<(usize, Result<ServedRoute, ServiceError>)>();
+        let mut results: Vec<Option<Result<ServedRoute, ServiceError>>> =
+            requests.iter().map(|_| None).collect();
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let job_rx = &job_rx;
+                let out_tx = out_tx.clone();
+                let make_resolver = &make_resolver;
+                s.spawn(move || {
+                    let mut resolver = make_resolver(w);
+                    loop {
+                        // Take the next job; release the queue lock
+                        // before doing any work.
+                        let job = job_rx.lock().expect("job queue poisoned").recv();
+                        let Ok((i, req)) = job else { break };
+                        let _ = out_tx.send((i, self.handle(req, &mut resolver)));
+                    }
+                });
+            }
+            drop(out_tx);
+            for (i, &req) in requests.iter().enumerate() {
+                job_tx.send((i, req)).expect("a worker is alive");
+            }
+            drop(job_tx);
+            for (i, res) in out_rx {
+                results[i] = Some(res);
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every request yields exactly one result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::MachineResolver;
+    use cp_roadnet::{generate_city, CityParams};
+    use cp_traj::{generate_trips, TripGenParams};
+
+    struct MiniWorld {
+        city: cp_roadnet::City,
+        trips: cp_traj::TripDataset,
+    }
+
+    fn mini_world() -> MiniWorld {
+        let city = generate_city(&CityParams::small(), 7).unwrap();
+        let trips = generate_trips(&city.graph, &TripGenParams::default(), 7).unwrap();
+        MiniWorld { city, trips }
+    }
+
+    #[test]
+    fn service_is_sync_and_request_types_are_send() {
+        fn assert_sync<T: Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_sync::<RouteService<'static>>();
+        assert_send::<Request>();
+        assert_send::<ServedRoute>();
+        assert_send::<ServiceError>();
+    }
+
+    #[test]
+    fn ladder_truth_hit_after_resolution() {
+        let w = mini_world();
+        let generator = CandidateGenerator::new(&w.city.graph, &w.trips.trips);
+        let service = RouteService::new(
+            &w.city.graph,
+            &generator,
+            ServiceConfig::strict_deterministic(),
+        );
+        let mut resolver = MachineResolver::new(&w.city.graph, service.config().core.clone());
+        let req = Request {
+            from: NodeId(0),
+            to: NodeId(59),
+            departure: TimeOfDay::from_hours(8.0),
+        };
+        let first = service.handle(req, &mut resolver).unwrap();
+        assert!(matches!(first.served, Served::Resolved(_)));
+        let second = service.handle(req, &mut resolver).unwrap();
+        assert_eq!(second.served, Served::TruthHit);
+        assert_eq!(second.path, first.path);
+        let snap = service.stats();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.truth_hits, 1);
+        assert_eq!(snap.resolved, 1);
+        assert!(snap.is_consistent());
+    }
+
+    #[test]
+    fn candidate_cache_hits_on_same_bucket_and_od() {
+        let w = mini_world();
+        let generator = CandidateGenerator::new(&w.city.graph, &w.trips.trips);
+        // Exact-time truth keys + raw departures: requests in the same
+        // bucket at different exact times miss the truth store but share
+        // the mined candidate set.
+        let mut cfg = ServiceConfig::strict_deterministic();
+        cfg.canonicalize_departure = false;
+        let service = RouteService::new(&w.city.graph, &generator, cfg);
+        let mut resolver = MachineResolver::new(&w.city.graph, service.config().core.clone());
+        // Same OD and bucket, different exact departures.
+        for minutes in [0.0, 3.0, 7.0] {
+            let req = Request {
+                from: NodeId(5),
+                to: NodeId(54),
+                departure: TimeOfDay::new(8.0 * 3600.0 + minutes * 60.0),
+            };
+            service.handle(req, &mut resolver).unwrap();
+        }
+        let snap = service.stats();
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.truth_hits, 0, "exact-time keys must not alias");
+        assert_eq!(snap.cache_misses, 1, "only the first request mines");
+        assert_eq!(snap.cache_hits, 2);
+        assert!((snap.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(snap.is_consistent());
+    }
+
+    #[test]
+    fn batch_serving_matches_individual_handling() {
+        let w = mini_world();
+        let generator = CandidateGenerator::new(&w.city.graph, &w.trips.trips);
+        let cfg = ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::strict_deterministic()
+        };
+        let requests: Vec<Request> = (0..40)
+            .map(|i| Request {
+                from: NodeId(i % 20),
+                to: NodeId(59 - (i % 17)),
+                departure: TimeOfDay::from_hours(7.0 + (i % 3) as f64),
+            })
+            .filter(|r| r.from != r.to)
+            .collect();
+
+        // Sequential reference.
+        let seq_service = RouteService::new(&w.city.graph, &generator, cfg.clone());
+        let mut seq_resolver = MachineResolver::new(&w.city.graph, cfg.core.clone());
+        let expected: Vec<Path> = requests
+            .iter()
+            .map(|&r| seq_service.handle(r, &mut seq_resolver).unwrap().path)
+            .collect();
+
+        // Threaded run.
+        let service = RouteService::new(&w.city.graph, &generator, cfg.clone());
+        let results = service.serve(&requests, |_| {
+            MachineResolver::new(&w.city.graph, cfg.core.clone())
+        });
+        assert_eq!(results.len(), requests.len());
+        for (i, res) in results.iter().enumerate() {
+            let served = res.as_ref().expect("request must be served");
+            assert_eq!(served.path, expected[i], "request {i}");
+        }
+        let snap = service.stats();
+        assert_eq!(snap.requests, requests.len() as u64);
+        assert!(snap.is_consistent());
+    }
+}

@@ -1,0 +1,75 @@
+//! # cp-service — the concurrent recommendation-serving layer
+//!
+//! The paper's pipeline (`cp-core`) resolves one request at a time
+//! against private state. A deployed CrowdPlanner faces thousands of
+//! concurrent requests against **one shared world**, and the request
+//! distribution is heavily skewed (commute corridors, rush hours). This
+//! crate is the front-end that exploits that skew:
+//!
+//! * [`ShardedTruthStore`] — the shared verified-truth database, split
+//!   into per-shard `RwLock`-protected grid indexes keyed by origin /
+//!   destination cells and time buckets, so reads never contend with
+//!   each other and writes only touch one shard;
+//! * [`RouteService`] — the request executor: a `std::thread` +
+//!   channel fan-out where every request walks the serving ladder
+//!   *truth hit → single-flight dedup → candidate cache → resolution*;
+//! * [`FlightTable`] — single-flight deduplication of identical
+//!   in-flight `(OD, time-bucket)` requests (one resolution, shared
+//!   result — crucial when resolution spends crowd budget);
+//! * [`Lru`] — the bounded cache behind per-`(OD-cell, time-bucket)`
+//!   candidate-set memoisation;
+//! * [`Resolver`] — pluggable miss handling: deterministic machine-only
+//!   ([`MachineResolver`]) or the full crowd pipeline
+//!   ([`CrowdResolver`], one planner per worker);
+//! * [`ServiceStats`] — lock-free counters with truth/cache hit rates,
+//!   dedup counts and a latency summary.
+//!
+//! No external dependencies: the executor is built on `std::thread`,
+//! `std::sync::mpsc` channels, `RwLock`/`Mutex`/`Condvar` and atomics.
+//!
+//! ## Example
+//!
+//! ```
+//! use cp_mining::CandidateGenerator;
+//! use cp_roadnet::{generate_city, CityParams, NodeId};
+//! use cp_service::{MachineResolver, Request, RouteService, ServiceConfig};
+//! use cp_traj::{generate_trips, TimeOfDay, TripGenParams};
+//!
+//! let city = generate_city(&CityParams::small(), 7).unwrap();
+//! let trips = generate_trips(&city.graph, &TripGenParams::default(), 7).unwrap();
+//! let generator = CandidateGenerator::new(&city.graph, &trips.trips);
+//! let service = RouteService::new(&city.graph, &generator, ServiceConfig::default());
+//!
+//! let requests: Vec<Request> = (1..20)
+//!     .map(|i| Request {
+//!         from: NodeId(i),
+//!         to: NodeId(59 - i % 7),
+//!         departure: TimeOfDay::from_hours(8.0),
+//!     })
+//!     .collect();
+//! let core = service.config().core.clone();
+//! let results = service.serve(&requests, |_worker| {
+//!     MachineResolver::new(&city.graph, core.clone())
+//! });
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! let stats = service.stats();
+//! assert!(stats.is_consistent());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod error;
+pub mod executor;
+pub mod resolver;
+pub mod singleflight;
+pub mod stats;
+pub mod store;
+
+pub use cache::Lru;
+pub use error::ServiceError;
+pub use executor::{Request, RequestKey, RouteService, Served, ServedRoute, ServiceConfig};
+pub use resolver::{CrowdResolver, MachineResolver, Resolved, Resolver};
+pub use singleflight::{FlightTable, Join, LeaderToken};
+pub use stats::{LatencySummary, ServiceStats, StatsSnapshot};
+pub use store::ShardedTruthStore;

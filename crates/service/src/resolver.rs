@@ -1,0 +1,218 @@
+//! Pluggable request resolution.
+//!
+//! The executor owns everything shared (truth shards, candidate cache,
+//! single-flight table); what *resolving a miss* means is a per-worker
+//! strategy behind the [`Resolver`] trait:
+//!
+//! * [`MachineResolver`] — the machine-only pipeline (agreement
+//!   clustering, then the best-machine-guess fallback ranked by learned
+//!   source priors). It is a **pure function** of the world and the
+//!   request, which is what makes the concurrent service bit-for-bit
+//!   deterministic and is the right default for throughput serving;
+//! * [`CrowdResolver`] — the full paper pipeline including crowd tasks,
+//!   wrapping one [`CrowdPlanner`] per worker thread (each with its own
+//!   simulated platform). Crowd outcomes depend on each platform's answer
+//!   history, so this resolver trades determinism-under-concurrency for
+//!   paper fidelity.
+
+use crate::error::ServiceError;
+use cp_core::{
+    evaluate_candidates, Config, CrowdPlanner, Evaluation, Resolution, SourceReliability,
+    TruthStore,
+};
+use cp_mining::CandidateRoute;
+use cp_roadnet::{LandmarkId, NodeId, Path, RoadGraph};
+use cp_traj::TimeOfDay;
+
+/// A freshly resolved route.
+#[derive(Debug, Clone)]
+pub struct Resolved {
+    /// The recommended route.
+    pub path: Path,
+    /// How the pipeline decided.
+    pub resolution: Resolution,
+    /// Confidence of the decision.
+    pub confidence: f64,
+}
+
+/// Resolves a request the shared layers could not serve.
+pub trait Resolver {
+    /// Resolves `(from, to, departure)` given the pre-mined `candidates`
+    /// (possibly from the shared cache). Implementations may ignore the
+    /// candidates and run their own pipeline.
+    fn resolve(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+        candidates: &[CandidateRoute],
+    ) -> Result<Resolved, ServiceError>;
+}
+
+/// Machine-only resolution: agreement, else best machine guess ranked by
+/// the paper-prior source reliability. Deterministic: identical inputs
+/// always produce identical routes, independent of call order or thread
+/// interleaving.
+#[derive(Debug)]
+pub struct MachineResolver<'w> {
+    graph: &'w RoadGraph,
+    cfg: Config,
+    /// Evaluation runs against an empty store so the outcome cannot
+    /// depend on mutable shared state (the executor's *sharded* store
+    /// already handled reuse before resolution).
+    no_truths: TruthStore,
+    priors: SourceReliability,
+}
+
+impl<'w> MachineResolver<'w> {
+    /// Creates a resolver over the world's graph with the given
+    /// thresholds.
+    pub fn new(graph: &'w RoadGraph, cfg: Config) -> Self {
+        MachineResolver {
+            graph,
+            cfg,
+            no_truths: TruthStore::new(),
+            priors: SourceReliability::default(),
+        }
+    }
+}
+
+impl Resolver for MachineResolver<'_> {
+    fn resolve(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        _departure: TimeOfDay,
+        candidates: &[CandidateRoute],
+    ) -> Result<Resolved, ServiceError> {
+        if candidates.is_empty() {
+            return Err(ServiceError::NoCandidates);
+        }
+        match evaluate_candidates(self.graph, candidates, &self.no_truths, from, to, &self.cfg) {
+            Evaluation::Agreement { path, supporters } => Ok(Resolved {
+                path,
+                resolution: Resolution::Agreement,
+                confidence: supporters as f64 / candidates.len() as f64,
+            }),
+            Evaluation::Confident { path, confidence } => Ok(Resolved {
+                path,
+                resolution: Resolution::Confident,
+                confidence,
+            }),
+            Evaluation::Undecided { confidences } => {
+                // Best machine guess: highest confidence, ties broken by
+                // the source's prior reliability, then by candidate
+                // order (which is fixed by the generator).
+                let mut best = 0usize;
+                let mut best_score = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+                for (i, c) in candidates.iter().enumerate() {
+                    let score = (confidences[i], self.priors.best_of(&[c.source]));
+                    if score.0 > best_score.0 || (score.0 == best_score.0 && score.1 > best_score.1)
+                    {
+                        best = i;
+                        best_score = score;
+                    }
+                }
+                Ok(Resolved {
+                    path: candidates[best].path.clone(),
+                    resolution: Resolution::Fallback,
+                    confidence: self.cfg.eta_confidence * 0.5,
+                })
+            }
+        }
+    }
+}
+
+/// Full-pipeline resolution through one [`CrowdPlanner`] (typically one
+/// per worker thread), with the crowd's latent knowledge supplied by an
+/// oracle factory: `oracle_for(from, to)` returns the per-request
+/// "does the best route pass landmark l?" closure.
+pub struct CrowdResolver<'w, F> {
+    planner: CrowdPlanner<'w>,
+    oracle_for: F,
+}
+
+impl<'w, F, O> CrowdResolver<'w, F>
+where
+    F: Fn(NodeId, NodeId) -> O,
+    O: Fn(LandmarkId) -> bool,
+{
+    /// Wraps a planner and an oracle factory.
+    pub fn new(planner: CrowdPlanner<'w>, oracle_for: F) -> Self {
+        CrowdResolver {
+            planner,
+            oracle_for,
+        }
+    }
+
+    /// The wrapped planner (its private truth store and platform stats).
+    pub fn planner(&self) -> &CrowdPlanner<'w> {
+        &self.planner
+    }
+}
+
+impl<'w, F, O> Resolver for CrowdResolver<'w, F>
+where
+    F: Fn(NodeId, NodeId) -> O,
+    O: Fn(LandmarkId) -> bool,
+{
+    fn resolve(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+        _candidates: &[CandidateRoute],
+    ) -> Result<Resolved, ServiceError> {
+        let oracle = (self.oracle_for)(from, to);
+        let rec = self
+            .planner
+            .handle_request(from, to, departure, &oracle)
+            .map_err(ServiceError::Core)?;
+        Ok(Resolved {
+            path: rec.path,
+            resolution: rec.resolution,
+            confidence: rec.confidence,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_mining::CandidateGenerator;
+    use cp_roadnet::{generate_city, CityParams};
+    use cp_traj::{generate_trips, TripGenParams};
+
+    #[test]
+    fn machine_resolver_is_deterministic_and_endpoint_correct() {
+        let city = generate_city(&CityParams::small(), 7).unwrap();
+        let trips = generate_trips(&city.graph, &TripGenParams::default(), 7).unwrap();
+        let generator = CandidateGenerator::new(&city.graph, &trips.trips);
+        let mut r1 = MachineResolver::new(&city.graph, Config::default());
+        let mut r2 = MachineResolver::new(&city.graph, Config::default());
+        let dep = TimeOfDay::from_hours(8.0);
+        for (a, b) in [(0u32, 59u32), (5, 54), (12, 47)] {
+            let cands = generator.candidates(NodeId(a), NodeId(b), dep);
+            let x = r1.resolve(NodeId(a), NodeId(b), dep, &cands).unwrap();
+            let y = r2.resolve(NodeId(a), NodeId(b), dep, &cands).unwrap();
+            assert_eq!(x.path, y.path);
+            assert_eq!(x.resolution, y.resolution);
+            assert_eq!(x.path.source(), NodeId(a));
+            assert_eq!(x.path.destination(), NodeId(b));
+            assert!(matches!(
+                x.resolution,
+                Resolution::Agreement | Resolution::Confident | Resolution::Fallback
+            ));
+        }
+    }
+
+    #[test]
+    fn machine_resolver_rejects_empty_candidates() {
+        let city = generate_city(&CityParams::small(), 7).unwrap();
+        let mut r = MachineResolver::new(&city.graph, Config::default());
+        assert!(matches!(
+            r.resolve(NodeId(0), NodeId(1), TimeOfDay::from_hours(8.0), &[]),
+            Err(ServiceError::NoCandidates)
+        ));
+    }
+}

@@ -1,0 +1,231 @@
+//! Single-flight request deduplication.
+//!
+//! When thousands of users ask for the same OD pair at the same time (the
+//! morning-commute thundering herd), resolving each request independently
+//! wastes mining work and — far worse — crowd budget: the platform would
+//! post the same landmark questions many times over. The flight table
+//! collapses identical in-flight requests: the first caller becomes the
+//! *leader* and resolves; everyone else arriving before completion
+//! becomes a *follower* and blocks on a condvar until the leader
+//! publishes the shared result.
+//!
+//! Completed flights are removed from the table, so a later identical
+//! request starts a fresh flight (normally it will hit the truth store
+//! instead, because the leader deposits a truth before completing).
+//!
+//! Leader failure is not retried here: followers receive `None` and
+//! surface it as an error. The leader token publishes on drop, so a
+//! panicking leader cannot strand its followers.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Debug)]
+enum FlightState<T> {
+    Pending,
+    Done(Option<T>),
+}
+
+#[derive(Debug)]
+struct FlightSlot<T> {
+    state: Mutex<FlightState<T>>,
+    cv: Condvar,
+}
+
+/// Deduplicates concurrent work by key.
+#[derive(Debug)]
+pub struct FlightTable<K, T> {
+    flights: Mutex<HashMap<K, Arc<FlightSlot<T>>>>,
+}
+
+/// Outcome of [`FlightTable::join`].
+pub enum Join<'t, K: Hash + Eq + Clone, T: Clone> {
+    /// This caller must do the work, then [`LeaderToken::complete`].
+    Leader(LeaderToken<'t, K, T>),
+    /// Another caller did the work; here is its result (`None` when the
+    /// leader failed or panicked).
+    Follower(Option<T>),
+}
+
+impl<K: Hash + Eq + Clone, T: Clone> Default for FlightTable<K, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq + Clone, T: Clone> FlightTable<K, T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlightTable {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Joins the flight for `key`: the first caller per key leads, later
+    /// callers block until the leader completes and receive its result.
+    pub fn join(&self, key: K) -> Join<'_, K, T> {
+        let slot = {
+            let mut flights = self.flights.lock().expect("flight table poisoned");
+            if let Some(slot) = flights.get(&key) {
+                Arc::clone(slot)
+            } else {
+                let slot = Arc::new(FlightSlot {
+                    state: Mutex::new(FlightState::Pending),
+                    cv: Condvar::new(),
+                });
+                flights.insert(key.clone(), Arc::clone(&slot));
+                return Join::Leader(LeaderToken {
+                    table: self,
+                    key: Some(key),
+                    slot,
+                });
+            }
+        };
+        let mut state = slot.state.lock().expect("flight slot poisoned");
+        loop {
+            match &*state {
+                FlightState::Done(result) => return Join::Follower(result.clone()),
+                FlightState::Pending => {
+                    state = slot.cv.wait(state).expect("flight slot poisoned");
+                }
+            }
+        }
+    }
+
+    /// Number of in-flight keys (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().expect("flight table poisoned").len()
+    }
+}
+
+/// Obligation to publish a result for a flight. Publishes `None` on drop
+/// if [`LeaderToken::complete`] was never called, so followers are never
+/// stranded.
+pub struct LeaderToken<'t, K: Hash + Eq + Clone, T: Clone> {
+    table: &'t FlightTable<K, T>,
+    /// `Some` until published.
+    key: Option<K>,
+    slot: Arc<FlightSlot<T>>,
+}
+
+impl<K: Hash + Eq + Clone, T: Clone> LeaderToken<'_, K, T> {
+    /// Publishes the result to all followers and retires the flight.
+    pub fn complete(mut self, value: T) {
+        self.publish(Some(value));
+    }
+
+    fn publish(&mut self, value: Option<T>) {
+        let Some(key) = self.key.take() else {
+            return;
+        };
+        // Retire the flight first so post-completion callers start fresh
+        // (they will normally hit the truth store the leader just fed).
+        self.table
+            .flights
+            .lock()
+            .expect("flight table poisoned")
+            .remove(&key);
+        let mut state = self.slot.state.lock().expect("flight slot poisoned");
+        *state = FlightState::Done(value);
+        self.slot.cv.notify_all();
+    }
+}
+
+impl<K: Hash + Eq + Clone, T: Clone> Drop for LeaderToken<'_, K, T> {
+    fn drop(&mut self) {
+        self.publish(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sequential_flights_each_lead() {
+        let table: FlightTable<u32, u32> = FlightTable::new();
+        for i in 0..3 {
+            match table.join(7) {
+                Join::Leader(token) => token.complete(i),
+                Join::Follower(_) => panic!("no concurrency: must lead"),
+            }
+        }
+        assert_eq!(table.in_flight(), 0);
+    }
+
+    #[test]
+    fn followers_share_the_leader_result() {
+        let table: FlightTable<u32, String> = FlightTable::new();
+        let leaders = AtomicUsize::new(0);
+        let followers = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| match table.join(42) {
+                    Join::Leader(token) => {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                        // Give followers time to pile up.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        token.complete("answer".to_string());
+                    }
+                    Join::Follower(result) => {
+                        followers.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(result.as_deref(), Some("answer"));
+                    }
+                });
+            }
+        });
+        // Every thread either led a (possibly new) flight or followed one;
+        // with the sleep, at least one follower is effectively certain,
+        // but the invariant that must always hold is leaders ≥ 1 and
+        // leaders + followers == 8.
+        let l = leaders.load(Ordering::SeqCst);
+        let f = followers.load(Ordering::SeqCst);
+        assert!(l >= 1);
+        assert_eq!(l + f, 8);
+        assert_eq!(table.in_flight(), 0);
+    }
+
+    #[test]
+    fn dropped_leader_releases_followers_with_none() {
+        let table: FlightTable<u32, u32> = FlightTable::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                if let Join::Leader(token) = table.join(1) {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    drop(token); // failure path: result never published
+                } else {
+                    panic!("first join must lead");
+                }
+            });
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                match table.join(1) {
+                    Join::Follower(result) => assert!(result.is_none()),
+                    Join::Leader(token) => {
+                        // Raced past the first thread: complete normally.
+                        token.complete(0);
+                    }
+                }
+            });
+        });
+        assert_eq!(table.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_interfere() {
+        let table: FlightTable<u32, u32> = FlightTable::new();
+        let t1 = table.join(1);
+        let t2 = table.join(2);
+        assert_eq!(table.in_flight(), 2);
+        match (t1, t2) {
+            (Join::Leader(a), Join::Leader(b)) => {
+                a.complete(10);
+                b.complete(20);
+            }
+            _ => panic!("distinct keys must both lead"),
+        }
+        assert_eq!(table.in_flight(), 0);
+    }
+}

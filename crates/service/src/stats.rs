@@ -1,0 +1,278 @@
+//! Lock-free serving statistics.
+//!
+//! Worker threads record every request outcome with relaxed atomics; a
+//! [`ServiceStats::snapshot`] folds them into a [`StatsSnapshot`] with
+//! derived rates and a latency summary. The core accounting invariant —
+//! every request is served from exactly one of {truth store, dedup,
+//! fresh resolution, error} — is checked by
+//! [`StatsSnapshot::is_consistent`] and asserted in the concurrency
+//! integration test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ latency buckets (covers 1 ns … ~2.1 s; the last
+/// bucket absorbs the tail).
+const BUCKETS: usize = 32;
+
+/// Running counters, safe to update from any number of threads.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Requests accepted.
+    requests: AtomicU64,
+    /// Served straight from the sharded truth store.
+    truth_hits: AtomicU64,
+    /// Served by waiting on an identical in-flight request.
+    dedup_hits: AtomicU64,
+    /// Resolved freshly (leader of a flight).
+    resolved: AtomicU64,
+    /// Failed (no candidates / resolver error / failed leader).
+    errors: AtomicU64,
+    /// Candidate-cache hits (only counted on the resolution path).
+    cache_hits: AtomicU64,
+    /// Candidate-cache misses (mining performed).
+    cache_misses: AtomicU64,
+    // Latency (nanoseconds), over *all* served requests.
+    lat_count: AtomicU64,
+    lat_sum_ns: AtomicU64,
+    lat_min_ns: AtomicU64,
+    lat_max_ns: AtomicU64,
+    lat_buckets: [AtomicU64; BUCKETS],
+}
+
+impl ServiceStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        let s = ServiceStats::default();
+        s.lat_min_ns.store(u64::MAX, Ordering::Relaxed);
+        s
+    }
+
+    pub(crate) fn inc_requests(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_truth_hits(&self) {
+        self.truth_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_dedup_hits(&self) {
+        self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_resolved(&self) {
+        self.resolved.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_errors(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_cache_hits(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_cache_misses(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request's wall-clock service time.
+    pub(crate) fn record_latency(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.lat_count.fetch_add(1, Ordering::Relaxed);
+        self.lat_sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.lat_min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.lat_max_ns.fetch_max(ns, Ordering::Relaxed);
+        let bucket = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.lat_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy with derived rates.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let count = self.lat_count.load(Ordering::Relaxed);
+        let sum = self.lat_sum_ns.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .lat_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let percentile = |p: f64| -> Duration {
+            if count == 0 {
+                return Duration::ZERO;
+            }
+            let target = ((count as f64) * p).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    // Upper edge of bucket i is 2^i ns.
+                    return Duration::from_nanos(1u64 << i.min(62));
+                }
+            }
+            Duration::from_nanos(1u64 << 62)
+        };
+        let min = self.lat_min_ns.load(Ordering::Relaxed);
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            truth_hits: self.truth_hits.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            resolved: self.resolved.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            latency: LatencySummary {
+                count,
+                mean: Duration::from_nanos(sum.checked_div(count).unwrap_or(0)),
+                min: if min == u64::MAX {
+                    Duration::ZERO
+                } else {
+                    Duration::from_nanos(min)
+                },
+                max: Duration::from_nanos(self.lat_max_ns.load(Ordering::Relaxed)),
+                p50: percentile(0.50),
+                p95: percentile(0.95),
+                p99: percentile(0.99),
+            },
+        }
+    }
+}
+
+/// Coarse latency distribution (log₂ buckets: percentiles are upper
+/// bucket edges, i.e. ≤ 2× the true value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Mean service time.
+    pub mean: Duration,
+    /// Fastest request.
+    pub min: Duration,
+    /// Slowest request.
+    pub max: Duration,
+    /// Median (bucket upper edge).
+    pub p50: Duration,
+    /// 95th percentile (bucket upper edge).
+    pub p95: Duration,
+    /// 99th percentile (bucket upper edge).
+    pub p99: Duration,
+}
+
+/// Point-in-time statistics with derived rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests accepted.
+    pub requests: u64,
+    /// Served from the sharded truth store.
+    pub truth_hits: u64,
+    /// Served by joining an identical in-flight request.
+    pub dedup_hits: u64,
+    /// Resolved freshly.
+    pub resolved: u64,
+    /// Failed requests.
+    pub errors: u64,
+    /// Candidate-cache hits.
+    pub cache_hits: u64,
+    /// Candidate-cache misses.
+    pub cache_misses: u64,
+    /// Service-time distribution.
+    pub latency: LatencySummary,
+}
+
+impl StatsSnapshot {
+    /// Truth-store hit rate over all requests.
+    pub fn truth_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.truth_hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Candidate-cache hit rate over resolution-path requests.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The accounting invariant: every request was served from exactly
+    /// one of {truth store, dedup, fresh resolution, error}.
+    pub fn is_consistent(&self) -> bool {
+        self.truth_hits + self.dedup_hits + self.resolved + self.errors == self.requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_account() {
+        let s = ServiceStats::new();
+        for _ in 0..5 {
+            s.inc_requests();
+        }
+        s.inc_truth_hits();
+        s.inc_truth_hits();
+        s.inc_dedup_hits();
+        s.inc_resolved();
+        s.inc_errors();
+        s.inc_cache_hits();
+        s.inc_cache_misses();
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 5);
+        assert!(snap.is_consistent());
+        assert!((snap.truth_hit_rate() - 0.4).abs() < 1e-12);
+        assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_summary_orders_sensibly() {
+        let s = ServiceStats::new();
+        for us in [10u64, 20, 30, 40, 50, 1000] {
+            s.record_latency(Duration::from_micros(us));
+        }
+        let l = s.snapshot().latency;
+        assert_eq!(l.count, 6);
+        assert_eq!(l.min, Duration::from_micros(10));
+        assert_eq!(l.max, Duration::from_micros(1000));
+        assert!(l.min <= l.mean && l.mean <= l.max);
+        assert!(l.p50 <= l.p95 && l.p95 <= l.p99);
+        // p50 upper edge must cover the median but not the outlier.
+        assert!(l.p50 >= Duration::from_micros(30));
+        assert!(l.p50 < Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn empty_stats_are_consistent() {
+        let snap = ServiceStats::new().snapshot();
+        assert!(snap.is_consistent());
+        assert_eq!(snap.truth_hit_rate(), 0.0);
+        assert_eq!(snap.latency.count, 0);
+        assert_eq!(snap.latency.min, Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let s = ServiceStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        s.inc_requests();
+                        s.inc_resolved();
+                        s.record_latency(Duration::from_micros(7));
+                    }
+                });
+            }
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 4000);
+        assert_eq!(snap.resolved, 4000);
+        assert_eq!(snap.latency.count, 4000);
+        assert!(snap.is_consistent());
+    }
+}

@@ -1,0 +1,394 @@
+//! The sharded, grid-indexed truth store.
+//!
+//! One shared truth database is the contention point of a concurrent
+//! CrowdPlanner deployment: every request starts with a reuse lookup and
+//! most end with an insert. [`ShardedTruthStore`] splits the store into
+//! `N` independent shards, each a grid-indexed [`TruthStore`] behind its
+//! own `RwLock`:
+//!
+//! * entries are assigned to shards by a hash of their **origin grid
+//!   cell**, so the entries relevant to one lookup cluster into few
+//!   shards;
+//! * lookups take **read** locks only — concurrent readers never block
+//!   each other, and writers only block readers of the same shard;
+//! * a lookup probes exactly the shards owning cells within the reuse
+//!   radius of the query origin (1 shard in the common `radius ≤ cell`
+//!   case), merges per-shard best matches, and breaks distance ties by
+//!   **global insertion order** (a shared atomic sequence), preserving
+//!   the sequential store's semantics.
+
+use cp_core::{Config, TruthEntry, TruthStore, DEFAULT_BUCKET_S, DEFAULT_CELL_M};
+use cp_roadnet::{NodeId, Point, RoadGraph};
+use cp_traj::TimeOfDay;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// One shard: a grid-indexed store plus the global sequence number of
+/// each entry (parallel to the store's dense ids) for cross-shard
+/// tie-breaks.
+#[derive(Debug)]
+struct Shard {
+    store: TruthStore,
+    seqs: Vec<u64>,
+}
+
+/// A truth database sharded by origin grid cell, safe to share across
+/// worker threads (`&self` everywhere).
+#[derive(Debug)]
+pub struct ShardedTruthStore {
+    shards: Vec<RwLock<Shard>>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: usize,
+    /// Spatial cell edge, metres (also each shard's grid cell).
+    cell_m: f64,
+    /// Global insertion sequence for deterministic tie-breaks.
+    seq: AtomicU64,
+}
+
+/// Mixes a cell coordinate into a shard index (SplitMix64 finaliser —
+/// adjacent cells land on unrelated shards).
+fn shard_hash(cx: i32, cy: i32) -> u64 {
+    let mut z = ((cx as u64) << 32) ^ (cy as u64 & 0xFFFF_FFFF);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ShardedTruthStore {
+    /// Creates a store with `shards` shards (rounded up to a power of
+    /// two) and the given grid geometry.
+    pub fn new(shards: usize, cell_m: f64, bucket_s: f64) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedTruthStore {
+            shards: (0..n)
+                .map(|_| {
+                    RwLock::new(Shard {
+                        store: TruthStore::with_geometry(cell_m, bucket_s),
+                        seqs: Vec::new(),
+                    })
+                })
+                .collect(),
+            mask: n - 1,
+            cell_m,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a store with default geometry (300 m cells, 2 h buckets).
+    pub fn with_shards(shards: usize) -> Self {
+        Self::new(shards, DEFAULT_CELL_M, DEFAULT_BUCKET_S)
+    }
+
+    /// Number of shards (power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn cell_of(&self, p: Point) -> (i32, i32) {
+        // Must match the per-shard grid geometry exactly, or shard
+        // routing and in-shard probing would diverge.
+        cp_core::truth::grid_cell(p, self.cell_m)
+    }
+
+    fn shard_of_cell(&self, cell: (i32, i32)) -> usize {
+        (shard_hash(cell.0, cell.1) as usize) & self.mask
+    }
+
+    /// Total stored truths across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard poisoned").store.len())
+            .sum()
+    }
+
+    /// Whether no truths are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a verified truth (write-locks exactly one shard).
+    pub fn insert(&self, graph: &RoadGraph, entry: TruthEntry) {
+        let from_pos = graph.position(entry.from);
+        let to_pos = graph.position(entry.to);
+        let shard_idx = self.shard_of_cell(self.cell_of(from_pos));
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shards[shard_idx].write().expect("shard poisoned");
+        shard.store.insert_at(from_pos, to_pos, entry);
+        shard.seqs.push(seq);
+    }
+
+    /// Looks up the truth matching the request within the configured
+    /// reuse radius/window — the same semantics as
+    /// [`TruthStore::lookup`], merged across shards (closest match wins;
+    /// distance ties go to the earliest-inserted entry). Read-locks only
+    /// the shards owning cells within the radius of the query origin.
+    pub fn lookup(
+        &self,
+        graph: &RoadGraph,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+        cfg: &Config,
+    ) -> Option<TruthEntry> {
+        let fp = graph.position(from);
+        let (ox, oy) = self.cell_of(fp);
+        let r = (cfg.reuse_radius / self.cell_m).ceil() as i32;
+        let side = (2 * r + 1) as usize;
+        let n_cells = side * side;
+        // Enumerate the origin cells within the radius with their owning
+        // shards. The common case (radius ≤ cell) is a 3×3 neighbourhood,
+        // which fits the stack buffers; pathological radius/cell ratios
+        // spill to the heap.
+        const STACK_CELLS: usize = 25;
+        let mut cells_buf = [(0i32, 0i32); STACK_CELLS];
+        let mut shards_buf = [0usize; STACK_CELLS];
+        if n_cells > STACK_CELLS {
+            let mut spill: Vec<((i32, i32), usize)> = Vec::with_capacity(n_cells);
+            for cx in (ox - r)..=(ox + r) {
+                for cy in (oy - r)..=(oy + r) {
+                    spill.push(((cx, cy), self.shard_of_cell((cx, cy))));
+                }
+            }
+            return self.lookup_spill(graph, from, to, departure, cfg, &spill);
+        }
+        let mut k = 0usize;
+        for cx in (ox - r)..=(ox + r) {
+            for cy in (oy - r)..=(oy + r) {
+                cells_buf[k] = (cx, cy);
+                shards_buf[k] = self.shard_of_cell((cx, cy));
+                k += 1;
+            }
+        }
+        let (cells, owners) = (&cells_buf[..n_cells], &shards_buf[..n_cells]);
+
+        let mut best: Option<(f64, u64, TruthEntry)> = None;
+        // Visit each distinct shard once, gathering its cells into a
+        // stack buffer.
+        let mut group = [(0i32, 0i32); STACK_CELLS];
+        for (i, &s) in owners.iter().enumerate() {
+            if owners[..i].contains(&s) {
+                continue; // shard already visited
+            }
+            let mut g = 0usize;
+            for (j, &cell) in cells.iter().enumerate() {
+                if owners[j] == s {
+                    group[g] = cell;
+                    g += 1;
+                }
+            }
+            self.merge_shard_best(graph, from, to, departure, cfg, s, &group[..g], &mut best);
+        }
+        best.map(|(_, _, e)| e)
+    }
+
+    /// Heap-path lookup for very large radius/cell ratios: cells already
+    /// paired with their owning shards.
+    fn lookup_spill(
+        &self,
+        graph: &RoadGraph,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+        cfg: &Config,
+        cells: &[((i32, i32), usize)],
+    ) -> Option<TruthEntry> {
+        let mut sorted: Vec<((i32, i32), usize)> = cells.to_vec();
+        sorted.sort_unstable_by_key(|&(_, s)| s);
+        let mut best: Option<(f64, u64, TruthEntry)> = None;
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let s = sorted[i].1;
+            let start = i;
+            while i < sorted.len() && sorted[i].1 == s {
+                i += 1;
+            }
+            let group: Vec<(i32, i32)> = sorted[start..i].iter().map(|&(c, _)| c).collect();
+            self.merge_shard_best(graph, from, to, departure, cfg, s, &group, &mut best);
+        }
+        best.map(|(_, _, e)| e)
+    }
+
+    /// Folds one shard's best match (restricted to `group` cells) into
+    /// the running cross-shard best, breaking distance ties by global
+    /// insertion sequence.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_shard_best(
+        &self,
+        graph: &RoadGraph,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+        cfg: &Config,
+        shard_idx: usize,
+        group: &[(i32, i32)],
+        best: &mut Option<(f64, u64, TruthEntry)>,
+    ) {
+        let shard = self.shards[shard_idx].read().expect("shard poisoned");
+        if let Some((d, id, entry)) = shard
+            .store
+            .lookup_scored_in_cells(graph, group, from, to, departure, cfg)
+        {
+            let seq = shard.seqs[id as usize];
+            let better = match best {
+                None => true,
+                Some((bd, bseq, _)) => d < *bd || (d == *bd && seq < *bseq),
+            };
+            if better {
+                *best = Some((d, seq, entry.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_roadnet::routing::{dijkstra_path, distance_cost};
+    use cp_roadnet::{generate_city, CityParams, Path};
+
+    fn setup() -> (cp_roadnet::City, Config) {
+        let city = generate_city(&CityParams::small(), 73).unwrap();
+        (city, Config::default())
+    }
+
+    fn path(city: &cp_roadnet::City, a: u32, b: u32) -> Path {
+        dijkstra_path(
+            &city.graph,
+            NodeId(a),
+            NodeId(b),
+            distance_cost(&city.graph),
+        )
+        .unwrap()
+    }
+
+    fn entry(city: &cp_roadnet::City, a: u32, b: u32, h: f64) -> TruthEntry {
+        TruthEntry {
+            from: NodeId(a),
+            to: NodeId(b),
+            departure: TimeOfDay::from_hours(h),
+            path: path(city, a, b),
+            confidence: 1.0,
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedTruthStore::with_shards(1).shard_count(), 1);
+        assert_eq!(ShardedTruthStore::with_shards(5).shard_count(), 8);
+        assert_eq!(ShardedTruthStore::with_shards(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn agrees_with_sequential_store_on_every_query() {
+        let (city, cfg) = setup();
+        let sharded = ShardedTruthStore::with_shards(8);
+        let mut sequential = TruthStore::new();
+        let n = city.graph.node_count() as u32;
+        // Deterministic pseudo-random inserts spread across the city.
+        let mut x = 0x0123_4567_89AB_CDEF_u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..300 {
+            let a = (next() % n as u64) as u32;
+            let mut b = (next() % n as u64) as u32;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            let h = (next() % 24) as f64;
+            let e = entry(&city, a, b, h);
+            sharded.insert(&city.graph, e.clone());
+            sequential.insert(&city.graph, e);
+        }
+        assert_eq!(sharded.len(), 300);
+        for q in 0..200 {
+            let a = NodeId((next() % n as u64) as u32);
+            let b = NodeId((next() % n as u64) as u32);
+            let t = TimeOfDay::from_hours((next() % 24) as f64);
+            let got = sharded.lookup(&city.graph, a, b, t, &cfg);
+            let want = sequential.lookup(&city.graph, a, b, t, &cfg);
+            match (got, want) {
+                (None, None) => {}
+                (Some(g), Some(w)) => {
+                    assert_eq!(g.path, w.path, "query {q}: different entry");
+                    assert_eq!(g.from, w.from);
+                    assert_eq!(g.to, w.to);
+                }
+                (g, w) => panic!("query {q}: {} vs {}", g.is_some(), w.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_insert_lookup_is_consistent() {
+        let (city, cfg) = setup();
+        let store = ShardedTruthStore::with_shards(8);
+        let n = city.graph.node_count() as u32;
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let store = &store;
+                let city = &city;
+                let cfg = &cfg;
+                s.spawn(move || {
+                    for i in 0..50u32 {
+                        let a = (t * 50 + i) % n;
+                        let b = (a + 7) % n;
+                        if a == b {
+                            continue;
+                        }
+                        store.insert(&city.graph, entry(city, a, b, (i % 24) as f64));
+                        // Interleaved lookups must never panic or corrupt.
+                        let _ = store.lookup(
+                            &city.graph,
+                            NodeId(a),
+                            NodeId(b),
+                            TimeOfDay::from_hours((i % 24) as f64),
+                            cfg,
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 200);
+        // Every inserted truth must now be findable at its exact key.
+        let hit = store.lookup(
+            &city.graph,
+            NodeId(0),
+            NodeId(7),
+            TimeOfDay::from_hours(0.0),
+            &cfg,
+        );
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn ties_break_by_global_insertion_order() {
+        let (city, cfg) = setup();
+        // Two identical-key truths with different paths: the earlier
+        // insert must win, wherever the shards put it.
+        for shards in [1usize, 4, 16] {
+            let store = ShardedTruthStore::with_shards(shards);
+            let first = entry(&city, 0, 59, 9.0);
+            let mut second = entry(&city, 0, 59, 9.0);
+            second.path = path(&city, 0, 58);
+            let first_path = first.path.clone();
+            store.insert(&city.graph, first);
+            store.insert(&city.graph, second);
+            let hit = store
+                .lookup(
+                    &city.graph,
+                    NodeId(0),
+                    NodeId(59),
+                    TimeOfDay::from_hours(9.0),
+                    &cfg,
+                )
+                .unwrap();
+            assert_eq!(hit.path, first_path, "shards = {shards}");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking crate
+//! this workspace uses.
+//!
+//! The build environment has no crates.io access, so benches link against
+//! this std-timer harness instead: each benchmark is warmed up, then run
+//! for a fixed wall-clock budget, and the per-iteration mean / best times
+//! are printed in criterion-like one-line format. There is no statistical
+//! analysis, HTML report, or regression tracking — just honest timings
+//! suitable for A/B comparisons within one run.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement settings shared by all benchmarks in a run.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Wall-clock budget per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher::new(self.measurement_time);
+        f(&mut b);
+        b.report(name);
+    }
+
+    /// Opens a named group of related benchmarks. The group carries its
+    /// own copy of the measurement settings: `sample_size` tweaks apply
+    /// to this group only and never leak into later groups.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            measurement_time: self.measurement_time,
+            _criterion: self,
+            name,
+        }
+    }
+}
+
+/// A named group of benchmarks, printed with a shared prefix.
+pub struct BenchmarkGroup<'a> {
+    /// Held to mirror criterion's exclusive-borrow API shape.
+    _criterion: &'a mut Criterion,
+    /// This group's own wall-clock budget per benchmark.
+    measurement_time: Duration,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Adjusts the nominal sample count (scales this group's budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.measurement_time = Duration::from_millis(4 * n.clamp(1, 250) as u64);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::new(self.measurement_time);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.measurement_time);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter label.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    budget: Duration,
+    /// (iterations, total elapsed) of the measured phase.
+    measured: Option<(u64, Duration)>,
+    best: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            measured: None,
+            best: Duration::MAX,
+        }
+    }
+
+    /// Runs `f` repeatedly: a short warm-up, then batches until the
+    /// wall-clock budget is spent. The closure's return value is passed
+    /// through a black box so the optimiser cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: aim for batches of ~1ms or more.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let first = t0.elapsed();
+        let batch =
+            (Duration::from_millis(1).as_nanos() / first.as_nanos().max(1)).clamp(1, 10_000) as u64;
+
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let started = Instant::now();
+        while started.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t.elapsed();
+            total += dt;
+            iters += batch;
+            let per_iter = dt / batch as u32;
+            if per_iter < self.best {
+                self.best = per_iter;
+            }
+        }
+        self.measured = Some((iters.max(1), total));
+    }
+
+    fn report(&self, name: &str) {
+        match self.measured {
+            Some((iters, total)) => {
+                let mean = total / iters as u32;
+                println!(
+                    "{name:<48} time: [mean {} best {}]  ({iters} iterations)",
+                    fmt_duration(mean),
+                    fmt_duration(self.best),
+                );
+            }
+            None => println!("{name:<48} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; this
+            // shim has no filtering, so arguments are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(20),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("a", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("b", 3), &3, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

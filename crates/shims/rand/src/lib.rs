@@ -1,0 +1,257 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace
+//! uses.
+//!
+//! The build environment has no network access and no crates.io registry
+//! cache, so the workspace vendors a minimal, dependency-free
+//! reimplementation of the surface it needs:
+//!
+//! * [`rngs::SmallRng`] — a small, fast, *non-cryptographic* generator
+//!   (xoshiro256++, the same family the real `SmallRng` uses on 64-bit
+//!   targets), seedable deterministically via [`SeedableRng::seed_from_u64`];
+//! * [`RngExt`] — `random_range` over integer and float ranges and
+//!   `random_bool`, blanket-implemented for every [`RngCore`];
+//! * [`SeedableRng`] — explicit seeding.
+//!
+//! Determinism is the only contract the simulation relies on: the same
+//! seed always yields the same stream. Statistical quality is that of
+//! xoshiro256++, which is far more than the simulation needs. Nothing
+//! here is suitable for cryptography.
+
+#![warn(missing_docs)]
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Explicit, reproducible seeding.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, expanding it into a full
+    /// seed with SplitMix64 (the expansion the real `rand` crate uses).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for all generators.
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive, integer or
+    /// float).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        next_f64(self) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// A uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+fn next_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that can produce a single uniform sample.
+///
+/// Blanket-implemented for `Range` and `RangeInclusive` over every
+/// [`SampleUniform`] type, mirroring the real crate's structure (one
+/// generic impl, so type inference behaves identically).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types uniformly sampleable from a bounded range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[start, end)` (or `[start, end]` when
+    /// `inclusive`).
+    fn sample_in<R: RngCore>(rng: &mut R, start: Self, end: Self, inclusive: bool) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_in(rng, start, end, true)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore>(rng: &mut R, start: Self, end: Self, inclusive: bool) -> Self {
+                let span = (end as i128 - start as i128) as u128 + inclusive as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore>(rng: &mut R, start: Self, end: Self, _inclusive: bool) -> Self {
+                start + (next_f64(rng) as $t) * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically strong for
+    /// simulation purposes. Not cryptographically secure.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state is the one fixed point of xoshiro;
+            // nudge it to a fixed non-zero state.
+            if s == [0; 4] {
+                s = [0xDEAD_BEEF, 0xCAFE_F00D, 0xBAAD_5EED, 0x1234_5678];
+            }
+            SmallRng { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.random_range(-0.5f64..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let g = rng.random_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits = {hits}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.1));
+    }
+
+    #[test]
+    fn float_range_distribution_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mean: f64 = (0..10_000)
+            .map(|_| rng.random_range(0.0f64..1.0))
+            .sum::<f64>()
+            / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+}

@@ -84,9 +84,7 @@ fn calibrate_points(
 mod tests {
     use super::*;
     use cp_roadnet::routing::{dijkstra_path, distance_cost};
-    use cp_roadnet::{
-        generate_city, generate_landmarks, CityParams, LandmarkGenParams, NodeId,
-    };
+    use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams, NodeId};
 
     fn setup() -> (cp_roadnet::City, LandmarkSet) {
         let city = generate_city(&CityParams::small(), 8).unwrap();
@@ -139,8 +137,22 @@ mod tests {
         let (city, lms) = setup();
         let g = &city.graph;
         let path = dijkstra_path(g, NodeId(0), NodeId(59), distance_cost(g)).unwrap();
-        let narrow = calibrate_path(g, &lms, &path, &CalibrationParams { anchor_radius: 80.0 });
-        let wide = calibrate_path(g, &lms, &path, &CalibrationParams { anchor_radius: 300.0 });
+        let narrow = calibrate_path(
+            g,
+            &lms,
+            &path,
+            &CalibrationParams {
+                anchor_radius: 80.0,
+            },
+        );
+        let wide = calibrate_path(
+            g,
+            &lms,
+            &path,
+            &CalibrationParams {
+                anchor_radius: 300.0,
+            },
+        );
         assert!(wide.len() >= narrow.len());
         // Narrow result is a subset of the wide result.
         for id in &narrow {
@@ -168,7 +180,9 @@ mod tests {
     fn different_routes_calibrate_differently() {
         let (city, lms) = setup();
         let g = &city.graph;
-        let params = CalibrationParams { anchor_radius: 120.0 };
+        let params = CalibrationParams {
+            anchor_radius: 120.0,
+        };
         // Opposite corners via different waypoints.
         let p1 = dijkstra_path(g, NodeId(0), NodeId(59), distance_cost(g)).unwrap();
         let p2 = {

@@ -74,8 +74,7 @@ pub fn generate_checkins(
         // Category taste: a preferred category gets 3x weight.
         let fav = LandmarkCategory::ALL[rng.random_range(0..LandmarkCategory::ALL.len())];
         // Activity: heavy-tailed around the mean.
-        let count =
-            (params.mean_checkins as f64 * rng.random_range(0.2..2.5)).round() as usize;
+        let count = (params.mean_checkins as f64 * rng.random_range(0.2..2.5)).round() as usize;
         // Per-user check-in weights over landmarks.
         let weights: Vec<f64> = landmarks
             .iter()
@@ -158,8 +157,7 @@ mod tests {
     fn empty_inputs_give_empty_output() {
         let city = generate_city(&CityParams::small(), 5).unwrap();
         let empty = LandmarkSet::new(Vec::new(), 100.0);
-        assert!(generate_checkins(&city.graph, &empty, &CheckInGenParams::default(), 1)
-            .is_empty());
+        assert!(generate_checkins(&city.graph, &empty, &CheckInGenParams::default(), 1).is_empty());
         let lms = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 5);
         let mut p = CheckInGenParams::default();
         p.users = 0;

@@ -29,7 +29,5 @@ pub use calibration::{calibrate_path, calibrate_trajectory, CalibrationParams};
 pub use checkin::{generate_checkins, CheckIn, CheckInGenParams, UserId};
 pub use generator::{generate_trips, Driver, TripDataset, TripGenParams};
 pub use preference::DriverPreference;
-pub use significance::{
-    infer_significance, significance_from_visits, SignificanceParams, Visit,
-};
+pub use significance::{infer_significance, significance_from_visits, SignificanceParams, Visit};
 pub use trajectory::{DriverId, TimeOfDay, Trajectory, Trip};

@@ -10,8 +10,8 @@
 //! The *consensus* profile (population mean) defines the ground-truth "best"
 //! route for every OD pair, which is what accuracy is measured against.
 
-use cp_roadnet::{EdgeId, NodeId, Path, RoadClass, RoadGraph, RoadNetError};
 use cp_roadnet::routing::dijkstra_path;
+use cp_roadnet::{EdgeId, NodeId, Path, RoadClass, RoadGraph, RoadNetError};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -53,7 +53,11 @@ impl DriverPreference {
         let edge = graph.edge(e);
         let discomfort = self.class_discomfort[class_index(edge.class)];
         let base = self.w_time * edge.travel_time() + self.w_distance * edge.length;
-        let light = if edge.traffic_light { self.w_light } else { 0.0 };
+        let light = if edge.traffic_light {
+            self.w_light
+        } else {
+            0.0
+        };
         base * discomfort + light
     }
 

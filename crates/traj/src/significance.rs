@@ -168,8 +168,14 @@ mod tests {
     #[test]
     fn single_landmark_gets_full_score() {
         let visits = vec![
-            Visit { visitor: 0, landmark: LandmarkId(0) },
-            Visit { visitor: 1, landmark: LandmarkId(0) },
+            Visit {
+                visitor: 0,
+                landmark: LandmarkId(0),
+            },
+            Visit {
+                visitor: 1,
+                landmark: LandmarkId(0),
+            },
         ];
         let s = significance_from_visits(&visits, 2, &SignificanceParams::default());
         assert!((s[0] - 1.0).abs() < 1e-12);
@@ -181,9 +187,15 @@ mod tests {
         // Landmark 0 visited by 5 users, landmark 1 by 1 user.
         let mut visits = Vec::new();
         for u in 0..5 {
-            visits.push(Visit { visitor: u, landmark: LandmarkId(0) });
+            visits.push(Visit {
+                visitor: u,
+                landmark: LandmarkId(0),
+            });
         }
-        visits.push(Visit { visitor: 5, landmark: LandmarkId(1) });
+        visits.push(Visit {
+            visitor: 5,
+            landmark: LandmarkId(1),
+        });
         let s = significance_from_visits(&visits, 2, &SignificanceParams::default());
         assert!(s[0] > s[1]);
         assert!((s[0] - 1.0).abs() < 1e-12, "max-normalised");
@@ -227,7 +239,11 @@ mod tests {
         by_fame.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
         let d = by_fame.len() / 10;
         let top: f64 = by_fame[..d].iter().map(|x| x.1).sum::<f64>() / d as f64;
-        let bot: f64 = by_fame[by_fame.len() - d..].iter().map(|x| x.1).sum::<f64>() / d as f64;
+        let bot: f64 = by_fame[by_fame.len() - d..]
+            .iter()
+            .map(|x| x.1)
+            .sum::<f64>()
+            / d as f64;
         assert!(
             top > bot,
             "significance should track fame: top {top:.4} bottom {bot:.4}"

@@ -30,7 +30,7 @@ pub fn rand_exp(rng: &mut SmallRng, lambda: f64) -> f64 {
 /// `weights[i]`. Returns `None` for an empty or all-zero weight vector.
 pub fn weighted_index(rng: &mut SmallRng, weights: &[f64]) -> Option<usize> {
     let total: f64 = weights.iter().sum();
-    if !(total > 0.0) || weights.is_empty() {
+    if weights.is_empty() || total.is_nan() || total <= 0.0 {
         return None;
     }
     let mut target = rng.random_range(0.0..total);

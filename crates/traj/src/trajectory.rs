@@ -154,7 +154,12 @@ mod tests {
         // First fix at the source, last at the destination (no noise).
         assert!(traj.points[0].0.distance(&g.position(NodeId(0))) < 1e-9);
         assert!(
-            traj.points.last().unwrap().0.distance(&g.position(NodeId(59))) < 1e-9
+            traj.points
+                .last()
+                .unwrap()
+                .0
+                .distance(&g.position(NodeId(59)))
+                < 1e-9
         );
         // Total duration matches the path's travel time.
         assert!((traj.points.last().unwrap().1 - path.travel_time(g)).abs() < 1e-9);

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("=== single-source accuracy over {} requests ===", requests.len());
+    println!(
+        "=== single-source accuracy over {} requests ===",
+        requests.len()
+    );
     for s in SourceKind::ALL {
         println!(
             "  {:<12}: {:>5.1}%",

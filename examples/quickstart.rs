@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Ask again: the verified truth is reused, no crowd cost.
     let again = planner.handle_request(from, to, departure, &oracle)?;
-    println!("\nsecond identical request resolved by: {:?}", again.resolution);
+    println!(
+        "\nsecond identical request resolved by: {:?}",
+        again.resolution
+    );
     assert_eq!(again.resolution, Resolution::ReusedTruth);
 
     let s = planner.stats();

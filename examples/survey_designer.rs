@@ -9,9 +9,7 @@
 //! cargo run --release --example survey_designer
 //! ```
 
-use cp_core::taskgen::{
-    build_question_tree, QuestionNode, SelectionAlgorithm, SelectionProblem,
-};
+use cp_core::taskgen::{build_question_tree, QuestionNode, SelectionAlgorithm, SelectionProblem};
 use crowdplanner::prelude::*;
 use crowdplanner::sim::{Scale, SimWorld};
 
@@ -63,12 +61,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             c.path.traffic_lights(&world.city.graph)
         );
     }
-    println!("  -> {} distinct routes after deduplication", distinct.len());
+    println!(
+        "  -> {} distinct routes after deduplication",
+        distinct.len()
+    );
 
     // Calibrate to landmark-based routes.
     let mut routes = Vec::new();
     for (path, srcs) in &distinct {
-        let lr = LandmarkRoute::from_path(&world.city.graph, &world.landmarks, path, &world.calibration);
+        let lr = LandmarkRoute::from_path(
+            &world.city.graph,
+            &world.landmarks,
+            path,
+            &world.calibration,
+        );
         println!(
             "  candidate #{} ({:?}): {} landmarks on route",
             routes.len(),

@@ -27,6 +27,7 @@
 //! | [`mining`] | MPR / MFP / LDR miners + simulated web services |
 //! | [`crowd`] | simulated worker population, answers, response times |
 //! | [`core`] | task generation, worker selection, truth reuse, orchestration |
+//! | [`service`] | concurrent serving layer: sharded truth store, single-flight dedup, candidate cache, thread-pool executor |
 //!
 //! ## Quickstart
 //!
@@ -71,32 +72,36 @@ pub use cp_core as core;
 pub use cp_crowd as crowd;
 pub use cp_mining as mining;
 pub use cp_roadnet as roadnet;
+pub use cp_service as service;
 pub use cp_traj as traj;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use cp_core::{
-        Config, CoreError, CrowdPlanner, EarlyStop, Evaluation, KnowledgeModel,
-        LandmarkRoute, Recommendation, Resolution, SelectionAlgorithm, StopDecision,
-        SystemStats, Task, TruthEntry, TruthStore,
+        Config, CoreError, CrowdPlanner, EarlyStop, Evaluation, KnowledgeModel, LandmarkRoute,
+        Recommendation, Resolution, SelectionAlgorithm, StopDecision, SystemStats, Task,
+        TruthEntry, TruthStore,
     };
     pub use cp_crowd::{
-        AnswerModel, AnswerTally, Platform, PopulationParams, Worker, WorkerId,
-        WorkerPopulation,
+        AnswerModel, AnswerTally, Platform, PopulationParams, Worker, WorkerId, WorkerPopulation,
     };
     pub use cp_mining::{
-        distinct_candidates, CandidateGenerator, CandidateRoute, LdrParams, MfpParams,
-        MprParams, SourceKind, TransferNetwork,
+        distinct_candidates, CandidateGenerator, CandidateRoute, LdrParams, MfpParams, MprParams,
+        SourceKind, TransferNetwork,
     };
     pub use cp_roadnet::{
         edge_jaccard, generate_city, generate_landmarks, City, CityParams, Landmark,
         LandmarkCategory, LandmarkGenParams, LandmarkId, LandmarkSet, NodeId, Path, Point,
         RoadClass, RoadGraph,
     };
+    pub use cp_service::{
+        CrowdResolver, MachineResolver, Request, Resolver, RouteService, Served, ServedRoute,
+        ServiceConfig, ServiceError, ShardedTruthStore, StatsSnapshot,
+    };
     pub use cp_traj::{
-        calibrate_path, generate_checkins, generate_trips, infer_significance,
-        CalibrationParams, CheckInGenParams, DriverId, DriverPreference, SignificanceParams,
-        TimeOfDay, TripDataset, TripGenParams,
+        calibrate_path, generate_checkins, generate_trips, infer_significance, CalibrationParams,
+        CheckInGenParams, DriverId, DriverPreference, SignificanceParams, TimeOfDay, TripDataset,
+        TripGenParams,
     };
 }
 

@@ -13,9 +13,8 @@ use cp_roadnet::{
     LandmarkSet, NodeId, Path, RoadNetError,
 };
 use cp_traj::{
-    calibrate_path, generate_checkins, generate_trips, infer_significance,
-    CalibrationParams, CheckIn, CheckInGenParams, DriverPreference, SignificanceParams,
-    TripDataset, TripGenParams,
+    calibrate_path, generate_checkins, generate_trips, infer_significance, CalibrationParams,
+    CheckIn, CheckInGenParams, DriverPreference, SignificanceParams, TripDataset, TripGenParams,
 };
 use std::collections::HashSet;
 
@@ -131,14 +130,10 @@ impl SimWorld {
         to: NodeId,
     ) -> Result<impl Fn(LandmarkId) -> bool + '_, RoadNetError> {
         let truth = self.ground_truth_route(from, to)?;
-        let on_route: HashSet<LandmarkId> = calibrate_path(
-            &self.city.graph,
-            &self.landmarks,
-            &truth,
-            &self.calibration,
-        )
-        .into_iter()
-        .collect();
+        let on_route: HashSet<LandmarkId> =
+            calibrate_path(&self.city.graph, &self.landmarks, &truth, &self.calibration)
+                .into_iter()
+                .collect();
         Ok(move |l: LandmarkId| on_route.contains(&l))
     }
 
@@ -176,7 +171,12 @@ impl SimWorld {
     /// Deterministic pseudo-random OD pairs with both endpoints distinct,
     /// at least `min_grid_dist` grid cells apart (so requests are real
     /// journeys, not next-door hops).
-    pub fn request_stream(&self, count: usize, min_grid_dist: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    pub fn request_stream(
+        &self,
+        count: usize,
+        min_grid_dist: usize,
+        seed: u64,
+    ) -> Vec<(NodeId, NodeId)> {
         let rows = self.city.params.rows;
         let cols = self.city.params.cols;
         let mut out = Vec::with_capacity(count);

@@ -35,12 +35,9 @@ fn every_request_gets_a_valid_route() {
             // reuse radius of the request (that's its purpose).
             let cfg = p.config();
             let g = &w.city.graph;
+            assert!(g.position(rec.path.source()).distance(&g.position(a)) <= cfg.reuse_radius);
             assert!(
-                g.position(rec.path.source()).distance(&g.position(a)) <= cfg.reuse_radius
-            );
-            assert!(
-                g.position(rec.path.destination()).distance(&g.position(b))
-                    <= cfg.reuse_radius
+                g.position(rec.path.destination()).distance(&g.position(b)) <= cfg.reuse_radius
             );
         } else {
             assert_eq!(rec.path.source(), a);
@@ -69,7 +66,11 @@ fn pipeline_is_deterministic() {
             let rec = p
                 .handle_request(a, b, TimeOfDay::from_hours(8.0), &oracle)
                 .unwrap();
-            out.push((rec.path.nodes().to_vec(), rec.resolution, rec.questions_asked));
+            out.push((
+                rec.path.nodes().to_vec(),
+                rec.resolution,
+                rec.questions_asked,
+            ));
         }
         out
     };
@@ -96,7 +97,11 @@ fn truth_store_grows_and_serves_repeats() {
             .unwrap();
         assert_eq!(rec.resolution, Resolution::ReusedTruth);
     }
-    assert_eq!(p.truths().len(), truths_after_first_pass, "no duplicate truths");
+    assert_eq!(
+        p.truths().len(),
+        truths_after_first_pass,
+        "no duplicate truths"
+    );
     assert_eq!(p.stats().reuse_hits, 8);
 }
 

@@ -128,12 +128,11 @@ proptest! {
             prop_assert!(is_discriminative(&routes, &bigger));
         } else if !selection.is_empty() {
             let smaller = &selection[..selection.len() - 1];
-            prop_assert!(!is_discriminative(&routes, smaller) || routes.len() < 2 ||
-                // Removing an element can only lose separation power…
-                // unless the removed element separated nothing, in which
-                // case both verdicts agree. Either way the smaller set can
-                // never *gain* discriminativeness:
-                false);
+            // Removing an element can only lose separation power…
+            // unless the removed element separated nothing, in which
+            // case both verdicts agree. Either way the smaller set can
+            // never *gain* discriminativeness:
+            prop_assert!(!is_discriminative(&routes, smaller) || routes.len() < 2);
         }
     }
 }
