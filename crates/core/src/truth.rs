@@ -94,6 +94,13 @@ impl TruthGrid {
         (((t.0 / self.bucket_s).floor() as u32) % self.buckets as u32) as u16
     }
 
+    /// Empties the grid, keeping its geometry. Used when a store evicts
+    /// entries and must re-index the survivors under fresh dense ids.
+    pub fn clear(&mut self) {
+        self.spatiotemporal.clear();
+        self.origin.clear();
+    }
+
     /// Indexes entry `id` under its key.
     pub fn insert(&mut self, from: Point, to: Point, departure: TimeOfDay, id: u32) {
         let (ox, oy) = self.cell_of(from);
@@ -310,6 +317,24 @@ impl TruthStore {
             to_pos,
             entry,
         });
+    }
+
+    /// Evicts the `k` oldest entries (insertion order is age order) and
+    /// re-indexes the survivors under fresh dense ids. Returns how many
+    /// entries were actually removed. O(remaining) — callers amortise by
+    /// evicting in batches rather than one at a time.
+    pub fn evict_oldest(&mut self, k: usize) -> usize {
+        let k = k.min(self.stored.len());
+        if k == 0 {
+            return 0;
+        }
+        self.stored.drain(..k);
+        self.grid.clear();
+        for (id, s) in self.stored.iter().enumerate() {
+            self.grid
+                .insert(s.from_pos, s.to_pos, s.entry.departure, id as u32);
+        }
+        k
     }
 
     /// The entry with the given id (ids are dense: `0..len()`, in
@@ -693,6 +718,51 @@ mod tests {
                 &cfg
             )
             .is_none());
+    }
+
+    #[test]
+    fn evict_oldest_removes_prefix_and_keeps_index_consistent() {
+        let (city, mut store, cfg) = setup();
+        for (i, h) in [(0u32, 8.0), (1, 9.0), (2, 10.0), (3, 11.0)] {
+            store.insert(
+                &city.graph,
+                TruthEntry {
+                    from: NodeId(i),
+                    to: NodeId(59),
+                    departure: TimeOfDay::from_hours(h),
+                    path: path(&city, i, 59),
+                    confidence: 1.0,
+                },
+            );
+        }
+        assert_eq!(store.evict_oldest(2), 2);
+        assert_eq!(store.len(), 2);
+        // The two oldest are gone; the two youngest still resolve through
+        // the rebuilt grid at their exact keys.
+        let mut strict = cfg.clone();
+        strict.reuse_radius = 0.0;
+        assert!(store
+            .lookup(
+                &city.graph,
+                NodeId(0),
+                NodeId(59),
+                TimeOfDay::from_hours(8.0),
+                &strict
+            )
+            .is_none());
+        assert!(store
+            .lookup(
+                &city.graph,
+                NodeId(2),
+                NodeId(59),
+                TimeOfDay::from_hours(10.0),
+                &strict
+            )
+            .is_some());
+        // Over-asking clamps; an empty store evicts nothing.
+        assert_eq!(store.evict_oldest(10), 2);
+        assert_eq!(store.evict_oldest(1), 0);
+        assert!(store.is_empty());
     }
 
     /// The grid path must agree with the linear reference on every query —

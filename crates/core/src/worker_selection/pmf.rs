@@ -1,5 +1,5 @@
 //! Probabilistic Matrix Factorization (paper §IV-B; Mnih & Salakhutdinov,
-//! NIPS 2007, the paper's ref [15]).
+//! NIPS 2007, the paper's ref \[15\]).
 //!
 //! The observed familiarity matrix `M` is factorised as `M ≈ WᵀL` with
 //! worker factors `W ∈ R^{d×n}` and landmark factors `L ∈ R^{d×m}`; MAP

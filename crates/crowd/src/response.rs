@@ -1,7 +1,7 @@
 //! Worker response-time model (paper §IV-A).
 //!
 //! "We assume the probability of the response time t of a worker follows
-//! an exponential distribution, f(t;λ) = λ exp(−λt), which is [a] standard
+//! an exponential distribution, f(t;λ) = λ exp(−λt), which is \[a\] standard
 //! assumption in estimating worker's response time." The simulator samples
 //! true response times from each worker's latent λ; the system estimates λ
 //! from the observed history by maximum likelihood and filters workers by

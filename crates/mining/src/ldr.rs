@@ -1,9 +1,9 @@
 //! LDR — Local-Driver Route (after Ceikute & Jensen, MDM 2013; paper
-//! ref [3]).
+//! ref \[3\]).
 //!
 //! The CrowdPlanner paper lists "MPR, LDR and MFP" as its popular-route
 //! miners but never expands LDR; its related-work section describes
-//! citation [3] as mining "the individual popular routes from [a driver's]
+//! citation \[3\] as mining "the individual popular routes from [a driver's]
 //! historical trajectories … The recommended routes of this method reflect
 //! certain people's preference." We therefore implement LDR with
 //! *individual-driver* semantics:

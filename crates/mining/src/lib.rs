@@ -23,6 +23,8 @@ pub mod webservice;
 pub use ldr::{local_driver_route, local_support, LdrParams};
 pub use mfp::{best_bottleneck, most_frequent_path, most_frequent_path_on, MfpParams};
 pub use mpr::{log_popularity, most_popular_route, MprParams};
-pub use source::{distinct_candidates, CandidateGenerator, CandidateRoute, SourceKind};
+pub use source::{
+    distinct_candidates, generate_candidates, CandidateGenerator, CandidateRoute, SourceKind,
+};
 pub use transfer::TransferNetwork;
 pub use webservice::{FastestRouteService, ShortestRouteService};

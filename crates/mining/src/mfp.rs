@@ -1,5 +1,5 @@
 //! MFP — Most Frequent Path (Luo, Tan, Chen, Ni; SIGMOD 2013; paper
-//! ref [13]).
+//! ref \[13\]).
 //!
 //! The original work mines the time-period-based most frequent path: given
 //! a departure-time period, the "footmark" of each road segment is the

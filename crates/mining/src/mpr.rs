@@ -1,4 +1,4 @@
-//! MPR — Most Popular Route (Chen, Shen, Zhou; ICDE 2011; paper ref [4]).
+//! MPR — Most Popular Route (Chen, Shen, Zhou; ICDE 2011; paper ref \[4\]).
 //!
 //! The original algorithm builds a transfer network from trajectories,
 //! derives a popularity indicator per road segment from transfer

@@ -104,39 +104,70 @@ impl<'a> CandidateGenerator<'a> {
         to: NodeId,
         departure: TimeOfDay,
     ) -> Vec<CandidateRoute> {
-        let mut out = Vec::with_capacity(SourceKind::ALL.len());
-        if let Ok(p) = ShortestRouteService.route(self.graph, from, to) {
-            out.push(CandidateRoute {
-                source: SourceKind::ShortestWebService,
-                path: p,
-            });
-        }
-        if let Ok(p) = FastestRouteService.route(self.graph, from, to) {
-            out.push(CandidateRoute {
-                source: SourceKind::FastestWebService,
-                path: p,
-            });
-        }
-        if let Ok(p) = most_popular_route(self.graph, &self.transfer, from, to, &self.mpr) {
-            out.push(CandidateRoute {
-                source: SourceKind::Mpr,
-                path: p,
-            });
-        }
-        if let Ok(p) = local_driver_route(self.graph, self.trips, from, to, &self.ldr) {
-            out.push(CandidateRoute {
-                source: SourceKind::Ldr,
-                path: p,
-            });
-        }
-        if let Ok(p) = most_frequent_path(self.graph, self.trips, from, to, departure, &self.mfp) {
-            out.push(CandidateRoute {
-                source: SourceKind::Mfp,
-                path: p,
-            });
-        }
-        out
+        generate_candidates(
+            self.graph,
+            self.trips,
+            &self.transfer,
+            &self.mpr,
+            &self.mfp,
+            &self.ldr,
+            from,
+            to,
+            departure,
+        )
     }
+}
+
+/// Produces one candidate per available source from explicitly supplied
+/// world parts — the ownership-free core behind
+/// [`CandidateGenerator::candidates`], usable by callers that hold the
+/// graph and trips behind shared pointers instead of borrows (the
+/// serving layer's owned worlds). Sources that cannot route the request
+/// are silently skipped; the result is empty only if no source can
+/// connect the pair.
+pub fn generate_candidates(
+    graph: &RoadGraph,
+    trips: &[Trip],
+    transfer: &TransferNetwork,
+    mpr: &MprParams,
+    mfp: &MfpParams,
+    ldr: &LdrParams,
+    from: NodeId,
+    to: NodeId,
+    departure: TimeOfDay,
+) -> Vec<CandidateRoute> {
+    let mut out = Vec::with_capacity(SourceKind::ALL.len());
+    if let Ok(p) = ShortestRouteService.route(graph, from, to) {
+        out.push(CandidateRoute {
+            source: SourceKind::ShortestWebService,
+            path: p,
+        });
+    }
+    if let Ok(p) = FastestRouteService.route(graph, from, to) {
+        out.push(CandidateRoute {
+            source: SourceKind::FastestWebService,
+            path: p,
+        });
+    }
+    if let Ok(p) = most_popular_route(graph, transfer, from, to, mpr) {
+        out.push(CandidateRoute {
+            source: SourceKind::Mpr,
+            path: p,
+        });
+    }
+    if let Ok(p) = local_driver_route(graph, trips, from, to, ldr) {
+        out.push(CandidateRoute {
+            source: SourceKind::Ldr,
+            path: p,
+        });
+    }
+    if let Ok(p) = most_frequent_path(graph, trips, from, to, departure, mfp) {
+        out.push(CandidateRoute {
+            source: SourceKind::Mfp,
+            path: p,
+        });
+    }
+    out
 }
 
 /// Deduplicates candidates into distinct paths, remembering every source

@@ -1,7 +1,7 @@
 //! Transfer network built from historical trips.
 //!
 //! The transfer network (Chen et al., "Discovering popular routes from
-//! trajectories", ICDE 2011 — the paper's MPR citation [4]) summarises a
+//! trajectories", ICDE 2011 — the paper's MPR citation \[4\]) summarises a
 //! trajectory dataset as per-edge traversal counts and per-node transfer
 //! probabilities. Both MPR and MFP consume it; MFP additionally filters
 //! trips by departure-time period (Luo et al., SIGMOD 2013).

@@ -1,9 +1,10 @@
 //! Service-level errors.
 
+use crate::world::CityId;
 use cp_core::CoreError;
 
-/// Why a request could not be served.
-#[derive(Debug)]
+/// Why a request could not be served (or admitted).
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
     /// No source could connect the OD pair.
     NoCandidates,
@@ -12,6 +13,17 @@ pub enum ServiceError {
     /// The leader of a deduplicated flight failed; followers surface
     /// this instead of retrying (callers may resubmit).
     LeaderFailed,
+    /// The platform's bounded ingress queue is full — admission control
+    /// rejected the request. Callers should back off and resubmit.
+    Busy,
+    /// The request names a city no world was registered under.
+    UnknownCity(CityId),
+    /// The platform is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The resolver panicked while serving this request. The platform
+    /// worker survives (the panic is contained and the worker's resolver
+    /// is rebuilt); callers may resubmit.
+    ResolverPanicked,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -21,6 +33,21 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Core(e) => write!(f, "planner pipeline error: {e}"),
             ServiceError::LeaderFailed => {
                 write!(f, "the deduplicated in-flight request failed; resubmit")
+            }
+            ServiceError::Busy => {
+                write!(f, "ingress queue full; back off and resubmit")
+            }
+            ServiceError::UnknownCity(city) => {
+                write!(f, "no world registered under {city}")
+            }
+            ServiceError::ShuttingDown => {
+                write!(f, "the platform is shutting down")
+            }
+            ServiceError::ResolverPanicked => {
+                write!(
+                    f,
+                    "the resolver panicked while serving the request; resubmit"
+                )
             }
         }
     }
@@ -38,5 +65,30 @@ impl std::error::Error for ServiceError {
 impl From<CoreError> for ServiceError {
     fn from(e: CoreError) -> Self {
         ServiceError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ServiceError::Busy.to_string().contains("queue full"));
+        assert!(ServiceError::UnknownCity(CityId(9))
+            .to_string()
+            .contains("city#9"));
+        assert!(ServiceError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+    }
+
+    #[test]
+    fn admission_errors_are_comparable() {
+        assert_eq!(ServiceError::Busy, ServiceError::Busy);
+        assert_ne!(
+            ServiceError::UnknownCity(CityId(1)),
+            ServiceError::UnknownCity(CityId(2))
+        );
     }
 }

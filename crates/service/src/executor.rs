@@ -1,8 +1,9 @@
-//! The concurrent request executor.
+//! The concurrent request executor for one city.
 //!
-//! [`RouteService`] is the shared front-end: `&self` everywhere, safe to
-//! drive from any number of worker threads. Per request it runs the
-//! serving ladder:
+//! [`RouteService`] is the per-city front-end: it owns its
+//! [`World`] behind an `Arc` (no lifetimes — build it anywhere, share it
+//! with any thread), is `&self` everywhere, and runs the serving ladder
+//! per request:
 //!
 //! 1. **sharded truth lookup** — read-locks only the shards owning the
 //!    origin neighbourhood; a hit answers immediately;
@@ -15,9 +16,13 @@
 //!    route is deposited into the sharded store so step 1 serves every
 //!    later request in the reuse neighbourhood.
 //!
-//! [`RouteService::serve`] adds the fan-out: a job channel feeding N
-//! `std::thread` workers (each building its own resolver), results
-//! funnelled back over a second channel.
+//! [`RouteService::serve`] adds a closed-batch fan-out: a job channel
+//! feeding N scoped `std::thread` workers (each building its own
+//! resolver), results funnelled back over a second channel. For open
+//! submission with admission control and joinable tickets — and for
+//! serving several cities from one resident worker pool — use
+//! [`Platform`](crate::Platform), which routes each request to its
+//! city's `RouteService`.
 //!
 //! ## Determinism
 //!
@@ -36,23 +41,45 @@ use crate::resolver::Resolver;
 use crate::singleflight::{FlightTable, Join};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use crate::store::ShardedTruthStore;
+use crate::world::{CityId, World};
 use cp_core::{Config, Resolution, TruthEntry, DEFAULT_CELL_M};
-use cp_mining::{CandidateGenerator, CandidateRoute};
-use cp_roadnet::{NodeId, Path, RoadGraph};
+use cp_mining::CandidateRoute;
+use cp_roadnet::{NodeId, Path};
 use cp_traj::TimeOfDay;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// One route request.
+/// One route request, addressed to a registered city.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
+    /// City whose world should serve the request (platforms route on
+    /// this; a standalone [`RouteService`] ignores it).
+    pub city: CityId,
     /// Origin node.
     pub from: NodeId,
     /// Destination node.
     pub to: NodeId,
     /// Departure time.
     pub departure: TimeOfDay,
+}
+
+impl Request {
+    /// A request in the conventional single-city ([`CityId::LOCAL`])
+    /// world.
+    pub fn new(from: NodeId, to: NodeId, departure: TimeOfDay) -> Self {
+        Self::to_city(CityId::LOCAL, from, to, departure)
+    }
+
+    /// A request addressed to a specific registered city.
+    pub fn to_city(city: CityId, from: NodeId, to: NodeId, departure: TimeOfDay) -> Self {
+        Request {
+            city,
+            from,
+            to,
+            departure,
+        }
+    }
 }
 
 /// Identity of a request for deduplication: exact endpoints plus the
@@ -98,6 +125,16 @@ pub struct ServiceConfig {
     pub shards: usize,
     /// Candidate-cache capacity (entries).
     pub cache_capacity: usize,
+    /// Most distinct OD pairs kept per candidate-cache cell-bucket key.
+    /// Distinct ODs can alias one key when several nodes share a cell
+    /// pair; each key holds up to this many per-OD entries (FIFO beyond
+    /// it) so aliasing ODs don't thrash-evict each other. Evictions are
+    /// observable as `cache_od_evictions` in [`StatsSnapshot`].
+    pub cache_ods_per_key: usize,
+    /// Per-shard truth-store entry cap (0 = unbounded). A full shard
+    /// batch-evicts oldest-first; evictions are counted in
+    /// `truth_evictions`.
+    pub truth_cap_per_shard: usize,
     /// Spatial cell edge (metres) for the truth grid, the candidate
     /// cache and request canonicalisation.
     pub cell_m: f64,
@@ -117,6 +154,8 @@ impl Default for ServiceConfig {
             workers: 4,
             shards: 16,
             cache_capacity: 1024,
+            cache_ods_per_key: 4,
+            truth_cap_per_shard: 0,
             cell_m: DEFAULT_CELL_M,
             time_bucket_s: 900.0,
             canonicalize_departure: true,
@@ -155,17 +194,12 @@ struct CachedCandidates {
     entries: Vec<(NodeId, NodeId, Arc<Vec<CandidateRoute>>)>,
 }
 
-/// Most distinct OD pairs kept per cell-bucket key (aliasing is rare:
-/// it needs several nodes inside one cell pair).
-const CACHE_ODS_PER_KEY: usize = 4;
-
 /// Cache key: origin cell, destination cell, time bucket.
 type CacheKey = (i32, i32, i32, i32, u32);
 
-/// The concurrent serving front-end over one shared world.
-pub struct RouteService<'w> {
-    graph: &'w RoadGraph,
-    generator: &'w CandidateGenerator<'w>,
+/// The concurrent serving front-end over one owned city world.
+pub struct RouteService {
+    world: Arc<World>,
     truths: ShardedTruthStore,
     cache: Mutex<Lru<CacheKey, CachedCandidates>>,
     flights: FlightTable<RequestKey, ServedRoute>,
@@ -173,21 +207,17 @@ pub struct RouteService<'w> {
     cfg: ServiceConfig,
 }
 
-impl<'w> RouteService<'w> {
-    /// Builds the service over a world's graph and candidate generator.
-    pub fn new(
-        graph: &'w RoadGraph,
-        generator: &'w CandidateGenerator<'w>,
-        cfg: ServiceConfig,
-    ) -> Self {
+impl RouteService {
+    /// Builds the service over an owned, shareable world.
+    pub fn new(world: Arc<World>, cfg: ServiceConfig) -> Self {
         // Truth-grid time buckets track the reuse window (clamped so the
         // bucket count stays sane); any geometry is correct, this one is
         // fast for the configured window.
         let truth_bucket_s = cfg.core.reuse_time_window.clamp(60.0, TimeOfDay::DAY);
         RouteService {
-            graph,
-            generator,
-            truths: ShardedTruthStore::new(cfg.shards, cfg.cell_m, truth_bucket_s),
+            world,
+            truths: ShardedTruthStore::new(cfg.shards, cfg.cell_m, truth_bucket_s)
+                .with_per_shard_cap(cfg.truth_cap_per_shard),
             cache: Mutex::new(Lru::new(cfg.cache_capacity)),
             flights: FlightTable::new(),
             stats: ServiceStats::new(),
@@ -200,17 +230,49 @@ impl<'w> RouteService<'w> {
         &self.cfg
     }
 
+    /// The world this service serves.
+    pub fn world(&self) -> &Arc<World> {
+        &self.world
+    }
+
     /// The shared truth store.
     pub fn truths(&self) -> &ShardedTruthStore {
         &self.truths
     }
 
-    /// A point-in-time statistics snapshot.
-    pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+    /// The service's statistics counters (the platform aggregates these
+    /// across cities).
+    pub(crate) fn raw_stats(&self) -> &ServiceStats {
+        &self.stats
     }
 
-    /// The departure's time bucket.
+    /// Restores the accounting invariant after a panic unwound out of
+    /// [`RouteService::handle`] mid-request (the request was counted on
+    /// entry but reached no outcome): the platform worker that contained
+    /// the panic books it as an error.
+    pub(crate) fn note_panicked_request(&self) {
+        self.stats.inc_errors();
+    }
+
+    /// A point-in-time statistics snapshot. Truth-eviction counts are
+    /// read from the truth store (the single source — capacity and age
+    /// evictions both land there, even when callers drive the store
+    /// through [`RouteService::truths`] directly).
+    pub fn stats(&self) -> StatsSnapshot {
+        let mut snap = self.stats.snapshot();
+        snap.truth_evictions = self.truths.evicted();
+        snap
+    }
+
+    /// Evicts truths at least `max_age` old from the store (visible in
+    /// the statistics as `truth_evictions`). Returns how many were
+    /// evicted.
+    pub fn evict_truths_older_than(&self, max_age: std::time::Duration) -> usize {
+        self.truths.evict_older_than(max_age)
+    }
+
+    /// The departure's time bucket (circular: the last partial bucket
+    /// wraps into `buckets_per_day - 1`, never `buckets_per_day`).
     pub fn bucket_of(&self, t: TimeOfDay) -> u32 {
         ((t.0 / self.cfg.time_bucket_s).floor() as u32) % self.cfg.buckets_per_day()
     }
@@ -224,16 +286,24 @@ impl<'w> RouteService<'w> {
         }
     }
 
-    fn canonical_departure(&self, req: &Request) -> TimeOfDay {
+    /// The bucket's canonical (mid-bucket) departure when
+    /// canonicalisation is on, else the raw departure. The final bucket
+    /// of the day may be truncated when the bucket width does not divide
+    /// the day; its canonical time is the midpoint of the *truncated*
+    /// span, so canonicalisation never wraps a request past midnight
+    /// into bucket 0.
+    pub fn canonical_departure(&self, req: &Request) -> TimeOfDay {
         if self.cfg.canonicalize_departure {
-            TimeOfDay::new((self.bucket_of(req.departure) as f64 + 0.5) * self.cfg.time_bucket_s)
+            let start = self.bucket_of(req.departure) as f64 * self.cfg.time_bucket_s;
+            let end = (start + self.cfg.time_bucket_s).min(TimeOfDay::DAY);
+            TimeOfDay::new((start + end) / 2.0)
         } else {
             req.departure
         }
     }
 
     fn cell_of(&self, n: NodeId) -> (i32, i32) {
-        cp_core::truth::grid_cell(self.graph.position(n), self.cfg.cell_m)
+        cp_core::truth::grid_cell(self.world.graph().position(n), self.cfg.cell_m)
     }
 
     /// Fetches the candidate set for a request from the LRU, mining on a
@@ -261,15 +331,16 @@ impl<'w> RouteService<'w> {
             }
         }
         self.stats.inc_cache_misses();
-        let mined = Arc::new(self.generator.candidates(from, to, departure));
+        let mined = Arc::new(self.world.candidates(from, to, departure));
         {
             let mut cache = self.cache.lock().expect("candidate cache poisoned");
             // Re-fetch the slot (it may have changed while mining) and
             // append this OD, bounding per-key growth FIFO.
             let mut slot = cache.get(&key).cloned().unwrap_or_default();
             if !slot.entries.iter().any(|(f, t, _)| *f == from && *t == to) {
-                if slot.entries.len() == CACHE_ODS_PER_KEY {
+                if slot.entries.len() >= self.cfg.cache_ods_per_key.max(1) {
                     slot.entries.remove(0);
+                    self.stats.inc_cache_od_evictions();
                 }
                 slot.entries.push((from, to, Arc::clone(&mined)));
             }
@@ -301,11 +372,12 @@ impl<'w> RouteService<'w> {
         resolver: &mut R,
     ) -> Result<ServedRoute, ServiceError> {
         let departure = self.canonical_departure(&req);
+        let graph = self.world.graph();
 
         // 1. Shared verified truth.
-        if let Some(hit) =
-            self.truths
-                .lookup(self.graph, req.from, req.to, departure, &self.cfg.core)
+        if let Some(hit) = self
+            .truths
+            .lookup(graph, req.from, req.to, departure, &self.cfg.core)
         {
             self.stats.inc_truth_hits();
             return Ok(ServedRoute {
@@ -332,7 +404,7 @@ impl<'w> RouteService<'w> {
                 // re-check a key could resolve twice.
                 if let Some(hit) =
                     self.truths
-                        .lookup(self.graph, req.from, req.to, departure, &self.cfg.core)
+                        .lookup(graph, req.from, req.to, departure, &self.cfg.core)
                 {
                     self.stats.inc_truth_hits();
                     let served = ServedRoute {
@@ -349,8 +421,10 @@ impl<'w> RouteService<'w> {
                 // An early `?` drops the token, which publishes the
                 // failure to any followers.
                 let resolved = resolver.resolve(req.from, req.to, departure, &candidates)?;
+                // Capacity evictions are counted inside the store (the
+                // single source `stats()` reads them back from).
                 self.truths.insert(
-                    self.graph,
+                    graph,
                     TruthEntry {
                         from: req.from,
                         to: req.to,
@@ -371,9 +445,14 @@ impl<'w> RouteService<'w> {
         }
     }
 
-    /// Fans `requests` across `config().workers` threads, each with its
-    /// own resolver from `make_resolver(worker_index)`. Results come
-    /// back in request order.
+    /// Fans `requests` across `config().workers` scoped threads, each
+    /// with its own resolver from `make_resolver(worker_index)`. Results
+    /// come back in request order.
+    ///
+    /// This is the closed-batch convenience path (the resolver may
+    /// borrow from the caller's stack); for open submission, admission
+    /// control and multi-city routing use
+    /// [`Platform::submit`](crate::Platform::submit).
     pub fn serve<R, F>(
         &self,
         requests: &[Request],
@@ -428,22 +507,17 @@ mod tests {
     use cp_roadnet::{generate_city, CityParams};
     use cp_traj::{generate_trips, TripGenParams};
 
-    struct MiniWorld {
-        city: cp_roadnet::City,
-        trips: cp_traj::TripDataset,
-    }
-
-    fn mini_world() -> MiniWorld {
+    fn mini_world() -> Arc<World> {
         let city = generate_city(&CityParams::small(), 7).unwrap();
         let trips = generate_trips(&city.graph, &TripGenParams::default(), 7).unwrap();
-        MiniWorld { city, trips }
+        Arc::new(World::new(city.graph, trips.trips))
     }
 
     #[test]
-    fn service_is_sync_and_request_types_are_send() {
-        fn assert_sync<T: Sync>() {}
+    fn service_is_sync_static_and_request_types_are_send() {
+        fn assert_sync<T: Sync + 'static>() {}
         fn assert_send<T: Send>() {}
-        assert_sync::<RouteService<'static>>();
+        assert_sync::<RouteService>();
         assert_send::<Request>();
         assert_send::<ServedRoute>();
         assert_send::<ServiceError>();
@@ -451,19 +525,10 @@ mod tests {
 
     #[test]
     fn ladder_truth_hit_after_resolution() {
-        let w = mini_world();
-        let generator = CandidateGenerator::new(&w.city.graph, &w.trips.trips);
-        let service = RouteService::new(
-            &w.city.graph,
-            &generator,
-            ServiceConfig::strict_deterministic(),
-        );
-        let mut resolver = MachineResolver::new(&w.city.graph, service.config().core.clone());
-        let req = Request {
-            from: NodeId(0),
-            to: NodeId(59),
-            departure: TimeOfDay::from_hours(8.0),
-        };
+        let world = mini_world();
+        let service = RouteService::new(Arc::clone(&world), ServiceConfig::strict_deterministic());
+        let mut resolver = MachineResolver::new(world.graph_arc(), service.config().core.clone());
+        let req = Request::new(NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0));
         let first = service.handle(req, &mut resolver).unwrap();
         assert!(matches!(first.served, Served::Resolved(_)));
         let second = service.handle(req, &mut resolver).unwrap();
@@ -478,22 +543,21 @@ mod tests {
 
     #[test]
     fn candidate_cache_hits_on_same_bucket_and_od() {
-        let w = mini_world();
-        let generator = CandidateGenerator::new(&w.city.graph, &w.trips.trips);
+        let world = mini_world();
         // Exact-time truth keys + raw departures: requests in the same
         // bucket at different exact times miss the truth store but share
         // the mined candidate set.
         let mut cfg = ServiceConfig::strict_deterministic();
         cfg.canonicalize_departure = false;
-        let service = RouteService::new(&w.city.graph, &generator, cfg);
-        let mut resolver = MachineResolver::new(&w.city.graph, service.config().core.clone());
+        let service = RouteService::new(Arc::clone(&world), cfg);
+        let mut resolver = MachineResolver::new(world.graph_arc(), service.config().core.clone());
         // Same OD and bucket, different exact departures.
         for minutes in [0.0, 3.0, 7.0] {
-            let req = Request {
-                from: NodeId(5),
-                to: NodeId(54),
-                departure: TimeOfDay::new(8.0 * 3600.0 + minutes * 60.0),
-            };
+            let req = Request::new(
+                NodeId(5),
+                NodeId(54),
+                TimeOfDay::new(8.0 * 3600.0 + minutes * 60.0),
+            );
             service.handle(req, &mut resolver).unwrap();
         }
         let snap = service.stats();
@@ -506,34 +570,160 @@ mod tests {
     }
 
     #[test]
+    fn cache_ods_per_key_bounds_aliasing_and_counts_evictions() {
+        let world = mini_world();
+        // A giant cell: every node aliases onto one cache key, and a
+        // 1-entry OD list evicts on every new OD.
+        let mut cfg = ServiceConfig::strict_deterministic();
+        cfg.cell_m = 1e9;
+        cfg.cache_ods_per_key = 1;
+        let service = RouteService::new(Arc::clone(&world), cfg);
+        let mut resolver = MachineResolver::new(world.graph_arc(), service.config().core.clone());
+        for (a, b) in [(0u32, 59u32), (5, 54), (12, 47)] {
+            let req = Request::new(NodeId(a), NodeId(b), TimeOfDay::from_hours(8.0));
+            service.handle(req, &mut resolver).unwrap();
+        }
+        let snap = service.stats();
+        assert_eq!(snap.cache_misses, 3, "every distinct OD must mine");
+        // Each new OD evicted its predecessor from the single slot.
+        assert_eq!(snap.cache_od_evictions, 2);
+        assert!(snap.is_consistent());
+    }
+
+    #[test]
+    fn truth_cap_evictions_reach_service_stats() {
+        let world = mini_world();
+        let mut cfg = ServiceConfig::strict_deterministic();
+        cfg.shards = 1;
+        cfg.truth_cap_per_shard = 4;
+        let service = RouteService::new(Arc::clone(&world), cfg);
+        let mut resolver = MachineResolver::new(world.graph_arc(), service.config().core.clone());
+        for i in 0..20u32 {
+            let req = Request::new(NodeId(i), NodeId(59 - (i % 7)), TimeOfDay::from_hours(8.0));
+            if req.from == req.to {
+                continue;
+            }
+            service.handle(req, &mut resolver).unwrap();
+        }
+        let snap = service.stats();
+        assert!(service.truths().len() <= 4, "cap must bound the store");
+        assert!(snap.truth_evictions > 0, "evictions must be observable");
+        assert_eq!(snap.truth_evictions, service.truths().evicted());
+        assert!(snap.is_consistent());
+    }
+
+    #[test]
+    fn age_eviction_counts_in_stats() {
+        let world = mini_world();
+        let service = RouteService::new(Arc::clone(&world), ServiceConfig::strict_deterministic());
+        let mut resolver = MachineResolver::new(world.graph_arc(), service.config().core.clone());
+        let req = Request::new(NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0));
+        service.handle(req, &mut resolver).unwrap();
+        assert_eq!(service.truths().len(), 1);
+        let n = service.evict_truths_older_than(std::time::Duration::ZERO);
+        assert_eq!(n, 1);
+        assert_eq!(service.stats().truth_evictions, 1);
+        // The next identical request re-resolves (the truth aged out).
+        let again = service.handle(req, &mut resolver).unwrap();
+        assert!(matches!(again.served, Served::Resolved(_)));
+    }
+
+    #[test]
+    fn bucket_of_wraps_at_midnight() {
+        let world = mini_world();
+        let cfg = ServiceConfig::default(); // 900 s buckets → 96/day
+        let per_day = cfg.buckets_per_day();
+        assert_eq!(per_day, 96);
+        let service = RouteService::new(world, cfg);
+        // Start of day.
+        assert_eq!(service.bucket_of(TimeOfDay::new(0.0)), 0);
+        // Last instant of the day lands in the last bucket…
+        assert_eq!(
+            service.bucket_of(TimeOfDay::new(TimeOfDay::DAY - 1e-3)),
+            per_day - 1
+        );
+        // …and exactly DAY wraps to bucket 0, never bucket `per_day`.
+        assert_eq!(service.bucket_of(TimeOfDay::new(TimeOfDay::DAY)), 0);
+        // Bucket boundaries are half-open: 900 s starts bucket 1.
+        assert_eq!(service.bucket_of(TimeOfDay::new(899.999)), 0);
+        assert_eq!(service.bucket_of(TimeOfDay::new(900.0)), 1);
+    }
+
+    #[test]
+    fn bucket_wrap_with_uneven_bucket_width() {
+        let world = mini_world();
+        // 7000 s does not divide the day: ceil(86400/7000) = 13 buckets,
+        // the last one truncated. The final instant must land in bucket
+        // 12, and times past 13×7000 s (impossible: > DAY) never occur.
+        let mut cfg = ServiceConfig::default();
+        cfg.time_bucket_s = 7000.0;
+        assert_eq!(cfg.buckets_per_day(), 13);
+        let service = RouteService::new(world, cfg);
+        assert_eq!(service.bucket_of(TimeOfDay::new(0.0)), 0);
+        assert_eq!(service.bucket_of(TimeOfDay::new(TimeOfDay::DAY - 1e-3)), 12);
+        assert_eq!(service.bucket_of(TimeOfDay::new(TimeOfDay::DAY)), 0);
+        // The truncated final bucket spans [84000, 86400); its canonical
+        // departure must stay inside it instead of wrapping past
+        // midnight into bucket 0 (the naive `(b + 0.5) × width` formula
+        // would produce 87500 s → 1100 s → bucket 0).
+        let late = Request::new(NodeId(0), NodeId(1), TimeOfDay::new(TimeOfDay::DAY - 1.0));
+        let canon = service.canonical_departure(&late);
+        assert_eq!(service.bucket_of(canon), 12);
+        assert!(canon.0 < TimeOfDay::DAY && canon.0 >= 84_000.0);
+    }
+
+    #[test]
+    fn canonical_departure_stays_inside_its_bucket() {
+        let world = mini_world();
+        let service = RouteService::new(world, ServiceConfig::default());
+        // Probe both sides of midnight and a mid-day boundary.
+        for t in [0.0, 1.0, 899.9, 900.0, 43_200.0, 86_399.9] {
+            let req = Request::new(NodeId(0), NodeId(1), TimeOfDay::new(t));
+            let canon = service.canonical_departure(&req);
+            assert_eq!(
+                service.bucket_of(canon),
+                service.bucket_of(req.departure),
+                "canonicalisation must not move t={t} across buckets"
+            );
+        }
+        // The last (wrapping) bucket canonicalises to its own midpoint,
+        // which still lies strictly before midnight.
+        let last = Request::new(NodeId(0), NodeId(1), TimeOfDay::new(86_399.9));
+        let canon = service.canonical_departure(&last);
+        assert!(canon.0 < TimeOfDay::DAY);
+        assert_eq!(service.bucket_of(canon), 95);
+    }
+
+    #[test]
     fn batch_serving_matches_individual_handling() {
-        let w = mini_world();
-        let generator = CandidateGenerator::new(&w.city.graph, &w.trips.trips);
+        let world = mini_world();
         let cfg = ServiceConfig {
             workers: 4,
             ..ServiceConfig::strict_deterministic()
         };
         let requests: Vec<Request> = (0..40)
-            .map(|i| Request {
-                from: NodeId(i % 20),
-                to: NodeId(59 - (i % 17)),
-                departure: TimeOfDay::from_hours(7.0 + (i % 3) as f64),
+            .map(|i| {
+                Request::new(
+                    NodeId(i % 20),
+                    NodeId(59 - (i % 17)),
+                    TimeOfDay::from_hours(7.0 + (i % 3) as f64),
+                )
             })
             .filter(|r| r.from != r.to)
             .collect();
 
         // Sequential reference.
-        let seq_service = RouteService::new(&w.city.graph, &generator, cfg.clone());
-        let mut seq_resolver = MachineResolver::new(&w.city.graph, cfg.core.clone());
+        let seq_service = RouteService::new(Arc::clone(&world), cfg.clone());
+        let mut seq_resolver = MachineResolver::new(world.graph_arc(), cfg.core.clone());
         let expected: Vec<Path> = requests
             .iter()
             .map(|&r| seq_service.handle(r, &mut seq_resolver).unwrap().path)
             .collect();
 
         // Threaded run.
-        let service = RouteService::new(&w.city.graph, &generator, cfg.clone());
+        let service = RouteService::new(Arc::clone(&world), cfg.clone());
         let results = service.serve(&requests, |_| {
-            MachineResolver::new(&w.city.graph, cfg.core.clone())
+            MachineResolver::new(world.graph_arc(), cfg.core.clone())
         });
         assert_eq!(results.len(), requests.len());
         for (i, res) in results.iter().enumerate() {

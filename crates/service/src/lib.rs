@@ -1,59 +1,104 @@
-//! # cp-service — the concurrent recommendation-serving layer
+//! # cp-service — the multi-city, concurrent recommendation-serving layer
 //!
-//! The paper's pipeline (`cp-core`) resolves one request at a time
-//! against private state. A deployed CrowdPlanner faces thousands of
-//! concurrent requests against **one shared world**, and the request
-//! distribution is heavily skewed (commute corridors, rush hours). This
-//! crate is the front-end that exploits that skew:
+//! The paper's pipeline (`cp-core`) resolves one request at a time in
+//! one city against private state. A deployed CrowdPlanner faces an
+//! *open* stream of requests from many cities at once, heavily skewed
+//! (commute corridors, rush hours). This crate is the serving stack
+//! that exploits that skew, bottom to top:
 //!
+//! * [`World`] — one city's **owned** serving world (`Arc`-shared road
+//!   graph, trips and pre-built mining state; no lifetimes), registered
+//!   on a platform under a [`CityId`];
 //! * [`ShardedTruthStore`] — the shared verified-truth database, split
 //!   into per-shard `RwLock`-protected grid indexes keyed by origin /
-//!   destination cells and time buckets, so reads never contend with
-//!   each other and writes only touch one shard;
-//! * [`RouteService`] — the request executor: a `std::thread` +
-//!   channel fan-out where every request walks the serving ladder
-//!   *truth hit → single-flight dedup → candidate cache → resolution*;
+//!   destination cells and time buckets; **bounded**: per-shard entry
+//!   caps evict oldest-first and [`ShardedTruthStore::evict_older_than`]
+//!   ages out stale truths;
+//! * [`RouteService`] — the per-city executor: every request walks the
+//!   serving ladder *truth hit → single-flight dedup → candidate cache →
+//!   resolution*; [`RouteService::serve`] fans a closed batch across
+//!   scoped threads;
+//! * [`Platform`] — the front door: a resident worker pool over all
+//!   registered cities, a **bounded ingress queue** with admission
+//!   control ([`Platform::submit`] is non-blocking and returns
+//!   [`ServiceError::Busy`] when full), joinable/pollable [`Ticket`]s,
+//!   per-city plus exact aggregate statistics, and graceful draining
+//!   [`Platform::shutdown`];
 //! * [`FlightTable`] — single-flight deduplication of identical
 //!   in-flight `(OD, time-bucket)` requests (one resolution, shared
 //!   result — crucial when resolution spends crowd budget);
 //! * [`Lru`] — the bounded cache behind per-`(OD-cell, time-bucket)`
-//!   candidate-set memoisation;
+//!   candidate-set memoisation (per-key OD aliasing bounded by
+//!   [`ServiceConfig::cache_ods_per_key`]);
 //! * [`Resolver`] — pluggable miss handling: deterministic machine-only
-//!   ([`MachineResolver`]) or the full crowd pipeline
-//!   ([`CrowdResolver`], one planner per worker);
+//!   ([`MachineResolver`], owned and `'static` — the platform default)
+//!   or the full crowd pipeline ([`CrowdResolver`], one planner per
+//!   worker, closed-batch only);
 //! * [`ServiceStats`] — lock-free counters with truth/cache hit rates,
-//!   dedup counts and a latency summary.
+//!   dedup and eviction counts and a latency histogram that merges
+//!   exactly across cities.
 //!
-//! No external dependencies: the executor is built on `std::thread`,
+//! No external dependencies: everything is built on `std::thread`,
 //! `std::sync::mpsc` channels, `RwLock`/`Mutex`/`Condvar` and atomics.
+//!
+//! ## Migration from the borrowed batch executor
+//!
+//! Before this redesign `RouteService<'w>` borrowed its world and only
+//! exposed a closed-batch `serve(&[Request], make_resolver)`. Porting:
+//!
+//! * **world construction** — build an owned [`World`] once
+//!   (`Arc::new(World::new(graph, trips))`) instead of borrowing a
+//!   `CandidateGenerator`; `RouteService::new(world, cfg)` replaces
+//!   `RouteService::new(&graph, &generator, cfg)`;
+//! * **requests** — [`Request`] now carries a [`CityId`];
+//!   `Request::new(from, to, departure)` keeps single-city call sites
+//!   mechanical, `Request::to_city(..)` addresses a platform city;
+//! * **open submission** — replace `service.serve(&requests, …)` with
+//!   [`Platform::start`] + [`Platform::submit`] (non-blocking, admission
+//!   controlled) and join the returned [`Ticket`]s — or call
+//!   [`Platform::serve_batch`] for a drop-in closed-batch equivalent;
+//! * **resolvers** — [`MachineResolver::new`] now takes
+//!   `Arc<RoadGraph>` (see [`World::graph_arc`]) so resolvers can live
+//!   on the resident pool.
 //!
 //! ## Example
 //!
 //! ```
-//! use cp_mining::CandidateGenerator;
 //! use cp_roadnet::{generate_city, CityParams, NodeId};
-//! use cp_service::{MachineResolver, Request, RouteService, ServiceConfig};
+//! use cp_service::{Platform, PlatformConfig, Request, ServiceConfig, World};
 //! use cp_traj::{generate_trips, TimeOfDay, TripGenParams};
+//! use std::sync::Arc;
 //!
-//! let city = generate_city(&CityParams::small(), 7).unwrap();
-//! let trips = generate_trips(&city.graph, &TripGenParams::default(), 7).unwrap();
-//! let generator = CandidateGenerator::new(&city.graph, &trips.trips);
-//! let service = RouteService::new(&city.graph, &generator, ServiceConfig::default());
+//! // Two owned city worlds on one platform.
+//! let platform = Platform::start(PlatformConfig::default());
+//! let mut ids = Vec::new();
+//! for seed in [7, 11] {
+//!     let city = generate_city(&CityParams::small(), seed).unwrap();
+//!     let trips = generate_trips(&city.graph, &TripGenParams::default(), seed).unwrap();
+//!     ids.push(platform.register_city(
+//!         Arc::new(World::new(city.graph, trips.trips)),
+//!         ServiceConfig::default(),
+//!     ));
+//! }
 //!
-//! let requests: Vec<Request> = (1..20)
-//!     .map(|i| Request {
-//!         from: NodeId(i),
-//!         to: NodeId(59 - i % 7),
-//!         departure: TimeOfDay::from_hours(8.0),
+//! // Open submission: non-blocking tickets, joined out of order.
+//! let tickets: Vec<_> = ids
+//!     .iter()
+//!     .flat_map(|&id| {
+//!         (1..10).map(move |i| {
+//!             Request::to_city(id, NodeId(i), NodeId(59 - i % 7), TimeOfDay::from_hours(8.0))
+//!         })
 //!     })
+//!     .map(|req| platform.submit(req).unwrap())
 //!     .collect();
-//! let core = service.config().core.clone();
-//! let results = service.serve(&requests, |_worker| {
-//!     MachineResolver::new(&city.graph, core.clone())
-//! });
-//! assert!(results.iter().all(|r| r.is_ok()));
-//! let stats = service.stats();
-//! assert!(stats.is_consistent());
+//! for ticket in tickets {
+//!     assert!(ticket.wait().is_ok());
+//! }
+//!
+//! let snap = platform.stats();
+//! assert!(snap.is_consistent() && snap.aggregate.is_consistent());
+//! assert_eq!(snap.aggregate.requests, 18);
+//! platform.shutdown();
 //! ```
 
 #![warn(missing_docs)]
@@ -61,15 +106,19 @@
 pub mod cache;
 pub mod error;
 pub mod executor;
+pub mod platform;
 pub mod resolver;
 pub mod singleflight;
 pub mod stats;
 pub mod store;
+pub mod world;
 
 pub use cache::Lru;
 pub use error::ServiceError;
 pub use executor::{Request, RequestKey, RouteService, Served, ServedRoute, ServiceConfig};
+pub use platform::{Platform, PlatformConfig, PlatformSnapshot, Ticket};
 pub use resolver::{CrowdResolver, MachineResolver, Resolved, Resolver};
 pub use singleflight::{FlightTable, Join, LeaderToken};
 pub use stats::{LatencySummary, ServiceStats, StatsSnapshot};
 pub use store::ShardedTruthStore;
+pub use world::{CityId, World};

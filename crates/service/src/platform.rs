@@ -1,0 +1,801 @@
+//! The multi-city serving platform: resident workers, bounded ingress,
+//! submit/poll tickets.
+//!
+//! [`RouteService`] serves one city and only in closed batches; a
+//! deployed CrowdPlanner faces an *open* stream of requests spread over
+//! many cities. [`Platform`] is the front door:
+//!
+//! * **owned worlds** — each city is an `Arc<World>` registered under a
+//!   [`CityId`]; the platform owns a full per-city service instance
+//!   (truth shards, candidate LRU, flight table, stats), so cities never
+//!   contend with each other on anything but CPU;
+//! * **resident worker pool** — [`Platform::start`] spawns N
+//!   `std::thread` workers that live until [`Platform::shutdown`]; each
+//!   worker lazily builds one resolver per city from the city's
+//!   registered factory and keeps it across requests;
+//! * **bounded ingress + admission control** — [`Platform::submit`] is
+//!   non-blocking: it enqueues and returns a [`Ticket`], or rejects with
+//!   [`ServiceError::Busy`] when the queue is full (shed load instead of
+//!   collapsing under it). [`Platform::submit_blocking`] waits for space
+//!   instead;
+//! * **joinable, pollable tickets** — [`Ticket::wait`] blocks for the
+//!   result, [`Ticket::try_wait`] polls without blocking, and
+//!   [`Ticket::latency`] reports the submit→completion sojourn time
+//!   (queue wait + service time — the number an open-loop load generator
+//!   needs);
+//! * **graceful shutdown** — [`Platform::shutdown`] stops admissions,
+//!   drains every queued job (each admitted ticket resolves exactly
+//!   once), and joins the workers. Dropping the platform does the same.
+//!
+//! ```
+//! use cp_roadnet::{generate_city, CityParams, NodeId};
+//! use cp_service::{Platform, PlatformConfig, Request, ServiceConfig, World};
+//! use cp_traj::{generate_trips, TimeOfDay, TripGenParams};
+//! use std::sync::Arc;
+//!
+//! let city = generate_city(&CityParams::small(), 7).unwrap();
+//! let trips = generate_trips(&city.graph, &TripGenParams::default(), 7).unwrap();
+//! let platform = Platform::start(PlatformConfig::default());
+//! let id = platform.register_city(
+//!     Arc::new(World::new(city.graph, trips.trips)),
+//!     ServiceConfig::default(),
+//! );
+//! let ticket = platform
+//!     .submit(Request::to_city(id, NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0)))
+//!     .unwrap();
+//! let served = ticket.wait().unwrap();
+//! assert_eq!(served.path.source(), NodeId(0));
+//! platform.shutdown();
+//! ```
+
+use crate::error::ServiceError;
+use crate::executor::{Request, RouteService, ServedRoute, ServiceConfig};
+use crate::resolver::{MachineResolver, Resolver};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use crate::world::{CityId, World};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Platform-level configuration (per-city serving behaviour lives in
+/// each city's [`ServiceConfig`]).
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Resident worker threads shared by all cities.
+    pub workers: usize,
+    /// Bounded ingress queue capacity; a full queue makes
+    /// [`Platform::submit`] reject with [`ServiceError::Busy`].
+    pub queue_capacity: usize,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            workers: 4,
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// A resolver factory: builds worker-local resolvers for one city
+/// (`worker_index` → boxed resolver). Resolvers on the resident pool
+/// must be `'static` and `Send`; see [`MachineResolver`].
+type ResolverFactory = Box<dyn Fn(usize) -> Box<dyn Resolver + Send> + Send + Sync>;
+
+/// One registered city: its service instance plus the factory workers
+/// use to build their per-city resolvers.
+struct CityState {
+    service: Arc<RouteService>,
+    factory: ResolverFactory,
+}
+
+/// One admitted request waiting for a worker.
+struct Job {
+    city_idx: usize,
+    req: Request,
+    slot: Arc<TicketSlot>,
+}
+
+/// The bounded ingress queue plus the drain flag, under one mutex.
+struct Ingress {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+/// State shared between the platform handle and its workers.
+struct Inner {
+    cfg: PlatformConfig,
+    cities: RwLock<Vec<Arc<CityState>>>,
+    queue: Mutex<Ingress>,
+    /// Signalled when a job is enqueued or draining starts.
+    not_empty: Condvar,
+    /// Signalled when a job is dequeued or draining starts.
+    not_full: Condvar,
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected_busy: AtomicU64,
+    rejected_unknown_city: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// Point-in-time platform statistics: admission counters plus the exact
+/// aggregate of every city's service statistics.
+#[derive(Debug, Clone)]
+pub struct PlatformSnapshot {
+    /// Submission attempts (admitted + all rejections).
+    pub submitted: u64,
+    /// Requests admitted into the ingress queue.
+    pub admitted: u64,
+    /// Rejections because the queue was full.
+    pub rejected_busy: u64,
+    /// Rejections because the request named an unregistered city.
+    pub rejected_unknown_city: u64,
+    /// Rejections because the platform was shutting down.
+    pub rejected_shutdown: u64,
+    /// Tickets fulfilled by workers.
+    pub completed: u64,
+    /// Registered cities.
+    pub cities: usize,
+    /// Jobs currently waiting in the ingress queue.
+    pub queue_depth: usize,
+    /// Exact merge of all per-city service statistics (latency
+    /// percentiles come from the merged histogram).
+    pub aggregate: StatsSnapshot,
+}
+
+impl PlatformSnapshot {
+    /// The admission accounting invariant: every submission was either
+    /// admitted or rejected for exactly one reason.
+    pub fn is_consistent(&self) -> bool {
+        self.admitted + self.rejected_busy + self.rejected_unknown_city + self.rejected_shutdown
+            == self.submitted
+    }
+}
+
+/// State of one submitted request, shared between its [`Ticket`] and the
+/// worker that fulfils it.
+struct TicketSlot {
+    state: Mutex<Option<Result<ServedRoute, ServiceError>>>,
+    done: Condvar,
+    submitted_at: Instant,
+    /// Submit→completion sojourn in nanoseconds; 0 while pending (a
+    /// fulfilled ticket always stores ≥ 1).
+    sojourn_ns: AtomicU64,
+}
+
+impl TicketSlot {
+    fn fulfill(&self, result: Result<ServedRoute, ServiceError>) {
+        let ns = self
+            .submitted_at
+            .elapsed()
+            .as_nanos()
+            .clamp(1, u64::MAX as u128) as u64;
+        let mut state = self.state.lock().expect("ticket poisoned");
+        debug_assert!(state.is_none(), "a ticket resolves exactly once");
+        *state = Some(result);
+        self.sojourn_ns.store(ns, Ordering::Release);
+        self.done.notify_all();
+    }
+}
+
+/// A handle to one submitted request.
+///
+/// Join it with [`Ticket::wait`] (blocking) or poll it with
+/// [`Ticket::try_wait`]; either way the result is produced exactly once
+/// by the worker that served the request. Dropping a ticket abandons the
+/// result but never the work — the request still runs and feeds the
+/// city's truth store.
+pub struct Ticket {
+    city: CityId,
+    slot: Arc<TicketSlot>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("city", &self.city)
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// The city the request was routed to.
+    pub fn city(&self) -> CityId {
+        self.city
+    }
+
+    /// Blocks until the request completes and returns its result.
+    pub fn wait(self) -> Result<ServedRoute, ServiceError> {
+        let mut state = self.slot.state.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            state = self.slot.done.wait(state).expect("ticket poisoned");
+        }
+    }
+
+    /// Polls without blocking: `None` while the request is in flight,
+    /// the (cloned) result once it completed.
+    pub fn try_wait(&self) -> Option<Result<ServedRoute, ServiceError>> {
+        self.slot.state.lock().expect("ticket poisoned").clone()
+    }
+
+    /// Whether the request has completed.
+    pub fn is_done(&self) -> bool {
+        self.slot.sojourn_ns.load(Ordering::Acquire) != 0
+    }
+
+    /// Submit→completion sojourn time (queue wait + service time), once
+    /// the request completed; `None` while in flight.
+    pub fn latency(&self) -> Option<Duration> {
+        match self.slot.sojourn_ns.load(Ordering::Acquire) {
+            0 => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+}
+
+/// The owned, `Arc`-shareable multi-city serving platform.
+///
+/// See the [module docs](self) for the full design; in short: register
+/// worlds, [`submit`](Platform::submit) requests, join
+/// [`Ticket`]s, [`shutdown`](Platform::shutdown) when done.
+pub struct Platform {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Platform {
+    /// Spawns the resident worker pool and returns the running platform
+    /// (with no cities yet — register at least one before submitting).
+    pub fn start(cfg: PlatformConfig) -> Platform {
+        let inner = Arc::new(Inner {
+            cfg: PlatformConfig {
+                workers: cfg.workers.max(1),
+                queue_capacity: cfg.queue_capacity.max(1),
+            },
+            cities: RwLock::new(Vec::new()),
+            queue: Mutex::new(Ingress {
+                jobs: VecDeque::new(),
+                draining: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            rejected_unknown_city: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        let workers = (0..inner.cfg.workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("cp-platform-{w}"))
+                    .spawn(move || worker_loop(&inner, w))
+                    .expect("spawning a platform worker")
+            })
+            .collect();
+        Platform {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Registers a city with machine-only resolution (deterministic, the
+    /// right default for throughput serving). Returns its [`CityId`].
+    pub fn register_city(&self, world: Arc<World>, cfg: ServiceConfig) -> CityId {
+        let graph = world.graph_arc();
+        let core = cfg.core.clone();
+        self.register_city_with(world, cfg, move |_worker| {
+            MachineResolver::new(Arc::clone(&graph), core.clone())
+        })
+    }
+
+    /// Registers a city with a custom per-worker resolver factory.
+    /// Workers build one resolver per city lazily and keep it across
+    /// requests.
+    pub fn register_city_with<R, F>(
+        &self,
+        world: Arc<World>,
+        cfg: ServiceConfig,
+        factory: F,
+    ) -> CityId
+    where
+        R: Resolver + Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        let state = Arc::new(CityState {
+            service: Arc::new(RouteService::new(world, cfg)),
+            factory: Box::new(move |w| Box::new(factory(w)) as Box<dyn Resolver + Send>),
+        });
+        let mut cities = self.inner.cities.write().expect("city registry poisoned");
+        cities.push(state);
+        CityId((cities.len() - 1) as u32)
+    }
+
+    /// Number of registered cities.
+    pub fn city_count(&self) -> usize {
+        self.inner
+            .cities
+            .read()
+            .expect("city registry poisoned")
+            .len()
+    }
+
+    /// The per-city service instance (its truth store, stats, config),
+    /// or `None` for an unregistered id.
+    pub fn city_service(&self, city: CityId) -> Option<Arc<RouteService>> {
+        self.inner
+            .cities
+            .read()
+            .expect("city registry poisoned")
+            .get(city.index())
+            .map(|c| Arc::clone(&c.service))
+    }
+
+    /// A city's statistics snapshot, or `None` for an unregistered id.
+    pub fn city_stats(&self, city: CityId) -> Option<StatsSnapshot> {
+        self.city_service(city).map(|s| s.stats())
+    }
+
+    /// Non-blocking submission: enqueues the request and returns a
+    /// joinable [`Ticket`], or rejects immediately with
+    /// [`ServiceError::Busy`] (queue full — back off and resubmit),
+    /// [`ServiceError::UnknownCity`] or [`ServiceError::ShuttingDown`].
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServiceError> {
+        self.submit_inner(req, false)
+    }
+
+    /// Like [`Platform::submit`] but waits for queue space instead of
+    /// rejecting with `Busy` (it still rejects unknown cities and a
+    /// shutting-down platform).
+    pub fn submit_blocking(&self, req: Request) -> Result<Ticket, ServiceError> {
+        self.submit_inner(req, true)
+    }
+
+    fn submit_inner(&self, req: Request, block_on_full: bool) -> Result<Ticket, ServiceError> {
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let city_idx = req.city.index();
+        {
+            let cities = self.inner.cities.read().expect("city registry poisoned");
+            if city_idx >= cities.len() {
+                self.inner
+                    .rejected_unknown_city
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::UnknownCity(req.city));
+            }
+        }
+        let mut q = self.inner.queue.lock().expect("ingress queue poisoned");
+        loop {
+            if q.draining {
+                self.inner.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::ShuttingDown);
+            }
+            if q.jobs.len() < self.inner.cfg.queue_capacity {
+                break;
+            }
+            if !block_on_full {
+                self.inner.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Busy);
+            }
+            q = self.inner.not_full.wait(q).expect("ingress queue poisoned");
+        }
+        let slot = Arc::new(TicketSlot {
+            state: Mutex::new(None),
+            done: Condvar::new(),
+            submitted_at: Instant::now(),
+            sojourn_ns: AtomicU64::new(0),
+        });
+        q.jobs.push_back(Job {
+            city_idx,
+            req,
+            slot: Arc::clone(&slot),
+        });
+        self.inner.admitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.not_empty.notify_one();
+        Ok(Ticket {
+            city: req.city,
+            slot,
+        })
+    }
+
+    /// Closed-batch convenience wrapper over submit/join: submits every
+    /// request (waiting for queue space, so batches larger than the
+    /// queue are fine) and returns results in request order. This is the
+    /// mechanical port target for the old borrowed
+    /// `RouteService::serve(&requests, …)` call sites.
+    pub fn serve_batch(&self, requests: &[Request]) -> Vec<Result<ServedRoute, ServiceError>> {
+        let tickets: Vec<Result<Ticket, ServiceError>> = requests
+            .iter()
+            .map(|&req| self.submit_blocking(req))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| t.and_then(Ticket::wait))
+            .collect()
+    }
+
+    /// Point-in-time platform statistics (admission counters + the exact
+    /// per-city aggregate).
+    pub fn stats(&self) -> PlatformSnapshot {
+        let cities = self.inner.cities.read().expect("city registry poisoned");
+        let agg = ServiceStats::new();
+        let mut truth_evictions = 0u64;
+        for city in cities.iter() {
+            agg.absorb(city.service.raw_stats());
+            truth_evictions += city.service.truths().evicted();
+        }
+        let mut aggregate = agg.snapshot();
+        aggregate.truth_evictions = truth_evictions;
+        let queue_depth = self
+            .inner
+            .queue
+            .lock()
+            .expect("ingress queue poisoned")
+            .jobs
+            .len();
+        PlatformSnapshot {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            admitted: self.inner.admitted.load(Ordering::Relaxed),
+            rejected_busy: self.inner.rejected_busy.load(Ordering::Relaxed),
+            rejected_unknown_city: self.inner.rejected_unknown_city.load(Ordering::Relaxed),
+            rejected_shutdown: self.inner.rejected_shutdown.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            cities: cities.len(),
+            queue_depth,
+            aggregate,
+        }
+    }
+
+    /// Stops admissions, drains every queued job (each admitted ticket
+    /// resolves exactly once) and joins the worker pool. Idempotent;
+    /// dropping the platform without calling this does the same.
+    pub fn shutdown(self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&self) {
+        {
+            let mut q = self.inner.queue.lock().expect("ingress queue poisoned");
+            q.draining = true;
+            self.inner.not_empty.notify_all();
+            self.inner.not_full.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Platform {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("cities", &self.city_count())
+            .field("workers", &self.inner.cfg.workers)
+            .field("queue_capacity", &self.inner.cfg.queue_capacity)
+            .finish()
+    }
+}
+
+/// The resident worker: pop a job, route it to its city's service with
+/// this worker's cached per-city resolver, fulfil the ticket. Exits once
+/// draining is set and the queue is empty — never before, so every
+/// admitted ticket is resolved exactly once. A panicking resolver is
+/// contained: the ticket resolves with [`ServiceError::ResolverPanicked`],
+/// the panicked resolver is discarded (rebuilt from the factory on the
+/// city's next request) and the worker keeps serving — a panic can never
+/// strand tickets or shrink the pool.
+fn worker_loop(inner: &Inner, worker_idx: usize) {
+    let mut resolvers: Vec<Option<Box<dyn Resolver + Send>>> = Vec::new();
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().expect("ingress queue poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    inner.not_full.notify_one();
+                    break Some(job);
+                }
+                if q.draining {
+                    break None;
+                }
+                q = inner.not_empty.wait(q).expect("ingress queue poisoned");
+            }
+        };
+        let Some(job) = job else { break };
+        let city = {
+            let cities = inner.cities.read().expect("city registry poisoned");
+            Arc::clone(&cities[job.city_idx])
+        };
+        if resolvers.len() <= job.city_idx {
+            resolvers.resize_with(job.city_idx + 1, || None);
+        }
+        let resolver = resolvers[job.city_idx].get_or_insert_with(|| (city.factory)(worker_idx));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            city.service.handle(job.req, resolver)
+        }))
+        .unwrap_or_else(|_| {
+            // The resolver may have been left mid-mutation; drop it and
+            // rebuild lazily. The request was counted on entry to
+            // `handle`, so book the missing outcome as an error.
+            resolvers[job.city_idx] = None;
+            city.service.note_panicked_request();
+            Err(ServiceError::ResolverPanicked)
+        });
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        job.slot.fulfill(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_roadnet::{generate_city, CityParams, NodeId};
+    use cp_traj::{generate_trips, TimeOfDay, TripGenParams};
+
+    fn mini_world(seed: u64) -> Arc<World> {
+        let city = generate_city(&CityParams::small(), seed).unwrap();
+        let trips = generate_trips(&city.graph, &TripGenParams::default(), seed).unwrap();
+        Arc::new(World::new(city.graph, trips.trips))
+    }
+
+    #[test]
+    fn platform_is_send_sync_and_tickets_are_send() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<Platform>();
+        assert_send::<Ticket>();
+    }
+
+    #[test]
+    fn submit_wait_round_trip_and_stats() {
+        let platform = Platform::start(PlatformConfig {
+            workers: 2,
+            queue_capacity: 64,
+        });
+        let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        assert_eq!(id, CityId(0));
+        let ticket = platform
+            .submit(Request::to_city(
+                id,
+                NodeId(0),
+                NodeId(59),
+                TimeOfDay::from_hours(8.0),
+            ))
+            .unwrap();
+        assert_eq!(ticket.city(), id);
+        let served = ticket.wait().unwrap();
+        assert_eq!(served.path.source(), NodeId(0));
+        assert_eq!(served.path.destination(), NodeId(59));
+        let snap = platform.stats();
+        assert!(snap.is_consistent());
+        assert_eq!(snap.submitted, 1);
+        assert_eq!(snap.admitted, 1);
+        assert_eq!(snap.cities, 1);
+        platform.shutdown();
+    }
+
+    #[test]
+    fn try_wait_polls_and_latency_reports_after_completion() {
+        let platform = Platform::start(PlatformConfig::default());
+        let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        let ticket = platform
+            .submit(Request::to_city(
+                id,
+                NodeId(3),
+                NodeId(55),
+                TimeOfDay::from_hours(9.0),
+            ))
+            .unwrap();
+        // Poll until done (the worker may or may not have finished yet —
+        // both `None` and `Some` are legal while we spin).
+        let result = loop {
+            if let Some(result) = ticket.try_wait() {
+                break result;
+            }
+            std::thread::yield_now();
+        };
+        assert!(result.is_ok());
+        assert!(ticket.is_done());
+        let lat = ticket.latency().expect("completed tickets report latency");
+        assert!(lat > Duration::ZERO);
+        // try_wait clones; wait still yields the result afterwards.
+        assert!(ticket.wait().is_ok());
+        platform.shutdown();
+    }
+
+    #[test]
+    fn unknown_city_is_rejected_without_enqueueing() {
+        let platform = Platform::start(PlatformConfig::default());
+        let err = platform
+            .submit(Request::to_city(
+                CityId(5),
+                NodeId(0),
+                NodeId(1),
+                TimeOfDay::from_hours(8.0),
+            ))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::UnknownCity(CityId(5)));
+        let snap = platform.stats();
+        assert_eq!(snap.rejected_unknown_city, 1);
+        assert_eq!(snap.admitted, 0);
+        assert!(snap.is_consistent());
+        platform.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        // One worker behind a 1-slot queue, hammered with non-blocking
+        // submits: resolution takes far longer than enqueueing, so some
+        // submits must find the queue full and shed.
+        let platform = Platform::start(PlatformConfig {
+            workers: 1,
+            queue_capacity: 1,
+        });
+        let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        let mut busy = 0u32;
+        let mut tickets = Vec::new();
+        for i in 0..200u32 {
+            let req = Request::to_city(
+                id,
+                NodeId(i % 20),
+                NodeId(59 - (i % 13)),
+                TimeOfDay::from_hours(8.0),
+            );
+            match platform.submit(req) {
+                Ok(t) => tickets.push(t),
+                Err(ServiceError::Busy) => busy += 1,
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+        }
+        assert!(busy > 0, "a 1-slot queue under burst load must shed");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let snap = platform.stats();
+        assert_eq!(snap.rejected_busy, busy as u64);
+        assert!(snap.is_consistent());
+        platform.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_and_rejects_new_work() {
+        let platform = Platform::start(PlatformConfig {
+            workers: 2,
+            queue_capacity: 128,
+        });
+        let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        let tickets: Vec<Ticket> = (0..50u32)
+            .map(|i| {
+                platform
+                    .submit_blocking(Request::to_city(
+                        id,
+                        NodeId(i % 20),
+                        NodeId(59 - (i % 13)),
+                        TimeOfDay::from_hours(8.0),
+                    ))
+                    .unwrap()
+            })
+            .collect();
+        let snap_before = platform.stats();
+        assert_eq!(snap_before.admitted, 50);
+        platform.shutdown();
+        // Every admitted ticket resolved exactly once.
+        for t in &tickets {
+            assert!(t.is_done(), "shutdown must drain all admitted tickets");
+            assert!(t.try_wait().unwrap().is_ok());
+        }
+    }
+
+    #[test]
+    fn panicking_resolver_fails_its_ticket_but_not_the_platform() {
+        use crate::resolver::Resolved;
+        use cp_mining::CandidateRoute;
+
+        /// Panics on one poisoned origin, resolves normally otherwise.
+        struct Panicky(MachineResolver);
+        impl Resolver for Panicky {
+            fn resolve(
+                &mut self,
+                from: NodeId,
+                to: NodeId,
+                departure: TimeOfDay,
+                candidates: &[CandidateRoute],
+            ) -> Result<Resolved, ServiceError> {
+                assert!(from != NodeId(13), "poisoned request");
+                self.0.resolve(from, to, departure, candidates)
+            }
+        }
+
+        let world = mini_world(7);
+        let platform = Platform::start(PlatformConfig {
+            workers: 1,
+            queue_capacity: 16,
+        });
+        let cfg = ServiceConfig::strict_deterministic();
+        let core = cfg.core.clone();
+        let graph = world.graph_arc();
+        let id = platform.register_city_with(Arc::clone(&world), cfg, move |_| {
+            Panicky(MachineResolver::new(Arc::clone(&graph), core.clone()))
+        });
+
+        let poisoned = platform
+            .submit(Request::to_city(
+                id,
+                NodeId(13),
+                NodeId(59),
+                TimeOfDay::from_hours(8.0),
+            ))
+            .unwrap();
+        assert!(matches!(
+            poisoned.wait(),
+            Err(ServiceError::ResolverPanicked)
+        ));
+
+        // The single worker survived: later requests still serve, so a
+        // panic can neither strand tickets nor shrink the pool.
+        let healthy = platform
+            .submit(Request::to_city(
+                id,
+                NodeId(0),
+                NodeId(59),
+                TimeOfDay::from_hours(8.0),
+            ))
+            .unwrap();
+        assert!(healthy.wait().is_ok());
+
+        let snap = platform.city_stats(id).unwrap();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.errors, 1);
+        assert!(snap.is_consistent(), "{snap:?}");
+        platform.shutdown();
+    }
+
+    #[test]
+    fn second_city_routes_independently() {
+        let platform = Platform::start(PlatformConfig::default());
+        let a = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        let b = platform.register_city(mini_world(11), ServiceConfig::strict_deterministic());
+        assert_ne!(a, b);
+        assert_eq!(platform.city_count(), 2);
+        let ta = platform
+            .submit(Request::to_city(
+                a,
+                NodeId(0),
+                NodeId(59),
+                TimeOfDay::from_hours(8.0),
+            ))
+            .unwrap();
+        let tb = platform
+            .submit(Request::to_city(
+                b,
+                NodeId(0),
+                NodeId(59),
+                TimeOfDay::from_hours(8.0),
+            ))
+            .unwrap();
+        ta.wait().unwrap();
+        tb.wait().unwrap();
+        let sa = platform.city_stats(a).unwrap();
+        let sb = platform.city_stats(b).unwrap();
+        assert_eq!(sa.requests, 1);
+        assert_eq!(sb.requests, 1);
+        assert!(sa.is_consistent() && sb.is_consistent());
+        let agg = platform.stats().aggregate;
+        assert_eq!(agg.requests, 2);
+        platform.shutdown();
+    }
+}

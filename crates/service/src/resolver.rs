@@ -23,6 +23,7 @@ use cp_core::{
 use cp_mining::CandidateRoute;
 use cp_roadnet::{LandmarkId, NodeId, Path, RoadGraph};
 use cp_traj::TimeOfDay;
+use std::sync::Arc;
 
 /// A freshly resolved route.
 #[derive(Debug, Clone)]
@@ -49,13 +50,31 @@ pub trait Resolver {
     ) -> Result<Resolved, ServiceError>;
 }
 
+/// Boxed resolvers resolve by delegation, so trait objects (the
+/// platform's worker-local `Box<dyn Resolver + Send>`) plug into the
+/// same generic executor paths as concrete resolvers.
+impl<R: Resolver + ?Sized> Resolver for Box<R> {
+    fn resolve(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+        candidates: &[CandidateRoute],
+    ) -> Result<Resolved, ServiceError> {
+        (**self).resolve(from, to, departure, candidates)
+    }
+}
+
 /// Machine-only resolution: agreement, else best machine guess ranked by
 /// the paper-prior source reliability. Deterministic: identical inputs
 /// always produce identical routes, independent of call order or thread
 /// interleaving.
+///
+/// Owns its graph handle (`Arc<RoadGraph>`), so it is `'static` and can
+/// live on a resident platform worker as easily as on a caller's stack.
 #[derive(Debug)]
-pub struct MachineResolver<'w> {
-    graph: &'w RoadGraph,
+pub struct MachineResolver {
+    graph: Arc<RoadGraph>,
     cfg: Config,
     /// Evaluation runs against an empty store so the outcome cannot
     /// depend on mutable shared state (the executor's *sharded* store
@@ -64,10 +83,10 @@ pub struct MachineResolver<'w> {
     priors: SourceReliability,
 }
 
-impl<'w> MachineResolver<'w> {
-    /// Creates a resolver over the world's graph with the given
-    /// thresholds.
-    pub fn new(graph: &'w RoadGraph, cfg: Config) -> Self {
+impl MachineResolver {
+    /// Creates a resolver over a shared graph handle with the given
+    /// thresholds (see [`World::graph_arc`](crate::World::graph_arc)).
+    pub fn new(graph: Arc<RoadGraph>, cfg: Config) -> Self {
         MachineResolver {
             graph,
             cfg,
@@ -77,7 +96,7 @@ impl<'w> MachineResolver<'w> {
     }
 }
 
-impl Resolver for MachineResolver<'_> {
+impl Resolver for MachineResolver {
     fn resolve(
         &mut self,
         from: NodeId,
@@ -88,7 +107,14 @@ impl Resolver for MachineResolver<'_> {
         if candidates.is_empty() {
             return Err(ServiceError::NoCandidates);
         }
-        match evaluate_candidates(self.graph, candidates, &self.no_truths, from, to, &self.cfg) {
+        match evaluate_candidates(
+            &self.graph,
+            candidates,
+            &self.no_truths,
+            from,
+            to,
+            &self.cfg,
+        ) {
             Evaluation::Agreement { path, supporters } => Ok(Resolved {
                 path,
                 resolution: Resolution::Agreement,
@@ -127,6 +153,12 @@ impl Resolver for MachineResolver<'_> {
 /// per worker thread), with the crowd's latent knowledge supplied by an
 /// oracle factory: `oracle_for(from, to)` returns the per-request
 /// "does the best route pass landmark l?" closure.
+///
+/// `CrowdPlanner` still borrows its world, so this resolver is
+/// lifetime-bound: use it with the closed-batch
+/// [`RouteService::serve`](crate::RouteService::serve) (scoped threads),
+/// not with the resident [`Platform`](crate::Platform) pool, which
+/// requires `'static` resolvers.
 pub struct CrowdResolver<'w, F> {
     planner: CrowdPlanner<'w>,
     oracle_for: F,
@@ -188,8 +220,9 @@ mod tests {
         let city = generate_city(&CityParams::small(), 7).unwrap();
         let trips = generate_trips(&city.graph, &TripGenParams::default(), 7).unwrap();
         let generator = CandidateGenerator::new(&city.graph, &trips.trips);
-        let mut r1 = MachineResolver::new(&city.graph, Config::default());
-        let mut r2 = MachineResolver::new(&city.graph, Config::default());
+        let graph = Arc::new(city.graph.clone());
+        let mut r1 = MachineResolver::new(Arc::clone(&graph), Config::default());
+        let mut r2 = MachineResolver::new(Arc::clone(&graph), Config::default());
         let dep = TimeOfDay::from_hours(8.0);
         for (a, b) in [(0u32, 59u32), (5, 54), (12, 47)] {
             let cands = generator.candidates(NodeId(a), NodeId(b), dep);
@@ -209,7 +242,7 @@ mod tests {
     #[test]
     fn machine_resolver_rejects_empty_candidates() {
         let city = generate_city(&CityParams::small(), 7).unwrap();
-        let mut r = MachineResolver::new(&city.graph, Config::default());
+        let mut r = MachineResolver::new(Arc::new(city.graph), Config::default());
         assert!(matches!(
             r.resolve(NodeId(0), NodeId(1), TimeOfDay::from_hours(8.0), &[]),
             Err(ServiceError::NoCandidates)

@@ -32,6 +32,9 @@ pub struct ServiceStats {
     cache_hits: AtomicU64,
     /// Candidate-cache misses (mining performed).
     cache_misses: AtomicU64,
+    /// Per-key OD entries evicted from the candidate cache (aliasing
+    /// OD pairs competing for one cell-bucket key).
+    cache_od_evictions: AtomicU64,
     // Latency (nanoseconds), over *all* served requests.
     lat_count: AtomicU64,
     lat_sum_ns: AtomicU64,
@@ -74,6 +77,38 @@ impl ServiceStats {
 
     pub(crate) fn inc_cache_misses(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_cache_od_evictions(&self) {
+        self.cache_od_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds `other`'s counters into `self` (latency histograms add
+    /// bucket-wise, extrema widen). The platform uses this to aggregate
+    /// per-city statistics into one exact platform-wide snapshot —
+    /// percentiles are computed from the merged histogram, not
+    /// approximated from per-city percentiles.
+    pub fn absorb(&self, other: &ServiceStats) {
+        let add = |dst: &AtomicU64, src: &AtomicU64| {
+            dst.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        };
+        add(&self.requests, &other.requests);
+        add(&self.truth_hits, &other.truth_hits);
+        add(&self.dedup_hits, &other.dedup_hits);
+        add(&self.resolved, &other.resolved);
+        add(&self.errors, &other.errors);
+        add(&self.cache_hits, &other.cache_hits);
+        add(&self.cache_misses, &other.cache_misses);
+        add(&self.cache_od_evictions, &other.cache_od_evictions);
+        add(&self.lat_count, &other.lat_count);
+        add(&self.lat_sum_ns, &other.lat_sum_ns);
+        self.lat_min_ns
+            .fetch_min(other.lat_min_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.lat_max_ns
+            .fetch_max(other.lat_max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (dst, src) in self.lat_buckets.iter().zip(&other.lat_buckets) {
+            add(dst, src);
+        }
     }
 
     /// Records one request's wall-clock service time.
@@ -120,6 +155,12 @@ impl ServiceStats {
             errors: self.errors.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            // The truth store is the single source of eviction counts;
+            // the owning service overwrites this from it (see
+            // `RouteService::stats`). Raw counters stay zero so two
+            // layers can never drift apart.
+            truth_evictions: 0,
+            cache_od_evictions: self.cache_od_evictions.load(Ordering::Relaxed),
             latency: LatencySummary {
                 count,
                 mean: Duration::from_nanos(sum.checked_div(count).unwrap_or(0)),
@@ -174,6 +215,13 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Candidate-cache misses.
     pub cache_misses: u64,
+    /// Truths evicted from the sharded store (capacity or age). Sourced
+    /// from [`ShardedTruthStore::evicted`](crate::ShardedTruthStore::evicted)
+    /// by the owning service, so direct store-level evictions are never
+    /// under-reported.
+    pub truth_evictions: u64,
+    /// Per-key OD entries evicted from the candidate cache.
+    pub cache_od_evictions: u64,
     /// Service-time distribution.
     pub latency: LatencySummary,
 }
@@ -253,6 +301,38 @@ mod tests {
         assert_eq!(snap.truth_hit_rate(), 0.0);
         assert_eq!(snap.latency.count, 0);
         assert_eq!(snap.latency.min, Duration::ZERO);
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_latency_exactly() {
+        let a = ServiceStats::new();
+        let b = ServiceStats::new();
+        for _ in 0..3 {
+            a.inc_requests();
+            a.inc_truth_hits();
+            a.record_latency(Duration::from_micros(10));
+        }
+        for _ in 0..2 {
+            b.inc_requests();
+            b.inc_resolved();
+            b.record_latency(Duration::from_micros(5000));
+        }
+        b.inc_cache_od_evictions();
+        let total = ServiceStats::new();
+        total.absorb(&a);
+        total.absorb(&b);
+        let snap = total.snapshot();
+        assert_eq!(snap.requests, 5);
+        assert_eq!(snap.truth_hits, 3);
+        assert_eq!(snap.resolved, 2);
+        assert_eq!(snap.cache_od_evictions, 1);
+        assert!(snap.is_consistent());
+        assert_eq!(snap.latency.count, 5);
+        assert_eq!(snap.latency.min, Duration::from_micros(10));
+        assert_eq!(snap.latency.max, Duration::from_micros(5000));
+        // Merged histogram: p50 comes from the fast city's bucket, not
+        // an average of per-city percentiles.
+        assert!(snap.latency.p50 < Duration::from_micros(5000));
     }
 
     #[test]

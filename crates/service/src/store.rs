@@ -22,14 +22,27 @@ use cp_roadnet::{NodeId, Point, RoadGraph};
 use cp_traj::TimeOfDay;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+use std::time::{Duration, Instant};
 
-/// One shard: a grid-indexed store plus the global sequence number of
-/// each entry (parallel to the store's dense ids) for cross-shard
-/// tie-breaks.
+/// One shard: a grid-indexed store plus, parallel to its dense entry
+/// ids, the global sequence number of each entry (for cross-shard
+/// tie-breaks) and its insertion instant (for age-based eviction).
 #[derive(Debug)]
 struct Shard {
     store: TruthStore,
     seqs: Vec<u64>,
+    inserted: Vec<Instant>,
+}
+
+impl Shard {
+    /// Evicts the `k` oldest entries, keeping the parallel vectors in
+    /// sync with the store's re-densified ids.
+    fn evict_oldest(&mut self, k: usize) -> usize {
+        let k = self.store.evict_oldest(k);
+        self.seqs.drain(..k);
+        self.inserted.drain(..k);
+        k
+    }
 }
 
 /// A truth database sharded by origin grid cell, safe to share across
@@ -43,6 +56,11 @@ pub struct ShardedTruthStore {
     cell_m: f64,
     /// Global insertion sequence for deterministic tie-breaks.
     seq: AtomicU64,
+    /// Maximum entries per shard (0 = unbounded). When an insert would
+    /// exceed it, the shard batch-evicts its oldest eighth.
+    per_shard_cap: usize,
+    /// Total entries evicted so far (capacity + age).
+    evicted: AtomicU64,
 }
 
 /// Mixes a cell coordinate into a shard index (SplitMix64 finaliser —
@@ -66,13 +84,35 @@ impl ShardedTruthStore {
                     RwLock::new(Shard {
                         store: TruthStore::with_geometry(cell_m, bucket_s),
                         seqs: Vec::new(),
+                        inserted: Vec::new(),
                     })
                 })
                 .collect(),
             mask: n - 1,
             cell_m,
             seq: AtomicU64::new(0),
+            per_shard_cap: 0,
+            evicted: AtomicU64::new(0),
         }
+    }
+
+    /// Bounds every shard to at most `cap` entries (0 = unbounded).
+    /// When a full shard takes an insert it batch-evicts its oldest
+    /// eighth (at least one entry), so the amortised insert cost stays
+    /// O(1) and the store never exceeds `cap × shard_count` entries.
+    pub fn with_per_shard_cap(mut self, cap: usize) -> Self {
+        self.per_shard_cap = cap;
+        self
+    }
+
+    /// The configured per-shard entry cap (0 = unbounded).
+    pub fn per_shard_cap(&self) -> usize {
+        self.per_shard_cap
+    }
+
+    /// Total entries evicted so far (capacity + age eviction).
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
     }
 
     /// Creates a store with default geometry (300 m cells, 2 h buckets).
@@ -109,14 +149,51 @@ impl ShardedTruthStore {
     }
 
     /// Inserts a verified truth (write-locks exactly one shard).
-    pub fn insert(&self, graph: &RoadGraph, entry: TruthEntry) {
+    /// Returns how many old entries were evicted to respect the
+    /// per-shard cap (0 when unbounded or below capacity).
+    pub fn insert(&self, graph: &RoadGraph, entry: TruthEntry) -> usize {
         let from_pos = graph.position(entry.from);
         let to_pos = graph.position(entry.to);
         let shard_idx = self.shard_of_cell(self.cell_of(from_pos));
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shards[shard_idx].write().expect("shard poisoned");
+        let mut evicted = 0;
+        if self.per_shard_cap > 0 && shard.store.len() >= self.per_shard_cap {
+            // Batch-evict an eighth so the O(remaining) re-index is paid
+            // once per batch, not on every insert at capacity.
+            evicted = shard.evict_oldest((self.per_shard_cap / 8).max(1));
+            self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
+        }
         shard.store.insert_at(from_pos, to_pos, entry);
         shard.seqs.push(seq);
+        shard.inserted.push(Instant::now());
+        evicted
+    }
+
+    /// Evicts every entry inserted at least `max_age` ago, across all
+    /// shards, and returns how many were removed (`Duration::ZERO`
+    /// deterministically evicts everything — the comparison is
+    /// inclusive, so coarse monotonic clocks cannot make the boundary
+    /// flaky). Insertion instants are monotone within a shard, so the
+    /// stale entries form a prefix and eviction is one batch per shard.
+    /// Run this periodically (or when memory pressure demands) to age
+    /// out stale truths.
+    pub fn evict_older_than(&self, max_age: Duration) -> usize {
+        let now = Instant::now();
+        let mut total = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write().expect("shard poisoned");
+            let stale = shard
+                .inserted
+                .partition_point(|&t| now.saturating_duration_since(t) >= max_age);
+            if stale > 0 {
+                total += shard.evict_oldest(stale);
+            }
+        }
+        if total > 0 {
+            self.evicted.fetch_add(total as u64, Ordering::Relaxed);
+        }
+        total
     }
 
     /// Looks up the truth matching the request within the configured
@@ -364,6 +441,65 @@ mod tests {
             &cfg,
         );
         assert!(hit.is_some());
+    }
+
+    #[test]
+    fn per_shard_cap_bounds_growth_oldest_first() {
+        let (city, cfg) = setup();
+        // One shard so the cap applies to every insert.
+        let store = ShardedTruthStore::with_shards(1).with_per_shard_cap(16);
+        let n = city.graph.node_count() as u32;
+        let mut total_evicted = 0usize;
+        for i in 0..200u32 {
+            let a = i % n;
+            let b = (a + 9) % n;
+            if a == b {
+                continue;
+            }
+            total_evicted += store.insert(&city.graph, entry(&city, a, b, (i % 24) as f64));
+        }
+        assert!(store.len() <= 16, "cap must hold: {} entries", store.len());
+        assert!(total_evicted > 0, "a 200-insert stream must evict");
+        assert_eq!(store.evicted(), total_evicted as u64);
+        // Oldest-first: the most recent insert must still be resolvable.
+        let hit = store.lookup(
+            &city.graph,
+            NodeId(199 % n),
+            NodeId((199 % n + 9) % n),
+            TimeOfDay::from_hours((199 % 24) as f64),
+            &cfg,
+        );
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn evict_older_than_ages_out_stale_prefixes() {
+        let (city, cfg) = setup();
+        let store = ShardedTruthStore::with_shards(4);
+        for i in 0..30u32 {
+            store.insert(&city.graph, entry(&city, i, (i + 7) % 60, 9.0));
+        }
+        assert_eq!(store.len(), 30);
+        // Nothing is older than an hour.
+        assert_eq!(store.evict_older_than(Duration::from_secs(3600)), 0);
+        assert_eq!(store.len(), 30);
+        // Everything is older than zero.
+        let evicted = store.evict_older_than(Duration::ZERO);
+        assert_eq!(evicted, 30);
+        assert!(store.is_empty());
+        assert_eq!(store.evicted(), 30);
+        assert!(store
+            .lookup(
+                &city.graph,
+                NodeId(0),
+                NodeId(7),
+                TimeOfDay::from_hours(9.0),
+                &cfg
+            )
+            .is_none());
+        // The store keeps working after a full purge.
+        store.insert(&city.graph, entry(&city, 0, 7, 9.0));
+        assert_eq!(store.len(), 1);
     }
 
     #[test]

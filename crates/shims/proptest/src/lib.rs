@@ -259,27 +259,81 @@ macro_rules! impl_float_range_strategy {
 
 impl_float_range_strategy!(f32, f64);
 
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
 pub mod collection {
     //! Collection strategies.
 
     use super::{Strategy, TestRng};
 
-    /// Strategy for `Vec<S::Value>` of exactly `len` elements.
-    pub struct VecStrategy<S> {
-        element: S,
-        len: usize,
+    /// A vector-length specification: an exact length or a half-open
+    /// range of lengths (mirroring real proptest's `SizeRange`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive.
+        max: usize,
     }
 
-    /// `Vec` strategy with exactly `len` elements drawn from `element`.
-    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
-        VecStrategy { element, len }
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                min: len,
+                max: len + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec-length range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a
+    /// [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// `Vec` strategy drawing its length from `len` (an exact `usize`
+    /// or a `Range<usize>`) and its elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
 
         fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            (0..self.len).map(|_| self.element.new_value(rng)).collect()
+            let span = (self.len.max - self.len.min) as u64;
+            let n = self.len.min + (rng.next_u64() % span.max(1)) as usize;
+            (0..n).map(|_| self.element.new_value(rng)).collect()
         }
     }
 }
@@ -399,6 +453,22 @@ mod tests {
         }
         let xs = crate::collection::vec(any::<bool>(), 9).new_value(&mut rng);
         assert_eq!(xs.len(), 9);
+        for _ in 0..50 {
+            let ys = crate::collection::vec(any::<bool>(), 2..6).new_value(&mut rng);
+            assert!((2..6).contains(&ys.len()));
+        }
+    }
+
+    #[test]
+    fn tuple_strategies_generate_componentwise() {
+        let mut rng = crate::test_runner::TestRng::from_name("tuples");
+        for _ in 0..100 {
+            let (a, b, c, d) = (0u32..10, 5u32..9, 0.0f64..1.0, 0usize..2).new_value(&mut rng);
+            assert!(a < 10);
+            assert!((5..9).contains(&b));
+            assert!((0.0..1.0).contains(&c));
+            assert!(d < 2);
+        }
     }
 
     #[test]

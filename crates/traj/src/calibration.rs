@@ -1,4 +1,4 @@
-//! Anchor-based trajectory calibration (paper reference [21]).
+//! Anchor-based trajectory calibration (paper reference \[21\]).
 //!
 //! The paper rewrites continuous routes into landmark-based routes "by
 //! treating landmarks as anchor points". We reproduce that: a route (or a

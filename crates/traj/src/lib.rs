@@ -9,10 +9,10 @@
 //!   the paper's "large-scale real trajectory dataset");
 //! * [`trajectory`] — trips and GPS-like point traces;
 //! * [`calibration`] — anchor-based calibration of routes/trajectories
-//!   into landmark-based routes (paper ref [21]);
+//!   into landmark-based routes (paper ref \[21\]);
 //! * [`checkin`] — synthetic LBSN check-ins;
 //! * [`significance`] — HITS-like landmark-significance inference
-//!   (paper §III-A, ref [26]);
+//!   (paper §III-A, ref \[26\]);
 //! * [`stats`] — small deterministic samplers shared by generators.
 
 #![warn(missing_docs)]

@@ -1,4 +1,4 @@
-//! HITS-like landmark-significance inference (paper §III-A, reference [26]).
+//! HITS-like landmark-significance inference (paper §III-A, reference \[26\]).
 //!
 //! "By regarding the travellers as authorities, landmarks as hubs, and
 //! check-ins/visits as hyperlinks, we can leverage a HITS-like algorithm to

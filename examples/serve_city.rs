@@ -1,6 +1,16 @@
-//! Serving-layer throughput demo: one shared Medium world, a skewed
-//! request stream (commute corridors, repeated keys), machine-only
-//! resolution — measured at 1, 2, 4 and 8 worker threads.
+//! Open-loop load generator over the multi-city serving platform.
+//!
+//! Instead of the old closed-batch thread sweep (which can never observe
+//! queueing delay — a closed loop only issues a request when the last
+//! one finished), this drives the platform the way real traffic does:
+//! Poisson arrivals at a target rate, submitted through the non-blocking
+//! `Platform::submit`, with per-request sojourn latency (queue wait +
+//! service time) read back from each `Ticket`. Sweeping the target rate
+//! shows the latency knee and the admission controller shedding load
+//! once the ingress queue saturates.
+//!
+//! Two cities share one platform: a Medium "metro" taking most of the
+//! traffic and a Small "satellite town" taking the rest.
 //!
 //! Run with:
 //!
@@ -8,83 +18,146 @@
 //! cargo run --release --example serve_city
 //! ```
 
-use cp_mining::CandidateGenerator;
-use cp_service::{MachineResolver, Request, RouteService, ServiceConfig};
+use cp_service::{Platform, PlatformConfig, Request, ServiceConfig, ServiceError, Ticket};
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
-use std::time::Instant;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// One city's request pool: its platform id and the OD pairs traffic is
+/// drawn from.
+struct CityTraffic {
+    id: cp_service::CityId,
+    ods: Vec<(cp_roadnet::NodeId, cp_roadnet::NodeId)>,
+    /// Share of the total arrival stream routed here.
+    share: f64,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
 
 fn main() {
     let t0 = Instant::now();
-    println!("building Medium world…");
-    let world = SimWorld::build(Scale::Medium, 42).expect("world generation");
-    let generator = CandidateGenerator::new(&world.city.graph, &world.trips.trips);
+    println!("building worlds (Medium metro + Small satellite)…");
+    let metro = SimWorld::build(Scale::Medium, 42).expect("metro world");
+    let town = SimWorld::build(Scale::Small, 7).expect("town world");
+    let metro_world = metro.service_world();
+    let town_world = town.service_world();
     println!(
-        "  {} intersections, {} trips, built in {:.1?}\n",
-        world.city.graph.node_count(),
-        world.trips.trips.len(),
+        "  metro: {} intersections, {} trips; town: {} intersections; built in {:.1?}\n",
+        metro.city.graph.node_count(),
+        metro.trips.trips.len(),
+        town.city.graph.node_count(),
         t0.elapsed()
     );
 
-    // A skewed stream: 600 distinct OD/time keys, each requested 5 times
-    // (urban demand is repetitive — that is what the serving layer
-    // monetises).
-    let distinct = 600;
-    let repeats = 5;
-    let ods = world.request_stream(distinct, 4, 777);
-    let mut requests = Vec::with_capacity(distinct * repeats);
-    for _round in 0..repeats {
-        for (i, &(from, to)) in ods.iter().enumerate() {
-            requests.push(Request {
-                from,
-                to,
-                departure: TimeOfDay::from_hours(7.0 + (i % 4) as f64 * 0.5),
-            });
-        }
-    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
     println!(
-        "serving {} requests ({} distinct keys × {} repeats); \
-         hardware parallelism: {}\n",
-        requests.len(),
-        distinct,
-        repeats,
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        "open-loop sweep: Poisson arrivals, {workers} platform workers, \
+         85/15 metro/town split, 1.5 s per target rate\n"
     );
     println!(
-        "{:>7}  {:>10}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
-        "threads", "req/s", "truth-hit", "dedup", "cache-hit", "lat p50", "lat p95"
+        "{:>7}  {:>8}  {:>8}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "req/s", "offered", "served", "shed%", "p50", "p95", "p99", "max", "truth-hit"
     );
 
-    let mut baseline_rps = 0.0;
-    for workers in [1usize, 2, 4, 8] {
-        let cfg = ServiceConfig {
+    for &rate in &[250.0f64, 500.0, 1000.0, 2000.0] {
+        // A fresh platform per rate so one rate's warm truth store does
+        // not flatter the next.
+        let platform = Platform::start(PlatformConfig {
             workers,
-            ..ServiceConfig::default()
-        };
-        let service = RouteService::new(&world.city.graph, &generator, cfg.clone());
-        let t = Instant::now();
-        let results = service.serve(&requests, |_| {
-            MachineResolver::new(&world.city.graph, cfg.core.clone())
+            queue_capacity: 512,
         });
-        let elapsed = t.elapsed();
-        let ok = results.iter().filter(|r| r.is_ok()).count();
-        assert_eq!(ok, requests.len(), "all requests must be served");
-        let rps = requests.len() as f64 / elapsed.as_secs_f64();
-        if workers == 1 {
-            baseline_rps = rps;
+        let cities = [
+            CityTraffic {
+                id: platform.register_city(metro_world.clone(), ServiceConfig::default()),
+                ods: metro.request_stream(600, 4, 777),
+                share: 0.85,
+            },
+            CityTraffic {
+                id: platform.register_city(town_world.clone(), ServiceConfig::default()),
+                ods: town.request_stream(120, 2, 778),
+                share: 1.0, // remainder
+            },
+        ];
+
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ rate as u64);
+        let duration = Duration::from_millis(1500);
+        let start = Instant::now();
+        let mut next_arrival = start;
+        let mut offered = 0u64;
+        let mut shed = 0u64;
+        let mut tickets: Vec<Ticket> = Vec::with_capacity((rate * 2.0) as usize);
+        // The open loop: arrivals fire on the Poisson clock whether or
+        // not earlier requests finished.
+        loop {
+            let now = Instant::now();
+            if now >= start + duration {
+                break;
+            }
+            if now < next_arrival {
+                std::thread::sleep(
+                    next_arrival
+                        .saturating_duration_since(now)
+                        .min(Duration::from_micros(200)),
+                );
+                continue;
+            }
+            // Exponential inter-arrival at the target rate.
+            let u: f64 = rng.random_range(0.0..1.0);
+            next_arrival += Duration::from_secs_f64(-(1.0 - u).ln() / rate);
+
+            let pick: f64 = rng.random_range(0.0..1.0);
+            let city = if pick < cities[0].share {
+                &cities[0]
+            } else {
+                &cities[1]
+            };
+            let (from, to) = city.ods[rng.random_range(0..city.ods.len())];
+            let hour = 7.0 + rng.random_range(0..4) as f64 * 0.5;
+            let req = Request::to_city(city.id, from, to, TimeOfDay::from_hours(hour));
+            offered += 1;
+            match platform.submit(req) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(ServiceError::Busy) => shed += 1,
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
         }
-        let s = service.stats();
+
+        // Join everything still in flight, then read sojourn latencies
+        // (recorded at completion time, so joining order is irrelevant).
+        let mut latencies: Vec<Duration> = Vec::with_capacity(tickets.len());
+        for ticket in &tickets {
+            while !ticket.is_done() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            latencies.push(ticket.latency().expect("completed ticket"));
+        }
+        latencies.sort_unstable();
+
+        let agg = platform.stats();
+        assert!(agg.is_consistent(), "admission accounting must balance");
+        let truth_rate = agg.aggregate.truth_hit_rate();
         println!(
-            "{workers:>7}  {rps:>10.0}  {:>8.1}%  {:>9}  {:>8.1}%  {:>9.2?}  {:>9.2?}   ({:.2}x)",
-            100.0 * s.truth_hit_rate(),
-            s.dedup_hits,
-            100.0 * s.cache_hit_rate(),
-            s.latency.p50,
-            s.latency.p95,
-            rps / baseline_rps,
+            "{rate:>7.0}  {offered:>8}  {:>8}  {:>5.1}%  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>8.1}%",
+            latencies.len(),
+            100.0 * shed as f64 / offered.max(1) as f64,
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.95),
+            percentile(&latencies, 0.99),
+            latencies.last().copied().unwrap_or(Duration::ZERO),
+            100.0 * truth_rate,
         );
+        platform.shutdown();
     }
     println!("\ndone in {:.1?}", t0.elapsed());
 }

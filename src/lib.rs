@@ -27,7 +27,7 @@
 //! | [`mining`] | MPR / MFP / LDR miners + simulated web services |
 //! | [`crowd`] | simulated worker population, answers, response times |
 //! | [`core`] | task generation, worker selection, truth reuse, orchestration |
-//! | [`service`] | concurrent serving layer: sharded truth store, single-flight dedup, candidate cache, thread-pool executor |
+//! | [`service`] | multi-city serving platform: owned worlds, submit/poll tickets with admission control, bounded sharded truth store, single-flight dedup, candidate cache |
 //!
 //! ## Quickstart
 //!
@@ -95,9 +95,14 @@ pub mod prelude {
         RoadClass, RoadGraph,
     };
     pub use cp_service::{
-        CrowdResolver, MachineResolver, Request, Resolver, RouteService, Served, ServedRoute,
-        ServiceConfig, ServiceError, ShardedTruthStore, StatsSnapshot,
+        CityId, CrowdResolver, MachineResolver, PlatformConfig, PlatformSnapshot, Request,
+        Resolver, RouteService, Served, ServedRoute, ServiceConfig, ServiceError,
+        ShardedTruthStore, StatsSnapshot, Ticket, World,
     };
+    // `cp_crowd::Platform` (the crowdsourcing worker platform) already
+    // owns the bare name in this prelude; the multi-city serving
+    // platform is re-exported under an unambiguous alias.
+    pub use cp_service::Platform as ServingPlatform;
     pub use cp_traj::{
         calibrate_path, generate_checkins, generate_trips, infer_significance, CalibrationParams,
         CheckInGenParams, DriverId, DriverPreference, SignificanceParams, TimeOfDay, TripDataset,

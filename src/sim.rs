@@ -153,6 +153,17 @@ impl SimWorld {
         a == b
     }
 
+    /// Packages this world's graph and trips into an owned, shareable
+    /// serving world for the `cp-service` layer (clones both once; the
+    /// returned `Arc<World>` is self-contained and `'static`, ready for
+    /// `RouteService::new` or `Platform::register_city`).
+    pub fn service_world(&self) -> std::sync::Arc<cp_service::World> {
+        std::sync::Arc::new(cp_service::World::new(
+            self.city.graph.clone(),
+            self.trips.trips.clone(),
+        ))
+    }
+
     /// Builds a warmed-up crowd platform for this world.
     pub fn platform(&self, workers: usize, warmup_rounds: usize, seed: u64) -> Platform {
         let pop = WorkerPopulation::generate(

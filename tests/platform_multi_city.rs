@@ -1,0 +1,198 @@
+//! Multi-city platform integration test (the PR's acceptance bar):
+//! two cities registered on one `Platform`, concurrent `submit` traffic
+//! from four client threads against both, asserting
+//!
+//! (a) per-city statistics invariants hold,
+//! (b) every served route is byte-identical to the same city's
+//!     standalone sequential `RouteService` baseline under
+//!     `strict_deterministic`, and
+//! (c) `shutdown()` drains gracefully with every admitted ticket
+//!     resolved exactly once.
+
+use cp_service::{
+    CityId, MachineResolver, Platform, PlatformConfig, Request, RouteService, ServiceConfig,
+    ServiceError, Ticket,
+};
+use cp_traj::TimeOfDay;
+use crowdplanner::sim::{Scale, SimWorld};
+use std::sync::{Arc, Mutex};
+
+/// A skewed per-city stream: `distinct` OD/time keys × `repeats`.
+fn city_stream(world: &SimWorld, distinct: usize, repeats: usize, seed: u64) -> Vec<Request> {
+    let ods = world.request_stream(distinct, 2, seed);
+    let mut requests = Vec::with_capacity(distinct * repeats);
+    for _round in 0..repeats {
+        for (i, &(from, to)) in ods.iter().enumerate() {
+            let hour = 7.0 + (i % 4) as f64;
+            requests.push(Request::new(from, to, TimeOfDay::from_hours(hour)));
+        }
+    }
+    requests
+}
+
+#[test]
+fn two_cities_four_client_threads_deterministic_drain() {
+    let worlds = [
+        SimWorld::build(Scale::Small, 5).expect("world A"),
+        SimWorld::build(Scale::Small, 9).expect("world B"),
+    ];
+    let service_worlds = [worlds[0].service_world(), worlds[1].service_world()];
+    let per_city: Vec<Vec<Request>> = vec![
+        city_stream(&worlds[0], 60, 5, 1234),
+        city_stream(&worlds[1], 60, 5, 4321),
+    ];
+
+    // Standalone sequential baselines, one per city.
+    let mut baselines: Vec<Vec<cp_roadnet::Path>> = Vec::new();
+    for (sw, requests) in service_worlds.iter().zip(&per_city) {
+        let cfg = ServiceConfig::strict_deterministic();
+        let service = RouteService::new(Arc::clone(sw), cfg.clone());
+        let mut resolver = MachineResolver::new(sw.graph_arc(), cfg.core);
+        baselines.push(
+            requests
+                .iter()
+                .map(|&r| service.handle(r, &mut resolver).expect("baseline").path)
+                .collect(),
+        );
+    }
+
+    // One platform, both cities, a pool smaller than the client count.
+    let platform = Platform::start(PlatformConfig {
+        workers: 3,
+        queue_capacity: 64,
+    });
+    let ids: Vec<CityId> = service_worlds
+        .iter()
+        .map(|sw| platform.register_city(Arc::clone(sw), ServiceConfig::strict_deterministic()))
+        .collect();
+    assert_eq!(ids, vec![CityId(0), CityId(1)]);
+
+    // The interleaved global stream: (city index, request index).
+    let mixed: Vec<(usize, usize)> = {
+        let mut mixed = Vec::new();
+        let longest = per_city.iter().map(Vec::len).max().unwrap();
+        for i in 0..longest {
+            for (c, requests) in per_city.iter().enumerate() {
+                if i < requests.len() {
+                    mixed.push((c, i));
+                }
+            }
+        }
+        mixed
+    };
+
+    // Four client threads submit round-robin slices concurrently and
+    // join their own tickets.
+    let results: Mutex<Vec<Option<Result<cp_roadnet::Path, ServiceError>>>> =
+        Mutex::new(vec![None; mixed.len()]);
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let platform = &platform;
+            let mixed = &mixed;
+            let per_city = &per_city;
+            let ids = &ids;
+            let results = &results;
+            s.spawn(move || {
+                let mut tickets: Vec<(usize, Ticket)> = Vec::new();
+                for (slot, &(c, i)) in mixed.iter().enumerate() {
+                    if slot % 4 != t {
+                        continue;
+                    }
+                    let mut req = per_city[c][i];
+                    req.city = ids[c];
+                    // Blocking submission: the queue is smaller than the
+                    // stream, so clients ride the backpressure instead
+                    // of shedding.
+                    let ticket = platform.submit_blocking(req).expect("admitted");
+                    assert_eq!(ticket.city(), ids[c]);
+                    tickets.push((slot, ticket));
+                }
+                let mut out = Vec::with_capacity(tickets.len());
+                for (slot, ticket) in tickets {
+                    out.push((slot, ticket.wait().map(|served| served.path)));
+                }
+                let mut results = results.lock().unwrap();
+                for (slot, res) in out {
+                    assert!(
+                        results[slot].replace(res).is_none(),
+                        "ticket {slot} resolved twice"
+                    );
+                }
+            });
+        }
+    });
+
+    // (b) Byte-identical to each city's sequential baseline.
+    let results = results.into_inner().unwrap();
+    assert_eq!(results.len(), mixed.len());
+    for (slot, &(c, i)) in mixed.iter().enumerate() {
+        let path = results[slot]
+            .as_ref()
+            .expect("every ticket resolved exactly once")
+            .as_ref()
+            .expect("request must succeed");
+        assert_eq!(
+            *path, baselines[c][i],
+            "city {c}, request {i}: differs from its standalone sequential baseline"
+        );
+    }
+
+    // (a) Per-city stats invariants.
+    for (c, id) in ids.iter().enumerate() {
+        let snap = platform.city_stats(*id).expect("registered city");
+        assert!(snap.is_consistent(), "city {c}: {snap:?}");
+        assert_eq!(snap.requests, per_city[c].len() as u64, "city {c}");
+        assert_eq!(snap.errors, 0, "city {c}");
+        // Exactly one resolution per distinct key, everything else
+        // served by reuse or dedup.
+        assert_eq!(snap.resolved, 60, "city {c}");
+        assert_eq!(
+            snap.truth_hits + snap.dedup_hits,
+            (per_city[c].len() - 60) as u64,
+            "city {c}"
+        );
+    }
+    let agg = platform.stats();
+    assert!(agg.is_consistent());
+    assert_eq!(agg.admitted, mixed.len() as u64);
+    assert_eq!(agg.rejected_busy, 0, "blocking submission never sheds");
+    assert_eq!(
+        agg.aggregate.requests,
+        per_city.iter().map(Vec::len).sum::<usize>() as u64
+    );
+
+    // (c) Graceful drain: every ticket has been joined, so every
+    // admitted job completed exactly once; shutdown must then return
+    // (workers join) without hanging.
+    assert_eq!(agg.completed, agg.admitted);
+    platform.shutdown();
+}
+
+#[test]
+fn shutdown_drains_unjoined_tickets_exactly_once() {
+    // Submit a burst, join nothing, shut down immediately: the drain
+    // must still resolve every admitted ticket exactly once.
+    let world = SimWorld::build(Scale::Small, 5).expect("world");
+    let sw = world.service_world();
+    let platform = Platform::start(PlatformConfig {
+        workers: 4,
+        queue_capacity: 512,
+    });
+    let id = platform.register_city(Arc::clone(&sw), ServiceConfig::strict_deterministic());
+    let requests = city_stream(&world, 40, 3, 77);
+    let tickets: Vec<Ticket> = requests
+        .iter()
+        .map(|&r| {
+            let mut req = r;
+            req.city = id;
+            platform.submit_blocking(req).expect("admitted")
+        })
+        .collect();
+    let admitted = platform.stats().admitted;
+    assert_eq!(admitted, requests.len() as u64);
+    platform.shutdown();
+    for (i, ticket) in tickets.iter().enumerate() {
+        assert!(ticket.is_done(), "ticket {i} left unresolved by the drain");
+        assert!(ticket.try_wait().unwrap().is_ok(), "ticket {i} failed");
+    }
+}

@@ -5,6 +5,7 @@ use cp_core::taskgen::{build_question_tree, SelectionAlgorithm, SelectionProblem
 use cp_core::{is_discriminative, LandmarkRoute};
 use crowdplanner::prelude::*;
 use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
 
 /// Random landmark routes: `n` routes over `m` landmarks, as membership
 /// bitmasks (so set semantics are exact by construction).
@@ -134,6 +135,110 @@ proptest! {
             // never *gain* discriminativeness:
             prop_assert!(!is_discriminative(&routes, smaller) || routes.len() < 2);
         }
+    }
+}
+
+/// Two Small serving worlds, built once and shared by every proptest
+/// case (world generation dominates the cost of a case).
+fn shared_worlds() -> &'static [Arc<World>; 2] {
+    static WORLDS: OnceLock<[Arc<World>; 2]> = OnceLock::new();
+    WORLDS.get_or_init(|| {
+        let build = |seed: u64| {
+            let world = crowdplanner::sim::SimWorld::build(crowdplanner::sim::Scale::Small, seed)
+                .expect("world");
+            world.service_world()
+        };
+        [build(5), build(9)]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the request mix — including departures hugging the
+    /// midnight bucket wrap — routes served through a multi-city
+    /// `Platform` are identical to each registered city's standalone
+    /// sequential `RouteService` under `strict_deterministic`.
+    #[test]
+    fn platform_matches_single_city_service(
+        raw in proptest::collection::vec(
+            (0u32..60, 0u32..59, 0.0f64..86_400.0, 0usize..2),
+            1..32,
+        ),
+        near_midnight in proptest::collection::vec(
+            (0u32..60, 0u32..59, -2.0f64..2.0, 0usize..2),
+            0..8,
+        ),
+    ) {
+        let worlds = shared_worlds();
+        // Distinct endpoints by construction; fold the near-midnight
+        // extras in (seconds offset around the day wrap).
+        let requests: Vec<(usize, Request)> = raw
+            .iter()
+            .map(|&(a, b, t, c)| (c, a, b, t))
+            .chain(near_midnight.iter().map(|&(a, b, dt, c)| {
+                (c, a, b, (TimeOfDay::DAY + dt).rem_euclid(TimeOfDay::DAY))
+            }))
+            .map(|(c, a, b, t)| {
+                let to = if b >= a { b + 1 } else { b };
+                (c, Request::new(NodeId(a), NodeId(to), TimeOfDay::new(t)))
+            })
+            .collect();
+
+        // Sequential per-city baselines.
+        let cfg = ServiceConfig::strict_deterministic();
+        let mut expected = Vec::with_capacity(requests.len());
+        {
+            let services: Vec<RouteService> = worlds
+                .iter()
+                .map(|w| RouteService::new(Arc::clone(w), cfg.clone()))
+                .collect();
+            let mut resolvers: Vec<MachineResolver> = worlds
+                .iter()
+                .map(|w| MachineResolver::new(w.graph_arc(), cfg.core.clone()))
+                .collect();
+            for &(c, req) in &requests {
+                expected.push(
+                    services[c]
+                        .handle(req, &mut resolvers[c])
+                        .expect("baseline")
+                        .path,
+                );
+            }
+        }
+
+        // The same stream through one platform.
+        let platform = ServingPlatform::start(PlatformConfig {
+            workers: 3,
+            queue_capacity: 64,
+        });
+        let ids: Vec<CityId> = worlds
+            .iter()
+            .map(|w| platform.register_city(Arc::clone(w), cfg.clone()))
+            .collect();
+        let batch: Vec<Request> = requests
+            .iter()
+            .map(|&(c, mut req)| {
+                req.city = ids[c];
+                req
+            })
+            .collect();
+        let served = platform.serve_batch(&batch);
+        for (i, result) in served.iter().enumerate() {
+            let path = &result.as_ref().expect("platform request must succeed").path;
+            prop_assert_eq!(
+                path,
+                &expected[i],
+                "request {} differs from its city's sequential baseline",
+                i
+            );
+        }
+        for id in ids {
+            prop_assert!(platform.city_stats(id).expect("registered").is_consistent());
+        }
+        let snap = platform.stats();
+        prop_assert!(snap.is_consistent());
+        platform.shutdown();
     }
 }
 

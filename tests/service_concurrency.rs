@@ -5,11 +5,11 @@
 //! (b) exactly the routes the sequential baseline produces, for every
 //! request, at every thread count.
 
-use cp_mining::CandidateGenerator;
 use cp_roadnet::Path;
 use cp_service::{MachineResolver, Request, RouteService, Served, ServiceConfig};
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
+use std::sync::Arc;
 
 /// A skewed request stream: `distinct` OD/time keys, each repeated
 /// `repeats` times, deterministically interleaved (runs of repeats are
@@ -22,11 +22,7 @@ fn skewed_stream(world: &SimWorld, distinct: usize, repeats: usize) -> Vec<Reque
             // Same key every round: bucket-stable departure per OD.
             let hour = 7.0 + (i % 4) as f64;
             let _ = round;
-            requests.push(Request {
-                from,
-                to,
-                departure: TimeOfDay::from_hours(hour),
-            });
+            requests.push(Request::new(from, to, TimeOfDay::from_hours(hour)));
         }
     }
     requests
@@ -35,7 +31,7 @@ fn skewed_stream(world: &SimWorld, distinct: usize, repeats: usize) -> Vec<Reque
 #[test]
 fn concurrent_service_is_consistent_and_deterministic() {
     let world = SimWorld::build(Scale::Small, 5).expect("world");
-    let generator = CandidateGenerator::new(&world.city.graph, &world.trips.trips);
+    let sw = world.service_world();
     let distinct = 125;
     let repeats = 10;
     let requests = skewed_stream(&world, distinct, repeats);
@@ -46,10 +42,10 @@ fn concurrent_service_is_consistent_and_deterministic() {
         workers: 1,
         ..ServiceConfig::strict_deterministic()
     };
-    let baseline_service = RouteService::new(&world.city.graph, &generator, base_cfg.clone());
+    let baseline_service = RouteService::new(Arc::clone(&sw), base_cfg.clone());
     let baseline: Vec<Path> = baseline_service
         .serve(&requests, |_| {
-            MachineResolver::new(&world.city.graph, base_cfg.core.clone())
+            MachineResolver::new(sw.graph_arc(), base_cfg.core.clone())
         })
         .into_iter()
         .map(|r| r.expect("sequential request must succeed").path)
@@ -70,9 +66,9 @@ fn concurrent_service_is_consistent_and_deterministic() {
             workers,
             ..ServiceConfig::strict_deterministic()
         };
-        let service = RouteService::new(&world.city.graph, &generator, cfg.clone());
+        let service = RouteService::new(Arc::clone(&sw), cfg.clone());
         let results = service.serve(&requests, |_| {
-            MachineResolver::new(&world.city.graph, cfg.core.clone())
+            MachineResolver::new(sw.graph_arc(), cfg.core.clone())
         });
 
         let snap = service.stats();
@@ -105,24 +101,20 @@ fn concurrent_service_is_consistent_and_deterministic() {
 #[test]
 fn dedup_collapses_a_thundering_herd() {
     let world = SimWorld::build(Scale::Small, 9).expect("world");
-    let generator = CandidateGenerator::new(&world.city.graph, &world.trips.trips);
+    let sw = world.service_world();
     let cfg = ServiceConfig {
         workers: 8,
         ..ServiceConfig::strict_deterministic()
     };
-    let service = RouteService::new(&world.city.graph, &generator, cfg.clone());
+    let service = RouteService::new(Arc::clone(&sw), cfg.clone());
     // 400 identical requests, 8 workers, one key: exactly one resolution;
     // every other request is a dedup follower or a truth hit.
     let (from, to) = world.request_stream(1, 3, 7)[0];
     let requests: Vec<Request> = (0..400)
-        .map(|_| Request {
-            from,
-            to,
-            departure: TimeOfDay::from_hours(8.0),
-        })
+        .map(|_| Request::new(from, to, TimeOfDay::from_hours(8.0)))
         .collect();
     let results = service.serve(&requests, |_| {
-        MachineResolver::new(&world.city.graph, cfg.core.clone())
+        MachineResolver::new(sw.graph_arc(), cfg.core.clone())
     });
     let first_path = &results[0].as_ref().unwrap().path;
     for r in &results {
