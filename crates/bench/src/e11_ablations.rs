@@ -5,21 +5,13 @@
 //! mechanism and reruns the end-to-end workload of E9.
 
 use crate::common::{header, row};
-use cp_core::{Config, CrowdPlanner};
+use cp_core::Config;
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
 
 fn run_system(world: &SimWorld, cfg: Config, n_req: usize) -> (f64, usize, usize) {
-    let platform = world.platform(200, 30, 13);
-    let mut planner = CrowdPlanner::new(
-        &world.city.graph,
-        &world.landmarks,
-        world.significance.clone(),
-        &world.trips.trips,
-        platform,
-        cfg,
-    )
-    .expect("planner");
+    let desk = world.shared_crowd(200, 30, 13, cfg.eta_quota);
+    let mut planner = world.owned_planner(desk, cfg).expect("planner");
     let requests = world.request_stream(n_req, 6, 31);
     let mut hits = 0usize;
     for &(a, b) in &requests {

@@ -5,23 +5,16 @@
 //! fills; crowd tasks per window fall accordingly.
 
 use crate::common::{header, row};
-use cp_core::{Config, CrowdPlanner};
+use cp_core::Config;
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
 
 /// Runs E7.
 pub fn run(fast: bool) {
     let world = SimWorld::build(Scale::Medium, 23).expect("world");
-    let platform = world.platform(200, 20, 23);
-    let mut planner = CrowdPlanner::new(
-        &world.city.graph,
-        &world.landmarks,
-        world.significance.clone(),
-        &world.trips.trips,
-        platform,
-        Config::default(),
-    )
-    .expect("planner");
+    let cfg = Config::default();
+    let desk = world.shared_crowd(200, 20, 23, cfg.eta_quota);
+    let mut planner = world.owned_planner(desk, cfg).expect("planner");
 
     // Zipf-ish popularity over a base set of OD pairs: popular commutes are
     // requested again and again, as in a real deployment.

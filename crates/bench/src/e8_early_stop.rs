@@ -6,7 +6,7 @@
 //! converges to asking everyone.
 
 use crate::common::{header, row};
-use cp_core::{Config, CrowdPlanner, Resolution};
+use cp_core::{Config, Resolution};
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
 
@@ -40,16 +40,8 @@ pub fn run(fast: bool) {
             reuse_radius: 0.0,
             ..Config::default()
         };
-        let platform = world.platform(200, 30, 29);
-        let mut planner = CrowdPlanner::new(
-            &world.city.graph,
-            &world.landmarks,
-            world.significance.clone(),
-            &world.trips.trips,
-            platform,
-            cfg,
-        )
-        .expect("planner");
+        let desk = world.shared_crowd(200, 30, 29, cfg.eta_quota);
+        let mut planner = world.owned_planner(desk, cfg).expect("planner");
         let (mut verdicts, mut correct, mut answers) = (0usize, 0usize, 0usize);
         for &(a, b) in &requests {
             let oracle = world.oracle(a, b).expect("oracle");

@@ -6,7 +6,7 @@
 //! any single source < machine-only TR ≤ full CrowdPlanner.
 
 use crate::common::{header, row};
-use cp_core::{Config, CrowdPlanner};
+use cp_core::Config;
 use cp_mining::{CandidateGenerator, SourceKind};
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
@@ -49,16 +49,8 @@ pub fn run(fast: bool) {
         eta_time: 0.999,
         ..Config::default()
     };
-    let tiny = world.platform(1, 0, 1);
-    let mut machine = CrowdPlanner::new(
-        &world.city.graph,
-        &world.landmarks,
-        world.significance.clone(),
-        &world.trips.trips,
-        tiny,
-        machine_cfg,
-    )
-    .expect("planner");
+    let tiny = world.shared_crowd(1, 0, 1, machine_cfg.eta_quota);
+    let mut machine = world.owned_planner(tiny, machine_cfg).expect("planner");
     let mut m_hits = 0usize;
     for &(a, b) in &requests {
         let oracle = world.oracle(a, b).expect("oracle");
@@ -77,16 +69,9 @@ pub fn run(fast: bool) {
     ]);
 
     // Full CrowdPlanner.
-    let platform = world.platform(200, 30, 13);
-    let mut full = CrowdPlanner::new(
-        &world.city.graph,
-        &world.landmarks,
-        world.significance.clone(),
-        &world.trips.trips,
-        platform,
-        Config::default(),
-    )
-    .expect("planner");
+    let full_cfg = Config::default();
+    let desk = world.shared_crowd(200, 30, 13, full_cfg.eta_quota);
+    let mut full = world.owned_planner(desk, full_cfg).expect("planner");
     let mut f_hits = 0usize;
     for &(a, b) in &requests {
         let oracle = world.oracle(a, b).expect("oracle");

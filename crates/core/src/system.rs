@@ -11,6 +11,19 @@
 //!    select the top-k eligible workers, collect answers with early stop,
 //!    reward workers, record the verified truth, and return.
 //!
+//! The planner is **owned and `'static`**: it holds `Arc` handles to its
+//! world (road graph, landmarks, significance, trips, pre-built transfer
+//! network) and reaches the crowd through an `Arc<dyn CrowdDesk>` — the
+//! reserve → ask → commit protocol of [`cp_crowd::desk`] — instead of a
+//! privately owned `&mut Platform`. That makes a planner `Send`, movable
+//! onto resident worker pools, and lets N planners share one crowd
+//! without oversubscribing any worker: an assignment only proceeds when
+//! [`Reservation::acquire`] wins a slot under the desk's hard
+//! `max_outstanding` cap; refused reservations are counted in
+//! [`SystemStats::quota_rejections`], and a task whose every reservation
+//! is refused falls back to the machine's best guess (counted in
+//! [`SystemStats::starved_tasks`]).
+//!
 //! The crowd's collective knowledge enters through an *oracle* closure
 //! supplied per request: `oracle(l)` is the true answer to "does the best
 //! route pass landmark l?". In the full simulation the oracle is derived
@@ -27,10 +40,14 @@ use crate::route::LandmarkRoute;
 use crate::taskgen::{generate_task, SelectionAlgorithm, Task};
 use crate::truth::{TruthEntry, TruthStore};
 use crate::worker_selection::{select_workers_scored, KnowledgeModel};
-use cp_crowd::Platform;
-use cp_mining::{distinct_candidates, CandidateGenerator, SourceKind};
+use cp_crowd::{CrowdDesk, Reservation};
+use cp_mining::{
+    distinct_candidates, generate_candidates, LdrParams, MfpParams, MprParams, SourceKind,
+    TransferNetwork,
+};
 use cp_roadnet::{LandmarkId, LandmarkSet, NodeId, Path, RoadGraph};
 use cp_traj::{CalibrationParams, TimeOfDay, Trip};
+use std::sync::Arc;
 
 /// How a request was resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,7 +61,8 @@ pub enum Resolution {
     /// Crowd-verified.
     Crowd,
     /// Crowd was needed but could not verify (no eligible workers /
-    /// no usable votes); fell back to the best machine guess.
+    /// no usable votes / every reservation refused); fell back to the
+    /// best machine guess.
     Fallback,
 }
 
@@ -84,17 +102,41 @@ pub struct SystemStats {
     pub total_questions: usize,
     /// Total worker participations.
     pub total_workers: usize,
+    /// Worker reservations refused at the desk's `max_outstanding` cap
+    /// (contention with concurrent planners sharing the crowd).
+    pub quota_rejections: usize,
+    /// Crowd tasks where *every* selected worker's reservation was
+    /// refused — the crowd was saturated and the machine's best guess
+    /// stood in (a subset of `fallbacks`).
+    pub starved_tasks: usize,
 }
 
-/// The CrowdPlanner server.
-pub struct CrowdPlanner<'a> {
-    graph: &'a RoadGraph,
-    landmarks: &'a LandmarkSet,
-    significance: Vec<f64>,
-    generator: CandidateGenerator<'a>,
-    platform: Platform,
+/// The CrowdPlanner server: owned, `Send` and `'static`.
+///
+/// Build one with [`CrowdPlanner::new`] (aggregates the transfer network
+/// itself) or [`CrowdPlanner::with_mining_state`] (shares a pre-built
+/// one, e.g. a serving world's). Planner-local state (truth store,
+/// knowledge-model cache, source reliability, statistics) stays private;
+/// the crowd is shared through the desk.
+pub struct CrowdPlanner {
+    graph: Arc<RoadGraph>,
+    landmarks: Arc<LandmarkSet>,
+    significance: Arc<Vec<f64>>,
+    trips: Arc<Vec<Trip>>,
+    transfer: Arc<TransferNetwork>,
+    mpr: MprParams,
+    mfp: MfpParams,
+    ldr: LdrParams,
+    desk: Arc<dyn CrowdDesk>,
     truths: TruthStore,
-    knowledge: Option<KnowledgeModel>,
+    /// Upper bound on the private truth store (0 = unbounded); a full
+    /// store batch-evicts oldest-first. Resident serving pools set this
+    /// so long-lived per-worker planners cannot grow without bound.
+    truth_cap: usize,
+    /// Cached knowledge model, keyed by the desk's answer-history
+    /// generation: any new answer (this planner's or a concurrent
+    /// sibling's) invalidates it.
+    knowledge: Option<(u64, KnowledgeModel)>,
     cfg: Config,
     calibration: CalibrationParams,
     /// Landmark-selection algorithm used for task generation.
@@ -103,17 +145,49 @@ pub struct CrowdPlanner<'a> {
     stats: SystemStats,
 }
 
-impl<'a> CrowdPlanner<'a> {
-    /// Builds the server.
+impl CrowdPlanner {
+    /// Builds the server, aggregating the all-day transfer network from
+    /// the trips (the expensive part of candidate mining).
     ///
     /// `significance` must have one entry per landmark (the HITS-inferred
     /// `l.s` scores).
     pub fn new(
-        graph: &'a RoadGraph,
-        landmarks: &'a LandmarkSet,
-        significance: Vec<f64>,
-        trips: &'a [Trip],
-        platform: Platform,
+        graph: Arc<RoadGraph>,
+        landmarks: Arc<LandmarkSet>,
+        significance: Arc<Vec<f64>>,
+        trips: Arc<Vec<Trip>>,
+        desk: Arc<dyn CrowdDesk>,
+        cfg: Config,
+    ) -> Result<Self, CoreError> {
+        let transfer = Arc::new(TransferNetwork::build(&graph, &trips, None));
+        Self::with_mining_state(
+            graph,
+            landmarks,
+            significance,
+            trips,
+            transfer,
+            MprParams::default(),
+            MfpParams::default(),
+            LdrParams::default(),
+            desk,
+            cfg,
+        )
+    }
+
+    /// Builds the server over an already-aggregated transfer network and
+    /// explicit miner parameters — the constructor for serving stacks
+    /// that keep one shared mining state per city world.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_mining_state(
+        graph: Arc<RoadGraph>,
+        landmarks: Arc<LandmarkSet>,
+        significance: Arc<Vec<f64>>,
+        trips: Arc<Vec<Trip>>,
+        transfer: Arc<TransferNetwork>,
+        mpr: MprParams,
+        mfp: MfpParams,
+        ldr: LdrParams,
+        desk: Arc<dyn CrowdDesk>,
         cfg: Config,
     ) -> Result<Self, CoreError> {
         cfg.validate()?;
@@ -127,9 +201,14 @@ impl<'a> CrowdPlanner<'a> {
             graph,
             landmarks,
             significance,
-            generator: CandidateGenerator::new(graph, trips),
-            platform,
+            trips,
+            transfer,
+            mpr,
+            mfp,
+            ldr,
+            desk,
             truths: TruthStore::new(),
+            truth_cap: 0,
             knowledge: None,
             cfg,
             calibration: CalibrationParams::default(),
@@ -149,9 +228,28 @@ impl<'a> CrowdPlanner<'a> {
         &self.truths
     }
 
-    /// The crowd platform (read access for experiments).
-    pub fn platform(&self) -> &Platform {
-        &self.platform
+    /// Bounds the private truth store to at most `cap` entries (0 =
+    /// unbounded, the default): a full store batch-evicts oldest-first
+    /// on insert. Long-lived planners on resident worker pools should
+    /// set this, mirroring the serving layer's bounded sharded store.
+    pub fn set_truth_cap(&mut self, cap: usize) {
+        self.truth_cap = cap;
+    }
+
+    /// Records a truth, enforcing the cap. Batch eviction (an eighth of
+    /// the cap at a time) amortises the store's O(remaining) re-index.
+    fn record_truth(&mut self, entry: TruthEntry) {
+        self.truths.insert(&self.graph, entry);
+        if self.truth_cap != 0 && self.truths.len() > self.truth_cap {
+            let batch = (self.truth_cap / 8).max(1) + (self.truths.len() - self.truth_cap - 1);
+            self.truths.evict_oldest(batch);
+        }
+    }
+
+    /// The crowd desk this planner assigns through (shared with every
+    /// sibling planner over the same crowd).
+    pub fn desk(&self) -> &Arc<dyn CrowdDesk> {
+        &self.desk
     }
 
     /// The configuration.
@@ -159,9 +257,14 @@ impl<'a> CrowdPlanner<'a> {
         &self.cfg
     }
 
-    /// The candidate generator.
-    pub fn candidate_generator(&self) -> &CandidateGenerator<'a> {
-        &self.generator
+    /// The road graph.
+    pub fn graph(&self) -> &Arc<RoadGraph> {
+        &self.graph
+    }
+
+    /// The landmark set.
+    pub fn landmarks(&self) -> &Arc<LandmarkSet> {
+        &self.landmarks
     }
 
     /// Inferred significance of a landmark.
@@ -175,17 +278,64 @@ impl<'a> CrowdPlanner<'a> {
         &self.reliability
     }
 
+    /// Produces one candidate route per available source over the owned
+    /// mining state (identical output to the borrowed
+    /// `CandidateGenerator` over the same inputs).
+    pub fn candidates(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+    ) -> Vec<cp_mining::CandidateRoute> {
+        generate_candidates(
+            &self.graph,
+            &self.trips,
+            &self.transfer,
+            &self.mpr,
+            &self.mfp,
+            &self.ldr,
+            from,
+            to,
+            departure,
+        )
+    }
+
     /// Lazily (re)builds the worker-knowledge model. Invalidated whenever
-    /// new answers arrive (crowd tasks).
+    /// the desk's answer history moves (this planner's asks or a
+    /// concurrent sibling's).
     pub fn knowledge_model(&mut self) -> &KnowledgeModel {
-        if self.knowledge.is_none() {
-            self.knowledge = Some(KnowledgeModel::build(
-                &self.platform,
-                self.landmarks,
-                &self.cfg,
+        let generation = self.desk.generation();
+        let stale = self
+            .knowledge
+            .as_ref()
+            .is_none_or(|(g, _)| *g != generation);
+        if stale {
+            self.knowledge = Some((
+                generation,
+                KnowledgeModel::build(&*self.desk, &self.landmarks, &self.cfg),
             ));
         }
-        self.knowledge.as_ref().expect("just built")
+        &self.knowledge.as_ref().expect("just built").1
+    }
+
+    /// Step 1 of the ladder: a private-truth-store hit, if any.
+    fn reuse_hit(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+    ) -> Option<Recommendation> {
+        let hit = self
+            .truths
+            .lookup(&self.graph, from, to, departure, &self.cfg)?;
+        self.stats.reuse_hits += 1;
+        Some(Recommendation {
+            path: hit.path.clone(),
+            resolution: Resolution::ReusedTruth,
+            questions_asked: 0,
+            workers_asked: 0,
+            confidence: hit.confidence,
+        })
     }
 
     /// Handles one route request. `oracle(l)` must answer "does the best
@@ -201,41 +351,70 @@ impl<'a> CrowdPlanner<'a> {
         self.stats.requests += 1;
 
         // Step 1: reuse truth.
-        if let Some(hit) = self
-            .truths
-            .lookup(self.graph, from, to, departure, &self.cfg)
-        {
-            self.stats.reuse_hits += 1;
-            return Ok(Recommendation {
-                path: hit.path.clone(),
-                resolution: Resolution::ReusedTruth,
-                questions_asked: 0,
-                workers_asked: 0,
-                confidence: hit.confidence,
-            });
+        if let Some(hit) = self.reuse_hit(from, to, departure) {
+            return Ok(hit);
         }
 
         // Step 2: generate candidates.
-        let candidates = self.generator.candidates(from, to, departure);
+        let candidates = self.candidates(from, to, departure);
+        self.machine_then_crowd(from, to, departure, &candidates, oracle)
+    }
+
+    /// Like [`CrowdPlanner::handle_request`] but with the candidate set
+    /// pre-mined by the caller — the serving layer's per-`(OD,bucket)`
+    /// candidate cache feeds this so a crowd-backed city never mines the
+    /// same request twice. `Some(candidates)` must be what
+    /// [`CrowdPlanner::candidates`] would produce for the same request
+    /// (the serving world shares this planner's mining state, so its
+    /// cached sets qualify — including legitimately *empty* sets, which
+    /// resolve to [`CoreError::NoCandidates`] without re-mining); `None`
+    /// makes the planner mine for itself.
+    pub fn handle_request_with_candidates(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+        candidates: Option<&[cp_mining::CandidateRoute]>,
+        oracle: &dyn Fn(LandmarkId) -> bool,
+    ) -> Result<Recommendation, CoreError> {
+        self.stats.requests += 1;
+        if let Some(hit) = self.reuse_hit(from, to, departure) {
+            return Ok(hit);
+        }
+        match candidates {
+            Some(provided) => self.machine_then_crowd(from, to, departure, provided, oracle),
+            None => {
+                let mined = self.candidates(from, to, departure);
+                self.machine_then_crowd(from, to, departure, &mined, oracle)
+            }
+        }
+    }
+
+    /// Steps 3–4 of the ladder: machine evaluation, then the crowd.
+    fn machine_then_crowd(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        departure: TimeOfDay,
+        candidates: &[cp_mining::CandidateRoute],
+        oracle: &dyn Fn(LandmarkId) -> bool,
+    ) -> Result<Recommendation, CoreError> {
         if candidates.is_empty() {
             return Err(CoreError::NoCandidates);
         }
 
         // Step 3: machine evaluation.
         let confidences =
-            match evaluate_candidates(self.graph, &candidates, &self.truths, from, to, &self.cfg) {
+            match evaluate_candidates(&self.graph, candidates, &self.truths, from, to, &self.cfg) {
                 Evaluation::Agreement { path, supporters } => {
                     self.stats.agreements += 1;
-                    self.truths.insert(
-                        self.graph,
-                        TruthEntry {
-                            from,
-                            to,
-                            departure,
-                            path: path.clone(),
-                            confidence: 1.0,
-                        },
-                    );
+                    self.record_truth(TruthEntry {
+                        from,
+                        to,
+                        departure,
+                        path: path.clone(),
+                        confidence: 1.0,
+                    });
                     return Ok(Recommendation {
                         path,
                         resolution: Resolution::Agreement,
@@ -246,16 +425,13 @@ impl<'a> CrowdPlanner<'a> {
                 }
                 Evaluation::Confident { path, confidence } => {
                     self.stats.confident += 1;
-                    self.truths.insert(
-                        self.graph,
-                        TruthEntry {
-                            from,
-                            to,
-                            departure,
-                            path: path.clone(),
-                            confidence,
-                        },
-                    );
+                    self.record_truth(TruthEntry {
+                        from,
+                        to,
+                        departure,
+                        path: path.clone(),
+                        confidence,
+                    });
                     return Ok(Recommendation {
                         path,
                         resolution: Resolution::Confident,
@@ -271,21 +447,22 @@ impl<'a> CrowdPlanner<'a> {
         self.crowd_resolve(from, to, departure, candidates, confidences, oracle)
     }
 
-    /// The CR module: task generation, worker selection, answer
-    /// collection with early stop, rewarding, truth recording.
+    /// The CR module: task generation, worker selection, reserve → ask →
+    /// commit answer collection with early stop, rewarding, truth
+    /// recording.
     #[allow(clippy::too_many_arguments)]
     fn crowd_resolve(
         &mut self,
         from: NodeId,
         to: NodeId,
         departure: TimeOfDay,
-        candidates: Vec<cp_mining::CandidateRoute>,
+        candidates: &[cp_mining::CandidateRoute],
         confidences: Vec<f64>,
         oracle: &dyn Fn(LandmarkId) -> bool,
     ) -> Result<Recommendation, CoreError> {
         // Deduplicate identical paths, merging their sources; carry the
         // best machine confidence per distinct path as the ID3 prior.
-        let distinct = distinct_candidates(&candidates);
+        let distinct = distinct_candidates(candidates);
         let mut paths: Vec<Path> = Vec::new();
         let mut sources: Vec<Vec<SourceKind>> = Vec::new();
         let mut weights: Vec<f64> = Vec::new();
@@ -306,7 +483,7 @@ impl<'a> CrowdPlanner<'a> {
         let mut routes: Vec<LandmarkRoute> = Vec::new();
         let mut kept: Vec<usize> = Vec::new();
         for (i, p) in paths.iter().enumerate() {
-            let lr = LandmarkRoute::from_path(self.graph, self.landmarks, p, &self.calibration);
+            let lr = LandmarkRoute::from_path(&self.graph, &self.landmarks, p, &self.calibration);
             if routes.iter().all(|r| !r.same_landmark_set(&lr)) {
                 routes.push(lr);
                 kept.push(i);
@@ -340,28 +517,30 @@ impl<'a> CrowdPlanner<'a> {
             }
             paths[best].clone()
         };
-
-        if routes.len() < 2 {
-            // Everything calibrates to one landmark route: the crowd cannot
-            // distinguish candidates; return the best machine guess.
-            let path = fallback(self, true);
-            self.truths.insert(
-                self.graph,
-                TruthEntry {
+        let fallback_recommendation =
+            |this: &mut Self, questions_asked: usize, workers_asked: usize| {
+                let path = fallback(this, true);
+                let confidence = this.cfg.eta_confidence * 0.5;
+                this.record_truth(TruthEntry {
                     from,
                     to,
                     departure,
                     path: path.clone(),
-                    confidence: self.cfg.eta_confidence * 0.5,
-                },
-            );
-            return Ok(Recommendation {
-                path,
-                resolution: Resolution::Fallback,
-                questions_asked: 0,
-                workers_asked: 0,
-                confidence: self.cfg.eta_confidence * 0.5,
-            });
+                    confidence,
+                });
+                Recommendation {
+                    path,
+                    resolution: Resolution::Fallback,
+                    questions_asked,
+                    workers_asked,
+                    confidence,
+                }
+            };
+
+        if routes.len() < 2 {
+            // Everything calibrates to one landmark route: the crowd cannot
+            // distinguish candidates; return the best machine guess.
+            return Ok(fallback_recommendation(self, 0, 0));
         }
 
         let kept_weights: Vec<f64> = kept.iter().map(|&i| weights[i]).collect();
@@ -374,43 +553,57 @@ impl<'a> CrowdPlanner<'a> {
         )?;
         let question_landmarks: Vec<LandmarkId> = task.questions.iter().map(|&(l, _)| l).collect();
 
-        // Worker selection.
+        // Worker selection. The quota filter sees the tighter of the
+        // paper's η_#q and the desk's hard cap, so selection never
+        // nominates workers whose reservations are guaranteed to bounce.
         self.knowledge_model();
-        let knowledge = self.knowledge.as_ref().expect("built above");
-        let workers = match select_workers_scored(
-            &self.platform,
-            knowledge,
-            &question_landmarks,
-            &self.cfg,
-        ) {
-            Ok(w) => w,
-            Err(CoreError::NoEligibleWorkers) => {
-                let path = fallback(self, true);
-                self.truths.insert(
-                    self.graph,
-                    TruthEntry {
-                        from,
-                        to,
-                        departure,
-                        path: path.clone(),
-                        confidence: self.cfg.eta_confidence * 0.5,
-                    },
-                );
-                return Ok(Recommendation {
-                    path,
-                    resolution: Resolution::Fallback,
-                    questions_asked: 0,
-                    workers_asked: 0,
-                    confidence: self.cfg.eta_confidence * 0.5,
-                });
-            }
-            Err(e) => return Err(e),
-        };
+        let knowledge = &self.knowledge.as_ref().expect("built above").1;
+        let mut sel_cfg = self.cfg.clone();
+        sel_cfg.eta_quota = sel_cfg.eta_quota.min(self.desk.max_outstanding());
+        let workers =
+            match select_workers_scored(&*self.desk, knowledge, &question_landmarks, &sel_cfg) {
+                Ok(w) => w,
+                Err(CoreError::NoEligibleWorkers) => {
+                    // Distinguish transient quota saturation from a
+                    // genuinely unknowledgeable / unresponsive crowd: if
+                    // lifting the quota filter alone finds workers, this
+                    // is starvation — book it and (unlike a real
+                    // fallback verdict) record no truth, so a retry once
+                    // capacity frees up reaches the crowd.
+                    sel_cfg.eta_quota = u32::MAX;
+                    let quota_bound = select_workers_scored(
+                        &*self.desk,
+                        knowledge,
+                        &question_landmarks,
+                        &sel_cfg,
+                    )
+                    .is_ok();
+                    if quota_bound {
+                        self.stats.starved_tasks += 1;
+                        let path = fallback(self, true);
+                        return Ok(Recommendation {
+                            path,
+                            resolution: Resolution::Fallback,
+                            questions_asked: 0,
+                            workers_asked: 0,
+                            confidence: self.cfg.eta_confidence * 0.5,
+                        });
+                    }
+                    return Ok(fallback_recommendation(self, 0, 0));
+                }
+                Err(e) => return Err(e),
+            };
 
-        // Answer collection with early stop.
+        // Answer collection with early stop. Each assignment follows the
+        // desk's reserve → ask → commit protocol: a worker already at the
+        // shared `max_outstanding` cap is skipped (counted as a quota
+        // rejection), and every granted reservation is settled exactly
+        // once — committed after rewarding below, or released by the
+        // guard on any early exit.
         self.stats.crowd_attempts += 1;
         let mut aggregator = EarlyStop::new(task.routes.len());
         let mut participations: Vec<(cp_crowd::WorkerId, Participation)> = Vec::new();
+        let mut reservations: Vec<Reservation> = Vec::new();
         let mut questions_total = 0usize;
         // Normalise preference scores into vote weights with mean ~1.
         let score_sum: f64 = workers.iter().map(|&(_, s)| s).sum();
@@ -422,18 +615,22 @@ impl<'a> CrowdPlanner<'a> {
             }
         };
         for &(w, score) in &workers {
-            self.platform.assign(w);
+            let reservation = match Reservation::acquire(&self.desk, w) {
+                Ok(r) => r,
+                Err(_quota) => {
+                    self.stats.quota_rejections += 1;
+                    continue;
+                }
+            };
             let mut elapsed = 0.0f64;
-            let mut answered = 0usize;
             let deadline = self.cfg.task_deadline;
-            let platform = &mut self.platform;
-            let landmarks = self.landmarks;
+            let desk = &self.desk;
+            let landmarks = &self.landmarks;
             let (vote, asked) = task.tree.walk_answers(|l| {
                 let lm = landmarks.get(l);
                 let truth = oracle(l);
-                let (answer, rt) = platform.ask(w, lm, truth);
+                let (answer, rt) = desk.ask(w, lm, truth);
                 elapsed += rt;
-                answered += 1;
                 answer
             });
             let on_time = elapsed <= deadline;
@@ -446,10 +643,29 @@ impl<'a> CrowdPlanner<'a> {
                     voted_for: vote,
                 },
             ));
+            reservations.push(reservation);
             aggregator.record_weighted(vote, weight_of(score));
             if let StopDecision::Stop { .. } = aggregator.decision(&self.cfg) {
                 break;
             }
+        }
+
+        if participations.is_empty() {
+            // Every selected worker's reservation was refused: the crowd
+            // is saturated by concurrent planners. The machine's best
+            // guess stands, but — unlike a genuine "crowd could not
+            // verify" outcome — this is transient contention, so **no
+            // truth is recorded**: a retry once capacity frees up must
+            // reach the crowd, not a memoized degraded guess.
+            self.stats.starved_tasks += 1;
+            let path = fallback(self, true);
+            return Ok(Recommendation {
+                path,
+                resolution: Resolution::Fallback,
+                questions_asked: 0,
+                workers_asked: 0,
+                confidence: self.cfg.eta_confidence * 0.5,
+            });
         }
 
         // Verdict: an early stop is decisive by construction; otherwise the
@@ -462,14 +678,14 @@ impl<'a> CrowdPlanner<'a> {
                 .filter(|&(_, c)| c >= self.cfg.verdict_floor),
         };
 
-        // Rewards + bookkeeping.
+        // Rewards + bookkeeping: every reservation is committed here,
+        // exactly once.
         let winner_idx = verdict.map(|(w, _)| w);
-        for (w, p) in &participations {
+        for ((w, p), reservation) in participations.iter().zip(reservations) {
             let pts = reward_for(p, winner_idx, &self.cfg);
-            self.platform.award(*w, pts);
-            self.platform.finish(*w);
+            self.desk.award(*w, pts);
+            reservation.commit();
         }
-        self.knowledge = None; // new answers: invalidate the model
 
         let workers_asked = participations.len();
         match verdict {
@@ -486,16 +702,13 @@ impl<'a> CrowdPlanner<'a> {
                         self.reliability.record(s, won);
                     }
                 }
-                self.truths.insert(
-                    self.graph,
-                    TruthEntry {
-                        from,
-                        to,
-                        departure,
-                        path: path.clone(),
-                        confidence: 1.0,
-                    },
-                );
+                self.record_truth(TruthEntry {
+                    from,
+                    to,
+                    departure,
+                    path: path.clone(),
+                    confidence: 1.0,
+                });
                 Ok(Recommendation {
                     path,
                     resolution: Resolution::Crowd,
@@ -505,26 +718,13 @@ impl<'a> CrowdPlanner<'a> {
                 })
             }
             None => {
-                let path = fallback(self, true);
                 self.stats.total_questions += questions_total;
                 self.stats.total_workers += workers_asked;
-                self.truths.insert(
-                    self.graph,
-                    TruthEntry {
-                        from,
-                        to,
-                        departure,
-                        path: path.clone(),
-                        confidence: self.cfg.eta_confidence * 0.5,
-                    },
-                );
-                Ok(Recommendation {
-                    path,
-                    resolution: Resolution::Fallback,
-                    questions_asked: questions_total,
+                Ok(fallback_recommendation(
+                    self,
+                    questions_total,
                     workers_asked,
-                    confidence: self.cfg.eta_confidence * 0.5,
-                })
+                ))
             }
         }
     }
@@ -533,7 +733,9 @@ impl<'a> CrowdPlanner<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cp_crowd::{AnswerModel, PopulationParams, WorkerPopulation};
+    use cp_crowd::{
+        AnswerModel, CrowdObserve, Platform, PopulationParams, SharedCrowd, WorkerPopulation,
+    };
     use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams};
     use cp_traj::{
         calibrate_path, generate_checkins, generate_trips, infer_significance, CheckInGenParams,
@@ -569,19 +771,29 @@ mod tests {
         }
     }
 
-    fn planner<'a>(w: &'a World, seed: u64) -> CrowdPlanner<'a> {
+    fn warmed_platform(w: &World, seed: u64) -> Platform {
         let pop = WorkerPopulation::generate(&w.city.graph, &PopulationParams::default(), seed);
         let mut platform = Platform::new(pop, AnswerModel::default(), seed);
         platform.warm_up(&w.landmarks, 10);
+        platform
+    }
+
+    fn planner_with_desk(w: &World, desk: Arc<dyn CrowdDesk>, cfg: Config) -> CrowdPlanner {
         CrowdPlanner::new(
-            &w.city.graph,
-            &w.landmarks,
-            w.significance.clone(),
-            &w.trips.trips,
-            platform,
-            Config::default(),
+            Arc::new(w.city.graph.clone()),
+            Arc::new(w.landmarks.clone()),
+            Arc::new(w.significance.clone()),
+            Arc::new(w.trips.trips.clone()),
+            desk,
+            cfg,
         )
         .unwrap()
+    }
+
+    fn planner(w: &World, seed: u64) -> CrowdPlanner {
+        let cfg = Config::default();
+        let desk = Arc::new(SharedCrowd::new(warmed_platform(w, seed), cfg.eta_quota));
+        planner_with_desk(w, desk, cfg)
     }
 
     /// Oracle derived from the consensus route.
@@ -633,6 +845,23 @@ mod tests {
     }
 
     #[test]
+    fn owned_candidates_match_borrowed_generator() {
+        let w = world(83);
+        let cp = planner(&w, 83);
+        let generator = cp_mining::CandidateGenerator::new(&w.city.graph, &w.trips.trips);
+        let dep = TimeOfDay::from_hours(8.0);
+        for (a, b) in [(0u32, 59u32), (5, 54), (12, 47)] {
+            let borrowed = generator.candidates(NodeId(a), NodeId(b), dep);
+            let owned = cp.candidates(NodeId(a), NodeId(b), dep);
+            assert_eq!(borrowed.len(), owned.len());
+            for (x, y) in borrowed.iter().zip(&owned) {
+                assert_eq!(x.source, y.source);
+                assert_eq!(x.path, y.path);
+            }
+        }
+    }
+
+    #[test]
     fn crowd_path_exercised_on_contested_requests() {
         // Across a spread of requests at least one should reach the crowd
         // (or agreement) — and stats must be internally consistent.
@@ -657,25 +886,15 @@ mod tests {
     }
 
     #[test]
-    fn crowd_resolution_rewards_workers() {
+    fn crowd_resolution_rewards_workers_and_settles_reservations() {
         let w = world(101);
         // Force the crowd by making machine evaluation impossible to pass.
         let mut cfg = Config::default();
         cfg.agreement_similarity = 1.0; // only exact path equality agrees
         cfg.agreement_quorum = 1.0; // all sources must agree
         cfg.eta_confidence = 1.0; // machine confidence can never clear it
-        let pop = WorkerPopulation::generate(&w.city.graph, &PopulationParams::default(), 101);
-        let mut platform = Platform::new(pop, AnswerModel::default(), 101);
-        platform.warm_up(&w.landmarks, 10);
-        let mut cp = CrowdPlanner::new(
-            &w.city.graph,
-            &w.landmarks,
-            w.significance.clone(),
-            &w.trips.trips,
-            platform,
-            cfg,
-        )
-        .unwrap();
+        let desk = Arc::new(SharedCrowd::new(warmed_platform(&w, 101), cfg.eta_quota));
+        let mut cp = planner_with_desk(&w, Arc::clone(&desk) as Arc<dyn CrowdDesk>, cfg);
         let oracle = oracle_for(&w, NodeId(0), NodeId(59));
         let rec = cp
             .handle_request(NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0), &oracle)
@@ -688,29 +907,101 @@ mod tests {
             assert!(rec.workers_asked > 0);
             assert!(rec.questions_asked > 0);
             // Some worker earned points.
-            let earned: f64 = cp
-                .platform()
-                .population()
-                .ids()
-                .map(|w| cp.platform().points(w))
-                .sum();
+            let earned: f64 = desk.population().ids().map(|w| desk.points(w)).sum();
             assert!(earned > 0.0);
+        }
+        // Every granted reservation was settled exactly once and no
+        // quota is held after the task.
+        assert!(desk.desk_stats().is_drained());
+        for id in desk.population().ids() {
+            assert_eq!(desk.outstanding(id), 0);
         }
     }
 
-    /// Send/Sync audit: the serving layer moves planners onto worker
-    /// threads and shares the read-only inputs across them. A regression
-    /// here (e.g. an `Rc` or raw pointer sneaking into platform state)
-    /// must fail to compile.
     #[test]
-    fn planner_state_is_thread_mobile() {
-        fn assert_send<T: Send>() {}
+    fn saturated_desk_starves_to_fallback_with_typed_accounting() {
+        let w = world(107);
+        let mut cfg = Config::default();
+        cfg.agreement_similarity = 1.0;
+        cfg.agreement_quorum = 1.0;
+        cfg.eta_confidence = 1.0;
+        cfg.reuse_radius = 0.0;
+        let desk = Arc::new(SharedCrowd::new(warmed_platform(&w, 107), 1));
+        // Saturate every worker: each already holds max_outstanding tasks,
+        // so every reservation this planner attempts must bounce.
+        let ids: Vec<cp_crowd::WorkerId> = desk.population().ids().collect();
+        for &id in &ids {
+            desk.try_reserve(id).unwrap();
+        }
+        let mut cp = planner_with_desk(&w, Arc::clone(&desk) as Arc<dyn CrowdDesk>, cfg);
+        let pairs = [(0u32, 59u32), (9, 50), (5, 54), (20, 39), (3, 48)];
+        for (a, b) in pairs {
+            let oracle = oracle_for(&w, NodeId(a), NodeId(b));
+            let rec = cp
+                .handle_request(NodeId(a), NodeId(b), TimeOfDay::from_hours(8.0), &oracle)
+                .unwrap();
+            // Reservations can never be granted, so nothing resolves by
+            // crowd and nobody is ever asked.
+            assert_ne!(rec.resolution, Resolution::Crowd);
+            assert_eq!(rec.workers_asked, 0);
+        }
+        let s = cp.stats();
+        assert!(
+            s.starved_tasks > 0,
+            "a fully saturated desk must starve at least one task: {s:?}"
+        );
+        // Selection is clamped to the desk cap, so saturated workers are
+        // never even nominated: no reservation is attempted (and none
+        // bounce), the task is recognised as quota-bound up front.
+        assert_eq!(s.quota_rejections, 0);
+        assert_eq!(s.crowd_attempts, 0, "no crowd task should launch");
+        assert_eq!(s.crowd_tasks, 0);
+        // Saturation never leaks extra outstanding slots.
+        for &id in &ids {
+            assert_eq!(desk.outstanding(id), 1);
+        }
+    }
+
+    #[test]
+    fn truth_cap_bounds_the_private_store() {
+        let w = world(83);
+        let mut cp = planner(&w, 83);
+        cp.set_truth_cap(4);
+        let pairs = [
+            (0u32, 59u32),
+            (1, 58),
+            (2, 57),
+            (3, 56),
+            (4, 55),
+            (5, 54),
+            (6, 53),
+            (7, 52),
+        ];
+        for (a, b) in pairs {
+            let oracle = oracle_for(&w, NodeId(a), NodeId(b));
+            cp.handle_request(NodeId(a), NodeId(b), TimeOfDay::from_hours(8.0), &oracle)
+                .unwrap();
+        }
+        assert_eq!(cp.stats().requests, 8);
+        assert!(
+            cp.truths().len() <= 4,
+            "cap must bound the private store: {}",
+            cp.truths().len()
+        );
+    }
+
+    /// Send/'static audit: the serving layer moves owned planners onto
+    /// resident worker threads. A regression here (a lifetime or an
+    /// un-Send handle sneaking back into the planner) must fail to
+    /// compile.
+    #[test]
+    fn planner_is_send_and_static() {
+        fn assert_send<T: Send + 'static>() {}
         fn assert_sync<T: Sync>() {}
-        assert_send::<CrowdPlanner<'static>>();
+        assert_send::<CrowdPlanner>();
         assert_send::<TruthStore>();
         assert_sync::<TruthStore>();
         assert_sync::<Config>();
-        assert_send::<Platform>();
         assert_send::<Recommendation>();
         assert_sync::<SystemStats>();
     }
@@ -718,15 +1009,14 @@ mod tests {
     #[test]
     fn bad_significance_length_rejected() {
         let w = world(103);
-        let pop = WorkerPopulation::generate(&w.city.graph, &PopulationParams::default(), 103);
-        let platform = Platform::new(pop, AnswerModel::default(), 103);
+        let desk: Arc<dyn CrowdDesk> = Arc::new(SharedCrowd::new(warmed_platform(&w, 103), 5));
         assert!(matches!(
             CrowdPlanner::new(
-                &w.city.graph,
-                &w.landmarks,
-                vec![0.5; 3],
-                &w.trips.trips,
-                platform,
+                Arc::new(w.city.graph.clone()),
+                Arc::new(w.landmarks.clone()),
+                Arc::new(vec![0.5; 3]),
+                Arc::new(w.trips.trips.clone()),
+                desk,
                 Config::default(),
             ),
             Err(CoreError::SignificanceLengthMismatch { .. })

@@ -15,7 +15,7 @@
 use crate::config::Config;
 use crate::worker_selection::matrix::SparseObservations;
 use cp_crowd::Worker;
-use cp_crowd::{AnswerTally, Platform};
+use cp_crowd::{AnswerTally, CrowdObserve};
 use cp_roadnet::{Landmark, LandmarkSet};
 
 /// Profile-only familiarity term in `[0, 1]`.
@@ -49,15 +49,15 @@ pub fn familiarity_score(
 /// Builds the sparse observed worker×landmark familiarity matrix `M`
 /// (paper: "a n∗m matrix M with m_ij = f^{l_j}_{w_i}"; only non-zero
 /// scores count as observed — "M is very sparse").
-pub fn observed_matrix(
-    platform: &Platform,
+pub fn observed_matrix<C: CrowdObserve + ?Sized>(
+    crowd: &C,
     landmarks: &LandmarkSet,
     cfg: &Config,
 ) -> SparseObservations {
     let mut obs = SparseObservations::default();
-    for worker in platform.population().iter() {
+    for worker in crowd.population().iter() {
         // History entries (sparse per worker).
-        let history = platform.worker_history(worker.id);
+        let history = crowd.worker_history(worker.id);
         let mut hist_iter = history.iter().peekable();
         for lm in landmarks.iter() {
             let tally = match hist_iter.peek() {
@@ -79,7 +79,7 @@ pub fn observed_matrix(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cp_crowd::{AnswerModel, PopulationParams, WorkerPopulation};
+    use cp_crowd::{AnswerModel, Platform, PopulationParams, WorkerPopulation};
     use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams};
 
     fn setup() -> (LandmarkSet, Platform, Config) {

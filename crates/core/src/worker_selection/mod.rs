@@ -31,7 +31,7 @@ pub use voting::{preference_scores, top_k_workers};
 
 use crate::config::Config;
 use crate::error::CoreError;
-use cp_crowd::{Platform, WorkerId};
+use cp_crowd::{CrowdObserve, WorkerId};
 use cp_roadnet::{LandmarkId, LandmarkSet};
 
 /// Precomputed worker-knowledge state (`M*` plus provenance), reusable
@@ -46,11 +46,16 @@ pub struct KnowledgeModel {
 
 impl KnowledgeModel {
     /// Builds the knowledge model: observed `M` → PMF densified `M'` →
-    /// accumulated `M*`.
-    pub fn build(platform: &Platform, landmarks: &LandmarkSet, cfg: &Config) -> KnowledgeModel {
-        let n = platform.population().len();
+    /// accumulated `M*`. Generic over the crowd view: an exclusively
+    /// owned `Platform` and a shared `CrowdDesk` both work.
+    pub fn build<C: CrowdObserve + ?Sized>(
+        crowd: &C,
+        landmarks: &LandmarkSet,
+        cfg: &Config,
+    ) -> KnowledgeModel {
+        let n = crowd.population().len();
         let m = landmarks.len();
-        let obs = observed_matrix(platform, landmarks, cfg);
+        let obs = observed_matrix(crowd, landmarks, cfg);
         let observed_density = if n * m == 0 {
             0.0
         } else {
@@ -72,14 +77,14 @@ impl KnowledgeModel {
 
 /// Runs the full worker-selection pipeline for a task asking about
 /// `task_landmarks`. Returns the top-k eligible workers.
-pub fn select_workers(
-    platform: &Platform,
+pub fn select_workers<C: CrowdObserve + ?Sized>(
+    crowd: &C,
     knowledge: &KnowledgeModel,
     task_landmarks: &[LandmarkId],
     cfg: &Config,
 ) -> Result<Vec<WorkerId>, CoreError> {
     Ok(
-        select_workers_scored(platform, knowledge, task_landmarks, cfg)?
+        select_workers_scored(crowd, knowledge, task_landmarks, cfg)?
             .into_iter()
             .map(|(w, _)| w)
             .collect(),
@@ -88,19 +93,35 @@ pub fn select_workers(
 
 /// Like [`select_workers`] but returns each worker's rated-voting
 /// preference score, which the orchestrator uses to weight their vote.
-pub fn select_workers_scored(
-    platform: &Platform,
+pub fn select_workers_scored<C: CrowdObserve + ?Sized>(
+    crowd: &C,
     knowledge: &KnowledgeModel,
     task_landmarks: &[LandmarkId],
     cfg: &Config,
 ) -> Result<Vec<(WorkerId, f64)>, CoreError> {
     // Candidates: workers with quota, acceptable response probability, and
-    // some knowledge of at least one task landmark (∪ W_l).
-    let candidates: Vec<WorkerId> = platform
+    // some knowledge of at least one task landmark (∪ W_l). Quota and
+    // response-time observables come from one bulk snapshot (a single
+    // lock acquisition on shared desks) — per-worker `has_quota` /
+    // `is_responsive` calls would serialise on the desk mutex twice per
+    // population member.
+    let snapshot = crowd.selection_snapshot();
+    let candidates: Vec<WorkerId> = crowd
         .population()
         .ids()
-        .filter(|&w| has_quota(platform, w, cfg))
-        .filter(|&w| is_responsive(platform, w, cfg))
+        .filter(|&w| {
+            let (outstanding, count, sum) = snapshot[w.index()];
+            if outstanding >= cfg.eta_quota {
+                return false;
+            }
+            // Exponential MLE λ̂ = n / Σt, as in `estimated_rate`.
+            let rate = if count == 0 || sum <= 0.0 {
+                cfg.default_lambda
+            } else {
+                count as f64 / sum
+            };
+            cp_crowd::response_probability(rate, cfg.task_deadline) >= cfg.eta_time
+        })
         .filter(|&w| {
             task_landmarks
                 .iter()
@@ -121,7 +142,7 @@ pub fn select_workers_scored(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cp_crowd::{AnswerModel, PopulationParams, WorkerPopulation};
+    use cp_crowd::{AnswerModel, Platform, PopulationParams, WorkerPopulation};
     use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams};
 
     fn setup() -> (LandmarkSet, Platform, Config) {

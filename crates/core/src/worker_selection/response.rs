@@ -6,33 +6,45 @@
 //! response times — reaches η_time.
 
 use crate::config::Config;
-use cp_crowd::{estimate_lambda, response_probability, Platform, WorkerId};
+use cp_crowd::{response_probability, CrowdObserve, WorkerId};
 
-/// Estimated response rate of a worker: MLE over the observed history,
-/// falling back to the configured default for workers with no history.
-pub fn estimated_rate(platform: &Platform, worker: WorkerId, cfg: &Config) -> f64 {
-    estimate_lambda(platform.observed_response_times(worker)).unwrap_or(cfg.default_lambda)
+/// Estimated response rate of a worker: MLE over the observed history
+/// (`λ̂ = n / Σt`, identical to [`cp_crowd::estimate_lambda`] but
+/// computed from the running `(count, sum)` so selection never copies
+/// response histories), falling back to the configured default for
+/// workers with no history.
+pub fn estimated_rate<C: CrowdObserve + ?Sized>(crowd: &C, worker: WorkerId, cfg: &Config) -> f64 {
+    let (count, total) = crowd.response_time_stats(worker);
+    if count == 0 || total <= 0.0 {
+        cfg.default_lambda
+    } else {
+        count as f64 / total
+    }
 }
 
 /// Probability the worker answers within the task deadline.
-pub fn on_time_probability(platform: &Platform, worker: WorkerId, cfg: &Config) -> f64 {
-    response_probability(estimated_rate(platform, worker, cfg), cfg.task_deadline)
+pub fn on_time_probability<C: CrowdObserve + ?Sized>(
+    crowd: &C,
+    worker: WorkerId,
+    cfg: &Config,
+) -> f64 {
+    response_probability(estimated_rate(crowd, worker, cfg), cfg.task_deadline)
 }
 
 /// The response-time filter: `F(t;λ) ≥ η_time`.
-pub fn is_responsive(platform: &Platform, worker: WorkerId, cfg: &Config) -> bool {
-    on_time_probability(platform, worker, cfg) >= cfg.eta_time
+pub fn is_responsive<C: CrowdObserve + ?Sized>(crowd: &C, worker: WorkerId, cfg: &Config) -> bool {
+    on_time_probability(crowd, worker, cfg) >= cfg.eta_time
 }
 
 /// The quota filter: the worker still has task capacity (η_#q).
-pub fn has_quota(platform: &Platform, worker: WorkerId, cfg: &Config) -> bool {
-    platform.outstanding(worker) < cfg.eta_quota
+pub fn has_quota<C: CrowdObserve + ?Sized>(crowd: &C, worker: WorkerId, cfg: &Config) -> bool {
+    crowd.outstanding(worker) < cfg.eta_quota
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cp_crowd::{AnswerModel, PopulationParams, WorkerPopulation};
+    use cp_crowd::{AnswerModel, Platform, PopulationParams, WorkerPopulation};
     use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams};
 
     fn setup() -> (cp_roadnet::LandmarkSet, Platform, Config) {

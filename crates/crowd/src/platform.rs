@@ -15,6 +15,7 @@ use cp_roadnet::{Landmark, LandmarkId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-(worker, landmark) answer tally.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,12 +29,17 @@ pub struct AnswerTally {
 /// The simulated crowdsourcing platform.
 #[derive(Debug)]
 pub struct Platform {
-    population: WorkerPopulation,
+    /// Shared handle: the population is immutable, so desks wrapping the
+    /// platform in a mutex can still hand out lock-free references.
+    population: Arc<WorkerPopulation>,
     model: AnswerModel,
     history: HashMap<(WorkerId, LandmarkId), AnswerTally>,
     response_times: Vec<Vec<f64>>,
     outstanding: Vec<u32>,
     points: Vec<f64>,
+    /// Answer-history version, bumped on every [`Platform::ask`]; cached
+    /// derived state (e.g. knowledge models) is keyed by this.
+    generation: u64,
     rng: SmallRng,
 }
 
@@ -43,12 +49,13 @@ impl Platform {
     pub fn new(population: WorkerPopulation, model: AnswerModel, seed: u64) -> Self {
         let n = population.len();
         Platform {
-            population,
+            population: Arc::new(population),
             model,
             history: HashMap::new(),
             response_times: vec![Vec::new(); n],
             outstanding: vec![0; n],
             points: vec![0.0; n],
+            generation: 0,
             rng: SmallRng::seed_from_u64(seed ^ 0x1656_67B1_9E37_79F9),
         }
     }
@@ -56,6 +63,16 @@ impl Platform {
     /// The worker population.
     pub fn population(&self) -> &WorkerPopulation {
         &self.population
+    }
+
+    /// A shared handle to the (immutable) worker population.
+    pub fn population_arc(&self) -> Arc<WorkerPopulation> {
+        Arc::clone(&self.population)
+    }
+
+    /// Monotone answer-history version: bumped on every [`Platform::ask`].
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The answer model in force.
@@ -124,6 +141,7 @@ impl Platform {
                 .sample_answer(&self.population, worker, landmark, truth, &mut self.rng);
         let rt = sample_response_time(self.population.get(worker).lambda, &mut self.rng);
         self.response_times[worker.index()].push(rt);
+        self.generation += 1;
         let tally = self.history.entry((worker, landmark.id)).or_default();
         if answer == truth {
             tally.correct += 1;

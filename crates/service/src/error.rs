@@ -24,6 +24,16 @@ pub enum ServiceError {
     /// worker survives (the panic is contained and the worker's resolver
     /// is rebuilt); callers may resubmit.
     ResolverPanicked,
+    /// The crowd was required but entirely quota-starved: every selected
+    /// worker's reservation was refused at the shared desk's
+    /// `max_outstanding` cap. Only surfaced by crowd resolvers opted
+    /// into strict shedding (`CrowdResolver::fail_when_starved`);
+    /// otherwise starvation degrades to a machine fallback. Either way
+    /// it is visible in the `crowd_starved` statistics.
+    CrowdStarved {
+        /// Reservations refused while serving this request.
+        quota_rejections: u64,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -47,6 +57,12 @@ impl std::fmt::Display for ServiceError {
                 write!(
                     f,
                     "the resolver panicked while serving the request; resubmit"
+                )
+            }
+            ServiceError::CrowdStarved { quota_rejections } => {
+                write!(
+                    f,
+                    "crowd quota-starved: all {quota_rejections} worker reservations were refused; back off and resubmit"
                 )
             }
         }
@@ -75,6 +91,11 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         assert!(ServiceError::Busy.to_string().contains("queue full"));
+        assert!(ServiceError::CrowdStarved {
+            quota_rejections: 9
+        }
+        .to_string()
+        .contains("quota-starved"));
         assert!(ServiceError::UnknownCity(CityId(9))
             .to_string()
             .contains("city#9"));

@@ -418,21 +418,49 @@ impl RouteService {
                 // 3. Candidate cache; 4. resolution.
                 let candidates =
                     self.candidates_for(req.from, req.to, self.bucket_of(req.departure), departure);
-                // An early `?` drops the token, which publishes the
+                // An early return drops the token, which publishes the
                 // failure to any followers.
-                let resolved = resolver.resolve(req.from, req.to, departure, &candidates)?;
+                let resolved = match resolver.resolve(req.from, req.to, departure, &candidates) {
+                    Ok(resolved) => resolved,
+                    Err(e) => {
+                        // Strict-shedding starvation serves no route but
+                        // must still surface in the crowd counters.
+                        if let ServiceError::CrowdStarved { quota_rejections } = e {
+                            self.stats.record_crowd(crate::resolver::CrowdCost {
+                                questions: 0,
+                                workers: 0,
+                                quota_rejections,
+                                starved: true,
+                            });
+                        }
+                        return Err(e);
+                    }
+                };
+                // Crowd resolvers report per-request cost/contention;
+                // surface it in the shared counters (quota shed and
+                // starvation visibility).
+                let starved = resolved.crowd.is_some_and(|c| c.starved);
+                if let Some(cost) = resolved.crowd {
+                    self.stats.record_crowd(cost);
+                }
                 // Capacity evictions are counted inside the store (the
-                // single source `stats()` reads them back from).
-                self.truths.insert(
-                    graph,
-                    TruthEntry {
-                        from: req.from,
-                        to: req.to,
-                        departure,
-                        path: resolved.path.clone(),
-                        confidence: resolved.confidence,
-                    },
-                );
+                // single source `stats()` reads them back from). A
+                // quota-starved fallback is transient contention, not a
+                // verdict — it is served but never memoized, so retries
+                // reach the crowd once capacity frees up (mirroring the
+                // planner's own no-record rule for starvation).
+                if !starved {
+                    self.truths.insert(
+                        graph,
+                        TruthEntry {
+                            from: req.from,
+                            to: req.to,
+                            departure,
+                            path: resolved.path.clone(),
+                            confidence: resolved.confidence,
+                        },
+                    );
+                }
                 let served = ServedRoute {
                     path: resolved.path,
                     served: Served::Resolved(resolved.resolution),

@@ -32,8 +32,10 @@
 //!   [`ServiceConfig::cache_ods_per_key`]);
 //! * [`Resolver`] — pluggable miss handling: deterministic machine-only
 //!   ([`MachineResolver`], owned and `'static` — the platform default)
-//!   or the full crowd pipeline ([`CrowdResolver`], one planner per
-//!   worker, closed-batch only);
+//!   or the full crowd pipeline ([`CrowdResolver`] — also owned and
+//!   `'static`: one planner per platform worker, all sharing the city's
+//!   quota-capped crowd desk; register with
+//!   [`Platform::register_city_crowd`] and [`CrowdServing`]);
 //! * [`ServiceStats`] — lock-free counters with truth/cache hit rates,
 //!   dedup and eviction counts and a latency histogram that merges
 //!   exactly across cities.
@@ -116,8 +118,11 @@ pub mod world;
 pub use cache::Lru;
 pub use error::ServiceError;
 pub use executor::{Request, RequestKey, RouteService, Served, ServedRoute, ServiceConfig};
-pub use platform::{Platform, PlatformConfig, PlatformSnapshot, Ticket};
-pub use resolver::{CrowdResolver, MachineResolver, Resolved, Resolver};
+pub use platform::{
+    CrowdServing, MaintenanceConfig, MaintenanceReport, Platform, PlatformConfig, PlatformSnapshot,
+    Ticket,
+};
+pub use resolver::{CrowdCost, CrowdResolver, MachineResolver, OracleFactory, Resolved, Resolver};
 pub use singleflight::{FlightTable, Join, LeaderToken};
 pub use stats::{LatencySummary, ServiceStats, StatsSnapshot};
 pub use store::ShardedTruthStore;

@@ -50,14 +50,37 @@
 
 use crate::error::ServiceError;
 use crate::executor::{Request, RouteService, ServedRoute, ServiceConfig};
-use crate::resolver::{MachineResolver, Resolver};
+use crate::resolver::{CrowdResolver, MachineResolver, OracleFactory, Resolver};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use crate::world::{CityId, World};
+use cp_core::{CoreError, CrowdPlanner};
+use cp_crowd::CrowdDesk;
+use cp_roadnet::LandmarkSet;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Background-maintenance configuration: a resident janitor thread
+/// sweeps every city's truth store on a fixed cadence, replacing
+/// caller-driven [`RouteService::evict_truths_older_than`] loops.
+#[derive(Debug, Clone, Copy)]
+pub struct MaintenanceConfig {
+    /// Time between sweeps.
+    pub interval: Duration,
+    /// Truths at least this old are evicted on each sweep.
+    pub max_age: Duration,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            interval: Duration::from_secs(60),
+            max_age: Duration::from_secs(3600),
+        }
+    }
+}
 
 /// Platform-level configuration (per-city serving behaviour lives in
 /// each city's [`ServiceConfig`]).
@@ -68,6 +91,9 @@ pub struct PlatformConfig {
     /// Bounded ingress queue capacity; a full queue makes
     /// [`Platform::submit`] reject with [`ServiceError::Busy`].
     pub queue_capacity: usize,
+    /// Optional background maintenance (truth-age sweeps + stats
+    /// snapshot export). `None` (the default) spawns no janitor.
+    pub maintenance: Option<MaintenanceConfig>,
 }
 
 impl Default for PlatformConfig {
@@ -75,6 +101,7 @@ impl Default for PlatformConfig {
         PlatformConfig {
             workers: 4,
             queue_capacity: 256,
+            maintenance: None,
         }
     }
 }
@@ -89,6 +116,55 @@ type ResolverFactory = Box<dyn Fn(usize) -> Box<dyn Resolver + Send> + Send + Sy
 struct CityState {
     service: Arc<RouteService>,
     factory: ResolverFactory,
+}
+
+/// Everything a crowd-backed city shares across its per-worker planners:
+/// the landmark set and significance scores, the crowd desk (quota
+/// accounting lives there), and the oracle factory standing in for the
+/// crowd's latent knowledge. See
+/// [`Platform::register_city_crowd`].
+#[derive(Clone)]
+pub struct CrowdServing {
+    /// The city's landmarks.
+    pub landmarks: Arc<LandmarkSet>,
+    /// HITS-inferred landmark significance (one entry per landmark).
+    pub significance: Arc<Vec<f64>>,
+    /// The shared crowd desk every resolver assigns through.
+    pub desk: Arc<dyn CrowdDesk>,
+    /// Supplies the per-request crowd-knowledge oracle.
+    pub oracle: Arc<dyn OracleFactory>,
+    /// Fail quota-starved requests with
+    /// [`ServiceError::CrowdStarved`] instead of serving the machine
+    /// fallback (defaults to `false`).
+    pub fail_when_starved: bool,
+}
+
+impl CrowdServing {
+    /// Bundles the shared crowd inputs (starvation degrades to machine
+    /// fallback; flip `fail_when_starved` for strict shedding).
+    pub fn new(
+        landmarks: Arc<LandmarkSet>,
+        significance: Arc<Vec<f64>>,
+        desk: Arc<dyn CrowdDesk>,
+        oracle: Arc<dyn OracleFactory>,
+    ) -> Self {
+        CrowdServing {
+            landmarks,
+            significance,
+            desk,
+            oracle,
+            fail_when_starved: false,
+        }
+    }
+}
+
+impl std::fmt::Debug for CrowdServing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrowdServing")
+            .field("landmarks", &self.landmarks.len())
+            .field("fail_when_starved", &self.fail_when_starved)
+            .finish_non_exhaustive()
+    }
 }
 
 /// One admitted request waiting for a worker.
@@ -119,6 +195,29 @@ struct Inner {
     rejected_unknown_city: AtomicU64,
     rejected_shutdown: AtomicU64,
     completed: AtomicU64,
+    /// `true` once shutdown started; the janitor exits on the next wake.
+    maintenance_stop: Mutex<bool>,
+    /// Signalled to wake the janitor early (shutdown).
+    maintenance_cv: Condvar,
+    /// Completed maintenance sweeps.
+    maintenance_sweeps: AtomicU64,
+    /// Truths evicted by maintenance sweeps (cumulative).
+    maintenance_evicted: AtomicU64,
+    /// The report exported by the most recent sweep.
+    last_maintenance: Mutex<Option<MaintenanceReport>>,
+}
+
+/// What one background maintenance sweep observed and exported.
+#[derive(Debug, Clone)]
+pub struct MaintenanceReport {
+    /// Sweeps completed so far (this one included).
+    pub sweeps: u64,
+    /// Truths evicted by this sweep.
+    pub evicted: usize,
+    /// Truths evicted by all sweeps so far.
+    pub evicted_total: u64,
+    /// Full platform statistics exported at sweep time.
+    pub snapshot: PlatformSnapshot,
 }
 
 /// Point-in-time platform statistics: admission counters plus the exact
@@ -141,6 +240,9 @@ pub struct PlatformSnapshot {
     pub cities: usize,
     /// Jobs currently waiting in the ingress queue.
     pub queue_depth: usize,
+    /// Background maintenance sweeps completed (0 when no janitor is
+    /// configured).
+    pub maintenance_sweeps: u64,
     /// Exact merge of all per-city service statistics (latency
     /// percentiles come from the merged histogram).
     pub aggregate: StatsSnapshot,
@@ -258,6 +360,7 @@ impl Platform {
             cfg: PlatformConfig {
                 workers: cfg.workers.max(1),
                 queue_capacity: cfg.queue_capacity.max(1),
+                maintenance: cfg.maintenance,
             },
             cities: RwLock::new(Vec::new()),
             queue: Mutex::new(Ingress {
@@ -272,8 +375,13 @@ impl Platform {
             rejected_unknown_city: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            maintenance_stop: Mutex::new(false),
+            maintenance_cv: Condvar::new(),
+            maintenance_sweeps: AtomicU64::new(0),
+            maintenance_evicted: AtomicU64::new(0),
+            last_maintenance: Mutex::new(None),
         });
-        let workers = (0..inner.cfg.workers)
+        let mut workers: Vec<JoinHandle<()>> = (0..inner.cfg.workers)
             .map(|w| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -282,6 +390,15 @@ impl Platform {
                     .expect("spawning a platform worker")
             })
             .collect();
+        if let Some(maintenance) = inner.cfg.maintenance {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("cp-platform-janitor".into())
+                    .spawn(move || janitor_loop(&inner, maintenance))
+                    .expect("spawning the platform janitor"),
+            );
+        }
         Platform {
             inner,
             workers: Mutex::new(workers),
@@ -318,6 +435,64 @@ impl Platform {
         let mut cities = self.inner.cities.write().expect("city registry poisoned");
         cities.push(state);
         CityId((cities.len() - 1) as u32)
+    }
+
+    /// Registers a **crowd-backed** city: every platform worker builds
+    /// one owned [`CrowdPlanner`] for it (lazily, kept across requests),
+    /// all sharing the city's [`CrowdDesk`] — so concurrent resolvers
+    /// can never assign any worker more than the desk's
+    /// `max_outstanding` simultaneous tasks. Crowd cost and contention
+    /// land in the city's statistics (`crowd_questions`,
+    /// `crowd_quota_rejections`, `crowd_starved`).
+    ///
+    /// Fails fast (before registration) on invalid thresholds or a
+    /// significance/landmark length mismatch, so per-worker planner
+    /// construction cannot fail later.
+    ///
+    /// Per-worker planners keep a small private truth store (the shared
+    /// sharded store already served reuse before the resolver runs); it
+    /// is bounded so resident planners cannot grow without bound —
+    /// `truth_cap_per_shard × shards` when the city's store is bounded,
+    /// else a fixed 4096-entry cap.
+    pub fn register_city_crowd(
+        &self,
+        world: Arc<World>,
+        cfg: ServiceConfig,
+        crowd: CrowdServing,
+    ) -> Result<CityId, CoreError> {
+        cfg.core.validate()?;
+        if crowd.significance.len() != crowd.landmarks.len() {
+            return Err(CoreError::SignificanceLengthMismatch {
+                expected: crowd.landmarks.len(),
+                actual: crowd.significance.len(),
+            });
+        }
+        let core = cfg.core.clone();
+        let truth_cap = if cfg.truth_cap_per_shard == 0 {
+            4096
+        } else {
+            cfg.truth_cap_per_shard.saturating_mul(cfg.shards)
+        };
+        let planner_world = Arc::clone(&world);
+        let factory = move |_worker: usize| {
+            let mut planner = CrowdPlanner::with_mining_state(
+                planner_world.graph_arc(),
+                Arc::clone(&crowd.landmarks),
+                Arc::clone(&crowd.significance),
+                planner_world.trips_arc(),
+                planner_world.transfer_arc(),
+                planner_world.mpr,
+                planner_world.mfp,
+                planner_world.ldr,
+                Arc::clone(&crowd.desk),
+                core.clone(),
+            )
+            .expect("crowd serving inputs validated at registration");
+            planner.set_truth_cap(truth_cap);
+            CrowdResolver::new(planner, Arc::clone(&crowd.oracle))
+                .fail_when_starved(crowd.fail_when_starved)
+        };
+        Ok(self.register_city_with(world, cfg, factory))
     }
 
     /// Number of registered cities.
@@ -425,38 +600,32 @@ impl Platform {
     /// Point-in-time platform statistics (admission counters + the exact
     /// per-city aggregate).
     pub fn stats(&self) -> PlatformSnapshot {
-        let cities = self.inner.cities.read().expect("city registry poisoned");
-        let agg = ServiceStats::new();
-        let mut truth_evictions = 0u64;
-        for city in cities.iter() {
-            agg.absorb(city.service.raw_stats());
-            truth_evictions += city.service.truths().evicted();
-        }
-        let mut aggregate = agg.snapshot();
-        aggregate.truth_evictions = truth_evictions;
-        let queue_depth = self
-            .inner
-            .queue
+        snapshot_of(&self.inner)
+    }
+
+    /// The report exported by the most recent background maintenance
+    /// sweep, or `None` when no janitor is configured (or it has not
+    /// swept yet).
+    pub fn maintenance_report(&self) -> Option<MaintenanceReport> {
+        self.inner
+            .last_maintenance
             .lock()
-            .expect("ingress queue poisoned")
-            .jobs
-            .len();
-        PlatformSnapshot {
-            submitted: self.inner.submitted.load(Ordering::Relaxed),
-            admitted: self.inner.admitted.load(Ordering::Relaxed),
-            rejected_busy: self.inner.rejected_busy.load(Ordering::Relaxed),
-            rejected_unknown_city: self.inner.rejected_unknown_city.load(Ordering::Relaxed),
-            rejected_shutdown: self.inner.rejected_shutdown.load(Ordering::Relaxed),
-            completed: self.inner.completed.load(Ordering::Relaxed),
-            cities: cities.len(),
-            queue_depth,
-            aggregate,
-        }
+            .expect("maintenance report poisoned")
+            .clone()
+    }
+
+    /// Runs one maintenance sweep right now (independent of the
+    /// janitor's cadence): evicts truths at least `max_age` old from
+    /// every city and exports a report. Returns how many truths were
+    /// evicted.
+    pub fn sweep_now(&self, max_age: Duration) -> usize {
+        maintenance_sweep(&self.inner, max_age)
     }
 
     /// Stops admissions, drains every queued job (each admitted ticket
-    /// resolves exactly once) and joins the worker pool. Idempotent;
-    /// dropping the platform without calling this does the same.
+    /// resolves exactly once) and joins the worker pool (janitor
+    /// included). Idempotent; dropping the platform without calling this
+    /// does the same.
     pub fn shutdown(self) {
         self.shutdown_impl();
     }
@@ -468,10 +637,111 @@ impl Platform {
             self.inner.not_empty.notify_all();
             self.inner.not_full.notify_all();
         }
+        {
+            let mut stop = self
+                .inner
+                .maintenance_stop
+                .lock()
+                .expect("maintenance stop poisoned");
+            *stop = true;
+            self.inner.maintenance_cv.notify_all();
+        }
         let handles = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
         for handle in handles {
             let _ = handle.join();
         }
+    }
+}
+
+/// Assembles the full platform snapshot from shared state (used by both
+/// the public [`Platform::stats`] and the janitor's export).
+fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
+    let cities = inner.cities.read().expect("city registry poisoned");
+    let agg = ServiceStats::new();
+    let mut truth_evictions = 0u64;
+    for city in cities.iter() {
+        agg.absorb(city.service.raw_stats());
+        truth_evictions += city.service.truths().evicted();
+    }
+    let mut aggregate = agg.snapshot();
+    aggregate.truth_evictions = truth_evictions;
+    let queue_depth = inner
+        .queue
+        .lock()
+        .expect("ingress queue poisoned")
+        .jobs
+        .len();
+    PlatformSnapshot {
+        submitted: inner.submitted.load(Ordering::Relaxed),
+        admitted: inner.admitted.load(Ordering::Relaxed),
+        rejected_busy: inner.rejected_busy.load(Ordering::Relaxed),
+        rejected_unknown_city: inner.rejected_unknown_city.load(Ordering::Relaxed),
+        rejected_shutdown: inner.rejected_shutdown.load(Ordering::Relaxed),
+        completed: inner.completed.load(Ordering::Relaxed),
+        cities: cities.len(),
+        queue_depth,
+        maintenance_sweeps: inner.maintenance_sweeps.load(Ordering::Relaxed),
+        aggregate,
+    }
+}
+
+/// One maintenance sweep: age-evict every city's truths, bump the sweep
+/// counters and export a fresh report.
+fn maintenance_sweep(inner: &Inner, max_age: Duration) -> usize {
+    let cities: Vec<Arc<CityState>> = inner
+        .cities
+        .read()
+        .expect("city registry poisoned")
+        .iter()
+        .map(Arc::clone)
+        .collect();
+    let mut evicted = 0usize;
+    for city in &cities {
+        evicted += city.service.evict_truths_older_than(max_age);
+    }
+    let sweeps = inner.maintenance_sweeps.fetch_add(1, Ordering::Relaxed) + 1;
+    let evicted_total = inner
+        .maintenance_evicted
+        .fetch_add(evicted as u64, Ordering::Relaxed)
+        + evicted as u64;
+    let report = MaintenanceReport {
+        sweeps,
+        evicted,
+        evicted_total,
+        snapshot: snapshot_of(inner),
+    };
+    *inner
+        .last_maintenance
+        .lock()
+        .expect("maintenance report poisoned") = Some(report);
+    evicted
+}
+
+/// The resident janitor: sleep `interval`, sweep, repeat — until
+/// shutdown wakes it. Sweeping is caller-invisible (workers keep
+/// serving); only truths past `max_age` are touched.
+fn janitor_loop(inner: &Inner, cfg: MaintenanceConfig) {
+    loop {
+        let stop = inner
+            .maintenance_stop
+            .lock()
+            .expect("maintenance stop poisoned");
+        // Check before parking: a shutdown notification fired while the
+        // janitor was mid-sweep would otherwise be lost (condvar
+        // notifications are not sticky) and shutdown would block for a
+        // full interval.
+        if *stop {
+            break;
+        }
+        let (stop, _timeout) = inner
+            .maintenance_cv
+            .wait_timeout(stop, cfg.interval)
+            .expect("maintenance stop poisoned");
+        if *stop {
+            break;
+        }
+        drop(stop);
+        maintenance_sweep(inner, cfg.max_age);
     }
 }
 
@@ -565,6 +835,7 @@ mod tests {
         let platform = Platform::start(PlatformConfig {
             workers: 2,
             queue_capacity: 64,
+            maintenance: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         assert_eq!(id, CityId(0));
@@ -644,6 +915,7 @@ mod tests {
         let platform = Platform::start(PlatformConfig {
             workers: 1,
             queue_capacity: 1,
+            maintenance: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let mut busy = 0u32;
@@ -676,6 +948,7 @@ mod tests {
         let platform = Platform::start(PlatformConfig {
             workers: 2,
             queue_capacity: 128,
+            maintenance: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let tickets: Vec<Ticket> = (0..50u32)
@@ -724,6 +997,7 @@ mod tests {
         let platform = Platform::start(PlatformConfig {
             workers: 1,
             queue_capacity: 16,
+            maintenance: None,
         });
         let cfg = ServiceConfig::strict_deterministic();
         let core = cfg.core.clone();
@@ -762,6 +1036,155 @@ mod tests {
         assert_eq!(snap.errors, 1);
         assert!(snap.is_consistent(), "{snap:?}");
         platform.shutdown();
+    }
+
+    #[test]
+    fn janitor_sweeps_and_exports_reports() {
+        let platform = Platform::start(PlatformConfig {
+            workers: 2,
+            queue_capacity: 64,
+            maintenance: Some(MaintenanceConfig {
+                interval: Duration::from_millis(2),
+                max_age: Duration::ZERO,
+            }),
+        });
+        let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        for i in 0..6u32 {
+            platform
+                .submit_blocking(Request::to_city(
+                    id,
+                    NodeId(i),
+                    NodeId(59 - i),
+                    TimeOfDay::from_hours(8.0),
+                ))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        // Every resolution deposited a truth with max_age ZERO: the
+        // janitor must observe and evict them. Wait (bounded) for at
+        // least one sweep that evicted something.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let report = loop {
+            if let Some(r) = platform.maintenance_report() {
+                if r.evicted_total > 0 {
+                    break r;
+                }
+            }
+            assert!(Instant::now() < deadline, "janitor never swept an eviction");
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        assert!(report.sweeps > 0);
+        assert!(report.snapshot.is_consistent());
+        assert!(report.snapshot.maintenance_sweeps >= report.sweeps);
+        assert!(report.snapshot.aggregate.truth_evictions > 0);
+        // The sweep counter also surfaces through the ordinary stats.
+        assert!(platform.stats().maintenance_sweeps > 0);
+        platform.shutdown();
+    }
+
+    #[test]
+    fn sweep_now_runs_without_a_janitor() {
+        let platform = Platform::start(PlatformConfig::default());
+        let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        platform
+            .submit_blocking(Request::to_city(
+                id,
+                NodeId(0),
+                NodeId(59),
+                TimeOfDay::from_hours(8.0),
+            ))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(platform.maintenance_report().map(|r| r.sweeps), None);
+        let evicted = platform.sweep_now(Duration::ZERO);
+        assert_eq!(evicted, 1);
+        let report = platform.maintenance_report().expect("sweep exports");
+        assert_eq!(report.sweeps, 1);
+        assert_eq!(report.evicted, 1);
+        platform.shutdown();
+    }
+
+    #[test]
+    fn crowd_city_serves_on_the_resident_pool() {
+        use crate::resolver::OracleFactory;
+        use cp_crowd::{AnswerModel, PopulationParams, SharedCrowd, WorkerPopulation};
+        use cp_roadnet::{generate_landmarks, LandmarkGenParams, LandmarkId};
+        use cp_traj::{
+            generate_checkins, generate_trips, infer_significance, CalibrationParams,
+            CheckInGenParams, SignificanceParams, TripGenParams,
+        };
+
+        let city = generate_city(&CityParams::small(), 7).unwrap();
+        let landmarks = generate_landmarks(&city.graph, &LandmarkGenParams::default(), 7);
+        let trips = generate_trips(&city.graph, &TripGenParams::default(), 7).unwrap();
+        let checkins = generate_checkins(&city.graph, &landmarks, &CheckInGenParams::default(), 7);
+        let significance = infer_significance(
+            &city.graph,
+            &landmarks,
+            &checkins,
+            &trips,
+            &CalibrationParams::default(),
+            &SignificanceParams::default(),
+        );
+        let world = Arc::new(World::new(city.graph.clone(), trips.trips));
+        let pop = WorkerPopulation::generate(&city.graph, &PopulationParams::default(), 7);
+        let mut crowd_platform = cp_crowd::Platform::new(pop, AnswerModel::default(), 7);
+        crowd_platform.warm_up(&landmarks, 10);
+        let desk = Arc::new(SharedCrowd::new(crowd_platform, 3));
+        let oracle: Arc<dyn OracleFactory> =
+            Arc::new(|_f: NodeId, _t: NodeId| |l: LandmarkId| l.0.is_multiple_of(2));
+
+        let platform = Platform::start(PlatformConfig {
+            workers: 2,
+            queue_capacity: 64,
+            maintenance: None,
+        });
+        let bad = platform.register_city_crowd(
+            Arc::clone(&world),
+            ServiceConfig::default(),
+            CrowdServing::new(
+                Arc::new(landmarks.clone()),
+                Arc::new(vec![0.5; 3]),
+                Arc::clone(&desk) as Arc<dyn cp_crowd::CrowdDesk>,
+                Arc::clone(&oracle),
+            ),
+        );
+        assert!(bad.is_err(), "length mismatch must fail at registration");
+
+        let id = platform
+            .register_city_crowd(
+                Arc::clone(&world),
+                ServiceConfig::default(),
+                CrowdServing::new(
+                    Arc::new(landmarks),
+                    Arc::new(significance),
+                    Arc::clone(&desk) as Arc<dyn cp_crowd::CrowdDesk>,
+                    oracle,
+                ),
+            )
+            .unwrap();
+        for (a, b) in [(0u32, 59u32), (5, 54), (12, 47)] {
+            let served = platform
+                .submit_blocking(Request::to_city(
+                    id,
+                    NodeId(a),
+                    NodeId(b),
+                    TimeOfDay::from_hours(8.0),
+                ))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(served.path.source(), NodeId(a));
+            assert_eq!(served.path.destination(), NodeId(b));
+        }
+        let snap = platform.city_stats(id).unwrap();
+        assert_eq!(snap.requests, 3);
+        assert!(snap.is_consistent());
+        platform.shutdown();
+        // Drained: no reservation leaked, no quota held.
+        assert!(desk.desk_stats().is_drained());
     }
 
     #[test]

@@ -10,10 +10,18 @@
 //!   request, which is what makes the concurrent service bit-for-bit
 //!   deterministic and is the right default for throughput serving;
 //! * [`CrowdResolver`] — the full paper pipeline including crowd tasks,
-//!   wrapping one [`CrowdPlanner`] per worker thread (each with its own
-//!   simulated platform). Crowd outcomes depend on each platform's answer
-//!   history, so this resolver trades determinism-under-concurrency for
-//!   paper fidelity.
+//!   wrapping one owned [`CrowdPlanner`] per worker. The planner is
+//!   `Send + 'static` (it holds `Arc` world handles and an
+//!   `Arc<dyn CrowdDesk>`), so crowd resolution runs on the resident
+//!   [`Platform`](crate::Platform) pool — register a crowd-backed city
+//!   with [`Platform::register_city_crowd`](crate::Platform::register_city_crowd).
+//!   All of a city's resolvers share one desk, whose reserve → ask →
+//!   commit protocol caps every worker's concurrently outstanding
+//!   tasks; contention surfaces in the service statistics
+//!   (`crowd_quota_rejections`, `crowd_starved`).
+//!
+//! Crowd outcomes depend on the shared desk's answer history, so a crowd
+//! resolver trades determinism-under-concurrency for paper fidelity.
 
 use crate::error::ServiceError;
 use cp_core::{
@@ -25,6 +33,21 @@ use cp_roadnet::{LandmarkId, NodeId, Path, RoadGraph};
 use cp_traj::TimeOfDay;
 use std::sync::Arc;
 
+/// Crowd-side cost and contention observed while resolving one request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrowdCost {
+    /// Questions answered by all workers for this request.
+    pub questions: u64,
+    /// Workers who participated.
+    pub workers: u64,
+    /// Worker reservations refused at the shared desk's cap while
+    /// serving this request.
+    pub quota_rejections: u64,
+    /// Whether the crowd was needed but *every* reservation was refused
+    /// (the request fell back to the machine's best guess).
+    pub starved: bool,
+}
+
 /// A freshly resolved route.
 #[derive(Debug, Clone)]
 pub struct Resolved {
@@ -34,6 +57,9 @@ pub struct Resolved {
     pub resolution: Resolution,
     /// Confidence of the decision.
     pub confidence: f64,
+    /// Crowd cost/contention, when a crowd pipeline resolved the
+    /// request (`None` for machine-only resolvers).
+    pub crowd: Option<CrowdCost>,
 }
 
 /// Resolves a request the shared layers could not serve.
@@ -119,11 +145,13 @@ impl Resolver for MachineResolver {
                 path,
                 resolution: Resolution::Agreement,
                 confidence: supporters as f64 / candidates.len() as f64,
+                crowd: None,
             }),
             Evaluation::Confident { path, confidence } => Ok(Resolved {
                 path,
                 resolution: Resolution::Confident,
                 confidence,
+                crowd: None,
             }),
             Evaluation::Undecided { confidences } => {
                 // Best machine guess: highest confidence, ties broken by
@@ -143,67 +171,112 @@ impl Resolver for MachineResolver {
                     path: candidates[best].path.clone(),
                     resolution: Resolution::Fallback,
                     confidence: self.cfg.eta_confidence * 0.5,
+                    crowd: None,
                 })
             }
         }
     }
 }
 
-/// Full-pipeline resolution through one [`CrowdPlanner`] (typically one
-/// per worker thread), with the crowd's latent knowledge supplied by an
-/// oracle factory: `oracle_for(from, to)` returns the per-request
-/// "does the best route pass landmark l?" closure.
+/// Supplies the per-request crowd-knowledge oracle: `oracle_for(from,
+/// to)` returns the "does the best route pass landmark l?" closure the
+/// simulated workers noisily report.
 ///
-/// `CrowdPlanner` still borrows its world, so this resolver is
-/// lifetime-bound: use it with the closed-batch
-/// [`RouteService::serve`](crate::RouteService::serve) (scoped threads),
-/// not with the resident [`Platform`](crate::Platform) pool, which
-/// requires `'static` resolvers.
-pub struct CrowdResolver<'w, F> {
-    planner: CrowdPlanner<'w>,
-    oracle_for: F,
+/// `Send + Sync` replaces the old closure-generic parameter, so a
+/// factory can be shared (`Arc<dyn OracleFactory>`) by every resolver on
+/// the resident pool. Any `Fn(NodeId, NodeId) -> impl Fn(LandmarkId) ->
+/// bool` closure implements it via the blanket impl.
+pub trait OracleFactory: Send + Sync {
+    /// Builds the oracle for one request.
+    fn oracle_for(&self, from: NodeId, to: NodeId) -> Box<dyn Fn(LandmarkId) -> bool + '_>;
 }
 
-impl<'w, F, O> CrowdResolver<'w, F>
+impl<F, O> OracleFactory for F
 where
-    F: Fn(NodeId, NodeId) -> O,
-    O: Fn(LandmarkId) -> bool,
+    F: Fn(NodeId, NodeId) -> O + Send + Sync,
+    O: Fn(LandmarkId) -> bool + 'static,
 {
-    /// Wraps a planner and an oracle factory.
-    pub fn new(planner: CrowdPlanner<'w>, oracle_for: F) -> Self {
+    fn oracle_for(&self, from: NodeId, to: NodeId) -> Box<dyn Fn(LandmarkId) -> bool + '_> {
+        Box::new(self(from, to))
+    }
+}
+
+/// Full-pipeline resolution through one owned [`CrowdPlanner`]
+/// (typically one per platform worker, all sharing the city's crowd
+/// desk), with the crowd's latent knowledge supplied by an
+/// [`OracleFactory`].
+///
+/// Owned and `Send + 'static`: registerable on the resident
+/// [`Platform`](crate::Platform) pool (see
+/// [`Platform::register_city_crowd`](crate::Platform::register_city_crowd))
+/// as well as usable with the closed-batch
+/// [`RouteService::serve`](crate::RouteService::serve).
+pub struct CrowdResolver {
+    planner: CrowdPlanner,
+    oracle_for: Arc<dyn OracleFactory>,
+    fail_when_starved: bool,
+}
+
+impl CrowdResolver {
+    /// Wraps an owned planner and a shared oracle factory.
+    pub fn new(planner: CrowdPlanner, oracle_for: Arc<dyn OracleFactory>) -> Self {
         CrowdResolver {
             planner,
             oracle_for,
+            fail_when_starved: false,
         }
     }
 
-    /// The wrapped planner (its private truth store and platform stats).
-    pub fn planner(&self) -> &CrowdPlanner<'w> {
+    /// When enabled, a request whose crowd task is entirely
+    /// quota-starved (every reservation refused) fails with
+    /// [`ServiceError::CrowdStarved`] instead of silently serving the
+    /// machine's fallback guess — callers that prefer shedding over
+    /// degraded answers can retry or re-route.
+    pub fn fail_when_starved(mut self, fail: bool) -> Self {
+        self.fail_when_starved = fail;
+        self
+    }
+
+    /// The wrapped planner (its private truth store and statistics).
+    pub fn planner(&self) -> &CrowdPlanner {
         &self.planner
     }
 }
 
-impl<'w, F, O> Resolver for CrowdResolver<'w, F>
-where
-    F: Fn(NodeId, NodeId) -> O,
-    O: Fn(LandmarkId) -> bool,
-{
+impl Resolver for CrowdResolver {
     fn resolve(
         &mut self,
         from: NodeId,
         to: NodeId,
         departure: TimeOfDay,
-        _candidates: &[CandidateRoute],
+        candidates: &[CandidateRoute],
     ) -> Result<Resolved, ServiceError> {
-        let oracle = (self.oracle_for)(from, to);
+        let before = self.planner.stats().clone();
+        let oracle = self.oracle_for.oracle_for(from, to);
+        // The executor already mined (and cached) the candidate set from
+        // the same shared mining state; hand it to the planner by
+        // reference so a crowd-backed request neither mines nor copies
+        // the candidates twice.
         let rec = self
             .planner
-            .handle_request(from, to, departure, &oracle)
+            .handle_request_with_candidates(from, to, departure, Some(candidates), &|l| oracle(l))
             .map_err(ServiceError::Core)?;
+        let after = self.planner.stats();
+        let starved = after.starved_tasks > before.starved_tasks;
+        let quota_rejections = (after.quota_rejections - before.quota_rejections) as u64;
+        if starved && self.fail_when_starved {
+            return Err(ServiceError::CrowdStarved { quota_rejections });
+        }
         Ok(Resolved {
             path: rec.path,
             resolution: rec.resolution,
             confidence: rec.confidence,
+            crowd: Some(CrowdCost {
+                questions: rec.questions_asked as u64,
+                workers: rec.workers_asked as u64,
+                quota_rejections,
+                starved,
+            }),
         })
     }
 }
@@ -211,9 +284,14 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::world::World;
+    use cp_crowd::{
+        AnswerModel, CrowdDesk, Platform, PopulationParams, SharedCrowd, WorkerPopulation,
+    };
     use cp_mining::CandidateGenerator;
-    use cp_roadnet::{generate_city, CityParams};
-    use cp_traj::{generate_trips, TripGenParams};
+    use cp_roadnet::{generate_city, generate_landmarks, CityParams, LandmarkGenParams};
+    use cp_traj::{generate_checkins, CalibrationParams, TripGenParams};
+    use cp_traj::{generate_trips, infer_significance, CheckInGenParams, SignificanceParams};
 
     #[test]
     fn machine_resolver_is_deterministic_and_endpoint_correct() {
@@ -230,6 +308,7 @@ mod tests {
             let y = r2.resolve(NodeId(a), NodeId(b), dep, &cands).unwrap();
             assert_eq!(x.path, y.path);
             assert_eq!(x.resolution, y.resolution);
+            assert_eq!(x.crowd, None, "machine resolution reports no crowd cost");
             assert_eq!(x.path.source(), NodeId(a));
             assert_eq!(x.path.destination(), NodeId(b));
             assert!(matches!(
@@ -247,5 +326,64 @@ mod tests {
             r.resolve(NodeId(0), NodeId(1), TimeOfDay::from_hours(8.0), &[]),
             Err(ServiceError::NoCandidates)
         ));
+    }
+
+    fn crowd_fixture(seed: u64) -> (Arc<World>, CrowdResolver, Arc<SharedCrowd>) {
+        let city = generate_city(&CityParams::small(), seed).unwrap();
+        let landmarks = generate_landmarks(&city.graph, &LandmarkGenParams::default(), seed);
+        let trips = generate_trips(&city.graph, &TripGenParams::default(), seed).unwrap();
+        let checkins =
+            generate_checkins(&city.graph, &landmarks, &CheckInGenParams::default(), seed);
+        let significance = infer_significance(
+            &city.graph,
+            &landmarks,
+            &checkins,
+            &trips,
+            &CalibrationParams::default(),
+            &SignificanceParams::default(),
+        );
+        let world = Arc::new(World::new(city.graph.clone(), trips.trips.clone()));
+        let pop = WorkerPopulation::generate(&city.graph, &PopulationParams::default(), seed);
+        let mut platform = Platform::new(pop, AnswerModel::default(), seed);
+        platform.warm_up(&landmarks, 10);
+        let desk = Arc::new(SharedCrowd::new(platform, 5));
+        let planner = CrowdPlanner::with_mining_state(
+            world.graph_arc(),
+            Arc::new(landmarks),
+            Arc::new(significance),
+            world.trips_arc(),
+            world.transfer_arc(),
+            world.mpr,
+            world.mfp,
+            world.ldr,
+            Arc::clone(&desk) as Arc<dyn CrowdDesk>,
+            Config::default(),
+        )
+        .unwrap();
+        // Oracle: "the landmark's id is even" — deterministic latent
+        // knowledge good enough for resolver plumbing tests.
+        let factory: Arc<dyn OracleFactory> =
+            Arc::new(|_from: NodeId, _to: NodeId| |l: LandmarkId| l.0.is_multiple_of(2));
+        let resolver = CrowdResolver::new(planner, factory);
+        (world, resolver, desk)
+    }
+
+    #[test]
+    fn crowd_resolver_is_send_static_and_reports_crowd_cost() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<CrowdResolver>();
+
+        let (world, mut resolver, desk) = crowd_fixture(7);
+        let dep = TimeOfDay::from_hours(8.0);
+        let candidates = world.candidates(NodeId(0), NodeId(59), dep);
+        let rec = resolver
+            .resolve(NodeId(0), NodeId(59), dep, &candidates)
+            .unwrap();
+        assert_eq!(rec.path.source(), NodeId(0));
+        assert_eq!(rec.path.destination(), NodeId(59));
+        let cost = rec.crowd.expect("crowd resolution reports its cost");
+        assert!(!cost.starved);
+        assert!(desk.desk_stats().is_drained());
+        assert_eq!(resolver.planner().stats().requests, 1);
     }
 }

@@ -35,6 +35,15 @@ pub struct ServiceStats {
     /// Per-key OD entries evicted from the candidate cache (aliasing
     /// OD pairs competing for one cell-bucket key).
     cache_od_evictions: AtomicU64,
+    /// Crowd questions answered across all crowd-resolved requests.
+    crowd_questions: AtomicU64,
+    /// Crowd worker participations across all crowd-resolved requests.
+    crowd_workers: AtomicU64,
+    /// Worker reservations refused at the shared desk's cap.
+    crowd_quota_rejections: AtomicU64,
+    /// Requests whose crowd task was entirely quota-starved (served by
+    /// machine fallback instead).
+    crowd_starved: AtomicU64,
     // Latency (nanoseconds), over *all* served requests.
     lat_count: AtomicU64,
     lat_sum_ns: AtomicU64,
@@ -83,6 +92,19 @@ impl ServiceStats {
         self.cache_od_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Books one crowd-resolved request's cost and contention.
+    pub(crate) fn record_crowd(&self, cost: crate::resolver::CrowdCost) {
+        self.crowd_questions
+            .fetch_add(cost.questions, Ordering::Relaxed);
+        self.crowd_workers
+            .fetch_add(cost.workers, Ordering::Relaxed);
+        self.crowd_quota_rejections
+            .fetch_add(cost.quota_rejections, Ordering::Relaxed);
+        if cost.starved {
+            self.crowd_starved.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Folds `other`'s counters into `self` (latency histograms add
     /// bucket-wise, extrema widen). The platform uses this to aggregate
     /// per-city statistics into one exact platform-wide snapshot —
@@ -100,6 +122,10 @@ impl ServiceStats {
         add(&self.cache_hits, &other.cache_hits);
         add(&self.cache_misses, &other.cache_misses);
         add(&self.cache_od_evictions, &other.cache_od_evictions);
+        add(&self.crowd_questions, &other.crowd_questions);
+        add(&self.crowd_workers, &other.crowd_workers);
+        add(&self.crowd_quota_rejections, &other.crowd_quota_rejections);
+        add(&self.crowd_starved, &other.crowd_starved);
         add(&self.lat_count, &other.lat_count);
         add(&self.lat_sum_ns, &other.lat_sum_ns);
         self.lat_min_ns
@@ -161,6 +187,10 @@ impl ServiceStats {
             // layers can never drift apart.
             truth_evictions: 0,
             cache_od_evictions: self.cache_od_evictions.load(Ordering::Relaxed),
+            crowd_questions: self.crowd_questions.load(Ordering::Relaxed),
+            crowd_workers: self.crowd_workers.load(Ordering::Relaxed),
+            crowd_quota_rejections: self.crowd_quota_rejections.load(Ordering::Relaxed),
+            crowd_starved: self.crowd_starved.load(Ordering::Relaxed),
             latency: LatencySummary {
                 count,
                 mean: Duration::from_nanos(sum.checked_div(count).unwrap_or(0)),
@@ -222,6 +252,16 @@ pub struct StatsSnapshot {
     pub truth_evictions: u64,
     /// Per-key OD entries evicted from the candidate cache.
     pub cache_od_evictions: u64,
+    /// Crowd questions answered across all crowd-resolved requests.
+    pub crowd_questions: u64,
+    /// Crowd worker participations across all crowd-resolved requests.
+    pub crowd_workers: u64,
+    /// Worker reservations refused at the shared crowd desk's
+    /// `max_outstanding` cap (contention between concurrent resolvers).
+    pub crowd_quota_rejections: u64,
+    /// Requests whose crowd task was entirely quota-starved and degraded
+    /// to the machine fallback.
+    pub crowd_starved: u64,
     /// Service-time distribution.
     pub latency: LatencySummary,
 }
@@ -333,6 +373,31 @@ mod tests {
         // Merged histogram: p50 comes from the fast city's bucket, not
         // an average of per-city percentiles.
         assert!(snap.latency.p50 < Duration::from_micros(5000));
+    }
+
+    #[test]
+    fn crowd_costs_accumulate_and_absorb() {
+        use crate::resolver::CrowdCost;
+        let a = ServiceStats::new();
+        a.record_crowd(CrowdCost {
+            questions: 7,
+            workers: 3,
+            quota_rejections: 2,
+            starved: false,
+        });
+        a.record_crowd(CrowdCost {
+            questions: 0,
+            workers: 0,
+            quota_rejections: 9,
+            starved: true,
+        });
+        let total = ServiceStats::new();
+        total.absorb(&a);
+        let snap = total.snapshot();
+        assert_eq!(snap.crowd_questions, 7);
+        assert_eq!(snap.crowd_workers, 3);
+        assert_eq!(snap.crowd_quota_rejections, 11);
+        assert_eq!(snap.crowd_starved, 1);
     }
 
     #[test]

@@ -57,7 +57,7 @@ impl std::fmt::Display for CityId {
 pub struct World {
     graph: Arc<RoadGraph>,
     trips: Arc<Vec<Trip>>,
-    transfer: TransferNetwork,
+    transfer: Arc<TransferNetwork>,
     /// MPR parameters.
     pub mpr: MprParams,
     /// MFP parameters.
@@ -75,7 +75,7 @@ impl World {
 
     /// Builds a world from already-shared parts without cloning them.
     pub fn from_arcs(graph: Arc<RoadGraph>, trips: Arc<Vec<Trip>>) -> Self {
-        let transfer = TransferNetwork::build(&graph, &trips, None);
+        let transfer = Arc::new(TransferNetwork::build(&graph, &trips, None));
         World {
             graph,
             trips,
@@ -102,9 +102,22 @@ impl World {
         &self.trips
     }
 
+    /// A shared handle to the historical trips (for owned planners that
+    /// must hold their world view, e.g. on a resident worker pool).
+    pub fn trips_arc(&self) -> Arc<Vec<Trip>> {
+        Arc::clone(&self.trips)
+    }
+
     /// The pre-built all-day transfer network.
     pub fn transfer_network(&self) -> &TransferNetwork {
         &self.transfer
+    }
+
+    /// A shared handle to the pre-built transfer network, so per-worker
+    /// crowd planners reuse this world's mining state instead of
+    /// re-aggregating it.
+    pub fn transfer_arc(&self) -> Arc<TransferNetwork> {
+        Arc::clone(&self.transfer)
     }
 
     /// Produces one candidate route per available source — identical

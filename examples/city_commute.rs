@@ -18,15 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         world.trips.trips.len()
     );
 
-    let platform = world.platform(200, 15, 7);
-    let mut planner = CrowdPlanner::new(
-        &world.city.graph,
-        &world.landmarks,
-        world.significance.clone(),
-        &world.trips.trips,
-        platform,
-        Config::default(),
-    )?;
+    let cfg = Config::default();
+    let desk = world.shared_crowd(200, 15, 7, cfg.eta_quota);
+    let mut planner = world.owned_planner(desk, cfg)?;
 
     // Request stream with locality: 60 base OD pairs, each requested up to
     // three times at nearby departure times (commuters repeat journeys).

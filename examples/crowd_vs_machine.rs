@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- Machine-only (TR): crowd disabled by giving it zero workers ---
-    let empty_platform = {
+    let empty_desk = {
         let pop = WorkerPopulation::generate(
             &world.city.graph,
             &PopulationParams {
@@ -50,14 +50,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             1,
         );
-        Platform::new(pop, AnswerModel::default(), 1)
+        std::sync::Arc::new(SharedCrowd::new(
+            Platform::new(pop, AnswerModel::default(), 1),
+            5,
+        ))
     };
-    let mut machine = CrowdPlanner::new(
-        &world.city.graph,
-        &world.landmarks,
-        world.significance.clone(),
-        &world.trips.trips,
-        empty_platform,
+    let mut machine = world.owned_planner(
+        empty_desk,
         Config {
             // An unanswerable deadline disables the crowd: every contested
             // request falls back to the best machine guess.
@@ -68,15 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // --- Full system ---
-    let platform = world.platform(200, 15, 13);
-    let mut full = CrowdPlanner::new(
-        &world.city.graph,
-        &world.landmarks,
-        world.significance.clone(),
-        &world.trips.trips,
-        platform,
-        Config::default(),
-    )?;
+    let cfg = Config::default();
+    let desk = world.shared_crowd(200, 15, 13, cfg.eta_quota);
+    let mut full = world.owned_planner(desk, cfg)?;
 
     let mut machine_correct = 0usize;
     let mut full_correct = 0usize;

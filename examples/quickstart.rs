@@ -19,18 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         world.checkins.len()
     );
 
-    // 2. A crowd of workers with some answer history.
-    let platform = world.platform(120, 10, 42);
+    // 2. A crowd of workers with some answer history, behind a shared
+    //    desk: at most η_#q concurrently outstanding tasks per worker.
+    let cfg = Config::default();
+    let desk = world.shared_crowd(120, 10, 42, cfg.eta_quota);
 
-    // 3. The CrowdPlanner server.
-    let mut planner = CrowdPlanner::new(
-        &world.city.graph,
-        &world.landmarks,
-        world.significance.clone(),
-        &world.trips.trips,
-        platform,
-        Config::default(),
-    )?;
+    // 3. The CrowdPlanner server — owned and `Send + 'static`.
+    let mut planner = world.owned_planner(desk, cfg)?;
 
     // 4. A request: cross-town journey at the morning peak.
     let (from, to) = (NodeId(0), NodeId(59));

@@ -12,10 +12,17 @@
 //! Two cities share one platform: a Medium "metro" taking most of the
 //! traffic and a Small "satellite town" taking the rest.
 //!
+//! With `--crowd`, both cities are registered **crowd-backed** (the
+//! owned `CrowdResolver` pipeline on the resident pool): each city's
+//! resolvers share one quota-capped `SharedCrowd` desk, the sweep runs
+//! at lower rates (crowd tasks are orders of magnitude slower than the
+//! machine path), and the table gains desk-contention columns.
+//!
 //! Run with:
 //!
 //! ```sh
-//! cargo run --release --example serve_city
+//! cargo run --release --example serve_city            # machine-only
+//! cargo run --release --example serve_city -- --crowd # crowd-backed
 //! ```
 
 use cp_service::{Platform, PlatformConfig, Request, ServiceConfig, ServiceError, Ticket};
@@ -43,6 +50,7 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 }
 
 fn main() {
+    let crowd = std::env::args().any(|a| a == "--crowd");
     let t0 = Instant::now();
     println!("building worlds (Medium metro + Small satellite)…");
     let metro = SimWorld::build(Scale::Medium, 42).expect("metro world");
@@ -62,29 +70,68 @@ fn main() {
         .unwrap_or(4)
         .min(8);
     println!(
-        "open-loop sweep: Poisson arrivals, {workers} platform workers, \
-         85/15 metro/town split, 1.5 s per target rate\n"
+        "open-loop sweep ({}): Poisson arrivals, {workers} platform workers, \
+         85/15 metro/town split, 1.5 s per target rate\n",
+        if crowd {
+            "crowd-backed resolution"
+        } else {
+            "machine-only resolution"
+        }
     );
     println!(
-        "{:>7}  {:>8}  {:>8}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
-        "req/s", "offered", "served", "shed%", "p50", "p95", "p99", "max", "truth-hit"
+        "{:>7}  {:>8}  {:>8}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>7}",
+        "req/s",
+        "offered",
+        "served",
+        "shed%",
+        "p50",
+        "p95",
+        "p99",
+        "max",
+        "truth-hit",
+        "quota-rej",
+        "starved"
     );
 
-    for &rate in &[250.0f64, 500.0, 1000.0, 2000.0] {
+    // Crowd resolution is orders of magnitude slower than the machine
+    // path (PMF fits + simulated worker dialogue), so the crowd sweep
+    // probes the knee at much lower offered rates.
+    let rates: &[f64] = if crowd {
+        &[10.0, 25.0, 50.0]
+    } else {
+        &[250.0, 500.0, 1000.0, 2000.0]
+    };
+    for &rate in rates {
         // A fresh platform per rate so one rate's warm truth store does
         // not flatter the next.
         let platform = Platform::start(PlatformConfig {
             workers,
             queue_capacity: 512,
+            maintenance: None,
         });
+        let register = |sim: &SimWorld, world: &std::sync::Arc<cp_service::World>, seed: u64| {
+            if crowd {
+                // 200 workers per city behind a shared desk; at most 3
+                // concurrently outstanding tasks per human worker.
+                platform
+                    .register_city_crowd(
+                        world.clone(),
+                        ServiceConfig::default(),
+                        sim.crowd_serving(200, 15, seed, 3),
+                    )
+                    .expect("crowd serving inputs are valid")
+            } else {
+                platform.register_city(world.clone(), ServiceConfig::default())
+            }
+        };
         let cities = [
             CityTraffic {
-                id: platform.register_city(metro_world.clone(), ServiceConfig::default()),
+                id: register(&metro, &metro_world, 42),
                 ods: metro.request_stream(600, 4, 777),
                 share: 0.85,
             },
             CityTraffic {
-                id: platform.register_city(town_world.clone(), ServiceConfig::default()),
+                id: register(&town, &town_world, 7),
                 ods: town.request_stream(120, 2, 778),
                 share: 1.0, // remainder
             },
@@ -148,7 +195,7 @@ fn main() {
         assert!(agg.is_consistent(), "admission accounting must balance");
         let truth_rate = agg.aggregate.truth_hit_rate();
         println!(
-            "{rate:>7.0}  {offered:>8}  {:>8}  {:>5.1}%  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>8.1}%",
+            "{rate:>7.0}  {offered:>8}  {:>8}  {:>5.1}%  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>8.1}%  {:>9}  {:>7}",
             latencies.len(),
             100.0 * shed as f64 / offered.max(1) as f64,
             percentile(&latencies, 0.50),
@@ -156,6 +203,8 @@ fn main() {
             percentile(&latencies, 0.99),
             latencies.last().copied().unwrap_or(Duration::ZERO),
             100.0 * truth_rate,
+            agg.aggregate.crowd_quota_rejections,
+            agg.aggregate.crowd_starved,
         );
         platform.shutdown();
     }

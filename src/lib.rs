@@ -35,6 +35,7 @@
 //!
 //! ```
 //! use crowdplanner::prelude::*;
+//! use std::sync::Arc;
 //!
 //! // Build a small world.
 //! let city = generate_city(&CityParams::small(), 7).unwrap();
@@ -45,14 +46,18 @@
 //!     &city.graph, &landmarks, &checkins, &trips,
 //!     &CalibrationParams::default(), &SignificanceParams::default());
 //!
-//! // Crowd platform.
+//! // Crowd platform behind a shared, quota-capped desk: at most 5
+//! // concurrently outstanding tasks per worker, no matter how many
+//! // planners share it.
 //! let population = WorkerPopulation::generate(&city.graph, &PopulationParams::default(), 7);
 //! let mut platform = Platform::new(population, AnswerModel::default(), 7);
 //! platform.warm_up(&landmarks, 5);
+//! let desk: Arc<dyn CrowdDesk> = Arc::new(SharedCrowd::new(platform, 5));
 //!
-//! // The server.
+//! // The server: owned and `Send + 'static` — movable onto any thread.
 //! let mut planner = CrowdPlanner::new(
-//!     &city.graph, &landmarks, significance.clone(), &trips.trips, platform,
+//!     Arc::new(city.graph.clone()), Arc::new(landmarks.clone()),
+//!     Arc::new(significance), Arc::new(trips.trips.clone()), desk,
 //!     Config::default()).unwrap();
 //!
 //! // Ground-truth oracle for the simulated crowd.
@@ -83,7 +88,9 @@ pub mod prelude {
         TruthEntry, TruthStore,
     };
     pub use cp_crowd::{
-        AnswerModel, AnswerTally, Platform, PopulationParams, Worker, WorkerId, WorkerPopulation,
+        AnswerModel, AnswerTally, CrowdDesk, CrowdObserve, DeskStats, DirectDesk, Platform,
+        PopulationParams, QuotaExhausted, Reservation, SharedCrowd, Worker, WorkerId,
+        WorkerPopulation,
     };
     pub use cp_mining::{
         distinct_candidates, CandidateGenerator, CandidateRoute, LdrParams, MfpParams, MprParams,
@@ -95,9 +102,10 @@ pub mod prelude {
         RoadClass, RoadGraph,
     };
     pub use cp_service::{
-        CityId, CrowdResolver, MachineResolver, PlatformConfig, PlatformSnapshot, Request,
-        Resolver, RouteService, Served, ServedRoute, ServiceConfig, ServiceError,
-        ShardedTruthStore, StatsSnapshot, Ticket, World,
+        CityId, CrowdCost, CrowdResolver, CrowdServing, MachineResolver, MaintenanceConfig,
+        MaintenanceReport, OracleFactory, PlatformConfig, PlatformSnapshot, Request, Resolver,
+        RouteService, Served, ServedRoute, ServiceConfig, ServiceError, ShardedTruthStore,
+        StatsSnapshot, Ticket, World,
     };
     // `cp_crowd::Platform` (the crowdsourcing worker platform) already
     // owns the bare name in this prelude; the multi-city serving

@@ -7,16 +7,19 @@
 //! driver preference defines the ground-truth best route per OD pair, so
 //! experiments can measure accuracy exactly.
 
-use cp_crowd::{AnswerModel, Platform, PopulationParams, WorkerPopulation};
+use cp_core::{Config, CoreError, CrowdPlanner};
+use cp_crowd::{AnswerModel, CrowdDesk, Platform, PopulationParams, SharedCrowd, WorkerPopulation};
 use cp_roadnet::{
     generate_city, generate_landmarks, City, CityParams, LandmarkGenParams, LandmarkId,
-    LandmarkSet, NodeId, Path, RoadNetError,
+    LandmarkSet, NodeId, Path, RoadGraph, RoadNetError,
 };
+use cp_service::{CrowdServing, OracleFactory};
 use cp_traj::{
     calibrate_path, generate_checkins, generate_trips, infer_significance, CalibrationParams,
     CheckIn, CheckInGenParams, DriverPreference, SignificanceParams, TripDataset, TripGenParams,
 };
 use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
 
 /// Scale presets for simulation worlds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +48,19 @@ pub struct SimWorld {
     pub calibration: CalibrationParams,
     /// Seed the world was built from.
     pub seed: u64,
+    /// Lazily built shared handles (each clones the underlying data at
+    /// most once, no matter how many planners/desks/factories are built
+    /// from this world).
+    arcs: SharedHandles,
+}
+
+/// One-time `Arc` copies of the world's owned data.
+#[derive(Default)]
+struct SharedHandles {
+    graph: OnceLock<Arc<RoadGraph>>,
+    landmarks: OnceLock<Arc<LandmarkSet>>,
+    significance: OnceLock<Arc<Vec<f64>>>,
+    trips: OnceLock<Arc<Vec<cp_traj::Trip>>>,
 }
 
 impl SimWorld {
@@ -113,6 +129,7 @@ impl SimWorld {
             checkins,
             calibration,
             seed,
+            arcs: SharedHandles::default(),
         })
     }
 
@@ -162,6 +179,106 @@ impl SimWorld {
             self.city.graph.clone(),
             self.trips.trips.clone(),
         ))
+    }
+
+    /// A shared handle to this world's road graph (the graph is cloned
+    /// once, on first call; later calls clone the `Arc`).
+    pub fn graph_arc(&self) -> Arc<RoadGraph> {
+        Arc::clone(
+            self.arcs
+                .graph
+                .get_or_init(|| Arc::new(self.city.graph.clone())),
+        )
+    }
+
+    /// A shared handle to this world's landmarks (cloned once, cached).
+    pub fn landmarks_arc(&self) -> Arc<LandmarkSet> {
+        Arc::clone(
+            self.arcs
+                .landmarks
+                .get_or_init(|| Arc::new(self.landmarks.clone())),
+        )
+    }
+
+    /// A shared handle to this world's significance scores (cloned once,
+    /// cached).
+    pub fn significance_arc(&self) -> Arc<Vec<f64>> {
+        Arc::clone(
+            self.arcs
+                .significance
+                .get_or_init(|| Arc::new(self.significance.clone())),
+        )
+    }
+
+    /// A shared handle to this world's trips (cloned once, cached).
+    pub fn trips_arc(&self) -> Arc<Vec<cp_traj::Trip>> {
+        Arc::clone(
+            self.arcs
+                .trips
+                .get_or_init(|| Arc::new(self.trips.trips.clone())),
+        )
+    }
+
+    /// Builds an owned, `Send + 'static` [`CrowdPlanner`] over this
+    /// world, resolving its crowd tasks through `desk`.
+    pub fn owned_planner(
+        &self,
+        desk: Arc<dyn CrowdDesk>,
+        cfg: Config,
+    ) -> Result<CrowdPlanner, CoreError> {
+        CrowdPlanner::new(
+            self.graph_arc(),
+            self.landmarks_arc(),
+            self.significance_arc(),
+            self.trips_arc(),
+            desk,
+            cfg,
+        )
+    }
+
+    /// Builds a warmed-up, `Arc`-shareable crowd desk for this world: a
+    /// [`SharedCrowd`] whose per-worker outstanding-task count is hard
+    /// capped at `max_outstanding` across all concurrent resolvers.
+    pub fn shared_crowd(
+        &self,
+        workers: usize,
+        warmup_rounds: usize,
+        seed: u64,
+        max_outstanding: u32,
+    ) -> Arc<SharedCrowd> {
+        Arc::new(SharedCrowd::new(
+            self.platform(workers, warmup_rounds, seed),
+            max_outstanding,
+        ))
+    }
+
+    /// The ground-truth oracle factory for crowd-backed serving: owned
+    /// (`'static`), it recomputes the consensus best route per request
+    /// and answers "does it pass landmark l?".
+    pub fn oracle_factory(&self) -> GroundTruthOracle {
+        GroundTruthOracle {
+            graph: self.graph_arc(),
+            landmarks: self.landmarks_arc(),
+            calibration: self.calibration,
+        }
+    }
+
+    /// Bundles everything [`cp_service::Platform::register_city_crowd`]
+    /// needs to serve this world with crowd-backed resolution on the
+    /// resident pool.
+    pub fn crowd_serving(
+        &self,
+        workers: usize,
+        warmup_rounds: usize,
+        seed: u64,
+        max_outstanding: u32,
+    ) -> CrowdServing {
+        CrowdServing::new(
+            self.landmarks_arc(),
+            self.significance_arc(),
+            self.shared_crowd(workers, warmup_rounds, seed, max_outstanding),
+            Arc::new(self.oracle_factory()),
+        )
     }
 
     /// Builds a warmed-up crowd platform for this world.
@@ -215,6 +332,31 @@ impl SimWorld {
     }
 }
 
+/// Owned [`OracleFactory`]: stands in for the crowd's latent collective
+/// knowledge by deriving, per request, which landmarks the
+/// consensus-driver best route passes. Self-contained (`Arc` graph +
+/// landmarks), so crowd-backed cities on a resident serving pool can
+/// share one instance.
+pub struct GroundTruthOracle {
+    graph: Arc<RoadGraph>,
+    landmarks: Arc<LandmarkSet>,
+    calibration: CalibrationParams,
+}
+
+impl OracleFactory for GroundTruthOracle {
+    fn oracle_for(&self, from: NodeId, to: NodeId) -> Box<dyn Fn(LandmarkId) -> bool + '_> {
+        let on_route: HashSet<LandmarkId> = DriverPreference::consensus()
+            .preferred_route(&self.graph, from, to)
+            .map(|truth| {
+                calibrate_path(&self.graph, &self.landmarks, &truth, &self.calibration)
+                    .into_iter()
+                    .collect()
+            })
+            .unwrap_or_default();
+        Box::new(move |l| on_route.contains(&l))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +400,37 @@ mod tests {
             let (br, bc) = w.city.grid_of(b);
             assert!(ar.abs_diff(br) + ac.abs_diff(bc) >= 4);
         }
+    }
+
+    #[test]
+    fn oracle_factory_matches_borrowed_oracle() {
+        let w = SimWorld::build(Scale::Small, 5).unwrap();
+        let factory = w.oracle_factory();
+        let owned = factory.oracle_for(NodeId(0), NodeId(59));
+        let borrowed = w.oracle(NodeId(0), NodeId(59)).unwrap();
+        for l in w.landmarks.ids() {
+            assert_eq!(owned(l), borrowed(l));
+        }
+    }
+
+    #[test]
+    fn owned_planner_serves_through_shared_desk() {
+        let w = SimWorld::build(Scale::Small, 5).unwrap();
+        let desk = w.shared_crowd(120, 10, 5, 5);
+        let mut planner = w
+            .owned_planner(desk.clone() as Arc<dyn CrowdDesk>, Config::default())
+            .unwrap();
+        let oracle = w.oracle(NodeId(0), NodeId(59)).unwrap();
+        let rec = planner
+            .handle_request(
+                NodeId(0),
+                NodeId(59),
+                cp_traj::TimeOfDay::from_hours(8.0),
+                &oracle,
+            )
+            .unwrap();
+        assert_eq!(rec.path.source(), NodeId(0));
+        assert!(desk.desk_stats().is_drained());
     }
 
     #[test]

@@ -8,17 +8,13 @@ fn world() -> SimWorld {
     SimWorld::build(Scale::Small, 1234).expect("world builds")
 }
 
-fn planner(w: &SimWorld, seed: u64) -> CrowdPlanner<'_> {
-    let platform = w.platform(120, 15, seed);
-    CrowdPlanner::new(
-        &w.city.graph,
-        &w.landmarks,
-        w.significance.clone(),
-        &w.trips.trips,
-        platform,
-        Config::default(),
-    )
-    .expect("planner builds")
+fn planner(w: &SimWorld, seed: u64) -> CrowdPlanner {
+    planner_with(w, seed, Config::default())
+}
+
+fn planner_with(w: &SimWorld, seed: u64, cfg: Config) -> CrowdPlanner {
+    let desk = w.shared_crowd(120, 15, seed, cfg.eta_quota);
+    w.owned_planner(desk, cfg).expect("planner builds")
 }
 
 #[test]
@@ -116,16 +112,7 @@ fn crowd_costs_are_bounded_by_config() {
         reuse_radius: 0.0,
         ..Config::default()
     };
-    let platform = w.platform(120, 15, 11);
-    let mut p = CrowdPlanner::new(
-        &w.city.graph,
-        &w.landmarks,
-        w.significance.clone(),
-        &w.trips.trips,
-        platform,
-        cfg.clone(),
-    )
-    .unwrap();
+    let mut p = planner_with(&w, 11, cfg.clone());
     for (a, b) in w.request_stream(12, 3, 13) {
         let oracle = w.oracle(a, b).unwrap();
         let rec = p
@@ -145,16 +132,7 @@ fn rewards_flow_to_participating_workers() {
         reuse_radius: 0.0,
         ..Config::default()
     };
-    let platform = w.platform(120, 15, 17);
-    let mut p = CrowdPlanner::new(
-        &w.city.graph,
-        &w.landmarks,
-        w.significance.clone(),
-        &w.trips.trips,
-        platform,
-        cfg,
-    )
-    .unwrap();
+    let mut p = planner_with(&w, 17, cfg);
     let mut crowd_seen = false;
     for (a, b) in w.request_stream(12, 3, 19) {
         let oracle = w.oracle(a, b).unwrap();
@@ -167,17 +145,21 @@ fn rewards_flow_to_participating_workers() {
     }
     if crowd_seen {
         let earned: f64 = p
-            .platform()
+            .desk()
             .population()
             .ids()
-            .map(|wk| p.platform().points(wk))
+            .map(|wk| p.desk().points(wk))
             .sum();
         assert!(earned > 0.0, "crowd work must be rewarded");
     }
     // Quotas must be fully released after resolution.
-    for wk in p.platform().population().ids() {
-        assert_eq!(p.platform().outstanding(wk), 0);
+    for wk in p.desk().population().ids() {
+        assert_eq!(p.desk().outstanding(wk), 0);
     }
+    assert!(
+        p.desk().desk_stats().is_drained(),
+        "every reservation settled exactly once"
+    );
 }
 
 #[test]
@@ -192,16 +174,8 @@ fn no_eligible_workers_falls_back_instead_of_failing() {
         eta_time: 0.999,
         ..Config::default()
     };
-    let platform = w.platform(5, 0, 23);
-    let mut p = CrowdPlanner::new(
-        &w.city.graph,
-        &w.landmarks,
-        w.significance.clone(),
-        &w.trips.trips,
-        platform,
-        cfg,
-    )
-    .unwrap();
+    let desk = w.shared_crowd(5, 0, 23, cfg.eta_quota);
+    let mut p = w.owned_planner(desk, cfg).unwrap();
     let (a, b) = w.request_stream(1, 4, 29)[0];
     let oracle = w.oracle(a, b).unwrap();
     let rec = p

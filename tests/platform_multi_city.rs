@@ -60,6 +60,7 @@ fn two_cities_four_client_threads_deterministic_drain() {
     let platform = Platform::start(PlatformConfig {
         workers: 3,
         queue_capacity: 64,
+        maintenance: None,
     });
     let ids: Vec<CityId> = service_worlds
         .iter()
@@ -177,6 +178,7 @@ fn shutdown_drains_unjoined_tickets_exactly_once() {
     let platform = Platform::start(PlatformConfig {
         workers: 4,
         queue_capacity: 512,
+        maintenance: None,
     });
     let id = platform.register_city(Arc::clone(&sw), ServiceConfig::strict_deterministic());
     let requests = city_stream(&world, 40, 3, 77);

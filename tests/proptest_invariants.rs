@@ -211,6 +211,7 @@ proptest! {
         let platform = ServingPlatform::start(PlatformConfig {
             workers: 3,
             queue_capacity: 64,
+            maintenance: None,
         });
         let ids: Vec<CityId> = worlds
             .iter()
