@@ -1,0 +1,338 @@
+//! Open-loop serving benchmark: batching **on vs off** on a hot-spot
+//! workload, written to `BENCH_serve.json` so later PRs have a baseline
+//! to regress against.
+//!
+//! The workload models the redundancy origin-cell coalescing exists
+//! for: a handful of hot origins (commute sources) fanning out to many
+//! destinations inside one departure bucket. Requests arrive on a
+//! Poisson clock at a target rate and are submitted through the
+//! platform's blocking ingress (open-loop arrivals with bounded-queue
+//! backpressure, never shedding, so both modes serve the identical
+//! request sequence). Each mode gets a fresh platform over the same
+//! pre-built world; the report compares served throughput, sojourn
+//! percentiles, truth/cache hit rates, and — the number batching exists
+//! to shrink — mining passes per request and the fused-mining ratio.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p cp-bench --bin bench_serve               # defaults
+//! cargo run --release -p cp-bench --bin bench_serve -- \
+//!     --requests 4000 --rate 2000 --scale medium --out BENCH_serve.json
+//! ```
+
+use cp_service::{
+    BatchConfig, Platform, PlatformConfig, Request, ServiceConfig, StatsSnapshot, Ticket,
+};
+use cp_traj::TimeOfDay;
+use crowdplanner::sim::{Scale, SimWorld};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::time::{Duration, Instant};
+
+struct Args {
+    requests: usize,
+    rate: f64,
+    scale: Scale,
+    origins: usize,
+    dests: usize,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            requests: 2000,
+            // Firehose by default: req/s measures service capacity.
+            // Pass a positive --rate for latency-under-load runs.
+            rate: 0.0,
+            scale: Scale::Small,
+            origins: 4,
+            dests: 200,
+            out: "BENCH_serve.json".to_string(),
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--requests" => args.requests = value().parse().expect("--requests N"),
+            "--rate" => args.rate = value().parse().expect("--rate R"),
+            "--scale" => {
+                args.scale = match value().as_str() {
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    other => panic!("unknown --scale {other} (small|medium)"),
+                }
+            }
+            "--origins" => args.origins = value().parse().expect("--origins K"),
+            "--dests" => args.dests = value().parse().expect("--dests M"),
+            "--out" => args.out = value(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+struct ModeReport {
+    batching: bool,
+    served: usize,
+    wall_s: f64,
+    served_per_s: f64,
+    p50: Duration,
+    p95: Duration,
+    p99: Duration,
+    max: Duration,
+    stats: StatsSnapshot,
+    batch_runs: u64,
+    batch_max: u64,
+    batched_requests: u64,
+    unbatched_requests: u64,
+}
+
+/// Serves the fixed request sequence on a fresh platform; the world
+/// (and its pre-built mining state) is shared, the truth store is not.
+fn run_mode(
+    world: &std::sync::Arc<cp_service::World>,
+    sequence: &[Request],
+    rate: f64,
+    workers: usize,
+    batch: Option<BatchConfig>,
+) -> ModeReport {
+    let batching = batch.is_some();
+    let platform = Platform::start(PlatformConfig {
+        workers,
+        queue_capacity: 512,
+        maintenance: None,
+        batch,
+    });
+    // Exact-endpoint reuse: every *distinct* OD pays one mining, which
+    // makes the miss path (the thing coalescing fuses) the measured
+    // cost instead of the default geometry's nearby-truth aliasing.
+    let id = platform.register_city(
+        std::sync::Arc::clone(world),
+        ServiceConfig::strict_deterministic(),
+    );
+
+    let start = Instant::now();
+    let mut next_arrival = start;
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(sequence.len());
+    for &req in sequence {
+        // Paced arrivals at the target rate; `rate <= 0` is the
+        // firehose (arrivals limited only by ingress backpressure, so
+        // served req/s measures pure service capacity).
+        if rate > 0.0 {
+            let now = Instant::now();
+            if now < next_arrival {
+                std::thread::sleep(next_arrival - now);
+            }
+            next_arrival += Duration::from_secs_f64(1.0 / rate);
+        }
+        let mut req = req;
+        req.city = id;
+        tickets.push(platform.submit_blocking(req).expect("admitted"));
+    }
+    let mut latencies: Vec<Duration> = Vec::with_capacity(tickets.len());
+    for ticket in &tickets {
+        while !ticket.is_done() {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        latencies.push(ticket.latency().expect("completed ticket"));
+    }
+    let wall = start.elapsed();
+    latencies.sort_unstable();
+
+    let snap = platform.stats();
+    assert!(snap.is_consistent(), "platform accounting must balance");
+    assert!(
+        snap.aggregate.is_consistent(),
+        "city accounting must balance"
+    );
+    let report = ModeReport {
+        batching,
+        served: latencies.len(),
+        wall_s: wall.as_secs_f64(),
+        served_per_s: latencies.len() as f64 / wall.as_secs_f64(),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+        max: latencies.last().copied().unwrap_or(Duration::ZERO),
+        stats: snap.aggregate,
+        batch_runs: snap.batch_runs,
+        batch_max: snap.batch_max,
+        batched_requests: snap.batched_requests,
+        unbatched_requests: snap.unbatched_requests,
+    };
+    platform.shutdown();
+    report
+}
+
+fn mode_json(r: &ModeReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "      \"batching\": {},\n",
+            "      \"served\": {},\n",
+            "      \"wall_s\": {:.4},\n",
+            "      \"req_per_s\": {:.1},\n",
+            "      \"sojourn_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }},\n",
+            "      \"truth_hit_rate\": {:.4},\n",
+            "      \"cache_hit_rate\": {:.4},\n",
+            "      \"minings\": {},\n",
+            "      \"fused_minings\": {},\n",
+            "      \"fused_mined_ods\": {},\n",
+            "      \"fused_mining_ratio\": {:.4},\n",
+            "      \"mining_runs_per_request\": {:.5},\n",
+            "      \"batch_runs\": {},\n",
+            "      \"batch_max\": {},\n",
+            "      \"batched_requests\": {},\n",
+            "      \"unbatched_requests\": {}\n",
+            "    }}"
+        ),
+        r.batching,
+        r.served,
+        r.wall_s,
+        r.served_per_s,
+        r.p50.as_micros(),
+        r.p95.as_micros(),
+        r.p99.as_micros(),
+        r.max.as_micros(),
+        r.stats.truth_hit_rate(),
+        r.stats.cache_hit_rate(),
+        r.stats.cache_misses,
+        r.stats.fused_minings,
+        r.stats.fused_mined_ods,
+        r.stats.fused_mining_ratio(),
+        r.stats.mining_runs_per_request(),
+        r.batch_runs,
+        r.batch_max,
+        r.batched_requests,
+        r.unbatched_requests,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let t0 = Instant::now();
+    let scale_name = match args.scale {
+        Scale::Small => "small",
+        _ => "medium",
+    };
+    println!(
+        "bench_serve: {} requests at {}/s on a {scale_name} city, {} hot origins x {} destinations",
+        args.requests, args.rate, args.origins, args.dests
+    );
+    let sim = SimWorld::build(args.scale, 42).expect("world");
+    let world = sim.service_world();
+    println!(
+        "  world built in {:.1?} ({} intersections, {} trips)",
+        t0.elapsed(),
+        sim.city.graph.node_count(),
+        sim.trips.trips.len()
+    );
+
+    // The hot-spot OD pool: a few origins, many destinations, one
+    // departure hour — the shape origin-cell coalescing exists for.
+    let origins: Vec<_> = sim
+        .request_stream(args.origins, 2, 777)
+        .into_iter()
+        .map(|(from, _)| from)
+        .collect();
+    let dests: Vec<_> = sim
+        .request_stream(args.dests, 2, 778)
+        .into_iter()
+        .map(|(_, to)| to)
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(0xBA7C4);
+    let sequence: Vec<Request> = (0..args.requests)
+        .map(|_| loop {
+            let from = origins[rng.random_range(0..origins.len())];
+            let to = dests[rng.random_range(0..dests.len())];
+            if from != to {
+                break Request::new(from, to, TimeOfDay::from_hours(8.0));
+            }
+        })
+        .collect();
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let off = run_mode(&world, &sequence, args.rate, workers, None);
+    let on = run_mode(
+        &world,
+        &sequence,
+        args.rate,
+        workers,
+        Some(BatchConfig {
+            max_batch: 16,
+            max_delay: Duration::ZERO,
+        }),
+    );
+
+    for r in [&off, &on] {
+        println!(
+            "  batching {:>3}: {:>8.1} req/s  p50 {:>8.2?}  p95 {:>8.2?}  p99 {:>8.2?}  \
+             mining-runs/req {:.4}  fused {:.1}%  batch-runs {}  max {}",
+            if r.batching { "on" } else { "off" },
+            r.served_per_s,
+            r.p50,
+            r.p95,
+            r.p99,
+            r.stats.mining_runs_per_request(),
+            100.0 * r.stats.fused_mining_ratio(),
+            r.batch_runs,
+            r.batch_max,
+        );
+    }
+    let speedup = on.served_per_s / off.served_per_s.max(1e-9);
+    let mining_work_ratio =
+        on.stats.mining_runs_per_request() / off.stats.mining_runs_per_request().max(1e-12);
+    println!(
+        "  speedup (req/s, on/off): {speedup:.2}x; mining runs per request (on/off): {mining_work_ratio:.2}x"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"requests\": {},\n",
+            "  \"rate_per_s\": {:.1},\n",
+            "  \"workers\": {},\n",
+            "  \"hot_origins\": {},\n",
+            "  \"destinations\": {},\n",
+            "  \"modes\": [\n    {},\n    {}\n  ],\n",
+            "  \"speedup_req_per_s\": {:.4},\n",
+            "  \"mining_runs_per_request_on_over_off\": {:.4}\n",
+            "}}\n"
+        ),
+        scale_name,
+        args.requests,
+        args.rate,
+        workers,
+        args.origins,
+        args.dests,
+        mode_json(&off),
+        mode_json(&on),
+        speedup,
+        mining_work_ratio,
+    );
+    std::fs::write(&args.out, json).expect("writing the report");
+    println!("  wrote {} in {:.1?}", args.out, t0.elapsed());
+}

@@ -114,12 +114,7 @@ pub fn select_workers_scored<C: CrowdObserve + ?Sized>(
             if outstanding >= cfg.eta_quota {
                 return false;
             }
-            // Exponential MLE λ̂ = n / Σt, as in `estimated_rate`.
-            let rate = if count == 0 || sum <= 0.0 {
-                cfg.default_lambda
-            } else {
-                count as f64 / sum
-            };
+            let rate = response::rate_from_stats(count, sum, cfg);
             cp_crowd::response_probability(rate, cfg.task_deadline) >= cfg.eta_time
         })
         .filter(|&w| {

@@ -15,6 +15,13 @@ use cp_crowd::{response_probability, CrowdObserve, WorkerId};
 /// workers with no history.
 pub fn estimated_rate<C: CrowdObserve + ?Sized>(crowd: &C, worker: WorkerId, cfg: &Config) -> f64 {
     let (count, total) = crowd.response_time_stats(worker);
+    rate_from_stats(count, total, cfg)
+}
+
+/// The λ̂ rule on raw `(count, Σt)` stats — the single definition shared
+/// by [`estimated_rate`] and callers that already hold a bulk stats
+/// snapshot (one desk-lock acquisition for the whole population).
+pub fn rate_from_stats(count: usize, total: f64, cfg: &Config) -> f64 {
     if count == 0 || total <= 0.0 {
         cfg.default_lambda
     } else {

@@ -20,11 +20,15 @@ pub mod source;
 pub mod transfer;
 pub mod webservice;
 
-pub use ldr::{local_driver_route, local_support, LdrParams};
-pub use mfp::{best_bottleneck, most_frequent_path, most_frequent_path_on, MfpParams};
-pub use mpr::{log_popularity, most_popular_route, MprParams};
+pub use ldr::{local_driver_route, local_driver_routes, local_support, LdrParams};
+pub use mfp::{
+    best_bottleneck, most_frequent_path, most_frequent_path_on, most_frequent_paths,
+    most_frequent_paths_on, MfpParams,
+};
+pub use mpr::{log_popularity, most_popular_route, most_popular_routes, MprParams};
 pub use source::{
-    distinct_candidates, generate_candidates, CandidateGenerator, CandidateRoute, SourceKind,
+    distinct_candidates, generate_candidates, generate_candidates_batch, CandidateGenerator,
+    CandidateRoute, SourceKind,
 };
 pub use transfer::TransferNetwork;
 pub use webservice::{FastestRouteService, ShortestRouteService};

@@ -3,9 +3,9 @@
 //! services … and the one generated from historical trajectories by using
 //! popular route mining algorithms, i.e., MPR, LDR and MFP").
 
-use crate::ldr::{local_driver_route, local_support, LdrParams};
-use crate::mfp::{most_frequent_path, MfpParams};
-use crate::mpr::{most_popular_route, MprParams};
+use crate::ldr::{local_driver_route, local_driver_routes, local_support, LdrParams};
+use crate::mfp::{most_frequent_path, most_frequent_paths_on, MfpParams};
+use crate::mpr::{most_popular_route, most_popular_routes, MprParams};
 use crate::transfer::TransferNetwork;
 use crate::webservice::{FastestRouteService, ShortestRouteService};
 use cp_roadnet::{NodeId, Path, RoadGraph};
@@ -116,6 +116,27 @@ impl<'a> CandidateGenerator<'a> {
             departure,
         )
     }
+
+    /// Produces candidate sets for a whole group of OD queries sharing a
+    /// departure time with one fused mining pass — see
+    /// [`generate_candidates_batch`]. Per query, byte-identical to
+    /// [`CandidateGenerator::candidates`].
+    pub fn candidates_batch(
+        &self,
+        queries: &[(NodeId, NodeId)],
+        departure: TimeOfDay,
+    ) -> Vec<Vec<CandidateRoute>> {
+        generate_candidates_batch(
+            self.graph,
+            self.trips,
+            &self.transfer,
+            &self.mpr,
+            &self.mfp,
+            &self.ldr,
+            queries,
+            departure,
+        )
+    }
 }
 
 /// Produces one candidate per available source from explicitly supplied
@@ -166,6 +187,83 @@ pub fn generate_candidates(
             source: SourceKind::Mfp,
             path: p,
         });
+    }
+    out
+}
+
+/// Produces candidate sets for a batch of OD queries sharing a
+/// departure time, fusing the expensive single-source work across
+/// queries with a common origin:
+///
+/// * **MFP** — the O(|trips|) period filter and footmark aggregation
+///   (the dominant per-request cost) run **once for the whole batch**,
+///   since they depend only on the departure; each origin then runs one
+///   multi-target frequency-discounted expansion;
+/// * **MPR** — one popularity expansion per distinct origin instead of
+///   one per query;
+/// * **LDR** — one origin-side locality scan per origin, with stage-3
+///   habit searches and stage-4 fastest fallbacks memoised per expert;
+/// * **web services** — one shortest and one fastest provider call per
+///   origin group (multi-destination form).
+///
+/// `out[i]` is byte-identical to
+/// `generate_candidates(graph, trips, transfer, mpr, mfp, ldr,
+/// queries[i].0, queries[i].1, departure)` — same sources, same paths,
+/// same order — so the serving layer can swap between the per-request
+/// and fused paths freely. Queries need not share an origin; fusion
+/// simply degrades gracefully (a batch of distinct origins still shares
+/// the MFP aggregation).
+pub fn generate_candidates_batch(
+    graph: &RoadGraph,
+    trips: &[Trip],
+    transfer: &TransferNetwork,
+    mpr: &MprParams,
+    mfp: &MfpParams,
+    ldr: &LdrParams,
+    queries: &[(NodeId, NodeId)],
+    departure: TimeOfDay,
+) -> Vec<Vec<CandidateRoute>> {
+    // One period transfer network for every query in the batch (this is
+    // what `most_frequent_path` rebuilds per request).
+    let period_tn = TransferNetwork::build(graph, trips, Some((departure, mfp.period_half_width)));
+
+    // Group query indices by origin, preserving first-appearance order.
+    let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+    for (i, &(from, _)) in queries.iter().enumerate() {
+        match groups.iter_mut().find(|(f, _)| *f == from) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((from, vec![i])),
+        }
+    }
+
+    let mut out: Vec<Vec<CandidateRoute>> = queries.iter().map(|_| Vec::new()).collect();
+    for (from, idxs) in groups {
+        let tos: Vec<NodeId> = idxs.iter().map(|&i| queries[i].1).collect();
+        let shortest = ShortestRouteService.route_many(graph, from, &tos);
+        let fastest = FastestRouteService.route_many(graph, from, &tos);
+        let mprs = most_popular_routes(graph, transfer, from, &tos, mpr);
+        let ldrs = local_driver_routes(graph, trips, from, &tos, ldr);
+        let mfps = most_frequent_paths_on(graph, &period_tn, from, &tos, mfp);
+        for (k, &i) in idxs.iter().enumerate() {
+            // Assembly order must match `generate_candidates` exactly.
+            let mut set = Vec::with_capacity(SourceKind::ALL.len());
+            let sources = [
+                (SourceKind::ShortestWebService, &shortest[k]),
+                (SourceKind::FastestWebService, &fastest[k]),
+                (SourceKind::Mpr, &mprs[k]),
+                (SourceKind::Ldr, &ldrs[k]),
+                (SourceKind::Mfp, &mfps[k]),
+            ];
+            for (source, result) in sources {
+                if let Ok(path) = result {
+                    set.push(CandidateRoute {
+                        source,
+                        path: path.clone(),
+                    });
+                }
+            }
+            out[i] = set;
+        }
     }
     out
 }
@@ -228,6 +326,35 @@ mod tests {
                 assert_ne!(distinct[i].0, distinct[j].0);
             }
         }
+    }
+
+    #[test]
+    fn fused_batch_matches_per_request_candidates() {
+        let (city, ds) = setup();
+        let gen = CandidateGenerator::new(&city.graph, &ds.trips);
+        let dep = TimeOfDay::from_hours(8.0);
+        // Shared-origin group + a second origin + duplicates + a
+        // degenerate same-node query.
+        let queries: Vec<(NodeId, NodeId)> = vec![
+            (NodeId(0), NodeId(59)),
+            (NodeId(0), NodeId(31)),
+            (NodeId(0), NodeId(59)),
+            (NodeId(0), NodeId(0)),
+            (NodeId(12), NodeId(47)),
+            (NodeId(0), NodeId(7)),
+        ];
+        let fused = gen.candidates_batch(&queries, dep);
+        assert_eq!(fused.len(), queries.len());
+        for (q, (&(from, to), got)) in queries.iter().zip(&fused).enumerate() {
+            let want = gen.candidates(from, to, dep);
+            assert_eq!(got.len(), want.len(), "query {q}");
+            for (x, y) in got.iter().zip(&want) {
+                assert_eq!(x.source, y.source, "query {q}");
+                assert_eq!(x.path, y.path, "query {q}");
+            }
+        }
+        // The same-node query yields no candidates on either path.
+        assert!(fused[3].is_empty());
     }
 
     #[test]

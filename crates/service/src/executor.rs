@@ -38,7 +38,7 @@
 use crate::cache::Lru;
 use crate::error::ServiceError;
 use crate::resolver::Resolver;
-use crate::singleflight::{FlightTable, Join};
+use crate::singleflight::{FlightTable, Join, JoinNow};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use crate::store::ShardedTruthStore;
 use crate::world::{CityId, World};
@@ -62,6 +62,29 @@ pub struct Request {
     pub to: NodeId,
     /// Departure time.
     pub departure: TimeOfDay,
+}
+
+/// `Request` is an equivalence-and-hash key so batchers and dedup maps
+/// can key on it directly (instead of re-deriving `(city, from, to,
+/// bits)` tuples). `TimeOfDay` wraps an `f64` that its constructors keep
+/// in `[0, DAY)`, so bitwise hashing agrees with `==`: `-0.0` (the one
+/// non-identical pattern comparing equal) is normalised before hashing,
+/// and NaN never occurs in a constructed time.
+impl Eq for Request {}
+
+impl std::hash::Hash for Request {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.city.hash(state);
+        self.from.hash(state);
+        self.to.hash(state);
+        let secs = self.departure.0;
+        // A NaN departure would break Eq's reflexivity (it is not
+        // constructible via `TimeOfDay::new`/`from_hours`, only by
+        // writing the pub field directly) — catch that misuse early.
+        debug_assert!(!secs.is_nan(), "Request departure must not be NaN");
+        let bits = if secs == 0.0 { 0u64 } else { secs.to_bits() };
+        bits.hash(state);
+    }
 }
 
 impl Request {
@@ -254,6 +277,16 @@ impl RouteService {
         self.stats.inc_errors();
     }
 
+    /// Batch form of [`RouteService::note_panicked_request`]: best-effort
+    /// accounting for a panic that unwound out of
+    /// [`RouteService::serve_coalesced`] (which books its own requests
+    /// on entry but, if interrupted, reaches no outcome for them).
+    pub(crate) fn note_panicked_requests(&self, n: usize) {
+        for _ in 0..n {
+            self.stats.inc_errors();
+        }
+    }
+
     /// A point-in-time statistics snapshot. Truth-eviction counts are
     /// read from the truth store (the single source — capacity and age
     /// evictions both land there, even when callers drive the store
@@ -302,8 +335,53 @@ impl RouteService {
         }
     }
 
+    /// The origin's spatial grid cell under the configured cell size —
+    /// the coalescing coordinate: requests sharing `(city, origin cell,
+    /// time bucket)` are profitable to mine as one fused batch.
+    pub fn origin_cell_of(&self, n: NodeId) -> (i32, i32) {
+        self.cell_of(n)
+    }
+
     fn cell_of(&self, n: NodeId) -> (i32, i32) {
         cp_core::truth::grid_cell(self.world.graph().position(n), self.cfg.cell_m)
+    }
+
+    /// Probes the candidate LRU for an exact-OD entry (counts neither a
+    /// hit nor a miss — callers book the outcome).
+    fn cache_lookup(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bucket: u32,
+    ) -> Option<Arc<Vec<CandidateRoute>>> {
+        let (ox, oy) = self.cell_of(from);
+        let (dx, dy) = self.cell_of(to);
+        let key: CacheKey = (ox, oy, dx, dy, bucket);
+        let mut cache = self.cache.lock().expect("candidate cache poisoned");
+        let slot = cache.get(&key)?;
+        slot.entries
+            .iter()
+            .find(|(f, t, _)| *f == from && *t == to)
+            .map(|(_, _, candidates)| Arc::clone(candidates))
+    }
+
+    /// Deposits a mined candidate set into the LRU, bounding per-key OD
+    /// growth FIFO. The slot is re-fetched under the lock (it may have
+    /// changed while mining ran unlocked).
+    fn cache_fill(&self, from: NodeId, to: NodeId, bucket: u32, mined: &Arc<Vec<CandidateRoute>>) {
+        let (ox, oy) = self.cell_of(from);
+        let (dx, dy) = self.cell_of(to);
+        let key: CacheKey = (ox, oy, dx, dy, bucket);
+        let mut cache = self.cache.lock().expect("candidate cache poisoned");
+        let mut slot = cache.get(&key).cloned().unwrap_or_default();
+        if !slot.entries.iter().any(|(f, t, _)| *f == from && *t == to) {
+            if slot.entries.len() >= self.cfg.cache_ods_per_key.max(1) {
+                slot.entries.remove(0);
+                self.stats.inc_cache_od_evictions();
+            }
+            slot.entries.push((from, to, Arc::clone(mined)));
+        }
+        cache.insert(key, slot);
     }
 
     /// Fetches the candidate set for a request from the LRU, mining on a
@@ -316,36 +394,13 @@ impl RouteService {
         bucket: u32,
         departure: TimeOfDay,
     ) -> Arc<Vec<CandidateRoute>> {
-        let (ox, oy) = self.cell_of(from);
-        let (dx, dy) = self.cell_of(to);
-        let key: CacheKey = (ox, oy, dx, dy, bucket);
-        {
-            let mut cache = self.cache.lock().expect("candidate cache poisoned");
-            if let Some(slot) = cache.get(&key) {
-                if let Some((_, _, candidates)) =
-                    slot.entries.iter().find(|(f, t, _)| *f == from && *t == to)
-                {
-                    self.stats.inc_cache_hits();
-                    return Arc::clone(candidates);
-                }
-            }
+        if let Some(candidates) = self.cache_lookup(from, to, bucket) {
+            self.stats.inc_cache_hits();
+            return candidates;
         }
         self.stats.inc_cache_misses();
         let mined = Arc::new(self.world.candidates(from, to, departure));
-        {
-            let mut cache = self.cache.lock().expect("candidate cache poisoned");
-            // Re-fetch the slot (it may have changed while mining) and
-            // append this OD, bounding per-key growth FIFO.
-            let mut slot = cache.get(&key).cloned().unwrap_or_default();
-            if !slot.entries.iter().any(|(f, t, _)| *f == from && *t == to) {
-                if slot.entries.len() >= self.cfg.cache_ods_per_key.max(1) {
-                    slot.entries.remove(0);
-                    self.stats.inc_cache_od_evictions();
-                }
-                slot.entries.push((from, to, Arc::clone(&mined)));
-            }
-            cache.insert(key, slot);
-        }
+        self.cache_fill(from, to, bucket, &mined);
         mined
     }
 
@@ -471,6 +526,305 @@ impl RouteService {
                 Ok(served)
             }
         }
+    }
+
+    /// Serves a coalesced batch of requests — typically dequeued
+    /// together by the platform's batcher because they share `(city,
+    /// origin cell, time bucket)` — paying the shared work once instead
+    /// of once per request:
+    ///
+    /// 1. **one sharded-truth pre-pass** — every request probes the
+    ///    store up front; hits answer immediately;
+    /// 2. **one single-flight leader per distinct OD key** — intra-batch
+    ///    duplicates collapse locally, and the global flight table still
+    ///    dedups against concurrent workers;
+    /// 3. **one fused mining call** — all leader ODs missing the
+    ///    candidate cache mine through
+    ///    [`World::candidates_batch`](crate::World::candidates_batch)
+    ///    in a single pass, followed by a bulk cache fill;
+    /// 4. **resolution per leader**, truths deposited as in
+    ///    [`RouteService::handle`].
+    ///
+    /// Results come back in request order. Under
+    /// [`ServiceConfig::strict_deterministic`] geometry and a
+    /// deterministic resolver, every returned route is byte-identical to
+    /// serving the same requests one at a time (asserted by the
+    /// `batch_equivalence` proptest); only the `Served` layer tags can
+    /// differ (an intra-batch duplicate reports `Deduplicated` where the
+    /// sequential path would report a `TruthHit`).
+    ///
+    /// A panicking resolver is contained: the leader that panicked (and
+    /// every not-yet-resolved leader after it — the resolver may be
+    /// mid-mutation) fails with [`ServiceError::ResolverPanicked`]
+    /// instead of unwinding, so batch accounting stays exact and
+    /// followers are never stranded. Callers owning the resolver should
+    /// discard it when they see that error (the platform worker rebuilds
+    /// from the city's factory).
+    ///
+    /// Batch sojourn is booked per request at batch completion, so
+    /// latency statistics remain one entry per request.
+    pub fn serve_coalesced<R: Resolver>(
+        &self,
+        requests: &[Request],
+        resolver: &mut R,
+    ) -> Vec<Result<ServedRoute, ServiceError>> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let t0 = Instant::now();
+        self.stats.record_batch(requests.len());
+        for _ in requests {
+            self.stats.inc_requests();
+        }
+        let graph = self.world.graph();
+        let mut results: Vec<Option<Result<ServedRoute, ServiceError>>> =
+            requests.iter().map(|_| None).collect();
+
+        // 1. One truth pre-pass over the whole batch.
+        for (i, req) in requests.iter().enumerate() {
+            let departure = self.canonical_departure(req);
+            if let Some(hit) =
+                self.truths
+                    .lookup(graph, req.from, req.to, departure, &self.cfg.core)
+            {
+                self.stats.inc_truth_hits();
+                results[i] = Some(Ok(ServedRoute {
+                    path: hit.path,
+                    served: Served::TruthHit,
+                    confidence: hit.confidence,
+                }));
+            }
+        }
+
+        // 2. Group misses by dedup key (first-appearance order) and join
+        // the global flight table once per distinct key. Joins are
+        // non-blocking: keys led by a *concurrent* batch become deferred
+        // watches, waited on only after every leadership this batch
+        // holds is completed (step 4) — blocking inline here while
+        // holding other leader tokens would deadlock two batches that
+        // lead each other's keys in opposite orders.
+        let mut groups: Vec<(RequestKey, Vec<usize>)> = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            if results[i].is_some() {
+                continue;
+            }
+            let key = self.key_of(req);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+        /// A key this batch leads: its member requests, the flight
+        /// obligation, and (once fetched or mined) its candidate set.
+        struct PendingFlight<'t> {
+            members: Vec<usize>,
+            token: crate::singleflight::LeaderToken<'t, RequestKey, ServedRoute>,
+            candidates: Option<Arc<Vec<CandidateRoute>>>,
+        }
+        let mut pending: Vec<PendingFlight<'_>> = Vec::new();
+        let mut watches: Vec<(Vec<usize>, crate::singleflight::FlightWatch<ServedRoute>)> =
+            Vec::new();
+        for (key, members) in groups {
+            match self.flights.join_deferred(key) {
+                JoinNow::Watch(watch) => watches.push((members, watch)),
+                JoinNow::Leader(token) => {
+                    // Leader double-check (same reasoning as `handle`):
+                    // the previous identical flight may have completed
+                    // between the pre-pass and leadership.
+                    let req = &requests[members[0]];
+                    let departure = self.canonical_departure(req);
+                    if let Some(hit) =
+                        self.truths
+                            .lookup(graph, req.from, req.to, departure, &self.cfg.core)
+                    {
+                        let served = ServedRoute {
+                            path: hit.path,
+                            served: Served::TruthHit,
+                            confidence: hit.confidence,
+                        };
+                        token.complete(served.clone());
+                        for &i in &members {
+                            self.stats.inc_truth_hits();
+                            results[i] = Some(Ok(served.clone()));
+                        }
+                    } else {
+                        pending.push(PendingFlight {
+                            members,
+                            token,
+                            candidates: None,
+                        });
+                    }
+                }
+            }
+        }
+
+        // 3. Candidate-cache pre-pass, then one fused mining call for
+        // every leader OD the cache cannot serve.
+        let mut to_mine: Vec<usize> = Vec::new();
+        for (p, flight) in pending.iter_mut().enumerate() {
+            let req = &requests[flight.members[0]];
+            let bucket = self.bucket_of(req.departure);
+            if let Some(candidates) = self.cache_lookup(req.from, req.to, bucket) {
+                self.stats.inc_cache_hits();
+                flight.candidates = Some(candidates);
+            } else {
+                self.stats.inc_cache_misses();
+                to_mine.push(p);
+            }
+        }
+        // Platform batches share one canonical departure; mining is
+        // fused per distinct departure so a hand-built mixed batch stays
+        // byte-correct (it just fuses less).
+        let mut by_departure: Vec<(u64, Vec<usize>)> = Vec::new();
+        for &p in &to_mine {
+            let req = &requests[pending[p].members[0]];
+            let bits = self.canonical_departure(req).0.to_bits();
+            match by_departure.iter_mut().find(|(b, _)| *b == bits) {
+                Some((_, ps)) => ps.push(p),
+                None => by_departure.push((bits, vec![p])),
+            }
+        }
+        for (bits, ps) in by_departure {
+            let departure = TimeOfDay(f64::from_bits(bits));
+            if ps.len() >= 2 {
+                let queries: Vec<(NodeId, NodeId)> = ps
+                    .iter()
+                    .map(|&p| {
+                        let req = &requests[pending[p].members[0]];
+                        (req.from, req.to)
+                    })
+                    .collect();
+                let mined = self.world.candidates_batch(&queries, departure);
+                self.stats.record_fused_mining(queries.len());
+                for (&p, set) in ps.iter().zip(mined) {
+                    let req = &requests[pending[p].members[0]];
+                    let set = Arc::new(set);
+                    self.cache_fill(req.from, req.to, self.bucket_of(req.departure), &set);
+                    pending[p].candidates = Some(set);
+                }
+            } else {
+                // A lone miss gains nothing from the batch API.
+                let p = ps[0];
+                let req = &requests[pending[p].members[0]];
+                let mined = Arc::new(self.world.candidates(req.from, req.to, departure));
+                self.cache_fill(req.from, req.to, self.bucket_of(req.departure), &mined);
+                pending[p].candidates = Some(mined);
+            }
+        }
+
+        // 4. Resolve each led flight in batch order.
+        let mut poisoned = false;
+        for flight in pending {
+            let first = flight.members[0];
+            let req = &requests[first];
+            if poisoned {
+                // The resolver panicked earlier in this batch and may be
+                // mid-mutation; fail fast. Dropping the token publishes
+                // the failure to any concurrent followers.
+                for &i in &flight.members {
+                    self.stats.inc_errors();
+                    results[i] = Some(Err(ServiceError::ResolverPanicked));
+                }
+                continue;
+            }
+            let departure = self.canonical_departure(req);
+            let candidates = flight
+                .candidates
+                .as_ref()
+                .expect("every pending flight was cached or mined");
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                resolver.resolve(req.from, req.to, departure, candidates)
+            }));
+            match outcome {
+                Err(_) => {
+                    poisoned = true;
+                    for &i in &flight.members {
+                        self.stats.inc_errors();
+                        results[i] = Some(Err(ServiceError::ResolverPanicked));
+                    }
+                }
+                Ok(Err(e)) => {
+                    if let ServiceError::CrowdStarved { quota_rejections } = e {
+                        self.stats.record_crowd(crate::resolver::CrowdCost {
+                            questions: 0,
+                            workers: 0,
+                            quota_rejections,
+                            starved: true,
+                        });
+                    }
+                    self.stats.inc_errors();
+                    results[first] = Some(Err(e));
+                    for &i in &flight.members[1..] {
+                        self.stats.inc_errors();
+                        results[i] = Some(Err(ServiceError::LeaderFailed));
+                    }
+                }
+                Ok(Ok(resolved)) => {
+                    let starved = resolved.crowd.is_some_and(|c| c.starved);
+                    if let Some(cost) = resolved.crowd {
+                        self.stats.record_crowd(cost);
+                    }
+                    if !starved {
+                        self.truths.insert(
+                            graph,
+                            TruthEntry {
+                                from: req.from,
+                                to: req.to,
+                                departure,
+                                path: resolved.path.clone(),
+                                confidence: resolved.confidence,
+                            },
+                        );
+                    }
+                    let served = ServedRoute {
+                        path: resolved.path,
+                        served: Served::Resolved(resolved.resolution),
+                        confidence: resolved.confidence,
+                    };
+                    self.stats.inc_resolved();
+                    flight.token.complete(served.clone());
+                    results[first] = Some(Ok(served.clone()));
+                    for &i in &flight.members[1..] {
+                        self.stats.inc_dedup_hits();
+                        results[i] = Some(Ok(ServedRoute {
+                            served: Served::Deduplicated,
+                            ..served.clone()
+                        }));
+                    }
+                }
+            }
+        }
+
+        // 5. Only now — with every leadership this batch held completed
+        // (or dropped) — wait on flights led by concurrent callers.
+        for (members, watch) in watches {
+            match watch.wait() {
+                Some(mut shared) => {
+                    shared.served = Served::Deduplicated;
+                    for &i in &members {
+                        self.stats.inc_dedup_hits();
+                        results[i] = Some(Ok(shared.clone()));
+                    }
+                }
+                None => {
+                    for &i in &members {
+                        self.stats.inc_errors();
+                        results[i] = Some(Err(ServiceError::LeaderFailed));
+                    }
+                }
+            }
+        }
+
+        let elapsed = t0.elapsed();
+        for _ in requests {
+            self.stats.record_latency(elapsed);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batched request reaches exactly one outcome"))
+            .collect()
     }
 
     /// Fans `requests` across `config().workers` scoped threads, each
@@ -720,6 +1074,182 @@ mod tests {
         let canon = service.canonical_departure(&last);
         assert!(canon.0 < TimeOfDay::DAY);
         assert_eq!(service.bucket_of(canon), 95);
+    }
+
+    #[test]
+    fn request_keys_directly_into_hash_maps() {
+        use std::collections::HashSet;
+        let mut set: HashSet<Request> = HashSet::new();
+        let a = Request::new(NodeId(1), NodeId(2), TimeOfDay::from_hours(8.0));
+        let b = Request::new(NodeId(1), NodeId(2), TimeOfDay::from_hours(8.0));
+        let c = Request::new(NodeId(1), NodeId(2), TimeOfDay::from_hours(9.0));
+        // Midnight wraps to 0.0; a negative-zero seconds value must
+        // land in the same bucket as positive zero.
+        let z1 = Request::new(NodeId(3), NodeId(4), TimeOfDay::new(0.0));
+        let z2 = Request::new(NodeId(3), NodeId(4), TimeOfDay(-0.0));
+        assert_eq!(z1, z2);
+        for r in [a, b, c, z1, z2] {
+            set.insert(r);
+        }
+        assert_eq!(set.len(), 3, "duplicates must collapse");
+        assert!(set.contains(&a) && set.contains(&c) && set.contains(&z2));
+    }
+
+    #[test]
+    fn coalesced_batch_matches_sequential_handling_and_books_fusion() {
+        let world = mini_world();
+        let cfg = ServiceConfig::strict_deterministic();
+        // A hot origin cell: one origin, many distinct destinations in
+        // one bucket, plus intra-batch duplicates.
+        let requests: Vec<Request> = [59u32, 54, 47, 31, 59, 23, 12, 47]
+            .iter()
+            .map(|&b| Request::new(NodeId(0), NodeId(b), TimeOfDay::from_hours(8.0)))
+            .collect();
+
+        // Sequential reference.
+        let seq = RouteService::new(Arc::clone(&world), cfg.clone());
+        let mut seq_resolver = MachineResolver::new(world.graph_arc(), cfg.core.clone());
+        let expected: Vec<Path> = requests
+            .iter()
+            .map(|&r| seq.handle(r, &mut seq_resolver).unwrap().path)
+            .collect();
+
+        // One coalesced batch.
+        let service = RouteService::new(Arc::clone(&world), cfg.clone());
+        let mut resolver = MachineResolver::new(world.graph_arc(), cfg.core.clone());
+        let results = service.serve_coalesced(&requests, &mut resolver);
+        assert_eq!(results.len(), requests.len());
+        for (i, res) in results.iter().enumerate() {
+            assert_eq!(res.as_ref().unwrap().path, expected[i], "request {i}");
+        }
+        let snap = service.stats();
+        assert!(snap.is_consistent(), "{snap:?}");
+        assert_eq!(snap.requests, 8);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.batched_requests, 8);
+        assert_eq!(snap.batch_max, 8);
+        // 6 distinct ODs resolved once each; the 2 duplicates dedup.
+        assert_eq!(snap.resolved, 6);
+        assert_eq!(snap.dedup_hits, 2);
+        assert_eq!(snap.cache_misses, 6);
+        // All 6 minings went through one fused call.
+        assert_eq!(snap.fused_minings, 1);
+        assert_eq!(snap.fused_mined_ods, 6);
+        assert!((snap.fused_mining_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(snap.latency.count, 8);
+        // Truth stores agree entry for entry.
+        assert_eq!(service.truths().len(), seq.truths().len());
+
+        // A follow-up batch re-serves everything from the truth store.
+        let again = service.serve_coalesced(&requests, &mut resolver);
+        for (i, res) in again.iter().enumerate() {
+            let served = res.as_ref().unwrap();
+            assert_eq!(served.served, Served::TruthHit, "request {i}");
+            assert_eq!(served.path, expected[i], "request {i}");
+        }
+        assert!(service.stats().is_consistent());
+    }
+
+    #[test]
+    fn coalesced_singleton_mines_without_fusion() {
+        let world = mini_world();
+        let service = RouteService::new(Arc::clone(&world), ServiceConfig::strict_deterministic());
+        let mut resolver = MachineResolver::new(world.graph_arc(), service.config().core.clone());
+        let req = Request::new(NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0));
+        let out = service.serve_coalesced(&[req], &mut resolver);
+        assert!(out[0].is_ok());
+        let snap = service.stats();
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.batched_requests, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.fused_minings, 0, "a lone miss must not claim fusion");
+        assert_eq!(snap.fused_mined_ods, 0);
+        assert!(snap.is_consistent());
+        // Empty input is a no-op, not a recorded batch.
+        assert!(service.serve_coalesced(&[], &mut resolver).is_empty());
+        assert_eq!(service.stats().batches, 1);
+    }
+
+    #[test]
+    fn opposite_order_concurrent_batches_do_not_deadlock() {
+        use std::sync::Barrier;
+        // Regression: a batch must never block on another batch's
+        // flight while holding its own leaderships. Two threads serve
+        // the same two keys in opposite orders; with inline follower
+        // waits they could each lead one key and block forever on the
+        // other.
+        let world = mini_world();
+        let cfg = ServiceConfig::strict_deterministic();
+        let forward = [
+            Request::new(NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0)),
+            Request::new(NodeId(0), NodeId(31), TimeOfDay::from_hours(8.0)),
+        ];
+        let reverse = [forward[1], forward[0]];
+        for _round in 0..50 {
+            let service = RouteService::new(Arc::clone(&world), cfg.clone());
+            let barrier = Barrier::new(2);
+            std::thread::scope(|s| {
+                for reqs in [forward, reverse] {
+                    let service = &service;
+                    let barrier = &barrier;
+                    let world = &world;
+                    let core = cfg.core.clone();
+                    s.spawn(move || {
+                        let mut resolver = MachineResolver::new(world.graph_arc(), core);
+                        barrier.wait();
+                        for res in service.serve_coalesced(&reqs, &mut resolver) {
+                            res.expect("no batch may fail");
+                        }
+                    });
+                }
+            });
+            let snap = service.stats();
+            assert_eq!(snap.requests, 4);
+            assert!(snap.is_consistent(), "{snap:?}");
+        }
+    }
+
+    #[test]
+    fn coalesced_resolver_panic_is_contained() {
+        use crate::resolver::Resolved;
+
+        /// Panics on one poisoned destination, resolves normally
+        /// otherwise.
+        struct Panicky(MachineResolver);
+        impl Resolver for Panicky {
+            fn resolve(
+                &mut self,
+                from: NodeId,
+                to: NodeId,
+                departure: TimeOfDay,
+                candidates: &[CandidateRoute],
+            ) -> Result<Resolved, ServiceError> {
+                assert!(to != NodeId(31), "poisoned request");
+                self.0.resolve(from, to, departure, candidates)
+            }
+        }
+
+        let world = mini_world();
+        let service = RouteService::new(Arc::clone(&world), ServiceConfig::strict_deterministic());
+        let mut resolver = Panicky(MachineResolver::new(
+            world.graph_arc(),
+            service.config().core.clone(),
+        ));
+        let requests: Vec<Request> = [59u32, 31, 47]
+            .iter()
+            .map(|&b| Request::new(NodeId(0), NodeId(b), TimeOfDay::from_hours(8.0)))
+            .collect();
+        let results = service.serve_coalesced(&requests, &mut resolver);
+        // The healthy leader before the panic resolves; the poisoned one
+        // and everything after it fail without unwinding.
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(ServiceError::ResolverPanicked)));
+        assert!(matches!(results[2], Err(ServiceError::ResolverPanicked)));
+        let snap = service.stats();
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.resolved, 1);
+        assert_eq!(snap.errors, 2);
+        assert!(snap.is_consistent(), "{snap:?}");
     }
 
     #[test]

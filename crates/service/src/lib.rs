@@ -17,13 +17,19 @@
 //! * [`RouteService`] — the per-city executor: every request walks the
 //!   serving ladder *truth hit → single-flight dedup → candidate cache →
 //!   resolution*; [`RouteService::serve`] fans a closed batch across
-//!   scoped threads;
+//!   scoped threads, and [`RouteService::serve_coalesced`] serves a
+//!   group of requests sharing an origin cell through **one** truth
+//!   pre-pass, one flight leader per distinct OD and one fused mining
+//!   call;
 //! * [`Platform`] — the front door: a resident worker pool over all
 //!   registered cities, a **bounded ingress queue** with admission
 //!   control ([`Platform::submit`] is non-blocking and returns
 //!   [`ServiceError::Busy`] when full), joinable/pollable [`Ticket`]s,
-//!   per-city plus exact aggregate statistics, and graceful draining
-//!   [`Platform::shutdown`];
+//!   opportunistic **origin-cell request coalescing**
+//!   ([`PlatformConfig::batch`] / [`BatchConfig`]: workers dequeue runs
+//!   of `(city, origin cell, time bucket)`-mates instead of single
+//!   jobs), per-city plus exact aggregate statistics, and graceful
+//!   draining [`Platform::shutdown`];
 //! * [`FlightTable`] — single-flight deduplication of identical
 //!   in-flight `(OD, time-bucket)` requests (one resolution, shared
 //!   result — crucial when resolution spends crowd budget);
@@ -119,11 +125,11 @@ pub use cache::Lru;
 pub use error::ServiceError;
 pub use executor::{Request, RequestKey, RouteService, Served, ServedRoute, ServiceConfig};
 pub use platform::{
-    CrowdServing, MaintenanceConfig, MaintenanceReport, Platform, PlatformConfig, PlatformSnapshot,
-    Ticket,
+    BatchConfig, CrowdServing, MaintenanceConfig, MaintenanceReport, Platform, PlatformConfig,
+    PlatformSnapshot, Ticket,
 };
 pub use resolver::{CrowdCost, CrowdResolver, MachineResolver, OracleFactory, Resolved, Resolver};
-pub use singleflight::{FlightTable, Join, LeaderToken};
+pub use singleflight::{FlightTable, FlightWatch, Join, JoinNow, LeaderToken};
 pub use stats::{LatencySummary, ServiceStats, StatsSnapshot};
 pub use store::ShardedTruthStore;
 pub use world::{CityId, World};

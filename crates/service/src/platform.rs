@@ -82,6 +82,33 @@ impl Default for MaintenanceConfig {
     }
 }
 
+/// Opportunistic request-coalescing configuration: workers dequeue
+/// *runs* of queued jobs sharing `(city, origin cell, time bucket)` and
+/// serve them through the fused
+/// [`RouteService::serve_coalesced`] path, so a hot origin cell pays
+/// its expensive single-source mining once per run instead of once per
+/// request.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Most jobs coalesced into one run (≥ 1; 1 disables coalescing in
+    /// all but name).
+    pub max_batch: usize,
+    /// How long a worker may hold an under-full run open waiting for
+    /// more same-key arrivals. `Duration::ZERO` (the default) is purely
+    /// opportunistic: only jobs already queued coalesce, and an idle
+    /// queue never delays a request.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 16,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
 /// Platform-level configuration (per-city serving behaviour lives in
 /// each city's [`ServiceConfig`]).
 #[derive(Debug, Clone)]
@@ -94,6 +121,9 @@ pub struct PlatformConfig {
     /// Optional background maintenance (truth-age sweeps + stats
     /// snapshot export). `None` (the default) spawns no janitor.
     pub maintenance: Option<MaintenanceConfig>,
+    /// Optional origin-cell request coalescing. `None` (the default)
+    /// dispatches one job per worker wakeup, exactly as before.
+    pub batch: Option<BatchConfig>,
 }
 
 impl Default for PlatformConfig {
@@ -102,6 +132,7 @@ impl Default for PlatformConfig {
             workers: 4,
             queue_capacity: 256,
             maintenance: None,
+            batch: None,
         }
     }
 }
@@ -174,10 +205,24 @@ struct Job {
     slot: Arc<TicketSlot>,
 }
 
-/// The bounded ingress queue plus the drain flag, under one mutex.
+/// The bounded ingress queue plus the drain flag and the dispatch
+/// accounting, under one mutex. The dispatch counters are mutated in
+/// the same critical sections that move jobs, so `admitted ==
+/// batched_requests + unbatched_requests + queue_depth` holds at every
+/// instant a snapshot can observe (admission also bumps `admitted`
+/// under this lock).
 struct Ingress {
     jobs: VecDeque<Job>,
     draining: bool,
+    /// Jobs dispatched inside a coalesced run of ≥ 2.
+    batched_requests: u64,
+    /// Jobs dispatched alone (runs of 1, and every job when batching is
+    /// off).
+    unbatched_requests: u64,
+    /// Coalesced runs (of ≥ 2) dispatched.
+    batch_runs: u64,
+    /// Largest run dispatched (high-water mark).
+    batch_max: u64,
 }
 
 /// State shared between the platform handle and its workers.
@@ -240,6 +285,16 @@ pub struct PlatformSnapshot {
     pub cities: usize,
     /// Jobs currently waiting in the ingress queue.
     pub queue_depth: usize,
+    /// Jobs dispatched to workers inside a coalesced run of ≥ 2 (0
+    /// unless [`PlatformConfig::batch`] is set).
+    pub batched_requests: u64,
+    /// Jobs dispatched to workers alone — runs of 1, and every job when
+    /// coalescing is off.
+    pub unbatched_requests: u64,
+    /// Coalesced runs (of ≥ 2) dispatched.
+    pub batch_runs: u64,
+    /// Largest coalesced run dispatched (high-water mark).
+    pub batch_max: u64,
     /// Background maintenance sweeps completed (0 when no janitor is
     /// configured).
     pub maintenance_sweeps: u64,
@@ -249,11 +304,21 @@ pub struct PlatformSnapshot {
 }
 
 impl PlatformSnapshot {
-    /// The admission accounting invariant: every submission was either
-    /// admitted or rejected for exactly one reason.
+    /// The admission and dispatch accounting invariants: every
+    /// submission was either admitted or rejected for exactly one
+    /// reason, and every admitted job is either still queued or was
+    /// dispatched exactly once — batched or unbatched. The dispatch
+    /// counters, `admitted` and the queue depth are all captured under
+    /// the ingress lock (dispatch mutates them in the same critical
+    /// sections that move jobs), so the dispatch equation is exact at
+    /// every observable instant, not just at quiescence.
     pub fn is_consistent(&self) -> bool {
         self.admitted + self.rejected_busy + self.rejected_unknown_city + self.rejected_shutdown
             == self.submitted
+            && self.admitted
+                == self.batched_requests + self.unbatched_requests + self.queue_depth as u64
+            && self.batch_max <= self.batched_requests
+            && self.batch_runs <= self.batched_requests
     }
 }
 
@@ -361,11 +426,19 @@ impl Platform {
                 workers: cfg.workers.max(1),
                 queue_capacity: cfg.queue_capacity.max(1),
                 maintenance: cfg.maintenance,
+                batch: cfg.batch.map(|b| BatchConfig {
+                    max_batch: b.max_batch.max(1),
+                    max_delay: b.max_delay,
+                }),
             },
             cities: RwLock::new(Vec::new()),
             queue: Mutex::new(Ingress {
                 jobs: VecDeque::new(),
                 draining: false,
+                batched_requests: 0,
+                unbatched_requests: 0,
+                batch_runs: 0,
+                batch_max: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -665,21 +738,35 @@ fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
     }
     let mut aggregate = agg.snapshot();
     aggregate.truth_evictions = truth_evictions;
-    let queue_depth = inner
-        .queue
-        .lock()
-        .expect("ingress queue poisoned")
-        .jobs
-        .len();
+    // Capture queue depth, dispatch counters and `admitted` under one
+    // ingress-lock acquisition: dispatch mutates the counters in the
+    // same critical sections that move jobs (and admission bumps
+    // `admitted` under the lock), so the dispatch invariant in
+    // [`PlatformSnapshot::is_consistent`] is exact even mid-flight.
+    let (queue_depth, admitted, batched_requests, unbatched_requests, batch_runs, batch_max) = {
+        let q = inner.queue.lock().expect("ingress queue poisoned");
+        (
+            q.jobs.len(),
+            inner.admitted.load(Ordering::Relaxed),
+            q.batched_requests,
+            q.unbatched_requests,
+            q.batch_runs,
+            q.batch_max,
+        )
+    };
     PlatformSnapshot {
         submitted: inner.submitted.load(Ordering::Relaxed),
-        admitted: inner.admitted.load(Ordering::Relaxed),
+        admitted,
         rejected_busy: inner.rejected_busy.load(Ordering::Relaxed),
         rejected_unknown_city: inner.rejected_unknown_city.load(Ordering::Relaxed),
         rejected_shutdown: inner.rejected_shutdown.load(Ordering::Relaxed),
         completed: inner.completed.load(Ordering::Relaxed),
         cities: cities.len(),
         queue_depth,
+        batched_requests,
+        unbatched_requests,
+        batch_runs,
+        batch_max,
         maintenance_sweeps: inner.maintenance_sweeps.load(Ordering::Relaxed),
         aggregate,
     }
@@ -761,14 +848,95 @@ impl std::fmt::Debug for Platform {
     }
 }
 
-/// The resident worker: pop a job, route it to its city's service with
-/// this worker's cached per-city resolver, fulfil the ticket. Exits once
-/// draining is set and the queue is empty — never before, so every
-/// admitted ticket is resolved exactly once. A panicking resolver is
-/// contained: the ticket resolves with [`ServiceError::ResolverPanicked`],
-/// the panicked resolver is discarded (rebuilt from the factory on the
-/// city's next request) and the worker keeps serving — a panic can never
-/// strand tickets or shrink the pool.
+/// Extends a freshly dequeued job into a coalesced run: extracts (in
+/// queue order) every queued job sharing the seed's `(city, origin
+/// cell, time bucket)` key, and — when `max_delay` allows — holds the
+/// under-full run open for more same-key arrivals.
+///
+/// The dispatch counters are reclassified in the same critical sections
+/// that move jobs, so the snapshot invariant `admitted == batched +
+/// unbatched + queue_depth` never wavers. Before releasing the lock the
+/// collector passes the wakeup baton (`not_empty.notify_one`) if jobs
+/// remain queued: it may have consumed notifications meant for an idle
+/// worker while watching for same-key arrivals.
+fn collect_run(inner: &Inner, service: &RouteService, run: &mut Vec<Job>, batch: BatchConfig) {
+    let city_idx = run[0].city_idx;
+    let cell = service.origin_cell_of(run[0].req.from);
+    let bucket = service.bucket_of(run[0].req.departure);
+    let same_key = |j: &Job| {
+        j.city_idx == city_idx
+            && service.bucket_of(j.req.departure) == bucket
+            && service.origin_cell_of(j.req.from) == cell
+    };
+    let deadline = Instant::now() + batch.max_delay;
+    let mut reclassified = false;
+    let mut q = inner.queue.lock().expect("ingress queue poisoned");
+    loop {
+        let mut i = 0;
+        let mut took = 0u64;
+        while i < q.jobs.len() && run.len() < batch.max_batch {
+            if same_key(&q.jobs[i]) {
+                run.push(q.jobs.remove(i).expect("index in bounds"));
+                took += 1;
+            } else {
+                i += 1;
+            }
+        }
+        if took > 0 {
+            if !reclassified {
+                // The seed was booked as unbatched when popped; it now
+                // leads a run of ≥ 2.
+                q.unbatched_requests -= 1;
+                q.batched_requests += 1;
+                q.batch_runs += 1;
+                reclassified = true;
+            }
+            q.batched_requests += took;
+            q.batch_max = q.batch_max.max(run.len() as u64);
+            inner.not_full.notify_all();
+        }
+        if run.len() >= batch.max_batch || q.draining {
+            break;
+        }
+        // Pass the baton *before* re-waiting: the wakeup that brought us
+        // here may have announced a non-matching job meant for an idle
+        // worker; without this, that job would sit queued until our
+        // delay window closes.
+        if !q.jobs.is_empty() {
+            inner.not_empty.notify_one();
+        }
+        let now = Instant::now();
+        let Some(remaining) = deadline
+            .checked_duration_since(now)
+            .filter(|d| !d.is_zero())
+        else {
+            break;
+        };
+        let (guard, _) = inner
+            .not_empty
+            .wait_timeout(q, remaining)
+            .expect("ingress queue poisoned");
+        q = guard;
+    }
+    if !q.jobs.is_empty() {
+        // The collector may have absorbed *several* not_empty
+        // notifications during its delay window (one per non-matching
+        // arrival); notify_all so no idle worker is left asleep with
+        // jobs queued.
+        inner.not_empty.notify_all();
+    }
+}
+
+/// The resident worker: pop a job (extending it into a coalesced run
+/// when [`PlatformConfig::batch`] is set), route it to its city's
+/// service with this worker's cached per-city resolver, fulfil the
+/// ticket(s). Exits once draining is set and the queue is empty — never
+/// before, so every admitted ticket is resolved exactly once. A
+/// panicking resolver is contained: the affected tickets resolve with
+/// [`ServiceError::ResolverPanicked`], the panicked resolver is
+/// discarded (rebuilt from the factory on the city's next request) and
+/// the worker keeps serving — a panic can never strand tickets or
+/// shrink the pool.
 fn worker_loop(inner: &Inner, worker_idx: usize) {
     let mut resolvers: Vec<Option<Box<dyn Resolver + Send>>> = Vec::new();
     loop {
@@ -776,6 +944,9 @@ fn worker_loop(inner: &Inner, worker_idx: usize) {
             let mut q = inner.queue.lock().expect("ingress queue poisoned");
             loop {
                 if let Some(job) = q.jobs.pop_front() {
+                    // Booked as unbatched; `collect_run` reclassifies if
+                    // a run forms around it.
+                    q.unbatched_requests += 1;
                     inner.not_full.notify_one();
                     break Some(job);
                 }
@@ -786,27 +957,71 @@ fn worker_loop(inner: &Inner, worker_idx: usize) {
             }
         };
         let Some(job) = job else { break };
+        let city_idx = job.city_idx;
         let city = {
             let cities = inner.cities.read().expect("city registry poisoned");
-            Arc::clone(&cities[job.city_idx])
+            Arc::clone(&cities[city_idx])
         };
-        if resolvers.len() <= job.city_idx {
-            resolvers.resize_with(job.city_idx + 1, || None);
+        let mut run = vec![job];
+        if let Some(batch) = inner.cfg.batch {
+            if batch.max_batch > 1 {
+                collect_run(inner, &city.service, &mut run, batch);
+            }
         }
-        let resolver = resolvers[job.city_idx].get_or_insert_with(|| (city.factory)(worker_idx));
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            city.service.handle(job.req, resolver)
-        }))
-        .unwrap_or_else(|_| {
-            // The resolver may have been left mid-mutation; drop it and
-            // rebuild lazily. The request was counted on entry to
-            // `handle`, so book the missing outcome as an error.
-            resolvers[job.city_idx] = None;
-            city.service.note_panicked_request();
-            Err(ServiceError::ResolverPanicked)
-        });
-        inner.completed.fetch_add(1, Ordering::Relaxed);
-        job.slot.fulfill(result);
+        if resolvers.len() <= city_idx {
+            resolvers.resize_with(city_idx + 1, || None);
+        }
+        let resolver = resolvers[city_idx].get_or_insert_with(|| (city.factory)(worker_idx));
+        if run.len() == 1 {
+            let job = run.pop().expect("run holds the seed");
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                city.service.handle(job.req, resolver)
+            }))
+            .unwrap_or_else(|_| {
+                // The resolver may have been left mid-mutation; drop it
+                // and rebuild lazily. The request was counted on entry
+                // to `handle`, so book the missing outcome as an error.
+                resolvers[city_idx] = None;
+                city.service.note_panicked_request();
+                Err(ServiceError::ResolverPanicked)
+            });
+            inner.completed.fetch_add(1, Ordering::Relaxed);
+            job.slot.fulfill(result);
+        } else {
+            let reqs: Vec<Request> = run.iter().map(|j| j.req).collect();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                city.service.serve_coalesced(&reqs, resolver)
+            }));
+            match outcome {
+                Ok(results) => {
+                    // `serve_coalesced` contains resolver panics and
+                    // surfaces them as results; a poisoned resolver must
+                    // still be discarded here.
+                    if results
+                        .iter()
+                        .any(|r| matches!(r, Err(ServiceError::ResolverPanicked)))
+                    {
+                        resolvers[city_idx] = None;
+                    }
+                    for (job, result) in run.into_iter().zip(results) {
+                        inner.completed.fetch_add(1, Ordering::Relaxed);
+                        job.slot.fulfill(result);
+                    }
+                }
+                Err(_) => {
+                    // Non-resolver panic inside the batch path (the
+                    // resolver kind is contained): fail every ticket in
+                    // the run, best-effort error accounting as in the
+                    // single-request path.
+                    resolvers[city_idx] = None;
+                    city.service.note_panicked_requests(run.len());
+                    for job in run {
+                        inner.completed.fetch_add(1, Ordering::Relaxed);
+                        job.slot.fulfill(Err(ServiceError::ResolverPanicked));
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -836,6 +1051,7 @@ mod tests {
             workers: 2,
             queue_capacity: 64,
             maintenance: None,
+            batch: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         assert_eq!(id, CityId(0));
@@ -916,6 +1132,7 @@ mod tests {
             workers: 1,
             queue_capacity: 1,
             maintenance: None,
+            batch: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let mut busy = 0u32;
@@ -949,6 +1166,7 @@ mod tests {
             workers: 2,
             queue_capacity: 128,
             maintenance: None,
+            batch: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let tickets: Vec<Ticket> = (0..50u32)
@@ -998,6 +1216,7 @@ mod tests {
             workers: 1,
             queue_capacity: 16,
             maintenance: None,
+            batch: None,
         });
         let cfg = ServiceConfig::strict_deterministic();
         let core = cfg.core.clone();
@@ -1047,6 +1266,7 @@ mod tests {
                 interval: Duration::from_millis(2),
                 max_age: Duration::ZERO,
             }),
+            batch: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         for i in 0..6u32 {
@@ -1140,6 +1360,7 @@ mod tests {
             workers: 2,
             queue_capacity: 64,
             maintenance: None,
+            batch: None,
         });
         let bad = platform.register_city_crowd(
             Arc::clone(&world),
@@ -1185,6 +1406,105 @@ mod tests {
         platform.shutdown();
         // Drained: no reservation leaked, no quota held.
         assert!(desk.desk_stats().is_drained());
+    }
+
+    #[test]
+    fn batching_dispatcher_coalesces_hot_origin_runs() {
+        let world = mini_world(7);
+        // Sequential baseline for byte-identity.
+        let cfg = ServiceConfig::strict_deterministic();
+        let requests: Vec<Request> = (0..24u32)
+            .map(|i| {
+                Request::new(
+                    NodeId(i % 2),
+                    NodeId(59 - (i % 12)),
+                    TimeOfDay::from_hours(8.0),
+                )
+            })
+            .filter(|r| r.from != r.to)
+            .collect();
+        let baseline_service = RouteService::new(Arc::clone(&world), cfg.clone());
+        let mut baseline_resolver = MachineResolver::new(world.graph_arc(), cfg.core.clone());
+        let expected: Vec<cp_roadnet::Path> = requests
+            .iter()
+            .map(|&r| {
+                baseline_service
+                    .handle(r, &mut baseline_resolver)
+                    .unwrap()
+                    .path
+            })
+            .collect();
+
+        // One worker + a generous collection window: the burst below is
+        // fully queued long before the window closes, so coalesced runs
+        // of ≥ 2 must form.
+        let platform = Platform::start(PlatformConfig {
+            workers: 1,
+            queue_capacity: 64,
+            maintenance: None,
+            batch: Some(BatchConfig {
+                max_batch: 8,
+                max_delay: Duration::from_millis(200),
+            }),
+        });
+        let id = platform.register_city(Arc::clone(&world), cfg);
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|&r| {
+                let mut req = r;
+                req.city = id;
+                platform.submit_blocking(req).expect("admitted")
+            })
+            .collect();
+        let mut paths = Vec::new();
+        for t in tickets {
+            paths.push(t.wait().expect("served"));
+        }
+        for (i, served) in paths.iter().enumerate() {
+            assert_eq!(served.path, expected[i], "request {i}");
+        }
+
+        let snap = platform.stats();
+        assert!(snap.is_consistent(), "{snap:?}");
+        assert_eq!(snap.admitted, requests.len() as u64);
+        assert_eq!(
+            snap.batched_requests + snap.unbatched_requests,
+            snap.admitted,
+            "drained: every admitted job was dispatched"
+        );
+        assert!(snap.batch_runs >= 1, "a queued burst must coalesce");
+        assert!(snap.batch_max >= 2);
+        let city = platform.city_stats(id).unwrap();
+        assert!(city.is_consistent(), "{city:?}");
+        assert_eq!(city.requests, requests.len() as u64);
+        assert_eq!(city.batched_requests, snap.batched_requests);
+        assert_eq!(city.batch_max, snap.batch_max);
+        platform.shutdown();
+    }
+
+    #[test]
+    fn batching_off_leaves_dispatch_unbatched() {
+        let platform = Platform::start(PlatformConfig::default());
+        let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        for i in 0..5u32 {
+            platform
+                .submit_blocking(Request::to_city(
+                    id,
+                    NodeId(i),
+                    NodeId(59 - i),
+                    TimeOfDay::from_hours(8.0),
+                ))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let snap = platform.stats();
+        assert!(snap.is_consistent(), "{snap:?}");
+        assert_eq!(snap.unbatched_requests, 5);
+        assert_eq!(snap.batched_requests, 0);
+        assert_eq!(snap.batch_runs, 0);
+        assert_eq!(snap.batch_max, 0);
+        platform.shutdown();
     }
 
     #[test]

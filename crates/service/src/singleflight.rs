@@ -48,6 +48,37 @@ pub enum Join<'t, K: Hash + Eq + Clone, T: Clone> {
     Follower(Option<T>),
 }
 
+/// Outcome of [`FlightTable::join_deferred`].
+pub enum JoinNow<'t, K: Hash + Eq + Clone, T: Clone> {
+    /// This caller must do the work, then [`LeaderToken::complete`].
+    Leader(LeaderToken<'t, K, T>),
+    /// Another caller is doing the work; [`FlightWatch::wait`] for its
+    /// result — but only after releasing every held [`LeaderToken`].
+    Watch(FlightWatch<T>),
+}
+
+/// A handle onto another caller's in-flight work, detached from the
+/// table (waiting needs no table lock).
+pub struct FlightWatch<T> {
+    slot: Arc<FlightSlot<T>>,
+}
+
+impl<T: Clone> FlightWatch<T> {
+    /// Blocks until the flight's leader publishes and returns its
+    /// result (`None` when the leader failed or panicked).
+    pub fn wait(&self) -> Option<T> {
+        let mut state = self.slot.state.lock().expect("flight slot poisoned");
+        loop {
+            match &*state {
+                FlightState::Done(result) => return result.clone(),
+                FlightState::Pending => {
+                    state = self.slot.cv.wait(state).expect("flight slot poisoned");
+                }
+            }
+        }
+    }
+}
+
 impl<K: Hash + Eq + Clone, T: Clone> Default for FlightTable<K, T> {
     fn default() -> Self {
         Self::new()
@@ -65,6 +96,22 @@ impl<K: Hash + Eq + Clone, T: Clone> FlightTable<K, T> {
     /// Joins the flight for `key`: the first caller per key leads, later
     /// callers block until the leader completes and receive its result.
     pub fn join(&self, key: K) -> Join<'_, K, T> {
+        match self.join_deferred(key) {
+            JoinNow::Leader(token) => Join::Leader(token),
+            JoinNow::Watch(watch) => Join::Follower(watch.wait()),
+        }
+    }
+
+    /// Non-blocking form of [`FlightTable::join`]: the first caller per
+    /// key leads exactly as in `join`, but a follower receives a
+    /// [`FlightWatch`] to wait on *later* instead of blocking inline.
+    ///
+    /// This is what lets a caller lead **several** flights at once (the
+    /// coalesced batch path) without deadlocking: it must complete (or
+    /// drop) every [`LeaderToken`] it holds *before* waiting on any
+    /// watch, so it never blocks while holding an obligation another
+    /// thread may be waiting for.
+    pub fn join_deferred(&self, key: K) -> JoinNow<'_, K, T> {
         let slot = {
             let mut flights = self.flights.lock().expect("flight table poisoned");
             if let Some(slot) = flights.get(&key) {
@@ -75,22 +122,14 @@ impl<K: Hash + Eq + Clone, T: Clone> FlightTable<K, T> {
                     cv: Condvar::new(),
                 });
                 flights.insert(key.clone(), Arc::clone(&slot));
-                return Join::Leader(LeaderToken {
+                return JoinNow::Leader(LeaderToken {
                     table: self,
                     key: Some(key),
                     slot,
                 });
             }
         };
-        let mut state = slot.state.lock().expect("flight slot poisoned");
-        loop {
-            match &*state {
-                FlightState::Done(result) => return Join::Follower(result.clone()),
-                FlightState::Pending => {
-                    state = slot.cv.wait(state).expect("flight slot poisoned");
-                }
-            }
-        }
+        JoinNow::Watch(FlightWatch { slot })
     }
 
     /// Number of in-flight keys (diagnostics).
@@ -210,6 +249,32 @@ mod tests {
                 }
             });
         });
+        assert_eq!(table.in_flight(), 0);
+    }
+
+    #[test]
+    fn deferred_join_never_blocks_and_allows_many_leaderships() {
+        let table: FlightTable<u32, u32> = FlightTable::new();
+        // One caller can lead several flights at once…
+        let JoinNow::Leader(t1) = table.join_deferred(1) else {
+            panic!("first join must lead");
+        };
+        let JoinNow::Leader(t2) = table.join_deferred(2) else {
+            panic!("fresh key must lead");
+        };
+        // …and re-joining a led key yields a watch *without blocking*
+        // (a blocking join here would deadlock this single thread).
+        let JoinNow::Watch(w1) = table.join_deferred(1) else {
+            panic!("led key must watch");
+        };
+        t1.complete(10);
+        assert_eq!(w1.wait(), Some(10));
+        // A dropped leadership publishes failure to late watchers.
+        let JoinNow::Watch(w2) = table.join_deferred(2) else {
+            panic!("led key must watch");
+        };
+        drop(t2);
+        assert_eq!(w2.wait(), None);
         assert_eq!(table.in_flight(), 0);
     }
 

@@ -35,6 +35,18 @@ pub struct ServiceStats {
     /// Per-key OD entries evicted from the candidate cache (aliasing
     /// OD pairs competing for one cell-bucket key).
     cache_od_evictions: AtomicU64,
+    /// Coalesced batches served (`RouteService::serve_coalesced` calls).
+    batches: AtomicU64,
+    /// Requests that arrived inside a coalesced batch.
+    batched_requests: AtomicU64,
+    /// Largest coalesced batch observed (high-water mark).
+    batch_max: AtomicU64,
+    /// Fused candidate-generation calls (one multi-OD mining pass).
+    fused_minings: AtomicU64,
+    /// OD pairs mined through fused calls (each also counts as a
+    /// `cache_misses` mining, so `fused_mined_ods / cache_misses` is the
+    /// fused-mining ratio).
+    fused_mined_ods: AtomicU64,
     /// Crowd questions answered across all crowd-resolved requests.
     crowd_questions: AtomicU64,
     /// Crowd worker participations across all crowd-resolved requests.
@@ -92,6 +104,21 @@ impl ServiceStats {
         self.cache_od_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Books one coalesced batch of `size` requests.
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.batch_max.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    /// Books one fused mining call covering `ods` OD pairs.
+    pub(crate) fn record_fused_mining(&self, ods: usize) {
+        self.fused_minings.fetch_add(1, Ordering::Relaxed);
+        self.fused_mined_ods
+            .fetch_add(ods as u64, Ordering::Relaxed);
+    }
+
     /// Books one crowd-resolved request's cost and contention.
     pub(crate) fn record_crowd(&self, cost: crate::resolver::CrowdCost) {
         self.crowd_questions
@@ -122,6 +149,12 @@ impl ServiceStats {
         add(&self.cache_hits, &other.cache_hits);
         add(&self.cache_misses, &other.cache_misses);
         add(&self.cache_od_evictions, &other.cache_od_evictions);
+        add(&self.batches, &other.batches);
+        add(&self.batched_requests, &other.batched_requests);
+        self.batch_max
+            .fetch_max(other.batch_max.load(Ordering::Relaxed), Ordering::Relaxed);
+        add(&self.fused_minings, &other.fused_minings);
+        add(&self.fused_mined_ods, &other.fused_mined_ods);
         add(&self.crowd_questions, &other.crowd_questions);
         add(&self.crowd_workers, &other.crowd_workers);
         add(&self.crowd_quota_rejections, &other.crowd_quota_rejections);
@@ -187,6 +220,11 @@ impl ServiceStats {
             // layers can never drift apart.
             truth_evictions: 0,
             cache_od_evictions: self.cache_od_evictions.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            batch_max: self.batch_max.load(Ordering::Relaxed),
+            fused_minings: self.fused_minings.load(Ordering::Relaxed),
+            fused_mined_ods: self.fused_mined_ods.load(Ordering::Relaxed),
             crowd_questions: self.crowd_questions.load(Ordering::Relaxed),
             crowd_workers: self.crowd_workers.load(Ordering::Relaxed),
             crowd_quota_rejections: self.crowd_quota_rejections.load(Ordering::Relaxed),
@@ -252,6 +290,21 @@ pub struct StatsSnapshot {
     pub truth_evictions: u64,
     /// Per-key OD entries evicted from the candidate cache.
     pub cache_od_evictions: u64,
+    /// Coalesced batches served
+    /// ([`RouteService::serve_coalesced`](crate::RouteService::serve_coalesced)
+    /// calls).
+    pub batches: u64,
+    /// Requests that arrived inside a coalesced batch.
+    pub batched_requests: u64,
+    /// Largest coalesced batch observed (high-water mark; `absorb`
+    /// merges by maximum).
+    pub batch_max: u64,
+    /// Fused candidate-generation calls (one call mines several ODs).
+    pub fused_minings: u64,
+    /// OD pairs mined through fused calls. Every fused OD also counts
+    /// in `cache_misses`, so the fused share of all mining is
+    /// [`StatsSnapshot::fused_mining_ratio`].
+    pub fused_mined_ods: u64,
     /// Crowd questions answered across all crowd-resolved requests.
     pub crowd_questions: u64,
     /// Crowd worker participations across all crowd-resolved requests.
@@ -286,10 +339,43 @@ impl StatsSnapshot {
         }
     }
 
+    /// Share of mined ODs that went through a fused multi-OD mining
+    /// call instead of a standalone generator pass.
+    pub fn fused_mining_ratio(&self) -> f64 {
+        if self.cache_misses == 0 {
+            0.0
+        } else {
+            self.fused_mined_ods as f64 / self.cache_misses as f64
+        }
+    }
+
+    /// Mining passes per request: standalone generator calls plus fused
+    /// calls (a fused call covers many ODs but is one pass of the
+    /// expensive shared work). The number batching exists to shrink.
+    pub fn mining_runs_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        // Saturate: a snapshot racing a mid-batch `record_fused_mining`
+        // (independent relaxed counters) may transiently observe more
+        // fused ODs than cache misses.
+        let runs = self.cache_misses.saturating_sub(self.fused_mined_ods) + self.fused_minings;
+        runs as f64 / self.requests as f64
+    }
+
     /// The accounting invariant: every request was served from exactly
-    /// one of {truth store, dedup, fresh resolution, error}.
+    /// one of {truth store, dedup, fresh resolution, error}; batch and
+    /// fused-mining counters must stay within their envelopes (batched
+    /// requests are a subset of all requests, fused-mined ODs a subset
+    /// of all minings, and the high-water mark cannot exceed the batched
+    /// total unless nothing was batched).
     pub fn is_consistent(&self) -> bool {
         self.truth_hits + self.dedup_hits + self.resolved + self.errors == self.requests
+            && self.batched_requests <= self.requests
+            && self.batch_max <= self.batched_requests
+            && self.batches <= self.batched_requests
+            && self.fused_mined_ods <= self.cache_misses
+            && self.fused_minings <= self.fused_mined_ods
     }
 }
 
@@ -373,6 +459,43 @@ mod tests {
         // Merged histogram: p50 comes from the fast city's bucket, not
         // an average of per-city percentiles.
         assert!(snap.latency.p50 < Duration::from_micros(5000));
+    }
+
+    #[test]
+    fn batch_counters_accumulate_and_absorb_with_max_merge() {
+        let a = ServiceStats::new();
+        let b = ServiceStats::new();
+        a.record_batch(4);
+        a.record_batch(2);
+        a.record_fused_mining(3);
+        b.record_batch(7);
+        b.record_fused_mining(2);
+        // Back the envelopes: requests and cache misses covering them.
+        for _ in 0..13 {
+            a.inc_requests();
+            a.inc_resolved();
+        }
+        for _ in 0..7 {
+            b.inc_requests();
+            b.inc_resolved();
+        }
+        for _ in 0..5 {
+            a.inc_cache_misses();
+            b.inc_cache_misses();
+        }
+        let total = ServiceStats::new();
+        total.absorb(&a);
+        total.absorb(&b);
+        let snap = total.snapshot();
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.batched_requests, 13);
+        assert_eq!(snap.batch_max, 7, "high-water merges by max, not sum");
+        assert_eq!(snap.fused_minings, 2);
+        assert_eq!(snap.fused_mined_ods, 5);
+        assert!((snap.fused_mining_ratio() - 0.5).abs() < 1e-12);
+        // 10 minings, 5 fused into 2 passes: (10 - 5) + 2 = 7 runs.
+        assert!((snap.mining_runs_per_request() - 7.0 / 20.0).abs() < 1e-12);
+        assert!(snap.is_consistent());
     }
 
     #[test]

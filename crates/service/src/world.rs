@@ -16,7 +16,9 @@
 #[cfg(doc)]
 use cp_mining::CandidateGenerator;
 use cp_mining::TransferNetwork;
-use cp_mining::{generate_candidates, CandidateRoute, LdrParams, MfpParams, MprParams};
+use cp_mining::{
+    generate_candidates, generate_candidates_batch, CandidateRoute, LdrParams, MfpParams, MprParams,
+};
 use cp_roadnet::{NodeId, RoadGraph};
 use cp_traj::{TimeOfDay, Trip};
 use std::sync::Arc;
@@ -141,6 +143,30 @@ impl World {
             departure,
         )
     }
+
+    /// Produces candidate sets for a batch of OD queries sharing a
+    /// departure time with one fused mining pass (the expensive
+    /// single-source work — MFP's period aggregation, MPR's popularity
+    /// expansion, LDR's locality scans — runs once per origin group
+    /// instead of once per query). `out[i]` is byte-identical to
+    /// [`World::candidates`] over `queries[i]`; see
+    /// [`generate_candidates_batch`].
+    pub fn candidates_batch(
+        &self,
+        queries: &[(NodeId, NodeId)],
+        departure: TimeOfDay,
+    ) -> Vec<Vec<CandidateRoute>> {
+        generate_candidates_batch(
+            &self.graph,
+            &self.trips,
+            &self.transfer,
+            &self.mpr,
+            &self.mfp,
+            &self.ldr,
+            queries,
+            departure,
+        )
+    }
 }
 
 impl std::fmt::Debug for World {
@@ -171,6 +197,29 @@ mod tests {
             let owned = world.candidates(NodeId(a), NodeId(b), dep);
             assert_eq!(borrowed.len(), owned.len());
             for (x, y) in borrowed.iter().zip(&owned) {
+                assert_eq!(x.source, y.source);
+                assert_eq!(x.path, y.path);
+            }
+        }
+    }
+
+    #[test]
+    fn world_batch_candidates_match_per_request() {
+        let city = generate_city(&CityParams::small(), 7).unwrap();
+        let trips = generate_trips(&city.graph, &TripGenParams::default(), 7).unwrap();
+        let world = World::new(city.graph, trips.trips);
+        let dep = TimeOfDay::from_hours(8.5);
+        let queries = vec![
+            (NodeId(0), NodeId(59)),
+            (NodeId(0), NodeId(31)),
+            (NodeId(5), NodeId(54)),
+            (NodeId(0), NodeId(59)),
+        ];
+        let fused = world.candidates_batch(&queries, dep);
+        for (&(a, b), got) in queries.iter().zip(&fused) {
+            let want = world.candidates(a, b, dep);
+            assert_eq!(got.len(), want.len());
+            for (x, y) in got.iter().zip(&want) {
                 assert_eq!(x.source, y.source);
                 assert_eq!(x.path, y.path);
             }

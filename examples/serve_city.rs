@@ -18,14 +18,23 @@
 //! at lower rates (crowd tasks are orders of magnitude slower than the
 //! machine path), and the table gains desk-contention columns.
 //!
+//! With `--batch`, workers dequeue coalesced runs of requests sharing
+//! `(city, origin cell, time bucket)` and mine them fused (one
+//! transfer-network aggregation / popularity expansion per run instead
+//! of per request) — the fused-mining share and run count appear as
+//! extra columns.
+//!
 //! Run with:
 //!
 //! ```sh
 //! cargo run --release --example serve_city            # machine-only
 //! cargo run --release --example serve_city -- --crowd # crowd-backed
+//! cargo run --release --example serve_city -- --batch # + coalescing
 //! ```
 
-use cp_service::{Platform, PlatformConfig, Request, ServiceConfig, ServiceError, Ticket};
+use cp_service::{
+    BatchConfig, Platform, PlatformConfig, Request, ServiceConfig, ServiceError, Ticket,
+};
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
 use rand::rngs::SmallRng;
@@ -51,6 +60,7 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 
 fn main() {
     let crowd = std::env::args().any(|a| a == "--crowd");
+    let batch = std::env::args().any(|a| a == "--batch");
     let t0 = Instant::now();
     println!("building worlds (Medium metro + Small satellite)…");
     let metro = SimWorld::build(Scale::Medium, 42).expect("metro world");
@@ -79,7 +89,7 @@ fn main() {
         }
     );
     println!(
-        "{:>7}  {:>8}  {:>8}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>7}",
+        "{:>7}  {:>8}  {:>8}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>6}  {:>6}  {:>9}  {:>7}",
         "req/s",
         "offered",
         "served",
@@ -89,6 +99,8 @@ fn main() {
         "p99",
         "max",
         "truth-hit",
+        "fused%",
+        "runs",
         "quota-rej",
         "starved"
     );
@@ -108,6 +120,7 @@ fn main() {
             workers,
             queue_capacity: 512,
             maintenance: None,
+            batch: batch.then(BatchConfig::default),
         });
         let register = |sim: &SimWorld, world: &std::sync::Arc<cp_service::World>, seed: u64| {
             if crowd {
@@ -195,7 +208,7 @@ fn main() {
         assert!(agg.is_consistent(), "admission accounting must balance");
         let truth_rate = agg.aggregate.truth_hit_rate();
         println!(
-            "{rate:>7.0}  {offered:>8}  {:>8}  {:>5.1}%  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>8.1}%  {:>9}  {:>7}",
+            "{rate:>7.0}  {offered:>8}  {:>8}  {:>5.1}%  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>8.1}%  {:>5.1}%  {:>6}  {:>9}  {:>7}",
             latencies.len(),
             100.0 * shed as f64 / offered.max(1) as f64,
             percentile(&latencies, 0.50),
@@ -203,6 +216,8 @@ fn main() {
             percentile(&latencies, 0.99),
             latencies.last().copied().unwrap_or(Duration::ZERO),
             100.0 * truth_rate,
+            100.0 * agg.aggregate.fused_mining_ratio(),
+            agg.batch_runs,
             agg.aggregate.crowd_quota_rejections,
             agg.aggregate.crowd_starved,
         );

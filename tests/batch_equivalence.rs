@@ -1,0 +1,183 @@
+//! Batch-equivalence property test (the PR's acceptance bar): under
+//! `strict_deterministic` geometry and the pure `MachineResolver`,
+//! serving a hot-spot request batch through the fused
+//! `RouteService::serve_coalesced` path must produce **byte-identical
+//! routes and truth-store contents** to serving the same requests one
+//! at a time — across batch sizes 1..32, and through the batching
+//! `Platform` dispatcher at multiple worker counts.
+
+use cp_service::{
+    BatchConfig, MachineResolver, Platform, PlatformConfig, Request, RouteService, ServiceConfig,
+    Ticket,
+};
+use cp_traj::TimeOfDay;
+use crowdplanner::sim::{Scale, SimWorld};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+fn sim() -> &'static SimWorld {
+    static SIM: OnceLock<SimWorld> = OnceLock::new();
+    SIM.get_or_init(|| SimWorld::build(Scale::Small, 5).expect("world"))
+}
+
+/// Materialises a pick list into a hot-spot request stream: two shared
+/// origins (so origin-cell groups actually form), a destination pool,
+/// and a few departure buckets; duplicates are likely by construction.
+fn requests_from(picks: &[(usize, usize, usize)]) -> Vec<Request> {
+    let sim = sim();
+    let origins: Vec<_> = sim
+        .request_stream(2, 2, 777)
+        .into_iter()
+        .map(|(from, _)| from)
+        .collect();
+    let dests: Vec<_> = sim
+        .request_stream(12, 2, 778)
+        .into_iter()
+        .map(|(_, to)| to)
+        .collect();
+    picks
+        .iter()
+        .map(|&(o, d, h)| {
+            Request::new(
+                origins[o % origins.len()],
+                dests[d % dests.len()],
+                TimeOfDay::from_hours(7.0 + (h % 3) as f64),
+            )
+        })
+        .filter(|r| r.from != r.to)
+        .collect()
+}
+
+/// Serves `requests` one at a time on a fresh strict service and
+/// returns (service, per-request paths).
+fn sequential_baseline(requests: &[Request]) -> (RouteService, Vec<cp_roadnet::Path>) {
+    let sw = sim().service_world();
+    let cfg = ServiceConfig::strict_deterministic();
+    let service = RouteService::new(Arc::clone(&sw), cfg.clone());
+    let mut resolver = MachineResolver::new(sw.graph_arc(), cfg.core);
+    let paths = requests
+        .iter()
+        .map(|&r| service.handle(r, &mut resolver).expect("baseline").path)
+        .collect();
+    (service, paths)
+}
+
+/// Asserts both services hold byte-identical truth-store contents for
+/// the given request set: same entry count, and the entry every request
+/// resolves to (exact key under strict geometry) carries the same path.
+fn assert_same_truths(
+    a: &RouteService,
+    b: &RouteService,
+    requests: &[Request],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.truths().len(), b.truths().len());
+    let graph = a.world().graph();
+    let core = &a.config().core;
+    for req in requests {
+        let dep = a.canonical_departure(req);
+        let ea = a.truths().lookup(graph, req.from, req.to, dep, core);
+        let eb = b.truths().lookup(graph, req.from, req.to, dep, core);
+        match (ea, eb) {
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x.path, y.path);
+                prop_assert_eq!(x.from, y.from);
+                prop_assert_eq!(x.to, y.to);
+            }
+            (None, None) => {}
+            (x, y) => prop_assert!(
+                false,
+                "truth presence differs: {} vs {}",
+                x.is_some(),
+                y.is_some()
+            ),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One `serve_coalesced` call (any batch size in 1..32) returns the
+    /// sequential routes and deposits the sequential truths.
+    #[test]
+    fn coalesced_batch_is_byte_identical_to_sequential(
+        picks in proptest::collection::vec((0usize..2, 0usize..12, 0usize..3), 1..32),
+    ) {
+        let requests = requests_from(&picks);
+        if requests.is_empty() {
+            return Ok(());
+        }
+        let (baseline, expected) = sequential_baseline(&requests);
+
+        let sw = sim().service_world();
+        let cfg = ServiceConfig::strict_deterministic();
+        let service = RouteService::new(Arc::clone(&sw), cfg.clone());
+        let mut resolver = MachineResolver::new(sw.graph_arc(), cfg.core);
+        let results = service.serve_coalesced(&requests, &mut resolver);
+        prop_assert_eq!(results.len(), requests.len());
+        for (i, res) in results.iter().enumerate() {
+            let served = res.as_ref().expect("batched request must succeed");
+            prop_assert_eq!(&served.path, &expected[i], "request {}", i);
+        }
+        let snap = service.stats();
+        prop_assert!(snap.is_consistent(), "{:?}", snap);
+        prop_assert_eq!(snap.requests, requests.len() as u64);
+        prop_assert_eq!(snap.batched_requests, requests.len() as u64);
+        prop_assert_eq!(snap.batch_max, requests.len() as u64);
+        assert_same_truths(&baseline, &service, &requests)?;
+    }
+
+    /// The batching platform dispatcher (runs dequeued by origin cell)
+    /// serves byte-identical routes at 1 and 4 workers.
+    #[test]
+    fn batching_platform_is_byte_identical_to_sequential(
+        picks in proptest::collection::vec((0usize..2, 0usize..12, 0usize..3), 1..32),
+    ) {
+        let requests = requests_from(&picks);
+        if requests.is_empty() {
+            return Ok(());
+        }
+        let (_, expected) = sequential_baseline(&requests);
+        let sw = sim().service_world();
+        for workers in [1usize, 4] {
+            let platform = Platform::start(PlatformConfig {
+                workers,
+                queue_capacity: 64,
+                maintenance: None,
+                batch: Some(BatchConfig {
+                    max_batch: 8,
+                    max_delay: Duration::from_millis(2),
+                }),
+            });
+            let id = platform.register_city(
+                Arc::clone(&sw),
+                ServiceConfig::strict_deterministic(),
+            );
+            let tickets: Vec<Ticket> = requests
+                .iter()
+                .map(|&r| {
+                    let mut req = r;
+                    req.city = id;
+                    platform.submit_blocking(req).expect("admitted")
+                })
+                .collect();
+            for (i, ticket) in tickets.into_iter().enumerate() {
+                let served = ticket.wait().expect("served");
+                prop_assert_eq!(
+                    &served.path, &expected[i],
+                    "workers {}, request {}", workers, i
+                );
+            }
+            let snap = platform.stats();
+            prop_assert!(snap.is_consistent(), "{:?}", snap);
+            prop_assert_eq!(
+                snap.batched_requests + snap.unbatched_requests,
+                requests.len() as u64
+            );
+            prop_assert!(snap.aggregate.is_consistent(), "{:?}", snap.aggregate);
+            platform.shutdown();
+        }
+    }
+}

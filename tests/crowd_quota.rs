@@ -156,6 +156,7 @@ fn eight_clients_one_shared_crowd_never_oversubscribe_a_worker() {
         workers: 4,
         queue_capacity: 64,
         maintenance: None,
+        batch: None,
     });
     let mut service_cfg = ServiceConfig::default();
     service_cfg.core = crowd_forcing_config();
@@ -297,6 +298,7 @@ fn quota_starved_city_with_strict_shedding_surfaces_crowd_starved() {
         workers: 2,
         queue_capacity: 16,
         maintenance: None,
+        batch: None,
     });
     let mut service_cfg = ServiceConfig::default();
     service_cfg.core = crowd_forcing_config();

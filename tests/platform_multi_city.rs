@@ -61,6 +61,7 @@ fn two_cities_four_client_threads_deterministic_drain() {
         workers: 3,
         queue_capacity: 64,
         maintenance: None,
+        batch: None,
     });
     let ids: Vec<CityId> = service_worlds
         .iter()
@@ -179,6 +180,7 @@ fn shutdown_drains_unjoined_tickets_exactly_once() {
         workers: 4,
         queue_capacity: 512,
         maintenance: None,
+        batch: None,
     });
     let id = platform.register_city(Arc::clone(&sw), ServiceConfig::strict_deterministic());
     let requests = city_stream(&world, 40, 3, 77);

@@ -212,6 +212,7 @@ proptest! {
             workers: 3,
             queue_capacity: 64,
             maintenance: None,
+            batch: None,
         });
         let ids: Vec<CityId> = worlds
             .iter()
