@@ -1,28 +1,38 @@
-//! Open-loop serving benchmark: batching **on vs off** on a hot-spot
-//! workload, written to `BENCH_serve.json` so later PRs have a baseline
-//! to regress against.
+//! Open-loop serving benchmark: batching **off vs static vs adaptive**
+//! on a hot-spot workload, written to `BENCH_serve.json` so later PRs
+//! have a baseline to regress against.
 //!
 //! The workload models the redundancy origin-cell coalescing exists
 //! for: a handful of hot origins (commute sources) fanning out to many
-//! destinations inside one departure bucket. Requests arrive on a
-//! Poisson clock at a target rate and are submitted through the
-//! platform's blocking ingress (open-loop arrivals with bounded-queue
-//! backpressure, never shedding, so both modes serve the identical
-//! request sequence). Each mode gets a fresh platform over the same
-//! pre-built world; the report compares served throughput, sojourn
-//! percentiles, truth/cache hit rates, and — the number batching exists
-//! to shrink — mining passes per request and the fused-mining ratio.
+//! destinations across **three adjacent departure buckets** (cell-keyed
+//! runs span buckets; the fused miners share the all-day origin
+//! artifacts and split only the MFP period aggregation). Each mode runs
+//! **two phases over the same request sequence**: a cold pass, then —
+//! after force-evicting every verified truth — a repeat-OD pass that
+//! must re-resolve, exercising the candidate cache and the cross-batch
+//! `MiningArtifactCache` (`cache_hit_rate` and `artifact_hits` read 0
+//! without it, hiding regressions in either cache).
+//!
+//! Requests are submitted through the platform's blocking ingress
+//! (open-loop arrivals with bounded-queue backpressure, never shedding,
+//! so every mode serves the identical request sequence). The **actual
+//! offered rate** is measured from the submission clock and reported —
+//! in firehose mode (`--rate 0`) the target is meaningless, so the
+//! realized rate is the honest number. A second sweep at a **moderate
+//! Poisson rate** (`--moderate-rate`) compares static-zero, static
+//! fixed-delay and adaptive windows where the controller's choice
+//! actually matters (at saturation every policy converges on zero).
 //!
 //! Run with:
 //!
 //! ```sh
 //! cargo run --release -p cp-bench --bin bench_serve               # defaults
 //! cargo run --release -p cp-bench --bin bench_serve -- \
-//!     --requests 4000 --rate 2000 --scale medium --out BENCH_serve.json
+//!     --requests 4000 --moderate-rate 2000 --scale medium --out BENCH_serve.json
 //! ```
 
 use cp_service::{
-    BatchConfig, Platform, PlatformConfig, Request, ServiceConfig, StatsSnapshot, Ticket,
+    BatchConfig, Platform, PlatformConfig, PlatformSnapshot, Request, ServiceConfig, Ticket,
 };
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
@@ -33,6 +43,7 @@ use std::time::{Duration, Instant};
 struct Args {
     requests: usize,
     rate: f64,
+    moderate_rate: f64,
     scale: Scale,
     origins: usize,
     dests: usize,
@@ -46,6 +57,9 @@ impl Default for Args {
             // Firehose by default: req/s measures service capacity.
             // Pass a positive --rate for latency-under-load runs.
             rate: 0.0,
+            // The moderate-load sweep's Poisson rate (below capacity,
+            // where the adaptive window has room to matter).
+            moderate_rate: 1200.0,
             scale: Scale::Small,
             origins: 4,
             dests: 200,
@@ -65,6 +79,7 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--requests" => args.requests = value().parse().expect("--requests N"),
             "--rate" => args.rate = value().parse().expect("--rate R"),
+            "--moderate-rate" => args.moderate_rate = value().parse().expect("--moderate-rate R"),
             "--scale" => {
                 args.scale = match value().as_str() {
                     "small" => Scale::Small,
@@ -89,70 +104,119 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// No coalescing: one job per worker wakeup.
+    Off,
+    /// Static batching with the artifact cache disabled — the closest
+    /// in-tree proxy for PR-4's fusion-without-cross-batch-reuse.
+    StaticNoReuse,
+    /// Static batching with the given fixed window.
+    Static(Duration),
+    /// Adaptive window under the given ceiling.
+    Adaptive(Duration),
+}
+
+impl Mode {
+    fn label(self) -> String {
+        match self {
+            Mode::Off => "off".into(),
+            Mode::StaticNoReuse => "static-noreuse".into(),
+            Mode::Static(d) if d.is_zero() => "static-zero".into(),
+            Mode::Static(d) => format!("static-{}us", d.as_micros()),
+            Mode::Adaptive(_) => "adaptive".into(),
+        }
+    }
+
+    fn batch(self) -> Option<BatchConfig> {
+        match self {
+            Mode::Off => None,
+            Mode::StaticNoReuse => Some(BatchConfig::fixed(16, Duration::ZERO)),
+            Mode::Static(d) => Some(BatchConfig::fixed(16, d)),
+            Mode::Adaptive(ceiling) => Some(BatchConfig::adaptive(16, ceiling)),
+        }
+    }
+}
+
 struct ModeReport {
+    label: String,
     batching: bool,
     served: usize,
     wall_s: f64,
     served_per_s: f64,
+    /// Realized submission rate (requests / time spent in the
+    /// submission loops) — the honest load figure in firehose mode.
+    offered_per_s: f64,
     p50: Duration,
     p95: Duration,
     p99: Duration,
     max: Duration,
-    stats: StatsSnapshot,
-    batch_runs: u64,
-    batch_max: u64,
-    batched_requests: u64,
-    unbatched_requests: u64,
+    snap: PlatformSnapshot,
 }
 
-/// Serves the fixed request sequence on a fresh platform; the world
-/// (and its pre-built mining state) is shared, the truth store is not.
+/// Serves the fixed request sequence on a fresh platform — twice: a
+/// cold pass, then (after force-evicting every truth) a repeat-OD pass
+/// that exercises the candidate and mining-artifact caches. The world
+/// (and its pre-built mining state) is shared across modes, the truth
+/// store and caches are not.
 fn run_mode(
     world: &std::sync::Arc<cp_service::World>,
     sequence: &[Request],
     rate: f64,
     workers: usize,
-    batch: Option<BatchConfig>,
+    mode: Mode,
 ) -> ModeReport {
-    let batching = batch.is_some();
     let platform = Platform::start(PlatformConfig {
         workers,
         queue_capacity: 512,
         maintenance: None,
-        batch,
+        batch: mode.batch(),
     });
     // Exact-endpoint reuse: every *distinct* OD pays one mining, which
     // makes the miss path (the thing coalescing fuses) the measured
     // cost instead of the default geometry's nearby-truth aliasing.
-    let id = platform.register_city(
-        std::sync::Arc::clone(world),
-        ServiceConfig::strict_deterministic(),
-    );
+    let mut cfg = ServiceConfig::strict_deterministic();
+    if mode == Mode::StaticNoReuse {
+        cfg.artifact_cache_origins = 0;
+    }
+    let id = platform.register_city(std::sync::Arc::clone(world), cfg);
+    let service = platform.city_service(id).expect("registered");
 
     let start = Instant::now();
-    let mut next_arrival = start;
-    let mut tickets: Vec<Ticket> = Vec::with_capacity(sequence.len());
-    for &req in sequence {
-        // Paced arrivals at the target rate; `rate <= 0` is the
-        // firehose (arrivals limited only by ingress backpressure, so
-        // served req/s measures pure service capacity).
-        if rate > 0.0 {
-            let now = Instant::now();
-            if now < next_arrival {
-                std::thread::sleep(next_arrival - now);
+    let mut submit_time = Duration::ZERO;
+    let mut latencies: Vec<Duration> = Vec::with_capacity(2 * sequence.len());
+    for phase in 0..2 {
+        if phase == 1 {
+            // Repeat-OD phase: drop every verified truth so the same
+            // sequence re-resolves through the caches instead of
+            // short-circuiting at the truth store.
+            service.evict_truths_older_than(Duration::ZERO);
+        }
+        let phase_start = Instant::now();
+        let mut next_arrival = phase_start;
+        let mut tickets: Vec<Ticket> = Vec::with_capacity(sequence.len());
+        for &req in sequence {
+            // Paced arrivals at the target rate; `rate <= 0` is the
+            // firehose (arrivals limited only by ingress backpressure,
+            // so served req/s measures pure service capacity).
+            if rate > 0.0 {
+                let now = Instant::now();
+                if now < next_arrival {
+                    std::thread::sleep(next_arrival - now);
+                }
+                next_arrival += Duration::from_secs_f64(1.0 / rate);
             }
-            next_arrival += Duration::from_secs_f64(1.0 / rate);
+            let mut req = req;
+            req.city = id;
+            tickets.push(platform.submit_blocking(req).expect("admitted"));
         }
-        let mut req = req;
-        req.city = id;
-        tickets.push(platform.submit_blocking(req).expect("admitted"));
-    }
-    let mut latencies: Vec<Duration> = Vec::with_capacity(tickets.len());
-    for ticket in &tickets {
-        while !ticket.is_done() {
-            std::thread::sleep(Duration::from_micros(200));
+        submit_time += phase_start.elapsed();
+        for ticket in &tickets {
+            while !ticket.is_done() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            latencies.push(ticket.latency().expect("completed ticket"));
         }
-        latencies.push(ticket.latency().expect("completed ticket"));
     }
     let wall = start.elapsed();
     latencies.sort_unstable();
@@ -164,32 +228,33 @@ fn run_mode(
         "city accounting must balance"
     );
     let report = ModeReport {
-        batching,
+        label: mode.label(),
+        batching: mode.batch().is_some(),
         served: latencies.len(),
         wall_s: wall.as_secs_f64(),
         served_per_s: latencies.len() as f64 / wall.as_secs_f64(),
+        offered_per_s: latencies.len() as f64 / submit_time.as_secs_f64().max(1e-9),
         p50: percentile(&latencies, 0.50),
         p95: percentile(&latencies, 0.95),
         p99: percentile(&latencies, 0.99),
         max: latencies.last().copied().unwrap_or(Duration::ZERO),
-        stats: snap.aggregate,
-        batch_runs: snap.batch_runs,
-        batch_max: snap.batch_max,
-        batched_requests: snap.batched_requests,
-        unbatched_requests: snap.unbatched_requests,
+        snap,
     };
     platform.shutdown();
     report
 }
 
 fn mode_json(r: &ModeReport) -> String {
+    let stats = &r.snap.aggregate;
     format!(
         concat!(
             "{{\n",
+            "      \"mode\": \"{}\",\n",
             "      \"batching\": {},\n",
             "      \"served\": {},\n",
             "      \"wall_s\": {:.4},\n",
             "      \"req_per_s\": {:.1},\n",
+            "      \"offered_per_s\": {:.1},\n",
             "      \"sojourn_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }},\n",
             "      \"truth_hit_rate\": {:.4},\n",
             "      \"cache_hit_rate\": {:.4},\n",
@@ -198,32 +263,63 @@ fn mode_json(r: &ModeReport) -> String {
             "      \"fused_mined_ods\": {},\n",
             "      \"fused_mining_ratio\": {:.4},\n",
             "      \"mining_runs_per_request\": {:.5},\n",
+            "      \"artifact_hits\": {},\n",
+            "      \"artifact_misses\": {},\n",
+            "      \"artifact_hit_rate\": {:.4},\n",
             "      \"batch_runs\": {},\n",
             "      \"batch_max\": {},\n",
             "      \"batched_requests\": {},\n",
-            "      \"unbatched_requests\": {}\n",
+            "      \"unbatched_requests\": {},\n",
+            "      \"chosen_delay_us\": {},\n",
+            "      \"delay_raises\": {},\n",
+            "      \"delay_drops\": {}\n",
             "    }}"
         ),
+        r.label,
         r.batching,
         r.served,
         r.wall_s,
         r.served_per_s,
+        r.offered_per_s,
         r.p50.as_micros(),
         r.p95.as_micros(),
         r.p99.as_micros(),
         r.max.as_micros(),
-        r.stats.truth_hit_rate(),
-        r.stats.cache_hit_rate(),
-        r.stats.cache_misses,
-        r.stats.fused_minings,
-        r.stats.fused_mined_ods,
-        r.stats.fused_mining_ratio(),
-        r.stats.mining_runs_per_request(),
-        r.batch_runs,
-        r.batch_max,
-        r.batched_requests,
-        r.unbatched_requests,
+        stats.truth_hit_rate(),
+        stats.cache_hit_rate(),
+        stats.cache_misses,
+        stats.fused_minings,
+        stats.fused_mined_ods,
+        stats.fused_mining_ratio(),
+        stats.mining_runs_per_request(),
+        stats.artifact_hits,
+        stats.artifact_misses,
+        stats.artifact_hit_rate(),
+        r.snap.batch_runs,
+        r.snap.batch_max,
+        r.snap.batched_requests,
+        r.snap.unbatched_requests,
+        r.snap.batch_delay.as_micros(),
+        r.snap.batch_delay_raises,
+        r.snap.batch_delay_drops,
     )
+}
+
+fn print_report(r: &ModeReport) {
+    println!(
+        "  {:>12}: {:>9.1} req/s (offered {:>9.1})  p50 {:>8.2?}  p95 {:>8.2?}  \
+         mining-runs/req {:.4}  art-hit {:>5.1}%  cache-hit {:>5.1}%  runs {}  delay {:?}",
+        r.label,
+        r.served_per_s,
+        r.offered_per_s,
+        r.p50,
+        r.p95,
+        r.snap.aggregate.mining_runs_per_request(),
+        100.0 * r.snap.aggregate.artifact_hit_rate(),
+        100.0 * r.snap.aggregate.cache_hit_rate(),
+        r.snap.batch_runs,
+        r.snap.batch_delay,
+    );
 }
 
 fn main() {
@@ -234,8 +330,9 @@ fn main() {
         _ => "medium",
     };
     println!(
-        "bench_serve: {} requests at {}/s on a {scale_name} city, {} hot origins x {} destinations",
-        args.requests, args.rate, args.origins, args.dests
+        "bench_serve: {} requests x2 phases on a {scale_name} city, {} hot origins x {} \
+         destinations x 3 buckets (firehose + {:.0}/s moderate sweep)",
+        args.requests, args.origins, args.dests, args.moderate_rate
     );
     let sim = SimWorld::build(args.scale, 42).expect("world");
     let world = sim.service_world();
@@ -246,8 +343,9 @@ fn main() {
         sim.trips.trips.len()
     );
 
-    // The hot-spot OD pool: a few origins, many destinations, one
-    // departure hour — the shape origin-cell coalescing exists for.
+    // The hot-spot OD pool: a few origins, many destinations, three
+    // adjacent departure buckets — the shape cell-keyed coalescing and
+    // cross-bucket artifact sharing exist for.
     let origins: Vec<_> = sim
         .request_stream(args.origins, 2, 777)
         .into_iter()
@@ -258,13 +356,14 @@ fn main() {
         .into_iter()
         .map(|(_, to)| to)
         .collect();
+    let hours = [8.0, 8.25, 8.5];
     let mut rng = SmallRng::seed_from_u64(0xBA7C4);
     let sequence: Vec<Request> = (0..args.requests)
-        .map(|_| loop {
+        .map(|i| loop {
             let from = origins[rng.random_range(0..origins.len())];
             let to = dests[rng.random_range(0..dests.len())];
             if from != to {
-                break Request::new(from, to, TimeOfDay::from_hours(8.0));
+                break Request::new(from, to, TimeOfDay::from_hours(hours[i % hours.len()]));
             }
         })
         .collect();
@@ -273,64 +372,93 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(4)
         .min(8);
-    let off = run_mode(&world, &sequence, args.rate, workers, None);
-    let on = run_mode(
+
+    println!("firehose (service capacity):");
+    let adaptive_ceiling = Duration::from_millis(2);
+    let off = run_mode(&world, &sequence, args.rate, workers, Mode::Off);
+    print_report(&off);
+    let noreuse = run_mode(&world, &sequence, args.rate, workers, Mode::StaticNoReuse);
+    print_report(&noreuse);
+    let fixed = run_mode(
         &world,
         &sequence,
         args.rate,
         workers,
-        Some(BatchConfig {
-            max_batch: 16,
-            max_delay: Duration::ZERO,
-        }),
+        Mode::Static(Duration::ZERO),
     );
+    print_report(&fixed);
+    let adaptive = run_mode(
+        &world,
+        &sequence,
+        args.rate,
+        workers,
+        Mode::Adaptive(adaptive_ceiling),
+    );
+    print_report(&adaptive);
 
-    for r in [&off, &on] {
-        println!(
-            "  batching {:>3}: {:>8.1} req/s  p50 {:>8.2?}  p95 {:>8.2?}  p99 {:>8.2?}  \
-             mining-runs/req {:.4}  fused {:.1}%  batch-runs {}  max {}",
-            if r.batching { "on" } else { "off" },
-            r.served_per_s,
-            r.p50,
-            r.p95,
-            r.p99,
-            r.stats.mining_runs_per_request(),
-            100.0 * r.stats.fused_mining_ratio(),
-            r.batch_runs,
-            r.batch_max,
-        );
-    }
-    let speedup = on.served_per_s / off.served_per_s.max(1e-9);
-    let mining_work_ratio =
-        on.stats.mining_runs_per_request() / off.stats.mining_runs_per_request().max(1e-12);
+    let speedup = adaptive.served_per_s / off.served_per_s.max(1e-9);
+    let adaptive_over_static = adaptive.served_per_s / fixed.served_per_s.max(1e-9);
+    let adaptive_over_noreuse = adaptive.served_per_s / noreuse.served_per_s.max(1e-9);
+    let mining_work_ratio = adaptive.snap.aggregate.mining_runs_per_request()
+        / off.snap.aggregate.mining_runs_per_request().max(1e-12);
     println!(
-        "  speedup (req/s, on/off): {speedup:.2}x; mining runs per request (on/off): {mining_work_ratio:.2}x"
+        "  speedup (req/s, adaptive/off): {speedup:.2}x (adaptive/static: \
+         {adaptive_over_static:.2}x, adaptive/no-reuse: {adaptive_over_noreuse:.2}x); \
+         mining runs per request (adaptive/off): {mining_work_ratio:.2}x"
     );
 
+    println!("moderate load ({:.0}/s Poisson):", args.moderate_rate);
+    let moderate: Vec<ModeReport> = [
+        Mode::Static(Duration::ZERO),
+        Mode::Static(Duration::from_millis(1)),
+        Mode::Adaptive(adaptive_ceiling),
+    ]
+    .into_iter()
+    .map(|mode| {
+        let r = run_mode(&world, &sequence, args.moderate_rate, workers, mode);
+        print_report(&r);
+        r
+    })
+    .collect();
+
+    let firehose_json: Vec<String> = [&off, &noreuse, &fixed, &adaptive]
+        .into_iter()
+        .map(mode_json)
+        .collect();
+    let moderate_json: Vec<String> = moderate.iter().map(mode_json).collect();
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"serve\",\n",
             "  \"scale\": \"{}\",\n",
             "  \"requests\": {},\n",
+            "  \"phases\": 2,\n",
             "  \"rate_per_s\": {:.1},\n",
+            "  \"moderate_rate_per_s\": {:.1},\n",
             "  \"workers\": {},\n",
             "  \"hot_origins\": {},\n",
             "  \"destinations\": {},\n",
-            "  \"modes\": [\n    {},\n    {}\n  ],\n",
+            "  \"departure_buckets\": 3,\n",
+            "  \"modes\": [\n    {}\n  ],\n",
+            "  \"moderate\": [\n    {}\n  ],\n",
             "  \"speedup_req_per_s\": {:.4},\n",
+            "  \"adaptive_over_static_req_per_s\": {:.4},\n",
+            "  \"adaptive_over_noreuse_req_per_s\": {:.4},\n",
             "  \"mining_runs_per_request_on_over_off\": {:.4}\n",
             "}}\n"
         ),
         scale_name,
         args.requests,
         args.rate,
+        args.moderate_rate,
         workers,
         args.origins,
         args.dests,
-        mode_json(&off),
-        mode_json(&on),
+        firehose_json.join(",\n    "),
+        moderate_json.join(",\n    "),
         speedup,
+        adaptive_over_static,
+        adaptive_over_noreuse,
         mining_work_ratio,
     );
     std::fs::write(&args.out, json).expect("writing the report");

@@ -23,7 +23,9 @@
 //! voice among several candidate sources. This interpretation is recorded
 //! in DESIGN.md as a documented substitution.
 
-use cp_roadnet::routing::{dijkstra_path, shortest_path_tree_to_all, DijkstraResult};
+use cp_roadnet::routing::{
+    dijkstra_path, shortest_path_tree, shortest_path_tree_to_all, DijkstraResult,
+};
 use cp_roadnet::{NodeId, Path, RoadGraph, RoadNetError};
 use cp_traj::{DriverId, Trip};
 use std::collections::HashMap;
@@ -67,7 +69,7 @@ fn local_trips<'a>(
 }
 
 /// Stage 1: the most experienced local driver among `local` trips.
-fn pick_expert(local: &[&Trip]) -> Option<DriverId> {
+pub(crate) fn pick_expert(local: &[&Trip]) -> Option<DriverId> {
     let mut per_driver: HashMap<DriverId, usize> = HashMap::new();
     for t in local {
         *per_driver.entry(t.driver).or_insert(0) += 1;
@@ -79,7 +81,7 @@ fn pick_expert(local: &[&Trip]) -> Option<DriverId> {
 }
 
 /// Stage 2: the expert's modal route for the exact OD, if any.
-fn expert_modal_exact(
+pub(crate) fn expert_modal_exact(
     graph: &RoadGraph,
     local: &[&Trip],
     expert: DriverId,
@@ -108,6 +110,8 @@ fn expert_modal_exact(
 /// Stage 3 input: the expert's personal street-usage frequencies over
 /// their whole history (their habits generalise beyond one OD pair).
 fn expert_frequencies(graph: &RoadGraph, trips: &[Trip], expert: DriverId) -> Vec<f64> {
+    // (shared by the per-request path, the fused batch path and the
+    // artifact habit-tree builder below)
     let mut freq = vec![0.0f64; graph.edge_count()];
     for t in trips.iter().filter(|t| t.driver == expert) {
         for &e in t.path.edges() {
@@ -233,6 +237,50 @@ pub fn local_driver_routes(
                 .ok_or(RoadNetError::NoPath { from, to })
         })
         .collect()
+}
+
+/// Indices (into `trips`) of trips whose *source* endpoint is local to
+/// `from` — the origin-side half of the [`local_trips`] filter, shared
+/// across every destination a cached origin artifact will ever serve.
+/// Order-preserving, so a per-destination re-filter of the indexed
+/// subset reproduces `local_trips` exactly.
+pub(crate) fn origin_local_indices(
+    graph: &RoadGraph,
+    trips: &[Trip],
+    from: NodeId,
+    params: &LdrParams,
+) -> Vec<u32> {
+    let fp = graph.position(from);
+    let r2 = params.endpoint_radius * params.endpoint_radius;
+    trips
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| graph.position(t.path.source()).distance_sq(&fp) <= r2)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// The **full** stage-3 habit tree for one expert from `from`: their
+/// street-usage frequencies folded into the cost, expanded exhaustively
+/// so any destination can be answered later. `path_to` is
+/// byte-identical to the stage-3 search of [`local_driver_route`].
+pub(crate) fn expert_habit_tree(
+    graph: &RoadGraph,
+    trips: &[Trip],
+    expert: DriverId,
+    from: NodeId,
+    params: &LdrParams,
+) -> DijkstraResult {
+    let freq = expert_frequencies(graph, trips, expert);
+    shortest_path_tree(graph, from, None, |e| {
+        graph.edge(e).travel_time() / (1.0 + params.beta * freq[e.index()])
+    })
+}
+
+/// The **full** stage-4 fastest-fallback tree from `from`; `path_to` is
+/// byte-identical to the expert-less fallback of [`local_driver_route`].
+pub(crate) fn fastest_fallback_tree(graph: &RoadGraph, from: NodeId) -> DijkstraResult {
+    shortest_path_tree(graph, from, None, |e| graph.edge(e).travel_time())
 }
 
 /// Number of local trips supporting the request — the support level that

@@ -22,13 +22,15 @@ pub mod webservice;
 
 pub use ldr::{local_driver_route, local_driver_routes, local_support, LdrParams};
 pub use mfp::{
-    best_bottleneck, most_frequent_path, most_frequent_path_on, most_frequent_paths,
-    most_frequent_paths_on, MfpParams,
+    best_bottleneck, frequency_discounted_tree, most_frequent_path, most_frequent_path_on,
+    most_frequent_paths, most_frequent_paths_on, MfpParams,
 };
-pub use mpr::{log_popularity, most_popular_route, most_popular_routes, MprParams};
+pub use mpr::{
+    log_popularity, most_popular_route, most_popular_routes, popularity_tree, MprParams,
+};
 pub use source::{
-    distinct_candidates, generate_candidates, generate_candidates_batch, CandidateGenerator,
-    CandidateRoute, SourceKind,
+    candidates_from_artifacts, distinct_candidates, generate_candidates, generate_candidates_batch,
+    generate_candidates_multi, CandidateGenerator, CandidateRoute, OriginArtifacts, SourceKind,
 };
 pub use transfer::TransferNetwork;
 pub use webservice::{FastestRouteService, ShortestRouteService};

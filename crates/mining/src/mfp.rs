@@ -21,7 +21,9 @@
 //! attributes to MFP.
 
 use crate::transfer::TransferNetwork;
-use cp_roadnet::routing::{dijkstra_path, shortest_path_tree_to_all};
+use cp_roadnet::routing::{
+    dijkstra_path, shortest_path_tree, shortest_path_tree_to_all, DijkstraResult,
+};
 use cp_roadnet::{NodeId, Path, RoadGraph, RoadNetError};
 use cp_traj::{TimeOfDay, Trip};
 use std::cmp::Ordering;
@@ -151,6 +153,25 @@ pub fn most_frequent_paths_on(
                 .ok_or(RoadNetError::NoPath { from, to })
         })
         .collect()
+}
+
+/// Expands the **full** frequency-discounted tree from `from` over a
+/// pre-filtered period transfer network — the period-dependent half of
+/// a cached origin-mining artifact. `DijkstraResult::path_to` on the
+/// returned tree is byte-identical to [`most_frequent_path_on`] for
+/// every reachable target (settle-order prefix argument), so one
+/// expansion per `(origin, period)` answers any destination.
+pub fn frequency_discounted_tree(
+    graph: &RoadGraph,
+    tn: &TransferNetwork,
+    from: NodeId,
+    params: &MfpParams,
+) -> DijkstraResult {
+    let half = tn.mean_positive_frequency().max(1.0);
+    shortest_path_tree(graph, from, None, |e| {
+        let f = tn.edge_frequency(e);
+        graph.edge(e).travel_time() / (1.0 + params.beta * f / (f + half))
+    })
 }
 
 /// Full MFP query: filters `trips` to the departure period around
@@ -287,6 +308,25 @@ mod tests {
                 Ok(want) => assert_eq!(got.as_ref().unwrap(), &want, "to {to:?}"),
                 Err(_) => assert!(got.is_err(), "to {to:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn frequency_discounted_tree_matches_per_request_mfp() {
+        let (city, ds, _) = setup();
+        let g = &city.graph;
+        let params = MfpParams::default();
+        let from = NodeId(7);
+        let period = TransferNetwork::build(
+            g,
+            &ds.trips,
+            Some((TimeOfDay::from_hours(8.0), params.period_half_width)),
+        );
+        let tree = frequency_discounted_tree(g, &period, from, &params);
+        for b in [59u32, 0, 31, 44] {
+            let want = most_frequent_path_on(g, &period, from, NodeId(b), &params).unwrap();
+            let got = tree.path_to(g, NodeId(b)).expect("reachable");
+            assert_eq!(got, want, "to {b}");
         }
     }
 

@@ -10,7 +10,9 @@
 //! `P(e) < 1` whenever a node has more than one outgoing edge).
 
 use crate::transfer::TransferNetwork;
-use cp_roadnet::routing::{dijkstra_path, shortest_path_tree_to_all};
+use cp_roadnet::routing::{
+    dijkstra_path, shortest_path_tree, shortest_path_tree_to_all, DijkstraResult,
+};
 use cp_roadnet::{NodeId, Path, RoadGraph, RoadNetError};
 
 /// Parameters of the MPR search.
@@ -79,6 +81,29 @@ pub fn most_popular_routes(
                 .ok_or(RoadNetError::NoPath { from, to })
         })
         .collect()
+}
+
+/// Expands the **full** popularity tree from `from`: the all-day,
+/// destination-set-independent MPR artifact behind cross-bucket and
+/// cross-batch mining reuse. `-ln P(e)` depends only on the origin side
+/// and the all-day transfer network, so one exhaustive expansion
+/// answers *any* later destination; `DijkstraResult::path_to` on the
+/// returned tree is byte-identical to [`most_popular_route`] for every
+/// reachable target (the single-target search is a settle-order prefix
+/// of the exhaustive one).
+pub fn popularity_tree(
+    graph: &RoadGraph,
+    tn: &TransferNetwork,
+    from: NodeId,
+    params: &MprParams,
+) -> DijkstraResult {
+    let cost = |e| {
+        let p = tn
+            .transfer_probability(graph, e, params.smoothing)
+            .max(f64::MIN_POSITIVE);
+        -p.ln()
+    };
+    shortest_path_tree(graph, from, None, cost)
 }
 
 /// Popularity score of a path: the product of its transfer probabilities,
@@ -194,6 +219,20 @@ mod tests {
                 Ok(want) => assert_eq!(got.as_ref().unwrap(), &want, "to {to:?}"),
                 Err(_) => assert!(got.is_err(), "to {to:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn popularity_tree_matches_per_request_mpr() {
+        let (city, _, tn) = setup();
+        let g = &city.graph;
+        let params = MprParams::default();
+        let from = NodeId(3);
+        let tree = popularity_tree(g, &tn, from, &params);
+        for b in [59u32, 17, 44, 8, 0] {
+            let want = most_popular_route(g, &tn, from, NodeId(b), &params).unwrap();
+            let got = tree.path_to(g, NodeId(b)).expect("reachable");
+            assert_eq!(got, want, "to {b}");
         }
     }
 

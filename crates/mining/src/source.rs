@@ -3,13 +3,19 @@
 //! services … and the one generated from historical trajectories by using
 //! popular route mining algorithms, i.e., MPR, LDR and MFP").
 
-use crate::ldr::{local_driver_route, local_driver_routes, local_support, LdrParams};
-use crate::mfp::{most_frequent_path, most_frequent_paths_on, MfpParams};
-use crate::mpr::{most_popular_route, most_popular_routes, MprParams};
+use crate::ldr::{
+    expert_habit_tree, expert_modal_exact, fastest_fallback_tree, local_driver_route,
+    local_support, origin_local_indices, pick_expert, LdrParams,
+};
+use crate::mfp::{frequency_discounted_tree, most_frequent_path, MfpParams};
+use crate::mpr::{most_popular_route, popularity_tree, MprParams};
 use crate::transfer::TransferNetwork;
 use crate::webservice::{FastestRouteService, ShortestRouteService};
-use cp_roadnet::{NodeId, Path, RoadGraph};
-use cp_traj::{TimeOfDay, Trip};
+use cp_roadnet::routing::DijkstraResult;
+use cp_roadnet::{NodeId, Path, RoadGraph, RoadNetError};
+use cp_traj::{DriverId, TimeOfDay, Trip};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Where a candidate route came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,6 +143,26 @@ impl<'a> CandidateGenerator<'a> {
             departure,
         )
     }
+
+    /// Produces candidate sets for OD queries spanning several departure
+    /// buckets with one set of all-day artifacts per origin and one MFP
+    /// period aggregation per distinct departure — see
+    /// [`generate_candidates_multi`]. Per query, byte-identical to
+    /// [`CandidateGenerator::candidates`].
+    pub fn candidates_multi(
+        &self,
+        queries: &[(NodeId, NodeId, TimeOfDay)],
+    ) -> Vec<Vec<CandidateRoute>> {
+        generate_candidates_multi(
+            self.graph,
+            self.trips,
+            &self.transfer,
+            &self.mpr,
+            &self.mfp,
+            &self.ldr,
+            queries,
+        )
+    }
 }
 
 /// Produces one candidate per available source from explicitly supplied
@@ -191,20 +217,279 @@ pub fn generate_candidates(
     out
 }
 
-/// Produces candidate sets for a batch of OD queries sharing a
-/// departure time, fusing the expensive single-source work across
-/// queries with a common origin:
+/// The time-invariant share of one origin's candidate mining, computed
+/// once and reusable for **any** destination, **any** time bucket and
+/// **any** later batch:
 ///
-/// * **MFP** — the O(|trips|) period filter and footmark aggregation
-///   (the dominant per-request cost) run **once for the whole batch**,
-///   since they depend only on the departure; each origin then runs one
-///   multi-target frequency-discounted expansion;
-/// * **MPR** — one popularity expansion per distinct origin instead of
-///   one per query;
-/// * **LDR** — one origin-side locality scan per origin, with stage-3
-///   habit searches and stage-4 fastest fallbacks memoised per expert;
-/// * **web services** — one shortest and one fastest provider call per
-///   origin group (multi-destination form).
+/// * the full MPR popularity expansion (all-day transfer network);
+/// * the LDR origin-side locality scan (trip indices whose source is
+///   near the origin), with stage-3 habit trees memoised per expert and
+///   the stage-4 fastest-fallback tree memoised once (both lazily,
+///   behind mutexes, so a shared `Arc<OriginArtifacts>` keeps absorbing
+///   work from concurrent workers);
+/// * per-period MFP expansions memoised by departure bits (the caller
+///   supplies the period-filtered transfer network; the O(|trips|)
+///   aggregation itself is shared *across* origins, not stored here).
+///
+/// All expansions are exhaustive ([`shortest_path_tree`] with no stop
+/// target), trading a bounded amount of extra settle work for
+/// destination-set independence — the property that lets one artifact
+/// outlive the batch that built it. Every path reconstructed from these
+/// trees is byte-identical to the per-request miners (single-target
+/// searches are settle-order prefixes of exhaustive ones).
+///
+/// [`shortest_path_tree`]: cp_roadnet::routing::shortest_path_tree
+pub struct OriginArtifacts {
+    origin: NodeId,
+    /// Exhaustive `-ln P(e)` popularity expansion.
+    mpr_tree: DijkstraResult,
+    /// Indices into the trip history whose source endpoint is local to
+    /// the origin (order-preserving).
+    origin_local: Vec<u32>,
+    /// Lazily-built exhaustive habit trees, one per local expert.
+    habit: Mutex<HashMap<DriverId, Arc<DijkstraResult>>>,
+    /// Lazily-built exhaustive fastest-fallback tree.
+    fastest: Mutex<Option<Arc<DijkstraResult>>>,
+    /// Lazily-built exhaustive MFP expansions, keyed by departure bits.
+    mfp_trees: Mutex<HashMap<u64, Arc<DijkstraResult>>>,
+}
+
+impl OriginArtifacts {
+    /// Builds the eager artifacts (popularity tree + locality scan) for
+    /// one origin; the per-expert and per-period trees fill in lazily as
+    /// destinations are served.
+    pub fn build(
+        graph: &RoadGraph,
+        trips: &[Trip],
+        transfer: &TransferNetwork,
+        mpr: &MprParams,
+        ldr: &LdrParams,
+        origin: NodeId,
+    ) -> Self {
+        OriginArtifacts {
+            origin,
+            mpr_tree: popularity_tree(graph, transfer, origin, mpr),
+            origin_local: origin_local_indices(graph, trips, origin, ldr),
+            habit: Mutex::new(HashMap::new()),
+            fastest: Mutex::new(None),
+            mfp_trees: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The origin these artifacts answer for.
+    pub fn origin(&self) -> NodeId {
+        self.origin
+    }
+
+    fn mpr(&self, graph: &RoadGraph, to: NodeId) -> Result<Path, RoadNetError> {
+        let from = self.origin;
+        if to == from {
+            return Err(RoadNetError::NoPath { from, to });
+        }
+        self.mpr_tree
+            .path_to(graph, to)
+            .ok_or(RoadNetError::NoPath { from, to })
+    }
+
+    fn ldr(
+        &self,
+        graph: &RoadGraph,
+        trips: &[Trip],
+        params: &LdrParams,
+        to: NodeId,
+    ) -> Result<Path, RoadNetError> {
+        let from = self.origin;
+        if to == from {
+            return Err(RoadNetError::NoPath { from, to });
+        }
+        // Destination-side half of the locality filter over the shared
+        // origin-side subset (order-preserving ⇒ reproduces the
+        // per-request `local_trips` exactly).
+        let tp = graph.position(to);
+        let r2 = params.endpoint_radius * params.endpoint_radius;
+        let local: Vec<&Trip> = self
+            .origin_local
+            .iter()
+            .map(|&i| &trips[i as usize])
+            .filter(|t| graph.position(t.path.destination()).distance_sq(&tp) <= r2)
+            .collect();
+        let Some(expert) = pick_expert(&local) else {
+            let tree = {
+                let mut slot = self.fastest.lock().expect("artifact memo poisoned");
+                Arc::clone(slot.get_or_insert_with(|| Arc::new(fastest_fallback_tree(graph, from))))
+            };
+            return tree
+                .path_to(graph, to)
+                .ok_or(RoadNetError::NoPath { from, to });
+        };
+        if let Some(path) = expert_modal_exact(graph, &local, expert, from, to) {
+            return Ok(path);
+        }
+        let tree =
+            {
+                let mut memo = self.habit.lock().expect("artifact memo poisoned");
+                Arc::clone(memo.entry(expert).or_insert_with(|| {
+                    Arc::new(expert_habit_tree(graph, trips, expert, from, params))
+                }))
+            };
+        tree.path_to(graph, to)
+            .ok_or(RoadNetError::NoPath { from, to })
+    }
+
+    fn mfp(
+        &self,
+        graph: &RoadGraph,
+        params: &MfpParams,
+        period_tn: &TransferNetwork,
+        departure: TimeOfDay,
+        to: NodeId,
+    ) -> Result<Path, RoadNetError> {
+        let from = self.origin;
+        if to == from {
+            return Err(RoadNetError::NoPath { from, to });
+        }
+        let tree = {
+            let mut memo = self.mfp_trees.lock().expect("artifact memo poisoned");
+            Arc::clone(memo.entry(departure.0.to_bits()).or_insert_with(|| {
+                Arc::new(frequency_discounted_tree(graph, period_tn, from, params))
+            }))
+        };
+        tree.path_to(graph, to)
+            .ok_or(RoadNetError::NoPath { from, to })
+    }
+}
+
+impl std::fmt::Debug for OriginArtifacts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OriginArtifacts")
+            .field("origin", &self.origin)
+            .field("origin_local", &self.origin_local.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Produces one query's candidate set from cached per-origin artifacts
+/// plus the period-filtered transfer network for its departure —
+/// byte-identical to [`generate_candidates`] over the same inputs
+/// (same sources, same paths, same order).
+///
+/// Contract: `artifacts` was built for `(graph, trips, transfer, mpr,
+/// ldr)` with `artifacts.origin() == the query origin`, and `period_tn`
+/// is `TransferNetwork::build(graph, trips, Some((departure,
+/// mfp.period_half_width)))` — the departure-bits memo inside the
+/// artifact assumes the period network is a pure function of the
+/// departure.
+pub fn candidates_from_artifacts(
+    graph: &RoadGraph,
+    trips: &[Trip],
+    mfp: &MfpParams,
+    ldr: &LdrParams,
+    artifacts: &OriginArtifacts,
+    period_tn: &TransferNetwork,
+    to: NodeId,
+    departure: TimeOfDay,
+) -> Vec<CandidateRoute> {
+    let from = artifacts.origin;
+    // Assembly order must match `generate_candidates` exactly.
+    let mut out = Vec::with_capacity(SourceKind::ALL.len());
+    if let Ok(p) = ShortestRouteService.route(graph, from, to) {
+        out.push(CandidateRoute {
+            source: SourceKind::ShortestWebService,
+            path: p,
+        });
+    }
+    if let Ok(p) = FastestRouteService.route(graph, from, to) {
+        out.push(CandidateRoute {
+            source: SourceKind::FastestWebService,
+            path: p,
+        });
+    }
+    if let Ok(p) = artifacts.mpr(graph, to) {
+        out.push(CandidateRoute {
+            source: SourceKind::Mpr,
+            path: p,
+        });
+    }
+    if let Ok(p) = artifacts.ldr(graph, trips, ldr, to) {
+        out.push(CandidateRoute {
+            source: SourceKind::Ldr,
+            path: p,
+        });
+    }
+    if let Ok(p) = artifacts.mfp(graph, mfp, period_tn, departure, to) {
+        out.push(CandidateRoute {
+            source: SourceKind::Mfp,
+            path: p,
+        });
+    }
+    out
+}
+
+/// Produces candidate sets for a batch of OD queries that may span
+/// **several departure buckets**, splitting the work along its true
+/// dependency structure:
+///
+/// * per distinct **origin**, the all-day artifacts (MPR popularity
+///   expansion, LDR locality scan and habit/fastest trees) are computed
+///   once — they do not depend on the departure at all;
+/// * per distinct **departure**, the O(|trips|) MFP period filter and
+///   footmark aggregation run once, shared by every origin;
+/// * per `(origin, departure)`, one frequency-discounted MFP expansion.
+///
+/// `out[i]` is byte-identical to `generate_candidates(…, queries[i].0,
+/// queries[i].1, queries[i].2)`. This is the cross-bucket form behind
+/// the serving layer's origin-cell coalescing; the single-departure
+/// [`generate_candidates_batch`] is a thin wrapper over it.
+pub fn generate_candidates_multi(
+    graph: &RoadGraph,
+    trips: &[Trip],
+    transfer: &TransferNetwork,
+    mpr: &MprParams,
+    mfp: &MfpParams,
+    ldr: &LdrParams,
+    queries: &[(NodeId, NodeId, TimeOfDay)],
+) -> Vec<Vec<CandidateRoute>> {
+    // Shared state in first-appearance order (deterministic, and linear
+    // scans beat hashing at realistic batch cardinalities).
+    let mut periods: Vec<(u64, TransferNetwork)> = Vec::new();
+    let mut artifacts: Vec<(NodeId, OriginArtifacts)> = Vec::new();
+    for &(from, _, departure) in queries {
+        let bits = departure.0.to_bits();
+        if !periods.iter().any(|(b, _)| *b == bits) {
+            periods.push((
+                bits,
+                TransferNetwork::build(graph, trips, Some((departure, mfp.period_half_width))),
+            ));
+        }
+        if !artifacts.iter().any(|(f, _)| *f == from) {
+            artifacts.push((
+                from,
+                OriginArtifacts::build(graph, trips, transfer, mpr, ldr, from),
+            ));
+        }
+    }
+    queries
+        .iter()
+        .map(|&(from, to, departure)| {
+            let art = &artifacts
+                .iter()
+                .find(|(f, _)| *f == from)
+                .expect("artifact prebuilt for every origin")
+                .1;
+            let period_tn = &periods
+                .iter()
+                .find(|(b, _)| *b == departure.0.to_bits())
+                .expect("period network prebuilt for every departure")
+                .1;
+            candidates_from_artifacts(graph, trips, mfp, ldr, art, period_tn, to, departure)
+        })
+        .collect()
+}
+
+/// Produces candidate sets for a batch of OD queries sharing a
+/// departure time — the single-bucket special case of
+/// [`generate_candidates_multi`]: one MFP period aggregation for the
+/// whole batch, one set of all-day artifacts per distinct origin.
 ///
 /// `out[i]` is byte-identical to
 /// `generate_candidates(graph, trips, transfer, mpr, mfp, ldr,
@@ -223,49 +508,11 @@ pub fn generate_candidates_batch(
     queries: &[(NodeId, NodeId)],
     departure: TimeOfDay,
 ) -> Vec<Vec<CandidateRoute>> {
-    // One period transfer network for every query in the batch (this is
-    // what `most_frequent_path` rebuilds per request).
-    let period_tn = TransferNetwork::build(graph, trips, Some((departure, mfp.period_half_width)));
-
-    // Group query indices by origin, preserving first-appearance order.
-    let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
-    for (i, &(from, _)) in queries.iter().enumerate() {
-        match groups.iter_mut().find(|(f, _)| *f == from) {
-            Some((_, idxs)) => idxs.push(i),
-            None => groups.push((from, vec![i])),
-        }
-    }
-
-    let mut out: Vec<Vec<CandidateRoute>> = queries.iter().map(|_| Vec::new()).collect();
-    for (from, idxs) in groups {
-        let tos: Vec<NodeId> = idxs.iter().map(|&i| queries[i].1).collect();
-        let shortest = ShortestRouteService.route_many(graph, from, &tos);
-        let fastest = FastestRouteService.route_many(graph, from, &tos);
-        let mprs = most_popular_routes(graph, transfer, from, &tos, mpr);
-        let ldrs = local_driver_routes(graph, trips, from, &tos, ldr);
-        let mfps = most_frequent_paths_on(graph, &period_tn, from, &tos, mfp);
-        for (k, &i) in idxs.iter().enumerate() {
-            // Assembly order must match `generate_candidates` exactly.
-            let mut set = Vec::with_capacity(SourceKind::ALL.len());
-            let sources = [
-                (SourceKind::ShortestWebService, &shortest[k]),
-                (SourceKind::FastestWebService, &fastest[k]),
-                (SourceKind::Mpr, &mprs[k]),
-                (SourceKind::Ldr, &ldrs[k]),
-                (SourceKind::Mfp, &mfps[k]),
-            ];
-            for (source, result) in sources {
-                if let Ok(path) = result {
-                    set.push(CandidateRoute {
-                        source,
-                        path: path.clone(),
-                    });
-                }
-            }
-            out[i] = set;
-        }
-    }
-    out
+    let multi: Vec<(NodeId, NodeId, TimeOfDay)> = queries
+        .iter()
+        .map(|&(from, to)| (from, to, departure))
+        .collect();
+    generate_candidates_multi(graph, trips, transfer, mpr, mfp, ldr, &multi)
 }
 
 /// Deduplicates candidates into distinct paths, remembering every source
@@ -355,6 +602,78 @@ mod tests {
         }
         // The same-node query yields no candidates on either path.
         assert!(fused[3].is_empty());
+    }
+
+    #[test]
+    fn multi_bucket_batch_matches_per_request_candidates() {
+        let (city, ds) = setup();
+        let gen = CandidateGenerator::new(&city.graph, &ds.trips);
+        // Two origins × three departure buckets, with duplicates and a
+        // degenerate query — the all-day artifacts must be shared across
+        // buckets while each bucket keeps its own MFP aggregation.
+        let deps = [7.0, 8.0, 9.0].map(TimeOfDay::from_hours);
+        let mut queries: Vec<(NodeId, NodeId, TimeOfDay)> = Vec::new();
+        for (i, &(from, to)) in [
+            (NodeId(0), NodeId(59)),
+            (NodeId(0), NodeId(31)),
+            (NodeId(12), NodeId(47)),
+            (NodeId(0), NodeId(59)),
+            (NodeId(0), NodeId(0)),
+            (NodeId(12), NodeId(7)),
+        ]
+        .iter()
+        .enumerate()
+        {
+            queries.push((from, to, deps[i % deps.len()]));
+        }
+        let fused = gen.candidates_multi(&queries);
+        assert_eq!(fused.len(), queries.len());
+        for (q, (&(from, to, dep), got)) in queries.iter().zip(&fused).enumerate() {
+            let want = gen.candidates(from, to, dep);
+            assert_eq!(got.len(), want.len(), "query {q}");
+            for (x, y) in got.iter().zip(&want) {
+                assert_eq!(x.source, y.source, "query {q}");
+                assert_eq!(x.path, y.path, "query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_artifacts_answer_any_destination_byte_identically() {
+        let (city, ds) = setup();
+        let gen = CandidateGenerator::new(&city.graph, &ds.trips);
+        let g = &city.graph;
+        let dep = TimeOfDay::from_hours(8.0);
+        let from = NodeId(0);
+        // One artifact built up front, destinations chosen afterwards —
+        // the cross-batch reuse contract.
+        let art = OriginArtifacts::build(
+            g,
+            &ds.trips,
+            gen.transfer_network(),
+            &gen.mpr,
+            &gen.ldr,
+            from,
+        );
+        let period = TransferNetwork::build(g, &ds.trips, Some((dep, gen.mfp.period_half_width)));
+        for b in [59u32, 31, 7, 44, 0] {
+            let got = candidates_from_artifacts(
+                g,
+                &ds.trips,
+                &gen.mfp,
+                &gen.ldr,
+                &art,
+                &period,
+                NodeId(b),
+                dep,
+            );
+            let want = gen.candidates(from, NodeId(b), dep);
+            assert_eq!(got.len(), want.len(), "to {b}");
+            for (x, y) in got.iter().zip(&want) {
+                assert_eq!(x.source, y.source, "to {b}");
+                assert_eq!(x.path, y.path, "to {b}");
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! verified truth, so results can depend on arrival order, exactly as in
 //! the sequential paper pipeline).
 
+use crate::artifacts::MiningArtifactCache;
 use crate::cache::Lru;
 use crate::error::ServiceError;
 use crate::resolver::Resolver;
@@ -154,6 +155,13 @@ pub struct ServiceConfig {
     /// it) so aliasing ODs don't thrash-evict each other. Evictions are
     /// observable as `cache_od_evictions` in [`StatsSnapshot`].
     pub cache_ods_per_key: usize,
+    /// Origin cells kept in the cross-batch
+    /// [`MiningArtifactCache`] — a coalesced
+    /// batch reuses the all-day origin expansions (MPR tree, LDR
+    /// locality scan/memos) a recent batch already produced, skipping
+    /// them entirely on a hit (`artifact_hits` in [`StatsSnapshot`]).
+    /// 0 disables cross-batch reuse (fusion within one batch remains).
+    pub artifact_cache_origins: usize,
     /// Per-shard truth-store entry cap (0 = unbounded). A full shard
     /// batch-evicts oldest-first; evictions are counted in
     /// `truth_evictions`.
@@ -178,6 +186,7 @@ impl Default for ServiceConfig {
             shards: 16,
             cache_capacity: 1024,
             cache_ods_per_key: 4,
+            artifact_cache_origins: 256,
             truth_cap_per_shard: 0,
             cell_m: DEFAULT_CELL_M,
             time_bucket_s: 900.0,
@@ -225,6 +234,7 @@ pub struct RouteService {
     world: Arc<World>,
     truths: ShardedTruthStore,
     cache: Mutex<Lru<CacheKey, CachedCandidates>>,
+    artifacts: MiningArtifactCache,
     flights: FlightTable<RequestKey, ServedRoute>,
     stats: ServiceStats,
     cfg: ServiceConfig,
@@ -242,6 +252,7 @@ impl RouteService {
             truths: ShardedTruthStore::new(cfg.shards, cfg.cell_m, truth_bucket_s)
                 .with_per_shard_cap(cfg.truth_cap_per_shard),
             cache: Mutex::new(Lru::new(cfg.cache_capacity)),
+            artifacts: MiningArtifactCache::new(cfg.artifact_cache_origins),
             flights: FlightTable::new(),
             stats: ServiceStats::new(),
             cfg,
@@ -538,10 +549,13 @@ impl RouteService {
     /// 2. **one single-flight leader per distinct OD key** — intra-batch
     ///    duplicates collapse locally, and the global flight table still
     ///    dedups against concurrent workers;
-    /// 3. **one fused mining call** — all leader ODs missing the
-    ///    candidate cache mine through
-    ///    [`World::candidates_batch`](crate::World::candidates_batch)
-    ///    in a single pass, followed by a bulk cache fill;
+    /// 3. **one artifact-backed fused mining pass** — all leader ODs
+    ///    missing the candidate cache mine through shared per-origin
+    ///    all-day artifacts (cached across batches and buckets in the
+    ///    city's [`MiningArtifactCache`])
+    ///    plus one period aggregation per distinct departure, followed
+    ///    by a bulk cache fill — batches may freely span several time
+    ///    buckets;
     /// 4. **resolution per leader**, truths deposited as in
     ///    [`RouteService::handle`].
     ///
@@ -660,8 +674,8 @@ impl RouteService {
             }
         }
 
-        // 3. Candidate-cache pre-pass, then one fused mining call for
-        // every leader OD the cache cannot serve.
+        // 3. Candidate-cache pre-pass, then one artifact-backed fused
+        // mining pass for every leader OD the cache cannot serve.
         let mut to_mine: Vec<usize> = Vec::new();
         for (p, flight) in pending.iter_mut().enumerate() {
             let req = &requests[flight.members[0]];
@@ -674,43 +688,91 @@ impl RouteService {
                 to_mine.push(p);
             }
         }
-        // Platform batches share one canonical departure; mining is
-        // fused per distinct departure so a hand-built mixed batch stays
-        // byte-correct (it just fuses less).
-        let mut by_departure: Vec<(u64, Vec<usize>)> = Vec::new();
-        for &p in &to_mine {
+        if to_mine.len() == 1 && !self.artifacts.is_enabled() {
+            // A lone miss with cross-batch reuse disabled: exhaustive
+            // artifact expansions would be pure waste (used once,
+            // dropped), so take the targeted per-request miners.
+            let p = to_mine[0];
             let req = &requests[pending[p].members[0]];
-            let bits = self.canonical_departure(req).0.to_bits();
-            match by_departure.iter_mut().find(|(b, _)| *b == bits) {
-                Some((_, ps)) => ps.push(p),
-                None => by_departure.push((bits, vec![p])),
-            }
-        }
-        for (bits, ps) in by_departure {
-            let departure = TimeOfDay(f64::from_bits(bits));
-            if ps.len() >= 2 {
-                let queries: Vec<(NodeId, NodeId)> = ps
+            let departure = self.canonical_departure(req);
+            let mined = Arc::new(self.world.candidates(req.from, req.to, departure));
+            self.cache_fill(req.from, req.to, self.bucket_of(req.departure), &mined);
+            pending[p].candidates = Some(mined);
+        } else if !to_mine.is_empty() {
+            // Fusion bookkeeping: an OD counts as fused only if it
+            // actually shared work with another miss — its origin (the
+            // all-day artifacts) or its canonical departure (the MFP
+            // period aggregation) appears more than once. A batch of
+            // fully unrelated misses books no fusion, matching the
+            // old per-departure-group accounting.
+            let shares_work = |p: usize| -> bool {
+                let req = &requests[pending[p].members[0]];
+                let dep = self.canonical_departure(req).0.to_bits();
+                to_mine
                     .iter()
-                    .map(|&p| {
-                        let req = &requests[pending[p].members[0]];
-                        (req.from, req.to)
+                    .filter(|&&q| {
+                        let other = &requests[pending[q].members[0]];
+                        other.from == req.from || self.canonical_departure(other).0.to_bits() == dep
                     })
-                    .collect();
-                let mined = self.world.candidates_batch(&queries, departure);
-                self.stats.record_fused_mining(queries.len());
-                for (&p, set) in ps.iter().zip(mined) {
+                    .count()
+                    > 1 // the filter matches `p` itself
+            };
+            let fused_ods = to_mine.iter().filter(|&&p| shares_work(p)).count();
+            if fused_ods >= 2 {
+                self.stats.record_fused_mining(fused_ods);
+            }
+            // Per-origin all-day artifacts: cached across batches and
+            // buckets, generation-checked against the world, expanded
+            // at most once per distinct origin here.
+            let mut artifacts: Vec<(NodeId, Arc<cp_mining::OriginArtifacts>)> = Vec::new();
+            for &p in &to_mine {
+                let from = requests[pending[p].members[0]].from;
+                if !artifacts.iter().any(|(n, _)| *n == from) {
+                    let art = self.artifacts.origin_artifacts(
+                        &self.world,
+                        self.cell_of(from),
+                        from,
+                        &self.stats,
+                    );
+                    artifacts.push((from, art));
+                }
+            }
+            // Period-dependent MFP aggregation: one shared (and
+            // cached) network per distinct canonical departure. Cell-
+            // keyed platform runs span buckets, so several departures
+            // per batch are the norm now.
+            let mut by_departure: Vec<(u64, Vec<usize>)> = Vec::new();
+            for &p in &to_mine {
+                let req = &requests[pending[p].members[0]];
+                let bits = self.canonical_departure(req).0.to_bits();
+                match by_departure.iter_mut().find(|(b, _)| *b == bits) {
+                    Some((_, ps)) => ps.push(p),
+                    None => by_departure.push((bits, vec![p])),
+                }
+            }
+            for (bits, ps) in by_departure {
+                let departure = TimeOfDay(f64::from_bits(bits));
+                let period = self.artifacts.period_network(&self.world, departure);
+                for &p in &ps {
                     let req = &requests[pending[p].members[0]];
-                    let set = Arc::new(set);
+                    let art = &artifacts
+                        .iter()
+                        .find(|(n, _)| *n == req.from)
+                        .expect("artifact prefetched for every miss origin")
+                        .1;
+                    let set = Arc::new(cp_mining::candidates_from_artifacts(
+                        graph,
+                        self.world.trips(),
+                        &self.world.mfp,
+                        &self.world.ldr,
+                        art,
+                        &period,
+                        req.to,
+                        departure,
+                    ));
                     self.cache_fill(req.from, req.to, self.bucket_of(req.departure), &set);
                     pending[p].candidates = Some(set);
                 }
-            } else {
-                // A lone miss gains nothing from the batch API.
-                let p = ps[0];
-                let req = &requests[pending[p].members[0]];
-                let mined = Arc::new(self.world.candidates(req.from, req.to, departure));
-                self.cache_fill(req.from, req.to, self.bucket_of(req.departure), &mined);
-                pending[p].candidates = Some(mined);
             }
         }
 
@@ -1168,6 +1230,154 @@ mod tests {
         // Empty input is a no-op, not a recorded batch.
         assert!(service.serve_coalesced(&[], &mut resolver).is_empty());
         assert_eq!(service.stats().batches, 1);
+    }
+
+    #[test]
+    fn unrelated_misses_in_one_batch_book_no_fusion() {
+        let world = mini_world();
+        // Distinct origins AND distinct buckets: no work is shared, so
+        // despite two cache misses in one coalesced call the fusion
+        // counters must stay untouched.
+        let service = RouteService::new(Arc::clone(&world), ServiceConfig::strict_deterministic());
+        let mut resolver = MachineResolver::new(world.graph_arc(), service.config().core.clone());
+        let requests = [
+            Request::new(NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0)),
+            Request::new(NodeId(12), NodeId(47), TimeOfDay::from_hours(9.0)),
+        ];
+        for res in service.serve_coalesced(&requests, &mut resolver) {
+            res.unwrap();
+        }
+        let snap = service.stats();
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.fused_minings, 0, "nothing was shared: {snap:?}");
+        assert_eq!(snap.fused_mined_ods, 0);
+        assert!(snap.is_consistent(), "{snap:?}");
+        // Shared departure alone IS fusion (one period aggregation).
+        let service = RouteService::new(Arc::clone(&world), ServiceConfig::strict_deterministic());
+        let mut resolver = MachineResolver::new(world.graph_arc(), service.config().core.clone());
+        let requests = [
+            Request::new(NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0)),
+            Request::new(NodeId(12), NodeId(47), TimeOfDay::from_hours(8.0)),
+        ];
+        for res in service.serve_coalesced(&requests, &mut resolver) {
+            res.unwrap();
+        }
+        let snap = service.stats();
+        assert_eq!(snap.fused_minings, 1);
+        assert_eq!(snap.fused_mined_ods, 2);
+        assert!(snap.is_consistent(), "{snap:?}");
+    }
+
+    #[test]
+    fn disabled_artifact_cache_keeps_lone_misses_on_the_targeted_path() {
+        let world = mini_world();
+        let mut cfg = ServiceConfig::strict_deterministic();
+        cfg.artifact_cache_origins = 0;
+        let service = RouteService::new(Arc::clone(&world), cfg.clone());
+        let mut resolver = MachineResolver::new(world.graph_arc(), cfg.core.clone());
+        let req = Request::new(NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0));
+        let out = service.serve_coalesced(&[req], &mut resolver);
+        assert!(out[0].is_ok());
+        let snap = service.stats();
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(
+            snap.artifact_misses, 0,
+            "a lone miss without a cache must not build exhaustive artifacts"
+        );
+        assert_eq!(snap.artifact_hits, 0);
+        assert!(snap.is_consistent(), "{snap:?}");
+        // Multi-miss batches still fuse through transient artifacts.
+        let reqs = [
+            Request::new(NodeId(0), NodeId(54), TimeOfDay::from_hours(8.0)),
+            Request::new(NodeId(0), NodeId(47), TimeOfDay::from_hours(8.0)),
+        ];
+        for res in service.serve_coalesced(&reqs, &mut resolver) {
+            res.unwrap();
+        }
+        let snap = service.stats();
+        assert_eq!(snap.fused_minings, 1);
+        assert_eq!(snap.artifact_misses, 1, "transient artifact, uncached");
+        assert!(snap.is_consistent(), "{snap:?}");
+    }
+
+    #[test]
+    fn artifact_cache_reuses_origin_expansions_across_batches() {
+        let world = mini_world();
+        let cfg = ServiceConfig::strict_deterministic();
+        let service = RouteService::new(Arc::clone(&world), cfg.clone());
+        let mut resolver = MachineResolver::new(world.graph_arc(), cfg.core.clone());
+        let batch = |dests: &[u32], hour: f64| -> Vec<Request> {
+            dests
+                .iter()
+                .map(|&b| Request::new(NodeId(0), NodeId(b), TimeOfDay::from_hours(hour)))
+                .collect()
+        };
+        // First batch expands origin 0 once.
+        for res in service.serve_coalesced(&batch(&[59, 54], 8.0), &mut resolver) {
+            res.unwrap();
+        }
+        let snap = service.stats();
+        assert_eq!(snap.artifact_misses, 1);
+        assert_eq!(snap.artifact_hits, 0);
+        // A second batch — new destinations AND a new time bucket —
+        // reuses the cached all-day expansion.
+        for res in service.serve_coalesced(&batch(&[47, 31], 9.0), &mut resolver) {
+            res.unwrap();
+        }
+        let snap = service.stats();
+        assert_eq!(snap.artifact_misses, 1, "origin 0 expands exactly once");
+        assert_eq!(snap.artifact_hits, 1);
+        assert!(snap.is_consistent(), "{snap:?}");
+
+        // Byte-identity against fresh per-request serving.
+        let reference = RouteService::new(Arc::clone(&world), cfg.clone());
+        let mut ref_resolver = MachineResolver::new(world.graph_arc(), cfg.core.clone());
+        for req in batch(&[59, 54], 8.0)
+            .into_iter()
+            .chain(batch(&[47, 31], 9.0))
+        {
+            let got = service
+                .truths()
+                .lookup(
+                    world.graph(),
+                    req.from,
+                    req.to,
+                    service.canonical_departure(&req),
+                    &cfg.core,
+                )
+                .expect("resolved truth present");
+            let want = reference.handle(req, &mut ref_resolver).unwrap();
+            assert_eq!(got.path, want.path);
+        }
+    }
+
+    #[test]
+    fn generation_bump_invalidates_cached_artifacts_between_batches() {
+        let world = mini_world();
+        let cfg = ServiceConfig::strict_deterministic();
+        let service = RouteService::new(Arc::clone(&world), cfg.clone());
+        let mut resolver = MachineResolver::new(world.graph_arc(), cfg.core.clone());
+        let reqs1: Vec<Request> = [59u32, 54]
+            .iter()
+            .map(|&b| Request::new(NodeId(0), NodeId(b), TimeOfDay::from_hours(8.0)))
+            .collect();
+        for res in service.serve_coalesced(&reqs1, &mut resolver) {
+            res.unwrap();
+        }
+        world.bump_generation();
+        let reqs2: Vec<Request> = [47u32, 31]
+            .iter()
+            .map(|&b| Request::new(NodeId(0), NodeId(b), TimeOfDay::from_hours(8.0)))
+            .collect();
+        let results = service.serve_coalesced(&reqs2, &mut resolver);
+        for res in &results {
+            assert!(res.is_ok());
+        }
+        let snap = service.stats();
+        assert_eq!(snap.artifact_misses, 2, "bumped generation re-expands");
+        assert_eq!(snap.artifact_hits, 0);
+        assert_eq!(snap.artifact_evictions, 1, "the stale entry is dropped");
+        assert!(snap.is_consistent(), "{snap:?}");
     }
 
     #[test]

@@ -27,9 +27,17 @@
 //!   [`ServiceError::Busy`] when full), joinable/pollable [`Ticket`]s,
 //!   opportunistic **origin-cell request coalescing**
 //!   ([`PlatformConfig::batch`] / [`BatchConfig`]: workers dequeue runs
-//!   of `(city, origin cell, time bucket)`-mates instead of single
-//!   jobs), per-city plus exact aggregate statistics, and graceful
-//!   draining [`Platform::shutdown`];
+//!   of `(city, origin cell)`-mates — spanning time buckets — instead
+//!   of single jobs, with a **fixed or adaptive** collection window:
+//!   [`BatchConfig::Adaptive`] moves the delay between zero and a
+//!   ceiling from observed queue depth and run occupancy), per-city
+//!   plus exact aggregate statistics, and graceful draining
+//!   [`Platform::shutdown`];
+//! * [`MiningArtifactCache`] — the **cross-batch mining-reuse layer**:
+//!   a bounded, generation-versioned per-city LRU of all-day per-origin
+//!   expansions ([`cp_mining::OriginArtifacts`]) plus period transfer
+//!   networks, letting a batch skip mining work a recent batch — in any
+//!   time bucket — already did (`artifact_hits` in [`StatsSnapshot`]);
 //! * [`FlightTable`] — single-flight deduplication of identical
 //!   in-flight `(OD, time-bucket)` requests (one resolution, shared
 //!   result — crucial when resolution spends crowd budget);
@@ -111,6 +119,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod cache;
 pub mod error;
 pub mod executor;
@@ -121,6 +130,7 @@ pub mod stats;
 pub mod store;
 pub mod world;
 
+pub use artifacts::MiningArtifactCache;
 pub use cache::Lru;
 pub use error::ServiceError;
 pub use executor::{Request, RequestKey, RouteService, Served, ServedRoute, ServiceConfig};

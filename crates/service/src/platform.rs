@@ -83,28 +83,127 @@ impl Default for MaintenanceConfig {
 }
 
 /// Opportunistic request-coalescing configuration: workers dequeue
-/// *runs* of queued jobs sharing `(city, origin cell, time bucket)` and
-/// serve them through the fused
-/// [`RouteService::serve_coalesced`] path, so a hot origin cell pays
-/// its expensive single-source mining once per run instead of once per
+/// *runs* of queued jobs sharing `(city, origin cell)` — time buckets
+/// may mix freely, the fused mining path splits only its
+/// period-dependent MFP aggregation per bucket — and serve them through
+/// [`RouteService::serve_coalesced`], so a hot origin cell pays its
+/// expensive single-source mining once per run instead of once per
 /// request.
 #[derive(Debug, Clone, Copy)]
-pub struct BatchConfig {
-    /// Most jobs coalesced into one run (≥ 1; 1 disables coalescing in
-    /// all but name).
-    pub max_batch: usize,
-    /// How long a worker may hold an under-full run open waiting for
-    /// more same-key arrivals. `Duration::ZERO` (the default) is purely
-    /// opportunistic: only jobs already queued coalesce, and an idle
-    /// queue never delays a request.
-    pub max_delay: Duration,
+pub enum BatchConfig {
+    /// A fixed collection window: every under-full run is held open for
+    /// exactly `max_delay` waiting for more same-key arrivals.
+    /// `Duration::ZERO` is purely opportunistic — only jobs already
+    /// queued coalesce, and an idle queue never delays a request.
+    Fixed {
+        /// Most jobs coalesced into one run (≥ 1; 1 disables coalescing
+        /// in all but name).
+        max_batch: usize,
+        /// The fixed collection window.
+        max_delay: Duration,
+    },
+    /// A self-tuning collection window: a controller observes the
+    /// ingress queue depth and recent run occupancy and moves the
+    /// actual delay between zero and `max_delay` (the ceiling). At
+    /// saturation the queue itself supplies coalescable backlog, so the
+    /// delay snaps to zero (waiting would only add latency). Off a
+    /// shallow queue it climbs optimistically — a lone opportunistic
+    /// dispatch opens a ceiling/16 probe and lone paid windows keep
+    /// doubling (a short window cannot prove its value, so persistence
+    /// is required to find the window where trickling same-cell
+    /// arrivals meet) — but [`ADAPTIVE_GIVE_UP`] consecutive paid
+    /// windows that each bought nothing snap it back to zero with an
+    /// [`ADAPTIVE_PROBE_COOLDOWN`]-dispatch cooldown, so traffic that
+    /// never coalesces pays a bounded, amortised probe tax instead of
+    /// a permanent ceiling-sized window. The chosen delay and the
+    /// controller's transition counts are exported in
+    /// [`PlatformSnapshot`].
+    Adaptive {
+        /// Most jobs coalesced into one run (≥ 1).
+        max_batch: usize,
+        /// The ceiling the controller may raise the delay to.
+        max_delay: Duration,
+    },
 }
+
+/// Consecutive *paid* collection windows that may each dispatch a lone
+/// run before the adaptive controller gives up and snaps the window to
+/// zero (see [`BatchConfig::Adaptive`]).
+pub const ADAPTIVE_GIVE_UP: u32 = 8;
+
+/// Lone zero-window dispatches the adaptive controller waits out after
+/// a give-up before probing again. Bounds the amortised cost of
+/// probing on traffic that never coalesces to
+/// `GIVE_UP × ceiling / (GIVE_UP + COOLDOWN)` per dispatch at worst.
+pub const ADAPTIVE_PROBE_COOLDOWN: u32 = 32;
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        BatchConfig {
+        BatchConfig::Fixed {
             max_batch: 16,
             max_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// A fixed-window configuration (the PR-4 behaviour).
+    pub fn fixed(max_batch: usize, max_delay: Duration) -> Self {
+        BatchConfig::Fixed {
+            max_batch,
+            max_delay,
+        }
+    }
+
+    /// An adaptive configuration with the given delay ceiling.
+    pub fn adaptive(max_batch: usize, max_delay: Duration) -> Self {
+        BatchConfig::Adaptive {
+            max_batch,
+            max_delay,
+        }
+    }
+
+    /// The largest run a worker may coalesce.
+    pub fn max_batch(&self) -> usize {
+        match *self {
+            BatchConfig::Fixed { max_batch, .. } | BatchConfig::Adaptive { max_batch, .. } => {
+                max_batch
+            }
+        }
+    }
+
+    /// The most a worker may hold an under-full run open: the fixed
+    /// window, or the adaptive controller's ceiling.
+    pub fn delay_ceiling(&self) -> Duration {
+        match *self {
+            BatchConfig::Fixed { max_delay, .. } | BatchConfig::Adaptive { max_delay, .. } => {
+                max_delay
+            }
+        }
+    }
+
+    /// Whether the collection window self-tunes.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, BatchConfig::Adaptive { .. })
+    }
+
+    /// Clamps `max_batch` to ≥ 1.
+    fn normalized(self) -> Self {
+        match self {
+            BatchConfig::Fixed {
+                max_batch,
+                max_delay,
+            } => BatchConfig::Fixed {
+                max_batch: max_batch.max(1),
+                max_delay,
+            },
+            BatchConfig::Adaptive {
+                max_batch,
+                max_delay,
+            } => BatchConfig::Adaptive {
+                max_batch: max_batch.max(1),
+                max_delay,
+            },
         }
     }
 }
@@ -223,6 +322,21 @@ struct Ingress {
     batch_runs: u64,
     /// Largest run dispatched (high-water mark).
     batch_max: u64,
+    /// The collection window currently in force (nanoseconds): the
+    /// fixed window, or the adaptive controller's chosen value. Mutated
+    /// only under this lock, in the same critical sections that move
+    /// jobs, so snapshots observe a coherent controller state.
+    delay_ns: u64,
+    /// Adaptive-controller transitions that raised the delay.
+    delay_raises: u64,
+    /// Adaptive-controller transitions that dropped the delay.
+    delay_drops: u64,
+    /// Consecutive *paid* collection windows that still dispatched a
+    /// lone run — the adaptive give-up streak.
+    unproductive: u32,
+    /// Lone zero-window dispatches remaining before the probe may
+    /// reopen after a give-up.
+    probe_cooldown: u32,
 }
 
 /// State shared between the platform handle and its workers.
@@ -295,6 +409,22 @@ pub struct PlatformSnapshot {
     pub batch_runs: u64,
     /// Largest coalesced run dispatched (high-water mark).
     pub batch_max: u64,
+    /// Whether the collection window self-tunes
+    /// ([`BatchConfig::Adaptive`]).
+    pub batch_adaptive: bool,
+    /// The collection window currently in force (the fixed window, or
+    /// the adaptive controller's chosen value; zero when batching is
+    /// off).
+    pub batch_delay: Duration,
+    /// The most the window may be held open: the fixed window itself,
+    /// or the adaptive ceiling.
+    pub batch_delay_ceiling: Duration,
+    /// Adaptive-controller transitions that raised the delay (0 in
+    /// fixed mode).
+    pub batch_delay_raises: u64,
+    /// Adaptive-controller transitions that snapped the delay to zero
+    /// on saturation (0 in fixed mode).
+    pub batch_delay_drops: u64,
     /// Background maintenance sweeps completed (0 when no janitor is
     /// configured).
     pub maintenance_sweeps: u64,
@@ -312,6 +442,9 @@ impl PlatformSnapshot {
     /// the ingress lock (dispatch mutates them in the same critical
     /// sections that move jobs), so the dispatch equation is exact at
     /// every observable instant, not just at quiescence.
+    /// Additionally, the adaptive-delay controller may never hold a
+    /// window above its ceiling, and a fixed window never transitions
+    /// (raises and drops stay zero).
     pub fn is_consistent(&self) -> bool {
         self.admitted + self.rejected_busy + self.rejected_unknown_city + self.rejected_shutdown
             == self.submitted
@@ -319,6 +452,9 @@ impl PlatformSnapshot {
                 == self.batched_requests + self.unbatched_requests + self.queue_depth as u64
             && self.batch_max <= self.batched_requests
             && self.batch_runs <= self.batched_requests
+            && self.batch_delay <= self.batch_delay_ceiling
+            && (self.batch_adaptive
+                || (self.batch_delay_raises == 0 && self.batch_delay_drops == 0))
     }
 }
 
@@ -426,10 +562,7 @@ impl Platform {
                 workers: cfg.workers.max(1),
                 queue_capacity: cfg.queue_capacity.max(1),
                 maintenance: cfg.maintenance,
-                batch: cfg.batch.map(|b| BatchConfig {
-                    max_batch: b.max_batch.max(1),
-                    max_delay: b.max_delay,
-                }),
+                batch: cfg.batch.map(BatchConfig::normalized),
             },
             cities: RwLock::new(Vec::new()),
             queue: Mutex::new(Ingress {
@@ -439,6 +572,18 @@ impl Platform {
                 unbatched_requests: 0,
                 batch_runs: 0,
                 batch_max: 0,
+                // Fixed mode pins the window; adaptive starts at zero
+                // (opportunistic) and earns its delay from evidence.
+                delay_ns: match cfg.batch {
+                    Some(b) if !b.is_adaptive() => {
+                        b.delay_ceiling().as_nanos().min(u64::MAX as u128) as u64
+                    }
+                    _ => 0,
+                },
+                delay_raises: 0,
+                delay_drops: 0,
+                unproductive: 0,
+                probe_cooldown: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -743,7 +888,17 @@ fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
     // same critical sections that move jobs (and admission bumps
     // `admitted` under the lock), so the dispatch invariant in
     // [`PlatformSnapshot::is_consistent`] is exact even mid-flight.
-    let (queue_depth, admitted, batched_requests, unbatched_requests, batch_runs, batch_max) = {
+    let (
+        queue_depth,
+        admitted,
+        batched_requests,
+        unbatched_requests,
+        batch_runs,
+        batch_max,
+        delay_ns,
+        delay_raises,
+        delay_drops,
+    ) = {
         let q = inner.queue.lock().expect("ingress queue poisoned");
         (
             q.jobs.len(),
@@ -752,6 +907,9 @@ fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
             q.unbatched_requests,
             q.batch_runs,
             q.batch_max,
+            q.delay_ns,
+            q.delay_raises,
+            q.delay_drops,
         )
     };
     PlatformSnapshot {
@@ -767,6 +925,15 @@ fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
         unbatched_requests,
         batch_runs,
         batch_max,
+        batch_adaptive: inner.cfg.batch.is_some_and(|b| b.is_adaptive()),
+        batch_delay: Duration::from_nanos(delay_ns),
+        batch_delay_ceiling: inner
+            .cfg
+            .batch
+            .map(|b| b.delay_ceiling())
+            .unwrap_or(Duration::ZERO),
+        batch_delay_raises: delay_raises,
+        batch_delay_drops: delay_drops,
         maintenance_sweeps: inner.maintenance_sweeps.load(Ordering::Relaxed),
         aggregate,
     }
@@ -850,8 +1017,25 @@ impl std::fmt::Debug for Platform {
 
 /// Extends a freshly dequeued job into a coalesced run: extracts (in
 /// queue order) every queued job sharing the seed's `(city, origin
-/// cell, time bucket)` key, and — when `max_delay` allows — holds the
-/// under-full run open for more same-key arrivals.
+/// cell)` key — time buckets mix freely, the fused mining path shares
+/// the all-day origin artifacts across them and splits only the MFP
+/// period aggregation — and, when the collection window allows, holds
+/// the under-full run open for more same-key arrivals.
+///
+/// In [`BatchConfig::Adaptive`] mode the window is the controller's
+/// current choice, and the controller is stepped at the end of every
+/// collection (under the same ingress lock that moves jobs): a deep
+/// queue or a filled run snaps the delay to zero — at saturation the
+/// backlog itself supplies coalescable work and waiting only adds
+/// latency. Off a shallow queue the controller climbs optimistically
+/// (small windows cannot prove their value, so a lone zero-window
+/// dispatch opens a ceiling/16 probe and lone *paid* windows keep
+/// doubling toward the ceiling), runs that earn 2..max_batch reset the
+/// give-up streak, and [`ADAPTIVE_GIVE_UP`] consecutive paid windows
+/// that each bought nothing snap the window to zero with an
+/// [`ADAPTIVE_PROBE_COOLDOWN`]-dispatch cooldown — so sustained
+/// unique-origin traffic pays a bounded, amortised probe tax instead
+/// of a permanent ceiling-sized window.
 ///
 /// The dispatch counters are reclassified in the same critical sections
 /// that move jobs, so the snapshot invariant `admitted == batched +
@@ -862,19 +1046,20 @@ impl std::fmt::Debug for Platform {
 fn collect_run(inner: &Inner, service: &RouteService, run: &mut Vec<Job>, batch: BatchConfig) {
     let city_idx = run[0].city_idx;
     let cell = service.origin_cell_of(run[0].req.from);
-    let bucket = service.bucket_of(run[0].req.departure);
-    let same_key = |j: &Job| {
-        j.city_idx == city_idx
-            && service.bucket_of(j.req.departure) == bucket
-            && service.origin_cell_of(j.req.from) == cell
-    };
-    let deadline = Instant::now() + batch.max_delay;
+    let same_key = |j: &Job| j.city_idx == city_idx && service.origin_cell_of(j.req.from) == cell;
+    let max_batch = batch.max_batch();
+    let ceiling = batch.delay_ceiling();
     let mut reclassified = false;
     let mut q = inner.queue.lock().expect("ingress queue poisoned");
+    // The depth the seed popped off (our own pop excluded): the
+    // controller's saturation signal.
+    let seed_depth = q.jobs.len();
+    let delay = Duration::from_nanos(q.delay_ns);
+    let deadline = Instant::now() + delay;
     loop {
         let mut i = 0;
         let mut took = 0u64;
-        while i < q.jobs.len() && run.len() < batch.max_batch {
+        while i < q.jobs.len() && run.len() < max_batch {
             if same_key(&q.jobs[i]) {
                 run.push(q.jobs.remove(i).expect("index in bounds"));
                 took += 1;
@@ -895,7 +1080,7 @@ fn collect_run(inner: &Inner, service: &RouteService, run: &mut Vec<Job>, batch:
             q.batch_max = q.batch_max.max(run.len() as u64);
             inner.not_full.notify_all();
         }
-        if run.len() >= batch.max_batch || q.draining {
+        if run.len() >= max_batch || q.draining {
             break;
         }
         // Pass the baton *before* re-waiting: the wakeup that brought us
@@ -917,6 +1102,64 @@ fn collect_run(inner: &Inner, service: &RouteService, run: &mut Vec<Job>, batch:
             .wait_timeout(q, remaining)
             .expect("ingress queue poisoned");
         q = guard;
+    }
+    if batch.is_adaptive() {
+        let ceiling_ns = ceiling.as_nanos().min(u64::MAX as u128) as u64;
+        let step = (ceiling_ns / 16).max(1);
+        if seed_depth + 1 >= max_batch || run.len() >= max_batch {
+            // Saturation: backlog (or a filled run) means coalescing
+            // needs no help — zero the window. Real load also resets
+            // the give-up bookkeeping: probing is worth retrying once
+            // the backlog drains.
+            if q.delay_ns > 0 {
+                q.delay_ns = 0;
+                q.delay_drops += 1;
+            }
+            q.unproductive = 0;
+            q.probe_cooldown = 0;
+        } else if run.len() == 1 {
+            if delay.is_zero() {
+                // A lone opportunistic dispatch. Small windows cannot
+                // prove their value (a mate rarely lands inside one),
+                // so climbing must be optimistic — but only when the
+                // last give-up has cooled off, so sustained
+                // unique-origin traffic pays a bounded, amortised tax
+                // instead of a window on every request.
+                if q.probe_cooldown > 0 {
+                    q.probe_cooldown -= 1;
+                } else if q.delay_ns < step {
+                    q.delay_ns = step.min(ceiling_ns);
+                    q.delay_raises += 1;
+                }
+            } else {
+                // We paid a window and it bought nothing.
+                q.unproductive += 1;
+                if q.unproductive >= ADAPTIVE_GIVE_UP {
+                    // Enough consecutive unproductive windows: give up,
+                    // snap to zero and let the cooldown meter out the
+                    // next probe. Total waste per cycle is bounded by
+                    // GIVE_UP × ceiling across GIVE_UP + COOLDOWN
+                    // dispatches.
+                    q.delay_ns = 0;
+                    q.delay_drops += 1;
+                    q.unproductive = 0;
+                    q.probe_cooldown = ADAPTIVE_PROBE_COOLDOWN;
+                } else if q.delay_ns < ceiling_ns {
+                    // Keep ramping: the window may simply still be too
+                    // short to catch the trickle.
+                    q.delay_ns = q.delay_ns.saturating_mul(2).min(ceiling_ns);
+                    q.delay_raises += 1;
+                }
+            }
+        } else {
+            // A run of 2..max_batch off a shallow queue: coalescing is
+            // being earned at this window.
+            q.unproductive = 0;
+            if !delay.is_zero() && q.delay_ns > 0 && q.delay_ns < ceiling_ns {
+                q.delay_ns = q.delay_ns.saturating_mul(2).min(ceiling_ns);
+                q.delay_raises += 1;
+            }
+        }
     }
     if !q.jobs.is_empty() {
         // The collector may have absorbed *several* not_empty
@@ -964,7 +1207,7 @@ fn worker_loop(inner: &Inner, worker_idx: usize) {
         };
         let mut run = vec![job];
         if let Some(batch) = inner.cfg.batch {
-            if batch.max_batch > 1 {
+            if batch.max_batch() > 1 {
                 collect_run(inner, &city.service, &mut run, batch);
             }
         }
@@ -1442,10 +1685,7 @@ mod tests {
             workers: 1,
             queue_capacity: 64,
             maintenance: None,
-            batch: Some(BatchConfig {
-                max_batch: 8,
-                max_delay: Duration::from_millis(200),
-            }),
+            batch: Some(BatchConfig::fixed(8, Duration::from_millis(200))),
         });
         let id = platform.register_city(Arc::clone(&world), cfg);
         let tickets: Vec<Ticket> = requests
@@ -1479,6 +1719,179 @@ mod tests {
         assert_eq!(city.requests, requests.len() as u64);
         assert_eq!(city.batched_requests, snap.batched_requests);
         assert_eq!(city.batch_max, snap.batch_max);
+        platform.shutdown();
+    }
+
+    #[test]
+    fn adaptive_controller_climbs_then_gives_up_on_unproductive_windows() {
+        let ceiling = Duration::from_millis(4);
+        let platform = Platform::start(PlatformConfig {
+            workers: 1,
+            queue_capacity: 256,
+            maintenance: None,
+            batch: Some(BatchConfig::adaptive(4, ceiling)),
+        });
+        let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        let single = |i: u32| {
+            platform
+                .submit_blocking(Request::to_city(
+                    id,
+                    NodeId(i % 20),
+                    NodeId(59 - (i % 13)),
+                    TimeOfDay::from_hours(8.0),
+                ))
+                .unwrap()
+                .wait()
+                .unwrap();
+        };
+
+        // Phase 1 — a few isolated singles (each joined before the next
+        // submit): the first lone dispatch (no window paid) opens the
+        // probe; later lone *paid* windows keep ramping optimistically.
+        for i in 0..4u32 {
+            single(i);
+        }
+        let snap = platform.stats();
+        assert!(snap.batch_adaptive);
+        assert_eq!(snap.batch_delay_ceiling, ceiling);
+        assert!(snap.batch_delay > Duration::ZERO, "the climb must start");
+        assert!(snap.batch_delay <= ceiling);
+        assert!(snap.batch_delay_raises >= 2);
+        assert!(snap.is_consistent(), "{snap:?}");
+
+        // Phase 2 — keep the unique-origin trickle coming: after
+        // ADAPTIVE_GIVE_UP consecutive unproductive paid windows the
+        // controller must give up (snap to zero) and hold the probe
+        // closed through its cooldown, so sparse traffic is not taxed
+        // on every request.
+        for i in 4..4 + ADAPTIVE_GIVE_UP + 4 {
+            single(i);
+        }
+        let snap = platform.stats();
+        assert_eq!(
+            snap.batch_delay,
+            Duration::ZERO,
+            "sustained unproductive windows must converge to zero: {snap:?}"
+        );
+        assert!(snap.batch_delay_drops >= 1, "the give-up counts as a drop");
+        assert!(snap.is_consistent(), "{snap:?}");
+
+        // Phase 3 — a same-origin burst: saturation keeps the window at
+        // zero (drops need not move — it already is zero) and resets
+        // the give-up bookkeeping; runs must coalesce.
+        let tickets: Vec<Ticket> = (0..64u32)
+            .map(|i| {
+                platform
+                    .submit_blocking(Request::to_city(
+                        id,
+                        NodeId(0),
+                        NodeId(1 + (i % 58)),
+                        TimeOfDay::from_hours(8.0),
+                    ))
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let snap = platform.stats();
+        assert!(snap.batch_delay <= ceiling);
+        assert!(snap.batch_runs >= 1, "the burst must coalesce");
+        assert!(snap.is_consistent(), "{snap:?}");
+        platform.shutdown();
+    }
+
+    #[test]
+    fn fixed_mode_reports_its_window_and_never_transitions() {
+        let platform = Platform::start(PlatformConfig {
+            workers: 1,
+            queue_capacity: 64,
+            maintenance: None,
+            batch: Some(BatchConfig::fixed(4, Duration::from_millis(1))),
+        });
+        let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        for i in 0..6u32 {
+            platform
+                .submit_blocking(Request::to_city(
+                    id,
+                    NodeId(i),
+                    NodeId(59 - i),
+                    TimeOfDay::from_hours(8.0),
+                ))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let snap = platform.stats();
+        assert!(!snap.batch_adaptive);
+        assert_eq!(snap.batch_delay, Duration::from_millis(1));
+        assert_eq!(snap.batch_delay_ceiling, Duration::from_millis(1));
+        assert_eq!(snap.batch_delay_raises, 0);
+        assert_eq!(snap.batch_delay_drops, 0);
+        assert!(snap.is_consistent(), "{snap:?}");
+        platform.shutdown();
+    }
+
+    #[test]
+    fn cell_keyed_runs_coalesce_across_time_buckets() {
+        let world = mini_world(7);
+        let cfg = ServiceConfig::strict_deterministic();
+        // Same origin, destinations spread over *different* departure
+        // buckets: the cell-keyed collector must still fold them into
+        // one run, and the fused path must stay byte-identical.
+        let requests: Vec<Request> = (0..12u32)
+            .map(|i| {
+                Request::new(
+                    NodeId(0),
+                    NodeId(40 + i),
+                    TimeOfDay::from_hours(7.0 + (i % 3) as f64),
+                )
+            })
+            .collect();
+        let baseline_service = RouteService::new(Arc::clone(&world), cfg.clone());
+        let mut baseline_resolver = MachineResolver::new(world.graph_arc(), cfg.core.clone());
+        let expected: Vec<cp_roadnet::Path> = requests
+            .iter()
+            .map(|&r| {
+                baseline_service
+                    .handle(r, &mut baseline_resolver)
+                    .unwrap()
+                    .path
+            })
+            .collect();
+
+        let platform = Platform::start(PlatformConfig {
+            workers: 1,
+            queue_capacity: 64,
+            maintenance: None,
+            batch: Some(BatchConfig::fixed(12, Duration::from_millis(200))),
+        });
+        let id = platform.register_city(Arc::clone(&world), cfg);
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|&r| {
+                let mut req = r;
+                req.city = id;
+                platform.submit_blocking(req).expect("admitted")
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait().expect("served").path, expected[i], "request {i}");
+        }
+        let snap = platform.stats();
+        assert!(snap.is_consistent(), "{snap:?}");
+        assert!(
+            snap.batch_max >= 2,
+            "cross-bucket requests must coalesce: {snap:?}"
+        );
+        // The fused path shared origin artifacts across the run's
+        // buckets: exactly one expansion for the lone origin.
+        let city = platform.city_stats(id).unwrap();
+        assert!(city.artifact_misses >= 1);
+        assert!(
+            city.artifact_misses + city.artifact_hits >= 1,
+            "mining went through the artifact path"
+        );
         platform.shutdown();
     }
 

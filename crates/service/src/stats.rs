@@ -47,6 +47,14 @@ pub struct ServiceStats {
     /// `cache_misses` mining, so `fused_mined_ods / cache_misses` is the
     /// fused-mining ratio).
     fused_mined_ods: AtomicU64,
+    /// Mining-artifact cache hits (a batch reused another batch's
+    /// all-day origin expansion).
+    artifact_hits: AtomicU64,
+    /// Mining-artifact cache misses (origin expansion computed).
+    artifact_misses: AtomicU64,
+    /// Origin artifacts dropped from the cache (capacity, per-cell
+    /// aliasing, or generation invalidation).
+    artifact_evictions: AtomicU64,
     /// Crowd questions answered across all crowd-resolved requests.
     crowd_questions: AtomicU64,
     /// Crowd worker participations across all crowd-resolved requests.
@@ -119,6 +127,19 @@ impl ServiceStats {
             .fetch_add(ods as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn inc_artifact_hits(&self) {
+        self.artifact_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_artifact_misses(&self) {
+        self.artifact_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_artifact_evictions(&self, n: usize) {
+        self.artifact_evictions
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
     /// Books one crowd-resolved request's cost and contention.
     pub(crate) fn record_crowd(&self, cost: crate::resolver::CrowdCost) {
         self.crowd_questions
@@ -155,6 +176,9 @@ impl ServiceStats {
             .fetch_max(other.batch_max.load(Ordering::Relaxed), Ordering::Relaxed);
         add(&self.fused_minings, &other.fused_minings);
         add(&self.fused_mined_ods, &other.fused_mined_ods);
+        add(&self.artifact_hits, &other.artifact_hits);
+        add(&self.artifact_misses, &other.artifact_misses);
+        add(&self.artifact_evictions, &other.artifact_evictions);
         add(&self.crowd_questions, &other.crowd_questions);
         add(&self.crowd_workers, &other.crowd_workers);
         add(&self.crowd_quota_rejections, &other.crowd_quota_rejections);
@@ -225,6 +249,9 @@ impl ServiceStats {
             batch_max: self.batch_max.load(Ordering::Relaxed),
             fused_minings: self.fused_minings.load(Ordering::Relaxed),
             fused_mined_ods: self.fused_mined_ods.load(Ordering::Relaxed),
+            artifact_hits: self.artifact_hits.load(Ordering::Relaxed),
+            artifact_misses: self.artifact_misses.load(Ordering::Relaxed),
+            artifact_evictions: self.artifact_evictions.load(Ordering::Relaxed),
             crowd_questions: self.crowd_questions.load(Ordering::Relaxed),
             crowd_workers: self.crowd_workers.load(Ordering::Relaxed),
             crowd_quota_rejections: self.crowd_quota_rejections.load(Ordering::Relaxed),
@@ -305,6 +332,18 @@ pub struct StatsSnapshot {
     /// in `cache_misses`, so the fused share of all mining is
     /// [`StatsSnapshot::fused_mining_ratio`].
     pub fused_mined_ods: u64,
+    /// Mining-artifact cache hits: a mining pass reused an all-day
+    /// origin expansion (MPR tree, LDR locality scan and memos) that an
+    /// earlier batch — possibly in a different time bucket — already
+    /// produced.
+    pub artifact_hits: u64,
+    /// Mining-artifact cache misses: the origin expansion was computed
+    /// (and, when the cache is enabled, stored for later batches).
+    pub artifact_misses: u64,
+    /// Origin artifacts dropped from the cache: LRU capacity, per-cell
+    /// aliasing bounds, or a `World` mining-state generation bump
+    /// invalidating stale entries.
+    pub artifact_evictions: u64,
     /// Crowd questions answered across all crowd-resolved requests.
     pub crowd_questions: u64,
     /// Crowd worker participations across all crowd-resolved requests.
@@ -339,6 +378,18 @@ impl StatsSnapshot {
         }
     }
 
+    /// Mining-artifact cache hit rate over all origin-artifact lookups
+    /// (how often a batch skipped the all-day origin expansion because a
+    /// recent batch already produced it).
+    pub fn artifact_hit_rate(&self) -> f64 {
+        let total = self.artifact_hits + self.artifact_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.artifact_hits as f64 / total as f64
+        }
+    }
+
     /// Share of mined ODs that went through a fused multi-OD mining
     /// call instead of a standalone generator pass.
     pub fn fused_mining_ratio(&self) -> f64 {
@@ -368,7 +419,9 @@ impl StatsSnapshot {
     /// fused-mining counters must stay within their envelopes (batched
     /// requests are a subset of all requests, fused-mined ODs a subset
     /// of all minings, and the high-water mark cannot exceed the batched
-    /// total unless nothing was batched).
+    /// total unless nothing was batched); and every artifact eviction
+    /// removed an entry some earlier miss inserted, so evictions can
+    /// never outrun misses.
     pub fn is_consistent(&self) -> bool {
         self.truth_hits + self.dedup_hits + self.resolved + self.errors == self.requests
             && self.batched_requests <= self.requests
@@ -376,6 +429,7 @@ impl StatsSnapshot {
             && self.batches <= self.batched_requests
             && self.fused_mined_ods <= self.cache_misses
             && self.fused_minings <= self.fused_mined_ods
+            && self.artifact_evictions <= self.artifact_misses
     }
 }
 
@@ -496,6 +550,32 @@ mod tests {
         // 10 minings, 5 fused into 2 passes: (10 - 5) + 2 = 7 runs.
         assert!((snap.mining_runs_per_request() - 7.0 / 20.0).abs() < 1e-12);
         assert!(snap.is_consistent());
+    }
+
+    #[test]
+    fn artifact_counters_accumulate_absorb_and_bound_evictions() {
+        let a = ServiceStats::new();
+        let b = ServiceStats::new();
+        a.inc_artifact_misses();
+        a.inc_artifact_misses();
+        a.inc_artifact_hits();
+        a.add_artifact_evictions(2);
+        b.inc_artifact_misses();
+        b.inc_artifact_hits();
+        b.inc_artifact_hits();
+        let total = ServiceStats::new();
+        total.absorb(&a);
+        total.absorb(&b);
+        let snap = total.snapshot();
+        assert_eq!(snap.artifact_hits, 3);
+        assert_eq!(snap.artifact_misses, 3);
+        assert_eq!(snap.artifact_evictions, 2);
+        assert!((snap.artifact_hit_rate() - 0.5).abs() < 1e-12);
+        assert!(snap.is_consistent());
+        // Evictions outrunning misses is a books-keeping bug.
+        let broken = ServiceStats::new();
+        broken.add_artifact_evictions(1);
+        assert!(!broken.snapshot().is_consistent());
     }
 
     #[test]

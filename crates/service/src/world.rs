@@ -17,10 +17,12 @@
 use cp_mining::CandidateGenerator;
 use cp_mining::TransferNetwork;
 use cp_mining::{
-    generate_candidates, generate_candidates_batch, CandidateRoute, LdrParams, MfpParams, MprParams,
+    generate_candidates, generate_candidates_batch, generate_candidates_multi, CandidateRoute,
+    LdrParams, MfpParams, MprParams, OriginArtifacts,
 };
 use cp_roadnet::{NodeId, RoadGraph};
 use cp_traj::{TimeOfDay, Trip};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identity of a city registered on a [`Platform`](crate::Platform).
@@ -66,6 +68,8 @@ pub struct World {
     pub mfp: MfpParams,
     /// LDR parameters.
     pub ldr: LdrParams,
+    /// Mining-state generation (see [`World::generation`]).
+    generation: AtomicU64,
 }
 
 impl World {
@@ -85,7 +89,27 @@ impl World {
             mpr: MprParams::default(),
             mfp: MfpParams::default(),
             ldr: LdrParams::default(),
+            generation: AtomicU64::new(0),
         }
+    }
+
+    /// The mining-state generation: a version counter every derived
+    /// mining cache (the serving layer's
+    /// [`MiningArtifactCache`](crate::MiningArtifactCache), notably)
+    /// tags its entries with. It starts at 0 and only moves via
+    /// [`World::bump_generation`].
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Advances the mining-state generation, invalidating every cached
+    /// artifact tagged with an older one. Call after mutating anything
+    /// candidate mining reads (miner parameters, or — once worlds learn
+    /// to ingest new trips — the trip history / transfer network), so
+    /// caches re-derive instead of serving stale expansions. Returns the
+    /// new generation.
+    pub fn bump_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// The road graph.
@@ -167,6 +191,53 @@ impl World {
             departure,
         )
     }
+
+    /// Produces candidate sets for OD queries spanning several
+    /// departure buckets — all-day artifacts once per origin, one MFP
+    /// aggregation per distinct departure. `out[i]` is byte-identical
+    /// to [`World::candidates`] over `queries[i]`; see
+    /// [`generate_candidates_multi`].
+    pub fn candidates_multi(
+        &self,
+        queries: &[(NodeId, NodeId, TimeOfDay)],
+    ) -> Vec<Vec<CandidateRoute>> {
+        generate_candidates_multi(
+            &self.graph,
+            &self.trips,
+            &self.transfer,
+            &self.mpr,
+            &self.mfp,
+            &self.ldr,
+            queries,
+        )
+    }
+
+    /// Builds the time-invariant mining artifacts for one origin (full
+    /// MPR popularity expansion + LDR locality scan, with lazy habit /
+    /// fastest / per-period memos) — the expensive expansion the
+    /// serving layer's artifact cache shares across buckets and
+    /// batches.
+    pub fn origin_artifacts(&self, origin: NodeId) -> OriginArtifacts {
+        OriginArtifacts::build(
+            &self.graph,
+            &self.trips,
+            &self.transfer,
+            &self.mpr,
+            &self.ldr,
+            origin,
+        )
+    }
+
+    /// Builds the period-filtered transfer network for `departure`
+    /// under this world's MFP half-width — the departure-dependent,
+    /// origin-independent half of candidate mining.
+    pub fn period_network(&self, departure: TimeOfDay) -> TransferNetwork {
+        TransferNetwork::build(
+            &self.graph,
+            &self.trips,
+            Some((departure, self.mfp.period_half_width)),
+        )
+    }
 }
 
 impl std::fmt::Debug for World {
@@ -218,6 +289,45 @@ mod tests {
         let fused = world.candidates_batch(&queries, dep);
         for (&(a, b), got) in queries.iter().zip(&fused) {
             let want = world.candidates(a, b, dep);
+            assert_eq!(got.len(), want.len());
+            for (x, y) in got.iter().zip(&want) {
+                assert_eq!(x.source, y.source);
+                assert_eq!(x.path, y.path);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_starts_at_zero_and_bumps_monotonically() {
+        let city = generate_city(&CityParams::small(), 7).unwrap();
+        let trips = generate_trips(&city.graph, &TripGenParams::default(), 7).unwrap();
+        let world = World::new(city.graph, trips.trips);
+        assert_eq!(world.generation(), 0);
+        assert_eq!(world.bump_generation(), 1);
+        assert_eq!(world.bump_generation(), 2);
+        assert_eq!(world.generation(), 2);
+    }
+
+    #[test]
+    fn world_artifacts_answer_like_world_candidates() {
+        let city = generate_city(&CityParams::small(), 7).unwrap();
+        let trips = generate_trips(&city.graph, &TripGenParams::default(), 7).unwrap();
+        let world = World::new(city.graph, trips.trips);
+        let dep = TimeOfDay::from_hours(8.0);
+        let art = world.origin_artifacts(NodeId(0));
+        let period = world.period_network(dep);
+        for b in [59u32, 31, 47] {
+            let got = cp_mining::candidates_from_artifacts(
+                world.graph(),
+                world.trips(),
+                &world.mfp,
+                &world.ldr,
+                &art,
+                &period,
+                NodeId(b),
+                dep,
+            );
+            let want = world.candidates(NodeId(0), NodeId(b), dep);
             assert_eq!(got.len(), want.len());
             for (x, y) in got.iter().zip(&want) {
                 assert_eq!(x.source, y.source);

@@ -19,17 +19,21 @@
 //! machine path), and the table gains desk-contention columns.
 //!
 //! With `--batch`, workers dequeue coalesced runs of requests sharing
-//! `(city, origin cell, time bucket)` and mine them fused (one
-//! transfer-network aggregation / popularity expansion per run instead
-//! of per request) — the fused-mining share and run count appear as
-//! extra columns.
+//! `(city, origin cell)` — runs span time buckets — and mine them fused
+//! (one popularity expansion / locality scan per origin, one period
+//! aggregation per bucket, reused across batches via the per-city
+//! `MiningArtifactCache`) — the fused-mining share, artifact-cache hit
+//! rate and run count appear as extra columns. `--adaptive` batches
+//! with the self-tuning collection window instead of the fixed one
+//! (the chosen-delay column shows where the controller settled).
 //!
 //! Run with:
 //!
 //! ```sh
-//! cargo run --release --example serve_city            # machine-only
-//! cargo run --release --example serve_city -- --crowd # crowd-backed
-//! cargo run --release --example serve_city -- --batch # + coalescing
+//! cargo run --release --example serve_city               # machine-only
+//! cargo run --release --example serve_city -- --crowd    # crowd-backed
+//! cargo run --release --example serve_city -- --batch    # + coalescing
+//! cargo run --release --example serve_city -- --adaptive # + self-tuning window
 //! ```
 
 use cp_service::{
@@ -60,7 +64,8 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 
 fn main() {
     let crowd = std::env::args().any(|a| a == "--crowd");
-    let batch = std::env::args().any(|a| a == "--batch");
+    let adaptive = std::env::args().any(|a| a == "--adaptive");
+    let batch = adaptive || std::env::args().any(|a| a == "--batch");
     let t0 = Instant::now();
     println!("building worlds (Medium metro + Small satellite)…");
     let metro = SimWorld::build(Scale::Medium, 42).expect("metro world");
@@ -89,7 +94,7 @@ fn main() {
         }
     );
     println!(
-        "{:>7}  {:>8}  {:>8}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>6}  {:>6}  {:>9}  {:>7}",
+        "{:>7}  {:>8}  {:>8}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>6}  {:>7}  {:>6}  {:>8}  {:>9}  {:>7}",
         "req/s",
         "offered",
         "served",
@@ -100,7 +105,9 @@ fn main() {
         "max",
         "truth-hit",
         "fused%",
+        "art-hit%",
         "runs",
+        "delay",
         "quota-rej",
         "starved"
     );
@@ -120,7 +127,13 @@ fn main() {
             workers,
             queue_capacity: 512,
             maintenance: None,
-            batch: batch.then(BatchConfig::default),
+            batch: batch.then(|| {
+                if adaptive {
+                    BatchConfig::adaptive(16, Duration::from_millis(2))
+                } else {
+                    BatchConfig::default()
+                }
+            }),
         });
         let register = |sim: &SimWorld, world: &std::sync::Arc<cp_service::World>, seed: u64| {
             if crowd {
@@ -208,7 +221,7 @@ fn main() {
         assert!(agg.is_consistent(), "admission accounting must balance");
         let truth_rate = agg.aggregate.truth_hit_rate();
         println!(
-            "{rate:>7.0}  {offered:>8}  {:>8}  {:>5.1}%  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>8.1}%  {:>5.1}%  {:>6}  {:>9}  {:>7}",
+            "{rate:>7.0}  {offered:>8}  {:>8}  {:>5.1}%  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>8.1}%  {:>5.1}%  {:>6.1}%  {:>6}  {:>8.0?}  {:>9}  {:>7}",
             latencies.len(),
             100.0 * shed as f64 / offered.max(1) as f64,
             percentile(&latencies, 0.50),
@@ -217,7 +230,9 @@ fn main() {
             latencies.last().copied().unwrap_or(Duration::ZERO),
             100.0 * truth_rate,
             100.0 * agg.aggregate.fused_mining_ratio(),
+            100.0 * agg.aggregate.artifact_hit_rate(),
             agg.batch_runs,
+            agg.batch_delay,
             agg.aggregate.crowd_quota_rejections,
             agg.aggregate.crowd_starved,
         );

@@ -1,10 +1,13 @@
-//! Batch-equivalence property test (the PR's acceptance bar): under
+//! Batch-equivalence property tests (the PR's acceptance bar): under
 //! `strict_deterministic` geometry and the pure `MachineResolver`,
 //! serving a hot-spot request batch through the fused
 //! `RouteService::serve_coalesced` path must produce **byte-identical
 //! routes and truth-store contents** to serving the same requests one
-//! at a time — across batch sizes 1..32, and through the batching
-//! `Platform` dispatcher at multiple worker counts.
+//! at a time — across batch sizes 1..32, through the batching
+//! `Platform` dispatcher at multiple worker counts, and — the PR-5
+//! additions — with cross-bucket fusion, a **warm cross-batch
+//! `MiningArtifactCache`** (including a mid-stream mining-state
+//! generation bump) and the **adaptive** dispatch window.
 
 use cp_service::{
     BatchConfig, MachineResolver, Platform, PlatformConfig, Request, RouteService, ServiceConfig,
@@ -146,10 +149,7 @@ proptest! {
                 workers,
                 queue_capacity: 64,
                 maintenance: None,
-                batch: Some(BatchConfig {
-                    max_batch: 8,
-                    max_delay: Duration::from_millis(2),
-                }),
+                batch: Some(BatchConfig::fixed(8, Duration::from_millis(2))),
             });
             let id = platform.register_city(
                 Arc::clone(&sw),
@@ -176,6 +176,103 @@ proptest! {
                 snap.batched_requests + snap.unbatched_requests,
                 requests.len() as u64
             );
+            prop_assert!(snap.aggregate.is_consistent(), "{:?}", snap.aggregate);
+            platform.shutdown();
+        }
+    }
+
+    /// Cross-bucket fusion over a warm cross-batch artifact cache stays
+    /// byte-identical to sequential serving: the request stream is split
+    /// into several coalesced batches served on ONE service (so later
+    /// batches hit artifacts earlier batches cached), with a mining-
+    /// state generation bump between two of them (cached artifacts must
+    /// invalidate, not corrupt).
+    #[test]
+    fn warm_artifact_cache_with_generation_bump_is_byte_identical(
+        picks in proptest::collection::vec((0usize..2, 0usize..12, 0usize..3), 2..32),
+        split in 1usize..31,
+        bump_first in any::<bool>(),
+    ) {
+        let requests = requests_from(&picks);
+        if requests.len() < 2 {
+            return Ok(());
+        }
+        let (baseline, expected) = sequential_baseline(&requests);
+
+        let sw = sim().service_world();
+        let cfg = ServiceConfig::strict_deterministic();
+        let service = RouteService::new(Arc::clone(&sw), cfg.clone());
+        let mut resolver = MachineResolver::new(sw.graph_arc(), cfg.core);
+        let cut = split % (requests.len() - 1) + 1;
+        let (first, second) = requests.split_at(cut);
+        let mut results = service.serve_coalesced(first, &mut resolver);
+        if bump_first {
+            // Invalidate every cached artifact mid-stream; the second
+            // batch must rebuild (and still match the baseline).
+            sw.bump_generation();
+        }
+        results.extend(service.serve_coalesced(second, &mut resolver));
+        prop_assert_eq!(results.len(), requests.len());
+        for (i, res) in results.iter().enumerate() {
+            let served = res.as_ref().expect("batched request must succeed");
+            prop_assert_eq!(&served.path, &expected[i], "request {}", i);
+        }
+        let snap = service.stats();
+        prop_assert!(snap.is_consistent(), "{:?}", snap);
+        prop_assert!(
+            snap.artifact_hits + snap.artifact_misses >= 1,
+            "mining must flow through the artifact cache: {:?}", snap
+        );
+        if bump_first {
+            prop_assert_eq!(snap.artifact_hits, 0,
+                "a bumped generation admits no stale hit");
+        }
+        assert_same_truths(&baseline, &service, &requests)?;
+    }
+
+    /// The adaptive dispatcher (cell-keyed runs spanning time buckets,
+    /// controller moving the window) serves byte-identical routes at 1
+    /// and 4 workers.
+    #[test]
+    fn adaptive_platform_is_byte_identical_to_sequential(
+        picks in proptest::collection::vec((0usize..2, 0usize..12, 0usize..3), 1..32),
+    ) {
+        let requests = requests_from(&picks);
+        if requests.is_empty() {
+            return Ok(());
+        }
+        let (_, expected) = sequential_baseline(&requests);
+        let sw = sim().service_world();
+        for workers in [1usize, 4] {
+            let platform = Platform::start(PlatformConfig {
+                workers,
+                queue_capacity: 64,
+                maintenance: None,
+                batch: Some(BatchConfig::adaptive(8, Duration::from_millis(2))),
+            });
+            let id = platform.register_city(
+                Arc::clone(&sw),
+                ServiceConfig::strict_deterministic(),
+            );
+            let tickets: Vec<Ticket> = requests
+                .iter()
+                .map(|&r| {
+                    let mut req = r;
+                    req.city = id;
+                    platform.submit_blocking(req).expect("admitted")
+                })
+                .collect();
+            for (i, ticket) in tickets.into_iter().enumerate() {
+                let served = ticket.wait().expect("served");
+                prop_assert_eq!(
+                    &served.path, &expected[i],
+                    "workers {}, request {}", workers, i
+                );
+            }
+            let snap = platform.stats();
+            prop_assert!(snap.is_consistent(), "{:?}", snap);
+            prop_assert!(snap.batch_adaptive);
+            prop_assert!(snap.batch_delay <= snap.batch_delay_ceiling);
             prop_assert!(snap.aggregate.is_consistent(), "{:?}", snap.aggregate);
             platform.shutdown();
         }
