@@ -32,7 +32,8 @@
 //! ```
 
 use cp_service::{
-    BatchConfig, Platform, PlatformConfig, PlatformSnapshot, Request, ServiceConfig, Ticket,
+    BatchConfig, LockSite, Platform, PlatformConfig, PlatformSnapshot, Request, ServiceConfig,
+    Stage, Ticket, TraceConfig,
 };
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
@@ -48,6 +49,10 @@ struct Args {
     origins: usize,
     dests: usize,
     out: String,
+    /// Worker counts for the traced scaling sweep.
+    sweep_workers: Vec<usize>,
+    /// Where the sweep's sampled trace report lands.
+    trace_out: String,
 }
 
 impl Default for Args {
@@ -64,6 +69,8 @@ impl Default for Args {
             origins: 4,
             dests: 200,
             out: "BENCH_serve.json".to_string(),
+            sweep_workers: vec![1, 2, 4, 8, 16],
+            trace_out: "TRACE_report.json".to_string(),
         }
     }
 }
@@ -90,6 +97,13 @@ fn parse_args() -> Args {
             "--origins" => args.origins = value().parse().expect("--origins K"),
             "--dests" => args.dests = value().parse().expect("--dests M"),
             "--out" => args.out = value(),
+            "--sweep-workers" => {
+                args.sweep_workers = value()
+                    .split(',')
+                    .map(|w| w.trim().parse().expect("--sweep-workers N,N,..."))
+                    .collect();
+            }
+            "--trace-out" => args.trace_out = value(),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -151,6 +165,13 @@ struct ModeReport {
     p95: Duration,
     p99: Duration,
     max: Duration,
+    /// Sum of every ticket's submit→completion sojourn (the budget the
+    /// per-stage attribution must fit inside).
+    sum_sojourn: Duration,
+    /// Sampled complete traces retained at run end (0 unless traced).
+    sampled_traces: usize,
+    /// The run's trace-report JSON (`None` unless traced).
+    trace_json: Option<String>,
     snap: PlatformSnapshot,
 }
 
@@ -165,6 +186,7 @@ fn run_mode(
     rate: f64,
     workers: usize,
     mode: Mode,
+    trace: TraceConfig,
 ) -> ModeReport {
     let platform = Platform::start(PlatformConfig {
         workers,
@@ -176,6 +198,7 @@ fn run_mode(
     // makes the miss path (the thing coalescing fuses) the measured
     // cost instead of the default geometry's nearby-truth aliasing.
     let mut cfg = ServiceConfig::strict_deterministic();
+    cfg.trace = trace;
     if mode == Mode::StaticNoReuse {
         cfg.artifact_cache_origins = 0;
     }
@@ -227,6 +250,12 @@ fn run_mode(
         snap.aggregate.is_consistent(),
         "city accounting must balance"
     );
+    let (sampled_traces, trace_json) = if trace.enabled() {
+        let report = platform.trace_report();
+        (report.total_traces(), Some(report.to_json()))
+    } else {
+        (0, None)
+    };
     let report = ModeReport {
         label: mode.label(),
         batching: mode.batch().is_some(),
@@ -238,10 +267,89 @@ fn run_mode(
         p95: percentile(&latencies, 0.95),
         p99: percentile(&latencies, 0.99),
         max: latencies.last().copied().unwrap_or(Duration::ZERO),
+        sum_sojourn: latencies.iter().sum(),
+        sampled_traces,
+        trace_json,
         snap,
     };
     platform.shutdown();
     report
+}
+
+/// One traced worker-sweep row's JSON: throughput, the per-stage
+/// attribution (count/total/p50/p95 per non-empty stage), the lock-wait
+/// summary and how much of the end-to-end sojourn the disjoint spans
+/// explain (`coverage` ≤ 1 by construction).
+fn sweep_json(r: &ModeReport, workers: usize) -> String {
+    let stats = &r.snap.aggregate;
+    let attributed: Duration = stats.stages.iter().map(|s| s.total).sum();
+    let coverage = attributed.as_secs_f64() / r.sum_sojourn.as_secs_f64().max(1e-12);
+    let stages: Vec<String> = Stage::ALL
+        .iter()
+        .filter_map(|&stage| {
+            let s = &stats.stages[stage.index()];
+            (s.count > 0).then(|| {
+                format!(
+                    "{{ \"stage\": \"{}\", \"count\": {}, \"total_us\": {}, \
+                     \"p50_us\": {}, \"p95_us\": {} }}",
+                    stage.name(),
+                    s.count,
+                    s.total.as_micros(),
+                    s.p50.as_micros(),
+                    s.p95.as_micros()
+                )
+            })
+        })
+        .collect();
+    let locks: Vec<String> = LockSite::ALL
+        .iter()
+        .filter_map(|&site| {
+            let l = &stats.locks[site.index()];
+            (l.waits > 0).then(|| {
+                format!(
+                    "{{ \"site\": \"{}\", \"waits\": {}, \"wait_us\": {} }}",
+                    site.name(),
+                    l.waits,
+                    l.wait.as_micros()
+                )
+            })
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "      \"workers\": {},\n",
+            "      \"served\": {},\n",
+            "      \"req_per_s\": {:.1},\n",
+            "      \"sojourn_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }},\n",
+            "      \"sum_sojourn_s\": {:.4},\n",
+            "      \"attributed_s\": {:.4},\n",
+            "      \"coverage\": {:.4},\n",
+            "      \"lock_wait_s\": {:.6},\n",
+            "      \"sampled_traces\": {},\n",
+            "      \"stages\": [{}],\n",
+            "      \"locks\": [{}]\n",
+            "    }}"
+        ),
+        workers,
+        r.served,
+        r.served_per_s,
+        r.p50.as_micros(),
+        r.p95.as_micros(),
+        r.p99.as_micros(),
+        r.sum_sojourn.as_secs_f64(),
+        attributed.as_secs_f64(),
+        coverage,
+        stats
+            .locks
+            .iter()
+            .map(|l| l.wait)
+            .sum::<Duration>()
+            .as_secs_f64(),
+        r.sampled_traces,
+        stages.join(", "),
+        locks.join(", "),
+    )
 }
 
 fn mode_json(r: &ModeReport) -> String {
@@ -375,9 +483,23 @@ fn main() {
 
     println!("firehose (service capacity):");
     let adaptive_ceiling = Duration::from_millis(2);
-    let off = run_mode(&world, &sequence, args.rate, workers, Mode::Off);
+    let off = run_mode(
+        &world,
+        &sequence,
+        args.rate,
+        workers,
+        Mode::Off,
+        TraceConfig::Off,
+    );
     print_report(&off);
-    let noreuse = run_mode(&world, &sequence, args.rate, workers, Mode::StaticNoReuse);
+    let noreuse = run_mode(
+        &world,
+        &sequence,
+        args.rate,
+        workers,
+        Mode::StaticNoReuse,
+        TraceConfig::Off,
+    );
     print_report(&noreuse);
     let fixed = run_mode(
         &world,
@@ -385,6 +507,7 @@ fn main() {
         args.rate,
         workers,
         Mode::Static(Duration::ZERO),
+        TraceConfig::Off,
     );
     print_report(&fixed);
     let adaptive = run_mode(
@@ -393,6 +516,7 @@ fn main() {
         args.rate,
         workers,
         Mode::Adaptive(adaptive_ceiling),
+        TraceConfig::Off,
     );
     print_report(&adaptive);
 
@@ -415,17 +539,94 @@ fn main() {
     ]
     .into_iter()
     .map(|mode| {
-        let r = run_mode(&world, &sequence, args.moderate_rate, workers, mode);
+        let r = run_mode(
+            &world,
+            &sequence,
+            args.moderate_rate,
+            workers,
+            mode,
+            TraceConfig::Off,
+        );
         print_report(&r);
         r
     })
     .collect();
+
+    // Traced worker sweep: the same firehose workload at each worker
+    // count, with sampled span tracing on, so the JSON carries a
+    // per-stage attribution of where the scaling ceiling actually is.
+    println!(
+        "worker sweep (adaptive, traced, {:?} workers):",
+        args.sweep_workers
+    );
+    let sweep: Vec<(usize, ModeReport)> = args
+        .sweep_workers
+        .iter()
+        .map(|&w| {
+            let r = run_mode(
+                &world,
+                &sequence,
+                args.rate,
+                w,
+                Mode::Adaptive(adaptive_ceiling),
+                TraceConfig::sampled(64, 64),
+            );
+            let stats = &r.snap.aggregate;
+            let attributed: Duration = stats.stages.iter().map(|s| s.total).sum();
+            // Disjoint spans live inside call windows that are
+            // themselves inside ticket sojourns, so the attribution can
+            // never exceed what the load generator observed end to end.
+            assert!(
+                attributed <= r.sum_sojourn,
+                "attribution ({attributed:?}) must fit inside the total \
+                 sojourn ({:?})",
+                r.sum_sojourn
+            );
+            assert!(
+                r.sampled_traces >= 1,
+                "the sweep must retain at least one complete trace"
+            );
+            let mut top: Vec<(Stage, Duration)> = Stage::ALL
+                .iter()
+                .map(|&s| (s, stats.stages[s.index()].total))
+                .collect();
+            top.sort_by_key(|&(_, total)| std::cmp::Reverse(total));
+            let lock_wait: Duration = stats.locks.iter().map(|l| l.wait).sum();
+            println!(
+                "  {:>2} workers: {:>9.1} req/s  p95 {:>8.2?}  span-coverage {:>5.1}%  \
+                 lock-wait {:>8.2?}  top [{} {:.0}%, {} {:.0}%, {} {:.0}%]",
+                w,
+                r.served_per_s,
+                r.p95,
+                100.0 * attributed.as_secs_f64() / r.sum_sojourn.as_secs_f64().max(1e-12),
+                lock_wait,
+                top[0].0.name(),
+                100.0 * top[0].1.as_secs_f64() / attributed.as_secs_f64().max(1e-12),
+                top[1].0.name(),
+                100.0 * top[1].1.as_secs_f64() / attributed.as_secs_f64().max(1e-12),
+                top[2].0.name(),
+                100.0 * top[2].1.as_secs_f64() / attributed.as_secs_f64().max(1e-12),
+            );
+            (w, r)
+        })
+        .collect();
+    if let Some((_, last)) = sweep.last() {
+        let trace_json = last.trace_json.as_deref().expect("traced sweep run");
+        std::fs::write(&args.trace_out, trace_json).expect("writing the trace report");
+        println!(
+            "  wrote {} ({} sampled traces at {} workers)",
+            args.trace_out,
+            last.sampled_traces,
+            sweep.last().map(|(w, _)| *w).unwrap_or(0),
+        );
+    }
 
     let firehose_json: Vec<String> = [&off, &noreuse, &fixed, &adaptive]
         .into_iter()
         .map(mode_json)
         .collect();
     let moderate_json: Vec<String> = moderate.iter().map(mode_json).collect();
+    let sweep_rows: Vec<String> = sweep.iter().map(|(w, r)| sweep_json(r, *w)).collect();
     let json = format!(
         concat!(
             "{{\n",
@@ -441,6 +642,7 @@ fn main() {
             "  \"departure_buckets\": 3,\n",
             "  \"modes\": [\n    {}\n  ],\n",
             "  \"moderate\": [\n    {}\n  ],\n",
+            "  \"worker_sweep\": [\n    {}\n  ],\n",
             "  \"speedup_req_per_s\": {:.4},\n",
             "  \"adaptive_over_static_req_per_s\": {:.4},\n",
             "  \"adaptive_over_noreuse_req_per_s\": {:.4},\n",
@@ -456,6 +658,7 @@ fn main() {
         args.dests,
         firehose_json.join(",\n    "),
         moderate_json.join(",\n    "),
+        sweep_rows.join(",\n    "),
         speedup,
         adaptive_over_static,
         adaptive_over_noreuse,

@@ -32,6 +32,7 @@
 
 use crate::cache::Lru;
 use crate::stats::ServiceStats;
+use crate::trace::LockStats;
 use crate::world::World;
 use cp_mining::{OriginArtifacts, TransferNetwork};
 use cp_roadnet::NodeId;
@@ -69,6 +70,9 @@ pub struct MiningArtifactCache {
     origins: Mutex<Lru<(i32, i32), CellSlot>>,
     periods: Mutex<Lru<u64, PeriodEntry>>,
     enabled: bool,
+    /// Contention counters pooled over both cache mutexes (disabled
+    /// unless the owning service traces).
+    locks: LockStats,
 }
 
 impl MiningArtifactCache {
@@ -81,12 +85,20 @@ impl MiningArtifactCache {
             origins: Mutex::new(Lru::new(origin_capacity.max(1))),
             periods: Mutex::new(Lru::new(PERIOD_CAPACITY)),
             enabled: origin_capacity > 0,
+            locks: LockStats::new(),
         }
     }
 
     /// Whether cross-batch reuse is on.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Contention counters over the origin/period cache mutexes.
+    /// Disabled by default; the owning service enables them when it
+    /// traces.
+    pub fn lock_stats(&self) -> &LockStats {
+        &self.locks
     }
 
     /// The artifacts for `origin` (living in grid cell `cell`) at the
@@ -102,7 +114,7 @@ impl MiningArtifactCache {
     ) -> Arc<OriginArtifacts> {
         let generation = world.generation();
         if self.enabled {
-            let mut cache = self.origins.lock().expect("artifact cache poisoned");
+            let mut cache = self.locks.lock(&self.origins);
             if let Some(slot) = cache.get(&cell) {
                 if let Some((_, _, art)) = slot
                     .entries
@@ -123,7 +135,7 @@ impl MiningArtifactCache {
         // but caching it would evict a fresher entry a faster worker
         // may have inserted at the new generation.
         if self.enabled && world.generation() == generation {
-            let mut cache = self.origins.lock().expect("artifact cache poisoned");
+            let mut cache = self.locks.lock(&self.origins);
             let mut slot = cache.get(&cell).cloned().unwrap_or_default();
             // Only an *older*-generation entry is superseded; a same-
             // generation entry means another worker raced us in
@@ -167,7 +179,7 @@ impl MiningArtifactCache {
         let generation = world.generation();
         let bits = departure.0.to_bits();
         if self.enabled {
-            let mut cache = self.periods.lock().expect("period cache poisoned");
+            let mut cache = self.locks.lock(&self.periods);
             if let Some(entry) = cache.get(&bits) {
                 if entry.generation == generation {
                     return Arc::clone(&entry.network);
@@ -176,7 +188,7 @@ impl MiningArtifactCache {
         }
         let built = Arc::new(world.period_network(departure));
         if self.enabled {
-            self.periods.lock().expect("period cache poisoned").insert(
+            self.locks.lock(&self.periods).insert(
                 bits,
                 PeriodEntry {
                     generation,

@@ -39,9 +39,10 @@ use crate::artifacts::MiningArtifactCache;
 use crate::cache::Lru;
 use crate::error::ServiceError;
 use crate::resolver::Resolver;
-use crate::singleflight::{FlightTable, Join, JoinNow};
+use crate::singleflight::{FlightTable, JoinNow};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use crate::store::ShardedTruthStore;
+use crate::trace::{CallTrace, LockSite, LockStats, LockSummary, SpanRecorder, Stage, TraceConfig};
 use crate::world::{CityId, World};
 use cp_core::{Config, Resolution, TruthEntry, DEFAULT_CELL_M};
 use cp_mining::CandidateRoute;
@@ -175,6 +176,10 @@ pub struct ServiceConfig {
     /// Resolve at the bucket's canonical (mid-bucket) departure time, so
     /// all requests in one bucket are identical work.
     pub canonicalize_departure: bool,
+    /// Span-level tracing: off (default, near-zero cost), per-stage
+    /// counters, or counters plus sampled complete request traces. See
+    /// [`TraceConfig`].
+    pub trace: TraceConfig,
     /// Planner thresholds (reuse radius/window, agreement, etc.).
     pub core: Config,
 }
@@ -191,6 +196,7 @@ impl Default for ServiceConfig {
             cell_m: DEFAULT_CELL_M,
             time_bucket_s: 900.0,
             canonicalize_departure: true,
+            trace: TraceConfig::Off,
             core: Config::default(),
         }
     }
@@ -229,14 +235,48 @@ struct CachedCandidates {
 /// Cache key: origin cell, destination cell, time bucket.
 type CacheKey = (i32, i32, i32, i32, u32);
 
+/// Classifies a resolve success for stage attribution: crowd-involved
+/// resolutions (including quota-starved fallbacks) are crowd time.
+fn resolve_stage_ok(resolved: &crate::resolver::Resolved) -> Stage {
+    if resolved.crowd.is_some() {
+        Stage::ResolveCrowd
+    } else {
+        Stage::ResolveMachine
+    }
+}
+
+/// Classifies a resolve failure: strict-shedding quota starvation is
+/// crowd-path time, anything else machine-path time.
+fn resolve_stage_err(e: &ServiceError) -> Stage {
+    if matches!(e, ServiceError::CrowdStarved { .. }) {
+        Stage::ResolveCrowd
+    } else {
+        Stage::ResolveMachine
+    }
+}
+
+/// The outcome label a sampled trace carries for its seed request.
+fn outcome_label(out: &Result<ServedRoute, ServiceError>) -> &'static str {
+    match out {
+        Ok(s) => match s.served {
+            Served::TruthHit => "truth_hit",
+            Served::Deduplicated => "dedup",
+            Served::Resolved(_) => "resolved",
+        },
+        Err(_) => "error",
+    }
+}
+
 /// The concurrent serving front-end over one owned city world.
 pub struct RouteService {
     world: Arc<World>,
     truths: ShardedTruthStore,
     cache: Mutex<Lru<CacheKey, CachedCandidates>>,
+    cache_locks: LockStats,
     artifacts: MiningArtifactCache,
     flights: FlightTable<RequestKey, ServedRoute>,
     stats: ServiceStats,
+    tracer: SpanRecorder,
     cfg: ServiceConfig,
 }
 
@@ -247,16 +287,42 @@ impl RouteService {
         // bucket count stays sane); any geometry is correct, this one is
         // fast for the configured window.
         let truth_bucket_s = cfg.core.reuse_time_window.clamp(60.0, TimeOfDay::DAY);
-        RouteService {
+        let service = RouteService {
             world,
             truths: ShardedTruthStore::new(cfg.shards, cfg.cell_m, truth_bucket_s)
                 .with_per_shard_cap(cfg.truth_cap_per_shard),
             cache: Mutex::new(Lru::new(cfg.cache_capacity)),
+            cache_locks: LockStats::new(),
             artifacts: MiningArtifactCache::new(cfg.artifact_cache_origins),
             flights: FlightTable::new(),
             stats: ServiceStats::new(),
+            tracer: SpanRecorder::new(cfg.trace),
             cfg,
+        };
+        if service.cfg.trace.enabled() {
+            service.cache_locks.set_enabled(true);
+            service.truths.lock_stats().set_enabled(true);
+            service.artifacts.lock_stats().set_enabled(true);
+            service.flights.lock_stats().set_enabled(true);
         }
+        service
+    }
+
+    /// The service's span recorder: tracing configuration and (under
+    /// sampled tracing) the retained complete request traces.
+    pub fn tracer(&self) -> &SpanRecorder {
+        &self.tracer
+    }
+
+    /// Per-site lock-contention summaries from the owning primitives
+    /// (the ingress site belongs to the platform and stays zero here).
+    pub(crate) fn lock_summaries(&self) -> [LockSummary; LockSite::COUNT] {
+        let mut locks = [LockSummary::default(); LockSite::COUNT];
+        locks[LockSite::TruthShards.index()] = self.truths.lock_stats().summary();
+        locks[LockSite::CandidateCache.index()] = self.cache_locks.summary();
+        locks[LockSite::ArtifactCache.index()] = self.artifacts.lock_stats().summary();
+        locks[LockSite::FlightTable.index()] = self.flights.lock_stats().summary();
+        locks
     }
 
     /// The configuration.
@@ -305,6 +371,7 @@ impl RouteService {
     pub fn stats(&self) -> StatsSnapshot {
         let mut snap = self.stats.snapshot();
         snap.truth_evictions = self.truths.evicted();
+        snap.locks = self.lock_summaries();
         snap
     }
 
@@ -368,7 +435,7 @@ impl RouteService {
         let (ox, oy) = self.cell_of(from);
         let (dx, dy) = self.cell_of(to);
         let key: CacheKey = (ox, oy, dx, dy, bucket);
-        let mut cache = self.cache.lock().expect("candidate cache poisoned");
+        let mut cache = self.cache_locks.lock(&self.cache);
         let slot = cache.get(&key)?;
         slot.entries
             .iter()
@@ -383,7 +450,7 @@ impl RouteService {
         let (ox, oy) = self.cell_of(from);
         let (dx, dy) = self.cell_of(to);
         let key: CacheKey = (ox, oy, dx, dy, bucket);
-        let mut cache = self.cache.lock().expect("candidate cache poisoned");
+        let mut cache = self.cache_locks.lock(&self.cache);
         let mut slot = cache.get(&key).cloned().unwrap_or_default();
         if !slot.entries.iter().any(|(f, t, _)| *f == from && *t == to) {
             if slot.entries.len() >= self.cfg.cache_ods_per_key.max(1) {
@@ -398,19 +465,57 @@ impl RouteService {
     /// Fetches the candidate set for a request from the LRU, mining on a
     /// miss. The lock is held only around map operations, never while
     /// mining.
+    ///
+    /// A miss mines through the warm [`MiningArtifactCache`] — the
+    /// same artifact-backed generator the coalesced batch path uses
+    /// (byte-identical output to the targeted per-request miners, as
+    /// the batch-equivalence proptests keep proving) — so a lone
+    /// request reuses the ~warm all-day origin expansions batches keep
+    /// hot instead of redoing them. With the artifact cache disabled
+    /// the targeted miners remain (exhaustive expansions used once
+    /// would be pure waste).
     fn candidates_for(
         &self,
         from: NodeId,
         to: NodeId,
         bucket: u32,
         departure: TimeOfDay,
+        tr: &mut CallTrace<'_>,
     ) -> Arc<Vec<CandidateRoute>> {
-        if let Some(candidates) = self.cache_lookup(from, to, bucket) {
+        let hit = {
+            let _s = tr.span(Stage::CacheLookup);
+            self.cache_lookup(from, to, bucket)
+        };
+        if let Some(candidates) = hit {
             self.stats.inc_cache_hits();
             return candidates;
         }
         self.stats.inc_cache_misses();
-        let mined = Arc::new(self.world.candidates(from, to, departure));
+        let mined = if self.artifacts.is_enabled() {
+            let art = {
+                let _s = tr.span(Stage::ArtifactFetch);
+                self.artifacts
+                    .origin_artifacts(&self.world, self.cell_of(from), from, &self.stats)
+            };
+            let period = {
+                let _s = tr.span(Stage::ArtifactFetch);
+                self.artifacts.period_network(&self.world, departure)
+            };
+            let _s = tr.span(Stage::Mining);
+            Arc::new(cp_mining::candidates_from_artifacts(
+                self.world.graph(),
+                self.world.trips(),
+                &self.world.mfp,
+                &self.world.ldr,
+                &art,
+                &period,
+                to,
+                departure,
+            ))
+        } else {
+            let _s = tr.span(Stage::Mining);
+            Arc::new(self.world.candidates(from, to, departure))
+        };
         self.cache_fill(from, to, bucket, &mined);
         mined
     }
@@ -424,11 +529,22 @@ impl RouteService {
     ) -> Result<ServedRoute, ServiceError> {
         let t0 = Instant::now();
         self.stats.inc_requests();
-        let out = self.handle_inner(req, resolver);
+        let mut tr = self.tracer.call(&self.stats);
+        let out = self.handle_inner(req, resolver, &mut tr);
         if out.is_err() {
             self.stats.inc_errors();
         }
-        self.stats.record_latency(t0.elapsed());
+        let elapsed = t0.elapsed();
+        self.stats.record_latency(elapsed);
+        self.tracer.finish(
+            tr,
+            req.from,
+            req.to,
+            req.departure,
+            1,
+            outcome_label(&out),
+            elapsed,
+        );
         out
     }
 
@@ -436,15 +552,18 @@ impl RouteService {
         &self,
         req: Request,
         resolver: &mut R,
+        tr: &mut CallTrace<'_>,
     ) -> Result<ServedRoute, ServiceError> {
         let departure = self.canonical_departure(&req);
         let graph = self.world.graph();
 
         // 1. Shared verified truth.
-        if let Some(hit) = self
-            .truths
-            .lookup(graph, req.from, req.to, departure, &self.cfg.core)
-        {
+        let hit = {
+            let _s = tr.span(Stage::TruthLookup);
+            self.truths
+                .lookup(graph, req.from, req.to, departure, &self.cfg.core)
+        };
+        if let Some(hit) = hit {
             self.stats.inc_truth_hits();
             return Ok(ServedRoute {
                 path: hit.path,
@@ -453,25 +572,37 @@ impl RouteService {
             });
         }
 
-        // 2. Collapse identical in-flight work.
-        match self.flights.join(self.key_of(&req)) {
-            Join::Follower(Some(mut shared)) => {
-                self.stats.inc_dedup_hits();
-                shared.served = Served::Deduplicated;
-                Ok(shared)
+        // 2. Collapse identical in-flight work. (`join_deferred` +
+        // `wait` is exactly `join`, unrolled so the follower's block on
+        // the leader can be attributed to the FlightWait stage.)
+        match self.flights.join_deferred(self.key_of(&req)) {
+            JoinNow::Watch(watch) => {
+                let shared = {
+                    let _s = tr.span(Stage::FlightWait);
+                    watch.wait()
+                };
+                match shared {
+                    Some(mut shared) => {
+                        self.stats.inc_dedup_hits();
+                        shared.served = Served::Deduplicated;
+                        Ok(shared)
+                    }
+                    None => Err(ServiceError::LeaderFailed),
+                }
             }
-            Join::Follower(None) => Err(ServiceError::LeaderFailed),
-            Join::Leader(token) => {
+            JoinNow::Leader(token) => {
                 // Double-check the truth store: this thread may have
                 // missed step 1, then become leader of a *new* flight
                 // after the previous identical flight completed. The old
                 // leader's truth insert precedes its flight retirement,
                 // so the truth is guaranteed visible here — without this
                 // re-check a key could resolve twice.
-                if let Some(hit) =
+                let hit = {
+                    let _s = tr.span(Stage::TruthLookup);
                     self.truths
                         .lookup(graph, req.from, req.to, departure, &self.cfg.core)
-                {
+                };
+                if let Some(hit) = hit {
                     self.stats.inc_truth_hits();
                     let served = ServedRoute {
                         path: hit.path,
@@ -482,13 +613,25 @@ impl RouteService {
                     return Ok(served);
                 }
                 // 3. Candidate cache; 4. resolution.
-                let candidates =
-                    self.candidates_for(req.from, req.to, self.bucket_of(req.departure), departure);
+                let candidates = self.candidates_for(
+                    req.from,
+                    req.to,
+                    self.bucket_of(req.departure),
+                    departure,
+                    tr,
+                );
                 // An early return drops the token, which publishes the
-                // failure to any followers.
+                // failure to any followers. The resolve stage (machine
+                // vs crowd) is only known afterwards, so it is timed
+                // manually instead of with a scoped span.
+                let r0 = tr.clock();
                 let resolved = match resolver.resolve(req.from, req.to, departure, &candidates) {
-                    Ok(resolved) => resolved,
+                    Ok(resolved) => {
+                        tr.record(resolve_stage_ok(&resolved), r0);
+                        resolved
+                    }
                     Err(e) => {
+                        tr.record(resolve_stage_err(&e), r0);
                         // Strict-shedding starvation serves no route but
                         // must still surface in the crowd counters.
                         if let ServiceError::CrowdStarved { quota_rejections } = e {
@@ -516,6 +659,7 @@ impl RouteService {
                 // reach the crowd once capacity frees up (mirroring the
                 // planner's own no-record rule for starvation).
                 if !starved {
+                    let _s = tr.span(Stage::Commit);
                     self.truths.insert(
                         graph,
                         TruthEntry {
@@ -592,6 +736,7 @@ impl RouteService {
         for _ in requests {
             self.stats.inc_requests();
         }
+        let mut tr = self.tracer.call(&self.stats);
         let graph = self.world.graph();
         let mut results: Vec<Option<Result<ServedRoute, ServiceError>>> =
             requests.iter().map(|_| None).collect();
@@ -599,10 +744,12 @@ impl RouteService {
         // 1. One truth pre-pass over the whole batch.
         for (i, req) in requests.iter().enumerate() {
             let departure = self.canonical_departure(req);
-            if let Some(hit) =
+            let hit = {
+                let _s = tr.span(Stage::TruthLookup);
                 self.truths
                     .lookup(graph, req.from, req.to, departure, &self.cfg.core)
-            {
+            };
+            if let Some(hit) = hit {
                 self.stats.inc_truth_hits();
                 results[i] = Some(Ok(ServedRoute {
                     path: hit.path,
@@ -649,10 +796,12 @@ impl RouteService {
                     // between the pre-pass and leadership.
                     let req = &requests[members[0]];
                     let departure = self.canonical_departure(req);
-                    if let Some(hit) =
+                    let hit = {
+                        let _s = tr.span(Stage::TruthLookup);
                         self.truths
                             .lookup(graph, req.from, req.to, departure, &self.cfg.core)
-                    {
+                    };
+                    if let Some(hit) = hit {
                         let served = ServedRoute {
                             path: hit.path,
                             served: Served::TruthHit,
@@ -680,7 +829,11 @@ impl RouteService {
         for (p, flight) in pending.iter_mut().enumerate() {
             let req = &requests[flight.members[0]];
             let bucket = self.bucket_of(req.departure);
-            if let Some(candidates) = self.cache_lookup(req.from, req.to, bucket) {
+            let hit = {
+                let _s = tr.span(Stage::CacheLookup);
+                self.cache_lookup(req.from, req.to, bucket)
+            };
+            if let Some(candidates) = hit {
                 self.stats.inc_cache_hits();
                 flight.candidates = Some(candidates);
             } else {
@@ -695,7 +848,10 @@ impl RouteService {
             let p = to_mine[0];
             let req = &requests[pending[p].members[0]];
             let departure = self.canonical_departure(req);
-            let mined = Arc::new(self.world.candidates(req.from, req.to, departure));
+            let mined = {
+                let _s = tr.span(Stage::Mining);
+                Arc::new(self.world.candidates(req.from, req.to, departure))
+            };
             self.cache_fill(req.from, req.to, self.bucket_of(req.departure), &mined);
             pending[p].candidates = Some(mined);
         } else if !to_mine.is_empty() {
@@ -728,6 +884,7 @@ impl RouteService {
             for &p in &to_mine {
                 let from = requests[pending[p].members[0]].from;
                 if !artifacts.iter().any(|(n, _)| *n == from) {
+                    let _s = tr.span(Stage::ArtifactFetch);
                     let art = self.artifacts.origin_artifacts(
                         &self.world,
                         self.cell_of(from),
@@ -752,7 +909,10 @@ impl RouteService {
             }
             for (bits, ps) in by_departure {
                 let departure = TimeOfDay(f64::from_bits(bits));
-                let period = self.artifacts.period_network(&self.world, departure);
+                let period = {
+                    let _s = tr.span(Stage::ArtifactFetch);
+                    self.artifacts.period_network(&self.world, departure)
+                };
                 for &p in &ps {
                     let req = &requests[pending[p].members[0]];
                     let art = &artifacts
@@ -760,16 +920,19 @@ impl RouteService {
                         .find(|(n, _)| *n == req.from)
                         .expect("artifact prefetched for every miss origin")
                         .1;
-                    let set = Arc::new(cp_mining::candidates_from_artifacts(
-                        graph,
-                        self.world.trips(),
-                        &self.world.mfp,
-                        &self.world.ldr,
-                        art,
-                        &period,
-                        req.to,
-                        departure,
-                    ));
+                    let set = {
+                        let _s = tr.span(Stage::Mining);
+                        Arc::new(cp_mining::candidates_from_artifacts(
+                            graph,
+                            self.world.trips(),
+                            &self.world.mfp,
+                            &self.world.ldr,
+                            art,
+                            &period,
+                            req.to,
+                            departure,
+                        ))
+                    };
                     self.cache_fill(req.from, req.to, self.bucket_of(req.departure), &set);
                     pending[p].candidates = Some(set);
                 }
@@ -796,11 +959,13 @@ impl RouteService {
                 .candidates
                 .as_ref()
                 .expect("every pending flight was cached or mined");
+            let r0 = tr.clock();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 resolver.resolve(req.from, req.to, departure, candidates)
             }));
             match outcome {
                 Err(_) => {
+                    tr.record(Stage::ResolveMachine, r0);
                     poisoned = true;
                     for &i in &flight.members {
                         self.stats.inc_errors();
@@ -808,6 +973,7 @@ impl RouteService {
                     }
                 }
                 Ok(Err(e)) => {
+                    tr.record(resolve_stage_err(&e), r0);
                     if let ServiceError::CrowdStarved { quota_rejections } = e {
                         self.stats.record_crowd(crate::resolver::CrowdCost {
                             questions: 0,
@@ -824,11 +990,13 @@ impl RouteService {
                     }
                 }
                 Ok(Ok(resolved)) => {
+                    tr.record(resolve_stage_ok(&resolved), r0);
                     let starved = resolved.crowd.is_some_and(|c| c.starved);
                     if let Some(cost) = resolved.crowd {
                         self.stats.record_crowd(cost);
                     }
                     if !starved {
+                        let _s = tr.span(Stage::Commit);
                         self.truths.insert(
                             graph,
                             TruthEntry {
@@ -862,7 +1030,11 @@ impl RouteService {
         // 5. Only now — with every leadership this batch held completed
         // (or dropped) — wait on flights led by concurrent callers.
         for (members, watch) in watches {
-            match watch.wait() {
+            let shared = {
+                let _s = tr.span(Stage::FlightWait);
+                watch.wait()
+            };
+            match shared {
                 Some(mut shared) => {
                     shared.served = Served::Deduplicated;
                     for &i in &members {
@@ -883,10 +1055,20 @@ impl RouteService {
         for _ in requests {
             self.stats.record_latency(elapsed);
         }
-        results
+        let results: Vec<Result<ServedRoute, ServiceError>> = results
             .into_iter()
             .map(|r| r.expect("every batched request reaches exactly one outcome"))
-            .collect()
+            .collect();
+        self.tracer.finish(
+            tr,
+            requests[0].from,
+            requests[0].to,
+            requests[0].departure,
+            requests.len(),
+            outcome_label(&results[0]),
+            elapsed,
+        );
+        results
     }
 
     /// Fans `requests` across `config().workers` scoped threads, each

@@ -52,6 +52,7 @@ use crate::error::ServiceError;
 use crate::executor::{Request, RouteService, ServedRoute, ServiceConfig};
 use crate::resolver::{CrowdResolver, MachineResolver, OracleFactory, Resolver};
 use crate::stats::{ServiceStats, StatsSnapshot};
+use crate::trace::{CityTrace, LockSite, LockStats, LockSummary, Stage, TraceReport};
 use crate::world::{CityId, World};
 use cp_core::{CoreError, CrowdPlanner};
 use cp_crowd::CrowdDesk;
@@ -348,6 +349,9 @@ struct Inner {
     not_empty: Condvar,
     /// Signalled when a job is dequeued or draining starts.
     not_full: Condvar,
+    /// Contention counters for the ingress mutex (enabled once any
+    /// registered city traces; see [`Platform::trace_report`]).
+    ingress_locks: LockStats,
     submitted: AtomicU64,
     admitted: AtomicU64,
     rejected_busy: AtomicU64,
@@ -587,6 +591,7 @@ impl Platform {
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            ingress_locks: LockStats::new(),
             submitted: AtomicU64::new(0),
             admitted: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
@@ -650,6 +655,11 @@ impl Platform {
             service: Arc::new(RouteService::new(world, cfg)),
             factory: Box::new(move |w| Box::new(factory(w)) as Box<dyn Resolver + Send>),
         });
+        // One traced city is enough to make ingress contention worth
+        // timing (the mutex is shared by every city anyway).
+        if state.service.tracer().enabled() {
+            self.inner.ingress_locks.set_enabled(true);
+        }
         let mut cities = self.inner.cities.write().expect("city registry poisoned");
         cities.push(state);
         CityId((cities.len() - 1) as u32)
@@ -765,7 +775,7 @@ impl Platform {
                 return Err(ServiceError::UnknownCity(req.city));
             }
         }
-        let mut q = self.inner.queue.lock().expect("ingress queue poisoned");
+        let mut q = self.inner.ingress_locks.lock(&self.inner.queue);
         loop {
             if q.draining {
                 self.inner.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
@@ -821,6 +831,31 @@ impl Platform {
         snapshot_of(&self.inner)
     }
 
+    /// A point-in-time trace export: ingress-mutex contention plus every
+    /// city's per-stage attribution, lock-wait summaries and sampled
+    /// complete request traces (non-empty only for cities configured
+    /// with [`TraceConfig::Sampled`](crate::TraceConfig::Sampled)).
+    /// Serialise with [`TraceReport::to_json`].
+    pub fn trace_report(&self) -> TraceReport {
+        let cities = self.inner.cities.read().expect("city registry poisoned");
+        TraceReport {
+            ingress: self.inner.ingress_locks.summary(),
+            cities: cities
+                .iter()
+                .enumerate()
+                .map(|(i, city)| {
+                    let snap = city.service.stats();
+                    CityTrace {
+                        city: i as u32,
+                        stages: snap.stages,
+                        locks: snap.locks,
+                        traces: city.service.tracer().samples(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// The report exported by the most recent background maintenance
     /// sweep, or `None` when no janitor is configured (or it has not
     /// swept yet).
@@ -850,7 +885,7 @@ impl Platform {
 
     fn shutdown_impl(&self) {
         {
-            let mut q = self.inner.queue.lock().expect("ingress queue poisoned");
+            let mut q = self.inner.ingress_locks.lock(&self.inner.queue);
             q.draining = true;
             self.inner.not_empty.notify_all();
             self.inner.not_full.notify_all();
@@ -877,12 +912,19 @@ fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
     let cities = inner.cities.read().expect("city registry poisoned");
     let agg = ServiceStats::new();
     let mut truth_evictions = 0u64;
+    let mut locks = [LockSummary::default(); LockSite::COUNT];
     for city in cities.iter() {
         agg.absorb(city.service.raw_stats());
         truth_evictions += city.service.truths().evicted();
+        for (acc, site) in locks.iter_mut().zip(city.service.lock_summaries()) {
+            acc.waits += site.waits;
+            acc.wait += site.wait;
+        }
     }
+    locks[LockSite::Ingress.index()] = inner.ingress_locks.summary();
     let mut aggregate = agg.snapshot();
     aggregate.truth_evictions = truth_evictions;
+    aggregate.locks = locks;
     // Capture queue depth, dispatch counters and `admitted` under one
     // ingress-lock acquisition: dispatch mutates the counters in the
     // same critical sections that move jobs (and admission bumps
@@ -899,7 +941,7 @@ fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
         delay_raises,
         delay_drops,
     ) = {
-        let q = inner.queue.lock().expect("ingress queue poisoned");
+        let q = inner.ingress_locks.lock(&inner.queue);
         (
             q.jobs.len(),
             inner.admitted.load(Ordering::Relaxed),
@@ -1050,7 +1092,7 @@ fn collect_run(inner: &Inner, service: &RouteService, run: &mut Vec<Job>, batch:
     let max_batch = batch.max_batch();
     let ceiling = batch.delay_ceiling();
     let mut reclassified = false;
-    let mut q = inner.queue.lock().expect("ingress queue poisoned");
+    let mut q = inner.ingress_locks.lock(&inner.queue);
     // The depth the seed popped off (our own pop excluded): the
     // controller's saturation signal.
     let seed_depth = q.jobs.len();
@@ -1170,6 +1212,19 @@ fn collect_run(inner: &Inner, service: &RouteService, run: &mut Vec<Job>, batch:
     }
 }
 
+/// Nanoseconds since `t0`, saturating at `u64::MAX`.
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Attributes a job's submit→now sojourn to [`Stage::QueueWait`] in its
+/// city's histograms (tracing-gated by the caller).
+fn record_queue_wait(service: &RouteService, job: &Job) {
+    service
+        .raw_stats()
+        .record_stage(Stage::QueueWait, elapsed_ns(job.slot.submitted_at));
+}
+
 /// The resident worker: pop a job (extending it into a coalesced run
 /// when [`PlatformConfig::batch`] is set), route it to its city's
 /// service with this worker's cached per-city resolver, fulfil the
@@ -1184,7 +1239,7 @@ fn worker_loop(inner: &Inner, worker_idx: usize) {
     let mut resolvers: Vec<Option<Box<dyn Resolver + Send>>> = Vec::new();
     loop {
         let job = {
-            let mut q = inner.queue.lock().expect("ingress queue poisoned");
+            let mut q = inner.ingress_locks.lock(&inner.queue);
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     // Booked as unbatched; `collect_run` reclassifies if
@@ -1205,10 +1260,27 @@ fn worker_loop(inner: &Inner, worker_idx: usize) {
             let cities = inner.cities.read().expect("city registry poisoned");
             Arc::clone(&cities[city_idx])
         };
+        let traced = city.service.tracer().enabled();
+        if traced {
+            // The seed's queue wait ends at its pop; run members booked
+            // below additionally wait through the collection window.
+            record_queue_wait(&city.service, &job);
+        }
         let mut run = vec![job];
         if let Some(batch) = inner.cfg.batch {
             if batch.max_batch() > 1 {
+                let collect_t0 = traced.then(Instant::now);
                 collect_run(inner, &city.service, &mut run, batch);
+                if let Some(t0) = collect_t0 {
+                    city.service
+                        .raw_stats()
+                        .record_stage(Stage::BatchCollect, elapsed_ns(t0));
+                }
+                if traced {
+                    for member in &run[1..] {
+                        record_queue_wait(&city.service, member);
+                    }
+                }
             }
         }
         if resolvers.len() <= city_idx {

@@ -17,6 +17,7 @@
 //! surface it as an error. The leader token publishes on drop, so a
 //! panicking leader cannot strand its followers.
 
+use crate::trace::LockStats;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Condvar, Mutex};
@@ -37,6 +38,10 @@ struct FlightSlot<T> {
 #[derive(Debug)]
 pub struct FlightTable<K, T> {
     flights: Mutex<HashMap<K, Arc<FlightSlot<T>>>>,
+    /// Table-mutex contention counters (disabled unless the owning
+    /// service traces). Follower *waits* on a leader are not counted
+    /// here — they are attributed to the `FlightWait` stage by callers.
+    locks: LockStats,
 }
 
 /// Outcome of [`FlightTable::join`].
@@ -90,7 +95,14 @@ impl<K: Hash + Eq + Clone, T: Clone> FlightTable<K, T> {
     pub fn new() -> Self {
         FlightTable {
             flights: Mutex::new(HashMap::new()),
+            locks: LockStats::new(),
         }
+    }
+
+    /// Table-mutex contention counters. Disabled by default; the owning
+    /// service enables them when it traces.
+    pub fn lock_stats(&self) -> &LockStats {
+        &self.locks
     }
 
     /// Joins the flight for `key`: the first caller per key leads, later
@@ -113,7 +125,7 @@ impl<K: Hash + Eq + Clone, T: Clone> FlightTable<K, T> {
     /// thread may be waiting for.
     pub fn join_deferred(&self, key: K) -> JoinNow<'_, K, T> {
         let slot = {
-            let mut flights = self.flights.lock().expect("flight table poisoned");
+            let mut flights = self.locks.lock(&self.flights);
             if let Some(slot) = flights.get(&key) {
                 Arc::clone(slot)
             } else {
@@ -134,7 +146,7 @@ impl<K: Hash + Eq + Clone, T: Clone> FlightTable<K, T> {
 
     /// Number of in-flight keys (diagnostics).
     pub fn in_flight(&self) -> usize {
-        self.flights.lock().expect("flight table poisoned").len()
+        self.locks.lock(&self.flights).len()
     }
 }
 
@@ -160,11 +172,7 @@ impl<K: Hash + Eq + Clone, T: Clone> LeaderToken<'_, K, T> {
         };
         // Retire the flight first so post-completion callers start fresh
         // (they will normally hit the truth store the leader just fed).
-        self.table
-            .flights
-            .lock()
-            .expect("flight table poisoned")
-            .remove(&key);
+        self.table.locks.lock(&self.table.flights).remove(&key);
         let mut state = self.slot.state.lock().expect("flight slot poisoned");
         *state = FlightState::Done(value);
         self.slot.cv.notify_all();

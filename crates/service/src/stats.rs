@@ -8,12 +8,30 @@
 //! [`StatsSnapshot::is_consistent`] and asserted in the concurrency
 //! integration test.
 
+use crate::trace::{LockSite, LockSummary, Stage, StageSummary};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Number of log₂ latency buckets (covers 1 ns … ~2.1 s; the last
 /// bucket absorbs the tail).
 const BUCKETS: usize = 32;
+
+/// Percentile over a log₂ bucket histogram: the upper edge (`2^i` ns)
+/// of the bucket containing the `p`-quantile observation.
+fn bucket_percentile(buckets: &[u64], count: u64, p: f64) -> Duration {
+    if count == 0 {
+        return Duration::ZERO;
+    }
+    let target = ((count as f64) * p).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return Duration::from_nanos(1u64 << i.min(62));
+        }
+    }
+    Duration::from_nanos(1u64 << 62)
+}
 
 /// Running counters, safe to update from any number of threads.
 #[derive(Debug, Default)]
@@ -70,6 +88,13 @@ pub struct ServiceStats {
     lat_min_ns: AtomicU64,
     lat_max_ns: AtomicU64,
     lat_buckets: [AtomicU64; BUCKETS],
+    // Per-stage span attribution (nanoseconds), recorded only when the
+    // owning service traces (`TraceConfig` ≠ off). A stage's span count
+    // is the sum of its buckets — there is no separate counter to
+    // drift from the histogram.
+    stage_sum_ns: [AtomicU64; Stage::COUNT],
+    stage_max_ns: [AtomicU64; Stage::COUNT],
+    stage_buckets: [[AtomicU64; BUCKETS]; Stage::COUNT],
 }
 
 impl ServiceStats {
@@ -192,6 +217,29 @@ impl ServiceStats {
         for (dst, src) in self.lat_buckets.iter().zip(&other.lat_buckets) {
             add(dst, src);
         }
+        for (dst, src) in self.stage_sum_ns.iter().zip(&other.stage_sum_ns) {
+            add(dst, src);
+        }
+        for (dst, src) in self.stage_max_ns.iter().zip(&other.stage_max_ns) {
+            dst.fetch_max(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        for (dst_row, src_row) in self.stage_buckets.iter().zip(&other.stage_buckets) {
+            for (dst, src) in dst_row.iter().zip(src_row) {
+                add(dst, src);
+            }
+        }
+    }
+
+    /// Attributes `ns` nanoseconds to a pipeline stage's histogram
+    /// (tracing-gated: only called through an active
+    /// [`CallTrace`](crate::CallTrace) or the platform's queue-wait
+    /// bookkeeping).
+    pub(crate) fn record_stage(&self, stage: Stage, ns: u64) {
+        let i = stage.index();
+        self.stage_sum_ns[i].fetch_add(ns, Ordering::Relaxed);
+        self.stage_max_ns[i].fetch_max(ns, Ordering::Relaxed);
+        let bucket = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.stage_buckets[i][bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one request's wall-clock service time.
@@ -214,22 +262,26 @@ impl ServiceStats {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
-        let percentile = |p: f64| -> Duration {
-            if count == 0 {
-                return Duration::ZERO;
-            }
-            let target = ((count as f64) * p).ceil().max(1.0) as u64;
-            let mut seen = 0u64;
-            for (i, &c) in buckets.iter().enumerate() {
-                seen += c;
-                if seen >= target {
-                    // Upper edge of bucket i is 2^i ns.
-                    return Duration::from_nanos(1u64 << i.min(62));
-                }
-            }
-            Duration::from_nanos(1u64 << 62)
-        };
+        let percentile = |p: f64| -> Duration { bucket_percentile(&buckets, count, p) };
         let min = self.lat_min_ns.load(Ordering::Relaxed);
+        let mut stages = [StageSummary::default(); Stage::COUNT];
+        for (i, summary) in stages.iter_mut().enumerate() {
+            let stage_buckets: Vec<u64> = self.stage_buckets[i]
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect();
+            let stage_count: u64 = stage_buckets.iter().sum();
+            if stage_count == 0 {
+                continue;
+            }
+            *summary = StageSummary {
+                count: stage_count,
+                total: Duration::from_nanos(self.stage_sum_ns[i].load(Ordering::Relaxed)),
+                p50: bucket_percentile(&stage_buckets, stage_count, 0.50),
+                p95: bucket_percentile(&stage_buckets, stage_count, 0.95),
+                max: Duration::from_nanos(self.stage_max_ns[i].load(Ordering::Relaxed)),
+            };
+        }
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             truth_hits: self.truth_hits.load(Ordering::Relaxed),
@@ -256,6 +308,13 @@ impl ServiceStats {
             crowd_workers: self.crowd_workers.load(Ordering::Relaxed),
             crowd_quota_rejections: self.crowd_quota_rejections.load(Ordering::Relaxed),
             crowd_starved: self.crowd_starved.load(Ordering::Relaxed),
+            stages,
+            // Lock contention lives on the owning primitives (truth
+            // shards, caches, flight table, ingress queue); the owner
+            // fills these in (see `RouteService::stats` and
+            // `Platform::snapshot_of`). Raw counters stay zero here so
+            // two layers can never drift apart.
+            locks: [LockSummary::default(); LockSite::COUNT],
             latency: LatencySummary {
                 count,
                 mean: Duration::from_nanos(sum.checked_div(count).unwrap_or(0)),
@@ -354,6 +413,15 @@ pub struct StatsSnapshot {
     /// Requests whose crowd task was entirely quota-starved and degraded
     /// to the machine fallback.
     pub crowd_starved: u64,
+    /// Per-stage sojourn attribution (indexed by
+    /// [`Stage::index`](crate::Stage::index); all-zero when the service
+    /// does not trace). Stage spans are disjoint, so their totals sum to
+    /// at most the end-to-end service time.
+    pub stages: [StageSummary; Stage::COUNT],
+    /// Per-site lock contention (indexed by
+    /// [`LockSite::index`](crate::LockSite::index)), filled by the
+    /// owning service/platform from the primitives' own counters.
+    pub locks: [LockSummary; LockSite::COUNT],
     /// Service-time distribution.
     pub latency: LatencySummary,
 }
@@ -422,7 +490,16 @@ impl StatsSnapshot {
     /// total unless nothing was batched); and every artifact eviction
     /// removed an entry some earlier miss inserted, so evictions can
     /// never outrun misses.
+    ///
+    /// Trace envelopes (vacuous when nothing traces, and safe under
+    /// aggregates mixing traced and untraced cities because both sides
+    /// of each bound are trace-gated or only the smaller side is): a
+    /// commit span follows a resolve span, every resolve span belongs
+    /// to a fresh resolution or a failed one, and every mining span is
+    /// a candidate-cache miss.
     pub fn is_consistent(&self) -> bool {
+        let resolve_spans = self.stages[Stage::ResolveMachine.index()].count
+            + self.stages[Stage::ResolveCrowd.index()].count;
         self.truth_hits + self.dedup_hits + self.resolved + self.errors == self.requests
             && self.batched_requests <= self.requests
             && self.batch_max <= self.batched_requests
@@ -430,6 +507,9 @@ impl StatsSnapshot {
             && self.fused_mined_ods <= self.cache_misses
             && self.fused_minings <= self.fused_mined_ods
             && self.artifact_evictions <= self.artifact_misses
+            && self.stages[Stage::Commit.index()].count <= resolve_spans
+            && resolve_spans <= self.resolved + self.errors
+            && self.stages[Stage::Mining.index()].count <= self.cache_misses
     }
 }
 
@@ -601,6 +681,78 @@ mod tests {
         assert_eq!(snap.crowd_workers, 3);
         assert_eq!(snap.crowd_quota_rejections, 11);
         assert_eq!(snap.crowd_starved, 1);
+    }
+
+    #[test]
+    fn stage_histograms_accumulate_absorb_and_summarise() {
+        let a = ServiceStats::new();
+        let b = ServiceStats::new();
+        for us in [10u64, 20, 40] {
+            a.record_stage(Stage::Mining, us * 1000);
+        }
+        a.record_stage(Stage::Commit, 2_000);
+        b.record_stage(Stage::Mining, 5_000_000);
+        // Back the envelopes: minings need cache misses, commits need
+        // resolve spans, resolve spans need resolutions.
+        for _ in 0..4 {
+            a.inc_cache_misses();
+            b.inc_cache_misses();
+        }
+        a.record_stage(Stage::ResolveMachine, 1_000);
+        a.inc_requests();
+        a.inc_resolved();
+        let total = ServiceStats::new();
+        total.absorb(&a);
+        total.absorb(&b);
+        let snap = total.snapshot();
+        let mining = snap.stages[Stage::Mining.index()];
+        assert_eq!(mining.count, 4, "bucket sums are the stage count");
+        assert_eq!(mining.total, Duration::from_micros(10 + 20 + 40 + 5000));
+        assert_eq!(mining.max, Duration::from_micros(5000));
+        assert!(mining.p50 <= mining.p95, "{mining:?}");
+        assert!(mining.p95 >= Duration::from_micros(5000) / 2, "{mining:?}");
+        assert_eq!(snap.stages[Stage::Commit.index()].count, 1);
+        assert_eq!(
+            snap.stages[Stage::QueueWait.index()],
+            StageSummary::default()
+        );
+        assert!(snap.is_consistent(), "{snap:?}");
+    }
+
+    #[test]
+    fn commit_spans_without_resolve_spans_break_consistency() {
+        let s = ServiceStats::new();
+        s.inc_requests();
+        s.inc_resolved();
+        s.record_stage(Stage::Commit, 500);
+        assert!(
+            !s.snapshot().is_consistent(),
+            "a commit span must follow a resolve span"
+        );
+        s.record_stage(Stage::ResolveMachine, 500);
+        assert!(s.snapshot().is_consistent());
+    }
+
+    #[test]
+    fn resolve_spans_must_not_outrun_resolutions() {
+        let s = ServiceStats::new();
+        s.record_stage(Stage::ResolveCrowd, 500);
+        assert!(
+            !s.snapshot().is_consistent(),
+            "a resolve span needs a resolution (or error) to belong to"
+        );
+        s.inc_requests();
+        s.inc_errors();
+        assert!(s.snapshot().is_consistent());
+    }
+
+    #[test]
+    fn mining_spans_must_be_cache_misses() {
+        let s = ServiceStats::new();
+        s.record_stage(Stage::Mining, 500);
+        assert!(!s.snapshot().is_consistent());
+        s.inc_cache_misses();
+        assert!(s.snapshot().is_consistent());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!   **global insertion order** (a shared atomic sequence), preserving
 //!   the sequential store's semantics.
 
+use crate::trace::LockStats;
 use cp_core::{Config, TruthEntry, TruthStore, DEFAULT_BUCKET_S, DEFAULT_CELL_M};
 use cp_roadnet::{NodeId, Point, RoadGraph};
 use cp_traj::TimeOfDay;
@@ -61,6 +62,9 @@ pub struct ShardedTruthStore {
     per_shard_cap: usize,
     /// Total entries evicted so far (capacity + age).
     evicted: AtomicU64,
+    /// Shard-lock contention counters (pooled across shards; disabled
+    /// unless the owning service traces).
+    locks: LockStats,
 }
 
 /// Mixes a cell coordinate into a shard index (SplitMix64 finaliser —
@@ -93,7 +97,15 @@ impl ShardedTruthStore {
             seq: AtomicU64::new(0),
             per_shard_cap: 0,
             evicted: AtomicU64::new(0),
+            locks: LockStats::new(),
         }
+    }
+
+    /// Shard-lock contention counters (reads and writes pooled across
+    /// all shards). Disabled by default; the owning service enables
+    /// them when it traces.
+    pub fn lock_stats(&self) -> &LockStats {
+        &self.locks
     }
 
     /// Bounds every shard to at most `cap` entries (0 = unbounded).
@@ -156,7 +168,7 @@ impl ShardedTruthStore {
         let to_pos = graph.position(entry.to);
         let shard_idx = self.shard_of_cell(self.cell_of(from_pos));
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shards[shard_idx].write().expect("shard poisoned");
+        let mut shard = self.locks.write(&self.shards[shard_idx]);
         let mut evicted = 0;
         if self.per_shard_cap > 0 && shard.store.len() >= self.per_shard_cap {
             // Batch-evict an eighth so the O(remaining) re-index is paid
@@ -182,7 +194,7 @@ impl ShardedTruthStore {
         let now = Instant::now();
         let mut total = 0;
         for shard in &self.shards {
-            let mut shard = shard.write().expect("shard poisoned");
+            let mut shard = self.locks.write(shard);
             let stale = shard
                 .inserted
                 .partition_point(|&t| now.saturating_duration_since(t) >= max_age);
@@ -302,7 +314,7 @@ impl ShardedTruthStore {
         group: &[(i32, i32)],
         best: &mut Option<(f64, u64, TruthEntry)>,
     ) {
-        let shard = self.shards[shard_idx].read().expect("shard poisoned");
+        let shard = self.locks.read(&self.shards[shard_idx]);
         if let Some((d, id, entry)) = shard
             .store
             .lookup_scored_in_cells(graph, group, from, to, departure, cfg)

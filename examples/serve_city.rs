@@ -27,6 +27,11 @@
 //! with the self-tuning collection window instead of the fixed one
 //! (the chosen-delay column shows where the controller settled).
 //!
+//! With `--trace`, cities register with sampled span tracing enabled
+//! and each rate gains an attribution line: the top-3 pipeline stages
+//! by share of the end-to-end p95 sojourn, and the fraction of
+//! attributed time spent blocked on contended locks.
+//!
 //! Run with:
 //!
 //! ```sh
@@ -34,10 +39,12 @@
 //! cargo run --release --example serve_city -- --crowd    # crowd-backed
 //! cargo run --release --example serve_city -- --batch    # + coalescing
 //! cargo run --release --example serve_city -- --adaptive # + self-tuning window
+//! cargo run --release --example serve_city -- --trace    # + stage attribution
 //! ```
 
 use cp_service::{
-    BatchConfig, Platform, PlatformConfig, Request, ServiceConfig, ServiceError, Ticket,
+    BatchConfig, Platform, PlatformConfig, Request, ServiceConfig, ServiceError, Stage, Ticket,
+    TraceConfig,
 };
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
@@ -66,6 +73,7 @@ fn main() {
     let crowd = std::env::args().any(|a| a == "--crowd");
     let adaptive = std::env::args().any(|a| a == "--adaptive");
     let batch = adaptive || std::env::args().any(|a| a == "--batch");
+    let trace = std::env::args().any(|a| a == "--trace");
     let t0 = Instant::now();
     println!("building worlds (Medium metro + Small satellite)…");
     let metro = SimWorld::build(Scale::Medium, 42).expect("metro world");
@@ -135,6 +143,15 @@ fn main() {
                 }
             }),
         });
+        let service_cfg = || {
+            let mut cfg = ServiceConfig::default();
+            if trace {
+                // Counters on every request, one full trace per 64
+                // requests kept in a 32-entry ring per city.
+                cfg.trace = TraceConfig::sampled(64, 32);
+            }
+            cfg
+        };
         let register = |sim: &SimWorld, world: &std::sync::Arc<cp_service::World>, seed: u64| {
             if crowd {
                 // 200 workers per city behind a shared desk; at most 3
@@ -142,12 +159,12 @@ fn main() {
                 platform
                     .register_city_crowd(
                         world.clone(),
-                        ServiceConfig::default(),
+                        service_cfg(),
                         sim.crowd_serving(200, 15, seed, 3),
                     )
                     .expect("crowd serving inputs are valid")
             } else {
-                platform.register_city(world.clone(), ServiceConfig::default())
+                platform.register_city(world.clone(), service_cfg())
             }
         };
         let cities = [
@@ -236,6 +253,38 @@ fn main() {
             agg.aggregate.crowd_quota_rejections,
             agg.aggregate.crowd_starved,
         );
+        if trace {
+            let stages = &agg.aggregate.stages;
+            let p95 = percentile(&latencies, 0.95);
+            let mut ranked: Vec<Stage> = Stage::ALL
+                .into_iter()
+                .filter(|s| stages[s.index()].count > 0)
+                .collect();
+            ranked.sort_by_key(|s| std::cmp::Reverse(stages[s.index()].p95));
+            let top: Vec<String> = ranked
+                .iter()
+                .take(3)
+                .map(|s| {
+                    let share = if p95.is_zero() {
+                        0.0
+                    } else {
+                        100.0 * stages[s.index()].p95.as_secs_f64() / p95.as_secs_f64()
+                    };
+                    format!("{} {:.0}%", s.name(), share)
+                })
+                .collect();
+            let attributed: Duration = stages.iter().map(|s| s.total).sum();
+            let lock_wait: Duration = agg.aggregate.locks.iter().map(|l| l.wait).sum();
+            let lock_pct = if attributed.is_zero() {
+                0.0
+            } else {
+                100.0 * lock_wait.as_secs_f64() / attributed.as_secs_f64()
+            };
+            println!(
+                "         trace: top stages by p95 share [{}]  lock-wait {lock_pct:.2}% of attributed time",
+                top.join(", ")
+            );
+        }
         platform.shutdown();
     }
     println!("\ndone in {:.1?}", t0.elapsed());

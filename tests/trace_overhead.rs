@@ -1,0 +1,107 @@
+//! Allocation-overhead guard for the tracing subsystem: with
+//! `TraceConfig::Off` the instrumentation must add **zero** allocations
+//! to the serve path, and `Counters` must stay allocation-identical to
+//! `Off` (histograms are fixed atomic arrays; only `Sampled` may
+//! allocate, for its event buffers and ring).
+//!
+//! Measured with a counting `#[global_allocator]` over a warm
+//! truth-hit workload (the hottest serve path: no mining, no
+//! resolution), single-threaded so the counts are exact. This file
+//! holds exactly one `#[test]` so no sibling test's allocations bleed
+//! into the counted window.
+
+use cp_roadnet::NodeId;
+use cp_service::{MachineResolver, Request, RouteService, Served, ServiceConfig, TraceConfig};
+use cp_traj::TimeOfDay;
+use crowdplanner::sim::{Scale, SimWorld};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counts allocations (and reallocations) while `COUNTING` is set;
+/// delegates all memory management to the system allocator.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Serves `rounds` warm truth-hit requests under the given tracing level
+/// and returns how many allocations the counted window saw. The first
+/// requests resolve and commit outside the window; the counted handles
+/// all hit the truth store, so the workload is deterministic and
+/// identical across levels.
+fn warm_truth_hit_allocs(sim: &SimWorld, trace: TraceConfig, rounds: usize) -> u64 {
+    let sw = sim.service_world();
+    let mut cfg = ServiceConfig::strict_deterministic();
+    cfg.trace = trace;
+    let service = RouteService::new(Arc::clone(&sw), cfg.clone());
+    let mut resolver = MachineResolver::new(sw.graph_arc(), cfg.core);
+    let req = Request::new(NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0));
+    // Warm: resolve + commit once, then a few hits to settle any lazy
+    // one-time allocation anywhere on the path.
+    for _ in 0..4 {
+        service.handle(req, &mut resolver).expect("warmup");
+    }
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let mut outcomes = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        outcomes.push(service.handle(req, &mut resolver).expect("warm hit"));
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    for served in outcomes {
+        assert_eq!(served.served, Served::TruthHit);
+    }
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn disabled_tracing_adds_zero_allocations_to_the_serve_path() {
+    let sim = SimWorld::build(Scale::Small, 5).expect("world");
+    const ROUNDS: usize = 64;
+    let off = warm_truth_hit_allocs(&sim, TraceConfig::Off, ROUNDS);
+    let counters = warm_truth_hit_allocs(&sim, TraceConfig::counters(), ROUNDS);
+    let sampled = warm_truth_hit_allocs(&sim, TraceConfig::sampled(1, ROUNDS), ROUNDS);
+    // `Off` is the untraced baseline; `Counters` must match it exactly —
+    // per-stage histograms are pre-sized atomic arrays and lock timing
+    // is try-lock-first, so neither may touch the allocator.
+    assert_eq!(
+        counters, off,
+        "counter tracing must not allocate on the serve path"
+    );
+    // Sampling pays for what it keeps: event buffers and ring entries.
+    assert!(
+        sampled > off,
+        "sampling every call must allocate for its traces (off={off}, sampled={sampled})"
+    );
+}
