@@ -23,14 +23,23 @@
 //! fixed-delay and adaptive windows where the controller's choice
 //! actually matters (at saturation every policy converges on zero).
 //!
+//! With `--wire`, the same workload additionally runs **over loopback
+//! TCP** through the `cp-gateway` HTTP edge — real sockets, the
+//! hardened parser, JSON rendering — and the report gains a
+//! syscall-inclusive `wire` section (req/s + client-observed sojourn
+//! percentiles) so the transport tax on top of in-process serving is a
+//! tracked number instead of folklore.
+//!
 //! Run with:
 //!
 //! ```sh
 //! cargo run --release -p cp-bench --bin bench_serve               # defaults
 //! cargo run --release -p cp-bench --bin bench_serve -- \
 //!     --requests 4000 --moderate-rate 2000 --scale medium --out BENCH_serve.json
+//! cargo run --release -p cp-bench --bin bench_serve -- --wire     # + HTTP edge row
 //! ```
 
+use cp_gateway::{Gateway, GatewayConfig, GatewayStatsSnapshot};
 use cp_service::{
     BatchConfig, LockSite, Platform, PlatformConfig, PlatformSnapshot, Request, ServiceConfig,
     Stage, Ticket, TraceConfig,
@@ -39,6 +48,9 @@ use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -53,6 +65,12 @@ struct Args {
     sweep_workers: Vec<usize>,
     /// Where the sweep's sampled trace report lands.
     trace_out: String,
+    /// Run the loopback-TCP gateway benchmark and add a `wire` section.
+    wire: bool,
+    /// Concurrent keep-alive HTTP clients for `--wire`.
+    wire_clients: usize,
+    /// Open-loop arrival rate for `--wire` (0 = closed-loop firehose).
+    wire_rate: f64,
 }
 
 impl Default for Args {
@@ -71,6 +89,9 @@ impl Default for Args {
             out: "BENCH_serve.json".to_string(),
             sweep_workers: vec![1, 2, 4, 8, 16],
             trace_out: "TRACE_report.json".to_string(),
+            wire: false,
+            wire_clients: 8,
+            wire_rate: 0.0,
         }
     }
 }
@@ -104,6 +125,9 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--trace-out" => args.trace_out = value(),
+            "--wire" => args.wire = true,
+            "--wire-clients" => args.wire_clients = value().parse().expect("--wire-clients N"),
+            "--wire-rate" => args.wire_rate = value().parse().expect("--wire-rate R"),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -276,6 +300,211 @@ fn run_mode(
     report
 }
 
+struct WireReport {
+    clients: usize,
+    rate: f64,
+    served: usize,
+    wall_s: f64,
+    req_per_s: f64,
+    p50: Duration,
+    p95: Duration,
+    p99: Duration,
+    max: Duration,
+    ok: u64,
+    busy_429: u64,
+    other_status: u64,
+    gateway: GatewayStatsSnapshot,
+}
+
+/// Sends one GET over the keep-alive stream and reads the full
+/// response; returns the status code.
+fn wire_get(stream: &mut TcpStream, path: &str, head: &mut Vec<u8>, body: &mut Vec<u8>) -> u16 {
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").expect("request write");
+    head.clear();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("response read");
+        assert!(n > 0, "gateway closed mid-response");
+        head.push(byte[0]);
+    }
+    let text = std::str::from_utf8(head).expect("ascii head");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let len: usize = text
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().expect("numeric content-length"))
+        })
+        .unwrap_or(0);
+    body.resize(len, 0);
+    stream.read_exact(body).expect("body read");
+    status
+}
+
+/// The same two-phase hot-spot workload, but end to end over loopback
+/// TCP through the cp-gateway HTTP edge: every request pays the socket
+/// round trip, the hardened parser and JSON rendering on top of
+/// platform serving. The edge's per-connection session cache is
+/// disabled so repeat ODs exercise the platform, not the edge — this
+/// measures the transport tax, not a cache.
+fn run_wire(
+    world: &std::sync::Arc<cp_service::World>,
+    sequence: &[Request],
+    rate: f64,
+    workers: usize,
+    clients: usize,
+) -> WireReport {
+    let platform = Arc::new(Platform::start(PlatformConfig {
+        workers,
+        queue_capacity: 512,
+        maintenance: None,
+        batch: Some(BatchConfig::adaptive(16, Duration::from_millis(2))),
+    }));
+    let id = platform.register_city(
+        std::sync::Arc::clone(world),
+        ServiceConfig::strict_deterministic(),
+    );
+    let service = platform.city_service(id).expect("registered");
+    let gw = Gateway::start(
+        Arc::clone(&platform),
+        GatewayConfig {
+            handler_threads: clients,
+            conn_backlog: clients.max(16),
+            session_cache: 0,
+            route_deadline: Duration::from_secs(30),
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("gateway binds loopback");
+    let addr = gw.local_addr();
+
+    // Round-robin interleave so every client sees the hot origins.
+    let chunks: Vec<Vec<String>> = (0..clients)
+        .map(|c| {
+            sequence
+                .iter()
+                .skip(c)
+                .step_by(clients)
+                .map(|req| {
+                    format!(
+                        "/route?city={}&o={}&d={}&t={}",
+                        id.0,
+                        req.from.0,
+                        req.to.0,
+                        req.departure.0 / 3600.0
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // Two phases separated by truth eviction, exactly like the
+    // in-process modes; the barrier pair brackets the eviction.
+    let phase_done = Barrier::new(clients + 1);
+    let start = Instant::now();
+    let results: Vec<(Vec<Duration>, u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(c, chunk)| {
+                let phase_done = &phase_done;
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("client connect");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(60)))
+                        .unwrap();
+                    stream.set_nodelay(true).unwrap();
+                    let mut rng = SmallRng::seed_from_u64(0x817E ^ c as u64);
+                    let per_client_rate = rate / clients.max(1) as f64;
+                    let (mut head, mut body) = (Vec::new(), Vec::new());
+                    let mut latencies = Vec::with_capacity(2 * chunk.len());
+                    let (mut ok, mut busy, mut other) = (0u64, 0u64, 0u64);
+                    for _phase in 0..2 {
+                        let mut next_arrival = Instant::now();
+                        for path in chunk {
+                            // Open loop: sojourn counts from the
+                            // scheduled arrival, so client-side queueing
+                            // under backlog is part of the number.
+                            if per_client_rate > 0.0 {
+                                let now = Instant::now();
+                                if now < next_arrival {
+                                    std::thread::sleep(next_arrival - now);
+                                }
+                                let u: f64 = rng.random_range(0.0..1.0);
+                                next_arrival +=
+                                    Duration::from_secs_f64(-(1.0 - u).ln() / per_client_rate);
+                            } else {
+                                next_arrival = Instant::now();
+                            }
+                            let status = wire_get(&mut stream, path, &mut head, &mut body);
+                            match status {
+                                200 => {
+                                    ok += 1;
+                                    latencies.push(next_arrival.elapsed());
+                                }
+                                429 => busy += 1,
+                                _ => other += 1,
+                            }
+                        }
+                        phase_done.wait();
+                        phase_done.wait();
+                    }
+                    (latencies, ok, busy, other)
+                })
+            })
+            .collect();
+        for phase in 0..2 {
+            phase_done.wait();
+            if phase == 0 {
+                // Same repeat-OD semantics as the in-process modes.
+                service.evict_truths_older_than(Duration::ZERO);
+            }
+            phase_done.wait();
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("wire client"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    // All clients have joined: the edge counters are final.
+    let gateway = gw.stats();
+    gw.shutdown();
+    let snap = platform.stats();
+    assert!(snap.is_consistent(), "platform accounting must balance");
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    let (mut ok, mut busy, mut other) = (0u64, 0u64, 0u64);
+    for (lat, o, b, x) in results {
+        latencies.extend(lat);
+        ok += o;
+        busy += b;
+        other += x;
+    }
+    latencies.sort_unstable();
+    WireReport {
+        clients,
+        rate,
+        served: latencies.len(),
+        wall_s: wall.as_secs_f64(),
+        req_per_s: latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+        max: latencies.last().copied().unwrap_or(Duration::ZERO),
+        ok,
+        busy_429: busy,
+        other_status: other,
+        gateway,
+    }
+}
+
 /// One traced worker-sweep row's JSON: throughput, the per-stage
 /// attribution (count/total/p50/p95 per non-empty stage), the lock-wait
 /// summary and how much of the end-to-end sojourn the disjoint spans
@@ -410,6 +639,36 @@ fn mode_json(r: &ModeReport) -> String {
         r.snap.batch_delay.as_micros(),
         r.snap.batch_delay_raises,
         r.snap.batch_delay_drops,
+    )
+}
+
+fn wire_json(r: &WireReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"clients\": {},\n",
+            "    \"rate_per_s\": {:.1},\n",
+            "    \"served\": {},\n",
+            "    \"wall_s\": {:.4},\n",
+            "    \"req_per_s\": {:.1},\n",
+            "    \"sojourn_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }},\n",
+            "    \"status\": {{ \"ok\": {}, \"busy_429\": {}, \"other\": {} }},\n",
+            "    \"gateway\": {}\n",
+            "  }}"
+        ),
+        r.clients,
+        r.rate,
+        r.served,
+        r.wall_s,
+        r.req_per_s,
+        r.p50.as_micros(),
+        r.p95.as_micros(),
+        r.p99.as_micros(),
+        r.max.as_micros(),
+        r.ok,
+        r.busy_429,
+        r.other_status,
+        r.gateway.to_json(),
     )
 }
 
@@ -621,6 +880,43 @@ fn main() {
         );
     }
 
+    // The loopback-TCP row: the hot-spot workload through the HTTP
+    // edge, syscalls and parsing included.
+    let wire = args.wire.then(|| {
+        println!(
+            "wire (loopback HTTP, {} keep-alive clients, {}):",
+            args.wire_clients,
+            if args.wire_rate > 0.0 {
+                format!("{:.0}/s open-loop", args.wire_rate)
+            } else {
+                "closed-loop firehose".to_string()
+            }
+        );
+        let r = run_wire(
+            &world,
+            &sequence,
+            args.wire_rate,
+            workers,
+            args.wire_clients,
+        );
+        assert!(
+            r.gateway.is_consistent(),
+            "gateway accounting must balance: {:?}",
+            r.gateway
+        );
+        assert_eq!(
+            r.ok + r.busy_429 + r.other_status,
+            2 * sequence.len() as u64,
+            "every wire request must be answered"
+        );
+        println!(
+            "  {:>12}: {:>9.1} req/s  p50 {:>8.2?}  p95 {:>8.2?}  p99 {:>8.2?}  \
+             ok {}  429 {}  other {}",
+            "wire", r.req_per_s, r.p50, r.p95, r.p99, r.ok, r.busy_429, r.other_status,
+        );
+        r
+    });
+
     let firehose_json: Vec<String> = [&off, &noreuse, &fixed, &adaptive]
         .into_iter()
         .map(mode_json)
@@ -643,6 +939,7 @@ fn main() {
             "  \"modes\": [\n    {}\n  ],\n",
             "  \"moderate\": [\n    {}\n  ],\n",
             "  \"worker_sweep\": [\n    {}\n  ],\n",
+            "  \"wire\": {},\n",
             "  \"speedup_req_per_s\": {:.4},\n",
             "  \"adaptive_over_static_req_per_s\": {:.4},\n",
             "  \"adaptive_over_noreuse_req_per_s\": {:.4},\n",
@@ -659,6 +956,9 @@ fn main() {
         firehose_json.join(",\n    "),
         moderate_json.join(",\n    "),
         sweep_rows.join(",\n    "),
+        wire.as_ref()
+            .map(wire_json)
+            .unwrap_or_else(|| "null".to_string()),
         speedup,
         adaptive_over_static,
         adaptive_over_noreuse,

@@ -1,0 +1,622 @@
+//! Minimal, hardened HTTP/1.1 request parsing and response writing.
+//!
+//! No external dependencies and no allocation beyond the request's own
+//! buffers. The parser is incremental over a persistent per-connection
+//! buffer, so it is robust against the realities of a TCP byte stream:
+//!
+//! * **partial reads** — a request head split across any number of
+//!   `read` calls is reassembled; a clean EOF *between* requests ends
+//!   the connection ([`HttpError::Closed`]) while an EOF *inside* one is
+//!   a protocol error;
+//! * **oversized heads** — the head (request line + headers) is capped
+//!   at [`HttpLimits::max_head_bytes`]; a client streaming an unbounded
+//!   header is cut off with [`HttpError::HeadersTooLarge`] (431) before
+//!   it can balloon memory, likewise header *count* and body length;
+//! * **pipelined garbage** — bytes after one request's end stay in the
+//!   buffer for the next parse; they are only ever interpreted as a
+//!   fresh request head, so trailing junk fails fast with a 400 instead
+//!   of being executed, and legitimate HTTP pipelining works.
+//!
+//! The response writer emits exact `Content-Length` framing (the only
+//! framing this edge uses — no chunked encoding on either side).
+
+use std::io::{self, Read, Write};
+
+/// Parser hardening limits.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Most bytes a request head (request line + headers + blank line)
+    /// may occupy before the parser rejects with
+    /// [`HttpError::HeadersTooLarge`].
+    pub max_head_bytes: usize,
+    /// Most header lines per request.
+    pub max_headers: usize,
+    /// Most body bytes (`Content-Length`) per request.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 8 * 1024,
+            max_headers: 64,
+            max_body_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Why a request could not be read. Each variant maps onto one wire
+/// outcome (close silently, or answer with the named status and close).
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Clean EOF at a request boundary — the client finished; not an
+    /// error, just the end of the connection.
+    Closed,
+    /// Read failed (timeout included); the connection is unusable.
+    Io(io::ErrorKind),
+    /// The bytes are not a well-formed HTTP/1.x request (→ 400).
+    /// The payload names the first violated rule.
+    BadRequest(&'static str),
+    /// The head exceeded [`HttpLimits::max_head_bytes`] or
+    /// [`HttpLimits::max_headers`] (→ 431).
+    HeadersTooLarge,
+    /// The declared body exceeds [`HttpLimits::max_body_bytes`] (→ 413).
+    BodyTooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+            HttpError::BadRequest(why) => write!(f, "malformed request: {why}"),
+            HttpError::HeadersTooLarge => write!(f, "request head too large"),
+            HttpError::BodyTooLarge => write!(f, "request body too large"),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The method token, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The percent-decoded path component of the target.
+    pub path: String,
+    /// Decoded `key=value` query parameters, in wire order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs, names lower-cased, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should be kept open afterwards
+    /// (HTTP/1.1 default, overridden by `Connection:` headers).
+    pub keep_alive: bool,
+}
+
+impl HttpRequest {
+    /// The first query parameter named `key`, if any.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first header named `name` (lower-case), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request from `reader`, consuming exactly its bytes from
+/// `buf` (a persistent per-connection buffer: leftover bytes — the next
+/// pipelined request — stay for the next call).
+pub fn read_request(
+    reader: &mut impl Read,
+    buf: &mut Vec<u8>,
+    limits: &HttpLimits,
+) -> Result<HttpRequest, HttpError> {
+    let head_end = loop {
+        if let Some(end) = find_head_end(buf) {
+            break end;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        fill(reader, buf, buf.is_empty())?;
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(HttpError::HeadersTooLarge);
+    }
+    // The head is pure ASCII by grammar; reject other bytes outright.
+    if !buf[..head_end].is_ascii() {
+        return Err(HttpError::BadRequest("non-ASCII bytes in request head"));
+    }
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let (method, target, version) = parse_request_line(request_line)?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::BadRequest("header line without a colon"))?;
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(HttpError::BadRequest("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest("unparsable Content-Length"))?,
+        None => 0,
+    };
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        // This edge only speaks Content-Length framing; a request we
+        // cannot frame correctly must not be half-interpreted.
+        return Err(HttpError::BadRequest("Transfer-Encoding is not supported"));
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let total = head_end + content_length;
+    while buf.len() < total {
+        fill(reader, buf, false)?;
+    }
+    let body = buf[head_end..total].to_vec();
+    buf.drain(..total);
+
+    let keep_alive = match headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+    {
+        Some(v) if v.contains("close") => false,
+        Some(v) if v.contains("keep-alive") => true,
+        _ => version == Version::Http11,
+    };
+    let (path, query) = split_target(target)?;
+    Ok(HttpRequest {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Version {
+    Http10,
+    Http11,
+}
+
+/// `METHOD SP TARGET SP HTTP/1.x` — anything else is a 400.
+fn parse_request_line(line: &str) -> Result<(&str, &str, Version), HttpError> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest(
+            "request line is not `METHOD TARGET VERSION`",
+        ));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest("malformed method token"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest("target must be origin-form"));
+    }
+    let version = match version {
+        "HTTP/1.1" => Version::Http11,
+        "HTTP/1.0" => Version::Http10,
+        _ => return Err(HttpError::BadRequest("unsupported HTTP version")),
+    };
+    Ok((method, target, version))
+}
+
+/// Splits `/path?a=1&b=2` into the decoded path and decoded query pairs.
+fn split_target(target: &str) -> Result<(String, Vec<(String, String)>), HttpError> {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = percent_decode(path)?;
+    let mut params = Vec::new();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        params.push((percent_decode(k)?, percent_decode(v)?));
+    }
+    Ok((path, params))
+}
+
+/// Percent-decodes a target component (`+` is a space in queries; an
+/// incomplete or non-hex escape is a 400, not a silent passthrough).
+fn percent_decode(s: &str) -> Result<String, HttpError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let (Some(&h), Some(&l)) = (bytes.get(i + 1), bytes.get(i + 2)) else {
+                    return Err(HttpError::BadRequest("truncated percent escape"));
+                };
+                let byte = (hex_val(h).ok_or(HttpError::BadRequest("non-hex percent escape"))?
+                    << 4)
+                    | hex_val(l).ok_or(HttpError::BadRequest("non-hex percent escape"))?;
+                out.push(byte);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| HttpError::BadRequest("target is not UTF-8"))
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Index one past the `\r\n\r\n` terminating the head, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// One `read` into `buf`. EOF maps to [`HttpError::Closed`] at a request
+/// boundary (`at_boundary`) and to a 400 mid-request.
+fn fill(reader: &mut impl Read, buf: &mut Vec<u8>, at_boundary: bool) -> Result<(), HttpError> {
+    let mut chunk = [0u8; 4096];
+    match reader.read(&mut chunk) {
+        Ok(0) => Err(if at_boundary {
+            HttpError::Closed
+        } else {
+            HttpError::BadRequest("connection closed mid-request")
+        }),
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            Ok(())
+        }
+        // A blocking-socket read timeout surfaces as WouldBlock (unix)
+        // or TimedOut (windows); both mean the peer stalled.
+        Err(e) => Err(HttpError::Io(e.kind())),
+    }
+}
+
+/// One response, written with exact `Content-Length` framing.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The body (UTF-8; this edge only emits JSON and plain text).
+    pub body: String,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Emitted as a `Retry-After: <seconds>` header when set (on 429s
+    /// and overload 503s, so well-behaved clients can pace themselves).
+    pub retry_after: Option<u32>,
+    /// Close the connection after this response (`Connection: close`).
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body,
+            content_type: "application/json",
+            retry_after: None,
+            close: false,
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "<kind>", "detail": "<detail>"}`.
+    pub fn error(status: u16, kind: &str, detail: &str) -> Response {
+        Response::json(
+            status,
+            format!(
+                "{{\"error\": \"{}\", \"detail\": \"{}\"}}",
+                escape_json(kind),
+                escape_json(detail)
+            ),
+        )
+    }
+
+    /// Marks the response as connection-closing.
+    pub fn closing(mut self) -> Response {
+        self.close = true;
+        self
+    }
+
+    /// Attaches a `Retry-After` hint.
+    pub fn retry_after(mut self, seconds: u32) -> Response {
+        self.retry_after = Some(seconds);
+        self
+    }
+
+    /// The standard reason phrase for the statuses this edge emits.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises `resp` onto the wire.
+pub fn write_response(writer: &mut impl Write, resp: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        resp.status,
+        resp.reason(),
+        resp.content_type,
+        resp.body.len()
+    );
+    if let Some(seconds) = resp.retry_after {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    if resp.close {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(resp.body.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<HttpRequest, HttpError> {
+        let mut reader = io::Cursor::new(bytes.to_vec());
+        let mut buf = Vec::new();
+        read_request(&mut reader, &mut buf, &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = parse(b"GET /route?city=0&o=1&d=2&t=8.5 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/route");
+        assert_eq!(req.query_param("city"), Some("0"));
+        assert_eq!(req.query_param("t"), Some("8.5"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn http10_defaults_to_close_and_connection_headers_override() {
+        assert!(!parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for garbage in [
+            &b"NOT-HTTP\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET / HTTP/1.1 EXTRA\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET relative HTTP/1.1\r\n\r\n",
+            b"\x00\x01\x02\x03\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(garbage), Err(HttpError::BadRequest(_))),
+                "{garbage:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_reads_reassemble_one_request() {
+        // A reader yielding one byte per call: the head arrives in 40+
+        // fragments and must still parse.
+        struct OneByte(Vec<u8>, usize);
+        impl Read for OneByte {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                out[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let mut reader = OneByte(b"GET /stats HTTP/1.1\r\n\r\n".to_vec(), 0);
+        let mut buf = Vec::new();
+        let req = read_request(&mut reader, &mut buf, &HttpLimits::default()).unwrap();
+        assert_eq!(req.path, "/stats");
+    }
+
+    #[test]
+    fn oversized_heads_are_cut_off() {
+        let limits = HttpLimits {
+            max_head_bytes: 256,
+            ..HttpLimits::default()
+        };
+        let huge = format!("GET / HTTP/1.1\r\nX-Junk: {}\r\n\r\n", "a".repeat(10_000));
+        let mut reader = io::Cursor::new(huge.into_bytes());
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_request(&mut reader, &mut buf, &limits),
+            Err(HttpError::HeadersTooLarge)
+        );
+    }
+
+    #[test]
+    fn too_many_headers_are_rejected() {
+        let limits = HttpLimits {
+            max_headers: 4,
+            ..HttpLimits::default()
+        };
+        let mut req = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..8 {
+            req.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        req.push_str("\r\n");
+        let mut reader = io::Cursor::new(req.into_bytes());
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_request(&mut reader, &mut buf, &limits),
+            Err(HttpError::HeadersTooLarge)
+        );
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_by_declared_length() {
+        let limits = HttpLimits {
+            max_body_bytes: 8,
+            ..HttpLimits::default()
+        };
+        let mut reader =
+            io::Cursor::new(b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n".to_vec());
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_request(&mut reader, &mut buf, &limits),
+            Err(HttpError::BodyTooLarge)
+        );
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order_and_garbage_after_fails() {
+        let wire = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\njunk\r\n\r\n".to_vec();
+        let mut reader = io::Cursor::new(wire);
+        let mut buf = Vec::new();
+        let limits = HttpLimits::default();
+        assert_eq!(
+            read_request(&mut reader, &mut buf, &limits).unwrap().path,
+            "/a"
+        );
+        assert_eq!(
+            read_request(&mut reader, &mut buf, &limits).unwrap().path,
+            "/b"
+        );
+        assert!(matches!(
+            read_request(&mut reader, &mut buf, &limits),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_and_mid_request_eof_is_bad() {
+        assert_eq!(parse(b"").unwrap_err(), HttpError::Closed);
+        assert!(matches!(parse(b"GET / HT"), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn body_bytes_are_consumed_exactly() {
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /y HTTP/1.1\r\n\r\n";
+        let mut reader = io::Cursor::new(wire.to_vec());
+        let mut buf = Vec::new();
+        let limits = HttpLimits::default();
+        let first = read_request(&mut reader, &mut buf, &limits).unwrap();
+        assert_eq!(first.body, b"body");
+        let second = read_request(&mut reader, &mut buf, &limits).unwrap();
+        assert_eq!(second.path, "/y");
+    }
+
+    #[test]
+    fn percent_decoding_is_strict() {
+        let req = parse(b"GET /route?t=8%2E5&name=a+b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("t"), Some("8.5"));
+        assert_eq!(req.query_param("name"), Some("a b"));
+        assert!(matches!(
+            parse(b"GET /route?t=%zz HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /route?t=%2 HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn responses_carry_exact_framing_and_hints() {
+        let mut out = Vec::new();
+        let resp = Response::json(200, "{\"ok\": true}".into());
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\": true}"));
+
+        let mut out = Vec::new();
+        let resp = Response::error(429, "busy", "queue full")
+            .retry_after(1)
+            .closing();
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_bytes() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -526,6 +526,39 @@ impl Ticket {
         }
     }
 
+    /// Blocks for at most `timeout` waiting for the result. On
+    /// completion returns it (`Ok`); on expiry returns the ticket
+    /// itself (`Err`), so the caller can keep polling, re-wait, or
+    /// abandon it — the request still runs either way and its result
+    /// still feeds the city's truth store. This is the primitive behind
+    /// request deadlines at a serving edge: answer 504 on `Err` without
+    /// losing the work already queued.
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<ServedRoute, ServiceError>, Ticket> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.slot.state.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = state.take() {
+                return Ok(result);
+            }
+            let Some(remaining) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                drop(state);
+                return Err(self);
+            };
+            let (guard, _timed_out) = self
+                .slot
+                .done
+                .wait_timeout(state, remaining)
+                .expect("ticket poisoned");
+            state = guard;
+        }
+    }
+
     /// Polls without blocking: `None` while the request is in flight,
     /// the (cloned) result once it completed.
     pub fn try_wait(&self) -> Option<Result<ServedRoute, ServiceError>> {
@@ -1416,6 +1449,52 @@ mod tests {
         assert!(lat > Duration::ZERO);
         // try_wait clones; wait still yields the result afterwards.
         assert!(ticket.wait().is_ok());
+        platform.shutdown();
+    }
+
+    #[test]
+    fn wait_timeout_expires_then_completes() {
+        // A platform with zero appetite: one worker, wedged behind a
+        // slow-city request, so a second ticket predictably outlives a
+        // tiny deadline.
+        let platform = Platform::start(PlatformConfig {
+            workers: 1,
+            queue_capacity: 64,
+            maintenance: None,
+            batch: None,
+        });
+        let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        let submit = |n: u32| {
+            platform
+                .submit(Request::to_city(
+                    id,
+                    NodeId(n),
+                    NodeId(59 - n),
+                    TimeOfDay::from_hours(8.0),
+                ))
+                .unwrap()
+        };
+        // Enough queued work that the last ticket cannot resolve within
+        // a zero-length deadline.
+        let tickets: Vec<Ticket> = (0..16).map(submit).collect();
+        let last = tickets.into_iter().next_back().unwrap();
+        let mut ticket = match last.wait_timeout(Duration::ZERO) {
+            Err(ticket) => ticket,
+            // Absurdly fast machine: the result is already in — the Ok
+            // side is still a valid outcome of the API.
+            Ok(result) => return assert!(result.is_ok()),
+        };
+        // The returned ticket keeps working: a generous re-wait joins
+        // the same request.
+        loop {
+            match ticket.wait_timeout(Duration::from_secs(5)) {
+                Ok(result) => {
+                    assert!(result.is_ok());
+                    break;
+                }
+                Err(t) => ticket = t,
+            }
+        }
         platform.shutdown();
     }
 

@@ -32,6 +32,11 @@
 //! by share of the end-to-end p95 sojourn, and the fraction of
 //! attributed time spent blocked on contended locks.
 //!
+//! With `--http [addr]`, the sweep is skipped entirely: the two-city
+//! platform is built once and served over HTTP by `cp-gateway` (default
+//! `127.0.0.1:8080`) until the process is killed — `GET /route`,
+//! `/stats`, `/trace`, `/healthz`.
+//!
 //! Run with:
 //!
 //! ```sh
@@ -40,8 +45,10 @@
 //! cargo run --release --example serve_city -- --batch    # + coalescing
 //! cargo run --release --example serve_city -- --adaptive # + self-tuning window
 //! cargo run --release --example serve_city -- --trace    # + stage attribution
+//! cargo run --release --example serve_city -- --http     # HTTP edge on :8080
 //! ```
 
+use cp_gateway::{Gateway, GatewayConfig};
 use cp_service::{
     BatchConfig, Platform, PlatformConfig, Request, ServiceConfig, ServiceError, Stage, Ticket,
     TraceConfig,
@@ -69,11 +76,85 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// Builds the shared two-city platform (85/15 metro/town) exactly as
+/// each sweep step does, honouring the resolution/batching/tracing
+/// flags.
+fn build_platform(
+    metro: &SimWorld,
+    metro_world: &std::sync::Arc<cp_service::World>,
+    town: &SimWorld,
+    town_world: &std::sync::Arc<cp_service::World>,
+    workers: usize,
+    crowd: bool,
+    batch: bool,
+    adaptive: bool,
+    trace: bool,
+) -> (Platform, [CityTraffic; 2]) {
+    let platform = Platform::start(PlatformConfig {
+        workers,
+        queue_capacity: 512,
+        maintenance: None,
+        batch: batch.then(|| {
+            if adaptive {
+                BatchConfig::adaptive(16, Duration::from_millis(2))
+            } else {
+                BatchConfig::default()
+            }
+        }),
+    });
+    let service_cfg = || {
+        let mut cfg = ServiceConfig::default();
+        if trace {
+            // Counters on every request, one full trace per 64
+            // requests kept in a 32-entry ring per city.
+            cfg.trace = TraceConfig::sampled(64, 32);
+        }
+        cfg
+    };
+    let register = |sim: &SimWorld, world: &std::sync::Arc<cp_service::World>, seed: u64| {
+        if crowd {
+            // 200 workers per city behind a shared desk; at most 3
+            // concurrently outstanding tasks per human worker.
+            platform
+                .register_city_crowd(
+                    world.clone(),
+                    service_cfg(),
+                    sim.crowd_serving(200, 15, seed, 3),
+                )
+                .expect("crowd serving inputs are valid")
+        } else {
+            platform.register_city(world.clone(), service_cfg())
+        }
+    };
+    let cities = [
+        CityTraffic {
+            id: register(metro, metro_world, 42),
+            ods: metro.request_stream(600, 4, 777),
+            share: 0.85,
+        },
+        CityTraffic {
+            id: register(town, town_world, 7),
+            ods: town.request_stream(120, 2, 778),
+            share: 1.0, // remainder
+        },
+    ];
+    (platform, cities)
+}
+
 fn main() {
-    let crowd = std::env::args().any(|a| a == "--crowd");
-    let adaptive = std::env::args().any(|a| a == "--adaptive");
-    let batch = adaptive || std::env::args().any(|a| a == "--batch");
-    let trace = std::env::args().any(|a| a == "--trace");
+    let args: Vec<String> = std::env::args().collect();
+    let crowd = args.iter().any(|a| a == "--crowd");
+    let adaptive = args.iter().any(|a| a == "--adaptive");
+    let batch = adaptive || args.iter().any(|a| a == "--batch");
+    let trace = args.iter().any(|a| a == "--trace");
+    // `--http` serves instead of sweeping; an optional following
+    // argument overrides the bind address.
+    let http_addr: Option<String> = args.iter().position(|a| a == "--http").map(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_string())
+    });
     let t0 = Instant::now();
     println!("building worlds (Medium metro + Small satellite)…");
     let metro = SimWorld::build(Scale::Medium, 42).expect("metro world");
@@ -92,6 +173,46 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(4)
         .min(8);
+
+    if let Some(addr) = http_addr {
+        // Serve mode: one long-lived platform behind the HTTP edge, no
+        // sweep. Runs until the process is killed.
+        let (platform, cities) = build_platform(
+            &metro,
+            &metro_world,
+            &town,
+            &town_world,
+            workers,
+            crowd,
+            batch,
+            adaptive,
+            trace,
+        );
+        let platform = std::sync::Arc::new(platform);
+        let gw = Gateway::start(
+            std::sync::Arc::clone(&platform),
+            GatewayConfig {
+                addr,
+                handler_threads: workers,
+                ..GatewayConfig::default()
+            },
+        )
+        .expect("gateway binds");
+        let (from, to) = cities[0].ods[0];
+        println!("serving on http://{}", gw.local_addr());
+        println!(
+            "  GET /route?city={}&o={}&d={}&t=8  — plan a route",
+            cities[0].id.0, from.0, to.0
+        );
+        println!("  GET /stats                        — gateway + platform counters");
+        println!("  GET /trace                        — span-level trace report");
+        println!("  GET /healthz                      — liveness");
+        println!("kill the process to stop.");
+        loop {
+            std::thread::park();
+        }
+    }
+
     println!(
         "open-loop sweep ({}): Poisson arrivals, {workers} platform workers, \
          85/15 metro/town split, 1.5 s per target rate\n",
@@ -102,10 +223,11 @@ fn main() {
         }
     );
     println!(
-        "{:>7}  {:>8}  {:>8}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>6}  {:>7}  {:>6}  {:>8}  {:>9}  {:>7}",
+        "{:>7}  {:>8}  {:>8}  {:>6}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>6}  {:>7}  {:>6}  {:>8}  {:>9}  {:>7}",
         "req/s",
         "offered",
         "served",
+        "shed",
         "shed%",
         "p50",
         "p95",
@@ -131,54 +253,17 @@ fn main() {
     for &rate in rates {
         // A fresh platform per rate so one rate's warm truth store does
         // not flatter the next.
-        let platform = Platform::start(PlatformConfig {
+        let (platform, cities) = build_platform(
+            &metro,
+            &metro_world,
+            &town,
+            &town_world,
             workers,
-            queue_capacity: 512,
-            maintenance: None,
-            batch: batch.then(|| {
-                if adaptive {
-                    BatchConfig::adaptive(16, Duration::from_millis(2))
-                } else {
-                    BatchConfig::default()
-                }
-            }),
-        });
-        let service_cfg = || {
-            let mut cfg = ServiceConfig::default();
-            if trace {
-                // Counters on every request, one full trace per 64
-                // requests kept in a 32-entry ring per city.
-                cfg.trace = TraceConfig::sampled(64, 32);
-            }
-            cfg
-        };
-        let register = |sim: &SimWorld, world: &std::sync::Arc<cp_service::World>, seed: u64| {
-            if crowd {
-                // 200 workers per city behind a shared desk; at most 3
-                // concurrently outstanding tasks per human worker.
-                platform
-                    .register_city_crowd(
-                        world.clone(),
-                        service_cfg(),
-                        sim.crowd_serving(200, 15, seed, 3),
-                    )
-                    .expect("crowd serving inputs are valid")
-            } else {
-                platform.register_city(world.clone(), service_cfg())
-            }
-        };
-        let cities = [
-            CityTraffic {
-                id: register(&metro, &metro_world, 42),
-                ods: metro.request_stream(600, 4, 777),
-                share: 0.85,
-            },
-            CityTraffic {
-                id: register(&town, &town_world, 7),
-                ods: town.request_stream(120, 2, 778),
-                share: 1.0, // remainder
-            },
-        ];
+            crowd,
+            batch,
+            adaptive,
+            trace,
+        );
 
         let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ rate as u64);
         let duration = Duration::from_millis(1500);
@@ -236,9 +321,18 @@ fn main() {
 
         let agg = platform.stats();
         assert!(agg.is_consistent(), "admission accounting must balance");
+        // The platform's own Busy count must agree with what this load
+        // generator observed at submit time — surfacing the absolute
+        // shed count per rate step (not just a percentage) makes the
+        // admission controller's work visible even in machine-only runs
+        // where the percentage rounds to 0.0.
+        assert_eq!(
+            agg.rejected_busy, shed,
+            "platform Busy count must match submit-side shed count"
+        );
         let truth_rate = agg.aggregate.truth_hit_rate();
         println!(
-            "{rate:>7.0}  {offered:>8}  {:>8}  {:>5.1}%  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>8.1}%  {:>5.1}%  {:>6.1}%  {:>6}  {:>8.0?}  {:>9}  {:>7}",
+            "{rate:>7.0}  {offered:>8}  {:>8}  {shed:>6}  {:>5.1}%  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>8.1}%  {:>5.1}%  {:>6.1}%  {:>6}  {:>8.0?}  {:>9}  {:>7}",
             latencies.len(),
             100.0 * shed as f64 / offered.max(1) as f64,
             percentile(&latencies, 0.50),
