@@ -217,6 +217,7 @@ fn run_mode(
         queue_capacity: 512,
         maintenance: None,
         batch: mode.batch(),
+        durability: None,
     });
     // Exact-endpoint reuse: every *distinct* OD pays one mining, which
     // makes the miss path (the thing coalescing fuses) the measured
@@ -365,6 +366,7 @@ fn run_wire(
         queue_capacity: 512,
         maintenance: None,
         batch: Some(BatchConfig::adaptive(16, Duration::from_millis(2))),
+        durability: None,
     }));
     let id = platform.register_city(
         std::sync::Arc::clone(world),
@@ -503,6 +505,161 @@ fn run_wire(
         other_status: other,
         gateway,
     }
+}
+
+struct DurabilityReport {
+    mode: String,
+    served: usize,
+    req_per_s: f64,
+    events_logged: u64,
+    events_shed: u64,
+    wal_bytes: u64,
+    /// Time to rebuild a fresh platform's state from the produced log
+    /// (0 for the logging-off row).
+    recovery_ms: f64,
+    /// Truth entries the recovery applied.
+    recovered_truths: u64,
+    /// Whether the recovered store matched the live store entry-wise
+    /// (vacuously true for the logging-off row).
+    replay_matches: bool,
+}
+
+/// A store's contents as comparable bytes: `(seq, from, to,
+/// departure-bits, confidence-bits, edge ids)` in sequence order.
+fn store_signature(
+    store: &cp_service::ShardedTruthStore,
+) -> Vec<(u64, u32, u32, u64, u64, Vec<u32>)> {
+    store
+        .export()
+        .into_iter()
+        .map(|(seq, e)| {
+            (
+                seq,
+                e.from.0,
+                e.to.0,
+                e.departure.0.to_bits(),
+                e.confidence.to_bits(),
+                e.path.edges().iter().map(|id| id.0).collect(),
+            )
+        })
+        .collect()
+}
+
+/// One firehose pass with durability off / WAL-no-fsync / WAL-group-
+/// fsync, then (for the durable rows) a timed recovery of the produced
+/// log into a fresh platform, asserted entry-wise identical to the
+/// live store the log was written by.
+fn run_durability(
+    world: &std::sync::Arc<cp_service::World>,
+    sequence: &[Request],
+    workers: usize,
+    fsync: Option<cp_service::FsyncPolicy>,
+) -> DurabilityReport {
+    let label = match fsync {
+        None => "off",
+        Some(cp_service::FsyncPolicy::Never) => "wal-nofsync",
+        Some(cp_service::FsyncPolicy::Group) => "wal-group-fsync",
+    };
+    let dir = std::env::temp_dir().join(format!("cp_bench_durable_{}_{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let platform = Platform::start(PlatformConfig {
+        workers,
+        queue_capacity: 512,
+        maintenance: None,
+        batch: None,
+        durability: fsync.map(|policy| cp_service::DurabilityConfig::new(&dir).with_fsync(policy)),
+    });
+    let id = platform.register_city(
+        std::sync::Arc::clone(world),
+        ServiceConfig::strict_deterministic(),
+    );
+    let start = Instant::now();
+    let tickets: Vec<Ticket> = sequence
+        .iter()
+        .map(|&req| {
+            let mut req = req;
+            req.city = id;
+            platform.submit_blocking(req).expect("admitted")
+        })
+        .collect();
+    for ticket in &tickets {
+        while !ticket.is_done() {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    let wall = start.elapsed();
+    // Fold the tail of the commit channel into the log before reading
+    // counters or the log itself.
+    platform.sync_durable();
+    let durability = platform.stats().durability;
+    let live = {
+        let svc = platform.city_service(id).expect("registered");
+        store_signature(svc.truths())
+    };
+    platform.shutdown();
+
+    let (recovery_ms, recovered_truths, replay_matches) = if fsync.is_some() {
+        let fresh = Platform::start(PlatformConfig {
+            workers: 1,
+            queue_capacity: 16,
+            maintenance: None,
+            batch: None,
+            durability: None,
+        });
+        let fresh_id = fresh.register_city(
+            std::sync::Arc::clone(world),
+            ServiceConfig::strict_deterministic(),
+        );
+        let t = Instant::now();
+        let report = fresh.recover_from(&dir).expect("recovering the bench log");
+        let recovery = t.elapsed();
+        let recovered = {
+            let svc = fresh.city_service(fresh_id).expect("registered");
+            store_signature(svc.truths())
+        };
+        fresh.shutdown();
+        (
+            recovery.as_secs_f64() * 1e3,
+            report.truths_restored + report.truths_replayed,
+            recovered == live,
+        )
+    } else {
+        (0.0, 0, true)
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    let (events_logged, events_shed, wal_bytes) = durability
+        .map(|d| (d.events_logged, d.events_shed, d.wal_bytes))
+        .unwrap_or((0, 0, 0));
+    DurabilityReport {
+        mode: label.to_string(),
+        served: tickets.len(),
+        req_per_s: tickets.len() as f64 / wall.as_secs_f64().max(1e-9),
+        events_logged,
+        events_shed,
+        wal_bytes,
+        recovery_ms,
+        recovered_truths,
+        replay_matches,
+    }
+}
+
+fn durability_json(r: &DurabilityReport) -> String {
+    format!(
+        concat!(
+            "{{ \"mode\": \"{}\", \"served\": {}, \"req_per_s\": {:.1}, ",
+            "\"events_logged\": {}, \"events_shed\": {}, \"wal_bytes\": {}, ",
+            "\"recovery_ms\": {:.2}, \"recovered_truths\": {}, \"replay_matches\": {} }}"
+        ),
+        r.mode,
+        r.served,
+        r.req_per_s,
+        r.events_logged,
+        r.events_shed,
+        r.wal_bytes,
+        r.recovery_ms,
+        r.recovered_truths,
+        r.replay_matches,
+    )
 }
 
 /// One traced worker-sweep row's JSON: throughput, the per-stage
@@ -880,6 +1037,38 @@ fn main() {
         );
     }
 
+    // Durability cost: the same firehose workload with resolution
+    // logging off / on without fsync / on with group fsync, plus the
+    // time to rebuild a fresh platform from the produced log.
+    println!("durability (firehose, commit log):");
+    let durability: Vec<DurabilityReport> = [
+        None,
+        Some(cp_service::FsyncPolicy::Never),
+        Some(cp_service::FsyncPolicy::Group),
+    ]
+    .into_iter()
+    .map(|fsync| {
+        let r = run_durability(&world, &sequence, workers, fsync);
+        assert!(
+            r.replay_matches,
+            "recovering the {} log must rebuild the live truth store exactly",
+            r.mode
+        );
+        println!(
+            "  {:>15}: {:>9.1} req/s  logged {:>6}  shed {:>3}  {:>8} wal bytes  \
+             recovery {:>7.2} ms ({} truths)",
+            r.mode,
+            r.req_per_s,
+            r.events_logged,
+            r.events_shed,
+            r.wal_bytes,
+            r.recovery_ms,
+            r.recovered_truths,
+        );
+        r
+    })
+    .collect();
+
     // The loopback-TCP row: the hot-spot workload through the HTTP
     // edge, syscalls and parsing included.
     let wire = args.wire.then(|| {
@@ -923,6 +1112,7 @@ fn main() {
         .collect();
     let moderate_json: Vec<String> = moderate.iter().map(mode_json).collect();
     let sweep_rows: Vec<String> = sweep.iter().map(|(w, r)| sweep_json(r, *w)).collect();
+    let durability_rows: Vec<String> = durability.iter().map(durability_json).collect();
     let json = format!(
         concat!(
             "{{\n",
@@ -939,6 +1129,7 @@ fn main() {
             "  \"modes\": [\n    {}\n  ],\n",
             "  \"moderate\": [\n    {}\n  ],\n",
             "  \"worker_sweep\": [\n    {}\n  ],\n",
+            "  \"durability\": [\n    {}\n  ],\n",
             "  \"wire\": {},\n",
             "  \"speedup_req_per_s\": {:.4},\n",
             "  \"adaptive_over_static_req_per_s\": {:.4},\n",
@@ -956,6 +1147,7 @@ fn main() {
         firehose_json.join(",\n    "),
         moderate_json.join(",\n    "),
         sweep_rows.join(",\n    "),
+        durability_rows.join(",\n    "),
         wire.as_ref()
             .map(wire_json)
             .unwrap_or_else(|| "null".to_string()),

@@ -40,12 +40,49 @@
 //! inside [`try_reserve`](CrowdDesk::try_reserve) under the desk mutex,
 //! where the cap is checked first.
 
-use crate::platform::{AnswerTally, Platform};
+use crate::platform::{AnswerTally, Platform, PlatformState, StateSizeMismatch};
 use crate::population::WorkerPopulation;
 use crate::worker::WorkerId;
 use cp_roadnet::{Landmark, LandmarkId};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// One recorded crowd answer, as seen by an [`AnswerObserver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnswerRecord {
+    /// The worker who answered.
+    pub worker: WorkerId,
+    /// The landmark the question was about.
+    pub landmark: LandmarkId,
+    /// Whether the answer matched ground truth.
+    pub correct: bool,
+    /// Sampled response time, seconds.
+    pub response_time: f64,
+    /// The platform generation *after* this answer. Observers are
+    /// invoked under the desk's platform lock, so for a given desk the
+    /// observed generations are strictly increasing.
+    pub generation: u64,
+}
+
+/// Callback invoked for every answer a desk records (durability hook).
+/// Called with the platform lock held — keep it non-blocking (e.g. a
+/// bounded-channel `try_send`).
+pub type AnswerObserver = Box<dyn Fn(&AnswerRecord) + Send + Sync>;
+
+/// Durability access to a desk's underlying platform state: export for
+/// snapshots, import for recovery, answer re-application for log
+/// replay, and the observer hook feeding the event log.
+pub trait CrowdState: Send + Sync {
+    /// Point-in-time copy of the mutable platform state.
+    fn export_state(&self) -> PlatformState;
+    /// Replaces the platform state with a previously exported one.
+    fn import_state(&self, state: &PlatformState) -> Result<(), StateSizeMismatch>;
+    /// Re-applies one logged answer (no sampling, RNG untouched).
+    fn apply_answer(&self, record: &AnswerRecord);
+    /// Installs the answer observer. The first installation wins;
+    /// returns `false` (and ignores `observer`) if one is already set.
+    fn set_answer_observer(&self, observer: AnswerObserver) -> bool;
+}
 
 /// Read-only crowd observables: everything the worker-selection pipeline
 /// (familiarity matrix, response-time filter, quota filter) is allowed to
@@ -290,6 +327,9 @@ pub struct SharedCrowd {
     /// Per-worker high-water mark of the outstanding count, maintained
     /// inside the reserve critical section (exact, not sampled).
     high_water: Mutex<Vec<u32>>,
+    /// Durability hook: invoked (under the platform lock) for every
+    /// recorded answer. Unset desks pay one atomic load per ask.
+    observer: OnceLock<AnswerObserver>,
 }
 
 impl SharedCrowd {
@@ -306,6 +346,7 @@ impl SharedCrowd {
             committed: AtomicU64::new(0),
             released: AtomicU64::new(0),
             high_water: Mutex::new(vec![0; n]),
+            observer: OnceLock::new(),
         }
     }
 
@@ -397,7 +438,21 @@ impl CrowdDesk for SharedCrowd {
     }
 
     fn ask(&self, worker: WorkerId, landmark: &Landmark, truth: bool) -> (bool, f64) {
-        self.lock().ask(worker, landmark, truth)
+        let mut platform = self.lock();
+        let (answer, rt) = platform.ask(worker, landmark, truth);
+        // Notified while the platform lock is held: the observer sees
+        // answers in strict generation order, which is what lets log
+        // replay reproduce the history byte-for-byte.
+        if let Some(observer) = self.observer.get() {
+            observer(&AnswerRecord {
+                worker,
+                landmark: landmark.id,
+                correct: answer == truth,
+                response_time: rt,
+                generation: platform.generation(),
+            });
+        }
+        (answer, rt)
     }
 
     fn award(&self, worker: WorkerId, points: f64) {
@@ -429,6 +484,30 @@ impl CrowdDesk for SharedCrowd {
             committed: self.committed.load(Ordering::Relaxed),
             released: self.released.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl CrowdState for SharedCrowd {
+    fn export_state(&self) -> PlatformState {
+        self.lock().export_state()
+    }
+
+    fn import_state(&self, state: &PlatformState) -> Result<(), StateSizeMismatch> {
+        self.lock().import_state(state)
+    }
+
+    fn apply_answer(&self, record: &AnswerRecord) {
+        self.lock().apply_answer(
+            record.worker,
+            record.landmark,
+            record.correct,
+            record.response_time,
+            record.generation,
+        );
+    }
+
+    fn set_answer_observer(&self, observer: AnswerObserver) -> bool {
+        self.observer.set(observer).is_ok()
     }
 }
 
@@ -526,6 +605,24 @@ impl CrowdDesk for DirectDesk {
     }
 }
 
+impl CrowdState for DirectDesk {
+    fn export_state(&self) -> PlatformState {
+        self.0.export_state()
+    }
+
+    fn import_state(&self, state: &PlatformState) -> Result<(), StateSizeMismatch> {
+        self.0.import_state(state)
+    }
+
+    fn apply_answer(&self, record: &AnswerRecord) {
+        self.0.apply_answer(record);
+    }
+
+    fn set_answer_observer(&self, observer: AnswerObserver) -> bool {
+        self.0.set_answer_observer(observer)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,6 +643,40 @@ mod tests {
         assert_shareable::<SharedCrowd>();
         assert_shareable::<DirectDesk>();
         assert_shareable::<Arc<dyn CrowdDesk>>();
+    }
+
+    #[test]
+    fn answer_observer_sees_every_ask_in_generation_order() {
+        let (lms, p) = platform(5);
+        let desk = SharedCrowd::new(p, 4);
+        let seen: Arc<Mutex<Vec<AnswerRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        assert!(desk.set_answer_observer(Box::new(move |r| sink.lock().unwrap().push(*r))));
+        // A second installation is refused, not silently swapped.
+        assert!(!desk.set_answer_observer(Box::new(|_| {})));
+        let lm = lms.get(LandmarkId(0)).clone();
+        for i in 0..6u32 {
+            let (answer, rt) = desk.ask(WorkerId(i % 3), &lm, i % 2 == 0);
+            let rec = seen.lock().unwrap().last().copied().unwrap();
+            assert_eq!(rec.correct, answer == (i % 2 == 0));
+            assert_eq!(rec.response_time, rt);
+        }
+        let recs = seen.lock().unwrap();
+        assert_eq!(recs.len(), 6);
+        assert!(recs
+            .windows(2)
+            .all(|w| w[0].generation + 1 == w[1].generation));
+        // Replaying the records onto a second desk (same seed, fresh
+        // platform) reproduces the history exactly.
+        let (_, q) = platform(5);
+        let replay = SharedCrowd::new(q, 4);
+        for r in recs.iter() {
+            replay.apply_answer(r);
+        }
+        let (a, b) = (desk.export_state(), replay.export_state());
+        assert_eq!(a.generation, b.generation);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.response_times, b.response_times);
     }
 
     #[test]

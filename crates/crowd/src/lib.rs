@@ -28,9 +28,10 @@ pub mod worker;
 
 pub use answer::AnswerModel;
 pub use desk::{
-    CrowdDesk, CrowdObserve, DeskStats, DirectDesk, QuotaExhausted, Reservation, SharedCrowd,
+    AnswerObserver, AnswerRecord, CrowdDesk, CrowdObserve, CrowdState, DeskStats, DirectDesk,
+    QuotaExhausted, Reservation, SharedCrowd,
 };
-pub use platform::{AnswerTally, Platform};
+pub use platform::{AnswerTally, Platform, PlatformState, StateSizeMismatch};
 pub use population::{PopulationParams, WorkerPopulation};
 pub use response::{estimate_lambda, response_probability, sample_response_time};
 pub use worker::{Worker, WorkerId};

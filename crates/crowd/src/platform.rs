@@ -26,6 +26,50 @@ pub struct AnswerTally {
     pub wrong: u32,
 }
 
+/// Portable image of a [`Platform`]'s mutable state, for durability.
+///
+/// Field types are deliberately raw (`u32` ids, `u64` tallies) so the
+/// persistence layer can serialize it without depending on this crate's
+/// types. Outstanding-task counts are excluded: they track in-flight
+/// reservations, which do not survive a restart.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlatformState {
+    /// Answer-history generation (total answers ever given).
+    pub generation: u64,
+    /// Internal RNG state, so post-restore sampling resumes the exact
+    /// stream an uncrashed run would have produced.
+    pub rng: [u64; 4],
+    /// Reward balance per worker.
+    pub points: Vec<f64>,
+    /// Observed response times per worker (same length as `points`).
+    pub response_times: Vec<Vec<f64>>,
+    /// `(worker, landmark, correct, wrong)` tallies, sorted by
+    /// `(worker, landmark)` for deterministic comparison.
+    pub history: Vec<(u32, u32, u64, u64)>,
+}
+
+/// Error importing [`PlatformState`]: the state was exported from a
+/// population of a different size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateSizeMismatch {
+    /// Workers in the live population.
+    pub expected: usize,
+    /// Workers in the imported state.
+    pub got: usize,
+}
+
+impl std::fmt::Display for StateSizeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "crowd state has {} workers but the live population has {}",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for StateSizeMismatch {}
+
 /// The simulated crowdsourcing platform.
 #[derive(Debug)]
 pub struct Platform {
@@ -149,6 +193,81 @@ impl Platform {
             tally.wrong += 1;
         }
         (answer, rt)
+    }
+
+    /// Re-applies one logged answer without sampling: records the
+    /// response time, bumps the tally, and adopts `generation` (the
+    /// generation the original [`Platform::ask`] left behind). Used by
+    /// log replay, where the outcome is already known — the RNG is
+    /// untouched.
+    pub fn apply_answer(
+        &mut self,
+        worker: WorkerId,
+        landmark: LandmarkId,
+        correct: bool,
+        response_time: f64,
+        generation: u64,
+    ) {
+        self.response_times[worker.index()].push(response_time);
+        self.generation = generation;
+        let tally = self.history.entry((worker, landmark)).or_default();
+        if correct {
+            tally.correct += 1;
+        } else {
+            tally.wrong += 1;
+        }
+    }
+
+    /// Exports the mutable state (answer history, response times,
+    /// rewards, generation, RNG) for persistence. The history is sorted
+    /// by `(worker, landmark)` so exports compare deterministically.
+    pub fn export_state(&self) -> PlatformState {
+        let mut history: Vec<(u32, u32, u64, u64)> = self
+            .history
+            .iter()
+            .map(|((w, l), t)| (w.0, l.0, t.correct as u64, t.wrong as u64))
+            .collect();
+        history.sort_unstable();
+        PlatformState {
+            generation: self.generation,
+            rng: self.rng.state(),
+            points: self.points.clone(),
+            response_times: self.response_times.clone(),
+            history,
+        }
+    }
+
+    /// Replaces the mutable state with a previously exported one.
+    /// Outstanding-task counts reset to zero (no reservations survive a
+    /// restart). Fails if `state` was exported from a population of a
+    /// different size.
+    pub fn import_state(&mut self, state: &PlatformState) -> Result<(), StateSizeMismatch> {
+        let n = self.population.len();
+        if state.points.len() != n || state.response_times.len() != n {
+            return Err(StateSizeMismatch {
+                expected: n,
+                got: state.points.len().max(state.response_times.len()),
+            });
+        }
+        self.generation = state.generation;
+        self.rng = SmallRng::from_state(state.rng);
+        self.points = state.points.clone();
+        self.response_times = state.response_times.clone();
+        self.outstanding = vec![0; n];
+        self.history = state
+            .history
+            .iter()
+            .map(|&(w, l, c, x)| {
+                (
+                    (WorkerId(w), LandmarkId(l)),
+                    AnswerTally {
+                        correct: c.min(u32::MAX as u64) as u32,
+                        wrong: x.min(u32::MAX as u64) as u32,
+                    },
+                )
+            })
+            .collect();
+        Ok(())
     }
 
     /// Warms up the platform with `rounds` historical questions per worker,
@@ -297,6 +416,66 @@ mod tests {
             fam_rate > unfam_rate,
             "familiar {fam_rate} vs unfamiliar {unfam_rate}"
         );
+    }
+
+    #[test]
+    fn export_import_resumes_identical_stream() {
+        let (lms, mut p) = setup();
+        p.warm_up(&lms, 5);
+        let state = p.export_state();
+        // Same population (deterministic from the seed) but a different
+        // platform seed: import must overwrite everything that matters.
+        let city = generate_city(&CityParams::small(), 53).unwrap();
+        let pop = WorkerPopulation::generate(&city.graph, &PopulationParams::default(), 53);
+        let mut q = Platform::new(pop, AnswerModel::default(), 999);
+        q.import_state(&state).unwrap();
+        assert_eq!(q.export_state(), state);
+        // Post-import asks replay the exact stream the original would
+        // have produced.
+        let lm = lms.get(cp_roadnet::LandmarkId(2)).clone();
+        for i in 0..10 {
+            let w = WorkerId(i % 4);
+            assert_eq!(p.ask(w, &lm, i % 2 == 0), q.ask(w, &lm, i % 2 == 0));
+        }
+        assert_eq!(p.export_state(), q.export_state());
+    }
+
+    #[test]
+    fn import_rejects_population_size_mismatch() {
+        let (_, mut p) = setup();
+        let mut state = p.export_state();
+        state.points.pop();
+        state.response_times.pop();
+        assert!(p.import_state(&state).is_err());
+    }
+
+    #[test]
+    fn apply_answer_replays_history_without_rng() {
+        let (lms, mut p) = setup();
+        let q_seed_state = p.export_state();
+        let mut q = {
+            let city = generate_city(&CityParams::small(), 53).unwrap();
+            let pop = WorkerPopulation::generate(&city.graph, &PopulationParams::default(), 53);
+            let mut q = Platform::new(pop, AnswerModel::default(), 777);
+            q.import_state(&q_seed_state).unwrap();
+            q
+        };
+        let mut log = Vec::new();
+        for i in 0..20u32 {
+            let w = WorkerId(i % 4);
+            let li = cp_roadnet::LandmarkId(i % 6);
+            let lm = lms.get(li).clone();
+            let truth = i % 3 == 0;
+            let (answer, rt) = p.ask(w, &lm, truth);
+            log.push((w, li, answer == truth, rt, p.generation()));
+        }
+        for (w, l, correct, rt, generation) in log {
+            q.apply_answer(w, l, correct, rt, generation);
+        }
+        let (a, b) = (p.export_state(), q.export_state());
+        assert_eq!(a.generation, b.generation);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.response_times, b.response_times);
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Error type shared by the WAL and snapshot codecs.
+
+use std::fmt;
+use std::io;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DurableError>;
+
+/// Why a durability operation failed.
+///
+/// Torn tails are **not** errors — the readers truncate them silently
+/// (that is the whole point of the framing). `Corrupt` is reserved for
+/// damage that cannot be attributed to a crashed writer: a bad magic
+/// number, an unknown version, or a snapshot whose whole-file CRC does
+/// not match.
+#[derive(Debug)]
+pub enum DurableError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// A file exists but its contents are not trustworthy.
+    Corrupt(String),
+    /// Recovered state does not fit the live platform (e.g. a snapshot
+    /// for a city that is not registered, or a crowd section whose
+    /// worker count differs from the registered population).
+    Mismatch(String),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "durability i/o error: {e}"),
+            DurableError::Corrupt(msg) => write!(f, "corrupt durability file: {msg}"),
+            DurableError::Mismatch(msg) => write!(f, "recovered state mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}

@@ -1,0 +1,288 @@
+//! Logged events and their byte codec.
+//!
+//! One event is appended per committed effect: a truth-store commit or a
+//! crowd answer. Payload layout (all integers little-endian):
+//!
+//! ```text
+//! u64 wal_seq     chained sequence number (previous record + 1)
+//! u8  kind        1 = Truth, 2 = Answer
+//! u32 city        platform city id
+//! ...             kind-specific fields (see below)
+//! ```
+//!
+//! `Truth` (kind 1): `u64 seq` (store-assigned global sequence), `u32
+//! from`, `u32 to` (node ids), `f64 departure`, `f64 confidence`, `u32
+//! n_edges`, then `n_edges × u32` edge ids. The path is stored as edges,
+//! not nodes — edge ids are unambiguous under parallel edges, so replay
+//! reconstructs the exact `Path`.
+//!
+//! `Answer` (kind 2): `u64 generation` (crowd-platform generation after
+//! this answer), `u32 worker`, `u32 landmark`, `u8 correct`, `f64
+//! response_time`.
+
+use crate::error::{DurableError, Result};
+
+/// Event kind tag for truth commits.
+pub const KIND_TRUTH: u8 = 1;
+/// Event kind tag for crowd answers.
+pub const KIND_ANSWER: u8 = 2;
+
+/// A committed effect worth re-deriving state from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A verified route entered a city's truth store.
+    Truth {
+        /// Platform city id.
+        city: u32,
+        /// Store-assigned global sequence number.
+        seq: u64,
+        /// Origin node id.
+        from: u32,
+        /// Destination node id.
+        to: u32,
+        /// Departure-time tag (seconds since midnight).
+        departure: f64,
+        /// Confidence at verification time.
+        confidence: f64,
+        /// The route as edge ids (unambiguous under parallel edges).
+        edges: Vec<u32>,
+    },
+    /// A crowd worker answered a verification question.
+    Answer {
+        /// Platform city id.
+        city: u32,
+        /// Crowd-platform generation after this answer.
+        generation: u64,
+        /// Worker id.
+        worker: u32,
+        /// Landmark id the question was about.
+        landmark: u32,
+        /// Whether the answer matched ground truth.
+        correct: bool,
+        /// Sampled response time in seconds.
+        response_time: f64,
+    },
+}
+
+impl Event {
+    /// The city the event belongs to.
+    pub fn city(&self) -> u32 {
+        match self {
+            Event::Truth { city, .. } | Event::Answer { city, .. } => *city,
+        }
+    }
+
+    /// Appends the payload (including the leading `wal_seq`) to `buf`.
+    pub fn encode_into(&self, wal_seq: u64, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&wal_seq.to_le_bytes());
+        match self {
+            Event::Truth {
+                city,
+                seq,
+                from,
+                to,
+                departure,
+                confidence,
+                edges,
+            } => {
+                buf.push(KIND_TRUTH);
+                buf.extend_from_slice(&city.to_le_bytes());
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.extend_from_slice(&from.to_le_bytes());
+                buf.extend_from_slice(&to.to_le_bytes());
+                buf.extend_from_slice(&departure.to_le_bytes());
+                buf.extend_from_slice(&confidence.to_le_bytes());
+                buf.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+                for e in edges {
+                    buf.extend_from_slice(&e.to_le_bytes());
+                }
+            }
+            Event::Answer {
+                city,
+                generation,
+                worker,
+                landmark,
+                correct,
+                response_time,
+            } => {
+                buf.push(KIND_ANSWER);
+                buf.extend_from_slice(&city.to_le_bytes());
+                buf.extend_from_slice(&generation.to_le_bytes());
+                buf.extend_from_slice(&worker.to_le_bytes());
+                buf.extend_from_slice(&landmark.to_le_bytes());
+                buf.push(u8::from(*correct));
+                buf.extend_from_slice(&response_time.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes a payload produced by [`Event::encode_into`], returning
+    /// the embedded `wal_seq` and the event.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Event)> {
+        let mut r = Reader::new(payload);
+        let wal_seq = r.u64()?;
+        let kind = r.u8()?;
+        let ev = match kind {
+            KIND_TRUTH => {
+                let city = r.u32()?;
+                let seq = r.u64()?;
+                let from = r.u32()?;
+                let to = r.u32()?;
+                let departure = r.f64()?;
+                let confidence = r.f64()?;
+                let n = r.u32()? as usize;
+                // Cap pre-allocation by what the payload can actually
+                // hold, so a corrupt length cannot balloon memory.
+                let mut edges = Vec::with_capacity(n.min(payload.len() / 4));
+                for _ in 0..n {
+                    edges.push(r.u32()?);
+                }
+                Event::Truth {
+                    city,
+                    seq,
+                    from,
+                    to,
+                    departure,
+                    confidence,
+                    edges,
+                }
+            }
+            KIND_ANSWER => {
+                let city = r.u32()?;
+                let generation = r.u64()?;
+                let worker = r.u32()?;
+                let landmark = r.u32()?;
+                let correct = r.u8()? != 0;
+                let response_time = r.f64()?;
+                Event::Answer {
+                    city,
+                    generation,
+                    worker,
+                    landmark,
+                    correct,
+                    response_time,
+                }
+            }
+            k => return Err(DurableError::Corrupt(format!("unknown event kind {k}"))),
+        };
+        r.expect_end()?;
+        Ok((wal_seq, ev))
+    }
+}
+
+/// Little-endian cursor over a byte slice; every read is bounds-checked
+/// and a short payload surfaces as `Corrupt`, never a panic.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(DurableError::Corrupt(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn expect_end(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(DurableError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_truth() -> Event {
+        Event::Truth {
+            city: 3,
+            seq: 42,
+            from: 7,
+            to: 11,
+            departure: 28_800.5,
+            confidence: 0.875,
+            edges: vec![1, 5, 9, 2],
+        }
+    }
+
+    fn sample_answer() -> Event {
+        Event::Answer {
+            city: 1,
+            generation: 100,
+            worker: 6,
+            landmark: 13,
+            correct: true,
+            response_time: 12.25,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for (seq, ev) in [(0u64, sample_truth()), (u64::MAX, sample_answer())] {
+            let mut buf = Vec::new();
+            ev.encode_into(seq, &mut buf);
+            let (got_seq, got) = Event::decode(&buf).unwrap();
+            assert_eq!(got_seq, seq);
+            assert_eq!(got, ev);
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_corrupt_not_panic() {
+        let mut buf = Vec::new();
+        sample_truth().encode_into(9, &mut buf);
+        for cut in 0..buf.len() {
+            assert!(Event::decode(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        sample_answer().encode_into(1, &mut buf);
+        buf.push(0);
+        assert!(Event::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn corrupt_edge_count_does_not_overallocate() {
+        let mut buf = Vec::new();
+        sample_truth().encode_into(1, &mut buf);
+        // Overwrite n_edges (at offset 8+1+4+8+4+4+8+8 = 45) with a huge value.
+        buf[45..49].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Event::decode(&buf).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Durability layer for the serving platform: a versioned, checksummed
+//! **snapshot** format plus an **append-only event log** (WAL) of
+//! committed resolutions.
+//!
+//! The crate is deliberately dependency-free — not even on the sibling
+//! crates. Events and snapshot records carry raw `u32`/`u64`/`f64`
+//! fields; the service layer converts to and from its typed world
+//! (`NodeId`, `EdgeId`, `TimeOfDay`, `Path`). That keeps the on-disk
+//! format decoupled from in-memory representation churn and makes the
+//! formats testable in isolation.
+//!
+//! Two artifacts live in a durability directory:
+//!
+//! * `wal-<k>.log` — WAL segments ([`wal`]): length-prefixed, per-record
+//!   CRC-checked frames with a monotonically chained sequence number. A
+//!   torn tail (crash mid-write) truncates cleanly at the last valid
+//!   record instead of poisoning recovery.
+//! * `snapshot.cps` — a full-state checkpoint ([`snapshot`]): streamed
+//!   sections with a whole-file CRC in the footer, written to a temp
+//!   file and atomically renamed so a crash mid-snapshot leaves the
+//!   previous checkpoint loadable.
+//!
+//! Recovery is snapshot + replay of every logged event the snapshot does
+//! not already cover; the replay oracle re-applies the log alone onto a
+//! fresh platform and must land entry-wise identical to the live store.
+//! See `crates/durable/README.md` for byte layouts and the
+//! checkpoint/truncation protocol.
+
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod error;
+pub mod event;
+pub mod snapshot;
+pub mod wal;
+
+pub use error::{DurableError, Result};
+pub use event::Event;
+pub use snapshot::{
+    read_snapshot, CitySnapshot, CrowdSnapshot, Snapshot, SnapshotWriter, TruthRec,
+};
+pub use wal::{purge_segments_below, read_log, FsyncPolicy, WalWriter};

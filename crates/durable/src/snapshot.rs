@@ -1,0 +1,450 @@
+//! Checkpoint snapshots: full platform state in one checksummed file.
+//!
+//! ## Layout
+//!
+//! `snapshot.cps` is a stream of tagged sections with a footer:
+//!
+//! ```text
+//! "CPSNAP01" (8 bytes) | u32 version = 1
+//! sections, each starting with a u8 tag:
+//!   0x01 city     u32 city | u64 next_seq          (opens a city scope)
+//!   0x02 truth    u64 seq | u32 from | u32 to | f64 departure
+//!                 | f64 confidence | u32 n_edges | n_edges × u32
+//!   0x03 crowd    u64 generation | 4 × u64 rng state
+//!                 | u32 n_workers | per worker: f64 points
+//!                       | u32 n_response_times | n × f64
+//!                 | u32 n_history | per entry: u32 worker | u32 landmark
+//!                       | u64 correct | u64 wrong
+//! footer:
+//!   0xFF | u64 wal_watermark | u32 city_count | u32 crc32
+//! ```
+//!
+//! The trailing CRC covers every byte before it. Putting it in the
+//! footer (rather than the header) lets the writer stream sections
+//! without seeking back to patch a checksum.
+//!
+//! ## Atomicity
+//!
+//! The writer streams to `snapshot.cps.tmp`, fsyncs, then renames over
+//! `snapshot.cps`. A crash mid-write leaves only a stale `.tmp`, which
+//! readers ignore — the previous checkpoint stays loadable.
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::{crc32, Crc32};
+use crate::error::{DurableError, Result};
+use crate::event::Reader;
+
+const MAGIC: &[u8; 8] = b"CPSNAP01";
+const VERSION: u32 = 1;
+const TAG_CITY: u8 = 0x01;
+const TAG_TRUTH: u8 = 0x02;
+const TAG_CROWD: u8 = 0x03;
+const TAG_FOOTER: u8 = 0xFF;
+
+/// File name of the live checkpoint inside a durability directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.cps";
+const SNAPSHOT_TMP: &str = "snapshot.cps.tmp";
+
+/// One truth-store entry as stored on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthRec {
+    /// Store-assigned global sequence number.
+    pub seq: u64,
+    /// Origin node id.
+    pub from: u32,
+    /// Destination node id.
+    pub to: u32,
+    /// Departure-time tag (seconds since midnight).
+    pub departure: f64,
+    /// Confidence at verification time.
+    pub confidence: f64,
+    /// The route as edge ids.
+    pub edges: Vec<u32>,
+}
+
+/// Crowd-desk state for one city: answer history plus everything needed
+/// to make post-recovery sampling byte-identical to an uncrashed run.
+///
+/// Outstanding reservation counts are deliberately absent — they track
+/// in-flight requests, which do not survive a restart by definition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CrowdSnapshot {
+    /// Crowd-platform generation (total answers ever given).
+    pub generation: u64,
+    /// The crowd RNG's internal state, for exact resumption.
+    pub rng: [u64; 4],
+    /// Accumulated reward points per worker.
+    pub points: Vec<f64>,
+    /// Response-time samples per worker (same length as `points`).
+    pub response_times: Vec<Vec<f64>>,
+    /// Per `(worker, landmark)` answer tallies as
+    /// `(worker, landmark, correct, wrong)`, sorted for determinism.
+    pub history: Vec<(u32, u32, u64, u64)>,
+}
+
+/// Everything snapshotted for one city.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CitySnapshot {
+    /// Platform city id.
+    pub city: u32,
+    /// The truth store's next global sequence number at snapshot time.
+    pub next_seq: u64,
+    /// All stored truths.
+    pub truths: Vec<TruthRec>,
+    /// Crowd state, when the city serves with a crowd desk.
+    pub crowd: Option<CrowdSnapshot>,
+}
+
+/// A fully parsed, CRC-verified snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// WAL watermark: every logged record with `wal_seq` below this was
+    /// already folded into the snapshot; replay starts here.
+    pub wal_watermark: u64,
+    /// Per-city state, in the order the writer streamed it.
+    pub cities: Vec<CitySnapshot>,
+}
+
+/// Streams a snapshot to `<dir>/snapshot.cps.tmp`, renamed into place
+/// by [`SnapshotWriter::finish`]. Dropping the writer without finishing
+/// removes the temp file (a killed process simply leaves it; readers
+/// ignore it either way).
+pub struct SnapshotWriter {
+    file: BufWriter<File>,
+    crc: Crc32,
+    tmp: PathBuf,
+    dir: PathBuf,
+    cities: u32,
+    finished: bool,
+}
+
+impl SnapshotWriter {
+    /// Opens a temp snapshot file in `dir` (created if absent) and
+    /// writes the header.
+    pub fn create(dir: &Path) -> Result<Self> {
+        fs::create_dir_all(dir)?;
+        let tmp = dir.join(SNAPSHOT_TMP);
+        let file = File::create(&tmp)?;
+        let mut w = SnapshotWriter {
+            file: BufWriter::new(file),
+            crc: Crc32::new(),
+            tmp,
+            dir: dir.to_path_buf(),
+            cities: 0,
+            finished: false,
+        };
+        w.write(MAGIC)?;
+        w.write(&VERSION.to_le_bytes())?;
+        Ok(w)
+    }
+
+    fn write(&mut self, bytes: &[u8]) -> Result<()> {
+        self.crc.update(bytes);
+        self.file.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Opens a city scope; subsequent truth/crowd sections belong to it.
+    pub fn begin_city(&mut self, city: u32, next_seq: u64) -> Result<()> {
+        self.write(&[TAG_CITY])?;
+        self.write(&city.to_le_bytes())?;
+        self.write(&next_seq.to_le_bytes())?;
+        self.cities += 1;
+        Ok(())
+    }
+
+    /// Writes one truth entry for the current city.
+    pub fn truth(&mut self, rec: &TruthRec) -> Result<()> {
+        self.write(&[TAG_TRUTH])?;
+        self.write(&rec.seq.to_le_bytes())?;
+        self.write(&rec.from.to_le_bytes())?;
+        self.write(&rec.to.to_le_bytes())?;
+        self.write(&rec.departure.to_le_bytes())?;
+        self.write(&rec.confidence.to_le_bytes())?;
+        self.write(&(rec.edges.len() as u32).to_le_bytes())?;
+        for e in &rec.edges {
+            self.write(&e.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Writes the current city's crowd state.
+    pub fn crowd(&mut self, c: &CrowdSnapshot) -> Result<()> {
+        assert_eq!(
+            c.points.len(),
+            c.response_times.len(),
+            "crowd vectors disagree"
+        );
+        self.write(&[TAG_CROWD])?;
+        self.write(&c.generation.to_le_bytes())?;
+        for s in &c.rng {
+            self.write(&s.to_le_bytes())?;
+        }
+        self.write(&(c.points.len() as u32).to_le_bytes())?;
+        for (points, rts) in c.points.iter().zip(&c.response_times) {
+            self.write(&points.to_le_bytes())?;
+            self.write(&(rts.len() as u32).to_le_bytes())?;
+            for rt in rts {
+                self.write(&rt.to_le_bytes())?;
+            }
+        }
+        self.write(&(c.history.len() as u32).to_le_bytes())?;
+        for (worker, landmark, correct, wrong) in &c.history {
+            self.write(&worker.to_le_bytes())?;
+            self.write(&landmark.to_le_bytes())?;
+            self.write(&correct.to_le_bytes())?;
+            self.write(&wrong.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Writes the footer, fsyncs, and atomically renames the temp file
+    /// over `snapshot.cps`.
+    pub fn finish(mut self, wal_watermark: u64) -> Result<()> {
+        self.write(&[TAG_FOOTER])?;
+        self.write(&wal_watermark.to_le_bytes())?;
+        let cities = self.cities;
+        self.write(&cities.to_le_bytes())?;
+        let crc = self.crc.finish();
+        self.file.write_all(&crc.to_le_bytes())?;
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        let final_path = self.dir.join(SNAPSHOT_FILE);
+        fs::rename(&self.tmp, &final_path)?;
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.finished = true;
+        Ok(())
+    }
+}
+
+impl Drop for SnapshotWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Loads and CRC-verifies `<dir>/snapshot.cps`. `Ok(None)` when no
+/// snapshot exists (a stale `.tmp` alone does not count); `Corrupt`
+/// when the file exists but fails validation — a finished snapshot was
+/// renamed into place atomically, so damage here is not a crash
+/// artifact and must not be silently dropped.
+pub fn read_snapshot(dir: &Path) -> Result<Option<Snapshot>> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut buf = Vec::new();
+    match File::open(&path) {
+        Ok(mut f) => f.read_to_end(&mut buf)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if buf.len() < 8 + 4 + 4 || &buf[..8] != MAGIC {
+        return Err(DurableError::Corrupt("bad snapshot magic".into()));
+    }
+    let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(DurableError::Corrupt(format!(
+            "unknown snapshot version {version}"
+        )));
+    }
+    let body_len = buf.len() - 4;
+    let stored_crc = u32::from_le_bytes(buf[body_len..].try_into().unwrap());
+    if crc32(&buf[..body_len]) != stored_crc {
+        return Err(DurableError::Corrupt("snapshot CRC mismatch".into()));
+    }
+    let mut r = Reader::new(&buf[12..body_len]);
+    let mut cities: Vec<CitySnapshot> = Vec::new();
+    loop {
+        match r.u8()? {
+            TAG_CITY => {
+                let city = r.u32()?;
+                let next_seq = r.u64()?;
+                cities.push(CitySnapshot {
+                    city,
+                    next_seq,
+                    truths: Vec::new(),
+                    crowd: None,
+                });
+            }
+            TAG_TRUTH => {
+                let seq = r.u64()?;
+                let from = r.u32()?;
+                let to = r.u32()?;
+                let departure = r.f64()?;
+                let confidence = r.f64()?;
+                let n = r.u32()? as usize;
+                let mut edges = Vec::with_capacity(n.min(body_len / 4));
+                for _ in 0..n {
+                    edges.push(r.u32()?);
+                }
+                let city = cities
+                    .last_mut()
+                    .ok_or_else(|| DurableError::Corrupt("truth section before any city".into()))?;
+                city.truths.push(TruthRec {
+                    seq,
+                    from,
+                    to,
+                    departure,
+                    confidence,
+                    edges,
+                });
+            }
+            TAG_CROWD => {
+                let generation = r.u64()?;
+                let mut rng = [0u64; 4];
+                for s in &mut rng {
+                    *s = r.u64()?;
+                }
+                let n_workers = r.u32()? as usize;
+                let mut points = Vec::with_capacity(n_workers.min(body_len / 8));
+                let mut response_times = Vec::with_capacity(n_workers.min(body_len / 8));
+                for _ in 0..n_workers {
+                    points.push(r.f64()?);
+                    let n_rts = r.u32()? as usize;
+                    let mut rts = Vec::with_capacity(n_rts.min(body_len / 8));
+                    for _ in 0..n_rts {
+                        rts.push(r.f64()?);
+                    }
+                    response_times.push(rts);
+                }
+                let n_hist = r.u32()? as usize;
+                let mut history = Vec::with_capacity(n_hist.min(body_len / 24));
+                for _ in 0..n_hist {
+                    let worker = r.u32()?;
+                    let landmark = r.u32()?;
+                    let correct = r.u64()?;
+                    let wrong = r.u64()?;
+                    history.push((worker, landmark, correct, wrong));
+                }
+                let city = cities
+                    .last_mut()
+                    .ok_or_else(|| DurableError::Corrupt("crowd section before any city".into()))?;
+                city.crowd = Some(CrowdSnapshot {
+                    generation,
+                    rng,
+                    points,
+                    response_times,
+                    history,
+                });
+            }
+            TAG_FOOTER => {
+                let wal_watermark = r.u64()?;
+                let city_count = r.u32()?;
+                r.expect_end()?;
+                if city_count as usize != cities.len() {
+                    return Err(DurableError::Corrupt(format!(
+                        "footer claims {city_count} cities, found {}",
+                        cities.len()
+                    )));
+                }
+                return Ok(Some(Snapshot {
+                    wal_watermark,
+                    cities,
+                }));
+            }
+            t => {
+                return Err(DurableError::Corrupt(format!(
+                    "unknown snapshot tag {t:#x}"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cp-durable-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_crowd() -> CrowdSnapshot {
+        CrowdSnapshot {
+            generation: 17,
+            rng: [1, 2, 3, 4],
+            points: vec![1.5, 0.0],
+            response_times: vec![vec![10.0, 12.0], vec![]],
+            history: vec![(0, 3, 5, 1), (1, 2, 0, 2)],
+        }
+    }
+
+    fn write_sample(dir: &Path, watermark: u64) -> Snapshot {
+        let mut w = SnapshotWriter::create(dir).unwrap();
+        w.begin_city(0, 7).unwrap();
+        w.truth(&TruthRec {
+            seq: 3,
+            from: 1,
+            to: 2,
+            departure: 600.0,
+            confidence: 1.0,
+            edges: vec![8, 9],
+        })
+        .unwrap();
+        w.crowd(&sample_crowd()).unwrap();
+        w.begin_city(1, 0).unwrap();
+        w.finish(watermark).unwrap();
+        read_snapshot(dir).unwrap().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let snap = write_sample(&dir, 41);
+        assert_eq!(snap.wal_watermark, 41);
+        assert_eq!(snap.cities.len(), 2);
+        assert_eq!(snap.cities[0].city, 0);
+        assert_eq!(snap.cities[0].next_seq, 7);
+        assert_eq!(snap.cities[0].truths.len(), 1);
+        assert_eq!(snap.cities[0].truths[0].edges, vec![8, 9]);
+        assert_eq!(snap.cities[0].crowd.as_ref().unwrap(), &sample_crowd());
+        assert!(snap.cities[1].crowd.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_none_and_stale_tmp_is_ignored() {
+        let dir = tmp_dir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(read_snapshot(&dir).unwrap().is_none());
+        fs::write(dir.join(SNAPSHOT_TMP), b"half-written garbage").unwrap();
+        assert!(read_snapshot(&dir).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_rewrite_keeps_previous_checkpoint() {
+        let dir = tmp_dir("interrupted");
+        let first = write_sample(&dir, 5);
+        // Simulate a writer killed mid-stream: a partial tmp file exists
+        // but was never renamed. The previous snapshot must still load.
+        let mut w = SnapshotWriter::create(&dir).unwrap();
+        w.begin_city(9, 100).unwrap();
+        std::mem::forget(w); // killed: no finish, no Drop cleanup
+        assert!(dir.join(SNAPSHOT_TMP).exists());
+        let still = read_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(still, first);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_final_snapshot_is_an_error() {
+        let dir = tmp_dir("corrupt");
+        write_sample(&dir, 1);
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_snapshot(&dir), Err(DurableError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,456 @@
+//! Append-only event log (WAL), split into segment files.
+//!
+//! ## Layout
+//!
+//! A durability directory holds segments named `wal-<k>.log` with `k`
+//! a zero-padded decimal segment index. Each segment is:
+//!
+//! ```text
+//! header   "CPWAL001" (8 bytes) | u32 version = 1 | u64 segment_index | u64 first_seq
+//! records  repeated: u32 len | u32 crc32(payload) | payload (len bytes)
+//! ```
+//!
+//! Payloads are [`Event`] encodings whose leading `u64` is the record's
+//! `wal_seq`; within a segment these chain `first_seq, first_seq+1, …`.
+//!
+//! ## Torn-tail tolerance
+//!
+//! A crash mid-append leaves a short or CRC-mismatching final frame.
+//! [`read_log`] stops a segment at the first frame that is short, fails
+//! its CRC, or breaks the sequence chain — everything before it is the
+//! longest valid prefix and is returned; nothing after it is applied.
+//! Bad *interior* state that a crashed writer cannot produce (wrong
+//! magic, unknown version, a sequence gap between segments) surfaces as
+//! [`DurableError::Corrupt`] instead.
+//!
+//! ## Writer lifecycle
+//!
+//! [`WalWriter::open`] always starts a **new** segment whose `first_seq`
+//! continues from the last valid record on disk — it never appends to an
+//! existing file, so a torn tail from a previous crash is never written
+//! past (readers skip it forever). [`WalWriter::rotate`] seals the
+//! current segment and starts the next; checkpointing rotates first,
+//! snapshots second, then calls [`purge_segments_below`] — see the crate
+//! README for why that order is crash-safe.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::error::{DurableError, Result};
+use crate::event::Event;
+
+const MAGIC: &[u8; 8] = b"CPWAL001";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+/// Upper bound on a single record payload; larger lengths in a frame
+/// header are treated as tail corruption.
+const MAX_RECORD: u32 = 64 << 20;
+
+/// When the log-writer thread calls `fsync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync on the hot path (OS page cache decides; fastest, may
+    /// lose the last few events on power failure). Data is still
+    /// flushed to the OS after every batch.
+    Never,
+    /// Group commit: drain the queued batch, then one fsync for the
+    /// whole batch.
+    Group,
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:010}.log"))
+}
+
+/// Lists `(segment_index, path)` pairs in ascending index order.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(idx) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((idx, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|(idx, _)| *idx);
+    Ok(out)
+}
+
+/// Best-effort directory fsync so renames/creates survive power loss.
+/// Failure is ignored: not all filesystems support it, and the data
+/// fsyncs still went through.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+struct SegmentHeader {
+    segment_index: u64,
+    first_seq: u64,
+}
+
+fn parse_header(buf: &[u8]) -> Result<Option<SegmentHeader>> {
+    if buf.len() < HEADER_LEN {
+        // Crash right at segment creation: treat the whole segment as a
+        // torn tail (no records lost — none were written).
+        return Ok(None);
+    }
+    if &buf[..8] != MAGIC {
+        return Err(DurableError::Corrupt("bad WAL magic".into()));
+    }
+    let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(DurableError::Corrupt(format!(
+            "unknown WAL version {version}"
+        )));
+    }
+    let segment_index = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+    let first_seq = u64::from_le_bytes(buf[20..28].try_into().unwrap());
+    Ok(Some(SegmentHeader {
+        segment_index,
+        first_seq,
+    }))
+}
+
+/// A parsed segment: its header (if the file is long enough to hold
+/// one) and the decoded valid-prefix records.
+type ParsedSegment = (Option<SegmentHeader>, Vec<(u64, Event)>);
+
+/// Reads one segment's valid record prefix.
+fn read_segment(path: &Path) -> Result<ParsedSegment> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    let header = match parse_header(&buf)? {
+        Some(h) => h,
+        None => return Ok((None, Vec::new())),
+    };
+    let mut records = Vec::new();
+    let mut expected = header.first_seq;
+    let mut pos = HEADER_LEN;
+    loop {
+        if buf.len() - pos < 8 {
+            break; // torn frame header (or clean end)
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD || buf.len() - pos - 8 < len as usize {
+            break; // torn payload
+        }
+        let payload = &buf[pos + 8..pos + 8 + len as usize];
+        if crc32(payload) != crc {
+            break; // torn / bit-rotted tail
+        }
+        let (wal_seq, event) = match Event::decode(payload) {
+            Ok(r) => r,
+            Err(_) => break, // undecodable despite CRC: stop, keep prefix
+        };
+        if wal_seq != expected {
+            break; // chain broken: stop at the last good record
+        }
+        records.push((wal_seq, event));
+        expected += 1;
+        pos += 8 + len as usize;
+    }
+    Ok((Some(header), records))
+}
+
+/// Reads every event in the log, in `wal_seq` order, truncating any
+/// torn tail. Returns an empty vec when the directory holds no
+/// segments. Segments must chain contiguously (`first_seq` of each
+/// equals the sequence after the previous segment's last valid record);
+/// a gap means a segment was lost and surfaces as `Corrupt`.
+pub fn read_log(dir: &Path) -> Result<Vec<(u64, Event)>> {
+    let mut out: Vec<(u64, Event)> = Vec::new();
+    let mut expected: Option<u64> = None;
+    for (idx, path) in list_segments(dir)? {
+        let (header, records) = read_segment(&path)?;
+        let header = match header {
+            Some(h) => h,
+            None => continue, // embryonic segment, no records
+        };
+        if header.segment_index != idx {
+            return Err(DurableError::Corrupt(format!(
+                "segment {} claims index {}",
+                path.display(),
+                header.segment_index
+            )));
+        }
+        if let Some(exp) = expected {
+            if header.first_seq != exp {
+                return Err(DurableError::Corrupt(format!(
+                    "sequence gap: segment {idx} starts at {} but {exp} expected",
+                    header.first_seq
+                )));
+            }
+        }
+        expected = Some(header.first_seq + records.len() as u64);
+        out.extend(records);
+    }
+    Ok(out)
+}
+
+/// Deletes sealed segments with index strictly below `keep_index`.
+/// Returns how many files were removed.
+pub fn purge_segments_below(dir: &Path, keep_index: u64) -> Result<usize> {
+    let mut removed = 0;
+    for (idx, path) in list_segments(dir)? {
+        if idx < keep_index {
+            fs::remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    if removed > 0 {
+        sync_dir(dir);
+    }
+    Ok(removed)
+}
+
+/// Appends framed events to the current segment.
+pub struct WalWriter {
+    dir: PathBuf,
+    file: BufWriter<File>,
+    segment_index: u64,
+    next_seq: u64,
+    bytes_written: u64,
+    scratch: Vec<u8>,
+}
+
+impl WalWriter {
+    /// Opens the log in `dir` (creating the directory if needed) and
+    /// starts a fresh segment continuing the sequence after the last
+    /// valid record on disk. Never appends to an existing segment, so a
+    /// torn tail from a previous crash stays quarantined in its file.
+    pub fn open(dir: &Path) -> Result<Self> {
+        fs::create_dir_all(dir)?;
+        let segments = list_segments(dir)?;
+        let mut next_seq = 0;
+        // Walk backwards to the newest segment with a parseable header;
+        // its first_seq plus its valid-record count is where we resume.
+        for (_, path) in segments.iter().rev() {
+            let (header, records) = read_segment(path)?;
+            if let Some(h) = header {
+                next_seq = h.first_seq + records.len() as u64;
+                break;
+            }
+        }
+        let segment_index = segments.last().map_or(0, |(idx, _)| idx + 1);
+        let file = Self::create_segment(dir, segment_index, next_seq)?;
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            file,
+            segment_index,
+            next_seq,
+            bytes_written: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    fn create_segment(dir: &Path, index: u64, first_seq: u64) -> Result<BufWriter<File>> {
+        let path = segment_path(dir, index);
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        let mut w = BufWriter::new(file);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&index.to_le_bytes())?;
+        w.write_all(&first_seq.to_le_bytes())?;
+        sync_dir(dir);
+        Ok(w)
+    }
+
+    /// Appends one event; returns its assigned `wal_seq`. Buffered —
+    /// call [`WalWriter::flush`] or [`WalWriter::sync`] to push to the
+    /// OS / to disk.
+    pub fn append(&mut self, event: &Event) -> Result<u64> {
+        let wal_seq = self.next_seq;
+        self.scratch.clear();
+        event.encode_into(wal_seq, &mut self.scratch);
+        let crc = crc32(&self.scratch);
+        self.file
+            .write_all(&(self.scratch.len() as u32).to_le_bytes())?;
+        self.file.write_all(&crc.to_le_bytes())?;
+        self.file.write_all(&self.scratch)?;
+        self.bytes_written += 8 + self.scratch.len() as u64;
+        self.next_seq += 1;
+        Ok(wal_seq)
+    }
+
+    /// Flushes buffered frames to the OS (no fsync).
+    pub fn flush(&mut self) -> Result<()> {
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the current segment.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Seals the current segment (flush + fsync) and starts the next.
+    /// Returns the new segment's `first_seq` — the checkpoint
+    /// watermark: every record with `wal_seq` below it is sealed.
+    pub fn rotate(&mut self) -> Result<u64> {
+        self.sync()?;
+        self.segment_index += 1;
+        self.file = Self::create_segment(&self.dir, self.segment_index, self.next_seq)?;
+        Ok(self.next_seq)
+    }
+
+    /// The sequence number the next appended record will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Index of the segment currently being written.
+    pub fn segment_index(&self) -> u64 {
+        self.segment_index
+    }
+
+    /// Total frame bytes appended by this writer (across rotations).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(city: u32, seq: u64) -> Event {
+        Event::Truth {
+            city,
+            seq,
+            from: 1,
+            to: 2,
+            departure: 100.0,
+            confidence: 0.5,
+            edges: vec![3, 4],
+        }
+    }
+
+    fn answer(city: u32, generation: u64) -> Event {
+        Event::Answer {
+            city,
+            generation,
+            worker: 0,
+            landmark: 1,
+            correct: true,
+            response_time: 30.0,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cp-durable-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_across_rotation_and_reopen() {
+        let dir = tmp_dir("roundtrip");
+        let mut events = Vec::new();
+        {
+            let mut w = WalWriter::open(&dir).unwrap();
+            for i in 0..5 {
+                let ev = truth(0, i);
+                assert_eq!(w.append(&ev).unwrap(), i);
+                events.push(ev);
+            }
+            assert_eq!(w.rotate().unwrap(), 5);
+            for i in 0..3 {
+                let ev = answer(0, i);
+                w.append(&ev).unwrap();
+                events.push(ev);
+            }
+            w.sync().unwrap();
+        }
+        // Reopen continues the chain in a fresh segment.
+        let mut w = WalWriter::open(&dir).unwrap();
+        assert_eq!(w.next_seq(), 8);
+        let ev = truth(1, 99);
+        assert_eq!(w.append(&ev).unwrap(), 8);
+        events.push(ev);
+        w.sync().unwrap();
+
+        let log = read_log(&dir).unwrap();
+        assert_eq!(log.len(), events.len());
+        for (i, ((seq, got), want)) in log.iter().zip(&events).enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(got, want);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_valid_prefix() {
+        let dir = tmp_dir("torn");
+        let mut w = WalWriter::open(&dir).unwrap();
+        for i in 0..4 {
+            w.append(&truth(0, i)).unwrap();
+        }
+        w.sync().unwrap();
+        let path = segment_path(&dir, 0);
+        let full = fs::read(&path).unwrap();
+        // Chop the file at every byte boundary: recovery must never
+        // panic and must return a prefix of the four records.
+        for cut in 0..=full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let log = read_log(&dir).unwrap();
+            assert!(log.len() <= 4);
+            for (i, (seq, _)) in log.iter().enumerate() {
+                assert_eq!(*seq, i as u64);
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bitflip_in_tail_record_is_dropped() {
+        let dir = tmp_dir("bitflip");
+        let mut w = WalWriter::open(&dir).unwrap();
+        for i in 0..3 {
+            w.append(&answer(0, i)).unwrap();
+        }
+        w.sync().unwrap();
+        let path = segment_path(&dir, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let log = read_log(&dir).unwrap();
+        assert_eq!(log.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn purge_keeps_unsealed_segments() {
+        let dir = tmp_dir("purge");
+        let mut w = WalWriter::open(&dir).unwrap();
+        w.append(&truth(0, 0)).unwrap();
+        let watermark = w.rotate().unwrap();
+        w.append(&truth(0, 1)).unwrap();
+        w.sync().unwrap();
+        assert_eq!(purge_segments_below(&dir, w.segment_index()).unwrap(), 1);
+        let log = read_log(&dir).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].0, watermark);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -279,6 +279,21 @@ fn stats(state: &AppState) -> Response {
 
 /// The platform's admission/dispatch counters as JSON.
 fn platform_json(snap: &PlatformSnapshot) -> String {
+    let durability = match &snap.durability {
+        None => "null".to_string(),
+        Some(d) => format!(
+            concat!(
+                "{{\"events_logged\": {}, \"events_shed\": {}, \"wal_bytes\": {}, ",
+                "\"io_errors\": {}, \"checkpoints\": {}, \"last_checkpoint_seq\": {}}}"
+            ),
+            d.events_logged,
+            d.events_shed,
+            d.wal_bytes,
+            d.io_errors,
+            d.checkpoints,
+            d.last_checkpoint_seq,
+        ),
+    };
     format!(
         concat!(
             "{{\"submitted\": {}, \"admitted\": {}, \"rejected_busy\": {}, ",
@@ -286,7 +301,8 @@ fn platform_json(snap: &PlatformSnapshot) -> String {
             "\"completed\": {}, \"cities\": {}, \"queue_depth\": {}, ",
             "\"batched_requests\": {}, \"unbatched_requests\": {}, ",
             "\"batch_runs\": {}, \"batch_max\": {}, \"batch_adaptive\": {}, ",
-            "\"batch_delay_us\": {}, \"maintenance_sweeps\": {}}}"
+            "\"batch_delay_us\": {}, \"maintenance_sweeps\": {}, ",
+            "\"durability\": {}}}"
         ),
         snap.submitted,
         snap.admitted,
@@ -303,6 +319,7 @@ fn platform_json(snap: &PlatformSnapshot) -> String {
         snap.batch_adaptive,
         snap.batch_delay.as_micros(),
         snap.maintenance_sweeps,
+        durability,
     )
 }
 

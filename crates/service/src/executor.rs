@@ -278,6 +278,10 @@ pub struct RouteService {
     stats: ServiceStats,
     tracer: SpanRecorder,
     cfg: ServiceConfig,
+    /// Durability sink, installed once at city registration when the
+    /// platform logs commits. The off path costs one atomic load per
+    /// commit and allocates nothing.
+    durable: std::sync::OnceLock<crate::durable::DurableSink>,
 }
 
 impl RouteService {
@@ -298,6 +302,7 @@ impl RouteService {
             stats: ServiceStats::new(),
             tracer: SpanRecorder::new(cfg.trace),
             cfg,
+            durable: std::sync::OnceLock::new(),
         };
         if service.cfg.trace.enabled() {
             service.cache_locks.set_enabled(true);
@@ -312,6 +317,33 @@ impl RouteService {
     /// sampled tracing) the retained complete request traces.
     pub fn tracer(&self) -> &SpanRecorder {
         &self.tracer
+    }
+
+    /// Installs the durability sink (platform registration only; the
+    /// first installation wins).
+    pub(crate) fn set_durable_sink(&self, sink: crate::durable::DurableSink) {
+        let _ = self.durable.set(sink);
+    }
+
+    /// Commits a verified truth, logging it durably when a sink is
+    /// installed. Both resolution paths (single and coalesced) funnel
+    /// through here so the WAL sees every commit.
+    fn commit_truth(&self, entry: TruthEntry) {
+        match self.durable.get() {
+            None => {
+                self.truths.insert(self.world.graph(), entry);
+            }
+            Some(sink) => {
+                // Collect the identity fields before the entry moves
+                // into the store; the store assigns the global sequence
+                // the log records.
+                let (from, to, departure, confidence) =
+                    (entry.from, entry.to, entry.departure, entry.confidence);
+                let edges: Vec<u32> = entry.path.edges().iter().map(|e| e.0).collect();
+                let (seq, _) = self.truths.insert_tracked(self.world.graph(), entry);
+                sink.log_truth(seq, from, to, departure, confidence, edges);
+            }
+        }
     }
 
     /// Per-site lock-contention summaries from the owning primitives
@@ -660,16 +692,13 @@ impl RouteService {
                 // planner's own no-record rule for starvation).
                 if !starved {
                     let _s = tr.span(Stage::Commit);
-                    self.truths.insert(
-                        graph,
-                        TruthEntry {
-                            from: req.from,
-                            to: req.to,
-                            departure,
-                            path: resolved.path.clone(),
-                            confidence: resolved.confidence,
-                        },
-                    );
+                    self.commit_truth(TruthEntry {
+                        from: req.from,
+                        to: req.to,
+                        departure,
+                        path: resolved.path.clone(),
+                        confidence: resolved.confidence,
+                    });
                 }
                 let served = ServedRoute {
                     path: resolved.path,
@@ -997,16 +1026,13 @@ impl RouteService {
                     }
                     if !starved {
                         let _s = tr.span(Stage::Commit);
-                        self.truths.insert(
-                            graph,
-                            TruthEntry {
-                                from: req.from,
-                                to: req.to,
-                                departure,
-                                path: resolved.path.clone(),
-                                confidence: resolved.confidence,
-                            },
-                        );
+                        self.commit_truth(TruthEntry {
+                            from: req.from,
+                            to: req.to,
+                            departure,
+                            path: resolved.path.clone(),
+                            confidence: resolved.confidence,
+                        });
                     }
                     let served = ServedRoute {
                         path: resolved.path,

@@ -130,6 +130,7 @@
 
 pub mod artifacts;
 pub mod cache;
+pub mod durable;
 pub mod error;
 pub mod executor;
 pub mod platform;
@@ -142,11 +143,13 @@ pub mod world;
 
 pub use artifacts::MiningArtifactCache;
 pub use cache::Lru;
+pub use cp_durable::{DurableError, FsyncPolicy};
+pub use durable::{DurabilityConfig, DurabilitySnapshot};
 pub use error::ServiceError;
 pub use executor::{Request, RequestKey, RouteService, Served, ServedRoute, ServiceConfig};
 pub use platform::{
     BatchConfig, CrowdServing, MaintenanceConfig, MaintenanceReport, Platform, PlatformConfig,
-    PlatformSnapshot, Ticket,
+    PlatformSnapshot, RecoveryReport, Ticket,
 };
 pub use resolver::{CrowdCost, CrowdResolver, MachineResolver, OracleFactory, Resolved, Resolver};
 pub use singleflight::{FlightTable, FlightWatch, Join, JoinNow, LeaderToken};

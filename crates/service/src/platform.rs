@@ -48,16 +48,22 @@
 //! platform.shutdown();
 //! ```
 
+use crate::durable::{DurabilityConfig, DurabilitySnapshot, DurableRuntime};
 use crate::error::ServiceError;
 use crate::executor::{Request, RouteService, ServedRoute, ServiceConfig};
 use crate::resolver::{CrowdResolver, MachineResolver, OracleFactory, Resolver};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use crate::trace::{CityTrace, LockSite, LockStats, LockSummary, Stage, TraceReport};
 use crate::world::{CityId, World};
-use cp_core::{CoreError, CrowdPlanner};
-use cp_crowd::CrowdDesk;
-use cp_roadnet::LandmarkSet;
-use std::collections::VecDeque;
+use cp_core::{CoreError, CrowdPlanner, TruthEntry};
+use cp_crowd::{AnswerRecord, CrowdDesk, CrowdState, PlatformState, WorkerId};
+use cp_durable::{
+    purge_segments_below, read_log, read_snapshot, CrowdSnapshot, DurableError, Event,
+    SnapshotWriter, TruthRec,
+};
+use cp_roadnet::{EdgeId, LandmarkId, LandmarkSet, NodeId, Path as RoutePath};
+use cp_traj::TimeOfDay;
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -224,6 +230,11 @@ pub struct PlatformConfig {
     /// Optional origin-cell request coalescing. `None` (the default)
     /// dispatches one job per worker wakeup, exactly as before.
     pub batch: Option<BatchConfig>,
+    /// Optional durability: a write-ahead log of committed resolutions
+    /// plus checkpointable snapshots (see [`DurabilityConfig`]). `None`
+    /// (the default) keeps the platform fully in-memory and the commit
+    /// path allocation-free.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for PlatformConfig {
@@ -233,6 +244,7 @@ impl Default for PlatformConfig {
             queue_capacity: 256,
             maintenance: None,
             batch: None,
+            durability: None,
         }
     }
 }
@@ -243,10 +255,13 @@ impl Default for PlatformConfig {
 type ResolverFactory = Box<dyn Fn(usize) -> Box<dyn Resolver + Send> + Send + Sync>;
 
 /// One registered city: its service instance plus the factory workers
-/// use to build their per-city resolvers.
+/// use to build their per-city resolvers, and — for crowd-backed cities
+/// that opted in via [`CrowdServing::with_persist`] — the handle the
+/// durability layer uses to export/import/replay crowd state.
 struct CityState {
     service: Arc<RouteService>,
     factory: ResolverFactory,
+    crowd_state: Option<Arc<dyn CrowdState>>,
 }
 
 /// Everything a crowd-backed city shares across its per-worker planners:
@@ -268,6 +283,12 @@ pub struct CrowdServing {
     /// [`ServiceError::CrowdStarved`] instead of serving the machine
     /// fallback (defaults to `false`).
     pub fail_when_starved: bool,
+    /// The stateful side of the desk, for durability: snapshot export /
+    /// import and answer replay. `None` (the default) leaves the crowd
+    /// out of snapshots and the answer log. Set it to the same
+    /// [`SharedCrowd`](cp_crowd::SharedCrowd) the desk wraps via
+    /// [`CrowdServing::with_persist`].
+    pub persist: Option<Arc<dyn CrowdState>>,
 }
 
 impl CrowdServing {
@@ -285,7 +306,15 @@ impl CrowdServing {
             desk,
             oracle,
             fail_when_starved: false,
+            persist: None,
         }
+    }
+
+    /// Attaches the desk's stateful handle so snapshots capture the
+    /// crowd (history, rewards, RNG) and its answers reach the WAL.
+    pub fn with_persist(mut self, state: Arc<dyn CrowdState>) -> Self {
+        self.persist = Some(state);
+        self
     }
 }
 
@@ -368,6 +397,8 @@ struct Inner {
     maintenance_evicted: AtomicU64,
     /// The report exported by the most recent sweep.
     last_maintenance: Mutex<Option<MaintenanceReport>>,
+    /// The running durability machinery (`None` with durability off).
+    durable: Option<DurableRuntime>,
 }
 
 /// What one background maintenance sweep observed and exported.
@@ -381,6 +412,31 @@ pub struct MaintenanceReport {
     pub evicted_total: u64,
     /// Full platform statistics exported at sweep time.
     pub snapshot: PlatformSnapshot,
+}
+
+/// What [`Platform::recover_from`] / [`Platform::replay_log`] applied:
+/// snapshot-vs-log provenance plus the deduplicated overlap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Truth entries restored from the snapshot.
+    pub truths_restored: u64,
+    /// Crowd answers folded into the snapshot (its generation).
+    pub answers_restored: u64,
+    /// Truth entries applied from the WAL.
+    pub truths_replayed: u64,
+    /// Crowd answers applied from the WAL.
+    pub answers_replayed: u64,
+    /// WAL truth records skipped because the snapshot already held them
+    /// (the rotation overlap).
+    pub truths_skipped: u64,
+    /// WAL answer records skipped as already covered by the snapshot's
+    /// generation.
+    pub answers_skipped: u64,
+    /// The snapshot's WAL watermark (0 without a snapshot).
+    pub wal_watermark: u64,
+    /// The last WAL sequence applied or skipped (`None` for an empty
+    /// log).
+    pub last_wal_seq: Option<u64>,
 }
 
 /// Point-in-time platform statistics: admission counters plus the exact
@@ -432,6 +488,8 @@ pub struct PlatformSnapshot {
     /// Background maintenance sweeps completed (0 when no janitor is
     /// configured).
     pub maintenance_sweeps: u64,
+    /// Durability counters (`None` with durability off).
+    pub durability: Option<DurabilitySnapshot>,
     /// Exact merge of all per-city service statistics (latency
     /// percentiles come from the merged histogram).
     pub aggregate: StatsSnapshot,
@@ -594,12 +652,16 @@ impl Platform {
     /// Spawns the resident worker pool and returns the running platform
     /// (with no cities yet — register at least one before submitting).
     pub fn start(cfg: PlatformConfig) -> Platform {
+        let durable = cfg.durability.clone().map(|d| {
+            DurableRuntime::start(d).expect("opening the durability directory and write-ahead log")
+        });
         let inner = Arc::new(Inner {
             cfg: PlatformConfig {
                 workers: cfg.workers.max(1),
                 queue_capacity: cfg.queue_capacity.max(1),
                 maintenance: cfg.maintenance,
                 batch: cfg.batch.map(BatchConfig::normalized),
+                durability: cfg.durability,
             },
             cities: RwLock::new(Vec::new()),
             queue: Mutex::new(Ingress {
@@ -636,6 +698,7 @@ impl Platform {
             maintenance_sweeps: AtomicU64::new(0),
             maintenance_evicted: AtomicU64::new(0),
             last_maintenance: Mutex::new(None),
+            durable,
         });
         let mut workers: Vec<JoinHandle<()>> = (0..inner.cfg.workers)
             .map(|w| {
@@ -646,12 +709,18 @@ impl Platform {
                     .expect("spawning a platform worker")
             })
             .collect();
-        if let Some(maintenance) = inner.cfg.maintenance {
+        let checkpoint_interval = inner
+            .cfg
+            .durability
+            .as_ref()
+            .and_then(|d| d.checkpoint_interval);
+        if inner.cfg.maintenance.is_some() || checkpoint_interval.is_some() {
+            let maintenance = inner.cfg.maintenance;
             let inner = Arc::clone(&inner);
             workers.push(
                 std::thread::Builder::new()
                     .name("cp-platform-janitor".into())
-                    .spawn(move || janitor_loop(&inner, maintenance))
+                    .spawn(move || janitor_loop(&inner, maintenance, checkpoint_interval))
                     .expect("spawning the platform janitor"),
             );
         }
@@ -684,9 +753,28 @@ impl Platform {
         R: Resolver + Send + 'static,
         F: Fn(usize) -> R + Send + Sync + 'static,
     {
+        self.register_city_inner(
+            world,
+            cfg,
+            Box::new(move |w| Box::new(factory(w)) as Box<dyn Resolver + Send>),
+            None,
+        )
+    }
+
+    /// The single registration path: builds the city state, wires the
+    /// durability sinks (truth commits, and — when the city carries a
+    /// [`CrowdState`] handle — crowd answers), and assigns the id.
+    fn register_city_inner(
+        &self,
+        world: Arc<World>,
+        cfg: ServiceConfig,
+        factory: ResolverFactory,
+        crowd_state: Option<Arc<dyn CrowdState>>,
+    ) -> CityId {
         let state = Arc::new(CityState {
             service: Arc::new(RouteService::new(world, cfg)),
-            factory: Box::new(move |w| Box::new(factory(w)) as Box<dyn Resolver + Send>),
+            factory,
+            crowd_state,
         });
         // One traced city is enough to make ingress contention worth
         // timing (the mutex is shared by every city anyway).
@@ -694,8 +782,16 @@ impl Platform {
             self.inner.ingress_locks.set_enabled(true);
         }
         let mut cities = self.inner.cities.write().expect("city registry poisoned");
+        let id = cities.len() as u32;
+        if let Some(durable) = &self.inner.durable {
+            state.service.set_durable_sink(durable.sink(id));
+            if let Some(crowd) = &state.crowd_state {
+                let sink = durable.sink(id);
+                crowd.set_answer_observer(Box::new(move |record| sink.log_answer(record)));
+            }
+        }
         cities.push(state);
-        CityId((cities.len() - 1) as u32)
+        CityId(id)
     }
 
     /// Registers a **crowd-backed** city: every platform worker builds
@@ -734,6 +830,7 @@ impl Platform {
         } else {
             cfg.truth_cap_per_shard.saturating_mul(cfg.shards)
         };
+        let persist = crowd.persist.clone();
         let planner_world = Arc::clone(&world);
         let factory = move |_worker: usize| {
             let mut planner = CrowdPlanner::with_mining_state(
@@ -753,7 +850,12 @@ impl Platform {
             CrowdResolver::new(planner, Arc::clone(&crowd.oracle))
                 .fail_when_starved(crowd.fail_when_starved)
         };
-        Ok(self.register_city_with(world, cfg, factory))
+        Ok(self.register_city_inner(
+            world,
+            cfg,
+            Box::new(move |w| Box::new(factory(w)) as Box<dyn Resolver + Send>),
+            persist,
+        ))
     }
 
     /// Number of registered cities.
@@ -873,6 +975,7 @@ impl Platform {
         let cities = self.inner.cities.read().expect("city registry poisoned");
         TraceReport {
             ingress: self.inner.ingress_locks.summary(),
+            durability: self.durability_stats(),
             cities: cities
                 .iter()
                 .enumerate()
@@ -908,6 +1011,211 @@ impl Platform {
         maintenance_sweep(&self.inner, max_age)
     }
 
+    /// Point-in-time durability counters, or `None` with durability off.
+    pub fn durability_stats(&self) -> Option<DurabilitySnapshot> {
+        self.inner.durable.as_ref().map(|d| d.counters.snapshot())
+    }
+
+    /// Blocks until every resolution committed before this call has
+    /// been appended to the WAL, flushed and fsynced. No-op with
+    /// durability off.
+    pub fn sync_durable(&self) {
+        if let Some(durable) = &self.inner.durable {
+            durable.sync();
+        }
+    }
+
+    /// Streams a snapshot of every city — truth-store contents, and the
+    /// crowd state (answer history, rewards, RNG) of cities registered
+    /// with a [`CrowdServing::with_persist`] handle — into `dir`.
+    ///
+    /// The snapshot is written to a temporary file and renamed into
+    /// place, so a crash mid-snapshot leaves any previous checkpoint in
+    /// `dir` loadable. With durability on, the WAL is rotated first and
+    /// the snapshot records the rotation watermark; WAL segments are
+    /// **not** deleted (use [`Platform::checkpoint`] for
+    /// snapshot-plus-truncation). Shards are exported under brief
+    /// per-shard read locks — serving continues throughout. Returns the
+    /// watermark (0 with durability off).
+    pub fn snapshot_to(&self, dir: &std::path::Path) -> Result<u64, DurableError> {
+        snapshot_platform(&self.inner, dir, false)
+    }
+
+    /// A full checkpoint into the configured durability directory:
+    /// rotates the WAL, snapshots, then deletes the sealed segments
+    /// below the rotation cut — their records are folded into the
+    /// snapshot. Errors with durability off.
+    pub fn checkpoint(&self) -> Result<u64, DurableError> {
+        checkpoint_platform(&self.inner)
+    }
+
+    /// Rebuilds state from `dir`: loads the snapshot (if one exists),
+    /// then replays every WAL record it does not already cover
+    /// (deduplicated by truth sequence / crowd generation, so the
+    /// rotation overlap is harmless). Cities must already be registered,
+    /// in the same order and over the same geometry as when the state
+    /// was produced. Truth sequence counters and crowd generations are
+    /// re-seeded, so serving resumes with monotone sequences — a warm
+    /// restart: truths and answer history intact, caches (candidate LRU,
+    /// flight table) deliberately cold.
+    pub fn recover_from(&self, dir: &std::path::Path) -> Result<RecoveryReport, DurableError> {
+        self.apply_durable(dir, None)
+    }
+
+    /// The replay oracle: re-applies the full WAL — ignoring any
+    /// snapshot — onto this freshly registered platform. The result is
+    /// entry-wise identical to the live store the log was written by,
+    /// provided no checkpoint has truncated the log (after truncation,
+    /// the snapshot is part of the authoritative state — use
+    /// [`Platform::recover_from`]).
+    pub fn replay_log(&self, dir: &std::path::Path) -> Result<RecoveryReport, DurableError> {
+        self.apply_durable(dir, Some(u64::MAX))
+    }
+
+    /// Like [`Platform::replay_log`] but stops after the record with WAL
+    /// sequence `upto` (inclusive) — a point-in-time audit prefix.
+    pub fn replay_until(
+        &self,
+        dir: &std::path::Path,
+        upto: u64,
+    ) -> Result<RecoveryReport, DurableError> {
+        self.apply_durable(dir, Some(upto))
+    }
+
+    /// Shared engine behind [`Platform::recover_from`] (snapshot + log)
+    /// and [`Platform::replay_until`] (`log_only_upto = Some(_)`: log
+    /// only, bounded).
+    fn apply_durable(
+        &self,
+        dir: &std::path::Path,
+        log_only_upto: Option<u64>,
+    ) -> Result<RecoveryReport, DurableError> {
+        let cities: Vec<Arc<CityState>> = self
+            .inner
+            .cities
+            .read()
+            .expect("city registry poisoned")
+            .iter()
+            .map(Arc::clone)
+            .collect();
+        let mut report = RecoveryReport::default();
+        let mut seen: Vec<HashSet<u64>> = (0..cities.len()).map(|_| HashSet::new()).collect();
+        let mut crowd_gen: Vec<u64> = vec![0; cities.len()];
+        if log_only_upto.is_none() {
+            if let Some(snap) = read_snapshot(dir)? {
+                report.wal_watermark = snap.wal_watermark;
+                for city_snap in &snap.cities {
+                    let idx = city_snap.city as usize;
+                    let Some(city) = cities.get(idx) else {
+                        return Err(DurableError::Mismatch(format!(
+                            "snapshot names city {idx} but only {} cities are registered",
+                            cities.len()
+                        )));
+                    };
+                    let graph = city.service.world().graph();
+                    for rec in &city_snap.truths {
+                        let entry = entry_from_parts(
+                            graph,
+                            rec.from,
+                            rec.to,
+                            rec.departure,
+                            rec.confidence,
+                            &rec.edges,
+                        )?;
+                        city.service.truths().insert_with_seq(graph, entry, rec.seq);
+                        seen[idx].insert(rec.seq);
+                        report.truths_restored += 1;
+                    }
+                    // Re-seed the global sequence even when the city had
+                    // inserts past the last exported entry.
+                    city.service.truths().seed_seq(city_snap.next_seq);
+                    if let Some(crowd_snap) = &city_snap.crowd {
+                        let Some(state) = &city.crowd_state else {
+                            return Err(DurableError::Mismatch(format!(
+                                "snapshot carries crowd state for city {idx}, \
+                                 which was registered without a persist handle"
+                            )));
+                        };
+                        state
+                            .import_state(&PlatformState {
+                                generation: crowd_snap.generation,
+                                rng: crowd_snap.rng,
+                                points: crowd_snap.points.clone(),
+                                response_times: crowd_snap.response_times.clone(),
+                                history: crowd_snap.history.clone(),
+                            })
+                            .map_err(|e| DurableError::Mismatch(e.to_string()))?;
+                        crowd_gen[idx] = crowd_snap.generation;
+                        report.answers_restored += crowd_snap.generation;
+                    }
+                }
+            }
+        }
+        let upto = log_only_upto.unwrap_or(u64::MAX);
+        for (wal_seq, event) in read_log(dir)? {
+            if wal_seq > upto {
+                break;
+            }
+            report.last_wal_seq = Some(wal_seq);
+            let idx = event.city() as usize;
+            let Some(city) = cities.get(idx) else {
+                return Err(DurableError::Mismatch(format!(
+                    "the log names city {idx} but only {} cities are registered",
+                    cities.len()
+                )));
+            };
+            match event {
+                Event::Truth {
+                    seq,
+                    from,
+                    to,
+                    departure,
+                    confidence,
+                    ref edges,
+                    ..
+                } => {
+                    if !seen[idx].insert(seq) {
+                        report.truths_skipped += 1;
+                        continue;
+                    }
+                    let graph = city.service.world().graph();
+                    let entry = entry_from_parts(graph, from, to, departure, confidence, edges)?;
+                    city.service.truths().insert_with_seq(graph, entry, seq);
+                    report.truths_replayed += 1;
+                }
+                Event::Answer {
+                    generation,
+                    worker,
+                    landmark,
+                    correct,
+                    response_time,
+                    ..
+                } => {
+                    let Some(state) = &city.crowd_state else {
+                        return Err(DurableError::Mismatch(format!(
+                            "the log carries crowd answers for city {idx}, \
+                             which was registered without a persist handle"
+                        )));
+                    };
+                    if generation <= crowd_gen[idx] {
+                        report.answers_skipped += 1;
+                        continue;
+                    }
+                    state.apply_answer(&AnswerRecord {
+                        worker: WorkerId(worker),
+                        landmark: LandmarkId(landmark),
+                        correct,
+                        response_time,
+                        generation,
+                    });
+                    crowd_gen[idx] = generation;
+                    report.answers_replayed += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
     /// Stops admissions, drains every queued job (each admitted ticket
     /// resolves exactly once) and joins the worker pool (janitor
     /// included). Idempotent; dropping the platform without calling this
@@ -935,6 +1243,11 @@ impl Platform {
         let handles = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
         for handle in handles {
             let _ = handle.join();
+        }
+        // Workers are gone, so no new commit events: drain what's
+        // queued, final fsync, and join the writer thread.
+        if let Some(durable) = &self.inner.durable {
+            durable.stop_and_join();
         }
     }
 }
@@ -1010,8 +1323,120 @@ fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
         batch_delay_raises: delay_raises,
         batch_delay_drops: delay_drops,
         maintenance_sweeps: inner.maintenance_sweeps.load(Ordering::Relaxed),
+        durability: inner.durable.as_ref().map(|d| d.counters.snapshot()),
         aggregate,
     }
+}
+
+/// Builds a [`TruthEntry`] back from its logged parts, re-chaining the
+/// edge ids into a [`RoutePath`] on the city's graph.
+fn entry_from_parts(
+    graph: &cp_roadnet::RoadGraph,
+    from: u32,
+    to: u32,
+    departure: f64,
+    confidence: f64,
+    edges: &[u32],
+) -> Result<TruthEntry, DurableError> {
+    let edge_ids: Vec<EdgeId> = edges.iter().map(|&e| EdgeId(e)).collect();
+    let path = RoutePath::from_edges(graph, edge_ids).ok_or_else(|| {
+        DurableError::Mismatch(
+            "a logged path's edges do not chain on this city's graph \
+             (recovering against different city geometry?)"
+                .into(),
+        )
+    })?;
+    Ok(TruthEntry {
+        from: NodeId(from),
+        to: NodeId(to),
+        departure: TimeOfDay(departure),
+        path,
+        confidence,
+    })
+}
+
+/// Streams one snapshot of every registered city into `dir`; with
+/// `truncate` (the checkpoint path) the sealed WAL segments below the
+/// rotation cut are deleted afterwards.
+///
+/// Ordering argument: the WAL is rotated **first**. Every record in a
+/// sealed segment was appended before the rotation ack, and its store
+/// insert completed before the commit site sent it — so the shard
+/// exports taken below observe it. Records landing in the fresh segment
+/// may or may not make the snapshot; recovery deduplicates them by
+/// truth sequence / crowd generation, so the overlap is harmless and
+/// nothing is lost.
+fn snapshot_platform(
+    inner: &Inner,
+    dir: &std::path::Path,
+    truncate: bool,
+) -> Result<u64, DurableError> {
+    let cut = inner.durable.as_ref().and_then(|d| d.rotate());
+    let watermark = cut.map(|(first_seq, _)| first_seq).unwrap_or(0);
+    let cities: Vec<Arc<CityState>> = inner
+        .cities
+        .read()
+        .expect("city registry poisoned")
+        .iter()
+        .map(Arc::clone)
+        .collect();
+    let mut writer = SnapshotWriter::create(dir)?;
+    for (idx, city) in cities.iter().enumerate() {
+        let store = city.service.truths();
+        writer.begin_city(idx as u32, store.next_seq())?;
+        for shard in 0..store.shard_count() {
+            // One shard at a time: brief read locks, serving continues.
+            for (seq, entry) in store.export_shard(shard) {
+                writer.truth(&TruthRec {
+                    seq,
+                    from: entry.from.0,
+                    to: entry.to.0,
+                    departure: entry.departure.0,
+                    confidence: entry.confidence,
+                    edges: entry.path.edges().iter().map(|e| e.0).collect(),
+                })?;
+            }
+        }
+        if let Some(state) = &city.crowd_state {
+            let crowd = state.export_state();
+            writer.crowd(&CrowdSnapshot {
+                generation: crowd.generation,
+                rng: crowd.rng,
+                points: crowd.points,
+                response_times: crowd.response_times,
+                history: crowd.history,
+            })?;
+        }
+    }
+    writer.finish(watermark)?;
+    if truncate {
+        if let (Some(durable), Some((_, cut_index))) = (&inner.durable, cut) {
+            purge_segments_below(dir, cut_index)?;
+            durable.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+            durable
+                .counters
+                .last_checkpoint_seq
+                .store(watermark, Ordering::Relaxed);
+            *durable
+                .counters
+                .last_checkpoint_at
+                .lock()
+                .expect("checkpoint clock poisoned") = Some(Instant::now());
+        }
+    }
+    Ok(watermark)
+}
+
+/// A full checkpoint into the configured durability directory (rotate,
+/// snapshot, truncate). Errors with durability off.
+fn checkpoint_platform(inner: &Inner) -> Result<u64, DurableError> {
+    let Some(durable) = &inner.durable else {
+        return Err(DurableError::Mismatch(
+            "durability is not configured on this platform".into(),
+        ));
+    };
+    let dir = durable.cfg.dir.clone();
+    snapshot_platform(inner, &dir, true)
 }
 
 /// One maintenance sweep: age-evict every city's truths, bump the sweep
@@ -1046,17 +1471,32 @@ fn maintenance_sweep(inner: &Inner, max_age: Duration) -> usize {
     evicted
 }
 
-/// The resident janitor: sleep `interval`, sweep, repeat — until
-/// shutdown wakes it. Sweeping is caller-invisible (workers keep
-/// serving); only truths past `max_age` are touched.
-fn janitor_loop(inner: &Inner, cfg: MaintenanceConfig) {
+/// The resident janitor: park until the next due task — maintenance
+/// sweeps and/or durability checkpoints, each on its own deadline-based
+/// cadence — run what is due, repeat, until shutdown wakes it. Both
+/// tasks are caller-invisible: sweeping touches only truths past
+/// `max_age`, checkpointing exports shards under brief read locks.
+fn janitor_loop(
+    inner: &Inner,
+    maintenance: Option<MaintenanceConfig>,
+    checkpoint: Option<Duration>,
+) {
+    let started = Instant::now();
+    let mut next_sweep = maintenance.map(|m| started + m.interval);
+    let mut next_checkpoint = checkpoint.map(|c| started + c);
     loop {
+        let wait = [next_sweep, next_checkpoint]
+            .into_iter()
+            .flatten()
+            .min()
+            .map(|due| due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_secs(3600));
         let stop = inner
             .maintenance_stop
             .lock()
             .expect("maintenance stop poisoned");
         // Check before parking: a shutdown notification fired while the
-        // janitor was mid-sweep would otherwise be lost (condvar
+        // janitor was mid-task would otherwise be lost (condvar
         // notifications are not sticky) and shutdown would block for a
         // full interval.
         if *stop {
@@ -1064,13 +1504,31 @@ fn janitor_loop(inner: &Inner, cfg: MaintenanceConfig) {
         }
         let (stop, _timeout) = inner
             .maintenance_cv
-            .wait_timeout(stop, cfg.interval)
+            .wait_timeout(stop, wait)
             .expect("maintenance stop poisoned");
         if *stop {
             break;
         }
         drop(stop);
-        maintenance_sweep(inner, cfg.max_age);
+        let now = Instant::now();
+        if let (Some(cfg), Some(due)) = (maintenance, next_sweep) {
+            if now >= due {
+                maintenance_sweep(inner, cfg.max_age);
+                next_sweep = Some(now + cfg.interval);
+            }
+        }
+        if let (Some(interval), Some(due)) = (checkpoint, next_checkpoint) {
+            if now >= due {
+                // A failed periodic checkpoint must not kill the
+                // janitor; it is counted and retried next interval.
+                if checkpoint_platform(inner).is_err() {
+                    if let Some(durable) = &inner.durable {
+                        durable.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                next_checkpoint = Some(now + interval);
+            }
+        }
     }
 }
 
@@ -1400,6 +1858,7 @@ mod tests {
             queue_capacity: 64,
             maintenance: None,
             batch: None,
+            durability: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         assert_eq!(id, CityId(0));
@@ -1462,6 +1921,7 @@ mod tests {
             queue_capacity: 64,
             maintenance: None,
             batch: None,
+            durability: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let submit = |n: u32| {
@@ -1527,6 +1987,7 @@ mod tests {
             queue_capacity: 1,
             maintenance: None,
             batch: None,
+            durability: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let mut busy = 0u32;
@@ -1561,6 +2022,7 @@ mod tests {
             queue_capacity: 128,
             maintenance: None,
             batch: None,
+            durability: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let tickets: Vec<Ticket> = (0..50u32)
@@ -1611,6 +2073,7 @@ mod tests {
             queue_capacity: 16,
             maintenance: None,
             batch: None,
+            durability: None,
         });
         let cfg = ServiceConfig::strict_deterministic();
         let core = cfg.core.clone();
@@ -1661,6 +2124,7 @@ mod tests {
                 max_age: Duration::ZERO,
             }),
             batch: None,
+            durability: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         for i in 0..6u32 {
@@ -1755,6 +2219,7 @@ mod tests {
             queue_capacity: 64,
             maintenance: None,
             batch: None,
+            durability: None,
         });
         let bad = platform.register_city_crowd(
             Arc::clone(&world),
@@ -1837,6 +2302,7 @@ mod tests {
             queue_capacity: 64,
             maintenance: None,
             batch: Some(BatchConfig::fixed(8, Duration::from_millis(200))),
+            durability: None,
         });
         let id = platform.register_city(Arc::clone(&world), cfg);
         let tickets: Vec<Ticket> = requests
@@ -1881,6 +2347,7 @@ mod tests {
             queue_capacity: 256,
             maintenance: None,
             batch: Some(BatchConfig::adaptive(4, ceiling)),
+            durability: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let single = |i: u32| {
@@ -1959,6 +2426,7 @@ mod tests {
             queue_capacity: 64,
             maintenance: None,
             batch: Some(BatchConfig::fixed(4, Duration::from_millis(1))),
+            durability: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         for i in 0..6u32 {
@@ -2016,6 +2484,7 @@ mod tests {
             queue_capacity: 64,
             maintenance: None,
             batch: Some(BatchConfig::fixed(12, Duration::from_millis(200))),
+            durability: None,
         });
         let id = platform.register_city(Arc::clone(&world), cfg);
         let tickets: Vec<Ticket> = requests

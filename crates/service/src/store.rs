@@ -164,10 +164,30 @@ impl ShardedTruthStore {
     /// Returns how many old entries were evicted to respect the
     /// per-shard cap (0 when unbounded or below capacity).
     pub fn insert(&self, graph: &RoadGraph, entry: TruthEntry) -> usize {
+        self.insert_tracked(graph, entry).1
+    }
+
+    /// [`ShardedTruthStore::insert`] that also returns the entry's
+    /// global sequence number — the identity the durability log records
+    /// so a replayed insert lands with the same tie-break order.
+    pub fn insert_tracked(&self, graph: &RoadGraph, entry: TruthEntry) -> (u64, usize) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        (seq, self.insert_at_seq(graph, entry, seq))
+    }
+
+    /// Inserts a truth under a **caller-chosen** sequence number
+    /// (recovery/replay re-applying logged entries). Advances the
+    /// internal sequence counter past `seq` so commits issued after
+    /// recovery keep the global total order.
+    pub fn insert_with_seq(&self, graph: &RoadGraph, entry: TruthEntry, seq: u64) -> usize {
+        self.seq.fetch_max(seq + 1, Ordering::Relaxed);
+        self.insert_at_seq(graph, entry, seq)
+    }
+
+    fn insert_at_seq(&self, graph: &RoadGraph, entry: TruthEntry, seq: u64) -> usize {
         let from_pos = graph.position(entry.from);
         let to_pos = graph.position(entry.to);
         let shard_idx = self.shard_of_cell(self.cell_of(from_pos));
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.locks.write(&self.shards[shard_idx]);
         let mut evicted = 0;
         if self.per_shard_cap > 0 && shard.store.len() >= self.per_shard_cap {
@@ -180,6 +200,43 @@ impl ShardedTruthStore {
         shard.seqs.push(seq);
         shard.inserted.push(Instant::now());
         evicted
+    }
+
+    /// The sequence number the next insert will be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Ensures the next assigned sequence number is at least `floor`
+    /// (recovery seeds this from a snapshot's recorded counter, which
+    /// can be ahead of the highest surviving entry when later entries
+    /// were evicted before the snapshot).
+    pub fn seed_seq(&self, floor: u64) {
+        self.seq.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    /// Copies one shard's `(seq, entry)` pairs under a brief read lock
+    /// (insertion order within the shard). The snapshot writer streams
+    /// shard by shard so no lock is held across file I/O.
+    pub fn export_shard(&self, shard_idx: usize) -> Vec<(u64, TruthEntry)> {
+        let shard = self.locks.read(&self.shards[shard_idx]);
+        shard
+            .seqs
+            .iter()
+            .copied()
+            .zip(shard.store.iter().cloned())
+            .collect()
+    }
+
+    /// All `(seq, entry)` pairs across shards, sorted by sequence
+    /// number — the canonical order two stores are compared in.
+    pub fn export(&self) -> Vec<(u64, TruthEntry)> {
+        let mut out = Vec::with_capacity(self.len());
+        for idx in 0..self.shards.len() {
+            out.extend(self.export_shard(idx));
+        }
+        out.sort_unstable_by_key(|(seq, _)| *seq);
+        out
     }
 
     /// Evicts every entry inserted at least `max_age` ago, across all
@@ -367,6 +424,44 @@ mod tests {
         assert_eq!(ShardedTruthStore::with_shards(1).shard_count(), 1);
         assert_eq!(ShardedTruthStore::with_shards(5).shard_count(), 8);
         assert_eq!(ShardedTruthStore::with_shards(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn export_roundtrips_through_insert_with_seq() {
+        let (city, _) = setup();
+        let store = ShardedTruthStore::with_shards(4);
+        for i in 0..20u32 {
+            store.insert(&city.graph, entry(&city, i, i + 7, (i % 24) as f64));
+        }
+        let exported = store.export();
+        let seqs: Vec<u64> = exported.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (0..20).collect::<Vec<u64>>());
+
+        // Restoring into a different shard layout preserves identity
+        // and re-seeds the sequence counter past the recovered entries.
+        let restored = ShardedTruthStore::with_shards(8);
+        for (seq, e) in &exported {
+            restored.insert_with_seq(&city.graph, e.clone(), *seq);
+        }
+        let round = restored.export();
+        assert_eq!(round.len(), exported.len());
+        for ((sa, a), (sb, b)) in round.iter().zip(&exported) {
+            assert_eq!(sa, sb);
+            assert_eq!(a.path, b.path);
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.to, b.to);
+            assert_eq!(a.departure.0, b.departure.0);
+            assert_eq!(a.confidence, b.confidence);
+        }
+        assert_eq!(restored.next_seq(), 20);
+        let (seq, _) = restored.insert_tracked(&city.graph, entry(&city, 1, 5, 3.0));
+        assert_eq!(seq, 20);
+
+        // seed_seq only moves the counter forward.
+        restored.seed_seq(5);
+        assert_eq!(restored.next_seq(), 21);
+        restored.seed_seq(100);
+        assert_eq!(restored.next_seq(), 100);
     }
 
     #[test]

@@ -544,6 +544,8 @@ pub struct CityTrace {
 pub struct TraceReport {
     /// Contention on the platform's shared ingress mutex.
     pub ingress: LockSummary,
+    /// Durability counters (`None` with durability off).
+    pub durability: Option<crate::durable::DurabilitySnapshot>,
     /// Every registered city's attribution and samples.
     pub cities: Vec<CityTrace>,
 }
@@ -568,6 +570,19 @@ impl TraceReport {
             self.ingress.waits,
             us(self.ingress.wait)
         ));
+        if let Some(d) = &self.durability {
+            out.push_str(&format!(
+                "  \"durability\": {{\"events_logged\": {}, \"events_shed\": {}, \
+                 \"wal_bytes\": {}, \"io_errors\": {}, \"checkpoints\": {}, \
+                 \"last_checkpoint_seq\": {}}},\n",
+                d.events_logged,
+                d.events_shed,
+                d.wal_bytes,
+                d.io_errors,
+                d.checkpoints,
+                d.last_checkpoint_seq
+            ));
+        }
         out.push_str("  \"cities\": [\n");
         for (ci, city) in self.cities.iter().enumerate() {
             out.push_str(&format!("    {{\"city\": {},\n", city.city));
@@ -769,6 +784,7 @@ mod tests {
                 waits: 2,
                 wait: Duration::from_micros(10),
             },
+            durability: None,
             cities: vec![CityTrace {
                 city: 0,
                 stages: {

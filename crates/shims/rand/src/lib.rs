@@ -144,6 +144,25 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The generator's internal state, for persistence. Feeding it
+        /// back through [`SmallRng::from_state`] resumes the exact
+        /// stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Restores a generator from [`SmallRng::state`] output. An
+        /// all-zero state (xoshiro's fixed point, which `state` can
+        /// never return) is nudged the same way as `from_seed`.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                s = [0xDEAD_BEEF, 0xCAFE_F00D, 0xBAAD_5EED, 0x1234_5678];
+            }
+            SmallRng { s }
+        }
+    }
+
     #[inline]
     fn splitmix64(state: &mut u64) -> u64 {
         *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -208,6 +227,18 @@ mod tests {
     fn deterministic_for_equal_seeds() {
         let mut a = SmallRng::seed_from_u64(42);
         let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_exact_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        for _ in 0..13 {
+            a.next_u64();
+        }
+        let mut b = SmallRng::from_state(a.state());
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }

@@ -34,8 +34,17 @@
 //!
 //! With `--http [addr]`, the sweep is skipped entirely: the two-city
 //! platform is built once and served over HTTP by `cp-gateway` (default
-//! `127.0.0.1:8080`) until the process is killed — `GET /route`,
-//! `/stats`, `/trace`, `/healthz`.
+//! `127.0.0.1:8080`) — `GET /route`, `/stats`, `/trace`, `/healthz`.
+//! The process shuts down **gracefully**: type `stop` (or close stdin)
+//! and the gateway drains its connections before the platform drains
+//! its queue.
+//!
+//! With `--snapshot-dir <dir>` (serve mode), the platform runs with
+//! durability on: committed resolutions stream into a write-ahead log
+//! under `<dir>`, existing state (snapshot + WAL) is **recovered on
+//! startup**, and a checkpoint (snapshot + log truncation) is written
+//! on clean exit — kill the process, restart, and the truth store and
+//! crowd answer history are intact.
 //!
 //! Run with:
 //!
@@ -46,12 +55,13 @@
 //! cargo run --release --example serve_city -- --adaptive # + self-tuning window
 //! cargo run --release --example serve_city -- --trace    # + stage attribution
 //! cargo run --release --example serve_city -- --http     # HTTP edge on :8080
+//! cargo run --release --example serve_city -- --http --snapshot-dir /tmp/cp  # durable
 //! ```
 
 use cp_gateway::{Gateway, GatewayConfig};
 use cp_service::{
-    BatchConfig, Platform, PlatformConfig, Request, ServiceConfig, ServiceError, Stage, Ticket,
-    TraceConfig,
+    BatchConfig, DurabilityConfig, Platform, PlatformConfig, Request, ServiceConfig, ServiceError,
+    Stage, Ticket, TraceConfig,
 };
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
@@ -89,6 +99,7 @@ fn build_platform(
     batch: bool,
     adaptive: bool,
     trace: bool,
+    snapshot_dir: Option<&std::path::Path>,
 ) -> (Platform, [CityTraffic; 2]) {
     let platform = Platform::start(PlatformConfig {
         workers,
@@ -101,6 +112,7 @@ fn build_platform(
                 BatchConfig::default()
             }
         }),
+        durability: snapshot_dir.map(DurabilityConfig::new),
     });
     let service_cfg = || {
         let mut cfg = ServiceConfig::default();
@@ -155,6 +167,17 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "127.0.0.1:8080".to_string())
     });
+    // `--snapshot-dir <dir>` (serve mode only): durability on, recover
+    // on startup, checkpoint on clean exit.
+    let snapshot_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--snapshot-dir")
+        .and_then(|i| args.get(i + 1))
+        .filter(|a| !a.starts_with("--"))
+        .map(std::path::PathBuf::from);
+    if snapshot_dir.is_some() && http_addr.is_none() {
+        eprintln!("--snapshot-dir only applies to serve mode (--http); ignoring for the sweep");
+    }
     let t0 = Instant::now();
     println!("building worlds (Medium metro + Small satellite)…");
     let metro = SimWorld::build(Scale::Medium, 42).expect("metro world");
@@ -176,7 +199,7 @@ fn main() {
 
     if let Some(addr) = http_addr {
         // Serve mode: one long-lived platform behind the HTTP edge, no
-        // sweep. Runs until the process is killed.
+        // sweep.
         let (platform, cities) = build_platform(
             &metro,
             &metro_world,
@@ -187,7 +210,29 @@ fn main() {
             batch,
             adaptive,
             trace,
+            snapshot_dir.as_deref(),
         );
+        // Warm restart: if the snapshot dir already holds state from a
+        // previous run, load it before opening the edge.
+        if let Some(dir) = &snapshot_dir {
+            match platform.recover_from(dir) {
+                Ok(report) => {
+                    if report.truths_restored + report.truths_replayed > 0
+                        || report.answers_replayed > 0
+                    {
+                        println!(
+                            "recovered from {}: {} truths from the snapshot, {} replayed \
+                             from the log ({} answers replayed)",
+                            dir.display(),
+                            report.truths_restored,
+                            report.truths_replayed,
+                            report.answers_replayed
+                        );
+                    }
+                }
+                Err(e) => eprintln!("recovery from {} failed: {e}; serving cold", dir.display()),
+            }
+        }
         let platform = std::sync::Arc::new(platform);
         let gw = Gateway::start(
             std::sync::Arc::clone(&platform),
@@ -207,10 +252,44 @@ fn main() {
         println!("  GET /stats                        — gateway + platform counters");
         println!("  GET /trace                        — span-level trace report");
         println!("  GET /healthz                      — liveness");
-        println!("kill the process to stop.");
+        println!("type \"stop\" (or close stdin) for a graceful shutdown.");
+        // Graceful shutdown: block on stdin instead of parking forever.
+        // A "stop"/"quit" line — or EOF, so piped deployments can just
+        // close the handle — drains the edge before the platform.
+        let stdin = std::io::stdin();
+        let mut line = String::new();
         loop {
-            std::thread::park();
+            line.clear();
+            match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                Ok(0) => break, // EOF
+                Ok(_) => {
+                    let cmd = line.trim();
+                    if cmd.eq_ignore_ascii_case("stop") || cmd.eq_ignore_ascii_case("quit") {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
         }
+        println!("draining the gateway…");
+        gw.shutdown();
+        if let Some(dir) = &snapshot_dir {
+            match platform.checkpoint() {
+                Ok(watermark) => println!(
+                    "checkpointed to {} (WAL watermark {watermark})",
+                    dir.display()
+                ),
+                Err(e) => eprintln!("checkpoint failed: {e}"),
+            }
+        }
+        // The joined gateway released its handle; either way `Drop`
+        // drains the platform.
+        match std::sync::Arc::try_unwrap(platform) {
+            Ok(platform) => platform.shutdown(),
+            Err(platform) => drop(platform),
+        }
+        println!("done.");
+        return;
     }
 
     println!(
@@ -263,6 +342,7 @@ fn main() {
             batch,
             adaptive,
             trace,
+            None,
         );
 
         let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ rate as u64);

@@ -273,12 +273,17 @@ impl SimWorld {
         seed: u64,
         max_outstanding: u32,
     ) -> CrowdServing {
+        let shared = self.shared_crowd(workers, warmup_rounds, seed, max_outstanding);
         CrowdServing::new(
             self.landmarks_arc(),
             self.significance_arc(),
-            self.shared_crowd(workers, warmup_rounds, seed, max_outstanding),
+            Arc::clone(&shared) as Arc<dyn CrowdDesk>,
             Arc::new(self.oracle_factory()),
         )
+        // The same desk, as its stateful side: platform snapshots then
+        // capture the crowd (history, rewards, RNG) and its answers
+        // reach the WAL when durability is on.
+        .with_persist(shared)
     }
 
     /// Builds a warmed-up crowd platform for this world.

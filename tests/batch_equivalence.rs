@@ -150,6 +150,7 @@ proptest! {
                 queue_capacity: 64,
                 maintenance: None,
                 batch: Some(BatchConfig::fixed(8, Duration::from_millis(2))),
+                durability: None,
             });
             let id = platform.register_city(
                 Arc::clone(&sw),
@@ -249,6 +250,7 @@ proptest! {
                 queue_capacity: 64,
                 maintenance: None,
                 batch: Some(BatchConfig::adaptive(8, Duration::from_millis(2))),
+                durability: None,
             });
             let id = platform.register_city(
                 Arc::clone(&sw),

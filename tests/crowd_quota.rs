@@ -157,6 +157,7 @@ fn eight_clients_one_shared_crowd_never_oversubscribe_a_worker() {
         queue_capacity: 64,
         maintenance: None,
         batch: None,
+        durability: None,
     });
     let mut service_cfg = ServiceConfig::default();
     service_cfg.core = crowd_forcing_config();
@@ -299,6 +300,7 @@ fn quota_starved_city_with_strict_shedding_surfaces_crowd_starved() {
         queue_capacity: 16,
         maintenance: None,
         batch: None,
+        durability: None,
     });
     let mut service_cfg = ServiceConfig::default();
     service_cfg.core = crowd_forcing_config();

@@ -62,6 +62,7 @@ fn two_cities_four_client_threads_deterministic_drain() {
         queue_capacity: 64,
         maintenance: None,
         batch: None,
+        durability: None,
     });
     let ids: Vec<CityId> = service_worlds
         .iter()
@@ -181,6 +182,7 @@ fn shutdown_drains_unjoined_tickets_exactly_once() {
         queue_capacity: 512,
         maintenance: None,
         batch: None,
+        durability: None,
     });
     let id = platform.register_city(Arc::clone(&sw), ServiceConfig::strict_deterministic());
     let requests = city_stream(&world, 40, 3, 77);

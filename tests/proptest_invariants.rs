@@ -213,6 +213,7 @@ proptest! {
             queue_capacity: 64,
             maintenance: None,
             batch: None,
+            durability: None,
         });
         let ids: Vec<CityId> = worlds
             .iter()

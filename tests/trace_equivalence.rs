@@ -184,6 +184,7 @@ proptest! {
                     queue_capacity: 64,
                     maintenance: None,
                     batch: Some(BatchConfig::fixed(8, Duration::from_millis(2))),
+                    durability: None,
                 });
                 let mut cfg = ServiceConfig::strict_deterministic();
                 cfg.trace = level;

@@ -11,7 +11,10 @@
 //! into the counted window.
 
 use cp_roadnet::NodeId;
-use cp_service::{MachineResolver, Request, RouteService, Served, ServiceConfig, TraceConfig};
+use cp_service::{
+    DurabilityConfig, FsyncPolicy, MachineResolver, Platform, PlatformConfig, Request,
+    RouteService, Served, ServiceConfig, TraceConfig,
+};
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -85,6 +88,51 @@ fn warm_truth_hit_allocs(sim: &SimWorld, trace: TraceConfig, rounds: usize) -> u
     ALLOCS.load(Ordering::SeqCst)
 }
 
+/// Serves `rounds` warm truth-hit requests through a single-worker
+/// `Platform` — optionally with durability configured — and returns the
+/// counted window's allocations. Warm hits never reach a commit site,
+/// so an idle durability runtime must leave the count untouched.
+fn platform_truth_hit_allocs(
+    sim: &SimWorld,
+    durability: Option<DurabilityConfig>,
+    rounds: usize,
+) -> u64 {
+    let platform = Platform::start(PlatformConfig {
+        workers: 1,
+        queue_capacity: 16,
+        maintenance: None,
+        batch: None,
+        durability,
+    });
+    let id = platform.register_city(sim.service_world(), ServiceConfig::strict_deterministic());
+    let req = Request::to_city(id, NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0));
+    for _ in 0..4 {
+        platform
+            .submit_blocking(req)
+            .expect("admitted")
+            .wait()
+            .expect("warmup");
+    }
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let mut outcomes = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        outcomes.push(
+            platform
+                .submit_blocking(req)
+                .expect("admitted")
+                .wait()
+                .expect("warm hit"),
+        );
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    for served in outcomes {
+        assert_eq!(served.served, Served::TruthHit);
+    }
+    platform.shutdown();
+    ALLOCS.load(Ordering::SeqCst)
+}
+
 #[test]
 fn disabled_tracing_adds_zero_allocations_to_the_serve_path() {
     let sim = SimWorld::build(Scale::Small, 5).expect("world");
@@ -103,5 +151,23 @@ fn disabled_tracing_adds_zero_allocations_to_the_serve_path() {
     assert!(
         sampled > off,
         "sampling every call must allocate for its traces (off={off}, sampled={sampled})"
+    );
+
+    // The durability guard: whether the commit log is off or merely
+    // idle (configured, but warm hits never commit), the platform serve
+    // path must allocate identically — the off path is a single atomic
+    // load, and the sink is only ever consulted at commit sites.
+    let dir = std::env::temp_dir().join(format!("cp_alloc_guard_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plat_off = platform_truth_hit_allocs(&sim, None, ROUNDS);
+    let plat_on = platform_truth_hit_allocs(
+        &sim,
+        Some(DurabilityConfig::new(&dir).with_fsync(FsyncPolicy::Never)),
+        ROUNDS,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        plat_on, plat_off,
+        "an idle durability runtime must not allocate on the warm serve path"
     );
 }
