@@ -24,7 +24,8 @@ use crate::http::{escape_json, HttpRequest, Response};
 use crate::limits::{GatewayStats, InflightGate, RateLimiter};
 use crate::session::{SessionCache, SessionKey};
 use cp_service::{
-    CityId, Platform, PlatformSnapshot, Request, Served, ServedRoute, ServiceError, StatsSnapshot,
+    CityId, CityQueueSnapshot, Platform, PlatformSnapshot, Request, Served, ServedRoute,
+    ServiceError, StatsSnapshot,
 };
 use cp_traj::TimeOfDay;
 use std::net::IpAddr;
@@ -302,7 +303,7 @@ fn platform_json(snap: &PlatformSnapshot) -> String {
             "\"batched_requests\": {}, \"unbatched_requests\": {}, ",
             "\"batch_runs\": {}, \"batch_max\": {}, \"batch_adaptive\": {}, ",
             "\"batch_delay_us\": {}, \"maintenance_sweeps\": {}, ",
-            "\"durability\": {}}}"
+            "\"per_city\": {}, \"durability\": {}}}"
         ),
         snap.submitted,
         snap.admitted,
@@ -319,8 +320,38 @@ fn platform_json(snap: &PlatformSnapshot) -> String {
         snap.batch_adaptive,
         snap.batch_delay.as_micros(),
         snap.maintenance_sweeps,
+        per_city_json(&snap.per_city),
         durability,
     )
+}
+
+/// Each city's slice of the sharded ingress — queue depth, DRR weight,
+/// shed count and the city's adaptive-controller choices — as a JSON
+/// array indexed by city.
+fn per_city_json(per_city: &[CityQueueSnapshot]) -> String {
+    let rows: Vec<String> = per_city
+        .iter()
+        .map(|c| {
+            format!(
+                concat!(
+                    "{{\"city\": {}, \"weight\": {}, \"queue_depth\": {}, ",
+                    "\"admitted\": {}, \"rejected_busy\": {}, ",
+                    "\"batched_requests\": {}, \"unbatched_requests\": {}, ",
+                    "\"batch_delay_us\": {}, \"max_batch\": {}}}"
+                ),
+                c.city.index(),
+                c.weight,
+                c.queue_depth,
+                c.admitted,
+                c.rejected_busy,
+                c.batched_requests,
+                c.unbatched_requests,
+                c.batch_delay.as_micros(),
+                c.max_batch,
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
 }
 
 /// The aggregate service statistics as JSON (counter subset + derived

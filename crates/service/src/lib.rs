@@ -22,7 +22,8 @@
 //!   pre-pass, one flight leader per distinct OD and one fused mining
 //!   call;
 //! * [`Platform`] — the front door: a resident worker pool over all
-//!   registered cities, a **bounded ingress queue** with admission
+//!   registered cities, **per-city bounded ingress queues** behind a
+//!   weighted deficit-round-robin dispatcher with admission
 //!   control ([`Platform::submit`] is non-blocking and returns
 //!   [`ServiceError::Busy`] when full), joinable/pollable [`Ticket`]s,
 //!   opportunistic **origin-cell request coalescing**
@@ -148,8 +149,8 @@ pub use durable::{DurabilityConfig, DurabilitySnapshot};
 pub use error::ServiceError;
 pub use executor::{Request, RequestKey, RouteService, Served, ServedRoute, ServiceConfig};
 pub use platform::{
-    BatchConfig, CrowdServing, MaintenanceConfig, MaintenanceReport, Platform, PlatformConfig,
-    PlatformSnapshot, RecoveryReport, Ticket,
+    BatchConfig, CityQueueSnapshot, CrowdServing, MaintenanceConfig, MaintenanceReport, Platform,
+    PlatformConfig, PlatformSnapshot, RecoveryReport, Ticket,
 };
 pub use resolver::{CrowdCost, CrowdResolver, MachineResolver, OracleFactory, Resolved, Resolver};
 pub use singleflight::{FlightTable, FlightWatch, Join, JoinNow, LeaderToken};

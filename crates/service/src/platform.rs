@@ -64,7 +64,7 @@ use cp_durable::{
 use cp_roadnet::{EdgeId, LandmarkId, LandmarkSet, NodeId, Path as RoutePath};
 use cp_traj::TimeOfDay;
 use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -144,6 +144,18 @@ pub const ADAPTIVE_GIVE_UP: u32 = 8;
 /// `GIVE_UP × ceiling / (GIVE_UP + COOLDOWN)` per dispatch at worst.
 pub const ADAPTIVE_PROBE_COOLDOWN: u32 = 32;
 
+/// Consecutive dispatched runs filling at most a quarter of the current
+/// run-size cap before the adaptive controller halves the cap: sparse
+/// runs mean the cap is paying collection-scan cost (every dequeue
+/// walks the queue looking for cell-mates up to the cap) without buying
+/// coalescing. A run that *fills* the cap raises it back (doubling
+/// toward the configured `max_batch`). Fixed mode never steps the cap.
+pub const ADAPTIVE_CAP_SPARSE_RUNS: u32 = 4;
+
+/// The lowest the adaptive run-size cap may drop (a cap of 2 still
+/// coalesces pairs; dropping to 1 would silently disable batching).
+pub const ADAPTIVE_CAP_FLOOR: usize = 2;
+
 impl Default for BatchConfig {
     fn default() -> Self {
         BatchConfig::Fixed {
@@ -221,9 +233,18 @@ impl BatchConfig {
 pub struct PlatformConfig {
     /// Resident worker threads shared by all cities.
     pub workers: usize,
-    /// Bounded ingress queue capacity; a full queue makes
-    /// [`Platform::submit`] reject with [`ServiceError::Busy`].
+    /// Bounded **per-city** ingress queue capacity; a full city queue
+    /// makes [`Platform::submit`] shed that city's requests with
+    /// [`ServiceError::Busy`] — other cities' queues are unaffected.
     pub queue_capacity: usize,
+    /// Default deficit-round-robin weight assigned to newly registered
+    /// cities (clamped to ≥ 1; override per city with
+    /// [`Platform::set_city_weight`]). While backlogged, a city is
+    /// granted `weight` seed dispatches per scheduler rotation, so a
+    /// weight-4 city gets 4× a weight-1 city's dispatch share under
+    /// contention — but an idle city forfeits its quantum, so a hot
+    /// city can saturate idle capacity without starving anyone.
+    pub city_weight: u32,
     /// Optional background maintenance (truth-age sweeps + stats
     /// snapshot export). `None` (the default) spawns no janitor.
     pub maintenance: Option<MaintenanceConfig>,
@@ -242,6 +263,7 @@ impl Default for PlatformConfig {
         PlatformConfig {
             workers: 4,
             queue_capacity: 256,
+            city_weight: 1,
             maintenance: None,
             batch: None,
             durability: None,
@@ -262,6 +284,8 @@ struct CityState {
     service: Arc<RouteService>,
     factory: ResolverFactory,
     crowd_state: Option<Arc<dyn CrowdState>>,
+    /// This city's sharded ingress (bounded queue + DRR weight).
+    ingress: CityQueue,
 }
 
 /// Everything a crowd-backed city shares across its per-worker planners:
@@ -327,22 +351,27 @@ impl std::fmt::Debug for CrowdServing {
     }
 }
 
-/// One admitted request waiting for a worker.
+/// One admitted request waiting for a worker. The owning city is
+/// implicit: jobs live in their city's own queue.
 struct Job {
-    city_idx: usize,
     req: Request,
     slot: Arc<TicketSlot>,
 }
 
-/// The bounded ingress queue plus the drain flag and the dispatch
-/// accounting, under one mutex. The dispatch counters are mutated in
-/// the same critical sections that move jobs, so `admitted ==
-/// batched_requests + unbatched_requests + queue_depth` holds at every
-/// instant a snapshot can observe (admission also bumps `admitted`
-/// under this lock).
-struct Ingress {
+/// One city's bounded ingress queue plus its drain flag, admission and
+/// dispatch accounting and its adaptive batch controller, all under the
+/// city's own mutex. The counters are mutated in the same critical
+/// sections that move jobs, so `admitted == batched_requests +
+/// unbatched_requests + queue_depth` holds per city at every instant a
+/// snapshot can observe (admission also bumps `admitted` under this
+/// lock).
+struct CityIngress {
     jobs: VecDeque<Job>,
     draining: bool,
+    /// Requests admitted into this city's queue.
+    admitted: u64,
+    /// Non-blocking submissions shed because this city's queue was full.
+    rejected_busy: u64,
     /// Jobs dispatched inside a coalesced run of ≥ 2.
     batched_requests: u64,
     /// Jobs dispatched alone (runs of 1, and every job when batching is
@@ -353,9 +382,9 @@ struct Ingress {
     /// Largest run dispatched (high-water mark).
     batch_max: u64,
     /// The collection window currently in force (nanoseconds): the
-    /// fixed window, or the adaptive controller's chosen value. Mutated
-    /// only under this lock, in the same critical sections that move
-    /// jobs, so snapshots observe a coherent controller state.
+    /// fixed window, or this city's adaptive controller's chosen value.
+    /// Mutated only under this lock, in the same critical sections that
+    /// move jobs, so snapshots observe a coherent controller state.
     delay_ns: u64,
     /// Adaptive-controller transitions that raised the delay.
     delay_raises: u64,
@@ -367,23 +396,123 @@ struct Ingress {
     /// Lone zero-window dispatches remaining before the probe may
     /// reopen after a give-up.
     probe_cooldown: u32,
+    /// The run-size cap currently in force: the configured `max_batch`
+    /// in fixed mode, stepped by observed run occupancy in adaptive
+    /// mode (between [`ADAPTIVE_CAP_FLOOR`] and the configured cap).
+    max_batch_cur: usize,
+    /// Adaptive-cap transitions that raised the cap.
+    cap_raises: u64,
+    /// Adaptive-cap transitions that lowered the cap.
+    cap_drops: u64,
+    /// Consecutive dispatched runs that filled ≤ 1/4 of the current
+    /// cap — the cap-lowering streak.
+    sparse_runs: u32,
+}
+
+/// One city's sharded ingress: its bounded queue (own mutex/condvar
+/// pair), its own [`LockStats`] site so the trace layer attributes
+/// contention per city, a lock-free depth mirror for the scheduler's
+/// peek, and its DRR weight.
+struct CityQueue {
+    queue: Mutex<CityIngress>,
+    /// Signalled when a job lands in *this* city's queue (collectors
+    /// holding a delay window open listen here) or its drain starts.
+    arrivals: Condvar,
+    /// Signalled when a job leaves this city's queue or drain starts
+    /// (blocking submitters listen here).
+    not_full: Condvar,
+    /// Contention counters for this city's ingress mutex (enabled once
+    /// the city traces; see [`Platform::trace_report`]).
+    locks: LockStats,
+    /// Lock-free mirror of `queue.jobs.len()`, kept in sync under the
+    /// queue lock, so the DRR scheduler peeks without taking any city
+    /// lock.
+    depth: AtomicUsize,
+    /// DRR weight (≥ 1): quantum of seed dispatches granted per
+    /// rotation while backlogged.
+    weight: AtomicU32,
+}
+
+impl CityQueue {
+    fn new(cfg: &PlatformConfig) -> CityQueue {
+        CityQueue {
+            queue: Mutex::new(CityIngress {
+                jobs: VecDeque::new(),
+                draining: false,
+                admitted: 0,
+                rejected_busy: 0,
+                batched_requests: 0,
+                unbatched_requests: 0,
+                batch_runs: 0,
+                batch_max: 0,
+                // Fixed mode pins the window; adaptive starts at zero
+                // (opportunistic) and earns its delay from evidence.
+                delay_ns: match cfg.batch {
+                    Some(b) if !b.is_adaptive() => {
+                        b.delay_ceiling().as_nanos().min(u64::MAX as u128) as u64
+                    }
+                    _ => 0,
+                },
+                delay_raises: 0,
+                delay_drops: 0,
+                unproductive: 0,
+                probe_cooldown: 0,
+                max_batch_cur: cfg.batch.map(|b| b.max_batch()).unwrap_or(0),
+                cap_raises: 0,
+                cap_drops: 0,
+                sparse_runs: 0,
+            }),
+            arrivals: Condvar::new(),
+            not_full: Condvar::new(),
+            locks: LockStats::new(),
+            depth: AtomicUsize::new(0),
+            weight: AtomicU32::new(cfg.city_weight.max(1)),
+        }
+    }
+}
+
+/// The weighted deficit-round-robin schedule the workers drive: a
+/// rotating cursor over the registered cities plus per-city deficit
+/// counters, under one mutex whose critical section is a handful of
+/// atomic peeks — the per-job queue work (push, pop, run collection,
+/// delay windows) all happens under the per-city locks.
+struct Scheduler {
+    draining: bool,
+    /// The city whose quantum the rotation is currently spending.
+    cursor: usize,
+    /// Remaining seed dispatches in each city's current quantum.
+    deficits: Vec<u64>,
 }
 
 /// State shared between the platform handle and its workers.
 struct Inner {
     cfg: PlatformConfig,
     cities: RwLock<Vec<Arc<CityState>>>,
-    queue: Mutex<Ingress>,
-    /// Signalled when a job is enqueued or draining starts.
-    not_empty: Condvar,
-    /// Signalled when a job is dequeued or draining starts.
-    not_full: Condvar,
-    /// Contention counters for the ingress mutex (enabled once any
-    /// registered city traces; see [`Platform::trace_report`]).
-    ingress_locks: LockStats,
+    /// The DRR dispatch schedule (see [`Scheduler`]).
+    sched: Mutex<Scheduler>,
+    /// Idle workers park here; signalled when any city gains work (only
+    /// when someone is parked — see `sleepers`) or draining starts.
+    work: Condvar,
+    /// Contention counters for the dispatch (scheduler) mutex.
+    sched_locks: LockStats,
+    /// Workers parked (or committing to park) on `work`. Submissions
+    /// skip the scheduler lock entirely while this is zero — the common
+    /// case under load, which is exactly when the old global ingress
+    /// mutex collapsed.
+    sleepers: AtomicUsize,
+    /// Jobs queued across all cities (mirrors the per-city depths).
+    /// Paired with `sleepers` SeqCst-style so a submission and a
+    /// parking worker can never miss each other.
+    queued: AtomicU64,
+    /// Cities whose queue is currently non-empty (every 0↔non-zero
+    /// depth transition happens under that city's queue lock, so the
+    /// count is exact). While this is ≤ 1 there is no fairness decision
+    /// to arbitrate, and dispatch skips the scheduler lock entirely —
+    /// a single-city firehose never serialises workers on anything
+    /// global. The race where a second city gains backlog between the
+    /// check and the pop costs at most one unarbitrated pick.
+    backlogged: AtomicUsize,
     submitted: AtomicU64,
-    admitted: AtomicU64,
-    rejected_busy: AtomicU64,
     rejected_unknown_city: AtomicU64,
     rejected_shutdown: AtomicU64,
     completed: AtomicU64,
@@ -439,15 +568,71 @@ pub struct RecoveryReport {
     pub last_wal_seq: Option<u64>,
 }
 
+/// One city's slice of the sharded ingress, captured atomically under
+/// that city's queue lock: depth, weight, admission/dispatch counters
+/// and the city's adaptive batch-controller state.
+#[derive(Debug, Clone)]
+pub struct CityQueueSnapshot {
+    /// The city.
+    pub city: CityId,
+    /// The city's DRR weight.
+    pub weight: u32,
+    /// Jobs currently waiting in this city's queue.
+    pub queue_depth: usize,
+    /// Requests admitted into this city's queue.
+    pub admitted: u64,
+    /// Non-blocking submissions shed because this city's queue was
+    /// full (other cities shed independently).
+    pub rejected_busy: u64,
+    /// Jobs dispatched inside a coalesced run of ≥ 2.
+    pub batched_requests: u64,
+    /// Jobs dispatched alone.
+    pub unbatched_requests: u64,
+    /// Coalesced runs (of ≥ 2) dispatched.
+    pub batch_runs: u64,
+    /// Largest coalesced run dispatched (high-water mark).
+    pub batch_max: u64,
+    /// The collection window this city's controller currently holds.
+    pub batch_delay: Duration,
+    /// This city's delay raises.
+    pub batch_delay_raises: u64,
+    /// This city's delay drops.
+    pub batch_delay_drops: u64,
+    /// The run-size cap currently in force (the configured `max_batch`
+    /// in fixed mode; stepped by run occupancy in adaptive mode; 0 with
+    /// batching off).
+    pub max_batch: usize,
+    /// Adaptive-cap raises (0 in fixed mode).
+    pub batch_cap_raises: u64,
+    /// Adaptive-cap drops (0 in fixed mode).
+    pub batch_cap_drops: u64,
+    /// Contention on this city's ingress mutex (zeros unless the city
+    /// traces).
+    pub ingress: LockSummary,
+}
+
+impl CityQueueSnapshot {
+    /// The per-city dispatch ledger: every admitted job is either still
+    /// queued or was dispatched exactly once — batched or unbatched.
+    /// All terms are captured under the city's queue lock, so this is
+    /// exact at every observable instant.
+    pub fn is_consistent(&self) -> bool {
+        self.admitted == self.batched_requests + self.unbatched_requests + self.queue_depth as u64
+            && self.batch_max <= self.batched_requests
+            && self.batch_runs <= self.batched_requests
+    }
+}
+
 /// Point-in-time platform statistics: admission counters plus the exact
 /// aggregate of every city's service statistics.
 #[derive(Debug, Clone)]
 pub struct PlatformSnapshot {
     /// Submission attempts (admitted + all rejections).
     pub submitted: u64,
-    /// Requests admitted into the ingress queue.
+    /// Requests admitted across all city queues (Σ per-city).
     pub admitted: u64,
-    /// Rejections because the queue was full.
+    /// Rejections because the target city's queue was full (Σ
+    /// per-city).
     pub rejected_busy: u64,
     /// Rejections because the request named an unregistered city.
     pub rejected_unknown_city: u64,
@@ -457,7 +642,8 @@ pub struct PlatformSnapshot {
     pub completed: u64,
     /// Registered cities.
     pub cities: usize,
-    /// Jobs currently waiting in the ingress queue.
+    /// Jobs currently waiting across all city queues (Σ per-city
+    /// depths).
     pub queue_depth: usize,
     /// Jobs dispatched to workers inside a coalesced run of ≥ 2 (0
     /// unless [`PlatformConfig::batch`] is set).
@@ -472,19 +658,22 @@ pub struct PlatformSnapshot {
     /// Whether the collection window self-tunes
     /// ([`BatchConfig::Adaptive`]).
     pub batch_adaptive: bool,
-    /// The collection window currently in force (the fixed window, or
-    /// the adaptive controller's chosen value; zero when batching is
-    /// off).
+    /// The widest collection window any city's controller currently
+    /// holds (the fixed window, or the max over per-city adaptive
+    /// choices; zero when batching is off).
     pub batch_delay: Duration,
     /// The most the window may be held open: the fixed window itself,
     /// or the adaptive ceiling.
     pub batch_delay_ceiling: Duration,
-    /// Adaptive-controller transitions that raised the delay (0 in
-    /// fixed mode).
+    /// Adaptive-controller transitions that raised a delay, summed over
+    /// cities (0 in fixed mode).
     pub batch_delay_raises: u64,
-    /// Adaptive-controller transitions that snapped the delay to zero
-    /// on saturation (0 in fixed mode).
+    /// Adaptive-controller transitions that snapped a delay to zero on
+    /// saturation, summed over cities (0 in fixed mode).
     pub batch_delay_drops: u64,
+    /// Every city's queue/controller slice, each captured atomically
+    /// under its own queue lock (indexed by city).
+    pub per_city: Vec<CityQueueSnapshot>,
     /// Background maintenance sweeps completed (0 when no janitor is
     /// configured).
     pub maintenance_sweeps: u64,
@@ -499,24 +688,39 @@ impl PlatformSnapshot {
     /// The admission and dispatch accounting invariants: every
     /// submission was either admitted or rejected for exactly one
     /// reason, and every admitted job is either still queued or was
-    /// dispatched exactly once — batched or unbatched. The dispatch
-    /// counters, `admitted` and the queue depth are all captured under
-    /// the ingress lock (dispatch mutates them in the same critical
-    /// sections that move jobs), so the dispatch equation is exact at
-    /// every observable instant, not just at quiescence.
-    /// Additionally, the adaptive-delay controller may never hold a
-    /// window above its ceiling, and a fixed window never transitions
-    /// (raises and drops stay zero).
+    /// dispatched exactly once — batched or unbatched. Each city's
+    /// dispatch counters, `admitted` and queue depth are captured under
+    /// that city's queue lock (dispatch mutates them in the same
+    /// critical sections that move jobs), so every per-city ledger —
+    /// and therefore their sum, `admitted == batched + unbatched +
+    /// Σ per-city queue_depth` — is exact at every observable instant,
+    /// not just at quiescence. Additionally, no city's adaptive-delay
+    /// controller may hold a window above the ceiling, the adaptive
+    /// run-size cap stays within `[ADAPTIVE_CAP_FLOOR, max_batch]`, and
+    /// a fixed window never transitions (raises and drops stay zero).
     pub fn is_consistent(&self) -> bool {
+        let per_city_depth: u64 = self.per_city.iter().map(|c| c.queue_depth as u64).sum();
         self.admitted + self.rejected_busy + self.rejected_unknown_city + self.rejected_shutdown
             == self.submitted
             && self.admitted
                 == self.batched_requests + self.unbatched_requests + self.queue_depth as u64
+            && self.queue_depth as u64 == per_city_depth
+            && self.admitted == self.per_city.iter().map(|c| c.admitted).sum::<u64>()
+            && self.per_city.iter().all(CityQueueSnapshot::is_consistent)
             && self.batch_max <= self.batched_requests
             && self.batch_runs <= self.batched_requests
             && self.batch_delay <= self.batch_delay_ceiling
+            && self
+                .per_city
+                .iter()
+                .all(|c| c.batch_delay <= self.batch_delay_ceiling && c.weight >= 1)
             && (self.batch_adaptive
-                || (self.batch_delay_raises == 0 && self.batch_delay_drops == 0))
+                || (self.batch_delay_raises == 0
+                    && self.batch_delay_drops == 0
+                    && self
+                        .per_city
+                        .iter()
+                        .all(|c| c.batch_cap_raises == 0 && c.batch_cap_drops == 0)))
     }
 }
 
@@ -659,37 +863,23 @@ impl Platform {
             cfg: PlatformConfig {
                 workers: cfg.workers.max(1),
                 queue_capacity: cfg.queue_capacity.max(1),
+                city_weight: cfg.city_weight.max(1),
                 maintenance: cfg.maintenance,
                 batch: cfg.batch.map(BatchConfig::normalized),
                 durability: cfg.durability,
             },
             cities: RwLock::new(Vec::new()),
-            queue: Mutex::new(Ingress {
-                jobs: VecDeque::new(),
+            sched: Mutex::new(Scheduler {
                 draining: false,
-                batched_requests: 0,
-                unbatched_requests: 0,
-                batch_runs: 0,
-                batch_max: 0,
-                // Fixed mode pins the window; adaptive starts at zero
-                // (opportunistic) and earns its delay from evidence.
-                delay_ns: match cfg.batch {
-                    Some(b) if !b.is_adaptive() => {
-                        b.delay_ceiling().as_nanos().min(u64::MAX as u128) as u64
-                    }
-                    _ => 0,
-                },
-                delay_raises: 0,
-                delay_drops: 0,
-                unproductive: 0,
-                probe_cooldown: 0,
+                cursor: 0,
+                deficits: Vec::new(),
             }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-            ingress_locks: LockStats::new(),
+            work: Condvar::new(),
+            sched_locks: LockStats::new(),
+            sleepers: AtomicUsize::new(0),
+            queued: AtomicU64::new(0),
+            backlogged: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),
-            admitted: AtomicU64::new(0),
-            rejected_busy: AtomicU64::new(0),
             rejected_unknown_city: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -775,11 +965,14 @@ impl Platform {
             service: Arc::new(RouteService::new(world, cfg)),
             factory,
             crowd_state,
+            ingress: CityQueue::new(&self.inner.cfg),
         });
-        // One traced city is enough to make ingress contention worth
-        // timing (the mutex is shared by every city anyway).
         if state.service.tracer().enabled() {
-            self.inner.ingress_locks.set_enabled(true);
+            // The city's own ingress mutex is attributed to the city;
+            // one traced city is enough to make the shared dispatch
+            // (scheduler) lock worth timing too.
+            state.ingress.locks.set_enabled(true);
+            self.inner.sched_locks.set_enabled(true);
         }
         let mut cities = self.inner.cities.write().expect("city registry poisoned");
         let id = cities.len() as u32;
@@ -879,8 +1072,39 @@ impl Platform {
     }
 
     /// A city's statistics snapshot, or `None` for an unregistered id.
+    /// The snapshot's ingress lock-wait entry is this city's own queue
+    /// mutex — contention is attributed per city under the sharded
+    /// ingress.
     pub fn city_stats(&self, city: CityId) -> Option<StatsSnapshot> {
-        self.city_service(city).map(|s| s.stats())
+        let cities = self.inner.cities.read().expect("city registry poisoned");
+        cities.get(city.index()).map(|c| {
+            let mut snap = c.service.stats();
+            snap.locks[LockSite::Ingress.index()] = c.ingress.locks.summary();
+            snap
+        })
+    }
+
+    /// Sets a city's deficit-round-robin weight (clamped to ≥ 1; takes
+    /// effect on the city's next quantum). Returns `false` for an
+    /// unregistered id.
+    pub fn set_city_weight(&self, city: CityId, weight: u32) -> bool {
+        let cities = self.inner.cities.read().expect("city registry poisoned");
+        match cities.get(city.index()) {
+            Some(c) => {
+                c.ingress.weight.store(weight.max(1), Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A city's current deficit-round-robin weight, or `None` for an
+    /// unregistered id.
+    pub fn city_weight(&self, city: CityId) -> Option<u32> {
+        let cities = self.inner.cities.read().expect("city registry poisoned");
+        cities
+            .get(city.index())
+            .map(|c| c.ingress.weight.load(Ordering::Relaxed))
     }
 
     /// Non-blocking submission: enqueues the request and returns a
@@ -900,17 +1124,20 @@ impl Platform {
 
     fn submit_inner(&self, req: Request, block_on_full: bool) -> Result<Ticket, ServiceError> {
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
-        let city_idx = req.city.index();
-        {
+        let city = {
             let cities = self.inner.cities.read().expect("city registry poisoned");
-            if city_idx >= cities.len() {
-                self.inner
-                    .rejected_unknown_city
-                    .fetch_add(1, Ordering::Relaxed);
-                return Err(ServiceError::UnknownCity(req.city));
+            match cities.get(req.city.index()) {
+                Some(c) => Arc::clone(c),
+                None => {
+                    self.inner
+                        .rejected_unknown_city
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(ServiceError::UnknownCity(req.city));
+                }
             }
-        }
-        let mut q = self.inner.ingress_locks.lock(&self.inner.queue);
+        };
+        let ing = &city.ingress;
+        let mut q = ing.locks.lock(&ing.queue);
         loop {
             if q.draining {
                 self.inner.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
@@ -920,10 +1147,12 @@ impl Platform {
                 break;
             }
             if !block_on_full {
-                self.inner.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                // Shed per city: one city's firehose fills only its own
+                // queue.
+                q.rejected_busy += 1;
                 return Err(ServiceError::Busy);
             }
-            q = self.inner.not_full.wait(q).expect("ingress queue poisoned");
+            q = ing.not_full.wait(q).expect("ingress queue poisoned");
         }
         let slot = Arc::new(TicketSlot {
             state: Mutex::new(None),
@@ -932,12 +1161,29 @@ impl Platform {
             sojourn_ns: AtomicU64::new(0),
         });
         q.jobs.push_back(Job {
-            city_idx,
             req,
             slot: Arc::clone(&slot),
         });
-        self.inner.admitted.fetch_add(1, Ordering::Relaxed);
-        self.inner.not_empty.notify_one();
+        q.admitted += 1;
+        if ing.depth.fetch_add(1, Ordering::SeqCst) == 0 {
+            self.inner.backlogged.fetch_add(1, Ordering::SeqCst);
+        }
+        self.inner.queued.fetch_add(1, Ordering::SeqCst);
+        // A collector holding this city's delay window open must see the
+        // arrival now, not when its window expires.
+        ing.arrivals.notify_all();
+        drop(q);
+        // Wake a parked worker — but only touch the shared scheduler
+        // lock when someone is actually parked. Under load `sleepers` is
+        // zero and submission never serialises on anything global: this
+        // is the contention the sharded ingress exists to remove. The
+        // SeqCst `queued` store above pairs with the parking worker's
+        // SeqCst `sleepers` increment + `queued` re-check, so one of the
+        // two sides always observes the other.
+        if self.inner.sleepers.load(Ordering::SeqCst) > 0 {
+            let _s = self.inner.sched_locks.lock(&self.inner.sched);
+            self.inner.work.notify_one();
+        }
         Ok(Ticket {
             city: req.city,
             slot,
@@ -966,25 +1212,29 @@ impl Platform {
         snapshot_of(&self.inner)
     }
 
-    /// A point-in-time trace export: ingress-mutex contention plus every
-    /// city's per-stage attribution, lock-wait summaries and sampled
-    /// complete request traces (non-empty only for cities configured
-    /// with [`TraceConfig::Sampled`](crate::TraceConfig::Sampled)).
+    /// A point-in-time trace export: dispatch-lock contention plus every
+    /// city's per-stage attribution, lock-wait summaries — each city's
+    /// own ingress-mutex contention included, now that the ingress is
+    /// sharded per city — and sampled complete request traces (non-empty
+    /// only for cities configured with
+    /// [`TraceConfig::Sampled`](crate::TraceConfig::Sampled)).
     /// Serialise with [`TraceReport::to_json`].
     pub fn trace_report(&self) -> TraceReport {
         let cities = self.inner.cities.read().expect("city registry poisoned");
         TraceReport {
-            ingress: self.inner.ingress_locks.summary(),
+            ingress: self.inner.sched_locks.summary(),
             durability: self.durability_stats(),
             cities: cities
                 .iter()
                 .enumerate()
                 .map(|(i, city)| {
                     let snap = city.service.stats();
+                    let mut locks = snap.locks;
+                    locks[LockSite::Ingress.index()] = city.ingress.locks.summary();
                     CityTrace {
                         city: i as u32,
                         stages: snap.stages,
-                        locks: snap.locks,
+                        locks,
                         traces: city.service.tracer().samples(),
                     }
                 })
@@ -1225,11 +1475,27 @@ impl Platform {
     }
 
     fn shutdown_impl(&self) {
+        // Order matters: set every city's drain flag *before* the
+        // scheduler's. A submission that passed its city's draining
+        // check has pushed its job (and bumped the depth counters)
+        // before this loop could take that city's lock — and that
+        // happens-before the scheduler flag below, so any worker that
+        // observes `draining` also observes every admitted job and
+        // drains it.
         {
-            let mut q = self.inner.ingress_locks.lock(&self.inner.queue);
-            q.draining = true;
-            self.inner.not_empty.notify_all();
-            self.inner.not_full.notify_all();
+            let cities = self.inner.cities.read().expect("city registry poisoned");
+            for city in cities.iter() {
+                let mut q = city.ingress.locks.lock(&city.ingress.queue);
+                q.draining = true;
+                city.ingress.arrivals.notify_all();
+                city.ingress.not_full.notify_all();
+                drop(q);
+            }
+        }
+        {
+            let mut s = self.inner.sched_locks.lock(&self.inner.sched);
+            s.draining = true;
+            self.inner.work.notify_all();
         }
         {
             let mut stop = self
@@ -1267,61 +1533,74 @@ fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
             acc.wait += site.wait;
         }
     }
-    locks[LockSite::Ingress.index()] = inner.ingress_locks.summary();
     let mut aggregate = agg.snapshot();
     aggregate.truth_evictions = truth_evictions;
+    // Capture each city's slice — depth, admission, dispatch counters,
+    // controller state — under that city's queue lock: dispatch mutates
+    // them in the same critical sections that move jobs, so every
+    // per-city ledger in [`PlatformSnapshot::is_consistent`] is exact
+    // even mid-flight (and so are their sums: cities are captured at
+    // different instants, but each city's terms balance internally).
+    let mut per_city = Vec::with_capacity(cities.len());
+    for (i, city) in cities.iter().enumerate() {
+        let ing = &city.ingress;
+        let ingress_summary = ing.locks.summary();
+        let q = ing.locks.lock(&ing.queue);
+        per_city.push(CityQueueSnapshot {
+            city: CityId(i as u32),
+            weight: ing.weight.load(Ordering::Relaxed),
+            queue_depth: q.jobs.len(),
+            admitted: q.admitted,
+            rejected_busy: q.rejected_busy,
+            batched_requests: q.batched_requests,
+            unbatched_requests: q.unbatched_requests,
+            batch_runs: q.batch_runs,
+            batch_max: q.batch_max,
+            batch_delay: Duration::from_nanos(q.delay_ns),
+            batch_delay_raises: q.delay_raises,
+            batch_delay_drops: q.delay_drops,
+            max_batch: q.max_batch_cur,
+            batch_cap_raises: q.cap_raises,
+            batch_cap_drops: q.cap_drops,
+            ingress: ingress_summary,
+        });
+    }
+    // The aggregate ingress entry folds every city's own queue mutex
+    // plus the shared dispatch (scheduler) lock.
+    let mut ingress_total = inner.sched_locks.summary();
+    for c in &per_city {
+        ingress_total.waits += c.ingress.waits;
+        ingress_total.wait += c.ingress.wait;
+    }
+    locks[LockSite::Ingress.index()] = ingress_total;
     aggregate.locks = locks;
-    // Capture queue depth, dispatch counters and `admitted` under one
-    // ingress-lock acquisition: dispatch mutates the counters in the
-    // same critical sections that move jobs (and admission bumps
-    // `admitted` under the lock), so the dispatch invariant in
-    // [`PlatformSnapshot::is_consistent`] is exact even mid-flight.
-    let (
-        queue_depth,
-        admitted,
-        batched_requests,
-        unbatched_requests,
-        batch_runs,
-        batch_max,
-        delay_ns,
-        delay_raises,
-        delay_drops,
-    ) = {
-        let q = inner.ingress_locks.lock(&inner.queue);
-        (
-            q.jobs.len(),
-            inner.admitted.load(Ordering::Relaxed),
-            q.batched_requests,
-            q.unbatched_requests,
-            q.batch_runs,
-            q.batch_max,
-            q.delay_ns,
-            q.delay_raises,
-            q.delay_drops,
-        )
-    };
     PlatformSnapshot {
         submitted: inner.submitted.load(Ordering::Relaxed),
-        admitted,
-        rejected_busy: inner.rejected_busy.load(Ordering::Relaxed),
+        admitted: per_city.iter().map(|c| c.admitted).sum(),
+        rejected_busy: per_city.iter().map(|c| c.rejected_busy).sum(),
         rejected_unknown_city: inner.rejected_unknown_city.load(Ordering::Relaxed),
         rejected_shutdown: inner.rejected_shutdown.load(Ordering::Relaxed),
         completed: inner.completed.load(Ordering::Relaxed),
         cities: cities.len(),
-        queue_depth,
-        batched_requests,
-        unbatched_requests,
-        batch_runs,
-        batch_max,
+        queue_depth: per_city.iter().map(|c| c.queue_depth).sum(),
+        batched_requests: per_city.iter().map(|c| c.batched_requests).sum(),
+        unbatched_requests: per_city.iter().map(|c| c.unbatched_requests).sum(),
+        batch_runs: per_city.iter().map(|c| c.batch_runs).sum(),
+        batch_max: per_city.iter().map(|c| c.batch_max).max().unwrap_or(0),
         batch_adaptive: inner.cfg.batch.is_some_and(|b| b.is_adaptive()),
-        batch_delay: Duration::from_nanos(delay_ns),
+        batch_delay: per_city
+            .iter()
+            .map(|c| c.batch_delay)
+            .max()
+            .unwrap_or(Duration::ZERO),
         batch_delay_ceiling: inner
             .cfg
             .batch
             .map(|b| b.delay_ceiling())
             .unwrap_or(Duration::ZERO),
-        batch_delay_raises: delay_raises,
-        batch_delay_drops: delay_drops,
+        batch_delay_raises: per_city.iter().map(|c| c.batch_delay_raises).sum(),
+        batch_delay_drops: per_city.iter().map(|c| c.batch_delay_drops).sum(),
+        per_city,
         maintenance_sweeps: inner.maintenance_sweeps.load(Ordering::Relaxed),
         durability: inner.durable.as_ref().map(|d| d.counters.snapshot()),
         aggregate,
@@ -1549,41 +1828,52 @@ impl std::fmt::Debug for Platform {
 }
 
 /// Extends a freshly dequeued job into a coalesced run: extracts (in
-/// queue order) every queued job sharing the seed's `(city, origin
-/// cell)` key — time buckets mix freely, the fused mining path shares
+/// queue order) every job queued in the seed's *city* sharing its
+/// origin cell — time buckets mix freely, the fused mining path shares
 /// the all-day origin artifacts across them and splits only the MFP
 /// period aggregation — and, when the collection window allows, holds
-/// the under-full run open for more same-key arrivals.
+/// the under-full run open for more same-key arrivals on the city's
+/// `arrivals` condvar. The whole collection runs under the city's own
+/// queue lock: other cities' queues, and the scheduler, are untouched.
 ///
-/// In [`BatchConfig::Adaptive`] mode the window is the controller's
-/// current choice, and the controller is stepped at the end of every
-/// collection (under the same ingress lock that moves jobs): a deep
-/// queue or a filled run snaps the delay to zero — at saturation the
-/// backlog itself supplies coalescable work and waiting only adds
+/// In [`BatchConfig::Adaptive`] mode the window is the *city's*
+/// controller's current choice, and the controller is stepped at the
+/// end of every collection (under the same city lock that moves jobs):
+/// a deep queue or a filled run snaps the delay to zero — at saturation
+/// the backlog itself supplies coalescable work and waiting only adds
 /// latency. Off a shallow queue the controller climbs optimistically
 /// (small windows cannot prove their value, so a lone zero-window
 /// dispatch opens a ceiling/16 probe and lone *paid* windows keep
-/// doubling toward the ceiling), runs that earn 2..max_batch reset the
+/// doubling toward the ceiling), runs that earn 2..cap reset the
 /// give-up streak, and [`ADAPTIVE_GIVE_UP`] consecutive paid windows
 /// that each bought nothing snap the window to zero with an
 /// [`ADAPTIVE_PROBE_COOLDOWN`]-dispatch cooldown — so sustained
 /// unique-origin traffic pays a bounded, amortised probe tax instead
 /// of a permanent ceiling-sized window.
 ///
+/// Adaptive mode also steps the **run-size cap** on observed occupancy:
+/// a filled run doubles the cap toward the configured `max_batch`
+/// (demand outgrew it), while [`ADAPTIVE_CAP_SPARSE_RUNS`] consecutive
+/// runs filling ≤ 1/4 of it halve the cap toward
+/// [`ADAPTIVE_CAP_FLOOR`] (the cap was all scan cost, no coalescing).
+///
 /// The dispatch counters are reclassified in the same critical sections
-/// that move jobs, so the snapshot invariant `admitted == batched +
-/// unbatched + queue_depth` never wavers. Before releasing the lock the
-/// collector passes the wakeup baton (`not_empty.notify_one`) if jobs
-/// remain queued: it may have consumed notifications meant for an idle
-/// worker while watching for same-key arrivals.
-fn collect_run(inner: &Inner, service: &RouteService, run: &mut Vec<Job>, batch: BatchConfig) {
-    let city_idx = run[0].city_idx;
+/// that move jobs, so the per-city snapshot ledger `admitted == batched
+/// + unbatched + queue_depth` never wavers. The drain flag is
+/// re-checked immediately after **every** condvar wake, so a shutdown
+/// racing a delay window ends the collection at notification latency —
+/// never a full `max_delay` later.
+fn collect_run(inner: &Inner, city: &CityState, run: &mut Vec<Job>, batch: BatchConfig) {
+    let service = &city.service;
     let cell = service.origin_cell_of(run[0].req.from);
-    let same_key = |j: &Job| j.city_idx == city_idx && service.origin_cell_of(j.req.from) == cell;
-    let max_batch = batch.max_batch();
+    let same_key = |j: &Job| service.origin_cell_of(j.req.from) == cell;
     let ceiling = batch.delay_ceiling();
     let mut reclassified = false;
-    let mut q = inner.ingress_locks.lock(&inner.queue);
+    let ing = &city.ingress;
+    let mut q = ing.locks.lock(&ing.queue);
+    // This collection's run-size cap: the city's adaptive choice (== the
+    // configured max_batch in fixed mode).
+    let max_batch = q.max_batch_cur.max(1);
     // The depth the seed popped off (our own pop excluded): the
     // controller's saturation signal.
     let seed_depth = q.jobs.len();
@@ -1611,17 +1901,14 @@ fn collect_run(inner: &Inner, service: &RouteService, run: &mut Vec<Job>, batch:
             }
             q.batched_requests += took;
             q.batch_max = q.batch_max.max(run.len() as u64);
-            inner.not_full.notify_all();
+            if ing.depth.fetch_sub(took as usize, Ordering::SeqCst) == took as usize {
+                inner.backlogged.fetch_sub(1, Ordering::SeqCst);
+            }
+            inner.queued.fetch_sub(took, Ordering::SeqCst);
+            ing.not_full.notify_all();
         }
         if run.len() >= max_batch || q.draining {
             break;
-        }
-        // Pass the baton *before* re-waiting: the wakeup that brought us
-        // here may have announced a non-matching job meant for an idle
-        // worker; without this, that job would sit queued until our
-        // delay window closes.
-        if !q.jobs.is_empty() {
-            inner.not_empty.notify_one();
         }
         let now = Instant::now();
         let Some(remaining) = deadline
@@ -1630,11 +1917,19 @@ fn collect_run(inner: &Inner, service: &RouteService, run: &mut Vec<Job>, batch:
         else {
             break;
         };
-        let (guard, _) = inner
-            .not_empty
+        let (guard, _) = ing
+            .arrivals
             .wait_timeout(q, remaining)
             .expect("ingress queue poisoned");
         q = guard;
+        // Re-check the drain flag on every wake, before rescanning: a
+        // drain racing this delay window must not hold the worker until
+        // the deadline. (The loop top still harvests already-queued
+        // cell-mates into the run on the drain pass — they drain faster
+        // fused than one by one.)
+        if q.draining {
+            continue;
+        }
     }
     if batch.is_adaptive() {
         let ceiling_ns = ceiling.as_nanos().min(u64::MAX as u128) as u64;
@@ -1685,21 +1980,32 @@ fn collect_run(inner: &Inner, service: &RouteService, run: &mut Vec<Job>, batch:
                 }
             }
         } else {
-            // A run of 2..max_batch off a shallow queue: coalescing is
-            // being earned at this window.
+            // A run of 2..cap off a shallow queue: coalescing is being
+            // earned at this window.
             q.unproductive = 0;
             if !delay.is_zero() && q.delay_ns > 0 && q.delay_ns < ceiling_ns {
                 q.delay_ns = q.delay_ns.saturating_mul(2).min(ceiling_ns);
                 q.delay_raises += 1;
             }
         }
-    }
-    if !q.jobs.is_empty() {
-        // The collector may have absorbed *several* not_empty
-        // notifications during its delay window (one per non-matching
-        // arrival); notify_all so no idle worker is left asleep with
-        // jobs queued.
-        inner.not_empty.notify_all();
+        // Step the run-size cap on observed occupancy.
+        let configured = batch.max_batch();
+        let floor = ADAPTIVE_CAP_FLOOR.min(configured);
+        if run.len() >= max_batch && max_batch < configured {
+            // The cap was binding: demand outgrew it.
+            q.max_batch_cur = max_batch.saturating_mul(2).min(configured);
+            q.cap_raises += 1;
+            q.sparse_runs = 0;
+        } else if run.len() >= 2 && run.len().saturating_mul(4) <= max_batch {
+            q.sparse_runs += 1;
+            if q.sparse_runs >= ADAPTIVE_CAP_SPARSE_RUNS && max_batch > floor {
+                q.max_batch_cur = (max_batch / 2).max(floor);
+                q.cap_drops += 1;
+                q.sparse_runs = 0;
+            }
+        } else if run.len() >= 2 {
+            q.sparse_runs = 0;
+        }
     }
 }
 
@@ -1716,10 +2022,141 @@ fn record_queue_wait(service: &RouteService, job: &Job) {
         .record_stage(Stage::QueueWait, elapsed_ns(job.slot.submitted_at));
 }
 
-/// The resident worker: pop a job (extending it into a coalesced run
-/// when [`PlatformConfig::batch`] is set), route it to its city's
-/// service with this worker's cached per-city resolver, fulfil the
-/// ticket(s). Exits once draining is set and the queue is empty — never
+/// One deficit-round-robin scheduling decision, under the scheduler
+/// lock. Classic DRR adapted to unit-cost seed dispatches: when the
+/// rotation's cursor rests on a backlogged city with an exhausted
+/// deficit, the city is granted its quantum (= its weight); each pick
+/// spends one unit; a spent quantum advances the cursor; an **empty**
+/// queue forfeits its unused deficit, so idle cities cannot bank
+/// capacity and burst-starve others — which is also why a hot city may
+/// freely absorb capacity the cold cities are not using. Returns the
+/// picked city's index, or `None` after a full rotation found every
+/// queue empty.
+fn drr_pick(s: &mut Scheduler, cities: &[Arc<CityState>]) -> Option<usize> {
+    let n = cities.len();
+    if n == 0 {
+        return None;
+    }
+    if s.cursor >= n {
+        s.cursor = 0;
+    }
+    let mut hops = 0;
+    loop {
+        let i = s.cursor;
+        if cities[i].ingress.depth.load(Ordering::SeqCst) > 0 {
+            if s.deficits[i] == 0 {
+                // The rotation arrived at a backlogged city: grant its
+                // quantum.
+                s.deficits[i] = u64::from(cities[i].ingress.weight.load(Ordering::Relaxed).max(1));
+            }
+            s.deficits[i] -= 1;
+            if s.deficits[i] == 0 {
+                // Quantum spent: the next city's turn.
+                s.cursor = (i + 1) % n;
+            }
+            return Some(i);
+        }
+        s.deficits[i] = 0;
+        s.cursor = (i + 1) % n;
+        hops += 1;
+        if hops >= n {
+            return None;
+        }
+    }
+}
+
+/// The worker-side dispatch: pick a city — straight off the single
+/// backlogged queue when at most one city has work (no scheduler lock
+/// touched), via weighted DRR when two or more compete — pop its front
+/// job (booking it unbatched under the city's lock; `collect_run`
+/// reclassifies if a run forms), or park on the shared `work` condvar
+/// until a submission or drain wakes us. Returns `None` — the worker's
+/// exit signal — only when draining is set and every queue is empty.
+fn next_job(inner: &Inner) -> Option<(usize, Arc<CityState>, Job)> {
+    loop {
+        {
+            // Registry read lock, then scheduler lock — the same order
+            // everywhere, and neither is held across a condvar wait on
+            // the other's path.
+            let cities = inner.cities.read().expect("city registry poisoned");
+            let picked = if inner.backlogged.load(Ordering::SeqCst) <= 1 {
+                // At most one city has backlog: there is no fairness
+                // decision to make, so skip the scheduler lock and
+                // serve that city directly. This keeps the dispatch
+                // hot path free of global locks under the common
+                // single-hot-city regime; DRR state is consulted only
+                // when two queues actually compete. Deficits left over
+                // from the last contested phase are bounded by a
+                // weight, so fairness resumes within one quantum when
+                // a second city fills up.
+                cities
+                    .iter()
+                    .position(|c| c.ingress.depth.load(Ordering::SeqCst) > 0)
+            } else {
+                let mut s = inner.sched_locks.lock(&inner.sched);
+                if s.deficits.len() < cities.len() {
+                    s.deficits.resize(cities.len(), 0);
+                }
+                drr_pick(&mut s, &cities)
+            };
+            if let Some(i) = picked {
+                let city = Arc::clone(&cities[i]);
+                drop(cities);
+                let ing = &city.ingress;
+                let mut q = ing.locks.lock(&ing.queue);
+                if let Some(job) = q.jobs.pop_front() {
+                    q.unbatched_requests += 1;
+                    if ing.depth.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        inner.backlogged.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    inner.queued.fetch_sub(1, Ordering::SeqCst);
+                    ing.not_full.notify_one();
+                    drop(q);
+                    return Some((i, city, job));
+                }
+                // Another worker (or a collector's run) emptied the
+                // queue between the peek and the pop; rescan.
+                continue;
+            }
+        }
+        // Every queue looked empty. Decide between the drain exit and
+        // parking, both under the scheduler lock. The SeqCst `sleepers`
+        // increment *before* the `queued` re-check pairs with the
+        // submitter's SeqCst `queued` increment *before* its `sleepers`
+        // check: whichever side runs second observes the other, so
+        // either we see the job and rescan, or the submitter sees us
+        // and takes the scheduler lock to notify — and that notify
+        // serialises with our wait below.
+        let mut s = inner.sched_locks.lock(&inner.sched);
+        if s.draining {
+            if inner.queued.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            // A job landed after the scan passed its city; rescan
+            // rather than park (no more wakeups are coming).
+            continue;
+        }
+        inner.sleepers.fetch_add(1, Ordering::SeqCst);
+        if inner.queued.load(Ordering::SeqCst) == 0 && !s.draining {
+            // The timeout is a belt-and-braces safety net, not a
+            // polling loop: every enqueue-vs-park race is closed by the
+            // sleepers/queued handshake above.
+            let (guard, _) = inner
+                .work
+                .wait_timeout(s, Duration::from_millis(50))
+                .expect("scheduler poisoned");
+            s = guard;
+        }
+        drop(s);
+        inner.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The resident worker: pick a `(city, job)` via weighted DRR
+/// (extending the job into a coalesced run when
+/// [`PlatformConfig::batch`] is set), route it to the city's service
+/// with this worker's cached per-city resolver, fulfil the ticket(s).
+/// Exits once draining is set and every city's queue is empty — never
 /// before, so every admitted ticket is resolved exactly once. A
 /// panicking resolver is contained: the affected tickets resolve with
 /// [`ServiceError::ResolverPanicked`], the panicked resolver is
@@ -1729,27 +2166,8 @@ fn record_queue_wait(service: &RouteService, job: &Job) {
 fn worker_loop(inner: &Inner, worker_idx: usize) {
     let mut resolvers: Vec<Option<Box<dyn Resolver + Send>>> = Vec::new();
     loop {
-        let job = {
-            let mut q = inner.ingress_locks.lock(&inner.queue);
-            loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    // Booked as unbatched; `collect_run` reclassifies if
-                    // a run forms around it.
-                    q.unbatched_requests += 1;
-                    inner.not_full.notify_one();
-                    break Some(job);
-                }
-                if q.draining {
-                    break None;
-                }
-                q = inner.not_empty.wait(q).expect("ingress queue poisoned");
-            }
-        };
-        let Some(job) = job else { break };
-        let city_idx = job.city_idx;
-        let city = {
-            let cities = inner.cities.read().expect("city registry poisoned");
-            Arc::clone(&cities[city_idx])
+        let Some((city_idx, city, job)) = next_job(inner) else {
+            break;
         };
         let traced = city.service.tracer().enabled();
         if traced {
@@ -1761,7 +2179,7 @@ fn worker_loop(inner: &Inner, worker_idx: usize) {
         if let Some(batch) = inner.cfg.batch {
             if batch.max_batch() > 1 {
                 let collect_t0 = traced.then(Instant::now);
-                collect_run(inner, &city.service, &mut run, batch);
+                collect_run(inner, &city, &mut run, batch);
                 if let Some(t0) = collect_t0 {
                     city.service
                         .raw_stats()
@@ -1854,6 +2272,7 @@ mod tests {
     #[test]
     fn submit_wait_round_trip_and_stats() {
         let platform = Platform::start(PlatformConfig {
+            city_weight: 1,
             workers: 2,
             queue_capacity: 64,
             maintenance: None,
@@ -1917,6 +2336,7 @@ mod tests {
         // slow-city request, so a second ticket predictably outlives a
         // tiny deadline.
         let platform = Platform::start(PlatformConfig {
+            city_weight: 1,
             workers: 1,
             queue_capacity: 64,
             maintenance: None,
@@ -1983,6 +2403,7 @@ mod tests {
         // submits: resolution takes far longer than enqueueing, so some
         // submits must find the queue full and shed.
         let platform = Platform::start(PlatformConfig {
+            city_weight: 1,
             workers: 1,
             queue_capacity: 1,
             maintenance: None,
@@ -2018,6 +2439,7 @@ mod tests {
     #[test]
     fn shutdown_drains_and_rejects_new_work() {
         let platform = Platform::start(PlatformConfig {
+            city_weight: 1,
             workers: 2,
             queue_capacity: 128,
             maintenance: None,
@@ -2069,6 +2491,7 @@ mod tests {
 
         let world = mini_world(7);
         let platform = Platform::start(PlatformConfig {
+            city_weight: 1,
             workers: 1,
             queue_capacity: 16,
             maintenance: None,
@@ -2117,6 +2540,7 @@ mod tests {
     #[test]
     fn janitor_sweeps_and_exports_reports() {
         let platform = Platform::start(PlatformConfig {
+            city_weight: 1,
             workers: 2,
             queue_capacity: 64,
             maintenance: Some(MaintenanceConfig {
@@ -2215,6 +2639,7 @@ mod tests {
             Arc::new(|_f: NodeId, _t: NodeId| |l: LandmarkId| l.0.is_multiple_of(2));
 
         let platform = Platform::start(PlatformConfig {
+            city_weight: 1,
             workers: 2,
             queue_capacity: 64,
             maintenance: None,
@@ -2298,6 +2723,7 @@ mod tests {
         // fully queued long before the window closes, so coalesced runs
         // of ≥ 2 must form.
         let platform = Platform::start(PlatformConfig {
+            city_weight: 1,
             workers: 1,
             queue_capacity: 64,
             maintenance: None,
@@ -2343,6 +2769,7 @@ mod tests {
     fn adaptive_controller_climbs_then_gives_up_on_unproductive_windows() {
         let ceiling = Duration::from_millis(4);
         let platform = Platform::start(PlatformConfig {
+            city_weight: 1,
             workers: 1,
             queue_capacity: 256,
             maintenance: None,
@@ -2422,6 +2849,7 @@ mod tests {
     #[test]
     fn fixed_mode_reports_its_window_and_never_transitions() {
         let platform = Platform::start(PlatformConfig {
+            city_weight: 1,
             workers: 1,
             queue_capacity: 64,
             maintenance: None,
@@ -2480,6 +2908,7 @@ mod tests {
             .collect();
 
         let platform = Platform::start(PlatformConfig {
+            city_weight: 1,
             workers: 1,
             queue_capacity: 64,
             maintenance: None,
@@ -2573,5 +3002,334 @@ mod tests {
         let agg = platform.stats().aggregate;
         assert_eq!(agg.requests, 2);
         platform.shutdown();
+    }
+
+    /// A bare `Inner` with no worker threads: lets tests drive
+    /// `collect_run`/`drr_pick` deterministically (the public
+    /// `Platform::start` clamps `workers` to ≥ 1).
+    fn bare_inner(cfg: PlatformConfig) -> Inner {
+        Inner {
+            cfg: PlatformConfig {
+                workers: cfg.workers.max(1),
+                queue_capacity: cfg.queue_capacity.max(1),
+                city_weight: cfg.city_weight.max(1),
+                maintenance: cfg.maintenance,
+                batch: cfg.batch.map(BatchConfig::normalized),
+                durability: None,
+            },
+            cities: RwLock::new(Vec::new()),
+            sched: Mutex::new(Scheduler {
+                draining: false,
+                cursor: 0,
+                deficits: Vec::new(),
+            }),
+            work: Condvar::new(),
+            sched_locks: LockStats::new(),
+            sleepers: AtomicUsize::new(0),
+            queued: AtomicU64::new(0),
+            backlogged: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            rejected_unknown_city: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            maintenance_stop: Mutex::new(false),
+            maintenance_cv: Condvar::new(),
+            maintenance_sweeps: AtomicU64::new(0),
+            maintenance_evicted: AtomicU64::new(0),
+            last_maintenance: Mutex::new(None),
+            durable: None,
+        }
+    }
+
+    /// A standalone `CityState` (own ingress queue, machine resolution)
+    /// for scheduler-level tests.
+    fn bare_city(cfg: &PlatformConfig) -> Arc<CityState> {
+        let world = mini_world(7);
+        let graph = world.graph_arc();
+        let svc_cfg = ServiceConfig::strict_deterministic();
+        let core = svc_cfg.core.clone();
+        Arc::new(CityState {
+            service: Arc::new(RouteService::new(world, svc_cfg)),
+            factory: Box::new(move |_| {
+                Box::new(MachineResolver::new(Arc::clone(&graph), core.clone()))
+                    as Box<dyn Resolver + Send>
+            }),
+            crowd_state: None,
+            ingress: CityQueue::new(cfg),
+        })
+    }
+
+    /// Enqueues `n` jobs with origin `origin` into `city`'s queue with
+    /// full depth bookkeeping (what `submit_inner` does, minus tickets
+    /// anyone waits on).
+    fn push_jobs(inner: &Inner, city: &CityState, origin: u32, n: usize) {
+        let ing = &city.ingress;
+        let mut q = ing.queue.lock().unwrap();
+        for _ in 0..n {
+            q.jobs.push_back(Job {
+                req: Request::to_city(
+                    CityId(0),
+                    NodeId(origin),
+                    NodeId(59),
+                    TimeOfDay::from_hours(8.0),
+                ),
+                slot: Arc::new(TicketSlot {
+                    state: Mutex::new(None),
+                    done: Condvar::new(),
+                    submitted_at: Instant::now(),
+                    sojourn_ns: AtomicU64::new(0),
+                }),
+            });
+            q.admitted += 1;
+            if ing.depth.fetch_add(1, Ordering::SeqCst) == 0 {
+                inner.backlogged.fetch_add(1, Ordering::SeqCst);
+            }
+            inner.queued.fetch_add(1, Ordering::SeqCst);
+        }
+        ing.arrivals.notify_all();
+    }
+
+    /// One worker dispatch against `city`: pop the seed (booked
+    /// unbatched, as `next_job` does) and extend it via `collect_run`.
+    /// Returns the run length.
+    fn dispatch_once(inner: &Inner, city: &CityState, batch: BatchConfig) -> usize {
+        let ing = &city.ingress;
+        let job = {
+            let mut q = ing.queue.lock().unwrap();
+            let job = q.jobs.pop_front().expect("a seed job is queued");
+            q.unbatched_requests += 1;
+            if ing.depth.fetch_sub(1, Ordering::SeqCst) == 1 {
+                inner.backlogged.fetch_sub(1, Ordering::SeqCst);
+            }
+            inner.queued.fetch_sub(1, Ordering::SeqCst);
+            job
+        };
+        let mut run = vec![job];
+        collect_run(inner, city, &mut run, batch);
+        run.len()
+    }
+
+    #[test]
+    fn drr_spends_quanta_proportional_to_weight() {
+        let heavy = PlatformConfig {
+            city_weight: 3,
+            ..PlatformConfig::default()
+        };
+        let light = PlatformConfig::default();
+        let cities = vec![bare_city(&heavy), bare_city(&light)];
+        cities[0].ingress.depth.store(100, Ordering::SeqCst);
+        cities[1].ingress.depth.store(100, Ordering::SeqCst);
+        let mut s = Scheduler {
+            draining: false,
+            cursor: 0,
+            deficits: vec![0, 0],
+        };
+        // Both backlogged: a full rotation grants 3 picks to the heavy
+        // city for every 1 to the light one.
+        let mut picks = [0u32; 2];
+        for _ in 0..40 {
+            picks[drr_pick(&mut s, &cities).expect("both cities backlogged")] += 1;
+        }
+        assert_eq!(picks, [30, 10]);
+        // The heavy city going idle forfeits its deficit: the light city
+        // absorbs the full capacity (no starvation, no banking).
+        cities[0].ingress.depth.store(0, Ordering::SeqCst);
+        for _ in 0..8 {
+            assert_eq!(drr_pick(&mut s, &cities), Some(1));
+        }
+        // The heavy city returning gets its quantum again, not a stored
+        // backlog of missed turns.
+        cities[0].ingress.depth.store(100, Ordering::SeqCst);
+        let mut picks = [0u32; 2];
+        for _ in 0..40 {
+            picks[drr_pick(&mut s, &cities).expect("both cities backlogged")] += 1;
+        }
+        assert_eq!(picks, [30, 10]);
+        // Every queue empty: a full rotation yields nothing.
+        cities[0].ingress.depth.store(0, Ordering::SeqCst);
+        cities[1].ingress.depth.store(0, Ordering::SeqCst);
+        assert_eq!(drr_pick(&mut s, &cities), None);
+    }
+
+    #[test]
+    fn city_weights_are_configurable_and_clamped() {
+        let platform = Platform::start(PlatformConfig {
+            city_weight: 4,
+            workers: 1,
+            queue_capacity: 16,
+            maintenance: None,
+            batch: None,
+            durability: None,
+        });
+        let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        assert_eq!(platform.city_weight(id), Some(4));
+        // Weight 0 would freeze the DRR rotation; it clamps to 1.
+        assert!(platform.set_city_weight(id, 0));
+        assert_eq!(platform.city_weight(id), Some(1));
+        assert!(platform.set_city_weight(id, 7));
+        assert_eq!(platform.city_weight(id), Some(7));
+        // Unknown cities are reported, not created.
+        assert!(!platform.set_city_weight(CityId(9), 2));
+        assert_eq!(platform.city_weight(CityId(9)), None);
+        let snap = platform.stats();
+        assert_eq!(snap.per_city.len(), 1);
+        assert_eq!(snap.per_city[0].weight, 7);
+        assert!(snap.is_consistent(), "{snap:?}");
+        platform.shutdown();
+    }
+
+    #[test]
+    fn adaptive_cap_steps_on_run_occupancy() {
+        let batch = BatchConfig::adaptive(16, Duration::from_millis(1));
+        let inner = bare_inner(PlatformConfig {
+            city_weight: 1,
+            workers: 1,
+            queue_capacity: 256,
+            maintenance: None,
+            batch: Some(batch),
+            durability: None,
+        });
+        let city = bare_city(&inner.cfg);
+        let cap = |c: &CityState| c.ingress.queue.lock().unwrap().max_batch_cur;
+        assert_eq!(cap(&city), 16, "the cap starts at the configured max");
+
+        // Sustained sparse runs (2 of a 16-cap, ≤ 1/4 occupancy) walk
+        // the cap down: 16 → 8 after ADAPTIVE_CAP_SPARSE_RUNS, then
+        // 8 → 4 (runs of 2 still ≤ 1/4 of 8).
+        for _ in 0..ADAPTIVE_CAP_SPARSE_RUNS {
+            push_jobs(&inner, &city, 0, 2);
+            assert_eq!(dispatch_once(&inner, &city, batch), 2);
+        }
+        assert_eq!(cap(&city), 8);
+        for _ in 0..ADAPTIVE_CAP_SPARSE_RUNS {
+            push_jobs(&inner, &city, 0, 2);
+            assert_eq!(dispatch_once(&inner, &city, batch), 2);
+        }
+        assert_eq!(cap(&city), 4);
+        // Runs of 2 fill half of a 4-cap — no longer sparse; the cap
+        // holds.
+        for _ in 0..2 * ADAPTIVE_CAP_SPARSE_RUNS {
+            push_jobs(&inner, &city, 0, 2);
+            assert_eq!(dispatch_once(&inner, &city, batch), 2);
+        }
+        assert_eq!(cap(&city), 4);
+
+        // A filled run means the cap was binding: it doubles back
+        // toward the configured max — and the cap truncates the run.
+        push_jobs(&inner, &city, 0, 6);
+        assert_eq!(dispatch_once(&inner, &city, batch), 4);
+        assert_eq!(cap(&city), 8);
+        // Drain the truncated leftovers (a run of 2: sparse counter
+        // restarts but a lone pair cannot drop the cap).
+        assert_eq!(dispatch_once(&inner, &city, batch), 2);
+        push_jobs(&inner, &city, 0, 8);
+        assert_eq!(dispatch_once(&inner, &city, batch), 8);
+        assert_eq!(cap(&city), 16);
+        // At the configured max a filled run raises nothing further.
+        push_jobs(&inner, &city, 0, 16);
+        assert_eq!(dispatch_once(&inner, &city, batch), 16);
+        assert_eq!(cap(&city), 16);
+
+        let q = city.ingress.queue.lock().unwrap();
+        assert_eq!(q.cap_drops, 2);
+        assert_eq!(q.cap_raises, 2);
+        assert!(q.jobs.is_empty());
+    }
+
+    #[test]
+    fn busy_sheds_are_isolated_per_city() {
+        // One worker behind two 1-slot queues: the hot city's firehose
+        // must shed against its own queue only — the cold city, whose
+        // queue is empty at every one of its submits, is never refused.
+        let platform = Platform::start(PlatformConfig {
+            city_weight: 1,
+            workers: 1,
+            queue_capacity: 1,
+            maintenance: None,
+            batch: None,
+            durability: None,
+        });
+        let hot = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        let cold = platform.register_city(mini_world(11), ServiceConfig::strict_deterministic());
+        let mut shed = 0u64;
+        let mut tickets = Vec::new();
+        for i in 0..150u32 {
+            let req = Request::to_city(
+                hot,
+                NodeId(i % 20),
+                NodeId(59 - (i % 13)),
+                TimeOfDay::from_hours(8.0),
+            );
+            match platform.submit(req) {
+                Ok(t) => tickets.push(t),
+                Err(ServiceError::Busy) => shed += 1,
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+            if i % 25 == 0 {
+                // The cold city's slot is free (its previous request was
+                // joined): admission is its own queue's business.
+                let t = platform
+                    .submit(Request::to_city(
+                        cold,
+                        NodeId(i % 20),
+                        NodeId(40),
+                        TimeOfDay::from_hours(9.0),
+                    ))
+                    .expect("a cold city with queue capacity must never shed");
+                t.wait().unwrap();
+            }
+        }
+        assert!(shed > 0, "a 1-slot queue under burst load must shed");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let snap = platform.stats();
+        assert!(snap.is_consistent(), "{snap:?}");
+        assert_eq!(snap.rejected_busy, shed);
+        assert_eq!(snap.per_city[hot.index()].rejected_busy, shed);
+        assert_eq!(snap.per_city[cold.index()].rejected_busy, 0);
+        platform.shutdown();
+    }
+
+    #[test]
+    fn shutdown_interrupts_open_collection_windows() {
+        // Workers holding a full fixed collection window open (lone
+        // unique-origin seeds, mates never coming) must notice a drain
+        // at the condvar wake, not at the window deadline.
+        let max_delay = Duration::from_secs(5);
+        let platform = Platform::start(PlatformConfig {
+            city_weight: 1,
+            workers: 2,
+            queue_capacity: 64,
+            maintenance: None,
+            batch: Some(BatchConfig::fixed(8, max_delay)),
+            durability: None,
+        });
+        let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
+        let tickets: Vec<Ticket> = (0..2u32)
+            .map(|i| {
+                platform
+                    .submit(Request::to_city(
+                        id,
+                        NodeId(i * 7),
+                        NodeId(59 - i),
+                        TimeOfDay::from_hours(8.0),
+                    ))
+                    .unwrap()
+            })
+            .collect();
+        // Let both workers pop their seeds and park in the window.
+        std::thread::sleep(Duration::from_millis(30));
+        let t0 = Instant::now();
+        platform.shutdown();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < max_delay / 2,
+            "shutdown must interrupt open collection windows, took {elapsed:?}"
+        );
+        for t in &tickets {
+            assert!(t.is_done(), "drain resolves every admitted ticket");
+            assert!(t.try_wait().unwrap().is_ok());
+        }
     }
 }

@@ -119,7 +119,9 @@ impl Stage {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum LockSite {
-    /// The platform's single ingress-queue mutex.
+    /// The ingress path: in a per-city trace this is the city's own
+    /// sharded queue mutex; in the platform aggregate it additionally
+    /// folds in the shared DRR scheduler lock.
     Ingress,
     /// The truth store's per-shard `RwLock`s (reads and writes pooled).
     TruthShards,
@@ -529,8 +531,9 @@ pub struct CityTrace {
     pub city: u32,
     /// Per-stage latency attribution (from the city's histograms).
     pub stages: [StageSummary; Stage::COUNT],
-    /// Per-site lock contention (ingress is platform-wide and reported
-    /// at the report's top level, so it is zero here).
+    /// Per-site lock contention. The ingress row is this city's own
+    /// sharded queue mutex; the shared DRR scheduler lock is reported
+    /// at the report's top level.
     pub locks: [LockSummary; LockSite::COUNT],
     /// Sampled complete traces (oldest first).
     pub traces: Vec<RequestTrace>,
@@ -542,7 +545,9 @@ pub struct CityTrace {
 /// [`Platform::trace_report`](crate::Platform::trace_report)).
 #[derive(Debug, Clone)]
 pub struct TraceReport {
-    /// Contention on the platform's shared ingress mutex.
+    /// Contention on the shared DRR scheduler lock (the only ingress
+    /// lock left that all cities touch; per-city queue mutexes are in
+    /// each [`CityTrace`]'s lock table).
     pub ingress: LockSummary,
     /// Durability counters (`None` with durability off).
     pub durability: Option<crate::durable::DurabilitySnapshot>,

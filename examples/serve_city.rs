@@ -10,7 +10,11 @@
 //! once the ingress queue saturates.
 //!
 //! Two cities share one platform: a Medium "metro" taking most of the
-//! traffic and a Small "satellite town" taking the rest.
+//! traffic and a Small "satellite town" taking the rest. Each city has
+//! its own sharded ingress queue; `--metro-weight <n>` (default 4)
+//! sets the metro's weighted-DRR dispatch quantum, and a per-city line
+//! under each rate shows both cities' admissions, sheds and adaptive
+//! controller state.
 //!
 //! With `--crowd`, both cities are registered **crowd-backed** (the
 //! owned `CrowdResolver` pipeline on the resident pool): each city's
@@ -99,10 +103,12 @@ fn build_platform(
     batch: bool,
     adaptive: bool,
     trace: bool,
+    metro_weight: u32,
     snapshot_dir: Option<&std::path::Path>,
 ) -> (Platform, [CityTraffic; 2]) {
     let platform = Platform::start(PlatformConfig {
         workers,
+        city_weight: 1,
         queue_capacity: 512,
         maintenance: None,
         batch: batch.then(|| {
@@ -150,6 +156,12 @@ fn build_platform(
             share: 1.0, // remainder
         },
     ];
+    // The metro carries ~85% of arrivals; give it a matching DRR
+    // quantum so a saturated platform serves the two queues roughly in
+    // proportion to their traffic instead of strictly alternating.
+    // The town keeps weight 1 — the deficit guarantees it can never be
+    // starved, whatever the metro's weight.
+    assert!(platform.set_city_weight(cities[0].id, metro_weight));
     (platform, cities)
 }
 
@@ -159,6 +171,14 @@ fn main() {
     let adaptive = args.iter().any(|a| a == "--adaptive");
     let batch = adaptive || args.iter().any(|a| a == "--batch");
     let trace = args.iter().any(|a| a == "--trace");
+    // `--metro-weight <n>`: the metro's DRR dispatch weight (the town
+    // stays at 1). Defaults to 4 — roughly the 85/15 traffic split.
+    let metro_weight: u32 = args
+        .iter()
+        .position(|a| a == "--metro-weight")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--metro-weight takes an integer"))
+        .unwrap_or(4);
     // `--http` serves instead of sweeping; an optional following
     // argument overrides the bind address.
     let http_addr: Option<String> = args.iter().position(|a| a == "--http").map(|i| {
@@ -210,6 +230,7 @@ fn main() {
             batch,
             adaptive,
             trace,
+            metro_weight,
             snapshot_dir.as_deref(),
         );
         // Warm restart: if the snapshot dir already holds state from a
@@ -294,7 +315,7 @@ fn main() {
 
     println!(
         "open-loop sweep ({}): Poisson arrivals, {workers} platform workers, \
-         85/15 metro/town split, 1.5 s per target rate\n",
+         85/15 metro/town split (DRR weights {metro_weight}:1), 1.5 s per target rate\n",
         if crowd {
             "crowd-backed resolution"
         } else {
@@ -342,6 +363,7 @@ fn main() {
             batch,
             adaptive,
             trace,
+            metro_weight,
             None,
         );
 
@@ -427,6 +449,20 @@ fn main() {
             agg.aggregate.crowd_quota_rejections,
             agg.aggregate.crowd_starved,
         );
+        // The per-city ledgers behind the aggregate row: each city's
+        // DRR weight, admissions, sheds and where its adaptive
+        // controller settled (window + run-size cap).
+        let per_city: Vec<String> = [("metro", &cities[0]), ("town", &cities[1])]
+            .iter()
+            .map(|(name, c)| {
+                let row = &agg.per_city[c.id.index()];
+                format!(
+                    "{name} w{} adm {} shed {} delay {:.0?} cap {}",
+                    row.weight, row.admitted, row.rejected_busy, row.batch_delay, row.max_batch
+                )
+            })
+            .collect();
+        println!("         per-city: {}", per_city.join(" | "));
         if trace {
             let stages = &agg.aggregate.stages;
             let p95 = percentile(&latencies, 0.95);

@@ -147,6 +147,7 @@ proptest! {
         for workers in [1usize, 4] {
             let platform = Platform::start(PlatformConfig {
                 workers,
+                city_weight: 1,
                 queue_capacity: 64,
                 maintenance: None,
                 batch: Some(BatchConfig::fixed(8, Duration::from_millis(2))),
@@ -178,6 +179,86 @@ proptest! {
                 requests.len() as u64
             );
             prop_assert!(snap.aggregate.is_consistent(), "{:?}", snap.aggregate);
+            platform.shutdown();
+        }
+    }
+
+    /// The weighted two-city scheduler preserves byte-identity: two
+    /// cities over the same world with uneven DRR weights (3:1), the
+    /// same request stream submitted to both interleaved — every city's
+    /// routes and truth store must match the sequential baseline
+    /// exactly. DRR reorders dispatch *across* cities, never the
+    /// within-city semantics.
+    #[test]
+    fn weighted_two_city_platform_is_byte_identical_to_sequential(
+        picks in proptest::collection::vec((0usize..2, 0usize..12, 0usize..3), 1..32),
+    ) {
+        let requests = requests_from(&picks);
+        if requests.is_empty() {
+            return Ok(());
+        }
+        let (baseline, expected) = sequential_baseline(&requests);
+        let sw = sim().service_world();
+        for workers in [1usize, 4] {
+            let platform = Platform::start(PlatformConfig {
+                workers,
+                city_weight: 1,
+                queue_capacity: 128,
+                maintenance: None,
+                batch: Some(BatchConfig::adaptive(8, Duration::from_millis(2))),
+                durability: None,
+            });
+            let heavy = platform.register_city(
+                Arc::clone(&sw),
+                ServiceConfig::strict_deterministic(),
+            );
+            let light = platform.register_city(
+                Arc::clone(&sw),
+                ServiceConfig::strict_deterministic(),
+            );
+            prop_assert!(platform.set_city_weight(heavy, 3));
+            // The same stream into both cities, interleaved one by one.
+            let mut heavy_tickets = Vec::new();
+            let mut light_tickets = Vec::new();
+            for &r in &requests {
+                for (city, tickets) in
+                    [(heavy, &mut heavy_tickets), (light, &mut light_tickets)]
+                {
+                    let mut req = r;
+                    req.city = city;
+                    tickets.push(platform.submit_blocking(req).expect("admitted"));
+                }
+            }
+            for (city, tickets) in [(heavy, heavy_tickets), (light, light_tickets)] {
+                for (i, ticket) in tickets.into_iter().enumerate() {
+                    let served = ticket.wait().expect("served");
+                    prop_assert_eq!(
+                        &served.path, &expected[i],
+                        "city {}, workers {}, request {}", city, workers, i
+                    );
+                }
+            }
+            let snap = platform.stats();
+            prop_assert!(snap.is_consistent(), "{:?}", snap);
+            prop_assert_eq!(snap.per_city.len(), 2);
+            prop_assert_eq!(snap.per_city[heavy.index()].weight, 3);
+            prop_assert_eq!(snap.per_city[light.index()].weight, 1);
+            for row in &snap.per_city {
+                prop_assert_eq!(row.admitted, requests.len() as u64);
+                prop_assert_eq!(row.rejected_busy, 0);
+            }
+            // Each city's truth store is entry-wise identical to the
+            // sequential baseline, weights notwithstanding.
+            assert_same_truths(
+                &baseline,
+                &platform.city_service(heavy).expect("registered"),
+                &requests,
+            )?;
+            assert_same_truths(
+                &baseline,
+                &platform.city_service(light).expect("registered"),
+                &requests,
+            )?;
             platform.shutdown();
         }
     }
@@ -247,6 +328,7 @@ proptest! {
         for workers in [1usize, 4] {
             let platform = Platform::start(PlatformConfig {
                 workers,
+                city_weight: 1,
                 queue_capacity: 64,
                 maintenance: None,
                 batch: Some(BatchConfig::adaptive(8, Duration::from_millis(2))),

@@ -153,6 +153,7 @@ fn eight_clients_one_shared_crowd_never_oversubscribe_a_worker() {
     let spy = Arc::new(SpyDesk::new(Arc::clone(&shared)));
 
     let platform = Platform::start(PlatformConfig {
+        city_weight: 1,
         workers: 4,
         queue_capacity: 64,
         maintenance: None,
@@ -296,6 +297,7 @@ fn quota_starved_city_with_strict_shedding_surfaces_crowd_starved() {
         shared.try_reserve(w).unwrap();
     }
     let platform = Platform::start(PlatformConfig {
+        city_weight: 1,
         workers: 2,
         queue_capacity: 16,
         maintenance: None,

@@ -51,6 +51,7 @@ fn scratch_dir(tag: &str) -> PathBuf {
 fn durable_platform(workers: usize, dir: Option<&Path>) -> Platform {
     Platform::start(PlatformConfig {
         workers,
+        city_weight: 1,
         queue_capacity: 64,
         maintenance: None,
         batch: None,

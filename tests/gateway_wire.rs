@@ -26,6 +26,7 @@ fn sim() -> &'static SimWorld {
 fn strict_platform(workers: usize, queue_capacity: usize) -> Arc<Platform> {
     let platform = Platform::start(PlatformConfig {
         workers,
+        city_weight: 1,
         queue_capacity,
         maintenance: None,
         batch: None,
@@ -302,6 +303,49 @@ fn unknown_city_and_bad_params_map_to_404_and_400() {
     let body = String::from_utf8(stats.body).unwrap();
     assert!(body.contains("\"gateway\""), "stats body: {body}");
     assert!(body.contains("\"platform\""), "stats body: {body}");
+    gw.shutdown();
+}
+
+#[test]
+fn stats_expose_per_city_queue_rows() {
+    let platform = strict_platform(2, 32);
+    let gw = start_gateway(&platform, GatewayConfig::default());
+    let addr = gw.local_addr();
+    let req = distinct_requests(1, 67)[0];
+    assert_eq!(get(addr, &route_path(&req)).status, 200);
+
+    let resp = get(addr, "/stats");
+    assert_eq!(resp.status, 200);
+    let body = String::from_utf8(resp.body).unwrap();
+    let per_city = body
+        .split("\"per_city\": [")
+        .nth(1)
+        .unwrap_or_else(|| panic!("stats carry a per_city array: {body}"))
+        .split(']')
+        .next()
+        .unwrap();
+    let field = |name: &str| -> u64 {
+        per_city
+            .split(&format!("\"{name}\": "))
+            .nth(1)
+            .unwrap_or_else(|| panic!("per_city row carries {name}: {per_city}"))
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    // One registered city, weight 1, its lone /route request admitted,
+    // served (depth back to zero) and never shed; batching is off, so
+    // the dispatch was unbatched and the run cap reads zero.
+    assert_eq!(field("city"), 0);
+    assert_eq!(field("weight"), 1);
+    assert_eq!(field("queue_depth"), 0);
+    assert_eq!(field("admitted"), 1);
+    assert_eq!(field("rejected_busy"), 0);
+    assert_eq!(field("unbatched_requests"), 1);
+    assert_eq!(field("batch_delay_us"), 0);
+    assert_eq!(field("max_batch"), 0);
     gw.shutdown();
 }
 

@@ -58,6 +58,7 @@ fn two_cities_four_client_threads_deterministic_drain() {
 
     // One platform, both cities, a pool smaller than the client count.
     let platform = Platform::start(PlatformConfig {
+        city_weight: 1,
         workers: 3,
         queue_capacity: 64,
         maintenance: None,
@@ -178,6 +179,7 @@ fn shutdown_drains_unjoined_tickets_exactly_once() {
     let world = SimWorld::build(Scale::Small, 5).expect("world");
     let sw = world.service_world();
     let platform = Platform::start(PlatformConfig {
+        city_weight: 1,
         workers: 4,
         queue_capacity: 512,
         maintenance: None,

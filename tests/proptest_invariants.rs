@@ -209,6 +209,7 @@ proptest! {
 
         // The same stream through one platform.
         let platform = ServingPlatform::start(PlatformConfig {
+            city_weight: 1,
             workers: 3,
             queue_capacity: 64,
             maintenance: None,

@@ -181,6 +181,7 @@ proptest! {
             for level in trace_levels() {
                 let platform = Platform::start(PlatformConfig {
                     workers,
+                    city_weight: 1,
                     queue_capacity: 64,
                     maintenance: None,
                     batch: Some(BatchConfig::fixed(8, Duration::from_millis(2))),

@@ -98,6 +98,7 @@ fn platform_truth_hit_allocs(
     rounds: usize,
 ) -> u64 {
     let platform = Platform::start(PlatformConfig {
+        city_weight: 1,
         workers: 1,
         queue_capacity: 16,
         maintenance: None,
