@@ -38,12 +38,15 @@
 //!     --requests 4000 --moderate-rate 2000 --scale medium --out BENCH_serve.json
 //! cargo run --release -p cp-bench --bin bench_serve -- --wire     # + HTTP edge row
 //! cargo run --release -p cp-bench --bin bench_serve -- --fairness # + two-city DRR row
+//! cargo run --release -p cp-bench --bin bench_serve -- --chaos    # + fault-injection rows
 //! ```
 
+use cp_crowd::{CrowdDesk, SharedCrowd};
 use cp_gateway::{Gateway, GatewayConfig, GatewayStatsSnapshot};
 use cp_service::{
-    BatchConfig, LockSite, Platform, PlatformConfig, PlatformSnapshot, Request, ServiceConfig,
-    Stage, Ticket, TraceConfig,
+    BatchConfig, BreakerConfig, BreakerSnapshot, ChaosConfig, ChaosSnapshot, CrowdServing,
+    FaultPlan, LockSite, Platform, PlatformConfig, PlatformSnapshot, Request, ServiceConfig, Stage,
+    Ticket, TraceConfig,
 };
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
@@ -75,6 +78,9 @@ struct Args {
     /// Run the two-city weighted-fairness benchmark and add a
     /// `fairness` section.
     fairness: bool,
+    /// Run the crowd-backed chaos/degradation comparison and add a
+    /// `chaos` section.
+    chaos: bool,
 }
 
 impl Default for Args {
@@ -97,6 +103,7 @@ impl Default for Args {
             wire_clients: 8,
             wire_rate: 0.0,
             fairness: false,
+            chaos: false,
         }
     }
 }
@@ -134,6 +141,7 @@ fn parse_args() -> Args {
             "--wire-clients" => args.wire_clients = value().parse().expect("--wire-clients N"),
             "--wire-rate" => args.wire_rate = value().parse().expect("--wire-rate R"),
             "--fairness" => args.fairness = true,
+            "--chaos" => args.chaos = true,
             other => panic!("unknown flag {other}"),
         }
     }
@@ -225,6 +233,7 @@ fn run_mode(
         maintenance: None,
         batch: mode.batch(),
         durability: None,
+        chaos: None,
     });
     // Exact-endpoint reuse: every *distinct* OD pays one mining, which
     // makes the miss path (the thing coalescing fuses) the measured
@@ -375,6 +384,7 @@ fn run_wire(
         maintenance: None,
         batch: Some(BatchConfig::adaptive(16, Duration::from_millis(2))),
         durability: None,
+        chaos: None,
     }));
     let id = platform.register_city(
         std::sync::Arc::clone(world),
@@ -577,6 +587,7 @@ fn run_durability(
         maintenance: None,
         batch: None,
         durability: fsync.map(|policy| cp_service::DurabilityConfig::new(&dir).with_fsync(policy)),
+        chaos: None,
     });
     let id = platform.register_city(
         std::sync::Arc::clone(world),
@@ -615,6 +626,7 @@ fn run_durability(
             maintenance: None,
             batch: None,
             durability: None,
+            chaos: None,
         });
         let fresh_id = fresh.register_city(
             std::sync::Arc::clone(world),
@@ -711,6 +723,7 @@ fn run_fairness(
             maintenance: None,
             batch: Some(BatchConfig::adaptive(16, Duration::from_millis(2))),
             durability: None,
+            chaos: None,
         });
         let hot = platform.register_city(
             std::sync::Arc::clone(world),
@@ -814,6 +827,178 @@ fn run_fairness(
     };
     platform.shutdown();
     report
+}
+
+struct ChaosReport {
+    label: String,
+    served: usize,
+    degraded_errors: u64,
+    wall_s: f64,
+    req_per_s: f64,
+    p50: Duration,
+    p95: Duration,
+    crowd_starved: u64,
+    chaos: Option<ChaosSnapshot>,
+    breaker: Option<BreakerSnapshot>,
+}
+
+/// The graceful-degradation row: a crowd-backed city — every request
+/// forced through the crowd pipeline, circuit breaker attached — served
+/// healthy vs under the standard fault plan (10% crowd no-shows + 1%
+/// slow workers). In-binary acceptance: every admitted ticket reaches a
+/// terminal state (faults may degrade a request to the machine
+/// fallback, never lose it) and the platform ledger still balances.
+fn run_chaos(
+    sim: &SimWorld,
+    requests: usize,
+    workers: usize,
+    plan: Option<FaultPlan>,
+) -> ChaosReport {
+    let label = if plan.is_some() {
+        "chaos-standard"
+    } else {
+        "healthy"
+    };
+    let platform = Platform::start(PlatformConfig {
+        workers,
+        city_weight: 1,
+        queue_capacity: 512,
+        maintenance: None,
+        batch: None,
+        durability: None,
+        chaos: plan.map(|p| ChaosConfig::new(0xC4A05).with_plan(p)),
+    });
+    let desk: Arc<dyn CrowdDesk> = Arc::new(SharedCrowd::new(sim.platform(64, 10, 5), 2));
+    let mut cfg = ServiceConfig::strict_deterministic();
+    // Push every request through the crowd — no agreement/confidence
+    // shortcut, no nearby-truth reuse — so the no-show and slow-answer
+    // seams actually fire.
+    cfg.core.agreement_similarity = 1.0;
+    cfg.core.agreement_quorum = 1.0;
+    cfg.core.eta_confidence = 1.0;
+    cfg.core.reuse_radius = 0.0;
+    cfg.core.reuse_time_window = 0.0;
+    let id = platform
+        .register_city_crowd(
+            sim.service_world(),
+            cfg,
+            CrowdServing::new(
+                sim.landmarks_arc(),
+                sim.significance_arc(),
+                desk,
+                Arc::new(sim.oracle_factory()),
+            )
+            .with_breaker(BreakerConfig::default()),
+        )
+        .expect("crowd city registers");
+
+    let ods = sim.request_stream(requests, 2, 4242);
+    let start = Instant::now();
+    let tickets: Vec<Ticket> = ods
+        .iter()
+        .enumerate()
+        .map(|(i, &(from, to))| {
+            let req = Request::to_city(id, from, to, TimeOfDay::from_hours(6.0 + (i % 12) as f64));
+            platform.submit_blocking(req).expect("admitted")
+        })
+        .collect();
+    let admitted = tickets.len();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(admitted);
+    let (mut served, mut degraded_errors) = (0usize, 0u64);
+    for t in tickets {
+        // The no-lost-ticket bar: with faults firing at every seam, each
+        // admitted ticket must still terminate.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while !t.is_done() {
+            assert!(
+                Instant::now() < deadline,
+                "lost ticket: a chaos-injected request never terminated"
+            );
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        latencies.push(t.latency().expect("terminal ticket"));
+        match t.wait() {
+            Ok(_) => served += 1,
+            Err(_) => degraded_errors += 1,
+        }
+    }
+    let wall = start.elapsed();
+    latencies.sort_unstable();
+    let snap = platform.stats();
+    assert!(snap.is_consistent(), "ledger must balance under chaos");
+    assert_eq!(
+        snap.completed, admitted as u64,
+        "every admitted ticket must resolve exactly once under chaos"
+    );
+    let breaker = snap.per_city[id.index()].breaker;
+    let report = ChaosReport {
+        label: label.to_string(),
+        served,
+        degraded_errors,
+        wall_s: wall.as_secs_f64(),
+        req_per_s: admitted as f64 / wall.as_secs_f64().max(1e-9),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        crowd_starved: snap.aggregate.crowd_starved,
+        chaos: snap.chaos,
+        breaker,
+    };
+    platform.shutdown();
+    report
+}
+
+fn chaos_json(r: &ChaosReport) -> String {
+    let injected = match &r.chaos {
+        None => "null".to_string(),
+        Some(c) => format!(
+            concat!(
+                "{{ \"seed\": {}, \"crowd_no_shows\": {}, \"crowd_slow_answers\": {}, ",
+                "\"slow_workers\": {}, \"stalled_workers\": {}, \"resolver_panics\": {}, ",
+                "\"durability_io_errors\": {}, \"generation_bumps\": {}, \"total\": {} }}"
+            ),
+            c.seed,
+            c.crowd_no_shows,
+            c.crowd_slow_answers,
+            c.slow_workers,
+            c.stalled_workers,
+            c.resolver_panics,
+            c.durability_io_errors,
+            c.generation_bumps,
+            c.total_injected(),
+        ),
+    };
+    let breaker = match &r.breaker {
+        None => "null".to_string(),
+        Some(b) => format!(
+            concat!(
+                "{{ \"state\": \"{}\", \"trips\": {}, \"probes\": {}, \"recoveries\": {}, ",
+                "\"machine_serves\": {} }}"
+            ),
+            b.state.name(),
+            b.trips,
+            b.probes,
+            b.recoveries,
+            b.machine_serves,
+        ),
+    };
+    format!(
+        concat!(
+            "{{ \"mode\": \"{}\", \"served\": {}, \"degraded_errors\": {}, ",
+            "\"wall_s\": {:.4}, \"req_per_s\": {:.1}, ",
+            "\"sojourn_us\": {{ \"p50\": {}, \"p95\": {} }}, ",
+            "\"crowd_starved\": {}, \"injected\": {}, \"breaker\": {} }}"
+        ),
+        r.label,
+        r.served,
+        r.degraded_errors,
+        r.wall_s,
+        r.req_per_s,
+        r.p50.as_micros(),
+        r.p95.as_micros(),
+        r.crowd_starved,
+        injected,
+        breaker,
+    )
 }
 
 fn fairness_json(r: &FairnessReport) -> String {
@@ -1282,6 +1467,47 @@ fn main() {
         r
     });
 
+    // The chaos/degradation rows: the same crowd-backed city, healthy
+    // vs the standard fault plan, with the circuit breaker attached.
+    let chaos = args.chaos.then(|| {
+        // Crowd-forced resolution is the expensive path; a few hundred
+        // distinct ODs are plenty to exercise every injection seam.
+        let chaos_requests = args.requests.min(240);
+        println!("chaos (crowd-backed, breaker on, {chaos_requests} requests):");
+        let rows = [None, Some(FaultPlan::standard())]
+            .into_iter()
+            .map(|plan| {
+                let r = run_chaos(&sim, chaos_requests, workers, plan);
+                let (injected, no_shows) = r
+                    .chaos
+                    .map(|c| (c.total_injected(), c.crowd_no_shows))
+                    .unwrap_or((0, 0));
+                println!(
+                    "  {:>14}: {:>9.1} req/s  p95 {:>8.2?}  served {}  degraded-errors {}  \
+                     injected {} (no-shows {})  starved {}  breaker {}",
+                    r.label,
+                    r.req_per_s,
+                    r.p95,
+                    r.served,
+                    r.degraded_errors,
+                    injected,
+                    no_shows,
+                    r.crowd_starved,
+                    r.breaker.as_ref().map(|b| b.state.name()).unwrap_or("none"),
+                );
+                r
+            })
+            .collect::<Vec<ChaosReport>>();
+        // The healthy row must be fault-free; the chaos row must have
+        // actually injected something at the configured rates.
+        assert_eq!(rows[0].chaos.map(|c| c.total_injected()).unwrap_or(0), 0);
+        assert!(
+            rows[1].chaos.map(|c| c.total_injected()).unwrap_or(0) > 0,
+            "the standard fault plan injected nothing"
+        );
+        rows
+    });
+
     // The loopback-TCP row: the hot-spot workload through the HTTP
     // edge, syscalls and parsing included.
     let wire = args.wire.then(|| {
@@ -1343,6 +1569,7 @@ fn main() {
             "  \"worker_sweep\": [\n    {}\n  ],\n",
             "  \"durability\": [\n    {}\n  ],\n",
             "  \"fairness\": {},\n",
+            "  \"chaos\": {},\n",
             "  \"wire\": {},\n",
             "  \"speedup_req_per_s\": {:.4},\n",
             "  \"adaptive_over_static_req_per_s\": {:.4},\n",
@@ -1363,6 +1590,18 @@ fn main() {
         fairness
             .as_ref()
             .map(fairness_json)
+            .unwrap_or_else(|| "null".to_string()),
+        chaos
+            .as_ref()
+            .map(|rows| {
+                format!(
+                    "[\n    {}\n  ]",
+                    rows.iter()
+                        .map(chaos_json)
+                        .collect::<Vec<_>>()
+                        .join(",\n    ")
+                )
+            })
             .unwrap_or_else(|| "null".to_string()),
         wire.as_ref()
             .map(wire_json)

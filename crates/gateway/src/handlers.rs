@@ -5,11 +5,13 @@
 //! | `GET /route?city=C&o=FROM&d=TO&t=HOURS` | submit → deadline-bounded ticket wait → route JSON |
 //! | `GET /stats` | gateway + platform + aggregate service statistics as JSON |
 //! | `GET /trace` | [`Platform::trace_report`] JSON (empty unless cities trace) |
-//! | `GET /healthz` | liveness probe (`{"ok": true}`) |
+//! | `GET /healthz` | liveness probe (`{"ok": true, ...}` + per-city breaker states) |
 //!
 //! Error mapping (see the crate README for the full table): platform
 //! admission [`ServiceError::Busy`] and crowd starvation → **429** with
-//! `Retry-After`; unknown city or path → **404**; route-deadline expiry
+//! `Retry-After`; unknown city or path → **404**, as is a city
+//! deregistered at runtime ([`ServiceError::CityOffboarded`] — the
+//! resource is gone, retrying will not help); route-deadline expiry
 //! → **504** (the ticket is abandoned, the work still completes and
 //! warms the truth store); malformed parameters → **400**; no candidate
 //! route → **422**; resolver panics and other upstream failures →
@@ -68,7 +70,7 @@ pub fn handle(
         }
         "/healthz" => {
             state.stats.inc(&state.stats.ok);
-            Response::json(200, "{\"ok\": true}".to_string())
+            Response::json(200, healthz_json(&state.platform))
         }
         other => {
             state.stats.inc(&state.stats.not_found);
@@ -171,6 +173,16 @@ fn upstream_error(state: &AppState, e: &ServiceError) -> Response {
                 404,
                 "unknown_city",
                 &format!("no city registered under {city}"),
+            )
+        }
+        ServiceError::CityOffboarded(city) => {
+            // The city existed but was deregistered: the resource is
+            // gone for good, so (unlike 429/503) no Retry-After.
+            state.stats.inc(&state.stats.not_found);
+            Response::error(
+                404,
+                "city_offboarded",
+                &format!("{city} was deregistered and no longer serves"),
             )
         }
         ServiceError::ShuttingDown => {
@@ -285,31 +297,57 @@ fn platform_json(snap: &PlatformSnapshot) -> String {
         Some(d) => format!(
             concat!(
                 "{{\"events_logged\": {}, \"events_shed\": {}, \"wal_bytes\": {}, ",
-                "\"io_errors\": {}, \"checkpoints\": {}, \"last_checkpoint_seq\": {}}}"
+                "\"io_errors\": {}, \"write_retries\": {}, \"writes_recovered\": {}, ",
+                "\"checkpoints\": {}, \"last_checkpoint_seq\": {}}}"
             ),
             d.events_logged,
             d.events_shed,
             d.wal_bytes,
             d.io_errors,
+            d.write_retries,
+            d.writes_recovered,
             d.checkpoints,
             d.last_checkpoint_seq,
+        ),
+    };
+    let chaos = match &snap.chaos {
+        None => "null".to_string(),
+        Some(c) => format!(
+            concat!(
+                "{{\"seed\": {}, \"crowd_no_shows\": {}, \"crowd_slow_answers\": {}, ",
+                "\"slow_workers\": {}, \"stalled_workers\": {}, \"resolver_panics\": {}, ",
+                "\"durability_io_errors\": {}, \"generation_bumps\": {}, ",
+                "\"total_injected\": {}}}"
+            ),
+            c.seed,
+            c.crowd_no_shows,
+            c.crowd_slow_answers,
+            c.slow_workers,
+            c.stalled_workers,
+            c.resolver_panics,
+            c.durability_io_errors,
+            c.generation_bumps,
+            c.total_injected(),
         ),
     };
     format!(
         concat!(
             "{{\"submitted\": {}, \"admitted\": {}, \"rejected_busy\": {}, ",
             "\"rejected_unknown_city\": {}, \"rejected_shutdown\": {}, ",
+            "\"rejected_offboarded\": {}, \"shed\": {}, ",
             "\"completed\": {}, \"cities\": {}, \"queue_depth\": {}, ",
             "\"batched_requests\": {}, \"unbatched_requests\": {}, ",
             "\"batch_runs\": {}, \"batch_max\": {}, \"batch_adaptive\": {}, ",
             "\"batch_delay_us\": {}, \"maintenance_sweeps\": {}, ",
-            "\"per_city\": {}, \"durability\": {}}}"
+            "\"per_city\": {}, \"durability\": {}, \"chaos\": {}}}"
         ),
         snap.submitted,
         snap.admitted,
         snap.rejected_busy,
         snap.rejected_unknown_city,
         snap.rejected_shutdown,
+        snap.rejected_offboarded,
+        snap.shed,
         snap.completed,
         snap.cities,
         snap.queue_depth,
@@ -322,6 +360,7 @@ fn platform_json(snap: &PlatformSnapshot) -> String {
         snap.maintenance_sweeps,
         per_city_json(&snap.per_city),
         durability,
+        chaos,
     )
 }
 
@@ -332,12 +371,30 @@ fn per_city_json(per_city: &[CityQueueSnapshot]) -> String {
     let rows: Vec<String> = per_city
         .iter()
         .map(|c| {
+            let breaker = match &c.breaker {
+                None => "null".to_string(),
+                Some(b) => format!(
+                    concat!(
+                        "{{\"state\": \"{}\", \"trips\": {}, \"probes\": {}, ",
+                        "\"recoveries\": {}, \"machine_serves\": {}, ",
+                        "\"window_failures\": {}, \"window_samples\": {}}}"
+                    ),
+                    b.state.name(),
+                    b.trips,
+                    b.probes,
+                    b.recoveries,
+                    b.machine_serves,
+                    b.window_failures,
+                    b.window_samples,
+                ),
+            };
             format!(
                 concat!(
                     "{{\"city\": {}, \"weight\": {}, \"queue_depth\": {}, ",
                     "\"admitted\": {}, \"rejected_busy\": {}, ",
                     "\"batched_requests\": {}, \"unbatched_requests\": {}, ",
-                    "\"batch_delay_us\": {}, \"max_batch\": {}}}"
+                    "\"batch_delay_us\": {}, \"max_batch\": {}, ",
+                    "\"offboarded\": {}, \"shed\": {}, \"breaker\": {}}}"
                 ),
                 c.city.index(),
                 c.weight,
@@ -348,10 +405,42 @@ fn per_city_json(per_city: &[CityQueueSnapshot]) -> String {
                 c.unbatched_requests,
                 c.batch_delay.as_micros(),
                 c.max_batch,
+                c.offboarded,
+                c.shed,
+                breaker,
             )
         })
         .collect();
     format!("[{}]", rows.join(", "))
+}
+
+/// `GET /healthz`: always `ok` while the edge answers (liveness), plus
+/// the degradation picture — each crowd city's circuit-breaker state
+/// and a rolled-up `degraded` flag (true when any breaker is not
+/// closed, i.e. some city is serving machine-only or probing).
+fn healthz_json(platform: &Platform) -> String {
+    let snap = platform.stats();
+    let mut degraded = false;
+    let breakers: Vec<String> = snap
+        .per_city
+        .iter()
+        .filter_map(|c| {
+            let b = c.breaker.as_ref()?;
+            if b.state != cp_service::BreakerState::Closed {
+                degraded = true;
+            }
+            Some(format!(
+                "{{\"city\": {}, \"state\": \"{}\"}}",
+                c.city.index(),
+                b.state.name()
+            ))
+        })
+        .collect();
+    format!(
+        "{{\"ok\": true, \"degraded\": {}, \"breakers\": [{}]}}",
+        degraded,
+        breakers.join(", ")
+    )
 }
 
 /// The aggregate service statistics as JSON (counter subset + derived

@@ -101,6 +101,14 @@ impl MiningArtifactCache {
         &self.locks
     }
 
+    /// Drops every cached expansion (used when a city is offboarded and
+    /// its memory should be reclaimed promptly). Not counted as
+    /// evictions: nothing can look the entries up again.
+    pub fn clear(&self) {
+        self.locks.lock(&self.origins).clear();
+        self.locks.lock(&self.periods).clear();
+    }
+
     /// The artifacts for `origin` (living in grid cell `cell`) at the
     /// world's current generation: a cached entry when a recent batch
     /// already expanded this origin, a fresh build otherwise. The

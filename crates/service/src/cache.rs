@@ -65,6 +65,14 @@ impl<K: Hash + Eq + Clone, V> Lru<K, V> {
         self.capacity
     }
 
+    /// Drops every entry, releasing the values (capacity is kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     fn unlink(&mut self, i: usize) {
         let (prev, next) = (self.slots[i].prev, self.slots[i].next);
         if prev == NIL {

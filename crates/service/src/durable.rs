@@ -86,8 +86,14 @@ pub struct DurabilitySnapshot {
     pub events_shed: u64,
     /// Frame bytes appended to the WAL by this process.
     pub wal_bytes: u64,
-    /// Writer-thread I/O failures (events lost to disk errors).
+    /// Writer-thread I/O failures (events lost to disk errors *after*
+    /// the bounded retry budget was exhausted).
     pub io_errors: u64,
+    /// Retry attempts the writer made after a transient append failure.
+    pub write_retries: u64,
+    /// Appends that failed at least once but succeeded within the retry
+    /// budget (transient faults absorbed, nothing lost).
+    pub writes_recovered: u64,
     /// Checkpoints (snapshot + truncation) completed.
     pub checkpoints: u64,
     /// WAL watermark of the last checkpoint: records below this
@@ -104,6 +110,8 @@ pub(crate) struct DurableCounters {
     pub events_shed: AtomicU64,
     pub wal_bytes: AtomicU64,
     pub io_errors: AtomicU64,
+    pub write_retries: AtomicU64,
+    pub writes_recovered: AtomicU64,
     pub checkpoints: AtomicU64,
     pub last_checkpoint_seq: AtomicU64,
     pub last_checkpoint_at: Mutex<Option<Instant>>,
@@ -116,6 +124,8 @@ impl DurableCounters {
             events_shed: self.events_shed.load(Ordering::Relaxed),
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
             io_errors: self.io_errors.load(Ordering::Relaxed),
+            write_retries: self.write_retries.load(Ordering::Relaxed),
+            writes_recovered: self.writes_recovered.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             last_checkpoint_seq: self.last_checkpoint_seq.load(Ordering::Relaxed),
             last_checkpoint_age: self
@@ -151,8 +161,13 @@ pub(crate) struct DurableRuntime {
 }
 
 impl DurableRuntime {
-    /// Opens the WAL in `cfg.dir` and spawns the writer thread.
-    pub(crate) fn start(cfg: DurabilityConfig) -> Result<DurableRuntime, cp_durable::DurableError> {
+    /// Opens the WAL in `cfg.dir` and spawns the writer thread. An
+    /// active chaos engine is threaded through so the writer can inject
+    /// transient append faults into its own retry loop.
+    pub(crate) fn start(
+        cfg: DurabilityConfig,
+        chaos: Option<Arc<crate::chaos::ChaosState>>,
+    ) -> Result<DurableRuntime, cp_durable::DurableError> {
         let wal = WalWriter::open(&cfg.dir)?;
         let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
         let counters = Arc::new(DurableCounters::default());
@@ -160,7 +175,7 @@ impl DurableRuntime {
         let fsync = cfg.fsync;
         let writer = std::thread::Builder::new()
             .name("cp-durable-writer".into())
-            .spawn(move || writer_loop(wal, rx, fsync, &thread_counters))
+            .spawn(move || writer_loop(wal, rx, fsync, &thread_counters, chaos.as_deref()))
             .expect("spawning the durability writer");
         Ok(DurableRuntime {
             cfg,
@@ -205,6 +220,44 @@ impl DurableRuntime {
     }
 }
 
+/// Bounded retry budget for one append (first attempt included).
+const APPEND_ATTEMPTS: u32 = 4;
+/// Base backoff before the first retry; doubles per further retry.
+const APPEND_BACKOFF: Duration = Duration::from_micros(50);
+
+/// Appends one event with bounded retry-with-backoff: a transient
+/// failure (real, or injected by the chaos engine) is retried up to
+/// [`APPEND_ATTEMPTS`] times with doubling sleeps. Retries and
+/// recoveries are counted; only an exhausted budget becomes an
+/// `io_errors` loss.
+fn append_with_retry(
+    wal: &mut WalWriter,
+    event: &Event,
+    counters: &DurableCounters,
+    chaos: Option<&crate::chaos::ChaosState>,
+) -> bool {
+    // An injected fault fails this many leading attempts (so the retry
+    // loop, not just the error counter, is exercised).
+    let injected_failures = chaos
+        .filter(|c| c.roll(crate::chaos::FaultSite::DurabilityIo))
+        .map_or(0, |c| c.durability_fail_attempts());
+    for attempt in 0..APPEND_ATTEMPTS {
+        if attempt > 0 {
+            counters.write_retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(APPEND_BACKOFF * (1u32 << (attempt - 1).min(8)));
+        }
+        let ok = attempt >= injected_failures && wal.append(event).is_ok();
+        if ok {
+            if attempt > 0 {
+                counters.writes_recovered.fetch_add(1, Ordering::Relaxed);
+            }
+            return true;
+        }
+    }
+    counters.io_errors.fetch_add(1, Ordering::Relaxed);
+    false
+}
+
 /// The writer thread: drain whatever is queued, append it all, then one
 /// flush (+ fsync under [`FsyncPolicy::Group`]) for the whole batch —
 /// group commit. I/O errors are counted, never propagated into serving.
@@ -213,6 +266,7 @@ fn writer_loop(
     rx: Receiver<Cmd>,
     fsync: FsyncPolicy,
     counters: &DurableCounters,
+    chaos: Option<&crate::chaos::ChaosState>,
 ) {
     let mut stopping = false;
     'outer: while !stopping {
@@ -231,15 +285,12 @@ fn writer_loop(
                 },
             };
             match cmd {
-                Cmd::Event(event) => match wal.append(&event) {
-                    Ok(_) => {
+                Cmd::Event(event) => {
+                    if append_with_retry(&mut wal, &event, counters, chaos) {
                         counters.events_logged.fetch_add(1, Ordering::Relaxed);
                         batch_dirty = true;
                     }
-                    Err(_) => {
-                        counters.io_errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                },
+                }
                 Cmd::Rotate(ack) => {
                     // rotate() syncs the sealed segment internally.
                     match wal.rotate() {

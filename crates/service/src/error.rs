@@ -20,6 +20,12 @@ pub enum ServiceError {
     UnknownCity(CityId),
     /// The platform is shutting down and no longer admits requests.
     ShuttingDown,
+    /// The request's city was deregistered at runtime
+    /// (`Platform::deregister_city`). Queued tickets are shed with this
+    /// terminal error when the city drains; later submissions are
+    /// rejected with it immediately. The city is gone — resubmitting
+    /// will not help.
+    CityOffboarded(CityId),
     /// The resolver panicked while serving this request. The platform
     /// worker survives (the panic is contained and the worker's resolver
     /// is rebuilt); callers may resubmit.
@@ -52,6 +58,9 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::ShuttingDown => {
                 write!(f, "the platform is shutting down")
+            }
+            ServiceError::CityOffboarded(city) => {
+                write!(f, "{city} was deregistered and no longer serves")
             }
             ServiceError::ResolverPanicked => {
                 write!(
@@ -102,6 +111,9 @@ mod tests {
         assert!(ServiceError::ShuttingDown
             .to_string()
             .contains("shutting down"));
+        assert!(ServiceError::CityOffboarded(CityId(3))
+            .to_string()
+            .contains("city#3"));
     }
 
     #[test]

@@ -414,6 +414,18 @@ impl RouteService {
         self.truths.evict_older_than(max_age)
     }
 
+    /// Releases the memory an offboarded city no longer needs: the
+    /// candidate LRU, the cross-batch mining-artifact cache and every
+    /// stored truth (an age-0 sweep, so the drop is visible in
+    /// `truth_evictions` like any other eviction). The service stays
+    /// functional — a straggler holding the `Arc` can still serve — but
+    /// it restarts cold.
+    pub(crate) fn reclaim(&self) {
+        self.cache_locks.lock(&self.cache).clear();
+        self.artifacts.clear();
+        self.truths.evict_older_than(std::time::Duration::ZERO);
+    }
+
     /// The departure's time bucket (circular: the last partial bucket
     /// wraps into `buckets_per_day - 1`, never `buckets_per_day`).
     pub fn bucket_of(&self, t: TimeOfDay) -> u32 {

@@ -62,7 +62,19 @@
 //!   ([`LockStats`]) on the contended primitives, and a bounded ring of
 //!   complete sampled traces exportable via [`Platform::trace_report`]
 //!   — off by default with near-zero disabled cost, and byte-identical
-//!   serving at every level.
+//!   serving at every level;
+//! * [`ChaosConfig`] / [`FaultPlan`] — the built-in **chaos engine**:
+//!   seeded, reproducible fault injection at every serving seam (crowd
+//!   no-shows and slow answers, slow/stalled workers, resolver panics,
+//!   durability write errors, generation churn), counted per site in
+//!   [`ChaosSnapshot`]; off by default and allocation-free when off.
+//!   Degradation machinery rides along: a per-city **crowd circuit
+//!   breaker** ([`BreakerConfig`] — trips to machine-only serving and
+//!   heals through half-open probes), bounded retry-with-backoff on the
+//!   durability writer, and runtime **city offboarding**
+//!   ([`Platform::deregister_city`] — drains in-flight work exactly
+//!   once, sheds the queue with a terminal error, reclaims cache
+//!   memory).
 //!
 //! No external dependencies: everything is built on `std::thread`,
 //! `std::sync::mpsc` channels, `RwLock`/`Mutex`/`Condvar` and atomics.
@@ -131,6 +143,7 @@
 
 pub mod artifacts;
 pub mod cache;
+pub mod chaos;
 pub mod durable;
 pub mod error;
 pub mod executor;
@@ -144,6 +157,9 @@ pub mod world;
 
 pub use artifacts::MiningArtifactCache;
 pub use cache::Lru;
+pub use chaos::{
+    BreakerConfig, BreakerSnapshot, BreakerState, ChaosConfig, ChaosSnapshot, FaultPlan, FaultSite,
+};
 pub use cp_durable::{DurableError, FsyncPolicy};
 pub use durable::{DurabilityConfig, DurabilitySnapshot};
 pub use error::ServiceError;

@@ -48,6 +48,10 @@
 //! platform.shutdown();
 //! ```
 
+use crate::chaos::{
+    BreakerConfig, BreakerSnapshot, ChaosConfig, ChaosDesk, ChaosResolver, ChaosSnapshot,
+    ChaosState, CrowdBreaker, FaultPlan, FaultSite,
+};
 use crate::durable::{DurabilityConfig, DurabilitySnapshot, DurableRuntime};
 use crate::error::ServiceError;
 use crate::executor::{Request, RouteService, ServedRoute, ServiceConfig};
@@ -64,7 +68,7 @@ use cp_durable::{
 use cp_roadnet::{EdgeId, LandmarkId, LandmarkSet, NodeId, Path as RoutePath};
 use cp_traj::TimeOfDay;
 use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -256,6 +260,10 @@ pub struct PlatformConfig {
     /// (the default) keeps the platform fully in-memory and the commit
     /// path allocation-free.
     pub durability: Option<DurabilityConfig>,
+    /// Optional deterministic fault injection (see [`ChaosConfig`]).
+    /// `None` (the default) keeps every serve-path seam a branch on a
+    /// `None` — allocation- and clock-identical to a chaos-free build.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for PlatformConfig {
@@ -267,6 +275,7 @@ impl Default for PlatformConfig {
             maintenance: None,
             batch: None,
             durability: None,
+            chaos: None,
         }
     }
 }
@@ -284,6 +293,12 @@ struct CityState {
     service: Arc<RouteService>,
     factory: ResolverFactory,
     crowd_state: Option<Arc<dyn CrowdState>>,
+    /// This city's crowd circuit breaker (`None` unless the city was
+    /// registered crowd-backed with [`CrowdServing::with_breaker`]).
+    breaker: Option<Arc<CrowdBreaker>>,
+    /// Lock-free mirror of the queue's `offboarded` flag, so routing
+    /// checks ([`Platform::city_service`]) need no queue lock.
+    offboarded: AtomicBool,
     /// This city's sharded ingress (bounded queue + DRR weight).
     ingress: CityQueue,
 }
@@ -313,6 +328,11 @@ pub struct CrowdServing {
     /// [`SharedCrowd`](cp_crowd::SharedCrowd) the desk wraps via
     /// [`CrowdServing::with_persist`].
     pub persist: Option<Arc<dyn CrowdState>>,
+    /// Optional per-city crowd circuit breaker: starvation-class crowd
+    /// failures over a sliding window trip the city to machine-only
+    /// resolution with half-open probing (see [`BreakerConfig`]).
+    /// `None` (the default) keeps the PR-9 behaviour.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl CrowdServing {
@@ -331,6 +351,7 @@ impl CrowdServing {
             oracle,
             fail_when_starved: false,
             persist: None,
+            breaker: None,
         }
     }
 
@@ -338,6 +359,12 @@ impl CrowdServing {
     /// crowd (history, rewards, RNG) and its answers reach the WAL.
     pub fn with_persist(mut self, state: Arc<dyn CrowdState>) -> Self {
         self.persist = Some(state);
+        self
+    }
+
+    /// Attaches a crowd circuit breaker (see [`BreakerConfig`]).
+    pub fn with_breaker(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker = Some(cfg);
         self
     }
 }
@@ -368,6 +395,12 @@ struct Job {
 struct CityIngress {
     jobs: VecDeque<Job>,
     draining: bool,
+    /// `true` once [`Platform::deregister_city`] ran: submissions are
+    /// rejected with [`ServiceError::CityOffboarded`] and the queue
+    /// stays empty forever (so DRR naturally skips the city).
+    offboarded: bool,
+    /// Queued jobs shed with a terminal error by the offboarding drain.
+    shed: u64,
     /// Requests admitted into this city's queue.
     admitted: u64,
     /// Non-blocking submissions shed because this city's queue was full.
@@ -439,6 +472,8 @@ impl CityQueue {
             queue: Mutex::new(CityIngress {
                 jobs: VecDeque::new(),
                 draining: false,
+                offboarded: false,
+                shed: 0,
                 admitted: 0,
                 rejected_busy: 0,
                 batched_requests: 0,
@@ -515,6 +550,8 @@ struct Inner {
     submitted: AtomicU64,
     rejected_unknown_city: AtomicU64,
     rejected_shutdown: AtomicU64,
+    /// Submissions rejected because the target city was deregistered.
+    rejected_offboarded: AtomicU64,
     completed: AtomicU64,
     /// `true` once shutdown started; the janitor exits on the next wake.
     maintenance_stop: Mutex<bool>,
@@ -528,6 +565,9 @@ struct Inner {
     last_maintenance: Mutex<Option<MaintenanceReport>>,
     /// The running durability machinery (`None` with durability off).
     durable: Option<DurableRuntime>,
+    /// The running chaos engine (`None` with chaos off: every seam is a
+    /// single branch on this option).
+    chaos: Option<Arc<ChaosState>>,
 }
 
 /// What one background maintenance sweep observed and exported.
@@ -609,17 +649,29 @@ pub struct CityQueueSnapshot {
     /// Contention on this city's ingress mutex (zeros unless the city
     /// traces).
     pub ingress: LockSummary,
+    /// Whether the city was deregistered at runtime
+    /// ([`Platform::deregister_city`]).
+    pub offboarded: bool,
+    /// Queued tickets shed with [`ServiceError::CityOffboarded`] by the
+    /// offboarding drain.
+    pub shed: u64,
+    /// The city's crowd-circuit-breaker observables (`None` for cities
+    /// registered without a breaker).
+    pub breaker: Option<BreakerSnapshot>,
 }
 
 impl CityQueueSnapshot {
     /// The per-city dispatch ledger: every admitted job is either still
-    /// queued or was dispatched exactly once — batched or unbatched.
-    /// All terms are captured under the city's queue lock, so this is
-    /// exact at every observable instant.
+    /// queued, was dispatched exactly once — batched or unbatched — or
+    /// was shed with a terminal error by an offboarding drain. All
+    /// terms are captured under the city's queue lock, so this is exact
+    /// at every observable instant.
     pub fn is_consistent(&self) -> bool {
-        self.admitted == self.batched_requests + self.unbatched_requests + self.queue_depth as u64
+        self.admitted
+            == self.batched_requests + self.unbatched_requests + self.shed + self.queue_depth as u64
             && self.batch_max <= self.batched_requests
             && self.batch_runs <= self.batched_requests
+            && (self.shed == 0 || self.offboarded)
     }
 }
 
@@ -638,6 +690,11 @@ pub struct PlatformSnapshot {
     pub rejected_unknown_city: u64,
     /// Rejections because the platform was shutting down.
     pub rejected_shutdown: u64,
+    /// Rejections because the target city was deregistered at runtime.
+    pub rejected_offboarded: u64,
+    /// Queued tickets shed with [`ServiceError::CityOffboarded`] by
+    /// offboarding drains (Σ per-city).
+    pub shed: u64,
     /// Tickets fulfilled by workers.
     pub completed: u64,
     /// Registered cities.
@@ -679,6 +736,8 @@ pub struct PlatformSnapshot {
     pub maintenance_sweeps: u64,
     /// Durability counters (`None` with durability off).
     pub durability: Option<DurabilitySnapshot>,
+    /// Injected-fault counters (`None` with chaos off).
+    pub chaos: Option<ChaosSnapshot>,
     /// Exact merge of all per-city service statistics (latency
     /// percentiles come from the merged histogram).
     pub aggregate: StatsSnapshot,
@@ -700,10 +759,18 @@ impl PlatformSnapshot {
     /// a fixed window never transitions (raises and drops stay zero).
     pub fn is_consistent(&self) -> bool {
         let per_city_depth: u64 = self.per_city.iter().map(|c| c.queue_depth as u64).sum();
-        self.admitted + self.rejected_busy + self.rejected_unknown_city + self.rejected_shutdown
+        self.admitted
+            + self.rejected_busy
+            + self.rejected_unknown_city
+            + self.rejected_shutdown
+            + self.rejected_offboarded
             == self.submitted
             && self.admitted
-                == self.batched_requests + self.unbatched_requests + self.queue_depth as u64
+                == self.batched_requests
+                    + self.unbatched_requests
+                    + self.shed
+                    + self.queue_depth as u64
+            && self.shed == self.per_city.iter().map(|c| c.shed).sum::<u64>()
             && self.queue_depth as u64 == per_city_depth
             && self.admitted == self.per_city.iter().map(|c| c.admitted).sum::<u64>()
             && self.per_city.iter().all(CityQueueSnapshot::is_consistent)
@@ -856,8 +923,10 @@ impl Platform {
     /// Spawns the resident worker pool and returns the running platform
     /// (with no cities yet — register at least one before submitting).
     pub fn start(cfg: PlatformConfig) -> Platform {
+        let chaos = cfg.chaos.as_ref().map(|c| Arc::new(ChaosState::new(c)));
         let durable = cfg.durability.clone().map(|d| {
-            DurableRuntime::start(d).expect("opening the durability directory and write-ahead log")
+            DurableRuntime::start(d, chaos.clone())
+                .expect("opening the durability directory and write-ahead log")
         });
         let inner = Arc::new(Inner {
             cfg: PlatformConfig {
@@ -867,6 +936,7 @@ impl Platform {
                 maintenance: cfg.maintenance,
                 batch: cfg.batch.map(BatchConfig::normalized),
                 durability: cfg.durability,
+                chaos: cfg.chaos,
             },
             cities: RwLock::new(Vec::new()),
             sched: Mutex::new(Scheduler {
@@ -882,6 +952,7 @@ impl Platform {
             submitted: AtomicU64::new(0),
             rejected_unknown_city: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
+            rejected_offboarded: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             maintenance_stop: Mutex::new(false),
             maintenance_cv: Condvar::new(),
@@ -889,6 +960,7 @@ impl Platform {
             maintenance_evicted: AtomicU64::new(0),
             last_maintenance: Mutex::new(None),
             durable,
+            chaos,
         });
         let mut workers: Vec<JoinHandle<()>> = (0..inner.cfg.workers)
             .map(|w| {
@@ -948,23 +1020,38 @@ impl Platform {
             cfg,
             Box::new(move |w| Box::new(factory(w)) as Box<dyn Resolver + Send>),
             None,
+            None,
         )
     }
 
     /// The single registration path: builds the city state, wires the
     /// durability sinks (truth commits, and — when the city carries a
-    /// [`CrowdState`] handle — crowd answers), and assigns the id.
+    /// [`CrowdState`] handle — crowd answers), wraps the resolver
+    /// factory for fault injection when chaos is active, and assigns
+    /// the id.
     fn register_city_inner(
         &self,
         world: Arc<World>,
         cfg: ServiceConfig,
         factory: ResolverFactory,
         crowd_state: Option<Arc<dyn CrowdState>>,
+        breaker: Option<Arc<CrowdBreaker>>,
     ) -> CityId {
+        let factory: ResolverFactory = match self.inner.chaos.clone() {
+            // Every city's resolvers — machine and crowd alike — draw
+            // from the same injected-panic stream.
+            Some(chaos) => Box::new(move |w| {
+                Box::new(ChaosResolver::new(factory(w), Arc::clone(&chaos)))
+                    as Box<dyn Resolver + Send>
+            }),
+            None => factory,
+        };
         let state = Arc::new(CityState {
             service: Arc::new(RouteService::new(world, cfg)),
             factory,
             crowd_state,
+            breaker,
+            offboarded: AtomicBool::new(false),
             ingress: CityQueue::new(&self.inner.cfg),
         });
         if state.service.tracer().enabled() {
@@ -1024,6 +1111,19 @@ impl Platform {
             cfg.truth_cap_per_shard.saturating_mul(cfg.shards)
         };
         let persist = crowd.persist.clone();
+        // With chaos active, the desk every per-worker planner assigns
+        // through injects no-shows (refused reserves) and slow answers.
+        let crowd = match self.inner.chaos.clone() {
+            Some(chaos) => CrowdServing {
+                desk: Arc::new(ChaosDesk::new(Arc::clone(&crowd.desk), chaos)),
+                ..crowd
+            },
+            None => crowd,
+        };
+        let breaker = crowd.breaker.map(|b| Arc::new(CrowdBreaker::new(b)));
+        let breaker_for_factory = breaker.clone();
+        let machine_graph = world.graph_arc();
+        let machine_core = cfg.core.clone();
         let planner_world = Arc::clone(&world);
         let factory = move |_worker: usize| {
             let mut planner = CrowdPlanner::with_mining_state(
@@ -1040,15 +1140,18 @@ impl Platform {
             )
             .expect("crowd serving inputs validated at registration");
             planner.set_truth_cap(truth_cap);
-            CrowdResolver::new(planner, Arc::clone(&crowd.oracle))
-                .fail_when_starved(crowd.fail_when_starved)
+            let resolver = CrowdResolver::new(planner, Arc::clone(&crowd.oracle))
+                .fail_when_starved(crowd.fail_when_starved);
+            match &breaker_for_factory {
+                Some(b) => Box::new(crate::chaos::BreakerResolver::new(
+                    Box::new(resolver),
+                    MachineResolver::new(Arc::clone(&machine_graph), machine_core.clone()),
+                    Arc::clone(b),
+                )) as Box<dyn Resolver + Send>,
+                None => Box::new(resolver) as Box<dyn Resolver + Send>,
+            }
         };
-        Ok(self.register_city_inner(
-            world,
-            cfg,
-            Box::new(move |w| Box::new(factory(w)) as Box<dyn Resolver + Send>),
-            persist,
-        ))
+        Ok(self.register_city_inner(world, cfg, Box::new(factory), persist, breaker))
     }
 
     /// Number of registered cities.
@@ -1060,14 +1163,17 @@ impl Platform {
             .len()
     }
 
-    /// The per-city service instance (its truth store, stats, config),
-    /// or `None` for an unregistered id.
+    /// The per-city service instance (its truth store, stats, config).
+    /// `None` for an unregistered id — and for a deregistered city, so
+    /// routing layers (the gateway) treat an offboarded city exactly
+    /// like one that never existed (404).
     pub fn city_service(&self, city: CityId) -> Option<Arc<RouteService>> {
         self.inner
             .cities
             .read()
             .expect("city registry poisoned")
             .get(city.index())
+            .filter(|c| !c.offboarded.load(Ordering::Relaxed))
             .map(|c| Arc::clone(&c.service))
     }
 
@@ -1107,6 +1213,97 @@ impl Platform {
             .map(|c| c.ingress.weight.load(Ordering::Relaxed))
     }
 
+    /// Deregisters a city at runtime. Under the city's own queue lock:
+    /// later submissions are rejected with
+    /// [`ServiceError::CityOffboarded`], every *queued* job is drained
+    /// and shed with that terminal error (jobs already dispatched —
+    /// in-flight on a worker — resolve normally, exactly once), and the
+    /// emptied-forever queue drops out of the DRR rotation on its own
+    /// (the scheduler only visits non-empty queues). Cache state —
+    /// candidate LRU, mining artifacts, truths — is reclaimed, and
+    /// [`Platform::city_service`] answers `None` so a gateway maps the
+    /// city to 404. Other cities' queues, weights and fairness are
+    /// untouched.
+    ///
+    /// Returns the number of queued tickets shed (`Some(0)` when the
+    /// city was already offboarded — idempotent), or `None` for an id
+    /// that was never registered. City ids are dense indices, so the
+    /// slot itself is retained as a tombstone: no other city's id
+    /// shifts.
+    pub fn deregister_city(&self, city: CityId) -> Option<u64> {
+        let state = {
+            let cities = self.inner.cities.read().expect("city registry poisoned");
+            cities.get(city.index()).map(Arc::clone)
+        }?;
+        let ing = &state.ingress;
+        let mut q = ing.locks.lock(&ing.queue);
+        if q.offboarded {
+            return Some(0);
+        }
+        q.offboarded = true;
+        state.offboarded.store(true, Ordering::SeqCst);
+        let dropped: Vec<Job> = q.jobs.drain(..).collect();
+        let n = dropped.len();
+        q.shed += n as u64;
+        if n > 0 {
+            if ing.depth.fetch_sub(n, Ordering::SeqCst) == n {
+                self.inner.backlogged.fetch_sub(1, Ordering::SeqCst);
+            }
+            self.inner.queued.fetch_sub(n as u64, Ordering::SeqCst);
+        }
+        // Wake everything parked on this queue: blocking submitters
+        // re-check and get `CityOffboarded`; collectors holding a delay
+        // window open re-check and close it.
+        ing.arrivals.notify_all();
+        ing.not_full.notify_all();
+        drop(q);
+        // Fulfil outside the queue lock: ticket waiters take their own
+        // slot locks.
+        for job in dropped {
+            job.slot.fulfill(Err(ServiceError::CityOffboarded(city)));
+        }
+        state.service.reclaim();
+        Some(n as u64)
+    }
+
+    /// Whether a city has been deregistered (`None` for an id that was
+    /// never registered).
+    pub fn city_offboarded(&self, city: CityId) -> Option<bool> {
+        let cities = self.inner.cities.read().expect("city registry poisoned");
+        cities
+            .get(city.index())
+            .map(|c| c.offboarded.load(Ordering::Relaxed))
+    }
+
+    /// Retunes the active chaos engine's fault plan (live; the next
+    /// draw at each seam sees the new rates). Returns `false` when the
+    /// platform was started without [`PlatformConfig::chaos`] — the
+    /// engine cannot be attached after the fact.
+    pub fn set_chaos_plan(&self, plan: FaultPlan) -> bool {
+        match &self.inner.chaos {
+            Some(chaos) => {
+                chaos.set_plan(plan);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Point-in-time injected-fault counts, or `None` with chaos off.
+    pub fn chaos_stats(&self) -> Option<ChaosSnapshot> {
+        self.inner.chaos.as_ref().map(|c| c.snapshot())
+    }
+
+    /// A city's crowd-circuit-breaker observables, or `None` for an
+    /// unregistered id or a city without a breaker.
+    pub fn city_breaker(&self, city: CityId) -> Option<BreakerSnapshot> {
+        let cities = self.inner.cities.read().expect("city registry poisoned");
+        cities
+            .get(city.index())
+            .and_then(|c| c.breaker.as_ref())
+            .map(|b| b.snapshot())
+    }
+
     /// Non-blocking submission: enqueues the request and returns a
     /// joinable [`Ticket`], or rejects immediately with
     /// [`ServiceError::Busy`] (queue full — back off and resubmit),
@@ -1139,6 +1336,15 @@ impl Platform {
         let ing = &city.ingress;
         let mut q = ing.locks.lock(&ing.queue);
         loop {
+            // Offboarded wins over draining: a deregistered city's
+            // callers get the terminal "gone" answer, not a transient
+            // shutdown, whatever order the flags were raised in.
+            if q.offboarded {
+                self.inner
+                    .rejected_offboarded
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::CityOffboarded(req.city));
+            }
             if q.draining {
                 self.inner.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
                 return Err(ServiceError::ShuttingDown);
@@ -1224,6 +1430,7 @@ impl Platform {
         TraceReport {
             ingress: self.inner.sched_locks.summary(),
             durability: self.durability_stats(),
+            chaos: self.chaos_stats(),
             cities: cities
                 .iter()
                 .enumerate()
@@ -1531,6 +1738,7 @@ fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
         for (acc, site) in locks.iter_mut().zip(city.service.lock_summaries()) {
             acc.waits += site.waits;
             acc.wait += site.wait;
+            acc.poisoned += site.poisoned;
         }
     }
     let mut aggregate = agg.snapshot();
@@ -1563,6 +1771,9 @@ fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
             batch_cap_raises: q.cap_raises,
             batch_cap_drops: q.cap_drops,
             ingress: ingress_summary,
+            offboarded: q.offboarded,
+            shed: q.shed,
+            breaker: city.breaker.as_ref().map(|b| b.snapshot()),
         });
     }
     // The aggregate ingress entry folds every city's own queue mutex
@@ -1571,6 +1782,7 @@ fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
     for c in &per_city {
         ingress_total.waits += c.ingress.waits;
         ingress_total.wait += c.ingress.wait;
+        ingress_total.poisoned += c.ingress.poisoned;
     }
     locks[LockSite::Ingress.index()] = ingress_total;
     aggregate.locks = locks;
@@ -1580,6 +1792,8 @@ fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
         rejected_busy: per_city.iter().map(|c| c.rejected_busy).sum(),
         rejected_unknown_city: inner.rejected_unknown_city.load(Ordering::Relaxed),
         rejected_shutdown: inner.rejected_shutdown.load(Ordering::Relaxed),
+        rejected_offboarded: inner.rejected_offboarded.load(Ordering::Relaxed),
+        shed: per_city.iter().map(|c| c.shed).sum(),
         completed: inner.completed.load(Ordering::Relaxed),
         cities: cities.len(),
         queue_depth: per_city.iter().map(|c| c.queue_depth).sum(),
@@ -1603,6 +1817,7 @@ fn snapshot_of(inner: &Inner) -> PlatformSnapshot {
         per_city,
         maintenance_sweeps: inner.maintenance_sweeps.load(Ordering::Relaxed),
         durability: inner.durable.as_ref().map(|d| d.counters.snapshot()),
+        chaos: inner.chaos.as_ref().map(|c| c.snapshot()),
         aggregate,
     }
 }
@@ -1907,7 +2122,7 @@ fn collect_run(inner: &Inner, city: &CityState, run: &mut Vec<Job>, batch: Batch
             inner.queued.fetch_sub(took, Ordering::SeqCst);
             ing.not_full.notify_all();
         }
-        if run.len() >= max_batch || q.draining {
+        if run.len() >= max_batch || q.draining || q.offboarded {
             break;
         }
         let now = Instant::now();
@@ -1922,12 +2137,12 @@ fn collect_run(inner: &Inner, city: &CityState, run: &mut Vec<Job>, batch: Batch
             .wait_timeout(q, remaining)
             .expect("ingress queue poisoned");
         q = guard;
-        // Re-check the drain flag on every wake, before rescanning: a
-        // drain racing this delay window must not hold the worker until
-        // the deadline. (The loop top still harvests already-queued
-        // cell-mates into the run on the drain pass — they drain faster
-        // fused than one by one.)
-        if q.draining {
+        // Re-check the drain/offboard flags on every wake, before
+        // rescanning: a drain — or a deregistration — racing this delay
+        // window must not hold the worker until the deadline. (The loop
+        // top still harvests already-queued cell-mates into the run on
+        // the drain pass — they drain faster fused than one by one.)
+        if q.draining || q.offboarded {
             continue;
         }
     }
@@ -2169,6 +2384,21 @@ fn worker_loop(inner: &Inner, worker_idx: usize) {
         let Some((city_idx, city, job)) = next_job(inner) else {
             break;
         };
+        if let Some(chaos) = &inner.chaos {
+            // Worker-side injection, after the dispatch decision and
+            // before service: churn (cache-invalidating generation
+            // bumps under load), stalls and slowdowns all hit a request
+            // that is already owned, so "every admitted ticket resolves
+            // exactly once" is what these faults put under test.
+            if chaos.roll(FaultSite::GenerationChurn) {
+                city.service.world().bump_generation();
+            }
+            if chaos.roll(FaultSite::StallWorker) {
+                std::thread::sleep(chaos.stall_worker_delay());
+            } else if chaos.roll(FaultSite::SlowWorker) {
+                std::thread::sleep(chaos.slow_worker_delay());
+            }
+        }
         let traced = city.service.tracer().enabled();
         if traced {
             // The seed's queue wait ends at its pop; run members booked
@@ -2278,6 +2508,7 @@ mod tests {
             maintenance: None,
             batch: None,
             durability: None,
+            chaos: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         assert_eq!(id, CityId(0));
@@ -2342,6 +2573,7 @@ mod tests {
             maintenance: None,
             batch: None,
             durability: None,
+            chaos: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let submit = |n: u32| {
@@ -2409,6 +2641,7 @@ mod tests {
             maintenance: None,
             batch: None,
             durability: None,
+            chaos: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let mut busy = 0u32;
@@ -2445,6 +2678,7 @@ mod tests {
             maintenance: None,
             batch: None,
             durability: None,
+            chaos: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let tickets: Vec<Ticket> = (0..50u32)
@@ -2497,6 +2731,7 @@ mod tests {
             maintenance: None,
             batch: None,
             durability: None,
+            chaos: None,
         });
         let cfg = ServiceConfig::strict_deterministic();
         let core = cfg.core.clone();
@@ -2549,6 +2784,7 @@ mod tests {
             }),
             batch: None,
             durability: None,
+            chaos: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         for i in 0..6u32 {
@@ -2645,6 +2881,7 @@ mod tests {
             maintenance: None,
             batch: None,
             durability: None,
+            chaos: None,
         });
         let bad = platform.register_city_crowd(
             Arc::clone(&world),
@@ -2729,6 +2966,7 @@ mod tests {
             maintenance: None,
             batch: Some(BatchConfig::fixed(8, Duration::from_millis(200))),
             durability: None,
+            chaos: None,
         });
         let id = platform.register_city(Arc::clone(&world), cfg);
         let tickets: Vec<Ticket> = requests
@@ -2775,6 +3013,7 @@ mod tests {
             maintenance: None,
             batch: Some(BatchConfig::adaptive(4, ceiling)),
             durability: None,
+            chaos: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let single = |i: u32| {
@@ -2855,6 +3094,7 @@ mod tests {
             maintenance: None,
             batch: Some(BatchConfig::fixed(4, Duration::from_millis(1))),
             durability: None,
+            chaos: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         for i in 0..6u32 {
@@ -2914,6 +3154,7 @@ mod tests {
             maintenance: None,
             batch: Some(BatchConfig::fixed(12, Duration::from_millis(200))),
             durability: None,
+            chaos: None,
         });
         let id = platform.register_city(Arc::clone(&world), cfg);
         let tickets: Vec<Ticket> = requests
@@ -3016,6 +3257,7 @@ mod tests {
                 maintenance: cfg.maintenance,
                 batch: cfg.batch.map(BatchConfig::normalized),
                 durability: None,
+                chaos: None,
             },
             cities: RwLock::new(Vec::new()),
             sched: Mutex::new(Scheduler {
@@ -3031,6 +3273,7 @@ mod tests {
             submitted: AtomicU64::new(0),
             rejected_unknown_city: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
+            rejected_offboarded: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             maintenance_stop: Mutex::new(false),
             maintenance_cv: Condvar::new(),
@@ -3038,6 +3281,7 @@ mod tests {
             maintenance_evicted: AtomicU64::new(0),
             last_maintenance: Mutex::new(None),
             durable: None,
+            chaos: None,
         }
     }
 
@@ -3055,6 +3299,8 @@ mod tests {
                     as Box<dyn Resolver + Send>
             }),
             crowd_state: None,
+            breaker: None,
+            offboarded: AtomicBool::new(false),
             ingress: CityQueue::new(cfg),
         })
     }
@@ -3160,6 +3406,7 @@ mod tests {
             maintenance: None,
             batch: None,
             durability: None,
+            chaos: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         assert_eq!(platform.city_weight(id), Some(4));
@@ -3188,6 +3435,7 @@ mod tests {
             maintenance: None,
             batch: Some(batch),
             durability: None,
+            chaos: None,
         });
         let city = bare_city(&inner.cfg);
         let cap = |c: &CityState| c.ingress.queue.lock().unwrap().max_batch_cur;
@@ -3248,6 +3496,7 @@ mod tests {
             maintenance: None,
             batch: None,
             durability: None,
+            chaos: None,
         });
         let hot = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let cold = platform.register_city(mini_world(11), ServiceConfig::strict_deterministic());
@@ -3304,6 +3553,7 @@ mod tests {
             maintenance: None,
             batch: Some(BatchConfig::fixed(8, max_delay)),
             durability: None,
+            chaos: None,
         });
         let id = platform.register_city(mini_world(7), ServiceConfig::strict_deterministic());
         let tickets: Vec<Ticket> = (0..2u32)

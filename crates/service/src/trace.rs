@@ -234,6 +234,11 @@ pub struct LockSummary {
     pub waits: u64,
     /// Total time spent blocked acquiring.
     pub wait: Duration,
+    /// Acquisitions that found the lock poisoned (a holder panicked).
+    /// The guard is recovered and serving continues — the counter is
+    /// the only residue, so a contained resolver panic can never
+    /// cascade into the tracing layer.
+    pub poisoned: u64,
 }
 
 /// Contention counters for one lock site. Disabled (the default) it
@@ -245,6 +250,7 @@ pub struct LockStats {
     enabled: AtomicBool,
     waits: AtomicU64,
     wait_ns: AtomicU64,
+    poisoned: AtomicU64,
 }
 
 impl LockStats {
@@ -269,7 +275,17 @@ impl LockStats {
         LockSummary {
             waits: self.waits.load(Ordering::Relaxed),
             wait: Duration::from_nanos(self.wait_ns.load(Ordering::Relaxed)),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
         }
+    }
+
+    /// Recovers the guard out of a poisoning error, counting the event.
+    /// A lock is poisoned when a holder panicked; every structure guarded
+    /// by `LockStats` is counters or caches whose partial updates are
+    /// safe to observe, so serving continues.
+    fn recover<G>(&self, e: std::sync::PoisonError<G>) -> G {
+        self.poisoned.fetch_add(1, Ordering::Relaxed);
+        e.into_inner()
     }
 
     fn record(&self, blocked: Duration) {
@@ -283,51 +299,51 @@ impl LockStats {
     /// Acquires `mutex`, timing the wait iff the lock was contended.
     pub fn lock<'a, T>(&self, mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
         if !self.is_enabled() {
-            return mutex.lock().expect("lock poisoned");
+            return mutex.lock().unwrap_or_else(|e| self.recover(e));
         }
         match mutex.try_lock() {
             Ok(guard) => guard,
             Err(TryLockError::WouldBlock) => {
                 let t0 = Instant::now();
-                let guard = mutex.lock().expect("lock poisoned");
+                let guard = mutex.lock().unwrap_or_else(|e| self.recover(e));
                 self.record(t0.elapsed());
                 guard
             }
-            Err(TryLockError::Poisoned(e)) => panic!("lock poisoned: {e}"),
+            Err(TryLockError::Poisoned(e)) => self.recover(e),
         }
     }
 
     /// Read-acquires `rwlock`, timing the wait iff it was contended.
     pub fn read<'a, T>(&self, rwlock: &'a RwLock<T>) -> RwLockReadGuard<'a, T> {
         if !self.is_enabled() {
-            return rwlock.read().expect("lock poisoned");
+            return rwlock.read().unwrap_or_else(|e| self.recover(e));
         }
         match rwlock.try_read() {
             Ok(guard) => guard,
             Err(TryLockError::WouldBlock) => {
                 let t0 = Instant::now();
-                let guard = rwlock.read().expect("lock poisoned");
+                let guard = rwlock.read().unwrap_or_else(|e| self.recover(e));
                 self.record(t0.elapsed());
                 guard
             }
-            Err(TryLockError::Poisoned(e)) => panic!("lock poisoned: {e}"),
+            Err(TryLockError::Poisoned(e)) => self.recover(e),
         }
     }
 
     /// Write-acquires `rwlock`, timing the wait iff it was contended.
     pub fn write<'a, T>(&self, rwlock: &'a RwLock<T>) -> RwLockWriteGuard<'a, T> {
         if !self.is_enabled() {
-            return rwlock.write().expect("lock poisoned");
+            return rwlock.write().unwrap_or_else(|e| self.recover(e));
         }
         match rwlock.try_write() {
             Ok(guard) => guard,
             Err(TryLockError::WouldBlock) => {
                 let t0 = Instant::now();
-                let guard = rwlock.write().expect("lock poisoned");
+                let guard = rwlock.write().unwrap_or_else(|e| self.recover(e));
                 self.record(t0.elapsed());
                 guard
             }
-            Err(TryLockError::Poisoned(e)) => panic!("lock poisoned: {e}"),
+            Err(TryLockError::Poisoned(e)) => self.recover(e),
         }
     }
 }
@@ -551,6 +567,8 @@ pub struct TraceReport {
     pub ingress: LockSummary,
     /// Durability counters (`None` with durability off).
     pub durability: Option<crate::durable::DurabilitySnapshot>,
+    /// Injected-fault counters (`None` with chaos off).
+    pub chaos: Option<crate::chaos::ChaosSnapshot>,
     /// Every registered city's attribution and samples.
     pub cities: Vec<CityTrace>,
 }
@@ -578,14 +596,33 @@ impl TraceReport {
         if let Some(d) = &self.durability {
             out.push_str(&format!(
                 "  \"durability\": {{\"events_logged\": {}, \"events_shed\": {}, \
-                 \"wal_bytes\": {}, \"io_errors\": {}, \"checkpoints\": {}, \
+                 \"wal_bytes\": {}, \"io_errors\": {}, \"write_retries\": {}, \
+                 \"writes_recovered\": {}, \"checkpoints\": {}, \
                  \"last_checkpoint_seq\": {}}},\n",
                 d.events_logged,
                 d.events_shed,
                 d.wal_bytes,
                 d.io_errors,
+                d.write_retries,
+                d.writes_recovered,
                 d.checkpoints,
                 d.last_checkpoint_seq
+            ));
+        }
+        if let Some(c) = &self.chaos {
+            out.push_str(&format!(
+                "  \"chaos\": {{\"seed\": {}, \"crowd_no_shows\": {}, \
+                 \"crowd_slow_answers\": {}, \"slow_workers\": {}, \
+                 \"stalled_workers\": {}, \"resolver_panics\": {}, \
+                 \"durability_io_errors\": {}, \"generation_bumps\": {}}},\n",
+                c.seed,
+                c.crowd_no_shows,
+                c.crowd_slow_answers,
+                c.slow_workers,
+                c.stalled_workers,
+                c.resolver_panics,
+                c.durability_io_errors,
+                c.generation_bumps
             ));
         }
         out.push_str("  \"cities\": [\n");
@@ -617,7 +654,7 @@ impl TraceReport {
             let mut first = true;
             for site in LockSite::ALL {
                 let l = &city.locks[site.index()];
-                if l.waits == 0 {
+                if l.waits == 0 && l.poisoned == 0 {
                     continue;
                 }
                 if !first {
@@ -625,10 +662,12 @@ impl TraceReport {
                 }
                 first = false;
                 out.push_str(&format!(
-                    "{{\"site\": \"{}\", \"waits\": {}, \"wait_us\": {:.1}}}",
+                    "{{\"site\": \"{}\", \"waits\": {}, \"wait_us\": {:.1}, \
+                     \"poisoned\": {}}}",
                     site.name(),
                     l.waits,
-                    us(l.wait)
+                    us(l.wait),
+                    l.poisoned
                 ));
             }
             out.push_str("],\n     \"traces\": [\n");
@@ -783,13 +822,54 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_locks_are_counted_and_recovered() {
+        let locks = LockStats::new();
+        let mutex = Mutex::new(7u32);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = mutex.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(mutex.is_poisoned());
+        // Disabled path recovers and counts.
+        {
+            let g = locks.lock(&mutex);
+            assert_eq!(*g, 7);
+        }
+        assert_eq!(locks.summary().poisoned, 1);
+        // Enabled (try-lock) path recovers and counts too.
+        locks.set_enabled(true);
+        {
+            let g = locks.lock(&mutex);
+            assert_eq!(*g, 7);
+        }
+        let summary = locks.summary();
+        assert_eq!(summary.poisoned, 2);
+        assert_eq!(summary.waits, 0, "poisoning is not contention");
+
+        let rw = RwLock::new(1u32);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = rw.write().unwrap();
+            panic!("poison the rwlock");
+        }));
+        {
+            let _g = locks.read(&rw);
+        }
+        {
+            let _g = locks.write(&rw);
+        }
+        assert_eq!(locks.summary().poisoned, 4);
+    }
+
+    #[test]
     fn report_json_contains_stages_and_traces() {
         let report = TraceReport {
             ingress: LockSummary {
                 waits: 2,
                 wait: Duration::from_micros(10),
+                poisoned: 0,
             },
             durability: None,
+            chaos: None,
             cities: vec![CityTrace {
                 city: 0,
                 stages: {

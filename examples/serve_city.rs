@@ -60,12 +60,19 @@
 //! cargo run --release --example serve_city -- --trace    # + stage attribution
 //! cargo run --release --example serve_city -- --http     # HTTP edge on :8080
 //! cargo run --release --example serve_city -- --http --snapshot-dir /tmp/cp  # durable
+//! cargo run --release --example serve_city -- --crowd --chaos 7  # + fault injection
 //! ```
+//!
+//! With `--chaos <seed>`, the platform runs its seeded chaos engine
+//! (the standard plan: 10% crowd no-shows + 1% slow workers), crowd
+//! cities get a circuit breaker, and each sweep step gains a line with
+//! the injected-fault counts, per-city breaker state and whether the
+//! step ran degraded (any breaker not closed).
 
 use cp_gateway::{Gateway, GatewayConfig};
 use cp_service::{
-    BatchConfig, DurabilityConfig, Platform, PlatformConfig, Request, ServiceConfig, ServiceError,
-    Stage, Ticket, TraceConfig,
+    BatchConfig, BreakerConfig, ChaosConfig, DurabilityConfig, Platform, PlatformConfig, Request,
+    ServiceConfig, ServiceError, Stage, Ticket, TraceConfig,
 };
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
@@ -105,6 +112,7 @@ fn build_platform(
     trace: bool,
     metro_weight: u32,
     snapshot_dir: Option<&std::path::Path>,
+    chaos_seed: Option<u64>,
 ) -> (Platform, [CityTraffic; 2]) {
     let platform = Platform::start(PlatformConfig {
         workers,
@@ -119,6 +127,7 @@ fn build_platform(
             }
         }),
         durability: snapshot_dir.map(DurabilityConfig::new),
+        chaos: chaos_seed.map(ChaosConfig::new),
     });
     let service_cfg = || {
         let mut cfg = ServiceConfig::default();
@@ -132,13 +141,16 @@ fn build_platform(
     let register = |sim: &SimWorld, world: &std::sync::Arc<cp_service::World>, seed: u64| {
         if crowd {
             // 200 workers per city behind a shared desk; at most 3
-            // concurrently outstanding tasks per human worker.
+            // concurrently outstanding tasks per human worker. Under
+            // chaos the city also gets a circuit breaker, so injected
+            // no-show storms degrade it to machine-only instead of
+            // hammering a failing crowd.
+            let mut serving = sim.crowd_serving(200, 15, seed, 3);
+            if chaos_seed.is_some() {
+                serving = serving.with_breaker(BreakerConfig::default());
+            }
             platform
-                .register_city_crowd(
-                    world.clone(),
-                    service_cfg(),
-                    sim.crowd_serving(200, 15, seed, 3),
-                )
+                .register_city_crowd(world.clone(), service_cfg(), serving)
                 .expect("crowd serving inputs are valid")
         } else {
             platform.register_city(world.clone(), service_cfg())
@@ -195,6 +207,15 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .filter(|a| !a.starts_with("--"))
         .map(std::path::PathBuf::from);
+    // `--chaos <seed>`: run the seeded chaos engine (standard fault
+    // plan) on every platform this process builds; the seed defaults
+    // to 7 so `--chaos` alone is reproducible too.
+    let chaos_seed: Option<u64> = args.iter().position(|a| a == "--chaos").map(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(|v| v.parse().expect("--chaos takes an integer seed"))
+            .unwrap_or(7)
+    });
     if snapshot_dir.is_some() && http_addr.is_none() {
         eprintln!("--snapshot-dir only applies to serve mode (--http); ignoring for the sweep");
     }
@@ -232,6 +253,7 @@ fn main() {
             trace,
             metro_weight,
             snapshot_dir.as_deref(),
+            chaos_seed,
         );
         // Warm restart: if the snapshot dir already holds state from a
         // previous run, load it before opening the edge.
@@ -365,6 +387,7 @@ fn main() {
             trace,
             metro_weight,
             None,
+            chaos_seed,
         );
 
         let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ rate as u64);
@@ -463,6 +486,49 @@ fn main() {
             })
             .collect();
         println!("         per-city: {}", per_city.join(" | "));
+        // The chaos line: what the engine injected this step, each
+        // crowd city's breaker state, and whether the step ran
+        // degraded (any breaker away from closed = machine-only or
+        // probing its way back).
+        if let Some(c) = &agg.chaos {
+            let breakers: Vec<String> = [("metro", &cities[0]), ("town", &cities[1])]
+                .iter()
+                .filter_map(|(name, city)| {
+                    let b = agg.per_city[city.id.index()].breaker.as_ref()?;
+                    Some(format!(
+                        "{name} {} (trips {} probes {} recoveries {} machine {})",
+                        b.state.name(),
+                        b.trips,
+                        b.probes,
+                        b.recoveries,
+                        b.machine_serves
+                    ))
+                })
+                .collect();
+            let degraded = agg.per_city.iter().any(|row| {
+                row.breaker
+                    .as_ref()
+                    .is_some_and(|b| b.state != cp_service::BreakerState::Closed)
+            });
+            println!(
+                "         chaos: injected {} (no-show {} slow-answer {} slow-worker {} \
+                 stall {} panic {} io {} churn {})  degraded {}  breaker [{}]",
+                c.total_injected(),
+                c.crowd_no_shows,
+                c.crowd_slow_answers,
+                c.slow_workers,
+                c.stalled_workers,
+                c.resolver_panics,
+                c.durability_io_errors,
+                c.generation_bumps,
+                degraded,
+                if breakers.is_empty() {
+                    "none".to_string()
+                } else {
+                    breakers.join(" | ")
+                },
+            );
+        }
         if trace {
             let stages = &agg.aggregate.stages;
             let p95 = percentile(&latencies, 0.95);

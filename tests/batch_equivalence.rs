@@ -152,6 +152,7 @@ proptest! {
                 maintenance: None,
                 batch: Some(BatchConfig::fixed(8, Duration::from_millis(2))),
                 durability: None,
+                chaos: None,
             });
             let id = platform.register_city(
                 Arc::clone(&sw),
@@ -207,6 +208,7 @@ proptest! {
                 maintenance: None,
                 batch: Some(BatchConfig::adaptive(8, Duration::from_millis(2))),
                 durability: None,
+                chaos: None,
             });
             let heavy = platform.register_city(
                 Arc::clone(&sw),
@@ -333,6 +335,7 @@ proptest! {
                 maintenance: None,
                 batch: Some(BatchConfig::adaptive(8, Duration::from_millis(2))),
                 durability: None,
+                chaos: None,
             });
             let id = platform.register_city(
                 Arc::clone(&sw),

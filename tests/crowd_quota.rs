@@ -159,6 +159,7 @@ fn eight_clients_one_shared_crowd_never_oversubscribe_a_worker() {
         maintenance: None,
         batch: None,
         durability: None,
+        chaos: None,
     });
     let mut service_cfg = ServiceConfig::default();
     service_cfg.core = crowd_forcing_config();
@@ -303,6 +304,7 @@ fn quota_starved_city_with_strict_shedding_surfaces_crowd_starved() {
         maintenance: None,
         batch: None,
         durability: None,
+        chaos: None,
     });
     let mut service_cfg = ServiceConfig::default();
     service_cfg.core = crowd_forcing_config();

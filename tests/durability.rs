@@ -56,6 +56,7 @@ fn durable_platform(workers: usize, dir: Option<&Path>) -> Platform {
         maintenance: None,
         batch: None,
         durability: dir.map(|d| DurabilityConfig::new(d).with_fsync(FsyncPolicy::Never)),
+        chaos: None,
     })
 }
 

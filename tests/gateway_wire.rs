@@ -31,6 +31,7 @@ fn strict_platform(workers: usize, queue_capacity: usize) -> Arc<Platform> {
         maintenance: None,
         batch: None,
         durability: None,
+        chaos: None,
     });
     let id = platform.register_city(sim().service_world(), ServiceConfig::strict_deterministic());
     assert_eq!(id.0, 0, "first registered city is always 0");

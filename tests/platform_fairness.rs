@@ -46,6 +46,7 @@ fn build(workers: usize) -> (Platform, CityId, CityId) {
         maintenance: None,
         batch: Some(BatchConfig::adaptive(8, Duration::from_millis(1))),
         durability: None,
+        chaos: None,
     });
     let hot = platform.register_city(
         std::sync::Arc::clone(&sw),

@@ -64,6 +64,7 @@ fn two_cities_four_client_threads_deterministic_drain() {
         maintenance: None,
         batch: None,
         durability: None,
+        chaos: None,
     });
     let ids: Vec<CityId> = service_worlds
         .iter()
@@ -185,6 +186,7 @@ fn shutdown_drains_unjoined_tickets_exactly_once() {
         maintenance: None,
         batch: None,
         durability: None,
+        chaos: None,
     });
     let id = platform.register_city(Arc::clone(&sw), ServiceConfig::strict_deterministic());
     let requests = city_stream(&world, 40, 3, 77);

@@ -215,6 +215,7 @@ proptest! {
             maintenance: None,
             batch: None,
             durability: None,
+            chaos: None,
         });
         let ids: Vec<CityId> = worlds
             .iter()

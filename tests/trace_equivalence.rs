@@ -186,6 +186,7 @@ proptest! {
                     maintenance: None,
                     batch: Some(BatchConfig::fixed(8, Duration::from_millis(2))),
                     durability: None,
+                    chaos: None,
                 });
                 let mut cfg = ServiceConfig::strict_deterministic();
                 cfg.trace = level;

@@ -12,8 +12,8 @@
 
 use cp_roadnet::NodeId;
 use cp_service::{
-    DurabilityConfig, FsyncPolicy, MachineResolver, Platform, PlatformConfig, Request,
-    RouteService, Served, ServiceConfig, TraceConfig,
+    ChaosConfig, DurabilityConfig, FaultPlan, FsyncPolicy, MachineResolver, Platform,
+    PlatformConfig, Request, RouteService, Served, ServiceConfig, TraceConfig,
 };
 use cp_traj::TimeOfDay;
 use crowdplanner::sim::{Scale, SimWorld};
@@ -95,6 +95,7 @@ fn warm_truth_hit_allocs(sim: &SimWorld, trace: TraceConfig, rounds: usize) -> u
 fn platform_truth_hit_allocs(
     sim: &SimWorld,
     durability: Option<DurabilityConfig>,
+    chaos: Option<ChaosConfig>,
     rounds: usize,
 ) -> u64 {
     let platform = Platform::start(PlatformConfig {
@@ -104,6 +105,7 @@ fn platform_truth_hit_allocs(
         maintenance: None,
         batch: None,
         durability,
+        chaos,
     });
     let id = platform.register_city(sim.service_world(), ServiceConfig::strict_deterministic());
     let req = Request::to_city(id, NodeId(0), NodeId(59), TimeOfDay::from_hours(8.0));
@@ -160,15 +162,31 @@ fn disabled_tracing_adds_zero_allocations_to_the_serve_path() {
     // load, and the sink is only ever consulted at commit sites.
     let dir = std::env::temp_dir().join(format!("cp_alloc_guard_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let plat_off = platform_truth_hit_allocs(&sim, None, ROUNDS);
+    let plat_off = platform_truth_hit_allocs(&sim, None, None, ROUNDS);
     let plat_on = platform_truth_hit_allocs(
         &sim,
         Some(DurabilityConfig::new(&dir).with_fsync(FsyncPolicy::Never)),
+        None,
         ROUNDS,
     );
     let _ = std::fs::remove_dir_all(&dir);
     assert_eq!(
         plat_on, plat_off,
         "an idle durability runtime must not allocate on the warm serve path"
+    );
+
+    // The chaos guard: an armed chaos engine whose fault plan is all
+    // zeros must be invisible to the warm serve path — `roll` bails on
+    // the rate check before touching anything, so the count must match
+    // the chaos-free platform exactly.
+    let plat_quiet_chaos = platform_truth_hit_allocs(
+        &sim,
+        None,
+        Some(ChaosConfig::new(7).with_plan(FaultPlan::none())),
+        ROUNDS,
+    );
+    assert_eq!(
+        plat_quiet_chaos, plat_off,
+        "a zero-rate chaos engine must not allocate on the warm serve path"
     );
 }
